@@ -1,0 +1,62 @@
+"""Shared benchmark configuration.
+
+Scale: by default the sweeps run on a 4 000-key subset of the paper's
+24 474-key dictionary so the whole harness finishes in a few minutes of
+interpreted Python.  Set ``REPRO_FULL=1`` to run every experiment at the
+paper's full scale (EXPERIMENTS.md records a full-scale run).
+
+Every benchmark prints the paper-style table it regenerates *and* writes it
+to ``benchmarks/results/<name>.txt``.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.workloads import dictionary_pairs, passwd_pairs
+
+FULL = os.environ.get("REPRO_FULL", "") not in ("", "0")
+
+#: dictionary keys used by the sweeps (full paper scale or CI scale)
+DICT_N = 24474 if FULL else 4000
+
+#: buffer pool used by the Figure 5/6 sweeps ("the buffer size was set at 1M")
+SWEEP_CACHE = 1 << 20
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture(scope="session")
+def dict_pairs():
+    """The dictionary dataset at the configured scale."""
+    return list(dictionary_pairs(DICT_N))
+
+
+@pytest.fixture(scope="session")
+def passwd_pairs_all():
+    """The password dataset (full paper scale -- it is tiny)."""
+    return list(passwd_pairs())
+
+
+@pytest.fixture(scope="session")
+def scale_note():
+    return (
+        f"scale: {DICT_N} dictionary keys"
+        + ("" if FULL else " (set REPRO_FULL=1 for the paper's 24474)")
+    )
+
+
+def emit(name: str, text: str) -> None:
+    """Print a results table and persist it under benchmarks/results/."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    banner = f"\n{text}\n"
+    print(banner)
+    with open(os.path.join(RESULTS_DIR, name + ".txt"), "w") as fh:
+        fh.write(text + "\n")
+
+
+@pytest.fixture
+def workdir(tmp_path):
+    return str(tmp_path)

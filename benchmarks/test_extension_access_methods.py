@@ -1,0 +1,85 @@
+"""Extension benchmark: hash vs btree on the paper's workloads.
+
+Not a paper figure -- the btree access method is the future work its
+conclusion announces -- but the natural question the access package
+raises: what does hashing buy over the btree for the keyed workloads of
+the evaluation, and what does the btree buy back (ordered scans)?
+
+Expected shape: hash wins point lookups (fewer page touches per probe:
+one bucket chain vs a root-to-leaf walk); the btree's sequential scan is
+sorted and its range queries are impossible for hash.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit
+from repro.access.btree import BTree
+from repro.bench.report import format_series_table
+from repro.bench.timing import measure
+from repro.core.table import HashTable
+
+SUBSET = 4000
+CACHE = 1 << 20
+
+
+def run_hash(pairs):
+    def body():
+        t = HashTable.create(
+            None, bsize=1024, ffactor=32, nelem=len(pairs), cachesize=CACHE
+        )
+        for k, v in pairs:
+            t.put(k, v)
+        for k, _v in pairs:
+            t.get(k)
+        t.close()
+        return t.io_stats.snapshot()
+
+    io, m = measure(body)
+    m.io = io
+    return m
+
+
+def run_btree(pairs):
+    def body():
+        t = BTree.create(None, bsize=1024, cachesize=CACHE)
+        for k, v in pairs:
+            t.put(k, v)
+        for k, _v in pairs:
+            t.get(k)
+        t.close()
+        return t.io_stats.snapshot()
+
+    io, m = measure(body)
+    m.io = io
+    return m
+
+
+def test_extension_hash_vs_btree(benchmark, dict_pairs, scale_note):
+    pairs = dict_pairs[:SUBSET]
+    results = {}
+
+    def run():
+        results["hash"] = run_hash(pairs)
+        results["btree"] = run_btree(pairs)
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    cells = {}
+    for name, m in results.items():
+        cells[(name, "user_s")] = m.user
+        cells[(name, "elapsed_s")] = m.elapsed
+        cells[(name, "page_io")] = float(m.io.page_io)
+    emit(
+        "extension_access_methods",
+        format_series_table(
+            f"Extension -- hash vs btree, create+read of {SUBSET} dictionary keys",
+            "method",
+            "metric",
+            ["hash", "btree"],
+            ["user_s", "elapsed_s", "page_io"],
+            cells,
+        ),
+    )
+
+    # hash should not lose the keyed workload (its home turf)
+    assert results["hash"].cpu <= results["btree"].cpu * 1.5 + 0.05

@@ -1,0 +1,91 @@
+"""Figure 8a: the paper's headline comparison on the dictionary database.
+
+Disk suite (bucket size 1024, fill factor 32): hash vs ndbm on CREATE /
+READ / VERIFY / SEQUENTIAL / SEQUENTIAL+data.  Memory suite (bucket size
+256, fill factor 8): hash vs hsearch on CREATE/READ.
+
+Expected shape (paper's Figure 8a): the new package wins READ and VERIFY
+by a large margin (caching), wins SEQUENTIAL+data, and may *lose* user
+time on bare SEQUENTIAL (ndbm does not return the data).  In memory, hash
+beats hsearch on user time.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit
+from repro.bench.adapters import (
+    HsearchAdapter,
+    NdbmAdapter,
+    NewHashAdapter,
+    NewHashMemoryAdapter,
+)
+from repro.bench.report import format_comparison_table
+from repro.bench.suites import disk_suite, memory_suite
+
+
+def test_fig8a_disk_hash_vs_ndbm(benchmark, dict_pairs, scale_note, workdir):
+    results = {}
+
+    def run():
+        results["hash"] = disk_suite(
+            NewHashAdapter(workdir, bsize=1024, ffactor=32, cachesize=1 << 20),
+            dict_pairs,
+            nelem_hint=len(dict_pairs),
+        )
+        results["ndbm"] = disk_suite(
+            NdbmAdapter(workdir, block_size=1024), dict_pairs
+        )
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    emit(
+        "fig8a_dictionary_disk",
+        format_comparison_table(
+            f"Figure 8a -- dictionary database, disk suite; {scale_note}",
+            results["hash"],
+            results["ndbm"],
+        ),
+    )
+
+    hash_r, ndbm_r = results["hash"], results["ndbm"]
+    # READ/VERIFY: caching wins big (paper: 81-92% improvements)
+    assert hash_r["read"].io.page_io < ndbm_r["read"].io.page_io / 2
+    assert hash_r["verify"].io.page_io < ndbm_r["verify"].io.page_io / 2
+    # CREATE: fewer page transfers than ndbm's write-through single buffer
+    assert hash_r["create"].io.page_io < ndbm_r["create"].io.page_io
+    # SEQUENTIAL+data: hash returns data in one pass, ndbm needs re-fetches
+    assert (
+        hash_r["sequential+data"].io.page_io
+        < ndbm_r["sequential+data"].io.page_io
+    )
+
+
+def test_fig8a_memory_hash_vs_hsearch(benchmark, dict_pairs, scale_note, workdir):
+    results = {}
+
+    def run():
+        results["hash"] = memory_suite(
+            NewHashMemoryAdapter(workdir, bsize=256, ffactor=8, cachesize=1 << 20),
+            dict_pairs,
+        )
+        results["hsearch"] = memory_suite(HsearchAdapter(workdir), dict_pairs)
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    emit(
+        "fig8a_dictionary_memory",
+        format_comparison_table(
+            f"Figure 8a -- dictionary database, in-memory suite; {scale_note}",
+            results["hash"],
+            results["hsearch"],
+            old_name="hsearch",
+            metrics=("user", "system", "elapsed"),
+        ),
+    )
+
+    # Both complete; hash stays within a small factor of hsearch's simple
+    # probing even though it maintains pages (the paper's win came from C
+    # cycle counts; in Python we assert the same order of magnitude).
+    h = results["hash"]["create/read"].cpu
+    s = results["hsearch"]["create/read"].cpu
+    assert h < s * 8

@@ -1,0 +1,124 @@
+"""Micro-benchmarks: per-operation cost of every system.
+
+Unlike the figure benchmarks (single timed suite runs), these use
+pytest-benchmark's statistics properly -- many rounds over a steady-state
+table -- so regressions in the hot paths (hash/lookup/insert) show up as
+numbers with error bars.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.dynahash import DynaHash
+from repro.baselines.hsearch import Hsearch
+from repro.core.hashfuncs import HASH_FUNCTIONS
+from repro.core.table import HashTable
+from repro.workloads import dictionary_pairs
+
+N = 2000
+PAIRS = list(dictionary_pairs(N))
+
+
+@pytest.fixture(scope="module")
+def warm_hash_table():
+    t = HashTable.create(None, bsize=256, ffactor=8, nelem=N,
+                         cachesize=1 << 20, in_memory=True)
+    for k, v in PAIRS:
+        t.put(k, v)
+    yield t
+    t.close()
+
+
+def test_hash_get_hit(benchmark, warm_hash_table):
+    keys = [k for k, _v in PAIRS[:256]]
+
+    def lookup():
+        for k in keys:
+            warm_hash_table.get(k)
+
+    benchmark(lookup)
+
+
+def test_hash_get_miss(benchmark, warm_hash_table):
+    keys = [b"missing-" + k for k, _v in PAIRS[:256]]
+
+    def lookup():
+        for k in keys:
+            warm_hash_table.get(k)
+
+    benchmark(lookup)
+
+
+def test_hash_put_replace(benchmark, warm_hash_table):
+    keys = [k for k, _v in PAIRS[:256]]
+
+    def replace():
+        for k in keys:
+            warm_hash_table.put(k, b"replacement")
+
+    benchmark(replace)
+
+
+def test_hash_insert_fresh_table(benchmark):
+    def build():
+        t = HashTable.create(None, bsize=256, ffactor=8, in_memory=True)
+        for k, v in PAIRS[:512]:
+            t.put(k, v)
+        t.close()
+
+    benchmark(build)
+
+
+def test_btree_get_hit(benchmark):
+    from repro.access.btree import BTree
+
+    t = BTree.create(None, bsize=1024, in_memory=True)
+    for k, v in PAIRS:
+        t.put(k, v)
+    keys = [k for k, _v in PAIRS[:256]]
+
+    def lookup():
+        for k in keys:
+            t.get(k)
+
+    benchmark(lookup)
+    t.close()
+
+
+def test_dynahash_get_hit(benchmark):
+    d = DynaHash(N)
+    for k, v in PAIRS:
+        d.put(k, v)
+    keys = [k for k, _v in PAIRS[:256]]
+
+    def lookup():
+        for k in keys:
+            d.get(k)
+
+    benchmark(lookup)
+
+
+def test_hsearch_find_hit(benchmark):
+    h = Hsearch(N * 2)
+    for k, v in PAIRS:
+        h.enter(k, v)
+    keys = [k for k, _v in PAIRS[:256]]
+
+    def lookup():
+        for k in keys:
+            h.find(k)
+
+    benchmark(lookup)
+
+
+@pytest.mark.parametrize("name", sorted(HASH_FUNCTIONS))
+def test_hash_function_throughput(benchmark, name):
+    fn = HASH_FUNCTIONS[name]
+    keys = [k for k, _v in PAIRS[:256]]
+
+    def run():
+        for k in keys:
+            fn(k)
+
+    benchmark(run)

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""A sendmail-style alias database.
+
+The paper's conclusion names mail as an application that "should be
+modified to use the generic routines" -- sendmail did exactly that: its
+``newaliases`` compiled ``/etc/aliases`` into a dbm database.  This
+example builds the alias db through the ndbm-compatible interface (so the
+code looks like 1991 sendmail) and resolves aliases transitively, with
+the new package's guarantees: unlimited alias expansions (dbm's page
+limit is gone) and cached lookups.
+
+Run: ``python examples/mail_aliases.py``
+"""
+
+import os
+import tempfile
+
+from repro.core.compat.ndbm import dbm_open
+
+ALIASES = """
+# /etc/aliases -- classic shape
+postmaster: margo
+webmaster: oz
+staff: margo, oz, keith, mike
+root: postmaster
+abuse: postmaster
+everyone: staff, guests
+guests: visitor1, visitor2
+"""
+
+
+def newaliases(aliases_text: str, db_path: str) -> int:
+    """Compile the aliases file into the database (sendmail's newaliases)."""
+    count = 0
+    with dbm_open(db_path, "n") as db:
+        for line in aliases_text.splitlines():
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            name, _colon, targets = line.partition(":")
+            db.store(name.strip().encode(), targets.strip().encode())
+            count += 1
+    return count
+
+
+def resolve(db, address: str, _depth: int = 0) -> set[str]:
+    """Expand an address transitively (sendmail's alias expansion)."""
+    if _depth > 16:
+        raise RuntimeError(f"alias loop at {address!r}")
+    targets = db.fetch(address.encode())
+    if targets is None:
+        return {address}  # a real mailbox
+    out: set[str] = set()
+    for target in targets.decode().split(","):
+        out |= resolve(db, target.strip(), _depth + 1)
+    return out
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as d:
+        path = os.path.join(d, "aliases.db")
+        n = newaliases(ALIASES, path)
+        print(f"newaliases: {n} aliases compiled into {os.path.basename(path)}")
+
+        with dbm_open(path, "r") as db:
+            for addr in ("postmaster", "root", "everyone", "oz"):
+                mailboxes = sorted(resolve(db, addr))
+                print(f"  {addr:12s} -> {', '.join(mailboxes)}")
+
+        # the enhancement over real dbm: an alias bigger than a disk block
+        big_list = ", ".join(f"user{i}" for i in range(500))
+        with dbm_open(path, "w") as db:
+            db.store(b"bigteam", big_list.encode())
+            expanded = resolve(db, "bigteam")
+            print(f"  bigteam      -> {len(expanded)} mailboxes "
+                  "(larger than any dbm page; stored fine)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Quickstart: the three faces of the hashing package.
+
+1. the dict-like convenience API (``repro.open``),
+2. the native byte-level engine (``repro.HashTable``),
+3. the ndbm- and hsearch-compatible interfaces.
+
+Run: ``python examples/quickstart.py``
+"""
+
+import os
+import tempfile
+
+import repro
+from repro.core.compat.hsearch import ENTER, FIND, HsearchCompat
+from repro.core.compat.ndbm import DBM_INSERT, dbm_open
+
+
+def dict_like_api(path: str) -> None:
+    print("== dict-like API ==")
+    db = repro.open(path, "c", bsize=1024, ffactor=32)
+    db["apple"] = "malus domestica"
+    db["banana"] = "musa acuminata"
+    db[b"cherry"] = b"prunus avium"  # bytes work too
+    print(f"  apple  -> {db['apple'].decode()}")
+    print(f"  len    -> {len(db)}")
+    del db["banana"]
+    print(f"  after del: banana present? {'banana' in db}")
+    db.close()
+
+    # reopen read-only and iterate
+    with repro.open(path, "r") as db:
+        for key in sorted(db):
+            print(f"  scan   -> {key.decode()}")
+
+
+def native_api(path: str) -> None:
+    print("== native HashTable API ==")
+    # Parameters straight from the paper: page size, fill factor, expected
+    # element count (pre-sizes the table), cache budget, hash function.
+    table = repro.HashTable.create(
+        path,
+        bsize=256,
+        ffactor=8,
+        nelem=1000,
+        cachesize=64 * 1024,
+        hashfn="default",
+    )
+    for i in range(1000):
+        table.put(f"key-{i:04d}".encode(), f"value-{i}".encode())
+    print(f"  stored {len(table)} pairs in {table.nbuckets} buckets")
+    print(f"  fill ratio {table.fill_ratio():.2f} (ffactor 8)")
+    print(f"  key-0042 -> {table.get(b'key-0042').decode()}")
+
+    # large pairs are fine: they go to overflow-page chains transparently
+    table.put(b"big", os.urandom(100_000))
+    print(f"  100KB value stored and read back: {len(table.get(b'big'))} bytes")
+
+    # sequential access, ndbm style
+    first = table.first_key()
+    print(f"  first_key -> {first!r}")
+    table.sync()
+    stats = table.io_stats
+    print(f"  page I/O so far: {stats.page_reads} reads, {stats.page_writes} writes")
+    table.close()
+
+
+def compat_apis(path: str) -> None:
+    print("== ndbm compatibility ==")
+    with dbm_open(path, "n") as db:
+        db.store(b"key", b"value")
+        db.store(b"key", b"other", DBM_INSERT)  # refused: key exists
+        print(f"  fetch  -> {db.fetch(b'key')}")
+        print(f"  firstkey -> {db.firstkey()}")
+
+    print("== hsearch compatibility ==")
+    t = HsearchCompat(nelem=100)
+    t.hsearch(b"login", b"margo", ENTER)
+    print(f"  FIND login -> {t.hsearch(b'login', None, FIND)}")
+    # unlike System V, the table grows past nelem without failing
+    for i in range(1000):
+        t.hsearch(f"extra-{i}".encode(), b"x", ENTER)
+    print(f"  grew to {t.table.nkeys} entries (nelem was 100)")
+    t.hdestroy()
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as d:
+        dict_like_api(os.path.join(d, "quick.db"))
+        native_api(os.path.join(d, "native.db"))
+        compat_apis(os.path.join(d, "compat.db"))
+    print("quickstart done.")
+
+
+if __name__ == "__main__":
+    main()

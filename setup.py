@@ -1,0 +1,5 @@
+from setuptools import setup
+
+# Offline-friendly shim: enables `pip install -e . --no-use-pep517` on hosts
+# without the `wheel` package (all metadata lives in pyproject.toml).
+setup()

@@ -1,0 +1,67 @@
+"""repro -- reproduction of "A New Hashing Package for UNIX" (Seltzer &
+Yigit, USENIX Winter 1991).
+
+The package that became Berkeley DB's hash access method: linear hashing
+with buddy-in-waiting overflow pages, an LRU buffer pool, large key/data
+support, and user-selectable hash functions -- working identically on disk
+and in memory.  The repository also contains from-scratch implementations
+of every system the paper compares against (dbm/ndbm, sdbm, gdbm, System V
+hsearch, dynahash) and a benchmark harness regenerating every figure of the
+paper's evaluation.
+
+Quickstart::
+
+    import repro
+
+    db = repro.open("example.db", "c", bsize=1024, ffactor=32)
+    db["key"] = "value"
+    print(db[b"key"])      # b'value'
+    db.close()
+
+    # Or the byte-level engine directly:
+    t = repro.HashTable.create("raw.db", nelem=10_000)
+    t.put(b"k", b"v")
+    t.close()
+"""
+
+from repro.access import DB_BTREE, DB_HASH, DB_RECNO, db_open
+from repro.core import (
+    HASH_FUNCTIONS,
+    BadFileError,
+    ClosedError,
+    HashDB,
+    HashError,
+    HashFullError,
+    HashFunctionMismatchError,
+    HashTable,
+    InvalidParameterError,
+    ReadOnlyError,
+    TableStats,
+    get_hash_function,
+    open,
+    suggest_parameters,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "HashTable",
+    "HashDB",
+    "open",
+    "db_open",
+    "DB_HASH",
+    "DB_BTREE",
+    "DB_RECNO",
+    "TableStats",
+    "suggest_parameters",
+    "HASH_FUNCTIONS",
+    "get_hash_function",
+    "HashError",
+    "BadFileError",
+    "HashFullError",
+    "HashFunctionMismatchError",
+    "InvalidParameterError",
+    "ReadOnlyError",
+    "ClosedError",
+    "__version__",
+]

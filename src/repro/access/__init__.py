@@ -1,0 +1,48 @@
+"""The generic database access package the paper's conclusion describes.
+
+"This hashing package is one access method which is part of a generic
+database access package being developed at the University of California,
+Berkeley.  It will include a btree access method as well as fixed and
+variable length record access methods in addition to the hashed support
+presented here.  All of the access methods are based on a key/data pair
+interface and appear identical to the application layer."
+
+That package shipped as 4.4BSD's db(3); this subpackage reproduces its
+shape:
+
+- :func:`db_open` -- one entry point, three access methods
+  (:data:`DB_HASH`, :data:`DB_BTREE`, :data:`DB_RECNO`);
+- a uniform get/put/delete/seq interface (:mod:`repro.access.api`) with
+  the db(3) sequence flags (:data:`R_FIRST` ... :data:`R_CURSOR`);
+- :mod:`repro.access.btree` -- a paged B+tree on the same buffer-pool
+  substrate as the hash package;
+- :mod:`repro.access.recno` -- fixed- and variable-length record files.
+"""
+
+from repro.access.api import (
+    DB_BTREE,
+    DB_HASH,
+    DB_RECNO,
+    R_CURSOR,
+    R_FIRST,
+    R_LAST,
+    R_NEXT,
+    R_NOOVERWRITE,
+    R_PREV,
+    AccessMethod,
+)
+from repro.access.db import db_open
+
+__all__ = [
+    "db_open",
+    "AccessMethod",
+    "DB_HASH",
+    "DB_BTREE",
+    "DB_RECNO",
+    "R_FIRST",
+    "R_NEXT",
+    "R_LAST",
+    "R_PREV",
+    "R_CURSOR",
+    "R_NOOVERWRITE",
+]

@@ -1,0 +1,80 @@
+"""The uniform key/data interface shared by every access method.
+
+Mirrors 4.4BSD db(3): ``get``/``put``/``delete``/``seq``/``sync``/``close``
+with the historical flag values.  Keys and data are ``bytes``; recno keys
+are 1-based record numbers encoded by the recno method itself, so "all of
+the access methods ... appear identical to the application layer".
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+# -- access-method selectors (db.h's DBTYPE) ----------------------------------
+DB_BTREE = "btree"
+DB_HASH = "hash"
+DB_RECNO = "recno"
+
+# -- seq/put flags (db.h's R_* values) -------------------------------------------
+R_CURSOR = 1  #: seq: position at (or after) a supplied key
+R_FIRST = 7  #: seq: first record
+R_LAST = 8  #: seq: last record
+R_NEXT = 9  #: seq: next record
+R_PREV = 10  #: seq: previous record
+R_NOOVERWRITE = 11  #: put: fail (return 1) if the key exists
+
+
+class AccessMethod:
+    """Abstract base: the db(3) operations every method implements."""
+
+    #: the DBTYPE string of the concrete method
+    type: str = "abstract"
+
+    def get(self, key: bytes) -> bytes | None:
+        """Data stored under ``key``, or None."""
+        raise NotImplementedError
+
+    def put(self, key: bytes, data: bytes, flags: int = 0) -> int:
+        """Store ``key -> data``.  Returns 0, or 1 when R_NOOVERWRITE found
+        an existing key."""
+        raise NotImplementedError
+
+    def delete(self, key: bytes) -> int:
+        """Remove ``key``.  Returns 0, or 1 if the key was absent."""
+        raise NotImplementedError
+
+    def seq(
+        self, flag: int, key: bytes | None = None
+    ) -> tuple[bytes, bytes] | None:
+        """Sequential access: R_FIRST/R_NEXT/R_LAST/R_PREV/R_CURSOR.
+        Returns ``(key, data)`` or None at either end."""
+        raise NotImplementedError
+
+    def sync(self) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        raise NotImplementedError
+
+    # -- conveniences shared by all methods -----------------------------------
+
+    def items(self) -> Iterator[tuple[bytes, bytes]]:
+        """Iterate in the method's native order (sorted for btree, record
+        order for recno, bucket order for hash)."""
+        rec = self.seq(R_FIRST)
+        while rec is not None:
+            yield rec
+            rec = self.seq(R_NEXT)
+
+    def keys(self) -> Iterator[bytes]:
+        for k, _d in self.items():
+            yield k
+
+    def __contains__(self, key: bytes) -> bool:
+        return self.get(key) is not None
+
+    def __enter__(self) -> "AccessMethod":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,5 @@
+"""The btree access method (paged B+tree)."""
+
+from repro.access.btree.btree import BTree
+
+__all__ = ["BTree"]

@@ -1,0 +1,646 @@
+"""The btree access method: a paged B+tree.
+
+Shares the substrate of the hash package -- a :class:`PagedFile` (or
+:class:`MemPagedFile`) under an LRU :class:`BufferPool` -- and exposes the
+db(3) interface of :class:`repro.access.api.AccessMethod`, with keys kept
+in sorted order (optionally under a user comparator, db(3)'s
+``bt_compare``).
+
+Structural notes (matching 4.4BSD's btree where the paper is silent):
+
+- leaves are doubly linked for sequential scans in both directions;
+- oversized data goes to overflow-page chains; keys must fit in a quarter
+  page (4.4BSD's bound);
+- deletion is lazy: entries are removed and overflow chains reclaimed, but
+  nodes are never merged (empty leaves stay linked and are skipped by the
+  cursor), the same policy as the historical implementation;
+- freed pages are kept on a free list inside the file and reused.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+
+from repro.access.api import (
+    DB_BTREE,
+    R_CURSOR,
+    R_FIRST,
+    R_LAST,
+    R_NEXT,
+    R_PREV,
+    R_NOOVERWRITE,
+    AccessMethod,
+)
+from repro.access.btree.nodes import (
+    NODE_HDR_SIZE,
+    SLOT_SIZE,
+    T_FREE,
+    T_INTERNAL,
+    T_LEAF,
+    T_OVERFLOW,
+    NodeView,
+)
+from repro.core.buffer import BufferPool
+from repro.core.errors import BadFileError, ClosedError, InvalidParameterError, ReadOnlyError
+from repro.storage.memfile import MemPagedFile
+from repro.storage.pagedfile import PagedFile
+
+BTREE_MAGIC = 0x42543931  # "BT91"
+BTREE_VERSION = 1
+
+_META = struct.Struct(">IIIIIIQ")
+META_PGNO = 0
+
+DEFAULT_BSIZE = 4096
+MIN_BSIZE = 512
+MAX_BSIZE = 65536
+DEFAULT_CACHESIZE = 256 * 1024
+
+
+class BTree(AccessMethod):
+    """A B+tree of byte-string pairs with sorted iteration."""
+
+    type = DB_BTREE
+
+    # ------------------------------------------------------------------ setup
+
+    def __init__(self, file, readonly: bool, cachesize: int, compare=None) -> None:
+        self._file = file
+        self.readonly = readonly
+        self._closed = False
+        self.pool = BufferPool(file, file.pagesize, cachesize, lambda pgno: pgno)
+        self.bsize = file.pagesize
+        #: db(3)'s bt_compare: optional ``(a, b) -> <0/0/>0`` key order.
+        #: Like the C library, it is not stored in the file -- reopen with
+        #: the same comparator or the tree misbehaves.
+        self._compare = compare
+        #: cursor: (leaf pgno, slot) after the last seq, or None
+        self._cursor: tuple[int, int] | None = None
+        # meta fields
+        self.root = 0
+        self.free_head = 0
+        self.npages = 0
+        self.nkeys = 0
+
+    def _ge(self, a: bytes, b: bytes) -> bool:
+        if self._compare is None:
+            return a >= b
+        return self._compare(a, b) >= 0
+
+    def _lt(self, a: bytes, b: bytes) -> bool:
+        if self._compare is None:
+            return a < b
+        return self._compare(a, b) < 0
+
+    @classmethod
+    def create(
+        cls,
+        path: str | os.PathLike | None = None,
+        *,
+        bsize: int = DEFAULT_BSIZE,
+        cachesize: int = DEFAULT_CACHESIZE,
+        in_memory: bool = False,
+        compare=None,
+    ) -> "BTree":
+        """Create a new btree (``path=None`` + ``in_memory`` for RAM).
+
+        ``compare`` is db(3)'s ``bt_compare``: a total order over keys as
+        ``(a, b) -> <0/0/>0``.  Supply the same function on every reopen.
+        """
+        if bsize < MIN_BSIZE or bsize > MAX_BSIZE or bsize & (bsize - 1):
+            raise InvalidParameterError(
+                f"bsize must be a power of two in [{MIN_BSIZE}, {MAX_BSIZE}], "
+                f"got {bsize}"
+            )
+        if in_memory:
+            file = MemPagedFile(bsize)
+        else:
+            file = PagedFile(path, bsize, create=True)
+        tree = cls(file, readonly=False, cachesize=cachesize, compare=compare)
+        tree.npages = 1  # the meta page
+        root_hdr = tree._new_page(T_LEAF)
+        tree.root = root_hdr.key
+        tree._write_meta()
+        return tree
+
+    @classmethod
+    def open_file(
+        cls,
+        path: str | os.PathLike,
+        *,
+        cachesize: int = DEFAULT_CACHESIZE,
+        readonly: bool = False,
+        compare=None,
+    ) -> "BTree":
+        probe = PagedFile(path, MIN_BSIZE, readonly=True)
+        try:
+            if probe.size_bytes() < _META.size:
+                raise BadFileError(f"{os.fspath(path)}: too small to be a btree")
+            raw = probe.read_page(0)
+        finally:
+            probe.close()
+        magic, version, bsize, _root, _free, _npages, _nkeys = _META.unpack_from(raw, 0)
+        if magic != BTREE_MAGIC:
+            raise BadFileError(f"{os.fspath(path)}: bad btree magic {magic:#x}")
+        if version != BTREE_VERSION:
+            raise BadFileError(f"unsupported btree version {version}")
+        file = PagedFile(path, bsize, readonly=readonly)
+        tree = cls(file, readonly=readonly, cachesize=cachesize, compare=compare)
+        tree._read_meta()
+        return tree
+
+    def _write_meta(self) -> None:
+        raw = _META.pack(
+            BTREE_MAGIC,
+            BTREE_VERSION,
+            self.bsize,
+            self.root,
+            self.free_head,
+            self.npages,
+            self.nkeys,
+        )
+        self._file.write_page(META_PGNO, raw)
+
+    def _read_meta(self) -> None:
+        raw = self._file.read_page(META_PGNO)
+        magic, version, bsize, root, free_head, npages, nkeys = _META.unpack_from(
+            raw, 0
+        )
+        if magic != BTREE_MAGIC or version != BTREE_VERSION:
+            raise BadFileError("corrupt btree meta page")
+        if bsize != self.bsize:
+            raise BadFileError(f"meta bsize {bsize} != file pagesize {self.bsize}")
+        self.root = root
+        self.free_head = free_head
+        self.npages = npages
+        self.nkeys = nkeys
+
+    # ---------------------------------------------------------------- paging
+
+    def _new_page(self, node_type: int):
+        """Allocate a page (free list first) and return its pinned-free
+        buffer header, initialized to ``node_type``."""
+        if self.free_head:
+            pgno = self.free_head
+            hdr = self.pool.get(pgno)
+            self.free_head = NodeView(hdr.page).next
+            view = NodeView(hdr.page)
+            view.initialize(node_type)
+            hdr.dirty = True
+            return hdr
+        pgno = self.npages
+        self.npages += 1
+        hdr = self.pool.get(pgno, create=True)
+        NodeView(hdr.page).initialize(node_type)
+        hdr.dirty = True
+        return hdr
+
+    def _free_page(self, pgno: int) -> None:
+        hdr = self.pool.get(pgno)
+        view = NodeView(hdr.page)
+        view.initialize(T_FREE)
+        view.next = self.free_head
+        hdr.dirty = True
+        self.free_head = pgno
+
+    # ----------------------------------------------------------- size limits
+
+    @property
+    def _max_key_len(self) -> int:
+        """Keys must fit four to a page (4.4BSD's constraint), so splits
+        always succeed."""
+        return (self.bsize - NODE_HDR_SIZE) // 4 - SLOT_SIZE - 8
+
+    @property
+    def _big_threshold(self) -> int:
+        """Leaf entries above a third of a page push their data to
+        overflow chains."""
+        return (self.bsize - NODE_HDR_SIZE) // 3 - SLOT_SIZE
+
+    # --------------------------------------------------------------- overflow
+
+    def _store_overflow(self, data: bytes) -> int:
+        """Write ``data`` to a chain of overflow pages; returns head pgno.
+
+        Overflow pages reuse the node header: ``next`` is the chain link,
+        ``nslots`` holds the payload byte count, payload follows the
+        header.
+        """
+        cap = self.bsize - NODE_HDR_SIZE
+        head = 0
+        prev_hdr = None
+        pos = 0
+        while pos < len(data) or head == 0:
+            hdr = self._new_page(T_OVERFLOW)
+            hdr.pin()
+            chunk = data[pos : pos + cap]
+            hdr.page[NODE_HDR_SIZE : NODE_HDR_SIZE + len(chunk)] = chunk
+            view = NodeView(hdr.page)
+            view.nslots = len(chunk)
+            hdr.dirty = True
+            pos += len(chunk)
+            if head == 0:
+                head = hdr.key
+            else:
+                NodeView(prev_hdr.page).next = hdr.key
+                prev_hdr.dirty = True
+                prev_hdr.unpin()
+            prev_hdr = hdr
+        prev_hdr.unpin()
+        return head
+
+    def _read_overflow(self, head: int, total: int) -> bytes:
+        parts = []
+        got = 0
+        pgno = head
+        while pgno and got < total:
+            hdr = self.pool.get(pgno)
+            view = NodeView(hdr.page)
+            used = view.nslots
+            parts.append(bytes(hdr.page[NODE_HDR_SIZE : NODE_HDR_SIZE + used]))
+            got += used
+            pgno = view.next
+        data = b"".join(parts)
+        if len(data) < total:
+            raise BadFileError("truncated overflow chain")
+        return data[:total]
+
+    def _free_overflow(self, head: int) -> None:
+        pgno = head
+        while pgno:
+            hdr = self.pool.get(pgno)
+            nxt = NodeView(hdr.page).next
+            self._free_page(pgno)
+            pgno = nxt
+
+    def _leaf_payload(self, view: NodeView, slot: int) -> bytes:
+        key, payload, big = view.leaf_entry(slot)
+        if not big:
+            return payload
+        head, total = NodeView.unpack_big_ref(payload)
+        return self._read_overflow(head, total)
+
+    def _release_entry_data(self, view: NodeView, slot: int) -> None:
+        """Free the overflow chain of a big leaf entry, if any."""
+        _key, payload, big = view.leaf_entry(slot)
+        if big:
+            head, _total = NodeView.unpack_big_ref(payload)
+            self._free_overflow(head)
+
+    # ----------------------------------------------------------------- search
+
+    def _descend(self, key: bytes) -> tuple[list[tuple[int, int]], int]:
+        """Walk from the root to the leaf for ``key``.
+
+        Returns ``(path, leaf_pgno)`` where path lists ``(internal pgno,
+        slot taken)`` from root downward.
+        """
+        path: list[tuple[int, int]] = []
+        pgno = self.root
+        for _depth in range(64):  # cycle guard
+            hdr = self.pool.get(pgno)
+            view = NodeView(hdr.page)
+            if view.type == T_LEAF:
+                return path, pgno
+            if view.type != T_INTERNAL:
+                raise BadFileError(f"page {pgno} has bad node type {view.type}")
+            slot = view.int_search(key, self._compare)
+            path.append((pgno, slot))
+            _k, pgno = view.int_entry(slot)
+        raise BadFileError("btree deeper than 64 levels (cycle?)")
+
+    def get(self, key: bytes) -> bytes | None:
+        self._check_open()
+        _path, leaf = self._descend(key)
+        hdr = self.pool.get(leaf)
+        view = NodeView(hdr.page)
+        slot, exact = view.leaf_search(key, self._compare)
+        if not exact:
+            return None
+        return self._leaf_payload(view, slot)
+
+    # ----------------------------------------------------------------- insert
+
+    def put(self, key: bytes, data: bytes, flags: int = 0) -> int:
+        self._check_writable()
+        if not isinstance(key, (bytes, bytearray)) or not isinstance(
+            data, (bytes, bytearray)
+        ):
+            raise TypeError("keys and values must be bytes")
+        key, data = bytes(key), bytes(data)
+        if len(key) > self._max_key_len:
+            raise InvalidParameterError(
+                f"key of {len(key)} bytes exceeds the btree key limit "
+                f"({self._max_key_len} for {self.bsize}-byte pages)"
+            )
+        path, leaf = self._descend(key)
+        hdr = self.pool.get(leaf)
+        hdr.pin()
+        try:
+            view = NodeView(hdr.page)
+            slot, exact = view.leaf_search(key, self._compare)
+            if exact:
+                if flags == R_NOOVERWRITE:
+                    return 1
+                self._release_entry_data(view, slot)
+                view.delete_slot(slot, view.leaf_entry_len(slot))
+                hdr.dirty = True
+                self.nkeys -= 1
+            # build the entry (big data goes to an overflow chain first)
+            inline_len = 4 + len(key) + len(data)
+            if inline_len > self._big_threshold:
+                head = self._store_overflow(data)
+                view = NodeView(hdr.page)
+                entry = NodeView.pack_big_leaf_entry(key, head, len(data))
+            else:
+                entry = NodeView.pack_leaf_entry(key, data)
+            slot, _exact = NodeView(hdr.page).leaf_search(key, self._compare)
+            self._insert_into_leaf(path, leaf, hdr, slot, entry, key)
+            self.nkeys += 1
+        finally:
+            hdr.unpin()
+        return 0
+
+    def _insert_into_leaf(self, path, leaf_pgno, hdr, slot, entry, key) -> None:
+        view = NodeView(hdr.page)
+        if view.fits(len(entry)):
+            view._insert_entry(slot, entry)
+            hdr.dirty = True
+            return
+        # -- split the leaf ---------------------------------------------------
+        right_hdr = self._new_page(T_LEAF)
+        right_hdr.pin()
+        try:
+            view = NodeView(hdr.page)
+            right = NodeView(right_hdr.page)
+            n = view.nslots
+            mid = n // 2
+            # move upper half to the right node
+            for i in range(mid, n):
+                k, payload, big = view.leaf_entry(i)
+                raw_off = view._slot_off(i)
+                length = view.leaf_entry_len(i)
+                right._insert_entry(
+                    right.nslots, bytes(view.buf[raw_off : raw_off + length])
+                )
+            for _ in range(n - mid):
+                view.delete_slot(mid, view.leaf_entry_len(mid))
+            # leaf links
+            right.next = view.next
+            right.prev = hdr.key
+            if view.next:
+                nxt_hdr = self.pool.get(view.next)
+                NodeView(nxt_hdr.page).prev = right_hdr.key
+                nxt_hdr.dirty = True
+                view = NodeView(hdr.page)
+                right = NodeView(right_hdr.page)
+            view.next = right_hdr.key
+            hdr.dirty = True
+            right_hdr.dirty = True
+            separator = right.leaf_key(0)
+            # place the new entry
+            target_hdr = right_hdr if self._ge(key, separator) else hdr
+            tview = NodeView(target_hdr.page)
+            tslot, _exact = tview.leaf_search(key, self._compare)
+            tview._insert_entry(tslot, entry)
+            target_hdr.dirty = True
+            self._insert_into_parent(path, hdr.key, separator, right_hdr.key)
+        finally:
+            right_hdr.unpin()
+
+    def _insert_into_parent(self, path, left_pgno, separator, right_pgno) -> None:
+        entry = NodeView.pack_int_entry(separator, right_pgno)
+        if not path:
+            # root split: make a new root
+            new_root = self._new_page(T_INTERNAL)
+            view = NodeView(new_root.page)
+            view._insert_entry(0, NodeView.pack_int_entry(b"", left_pgno))
+            view._insert_entry(1, entry)
+            new_root.dirty = True
+            self.root = new_root.key
+            return
+        parent_pgno, slot = path[-1]
+        hdr = self.pool.get(parent_pgno)
+        hdr.pin()
+        try:
+            view = NodeView(hdr.page)
+            if view.fits(len(entry)):
+                view._insert_entry(slot + 1, entry)
+                hdr.dirty = True
+                return
+            # -- split the internal node ----------------------------------------
+            right_hdr = self._new_page(T_INTERNAL)
+            right_hdr.pin()
+            try:
+                view = NodeView(hdr.page)
+                right = NodeView(right_hdr.page)
+                n = view.nslots
+                mid = n // 2
+                # the key at `mid` moves UP as the parent separator; its
+                # child becomes the right node's minus-infinity entry
+                up_key, mid_child = view.int_entry(mid)
+                right._insert_entry(0, NodeView.pack_int_entry(b"", mid_child))
+                for i in range(mid + 1, n):
+                    k, child = view.int_entry(i)
+                    right._insert_entry(
+                        right.nslots, NodeView.pack_int_entry(k, child)
+                    )
+                for _ in range(n - mid):
+                    view.delete_slot(mid, view.int_entry_len(mid))
+                hdr.dirty = True
+                right_hdr.dirty = True
+                # now place the pending entry in the correct half
+                if self._ge(separator, up_key):
+                    tview = NodeView(right_hdr.page)
+                    tslot = tview.int_search(separator, self._compare)
+                    tview._insert_entry(
+                        tslot + 1, NodeView.pack_int_entry(separator, right_pgno)
+                    )
+                    right_hdr.dirty = True
+                else:
+                    tview = NodeView(hdr.page)
+                    tslot = tview.int_search(separator, self._compare)
+                    tview._insert_entry(
+                        tslot + 1, NodeView.pack_int_entry(separator, right_pgno)
+                    )
+                    hdr.dirty = True
+                self._insert_into_parent(
+                    path[:-1], parent_pgno, up_key, right_hdr.key
+                )
+            finally:
+                right_hdr.unpin()
+        finally:
+            hdr.unpin()
+
+    # ----------------------------------------------------------------- delete
+
+    def delete(self, key: bytes) -> int:
+        self._check_writable()
+        _path, leaf = self._descend(key)
+        hdr = self.pool.get(leaf)
+        view = NodeView(hdr.page)
+        slot, exact = view.leaf_search(key, self._compare)
+        if not exact:
+            return 1
+        hdr.pin()
+        try:
+            self._release_entry_data(view, slot)
+            view = NodeView(hdr.page)
+            view.delete_slot(slot, view.leaf_entry_len(slot))
+            hdr.dirty = True
+            self.nkeys -= 1
+        finally:
+            hdr.unpin()
+        # lazy deletion: empty leaves stay linked (4.4BSD policy)
+        self._cursor = None
+        return 0
+
+    # -------------------------------------------------------------- sequencing
+
+    def _leftmost_leaf(self) -> int:
+        pgno = self.root
+        for _ in range(64):
+            hdr = self.pool.get(pgno)
+            view = NodeView(hdr.page)
+            if view.type == T_LEAF:
+                return pgno
+            _k, pgno = view.int_entry(0)
+        raise BadFileError("btree deeper than 64 levels")
+
+    def _rightmost_leaf(self) -> int:
+        pgno = self.root
+        for _ in range(64):
+            hdr = self.pool.get(pgno)
+            view = NodeView(hdr.page)
+            if view.type == T_LEAF:
+                return pgno
+            _k, pgno = view.int_entry(view.nslots - 1)
+        raise BadFileError("btree deeper than 64 levels")
+
+    def _seq_return(self, pgno: int, slot: int):
+        hdr = self.pool.get(pgno)
+        view = NodeView(hdr.page)
+        key = view.leaf_key(slot)
+        data = self._leaf_payload(view, slot)
+        self._cursor = (pgno, slot)
+        return key, data
+
+    def _advance(self, pgno: int, slot: int):
+        """First entry at or after (pgno, slot), skipping empty leaves."""
+        for _ in range(1 << 30):
+            hdr = self.pool.get(pgno)
+            view = NodeView(hdr.page)
+            if slot < view.nslots:
+                return self._seq_return(pgno, slot)
+            if not view.next:
+                return None
+            pgno, slot = view.next, 0
+        return None  # pragma: no cover
+
+    def _retreat(self, pgno: int, slot: int):
+        """Last entry at or before (pgno, slot), skipping empty leaves."""
+        for _ in range(1 << 30):
+            hdr = self.pool.get(pgno)
+            view = NodeView(hdr.page)
+            if view.nslots:
+                if slot >= view.nslots:
+                    slot = view.nslots - 1
+                if slot >= 0:
+                    return self._seq_return(pgno, slot)
+            if not view.prev:
+                return None
+            prev_hdr = self.pool.get(view.prev)
+            pgno, slot = view.prev, NodeView(prev_hdr.page).nslots - 1
+        return None  # pragma: no cover
+
+    def seq(self, flag: int, key: bytes | None = None):
+        self._check_open()
+        if flag == R_FIRST:
+            return self._advance(self._leftmost_leaf(), 0)
+        if flag == R_LAST:
+            leaf = self._rightmost_leaf()
+            hdr = self.pool.get(leaf)
+            return self._retreat(leaf, NodeView(hdr.page).nslots - 1)
+        if flag == R_CURSOR:
+            if key is None:
+                raise ValueError("R_CURSOR requires a key")
+            _path, leaf = self._descend(key)
+            hdr = self.pool.get(leaf)
+            view = NodeView(hdr.page)
+            slot, _exact = view.leaf_search(key, self._compare)
+            return self._advance(leaf, slot)
+        if flag in (R_NEXT, R_PREV):
+            if self._cursor is None:
+                return self.seq(R_FIRST if flag == R_NEXT else R_LAST)
+            pgno, slot = self._cursor
+            if flag == R_NEXT:
+                return self._advance(pgno, slot + 1)
+            return self._retreat(pgno, slot - 1)
+        raise ValueError(f"bad seq flag {flag}")
+
+    # -------------------------------------------------------------- maintenance
+
+    def sync(self) -> None:
+        self._check_open()
+        self.pool.flush()
+        self._write_meta()
+        self._file.sync()
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        if not self.readonly:
+            self.pool.drop_all()
+            self._write_meta()
+        self._closed = True
+        self._file.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def __len__(self) -> int:
+        return self.nkeys
+
+    @property
+    def io_stats(self):
+        return self._file.stats
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ClosedError("operation on closed BTree")
+
+    def _check_writable(self) -> None:
+        self._check_open()
+        if self.readonly:
+            raise ReadOnlyError("btree is read-only")
+
+    # -------------------------------------------------------------- inspection
+
+    def check_invariants(self) -> None:
+        """Structural verification: sorted leaves, consistent links, key
+        count, and separator correctness (used by the test suite)."""
+        count = 0
+        prev_key: bytes | None = None
+        pgno = self._leftmost_leaf()
+        seen = set()
+        expected_prev = 0
+        while pgno:
+            assert pgno not in seen, f"leaf cycle at page {pgno}"
+            seen.add(pgno)
+            hdr = self.pool.get(pgno)
+            view = NodeView(hdr.page)
+            assert view.type == T_LEAF
+            assert view.prev == expected_prev, (
+                f"leaf {pgno} prev={view.prev} expected {expected_prev}"
+            )
+            for i in range(view.nslots):
+                k = view.leaf_key(i)
+                if prev_key is not None:
+                    assert self._lt(prev_key, k), f"unsorted keys {prev_key!r} !< {k!r}"
+                prev_key = k
+                count += 1
+            expected_prev = pgno
+            pgno = view.next
+        assert count == self.nkeys, f"scan found {count}, meta says {self.nkeys}"

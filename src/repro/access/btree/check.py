@@ -1,0 +1,169 @@
+"""Structural verification of btree files (fsck for the btree method).
+
+Checks, beyond :meth:`BTree.check_invariants`' leaf-level walk:
+
+- tree shape: every root-to-leaf path has the same depth; internal
+  separators bound their subtrees; child pointers are in range;
+- page accounting: every page ``1..npages-1`` is reachable exactly once
+  as a node, an overflow-chain member, or a free-list member (orphans and
+  double-uses are errors);
+- big-data references: chains exist, are acyclic and cover the recorded
+  length;
+- the meta key count matches a full scan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.access.btree.btree import BTree
+from repro.access.btree.nodes import (
+    T_FREE,
+    T_INTERNAL,
+    T_LEAF,
+    T_OVERFLOW,
+    NodeView,
+)
+
+
+@dataclass
+class BtreeReport:
+    errors: list[str] = field(default_factory=list)
+    warnings: list[str] = field(default_factory=list)
+    stats: dict = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    def error(self, msg: str) -> None:
+        self.errors.append(msg)
+
+    def warn(self, msg: str) -> None:
+        self.warnings.append(msg)
+
+    def render(self) -> str:
+        lines = [f"ERROR: {e}" for e in self.errors]
+        lines += [f"WARN:  {w}" for w in self.warnings]
+        lines += [f"{k}: {v}" for k, v in sorted(self.stats.items())]
+        lines.append("clean" if self.ok else f"{len(self.errors)} error(s)")
+        return "\n".join(lines)
+
+
+def verify_btree(tree: BTree) -> BtreeReport:
+    """Verify an open btree (read-only walk)."""
+    report = BtreeReport()
+    claimed: dict[int, str] = {}  # pgno -> role
+    counts = {"leaves": 0, "internals": 0, "overflow": 0, "free": 0, "nkeys": 0}
+
+    def claim(pgno: int, role: str) -> bool:
+        if pgno <= 0 or pgno >= tree.npages:
+            report.error(f"{role}: page {pgno} out of range (npages={tree.npages})")
+            return False
+        if pgno in claimed:
+            report.error(
+                f"page {pgno} claimed as {role} but already {claimed[pgno]}"
+            )
+            return False
+        claimed[pgno] = role
+        return True
+
+    def walk_overflow(head: int, total: int, where: str) -> None:
+        got = 0
+        pgno = head
+        while pgno and got < total:
+            if not claim(pgno, f"overflow of {where}"):
+                return
+            view = NodeView(tree.pool.get(pgno).page)
+            if view.type != T_OVERFLOW:
+                report.error(f"{where}: page {pgno} not an overflow page")
+                return
+            got += view.nslots
+            pgno = view.next
+            counts["overflow"] += 1
+        if got < total:
+            report.error(f"{where}: overflow chain short ({got}/{total} bytes)")
+
+    def walk(pgno: int, depth: int, lo: bytes | None, hi: bytes | None) -> int:
+        """Returns the leaf depth of the subtree; -1 on error."""
+        if not claim(pgno, "node"):
+            return -1
+        view = NodeView(tree.pool.get(pgno).page)
+        if view.type == T_LEAF:
+            counts["leaves"] += 1
+            prev = None
+            for i in range(view.nslots):
+                key, payload, big = view.leaf_entry(i)
+                if prev is not None and not tree._lt(prev, key):
+                    report.error(f"leaf {pgno}: keys out of order at slot {i}")
+                prev = key
+                if lo is not None and tree._lt(key, lo):
+                    report.error(f"leaf {pgno}: key below subtree bound")
+                if hi is not None and not tree._lt(key, hi):
+                    report.error(f"leaf {pgno}: key above subtree bound")
+                if big:
+                    head, total = NodeView.unpack_big_ref(payload)
+                    walk_overflow(head, total, f"leaf {pgno} slot {i}")
+                counts["nkeys"] += 1
+            return depth
+        if view.type == T_INTERNAL:
+            counts["internals"] += 1
+            if view.nslots < 1:
+                report.error(f"internal {pgno}: no entries")
+                return -1
+            if view.int_key(0) != b"":
+                report.error(f"internal {pgno}: slot 0 key not minus-infinity")
+            depths = set()
+            for i in range(view.nslots):
+                key, child = view.int_entry(i)
+                child_lo = lo if i == 0 else key
+                child_hi = (
+                    hi if i == view.nslots - 1 else view.int_key(i + 1)
+                )
+                d = walk(child, depth + 1, child_lo, child_hi)
+                if d >= 0:
+                    depths.add(d)
+            if len(depths) > 1:
+                report.error(f"internal {pgno}: uneven leaf depths {depths}")
+            return depths.pop() if depths else -1
+        report.error(f"page {pgno}: unexpected node type {view.type} in tree")
+        return -1
+
+    walk(tree.root, 0, None, None)
+
+    # free list
+    pgno = tree.free_head
+    hops = 0
+    while pgno:
+        if not claim(pgno, "free list"):
+            break
+        view = NodeView(tree.pool.get(pgno).page)
+        if view.type != T_FREE:
+            report.error(f"free list: page {pgno} has type {view.type}")
+            break
+        counts["free"] += 1
+        pgno = view.next
+        hops += 1
+        if hops > tree.npages:
+            report.error("free list longer than the file (cycle)")
+            break
+
+    # orphan accounting
+    orphans = [p for p in range(1, tree.npages) if p not in claimed]
+    if orphans:
+        report.warn(f"{len(orphans)} orphan page(s): {orphans[:10]}")
+
+    if counts["nkeys"] != tree.nkeys:
+        report.error(f"meta nkeys {tree.nkeys} but scan found {counts['nkeys']}")
+
+    report.stats.update(counts)
+    report.stats["npages"] = tree.npages
+    return report
+
+
+def verify_btree_file(path, **open_kwargs) -> BtreeReport:
+    tree = BTree.open_file(path, readonly=True, **open_kwargs)
+    try:
+        return verify_btree(tree)
+    finally:
+        tree.close()

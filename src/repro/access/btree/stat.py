@@ -1,0 +1,94 @@
+"""Btree statistics (the btree half of ``repro.tools stat``)."""
+
+from __future__ import annotations
+
+from repro.access.btree.btree import BTree
+from repro.access.btree.nodes import (
+    NODE_HDR_SIZE,
+    T_INTERNAL,
+    T_LEAF,
+    NodeView,
+)
+
+
+def collect_btree_stats(tree: BTree) -> dict:
+    """Gather shape and utilization figures from an open btree."""
+    level_counts: list[int] = []
+    leaf_used = 0
+    leaf_pages = 0
+    internal_used = 0
+    internal_pages = 0
+    big_items = 0
+
+    def walk(pgno: int, depth: int) -> None:
+        nonlocal leaf_used, leaf_pages, internal_used, internal_pages, big_items
+        while len(level_counts) <= depth:
+            level_counts.append(0)
+        level_counts[depth] += 1
+        view = NodeView(tree.pool.get(pgno).page)
+        used = tree.bsize - NODE_HDR_SIZE - view.free_space
+        if view.type == T_LEAF:
+            leaf_pages += 1
+            leaf_used += used
+            for i in range(view.nslots):
+                if view.leaf_entry(i)[2]:
+                    big_items += 1
+            return
+        if view.type == T_INTERNAL:
+            internal_pages += 1
+            internal_used += used
+            for i in range(view.nslots):
+                _k, child = view.int_entry(i)
+                walk(child, depth + 1)
+
+    walk(tree.root, 0)
+
+    # free-list length
+    free = 0
+    pgno = tree.free_head
+    while pgno and free <= tree.npages:
+        free += 1
+        pgno = NodeView(tree.pool.get(pgno).page).next
+
+    return {
+        "path": getattr(tree._file, "path", None),
+        "bsize": tree.bsize,
+        "nkeys": tree.nkeys,
+        "npages": tree.npages,
+        "depth": len(level_counts),
+        "level_counts": level_counts,
+        "leaf_pages": leaf_pages,
+        "internal_pages": internal_pages,
+        "free_pages": free,
+        "big_items": big_items,
+        "leaf_utilization": round(leaf_used / (leaf_pages * (tree.bsize - NODE_HDR_SIZE)), 3)
+        if leaf_pages
+        else 0.0,
+        "internal_utilization": round(
+            internal_used / (internal_pages * (tree.bsize - NODE_HDR_SIZE)), 3
+        )
+        if internal_pages
+        else 0.0,
+    }
+
+
+def format_btree_stats(tree: BTree) -> str:
+    stats = collect_btree_stats(tree)
+    lines = [f"btree statistics for {stats['path'] or '<memory>'}"]
+    for key in (
+        "bsize",
+        "nkeys",
+        "npages",
+        "depth",
+        "leaf_pages",
+        "internal_pages",
+        "free_pages",
+        "big_items",
+        "leaf_utilization",
+        "internal_utilization",
+    ):
+        lines.append(f"  {key:<22} {stats[key]}")
+    lines.append("  nodes per level (root first):")
+    for depth, count in enumerate(stats["level_counts"]):
+        lines.append(f"    {depth:>3}: {count}")
+    return "\n".join(lines)

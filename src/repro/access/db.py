@@ -1,0 +1,48 @@
+"""``db_open``: the single entry point of the access package.
+
+Mirrors 4.4BSD's ``dbopen(3)``: one call, a DBTYPE, and back comes an
+object with the uniform get/put/delete/seq interface, "allowing application
+implementations to be largely independent of the database type".
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.access.api import DB_BTREE, DB_HASH, DB_RECNO, AccessMethod
+from repro.access.btree.btree import BTree
+from repro.access.hash_adapter import HashAccess
+from repro.access.recno.recno import Recno
+from repro.core.errors import InvalidParameterError
+
+
+def db_open(
+    path: str | os.PathLike | None,
+    type: str = DB_HASH,  # noqa: A002 - dbopen's parameter name
+    flag: str = "c",
+    **params,
+) -> AccessMethod:
+    """Open or create a database of the given access method.
+
+    ``flag`` follows the dbm-style letters: ``'r'`` read-only, ``'w'``
+    read-write existing, ``'c'`` create if missing, ``'n'`` always create.
+    ``params`` are forwarded to the method (hash: bsize/ffactor/nelem/
+    cachesize/hashfn; btree: bsize/cachesize; recno: reclen/bpad/bsize/
+    cachesize).  ``path=None`` creates an in-memory database.
+    """
+    if flag not in ("r", "w", "c", "n"):
+        raise InvalidParameterError(f"flag must be 'r', 'w', 'c' or 'n', got {flag!r}")
+    try:
+        cls = {DB_HASH: HashAccess, DB_BTREE: BTree, DB_RECNO: Recno}[type]
+    except KeyError:
+        raise InvalidParameterError(
+            f"unknown access method {type!r}; choose from "
+            f"{DB_HASH!r}, {DB_BTREE!r}, {DB_RECNO!r}"
+        ) from None
+    if path is None:
+        return cls.create(None, in_memory=True, **params)
+    path = os.fspath(path)
+    exists = os.path.exists(path)
+    if flag == "n" or (flag == "c" and not exists):
+        return cls.create(path, **params)
+    return cls.open_file(path, readonly=(flag == "r"), **params)

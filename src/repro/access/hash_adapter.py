@@ -1,0 +1,81 @@
+"""The hash access method behind the uniform db(3) interface.
+
+Wraps :class:`repro.core.table.HashTable` (the paper's package) so "all of
+the access methods ... appear identical to the application layer".  As in
+4.4BSD, the hash method's sequential scan is forward-only and unordered:
+``R_PREV``, ``R_LAST`` and ``R_CURSOR`` raise, exactly as db(3)'s hash
+returned an error for them.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.access.api import (
+    DB_HASH,
+    R_FIRST,
+    R_NEXT,
+    R_NOOVERWRITE,
+    AccessMethod,
+)
+from repro.core.table import HashTable
+
+
+class HashAccess(AccessMethod):
+    """db(3) veneer over the paper's hash package."""
+
+    type = DB_HASH
+
+    def __init__(self, table: HashTable) -> None:
+        self.table = table
+
+    @classmethod
+    def create(
+        cls, path: str | os.PathLike | None = None, *, in_memory: bool = False, **kwargs
+    ) -> "HashAccess":
+        return cls(HashTable.create(path, in_memory=in_memory, **kwargs))
+
+    @classmethod
+    def open_file(cls, path: str | os.PathLike, **kwargs) -> "HashAccess":
+        return cls(HashTable.open_file(path, **kwargs))
+
+    def get(self, key: bytes) -> bytes | None:
+        return self.table.get(key)
+
+    def put(self, key: bytes, data: bytes, flags: int = 0) -> int:
+        stored = self.table.put(key, data, replace=(flags != R_NOOVERWRITE))
+        return 0 if stored else 1
+
+    def delete(self, key: bytes) -> int:
+        return 0 if self.table.delete(key) else 1
+
+    def seq(self, flag: int, key: bytes | None = None):
+        if flag == R_FIRST:
+            k = self.table.first_key()
+        elif flag == R_NEXT:
+            k = self.table.next_key()
+        else:
+            raise ValueError(
+                "the hash access method supports only R_FIRST/R_NEXT "
+                "(4.4BSD hash had no ordered or backward scans)"
+            )
+        if k is None:
+            return None
+        return k, self.table.get(k)
+
+    def sync(self) -> None:
+        self.table.sync()
+
+    def close(self) -> None:
+        self.table.close()
+
+    @property
+    def closed(self) -> bool:
+        return self.table.closed
+
+    def __len__(self) -> int:
+        return len(self.table)
+
+    @property
+    def io_stats(self):
+        return self.table.io_stats

@@ -1,0 +1,5 @@
+"""The recno access method (fixed/variable-length records)."""
+
+from repro.access.recno.recno import Recno
+
+__all__ = ["Recno"]

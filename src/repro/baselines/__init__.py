@@ -1,0 +1,25 @@
+"""From-scratch implementations of every hashing scheme the paper discusses.
+
+These are the comparison points of the evaluation, implemented faithfully to
+their historical designs (including their shortcomings -- dbm's oversize
+failures, hsearch's fixed size -- because those shortcomings are what the
+paper's new package fixes):
+
+- :mod:`repro.baselines.dbm` -- Ken Thompson's dbm and the ndbm interface.
+- :mod:`repro.baselines.sdbm` -- Ozan Yigit's sdbm (Larson 1978 dynamic
+  hashing over a linearized radix trie).
+- :mod:`repro.baselines.gdbm` -- GNU gdbm (Fagin et al. extendible hashing
+  with a doubling directory).
+- :mod:`repro.baselines.hsearch` -- System V hsearch with the DIV, BRENT,
+  CHAINED, SORTUP and SORTDOWN compile-time options.
+- :mod:`repro.baselines.dynahash` -- Esmond Pitt's dynahash (Larson 1988
+  in-memory linear hashing).
+"""
+
+from repro.baselines.dbm.ndbm import Ndbm
+from repro.baselines.dynahash.dynahash import DynaHash
+from repro.baselines.gdbm.gdbm import Gdbm
+from repro.baselines.hsearch.hsearch import Hsearch, TableFullError
+from repro.baselines.sdbm.sdbm import Sdbm
+
+__all__ = ["Ndbm", "Sdbm", "Gdbm", "Hsearch", "TableFullError", "DynaHash"]

@@ -1,0 +1,6 @@
+"""dbm/ndbm baseline (Ken Thompson's algorithm)."""
+
+from repro.baselines.dbm.dbmfile import DbmError, DbmFile
+from repro.baselines.dbm.ndbm import DBM_INSERT, DBM_REPLACE, Ndbm
+
+__all__ = ["DbmFile", "DbmError", "Ndbm", "DBM_INSERT", "DBM_REPLACE"]

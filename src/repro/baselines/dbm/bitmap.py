@@ -1,0 +1,97 @@
+"""Growable sparse bit array persisted to a .dir file.
+
+Both dbm and sdbm record their split history in a bitmap kept in a ``.dir``
+file beside the ``.pag`` data file; dbm indexes it by bucket-prefix + mask
+and sdbm by linearized-radix-trie node number, but the storage is the same:
+an array of bits.
+
+Historical dbm kept the ``.dir`` file *sparse* -- bit indices range up to
+2**32 when deep splits occur, and only the set bits matter.  This
+implementation is sparse too (chunked), so pathological splits (all keys
+hashing identically) cost memory proportional to the number of set bits,
+exactly like the original's disk usage.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+
+_MAGIC = 0x44424D32  # "DBM2"
+_HDR = struct.Struct(">IQII")  # magic, maxbuck, block_size, nchunks
+_CHUNK_HDR = struct.Struct(">Q")  # chunk index
+
+#: bytes per sparse chunk
+CHUNK_BYTES = 512
+
+
+class DirBitmap:
+    """A sparse bit array with a small persistent header (magic, maxbuck,
+    and the database's block size -- compile-time constants in the C
+    libraries, so recorded here for safe reopening)."""
+
+    def __init__(self) -> None:
+        #: chunk index -> bytearray(CHUNK_BYTES)
+        self._chunks: dict[int, bytearray] = {}
+        #: highest bucket number ever created (for sequential scans).
+        self.maxbuck = 0
+        #: block size of the companion .pag file (0 = unrecorded).
+        self.block_size = 0
+
+    def _locate(self, bit: int) -> tuple[int, int, int]:
+        byte, shift = divmod(bit, 8)
+        chunk, off = divmod(byte, CHUNK_BYTES)
+        return chunk, off, 1 << shift
+
+    def is_set(self, bit: int) -> bool:
+        chunk, off, mask = self._locate(bit)
+        data = self._chunks.get(chunk)
+        return bool(data and data[off] & mask)
+
+    def set(self, bit: int) -> None:
+        chunk, off, mask = self._locate(bit)
+        data = self._chunks.get(chunk)
+        if data is None:
+            data = bytearray(CHUNK_BYTES)
+            self._chunks[chunk] = data
+        data[off] |= mask
+
+    def clear(self, bit: int) -> None:
+        chunk, off, mask = self._locate(bit)
+        data = self._chunks.get(chunk)
+        if data is not None:
+            data[off] &= ~mask & 0xFF
+
+    def count_set(self) -> int:
+        return sum(bin(b).count("1") for data in self._chunks.values() for b in data)
+
+    # -- persistence --------------------------------------------------------
+
+    def save(self, path: str | os.PathLike) -> None:
+        with open(path, "wb") as fh:
+            fh.write(
+                _HDR.pack(_MAGIC, self.maxbuck, self.block_size, len(self._chunks))
+            )
+            for index in sorted(self._chunks):
+                fh.write(_CHUNK_HDR.pack(index))
+                fh.write(bytes(self._chunks[index]))
+
+    @classmethod
+    def load(cls, path: str | os.PathLike) -> "DirBitmap":
+        bm = cls()
+        with open(path, "rb") as fh:
+            raw = fh.read()
+        if len(raw) < _HDR.size:
+            return bm  # fresh/empty .dir file
+        magic, maxbuck, block_size, nchunks = _HDR.unpack_from(raw, 0)
+        if magic != _MAGIC:
+            raise ValueError(f"{os.fspath(path)}: not a dbm .dir file")
+        bm.maxbuck = maxbuck
+        bm.block_size = block_size
+        pos = _HDR.size
+        for _ in range(nchunks):
+            (index,) = _CHUNK_HDR.unpack_from(raw, pos)
+            pos += _CHUNK_HDR.size
+            bm._chunks[index] = bytearray(raw[pos : pos + CHUNK_BYTES])
+            pos += CHUNK_BYTES
+        return bm

@@ -1,0 +1,279 @@
+"""Ken Thompson's dbm algorithm.
+
+"The basic structure of dbm calls for fixed-sized disk blocks (buckets) and
+an access function that maps a key to a bucket ... a bit-randomizing hash
+function is used to convert a key into a 32-bit hash value ... An in-memory
+bitmap is used to determine how many bits are required" -- the access
+function from the paper:
+
+.. code-block:: c
+
+    hash = calchash(key);
+    mask = 0;
+    while (isbitset((hash & mask) + mask))
+        mask = (mask << 1) + 1;
+    bucket = hash & mask;
+
+The shortcomings are reproduced deliberately, because they are the
+comparison points of the evaluation:
+
+- a single one-block cache (the C library's ``pagbuf``): nearly every
+  access to a different bucket is a real page read;
+- a pair whose key+data exceed the block size cannot be stored
+  (:class:`DbmError`);
+- colliding keys whose combined size exceeds a block make the table
+  unsplittable (:class:`DbmError` after 32 futile splits);
+- the ``.pag`` file is sparse (buckets are addressed directly by hash
+  bits).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Iterator
+
+from repro.baselines.dbm.bitmap import DirBitmap
+from repro.core.hashfuncs import thompson_hash
+from repro.core.pages import PageFullError, PageView, empty_page, pair_bytes_needed
+from repro.core.constants import PAGE_HDR_SIZE
+from repro.storage.pagedfile import PagedFile
+
+#: dbm's historical block size (PBLKSIZ).
+DEFAULT_BLOCK_SIZE = 1024
+
+#: Maximum split depth: 32 hash bits.
+MAX_SPLIT_DEPTH = 32
+
+
+class DbmError(Exception):
+    """A dbm failure the original library also produced."""
+
+
+class DbmFile:
+    """One dbm database: ``<name>.pag`` (data blocks) + ``<name>.dir``
+    (split bitmap)."""
+
+    def __init__(
+        self,
+        name: str | os.PathLike,
+        flags: str = "c",
+        *,
+        block_size: int = DEFAULT_BLOCK_SIZE,
+        hashfn: Callable[[bytes], int] | None = None,
+        file_wrapper=None,
+    ) -> None:
+        if flags not in ("r", "w", "c", "n"):
+            raise ValueError(f"flags must be 'r', 'w', 'c' or 'n', got {flags!r}")
+        base = os.fspath(name)
+        self.pag_path = base + ".pag"
+        self.dir_path = base + ".dir"
+        self.readonly = flags == "r"
+        self._hash = hashfn or thompson_hash
+        exists = os.path.exists(self.pag_path)
+        create = flags == "n" or (flags == "c" and not exists)
+        if create or not os.path.exists(self.dir_path):
+            self.bitmap = DirBitmap()
+            self.bitmap.block_size = block_size
+        else:
+            self.bitmap = DirBitmap.load(self.dir_path)
+        # The block size is a property of the existing database (a
+        # compile-time constant in the C library); the stored value wins.
+        self.block_size = self.bitmap.block_size or block_size
+        self.pag = PagedFile(self.pag_path, self.block_size, create=create,
+                             readonly=self.readonly)
+        if file_wrapper is not None:
+            # e.g. repro.storage.simdisk.SimulatedDisk for modelled I/O time
+            self.pag = file_wrapper(self.pag)
+        self._closed = False
+        # The single-block cache (the C library's pagbuf/pagbno).
+        self._cached_blkno: int | None = None
+        self._cached_page: bytearray | None = None
+        self._cached_dirty = False
+
+    # -- block cache -----------------------------------------------------------
+
+    def _read_block(self, blkno: int) -> bytearray:
+        if blkno == self._cached_blkno:
+            return self._cached_page
+        self._flush_block()
+        raw = self.pag.read_page(blkno)
+        page = bytearray(raw)
+        view = PageView(page)
+        if view.looks_uninitialized():
+            view.initialize()
+        self._cached_blkno = blkno
+        self._cached_page = page
+        self._cached_dirty = False
+        return page
+
+    def _flush_block(self) -> None:
+        if self._cached_dirty and self._cached_blkno is not None:
+            self.pag.write_page(self._cached_blkno, bytes(self._cached_page))
+            self._cached_dirty = False
+
+    def _write_block(self, blkno: int, page: bytearray) -> None:
+        """Install ``page`` as the cached content of ``blkno`` and mark it
+        dirty (blocks other than the cached one are written through)."""
+        if blkno == self._cached_blkno:
+            self._cached_page = page
+            self._cached_dirty = True
+        else:
+            self.pag.write_page(blkno, bytes(page))
+
+    # -- the access function -------------------------------------------------------
+
+    def _access(self, h: int) -> tuple[int, int]:
+        """Thompson's bitmap walk: returns ``(bucket, mask)``."""
+        mask = 0
+        while self.bitmap.is_set((h & mask) + mask):
+            mask = (mask << 1) + 1
+        return h & mask, mask
+
+    def _calc_bucket(self, key: bytes) -> tuple[int, int, int]:
+        h = self._hash(key)
+        bucket, mask = self._access(h)
+        return h, bucket, mask
+
+    # -- operations ------------------------------------------------------------------
+
+    def fetch(self, key: bytes) -> bytes | None:
+        self._check_open()
+        _h, bucket, _mask = self._calc_bucket(key)
+        view = PageView(self._read_block(bucket))
+        i = view.find_inline(key)
+        if i < 0:
+            return None
+        return view.get_pair(i)[1]
+
+    def store(self, key: bytes, data: bytes, *, replace: bool = True) -> bool:
+        """Insert/replace; splits the target bucket as needed.
+
+        Raises :class:`DbmError` for the algorithm's inherent failures
+        (oversized pair, unsplittable collisions).
+        """
+        self._check_writable()
+        if pair_bytes_needed(len(key), len(data)) + PAGE_HDR_SIZE > self.block_size:
+            raise DbmError(
+                f"dbm: key+data of {len(key) + len(data)} bytes exceed the "
+                f"{self.block_size}-byte block size"
+            )
+        h = self._hash(key)
+        for _attempt in range(MAX_SPLIT_DEPTH + 1):
+            bucket, mask = self._access(h)
+            page = self._read_block(bucket)
+            view = PageView(page)
+            i = view.find_inline(key)
+            if i >= 0:
+                if not replace:
+                    return False
+                view.delete_slot(i)
+            try:
+                view.add_pair(key, data)
+            except PageFullError:
+                self._split(bucket, mask)
+                continue
+            self._cached_dirty = True
+            if bucket > self.bitmap.maxbuck:
+                self.bitmap.maxbuck = bucket
+            return True
+        raise DbmError(
+            "dbm: cannot store -- colliding keys exceed block size "
+            "(split depth exhausted)"
+        )
+
+    def _split(self, bucket: int, mask: int) -> None:
+        """Split ``bucket`` at level ``mask``: set its bitmap bit and
+        redistribute its pairs on the next hash bit."""
+        if mask == 0xFFFFFFFF:
+            raise DbmError("dbm: cannot split past 32 hash bits")
+        self.bitmap.set(bucket + mask)
+        new_bit = mask + 1  # 2**n, the next hash bit to reveal
+        buddy = bucket + new_bit
+        old_page = self._read_block(bucket)
+        view = PageView(old_page)
+        stay = empty_page(self.block_size)
+        move = empty_page(self.block_size)
+        stay_view = PageView(stay)
+        move_view = PageView(move)
+        for i in range(view.nslots):
+            k, d = view.get_pair(i)
+            dest = move_view if self._hash(k) & new_bit else stay_view
+            dest.add_pair(k, d)
+        # Install the stay page as the (cached) old bucket, write the buddy.
+        self._cached_page = stay
+        self._cached_dirty = True
+        self.pag.write_page(buddy, bytes(move))
+        if buddy > self.bitmap.maxbuck:
+            self.bitmap.maxbuck = buddy
+
+    def delete(self, key: bytes) -> bool:
+        self._check_writable()
+        _h, bucket, _mask = self._calc_bucket(key)
+        view = PageView(self._read_block(bucket))
+        i = view.find_inline(key)
+        if i < 0:
+            return False
+        view.delete_slot(i)
+        self._cached_dirty = True
+        return True
+
+    # -- sequential access ----------------------------------------------------------
+
+    def items(self) -> Iterator[tuple[bytes, bytes]]:
+        """Scan blocks 0..maxbuck in order (dbm's block-order traversal);
+        only leaf buckets contain data, holes read back empty."""
+        self._check_open()
+        for blkno in range(self.bitmap.maxbuck + 1):
+            view = PageView(self._read_block(blkno))
+            for i in range(view.nslots):
+                yield view.get_pair(i)
+
+    def keys(self) -> Iterator[bytes]:
+        for k, _d in self.items():
+            yield k
+
+    def firstkey(self) -> bytes | None:
+        self._iter = self.keys()
+        return next(self._iter, None)
+
+    def nextkey(self) -> bytes | None:
+        if not hasattr(self, "_iter"):
+            return self.firstkey()
+        return next(self._iter, None)
+
+    # -- maintenance -------------------------------------------------------------------
+
+    def sync(self) -> None:
+        self._check_open()
+        self._flush_block()
+        self.pag.sync()
+        if not self.readonly:
+            self.bitmap.save(self.dir_path)
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._flush_block()
+        if not self.readonly:
+            self.bitmap.save(self.dir_path)
+        self.pag.close()
+        self._closed = True
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ValueError("operation on closed DbmFile")
+
+    def _check_writable(self) -> None:
+        self._check_open()
+        if self.readonly:
+            raise ValueError("dbm database is read-only")
+
+    def __enter__(self) -> "DbmFile":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    @property
+    def io_stats(self):
+        return self.pag.stats

@@ -1,0 +1,127 @@
+"""The ndbm programmatic interface over Thompson's algorithm.
+
+"The dbm and ndbm library implementations are based on the same algorithm
+... but differ in their programmatic interfaces.  The latter is a modified
+version of the former which adds support for multiple databases to be open
+concurrently."
+
+:class:`Ndbm` is object-per-database (ndbm); the module-level functions at
+the bottom reproduce the Seventh Edition dbm interface, global single
+database included.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.baselines.dbm.dbmfile import DbmFile
+
+DBM_INSERT = 0
+DBM_REPLACE = 1
+
+
+class Ndbm:
+    """One open ndbm database (``.pag`` + ``.dir`` file pair)."""
+
+    def __init__(self, file: str | os.PathLike, flags: str = "c", **kwargs) -> None:
+        self._db = DbmFile(file, flags, **kwargs)
+
+    def fetch(self, key: bytes) -> bytes | None:
+        """dbm_fetch: content datum or None."""
+        return self._db.fetch(key)
+
+    def store(self, key: bytes, content: bytes, flags: int = DBM_REPLACE) -> int:
+        """dbm_store: 0 on success, 1 when DBM_INSERT hits an existing key.
+
+        Propagates :class:`~repro.baselines.dbm.dbmfile.DbmError` for the
+        size/collision failures inherent to the algorithm.
+        """
+        if flags not in (DBM_INSERT, DBM_REPLACE):
+            raise ValueError(f"bad dbm_store flags {flags}")
+        ok = self._db.store(key, content, replace=(flags == DBM_REPLACE))
+        return 0 if ok else 1
+
+    def delete(self, key: bytes) -> int:
+        """dbm_delete: 0 on success, -1 if absent."""
+        return 0 if self._db.delete(key) else -1
+
+    def firstkey(self) -> bytes | None:
+        return self._db.firstkey()
+
+    def nextkey(self) -> bytes | None:
+        return self._db.nextkey()
+
+    def items(self):
+        return self._db.items()
+
+    def sync(self) -> None:
+        self._db.sync()
+
+    def close(self) -> None:
+        self._db.close()
+
+    @property
+    def io_stats(self):
+        return self._db.io_stats
+
+    @property
+    def db(self) -> DbmFile:
+        return self._db
+
+    def __enter__(self) -> "Ndbm":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+# -- Seventh Edition dbm: one global database per process ----------------------
+
+_global_db: DbmFile | None = None
+
+
+def dbminit(file: str | os.PathLike) -> int:
+    """Open THE database (V7 dbm allowed exactly one)."""
+    global _global_db
+    if _global_db is not None:
+        raise RuntimeError("dbm: a database is already open (V7 allows one)")
+    _global_db = DbmFile(file, "c")
+    return 0
+
+
+def fetch(key: bytes) -> bytes | None:
+    _require()
+    return _global_db.fetch(key)
+
+
+def store(key: bytes, content: bytes) -> int:
+    _require()
+    _global_db.store(key, content)
+    return 0
+
+
+def delete(key: bytes) -> int:
+    _require()
+    return 0 if _global_db.delete(key) else -1
+
+
+def firstkey() -> bytes | None:
+    _require()
+    return _global_db.firstkey()
+
+
+def nextkey() -> bytes | None:
+    _require()
+    return _global_db.nextkey()
+
+
+def dbmclose() -> None:
+    global _global_db
+    if _global_db is not None:
+        _global_db.close()
+        _global_db = None
+
+
+def _require() -> None:
+    if _global_db is None:
+        raise RuntimeError("dbm: no database open (call dbminit first)")

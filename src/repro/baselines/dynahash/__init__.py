@@ -1,0 +1,5 @@
+"""dynahash baseline (Larson 1988 in-memory linear hashing)."""
+
+from repro.baselines.dynahash.dynahash import DynaHash
+
+__all__ = ["DynaHash"]

@@ -1,0 +1,5 @@
+"""gdbm baseline (Fagin et al. extendible hashing)."""
+
+from repro.baselines.gdbm.gdbm import Gdbm, GdbmError
+
+__all__ = ["Gdbm", "GdbmError"]

@@ -1,0 +1,10 @@
+"""System V hsearch baseline."""
+
+from repro.baselines.hsearch.hsearch import (
+    ENTER,
+    FIND,
+    Hsearch,
+    TableFullError,
+)
+
+__all__ = ["Hsearch", "TableFullError", "ENTER", "FIND"]

@@ -1,0 +1,275 @@
+"""System V hsearch: a fixed-size, memory-resident hash table.
+
+Reproduces the behaviour the paper describes, including every compile-time
+option of the AT&T source:
+
+- **default** -- Knuth multiplicative primary hash; on collision a secondary
+  multiplicative hash defines the probe interval, added modulo the table
+  size until an empty slot is found (double hashing);
+- **DIV** -- hash by division (modulo) with linear probing;
+- **BRENT** -- Richard Brent's insertion-time rearrangement: once a probe
+  chain exceeds a threshold (Brent suggests 2), colliding keys are shuffled
+  to shorten retrieval chains at the cost of slower insertion;
+- **CHAINED** -- collisions resolved with linked lists from the primary
+  bucket; new entries prepend by default, or the chains are kept ordered
+  with **SORTUP** / **SORTDOWN**;
+- **USCR** -- a user-supplied hash function.
+
+The historical shortcomings are faithful: the size is fixed at creation
+(``TableFullError`` when it fills), there is one logical table per object
+(the module-level functions mimic the single-global-table C interface),
+and nothing can be stored to disk.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.hashfuncs import MASK32
+
+FIND = 0
+ENTER = 1
+
+#: Brent's suggested rearrangement threshold.
+BRENT_THRESHOLD = 2
+
+
+class TableFullError(Exception):
+    """hsearch's 'table full' condition: ENTER found no empty slot."""
+
+
+def _next_prime(n: int) -> int:
+    """Smallest prime >= n (hcreate sized its table to a prime)."""
+
+    def is_prime(m: int) -> bool:
+        if m < 2:
+            return False
+        if m % 2 == 0:
+            return m == 2
+        f = 3
+        while f * f <= m:
+            if m % f == 0:
+                return False
+            f += 2
+        return True
+
+    candidate = max(n, 2)
+    while not is_prime(candidate):
+        candidate += 1
+    return candidate
+
+
+def _fold_key(key: bytes) -> int:
+    """Fold a byte string to a 32-bit integer (the 'convert string to
+    integer' step preceding the multiplicative hash)."""
+    raw = 0
+    for c in key:
+        raw = (raw * 31 + c) & MASK32
+    return raw
+
+
+class Hsearch:
+    """One hsearch table.
+
+    Parameters
+    ----------
+    nelem:
+        Requested capacity; rounded up to a prime.  With the open-addressed
+        variants this is a hard limit.
+    variant:
+        ``'default'`` (multiplicative + double hashing), ``'div'`` (modulo
+        + linear probing), or ``'chained'`` (linked lists).
+    brent:
+        Enable Brent rearrangement (open-addressed variants only).
+    order:
+        For ``'chained'``: ``None`` (prepend), ``'up'`` (SORTUP) or
+        ``'down'`` (SORTDOWN).
+    hashfn:
+        Optional user hash function (USCR), ``bytes -> int``.
+    """
+
+    def __init__(
+        self,
+        nelem: int,
+        *,
+        variant: str = "default",
+        brent: bool = False,
+        order: str | None = None,
+        hashfn: Callable[[bytes], int] | None = None,
+    ) -> None:
+        if nelem < 1:
+            raise ValueError(f"nelem must be >= 1, got {nelem}")
+        if variant not in ("default", "div", "chained"):
+            raise ValueError(f"unknown variant {variant!r}")
+        if brent and variant == "chained":
+            raise ValueError("BRENT applies to open addressing, not CHAINED")
+        if order is not None and variant != "chained":
+            raise ValueError("SORTUP/SORTDOWN apply only to CHAINED")
+        if order not in (None, "up", "down"):
+            raise ValueError(f"order must be None, 'up' or 'down', got {order!r}")
+        self.size = _next_prime(max(nelem, 3))
+        self.variant = variant
+        self.brent = brent
+        self.order = order
+        self._user_hash = hashfn
+        self.nkeys = 0
+        self.probes = 0  # total probe count, for the ablation benchmarks
+        if variant == "chained":
+            self._chains: list[list[tuple[bytes, bytes]]] = [
+                [] for _ in range(self.size)
+            ]
+        else:
+            self._keys: list[bytes | None] = [None] * self.size
+            self._data: list[bytes | None] = [None] * self.size
+
+    # -- hashing ------------------------------------------------------------
+
+    def _primary(self, key: bytes) -> int:
+        if self._user_hash is not None:
+            return self._user_hash(key) % self.size
+        raw = _fold_key(key)
+        if self.variant == "div":
+            return raw % self.size
+        # Knuth multiplicative: multiply by 2^32/phi, take the high bits by
+        # reducing modulo the (prime) table size.
+        return ((raw * 2654435761) & MASK32) % self.size
+
+    def _interval(self, key: bytes) -> int:
+        if self.variant == "div":
+            return 1  # linear probing
+        raw = _fold_key(key)
+        # Secondary multiplicative hash; never zero, never a multiple of the
+        # (prime) size.
+        return 1 + (((raw * 40503) & MASK32) % (self.size - 1))
+
+    def _probe_seq(self, key: bytes):
+        """Yield the probe sequence of ``key`` (size slots, no repeats for
+        prime table sizes)."""
+        slot = self._primary(key)
+        step = self._interval(key)
+        for _ in range(self.size):
+            yield slot
+            slot = (slot + step) % self.size
+
+    # -- open addressing ------------------------------------------------------
+
+    def _oa_find(self, key: bytes) -> int | None:
+        for slot in self._probe_seq(key):
+            self.probes += 1
+            resident = self._keys[slot]
+            if resident is None:
+                return None
+            if resident == key:
+                return slot
+        return None
+
+    def _oa_enter(self, key: bytes, data: bytes) -> bytes:
+        path: list[int] = []
+        for slot in self._probe_seq(key):
+            self.probes += 1
+            resident = self._keys[slot]
+            if resident is None:
+                if self.brent and len(path) > BRENT_THRESHOLD:
+                    slot = self._brent_rearrange(path, slot)
+                self._keys[slot] = key
+                self._data[slot] = data
+                self.nkeys += 1
+                return data
+            if resident == key:
+                return self._data[slot]
+            path.append(slot)
+        raise TableFullError(f"hsearch table of {self.size} slots is full")
+
+    def _brent_rearrange(self, path: list[int], empty_slot: int) -> int:
+        """Brent's shuffle: try to move a key that collided on the new
+        key's probe path one step along *its own* probe sequence into an
+        empty slot, freeing an earlier (cheaper) slot for the new key.
+
+        Returns the slot where the new key should be placed.
+        """
+        for depth, slot in enumerate(path):
+            if depth + 2 >= len(path):
+                break  # no saving possible beyond this point
+            victim = self._keys[slot]
+            step = self._interval(victim)
+            nxt = (slot + step) % self.size
+            # one forward step only: the classic cost-1 displacement
+            if self._keys[nxt] is None:
+                self._keys[nxt] = victim
+                self._data[nxt] = self._data[slot]
+                self._keys[slot] = None
+                self._data[slot] = None
+                return slot
+        return empty_slot
+
+    # -- chaining ----------------------------------------------------------------
+
+    def _chain_find(self, key: bytes) -> bytes | None:
+        chain = self._chains[self._primary(key)]
+        for k, d in chain:
+            self.probes += 1
+            if k == key:
+                return d
+        return None
+
+    def _chain_enter(self, key: bytes, data: bytes) -> bytes:
+        chain = self._chains[self._primary(key)]
+        for k, d in chain:
+            self.probes += 1
+            if k == key:
+                return d
+        entry = (key, data)
+        if self.order is None:
+            chain.insert(0, entry)
+        elif self.order == "up":
+            i = 0
+            while i < len(chain) and chain[i][0] < key:
+                i += 1
+            chain.insert(i, entry)
+        else:  # down
+            i = 0
+            while i < len(chain) and chain[i][0] > key:
+                i += 1
+            chain.insert(i, entry)
+        self.nkeys += 1
+        return data
+
+    # -- public interface ------------------------------------------------------------
+
+    def hsearch(self, key: bytes, data: bytes | None, action: int) -> bytes | None:
+        """The hsearch(3) call: FIND or ENTER."""
+        if action == FIND:
+            return self.find(key)
+        if action == ENTER:
+            if data is None:
+                raise ValueError("ENTER requires data")
+            return self.enter(key, data)
+        raise ValueError(f"bad hsearch action {action}")
+
+    def find(self, key: bytes) -> bytes | None:
+        if self.variant == "chained":
+            return self._chain_find(key)
+        slot = self._oa_find(key)
+        return None if slot is None else self._data[slot]
+
+    def enter(self, key: bytes, data: bytes) -> bytes:
+        """Insert if absent; returns the stored data (existing wins, as in
+        System V).  Raises :class:`TableFullError` when no slot is free."""
+        if self.variant == "chained":
+            return self._chain_enter(key, data)
+        return self._oa_enter(key, data)
+
+    def __contains__(self, key: bytes) -> bool:
+        return self.find(key) is not None
+
+    def __len__(self) -> int:
+        return self.nkeys
+
+    def hdestroy(self) -> None:
+        """Release the table (kept for interface parity)."""
+        if self.variant == "chained":
+            self._chains = []
+        else:
+            self._keys = []
+            self._data = []
+        self.nkeys = 0

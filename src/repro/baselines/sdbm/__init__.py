@@ -1,0 +1,5 @@
+"""sdbm baseline (Larson 1978 dynamic hashing, Yigit's simplification)."""
+
+from repro.baselines.sdbm.sdbm import Sdbm, SdbmError
+
+__all__ = ["Sdbm", "SdbmError"]

@@ -1,0 +1,27 @@
+"""Benchmark harness regenerating the paper's evaluation.
+
+- :mod:`repro.bench.timing` -- user/system/elapsed + page-I/O measurement.
+- :mod:`repro.bench.adapters` -- one uniform driver per hashing system.
+- :mod:`repro.bench.suites` -- the paper's CREATE/READ/VERIFY/SEQUENTIAL
+  tests (disk suite) and CREATE+READ (memory suite).
+- :mod:`repro.bench.report` -- renders the paper's tables and figure
+  series as aligned text.
+"""
+
+from repro.bench.timing import Measurement, measure
+from repro.bench.suites import disk_suite, memory_suite
+from repro.bench.report import (
+    format_comparison_table,
+    format_series_table,
+    pct_change,
+)
+
+__all__ = [
+    "Measurement",
+    "measure",
+    "disk_suite",
+    "memory_suite",
+    "format_comparison_table",
+    "format_series_table",
+    "pct_change",
+]

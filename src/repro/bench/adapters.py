@@ -1,0 +1,397 @@
+"""Uniform drivers over every hashing system, for the benchmark suites.
+
+Each adapter exposes the same verbs (create/put/get/iterate/sync/close/
+reopen/destroy) and a cumulative I/O snapshot that survives close+reopen,
+so the suites can time any system interchangeably.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterator
+
+from repro.baselines.dbm.ndbm import Ndbm
+from repro.baselines.dynahash.dynahash import DynaHash
+from repro.baselines.gdbm.gdbm import Gdbm
+from repro.baselines.hsearch.hsearch import Hsearch
+from repro.baselines.sdbm.sdbm import Sdbm
+from repro.core.table import HashTable
+from repro.storage.iostats import IOSnapshot, IOStats
+
+
+class Adapter:
+    """Base: subclasses set ``name`` and implement the verbs."""
+
+    name = "abstract"
+    is_disk = True
+
+    def __init__(self, workdir: str) -> None:
+        self.workdir = workdir
+        self._io_acc = IOStats()
+
+    # -- I/O accounting across reopen cycles -----------------------------------
+
+    def _live_stats(self) -> list[IOStats]:
+        return []
+
+    def io_snapshot(self) -> IOSnapshot:
+        snap = self._io_acc.snapshot()
+        for s in self._live_stats():
+            snap = snap + s.snapshot()
+        return snap
+
+    def _absorb_live(self) -> None:
+        for s in self._live_stats():
+            self._io_acc.merge(s)
+
+    # -- verbs -------------------------------------------------------------------
+
+    def create(self, nelem_hint: int = 1) -> None:
+        raise NotImplementedError
+
+    def put(self, key: bytes, value: bytes) -> None:
+        raise NotImplementedError
+
+    def get(self, key: bytes) -> bytes | None:
+        raise NotImplementedError
+
+    def iter_keys(self) -> Iterator[bytes]:
+        raise NotImplementedError
+
+    def iter_items(self) -> Iterator[tuple[bytes, bytes]]:
+        raise NotImplementedError
+
+    def sync(self) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        raise NotImplementedError
+
+    def reopen(self) -> None:
+        raise NotImplementedError
+
+    def destroy(self) -> None:
+        """Remove on-disk artifacts (after close)."""
+
+    def _rm(self, *names: str) -> None:
+        for n in names:
+            p = os.path.join(self.workdir, n)
+            if os.path.exists(p):
+                os.unlink(p)
+
+
+class NewHashAdapter(Adapter):
+    """The paper's new package ("hash"), disk-resident."""
+
+    name = "hash"
+
+    def __init__(
+        self,
+        workdir: str,
+        *,
+        bsize: int = 1024,
+        ffactor: int = 32,
+        cachesize: int = 1 << 20,
+    ) -> None:
+        super().__init__(workdir)
+        self.bsize = bsize
+        self.ffactor = ffactor
+        self.cachesize = cachesize
+        self.path = os.path.join(workdir, "new.hash")
+        self.table: HashTable | None = None
+
+    def _live_stats(self) -> list[IOStats]:
+        if self.table is not None and not self.table.closed:
+            return [self.table.io_stats]
+        return []
+
+    def create(self, nelem_hint: int = 1) -> None:
+        self.table = HashTable.create(
+            self.path,
+            bsize=self.bsize,
+            ffactor=self.ffactor,
+            nelem=nelem_hint,
+            cachesize=self.cachesize,
+        )
+
+    def put(self, key: bytes, value: bytes) -> None:
+        self.table.put(key, value)
+
+    def get(self, key: bytes) -> bytes | None:
+        return self.table.get(key)
+
+    def iter_keys(self) -> Iterator[bytes]:
+        return self.table.keys()
+
+    def iter_items(self) -> Iterator[tuple[bytes, bytes]]:
+        return self.table.items()
+
+    def sync(self) -> None:
+        self.table.sync()
+
+    def close(self) -> None:
+        if self.table is not None and not self.table.closed:
+            self._absorb_live()
+            self.table.close()
+
+    def reopen(self) -> None:
+        self.close()
+        self.table = HashTable.open_file(self.path, cachesize=self.cachesize)
+
+    def destroy(self) -> None:
+        self._rm("new.hash")
+
+
+class NewHashMemoryAdapter(NewHashAdapter):
+    """The new package in its memory-resident mode (hsearch comparison)."""
+
+    name = "hash (mem)"
+    is_disk = False
+
+    def __init__(
+        self,
+        workdir: str,
+        *,
+        bsize: int = 256,
+        ffactor: int = 8,
+        cachesize: int = 1 << 20,
+    ) -> None:
+        super().__init__(
+            workdir, bsize=bsize, ffactor=ffactor, cachesize=cachesize
+        )
+
+    def create(self, nelem_hint: int = 1) -> None:
+        self.table = HashTable.create(
+            None,
+            bsize=self.bsize,
+            ffactor=self.ffactor,
+            nelem=nelem_hint,
+            cachesize=self.cachesize,
+            in_memory=True,
+        )
+
+    def sync(self) -> None:
+        pass  # memory-resident: nothing to flush
+
+    def reopen(self) -> None:
+        raise NotImplementedError("memory tables cannot be reopened")
+
+    def destroy(self) -> None:
+        pass
+
+
+class NdbmAdapter(Adapter):
+    """4.3BSD ndbm (Thompson's algorithm)."""
+
+    name = "ndbm"
+
+    def __init__(self, workdir: str, *, block_size: int = 1024) -> None:
+        super().__init__(workdir)
+        self.base = os.path.join(workdir, "ndbm")
+        self.block_size = block_size
+        self.db: Ndbm | None = None
+
+    def _live_stats(self) -> list[IOStats]:
+        return [self.db.io_stats] if self.db is not None else []
+
+    def create(self, nelem_hint: int = 1) -> None:
+        self.db = Ndbm(self.base, "n", block_size=self.block_size)
+
+    def put(self, key: bytes, value: bytes) -> None:
+        self.db.store(key, value)
+
+    def get(self, key: bytes) -> bytes | None:
+        return self.db.fetch(key)
+
+    def iter_keys(self) -> Iterator[bytes]:
+        return self.db.db.keys()
+
+    def iter_items(self) -> Iterator[tuple[bytes, bytes]]:
+        # ndbm's sequential interface returns keys; fetching the data
+        # "requires a second call to the library" -- modelled faithfully.
+        for key in self.db.db.keys():
+            yield key, self.db.fetch(key)
+
+    def sync(self) -> None:
+        self.db.sync()
+
+    def close(self) -> None:
+        if self.db is not None:
+            self._absorb_live()
+            self.db.close()
+            self.db = None
+
+    def reopen(self) -> None:
+        self.close()
+        self.db = Ndbm(self.base, "w", block_size=self.block_size)
+
+    def destroy(self) -> None:
+        self._rm("ndbm.pag", "ndbm.dir")
+
+
+class SdbmAdapter(Adapter):
+    name = "sdbm"
+
+    def __init__(self, workdir: str, *, block_size: int = 1024) -> None:
+        super().__init__(workdir)
+        self.base = os.path.join(workdir, "sdbm")
+        self.block_size = block_size
+        self.db: Sdbm | None = None
+
+    def _live_stats(self) -> list[IOStats]:
+        return [self.db.io_stats] if self.db is not None else []
+
+    def create(self, nelem_hint: int = 1) -> None:
+        self.db = Sdbm(self.base, "n", block_size=self.block_size)
+
+    def put(self, key: bytes, value: bytes) -> None:
+        self.db.store(key, value)
+
+    def get(self, key: bytes) -> bytes | None:
+        return self.db.fetch(key)
+
+    def iter_keys(self) -> Iterator[bytes]:
+        return self.db.keys()
+
+    def iter_items(self) -> Iterator[tuple[bytes, bytes]]:
+        for key in self.db.keys():
+            yield key, self.db.fetch(key)
+
+    def sync(self) -> None:
+        self.db.sync()
+
+    def close(self) -> None:
+        if self.db is not None:
+            self._absorb_live()
+            self.db.close()
+            self.db = None
+
+    def reopen(self) -> None:
+        self.close()
+        self.db = Sdbm(self.base, "w", block_size=self.block_size)
+
+    def destroy(self) -> None:
+        self._rm("sdbm.pag", "sdbm.dir")
+
+
+class GdbmAdapter(Adapter):
+    name = "gdbm"
+
+    def __init__(self, workdir: str, *, block_size: int = 1024) -> None:
+        super().__init__(workdir)
+        self.path = os.path.join(workdir, "gdbm.db")
+        self.block_size = block_size
+        self.db: Gdbm | None = None
+
+    def _live_stats(self) -> list[IOStats]:
+        return [self.db.io_stats] if self.db is not None else []
+
+    def create(self, nelem_hint: int = 1) -> None:
+        self.db = Gdbm(self.path, "n", block_size=self.block_size)
+
+    def put(self, key: bytes, value: bytes) -> None:
+        self.db.store(key, value)
+
+    def get(self, key: bytes) -> bytes | None:
+        return self.db.fetch(key)
+
+    def iter_keys(self) -> Iterator[bytes]:
+        return self.db.keys()
+
+    def iter_items(self) -> Iterator[tuple[bytes, bytes]]:
+        return self.db.items()
+
+    def sync(self) -> None:
+        self.db.sync()
+
+    def close(self) -> None:
+        if self.db is not None:
+            self._absorb_live()
+            self.db.close()
+            self.db = None
+
+    def reopen(self) -> None:
+        self.close()
+        self.db = Gdbm(self.path, "w", block_size=self.block_size)
+
+    def destroy(self) -> None:
+        self._rm("gdbm.db")
+
+
+class HsearchAdapter(Adapter):
+    """System V hsearch (memory only, fixed size)."""
+
+    name = "hsearch"
+    is_disk = False
+
+    def __init__(self, workdir: str, *, variant: str = "default", **kwargs) -> None:
+        super().__init__(workdir)
+        self.variant = variant
+        self.kwargs = kwargs
+        self.table: Hsearch | None = None
+
+    def create(self, nelem_hint: int = 1) -> None:
+        # hsearch must be sized for the whole data set up front (its
+        # historical shortcoming); give it the hint with slack so the
+        # benchmark exercises lookup, not the table-full failure mode.
+        self.table = Hsearch(
+            max(nelem_hint + nelem_hint // 4, 64), variant=self.variant, **self.kwargs
+        )
+
+    def put(self, key: bytes, value: bytes) -> None:
+        self.table.enter(key, value)
+
+    def get(self, key: bytes) -> bytes | None:
+        return self.table.find(key)
+
+    def iter_keys(self) -> Iterator[bytes]:
+        raise NotImplementedError("hsearch has no sequential interface")
+
+    iter_items = iter_keys
+
+    def sync(self) -> None:
+        pass
+
+    def close(self) -> None:
+        if self.table is not None:
+            self.table.hdestroy()
+            self.table = None
+
+    def reopen(self) -> None:
+        raise NotImplementedError("hsearch tables cannot be stored on disk")
+
+
+class DynahashAdapter(Adapter):
+    """dynahash (memory only, grows past nelem)."""
+
+    name = "dynahash"
+    is_disk = False
+
+    def __init__(self, workdir: str, *, ffactor: int = 5) -> None:
+        super().__init__(workdir)
+        self.ffactor = ffactor
+        self.table: DynaHash | None = None
+
+    def create(self, nelem_hint: int = 1) -> None:
+        self.table = DynaHash(nelem_hint, ffactor=self.ffactor)
+
+    def put(self, key: bytes, value: bytes) -> None:
+        self.table.put(key, value)
+
+    def get(self, key: bytes) -> bytes | None:
+        return self.table.get(key)
+
+    def iter_keys(self) -> Iterator[bytes]:
+        return self.table.keys()
+
+    def iter_items(self) -> Iterator[tuple[bytes, bytes]]:
+        return self.table.items()
+
+    def sync(self) -> None:
+        pass
+
+    def close(self) -> None:
+        self.table = None
+
+    def reopen(self) -> None:
+        raise NotImplementedError("dynahash tables cannot be stored on disk")

@@ -1,0 +1,104 @@
+"""Text rendering of the paper's tables and figure series."""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.bench.timing import Measurement
+
+
+def pct_change(old: float, new: float) -> float | None:
+    """The paper's improvement metric:
+    ``% = 100 * (old_time - new_time) / old_time`` (None when old is 0)."""
+    if old == 0:
+        return None
+    return 100.0 * (old - new) / old
+
+
+def _fmt_pct(value: float | None) -> str:
+    return "-" if value is None else f"{value:.0f}"
+
+
+def format_comparison_table(
+    title: str,
+    new_results: Mapping[str, Measurement],
+    old_results: Mapping[str, Measurement],
+    *,
+    new_name: str = "hash",
+    old_name: str = "ndbm",
+    metrics: Sequence[str] = ("user", "system", "elapsed", "page_io"),
+) -> str:
+    """Render a Figure 8-style table: per test, per metric, new vs old vs
+    %change."""
+    lines = [title, "=" * len(title)]
+    header = f"{'test':<18} {'metric':<9} {new_name:>10} {old_name:>10} {'%change':>8}"
+    lines.append(header)
+    lines.append("-" * len(header))
+    for test in new_results:
+        if test not in old_results:
+            continue
+        for metric in metrics:
+            new_v = new_results[test].metric(metric)
+            old_v = old_results[test].metric(metric)
+            if metric == "page_io":
+                cell_new, cell_old = f"{new_v:10.0f}", f"{old_v:10.0f}"
+            else:
+                cell_new, cell_old = f"{new_v:10.2f}", f"{old_v:10.2f}"
+            lines.append(
+                f"{test:<18} {metric:<9} {cell_new} {cell_old} "
+                f"{_fmt_pct(pct_change(old_v, new_v)):>8}"
+            )
+        lines.append("")
+    return "\n".join(lines)
+
+
+def format_series_table(
+    title: str,
+    row_label: str,
+    col_label: str,
+    rows: Sequence,
+    cols: Sequence,
+    cells: Mapping[tuple, float],
+    *,
+    fmt: str = "{:.2f}",
+) -> str:
+    """Render a Figure 5/6/7-style series: one row per series (e.g. bucket
+    size), one column per x value (e.g. fill factor)."""
+    lines = [title, "=" * len(title)]
+    width = max(10, max(len(fmt.format(v)) for v in cells.values()) + 2) if cells else 10
+    width = max(width, max((len(str(c)) for c in cols), default=0) + 2)
+    corner = row_label + "/" + col_label
+    label_width = max(14, max((len(str(r)) for r in rows), default=0) + 2, len(corner) + 2)
+    header = f"{corner:<{label_width}}" + "".join(f"{str(c):>{width}}" for c in cols)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for r in rows:
+        cells_fmt = []
+        for c in cols:
+            v = cells.get((r, c))
+            cells_fmt.append(f"{'-':>{width}}" if v is None else f"{fmt.format(v):>{width}}")
+        lines.append(f"{str(r):<{label_width}}" + "".join(cells_fmt))
+    return "\n".join(lines)
+
+
+def format_bar_table(
+    title: str,
+    groups: Sequence,
+    bars: Mapping[str, Mapping],
+    *,
+    fmt: str = "{:.2f}",
+) -> str:
+    """Render a Figure 6-style grouped-bar dataset: one column per group
+    (e.g. fill factor), one row per bar series (e.g. 'pre-sized user')."""
+    lines = [title, "=" * len(title)]
+    width = 12
+    header = f"{'series':<26}" + "".join(f"{str(g):>{width}}" for g in groups)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for name, series in bars.items():
+        row = [f"{name:<26}"]
+        for g in groups:
+            v = series.get(g)
+            row.append(f"{'-':>{width}}" if v is None else f"{fmt.format(v):>{width}}")
+        lines.append("".join(row))
+    return "\n".join(lines)

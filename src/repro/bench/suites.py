@@ -1,0 +1,146 @@
+"""The paper's test procedures.
+
+Disk-based tests (run with bucket size 1024, fill factor 32 in the paper):
+
+- **create** -- "The keys are entered into the hash table, and the file is
+  flushed to disk."
+- **read** -- "A lookup is performed for each key in the hash table."
+- **verify** -- "A lookup is performed for each key ... and the data
+  returned is compared against that originally stored."
+- **sequential** -- "All keys are retrieved in sequential order" (keys
+  only, matching the ndbm interface's first run).
+- **sequential+data** -- the second ndbm run, where the data is returned
+  too.
+
+In-memory test (bucket size 256, fill factor 8):
+
+- **create/read** -- "a hash table is created by inserting all the
+  key/data pairs.  Then a keyed retrieval is performed for each pair, and
+  the hash table is destroyed."
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.bench.adapters import Adapter
+from repro.bench.timing import Measurement, measure
+
+Pairs = Sequence[tuple[bytes, bytes]]
+
+
+def _consume_all(iterator) -> int:
+    count = 0
+    for _item in iterator:
+        count += 1
+    return count
+
+
+def create_test(adapter: Adapter, pairs: Pairs, nelem_hint: int = 1) -> Measurement:
+    """Enter every pair, then flush the file to disk."""
+
+    def run():
+        adapter.create(nelem_hint)
+        for key, value in pairs:
+            adapter.put(key, value)
+        adapter.sync()
+
+    _res, m = measure(run, adapter.io_snapshot)
+    return m
+
+
+def read_test(adapter: Adapter, pairs: Pairs) -> Measurement:
+    """Lookup of every key (presence checked, data not compared)."""
+
+    def run():
+        missing = 0
+        for key, _value in pairs:
+            if adapter.get(key) is None:
+                missing += 1
+        if missing:
+            raise AssertionError(f"read test: {missing} keys missing")
+
+    _res, m = measure(run, adapter.io_snapshot)
+    return m
+
+
+def verify_test(adapter: Adapter, pairs: Pairs) -> Measurement:
+    """Lookup of every key with full data comparison."""
+
+    def run():
+        bad = 0
+        for key, value in pairs:
+            if adapter.get(key) != value:
+                bad += 1
+        if bad:
+            raise AssertionError(f"verify test: {bad} mismatches")
+
+    _res, m = measure(run, adapter.io_snapshot)
+    return m
+
+
+def sequential_test(adapter: Adapter, expected: int) -> Measurement:
+    """Retrieve all keys in sequential order (keys only)."""
+
+    def run():
+        n = _consume_all(adapter.iter_keys())
+        if n != expected:
+            raise AssertionError(f"sequential test: {n} keys, expected {expected}")
+
+    _res, m = measure(run, adapter.io_snapshot)
+    return m
+
+
+def sequential_data_test(adapter: Adapter, expected: int) -> Measurement:
+    """Retrieve all keys and their data in sequential order."""
+
+    def run():
+        n = _consume_all(adapter.iter_items())
+        if n != expected:
+            raise AssertionError(
+                f"sequential+data test: {n} items, expected {expected}"
+            )
+
+    _res, m = measure(run, adapter.io_snapshot)
+    return m
+
+
+def disk_suite(
+    adapter: Adapter, pairs: Pairs, *, nelem_hint: int = 1, reopen: bool = True
+) -> dict[str, Measurement]:
+    """The paper's full disk-based suite for one system.
+
+    ``reopen=True`` closes and reopens the database between create and
+    read, so the read tests start from a cold(ish) cache as on the
+    paper's testbed.
+    """
+    results: dict[str, Measurement] = {}
+    results["create"] = create_test(adapter, pairs, nelem_hint)
+    if reopen:
+        adapter.reopen()
+    results["read"] = read_test(adapter, pairs)
+    results["verify"] = verify_test(adapter, pairs)
+    results["sequential"] = sequential_test(adapter, len(pairs))
+    results["sequential+data"] = sequential_data_test(adapter, len(pairs))
+    adapter.close()
+    adapter.destroy()
+    return results
+
+
+def memory_suite(adapter: Adapter, pairs: Pairs) -> dict[str, Measurement]:
+    """The paper's in-memory create/read test for one system."""
+
+    def run():
+        adapter.create(len(pairs))
+        for key, value in pairs:
+            adapter.put(key, value)
+        missing = 0
+        for key, _value in pairs:
+            if adapter.get(key) is None:
+                missing += 1
+        adapter.close()
+        if missing:
+            raise AssertionError(f"create/read test: {missing} keys missing")
+
+    _res, m = measure(run, adapter.io_snapshot)
+    return {"create/read": m}

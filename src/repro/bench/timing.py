@@ -1,0 +1,70 @@
+"""Measurement of user/system/elapsed time and page I/O.
+
+The paper reports getrusage-style user, system and elapsed seconds.  We
+report the same three clocks via ``os.times()``, plus the substrate's page
+I/O counters -- the deterministic, machine-independent proxy for 1991
+system time (see DESIGN.md section 2).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.storage.iostats import IOSnapshot
+
+
+@dataclass
+class Measurement:
+    """One timed run."""
+
+    user: float
+    system: float
+    elapsed: float
+    io: IOSnapshot
+
+    @property
+    def cpu(self) -> float:
+        return self.user + self.system
+
+    def __add__(self, other: "Measurement") -> "Measurement":
+        return Measurement(
+            user=self.user + other.user,
+            system=self.system + other.system,
+            elapsed=self.elapsed + other.elapsed,
+            io=self.io + other.io,
+        )
+
+    def metric(self, name: str) -> float:
+        """Fetch a metric by name: user/system/elapsed/cpu or any
+        IOSnapshot field (page_io/page_reads/page_writes/syscalls/...)."""
+        if name in ("user", "system", "elapsed", "cpu"):
+            return getattr(self, name)
+        return float(getattr(self.io, name))
+
+
+_ZERO_IO = IOSnapshot()
+
+
+def measure(
+    fn: Callable[[], object],
+    io_fn: Callable[[], IOSnapshot] | None = None,
+) -> tuple[object, Measurement]:
+    """Run ``fn`` once; returns ``(result, Measurement)``.
+
+    ``io_fn`` returns the *cumulative* I/O snapshot of whatever files the
+    operation touches (adapters provide one); the measurement records the
+    delta across the run.
+    """
+    before_io = io_fn() if io_fn is not None else _ZERO_IO
+    t0 = os.times()
+    result = fn()
+    t1 = os.times()
+    after_io = io_fn() if io_fn is not None else _ZERO_IO
+    return result, Measurement(
+        user=t1.user - t0.user,
+        system=t1.system - t0.system,
+        elapsed=t1.elapsed - t0.elapsed,
+        io=after_io - before_io,
+    )

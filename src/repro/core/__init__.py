@@ -1,0 +1,41 @@
+"""The new hashing package (the paper's contribution).
+
+Public surface:
+
+- :class:`~repro.core.table.HashTable` -- the engine (bytes in, bytes out).
+- :class:`~repro.core.dbmap.HashDB` / :func:`~repro.core.dbmap.open` --
+  dict-like convenience layer.
+- :func:`~repro.core.table.suggest_parameters` -- Equation 1 helper.
+- :mod:`repro.core.hashfuncs` -- the provided hash functions.
+- :mod:`repro.core.compat` -- ndbm- and hsearch-compatible interfaces.
+"""
+
+from repro.core.dbmap import HashDB, open
+from repro.core.errors import (
+    BadFileError,
+    ClosedError,
+    HashError,
+    HashFullError,
+    HashFunctionMismatchError,
+    InvalidParameterError,
+    ReadOnlyError,
+)
+from repro.core.hashfuncs import HASH_FUNCTIONS, get_hash_function
+from repro.core.table import HashTable, TableStats, suggest_parameters
+
+__all__ = [
+    "HashTable",
+    "HashDB",
+    "open",
+    "TableStats",
+    "suggest_parameters",
+    "HASH_FUNCTIONS",
+    "get_hash_function",
+    "HashError",
+    "BadFileError",
+    "HashFullError",
+    "HashFunctionMismatchError",
+    "InvalidParameterError",
+    "ReadOnlyError",
+    "ClosedError",
+]

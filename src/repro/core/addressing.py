@@ -1,0 +1,112 @@
+"""Bucket and overflow-page address arithmetic (buddy-in-waiting layout).
+
+The file interleaves linearly-growing primary (bucket) pages with groups of
+overflow pages allocated at *split points* -- the boundaries between
+generations of primary pages (paper, Figure 3).  An overflow address is a
+16-bit quantity whose top 5 bits name the split point and whose low 11 bits
+name the page within that split point (page number 0 is reserved so address
+0 can mean "none").
+
+The header's ``spares`` array records the *cumulative* number of overflow
+pages allocated at each split point, which makes both mappings pure
+arithmetic -- the paper's ``BUCKET_TO_PAGE`` and ``OADDR_TO_PAGE`` macros:
+
+.. code-block:: c
+
+    #define BUCKET_TO_PAGE(bucket) \\
+        bucket + nhdr_pages + (bucket ? spares[log2(bucket + 1) - 1] : 0)
+    #define OADDR_TO_PAGE(oaddr) \\
+        BUCKET_TO_PAGE((1 << (oaddr >> 11)) - 1) + oaddr & 0x7ff
+
+Key invariant: ``spares[s]`` freezes once the table grows into generation
+``s + 1`` (the first bucket numbered >= 2**s is created), so every page's
+physical address is stable for the life of the file.
+"""
+
+from __future__ import annotations
+
+from repro.core.constants import (
+    MAX_OVFL_PER_SPLIT,
+    MAX_SPLITS,
+    NO_OADDR,
+    OVFL_PAGE_MASK,
+    PAGE_BITS,
+)
+
+
+def log2_ceil(n: int) -> int:
+    """Ceiling of log base 2 (the paper's ``log2()``); ``log2_ceil(1) == 0``."""
+    if n <= 0:
+        raise ValueError(f"log2_ceil requires a positive argument, got {n}")
+    return (n - 1).bit_length()
+
+
+def make_oaddr(split_point: int, pagenum: int) -> int:
+    """Pack a (split point, page number) pair into a 16-bit overflow address.
+
+    ``pagenum`` is 1-based within the split point.
+    """
+    if not 0 <= split_point < MAX_SPLITS:
+        raise ValueError(f"split point {split_point} out of range [0, {MAX_SPLITS})")
+    if not 1 <= pagenum <= MAX_OVFL_PER_SPLIT:
+        raise ValueError(
+            f"overflow page number {pagenum} out of range [1, {MAX_OVFL_PER_SPLIT}]"
+        )
+    return (split_point << PAGE_BITS) | pagenum
+
+
+def split_oaddr(oaddr: int) -> tuple[int, int]:
+    """Unpack an overflow address into (split point, 1-based page number)."""
+    if oaddr == NO_OADDR:
+        raise ValueError("cannot split the null overflow address")
+    if not 0 < oaddr <= 0xFFFF:
+        raise ValueError(f"overflow address {oaddr:#x} out of 16-bit range")
+    split_point = oaddr >> PAGE_BITS
+    pagenum = oaddr & OVFL_PAGE_MASK
+    if pagenum == 0:
+        raise ValueError(f"overflow address {oaddr:#x} has reserved page number 0")
+    return split_point, pagenum
+
+
+def bucket_to_page(bucket: int, hdr_pages: int, spares: list[int]) -> int:
+    """Physical page number of primary (bucket) page ``bucket``."""
+    if bucket < 0:
+        raise ValueError(f"negative bucket number {bucket}")
+    if bucket == 0:
+        return hdr_pages
+    return bucket + hdr_pages + spares[log2_ceil(bucket + 1) - 1]
+
+
+def oaddr_to_page(oaddr: int, hdr_pages: int, spares: list[int]) -> int:
+    """Physical page number of the overflow page with address ``oaddr``."""
+    split_point, pagenum = split_oaddr(oaddr)
+    last_bucket_before = (1 << split_point) - 1
+    return bucket_to_page(last_bucket_before, hdr_pages, spares) + pagenum
+
+
+def oaddr_to_slot(oaddr: int, spares: list[int]) -> int:
+    """Linear 0-based allocation-slot number of an overflow page.
+
+    Overflow pages are numbered in allocation order across split points:
+    slot ``n`` of address ``(s, p)`` is ``spares[s-1] + p - 1`` (``spares``
+    being cumulative).  This numbering indexes the allocation bitmaps.
+    """
+    split_point, pagenum = split_oaddr(oaddr)
+    base = spares[split_point - 1] if split_point > 0 else 0
+    return base + pagenum - 1
+
+
+def slot_to_oaddr(slot: int, spares: list[int], ovfl_point: int) -> int:
+    """Inverse of :func:`oaddr_to_slot` for slots allocated so far.
+
+    Scans split points 0..ovfl_point to find the one whose cumulative range
+    contains ``slot``.
+    """
+    if slot < 0:
+        raise ValueError(f"negative overflow slot {slot}")
+    prev = 0
+    for s in range(ovfl_point + 1):
+        if slot < spares[s]:
+            return make_oaddr(s, slot - prev + 1)
+        prev = spares[s]
+    raise ValueError(f"overflow slot {slot} beyond allocated range")

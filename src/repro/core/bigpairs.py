@@ -1,0 +1,180 @@
+"""Large key/data pair storage.
+
+"Although large key/data pair handling is difficult and expensive, it is
+essential. ... we can use the same mechanism for large key/data pairs that
+we use for overflow pages."
+
+A pair whose key+data cannot fit on one page is written to a chain of
+overflow pages dedicated to that pair; the bucket page keeps only a small
+reference slot (chain address, true lengths, key prefix).  Chain pages use a
+minimal layout distinct from slotted pages:
+
+::
+
+    +------+------+-----------+-------+------------------+
+    |  0   | used | next addr | flags |     payload      |
+    | u16  | u16  |   u16     | u16   |  (key || data)   |
+    +------+------+-----------+-------+------------------+
+
+``used`` is payload bytes on this page; ``next addr`` is the overflow
+address of the next chain page (0 ends the chain); ``flags`` carries
+:data:`~repro.core.constants.PAGE_F_BIG`.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.core.constants import NO_OADDR, PAGE_F_BIG, PAGE_HDR_SIZE
+
+
+class BigPageView:
+    """Access to one big-pair chain page buffer."""
+
+    __slots__ = ("buf", "bsize")
+
+    def __init__(self, buf: bytearray) -> None:
+        self.buf = buf
+        self.bsize = len(buf)
+
+    @property
+    def used(self) -> int:
+        return struct.unpack_from(">H", self.buf, 2)[0]
+
+    @used.setter
+    def used(self, value: int) -> None:
+        struct.pack_into(">H", self.buf, 2, value)
+
+    @property
+    def next_oaddr(self) -> int:
+        return struct.unpack_from(">H", self.buf, 4)[0]
+
+    @next_oaddr.setter
+    def next_oaddr(self, value: int) -> None:
+        struct.pack_into(">H", self.buf, 4, value)
+
+    @property
+    def flags(self) -> int:
+        return struct.unpack_from(">H", self.buf, 6)[0]
+
+    def initialize(self) -> None:
+        self.buf[:PAGE_HDR_SIZE] = struct.pack(">HHHH", 0, 0, NO_OADDR, PAGE_F_BIG)
+
+    @property
+    def capacity(self) -> int:
+        return self.bsize - PAGE_HDR_SIZE
+
+    def payload(self) -> bytes:
+        return bytes(self.buf[PAGE_HDR_SIZE : PAGE_HDR_SIZE + self.used])
+
+    def set_payload(self, chunk: bytes) -> None:
+        if len(chunk) > self.capacity:
+            raise ValueError(
+                f"chunk of {len(chunk)} bytes exceeds page capacity {self.capacity}"
+            )
+        self.buf[PAGE_HDR_SIZE : PAGE_HDR_SIZE + len(chunk)] = chunk
+        self.used = len(chunk)
+
+
+class BigPairStore:
+    """Stores, fetches and frees big pairs on overflow chains.
+
+    Operates through the table's buffer pool and overflow allocator so big
+    pages share caching and the buddy-in-waiting address space with
+    everything else.
+    """
+
+    def __init__(self, pool, allocator) -> None:
+        self.pool = pool
+        self.allocator = allocator
+
+    def store(self, key: bytes, data: bytes) -> int:
+        """Write ``key || data`` to a fresh chain; returns the head address.
+
+        The previous chain page stays pinned until its forward link is
+        written, so LRU eviction during allocation cannot lose the link.
+        """
+        payload = key + data
+        cap = None
+        head = NO_OADDR
+        prev_hdr = None
+        pos = 0
+        try:
+            while pos < len(payload) or head == NO_OADDR:
+                oaddr = self.allocator.alloc()
+                hdr = self.pool.get(("O", oaddr), create=True)
+                hdr.pin()
+                view = BigPageView(hdr.page)
+                view.initialize()
+                if cap is None:
+                    cap = view.capacity
+                chunk = payload[pos : pos + cap]
+                view.set_payload(chunk)
+                hdr.dirty = True
+                pos += len(chunk)
+                if head == NO_OADDR:
+                    head = oaddr
+                else:
+                    prev_view = BigPageView(prev_hdr.page)
+                    prev_view.next_oaddr = oaddr
+                    prev_hdr.dirty = True
+                    prev_hdr.unpin()
+                prev_hdr = hdr
+        finally:
+            if prev_hdr is not None and prev_hdr.pins:
+                prev_hdr.unpin()
+        return head
+
+    def _walk(self, head: int) -> list[int]:
+        """Chain addresses from ``head`` in order."""
+        addrs = []
+        oaddr = head
+        while oaddr != NO_OADDR:
+            addrs.append(oaddr)
+            hdr = self.pool.get(("O", oaddr))
+            oaddr = BigPageView(hdr.page).next_oaddr
+            if len(addrs) > 0xFFFF:
+                raise AssertionError("big-pair chain cycle detected")
+        return addrs
+
+    def fetch(self, head: int, klen: int, dlen: int) -> tuple[bytes, bytes]:
+        """Read the pair back from the chain at ``head``."""
+        total = klen + dlen
+        parts = []
+        got = 0
+        oaddr = head
+        while oaddr != NO_OADDR and got < total:
+            hdr = self.pool.get(("O", oaddr))
+            view = BigPageView(hdr.page)
+            chunk = view.payload()
+            parts.append(chunk)
+            got += len(chunk)
+            oaddr = view.next_oaddr
+        payload = b"".join(parts)
+        if len(payload) < total:
+            raise AssertionError(
+                f"big-pair chain truncated: expected {total} bytes, got {len(payload)}"
+            )
+        return payload[:klen], payload[klen : klen + dlen]
+
+    def fetch_key(self, head: int, klen: int) -> bytes:
+        """Read only the key portion (enough chain pages to cover it)."""
+        parts = []
+        got = 0
+        oaddr = head
+        while oaddr != NO_OADDR and got < klen:
+            hdr = self.pool.get(("O", oaddr))
+            view = BigPageView(hdr.page)
+            chunk = view.payload()
+            parts.append(chunk)
+            got += len(chunk)
+            oaddr = view.next_oaddr
+        key = b"".join(parts)[:klen]
+        if len(key) < klen:
+            raise AssertionError("big-pair chain truncated while reading key")
+        return key
+
+    def free(self, head: int) -> None:
+        """Release every page of the chain at ``head``."""
+        for oaddr in self._walk(head):
+            self.allocator.free(oaddr)

@@ -1,0 +1,165 @@
+"""Overflow-page allocation bitmaps.
+
+"Overflow page use information is recorded in bitmaps which are themselves
+stored on overflow pages.  The addresses of the bitmap pages and the number
+of pages allocated at each split point are stored in the file header."
+
+Every overflow page ever allocated has a *linear slot number* (allocation
+order across split points, computable from its address and the cumulative
+``spares`` array).  Bit ``n`` of the concatenated bitmaps is 1 while slot
+``n`` is in use.  Bitmap pages occupy overflow slots like any other overflow
+page -- the first bitmap page marks its own bit -- and are never freed.
+
+Freed pages (reclaimed when a bucket splits, or when a deletion empties an
+overflow page) are reused before the file is extended; ``last_freed`` in the
+header is the scan hint.
+"""
+
+from __future__ import annotations
+
+from repro.core.addressing import make_oaddr, oaddr_to_slot, slot_to_oaddr
+from repro.core.constants import (
+    MAX_OVFL_PER_SPLIT,
+    MAX_SPLITS,
+    PAGE_F_BITMAP,
+    PAGE_HDR_SIZE,
+)
+from repro.core.errors import HashFullError
+from repro.core.header import NO_LAST_FREED, Header
+
+
+class OvflAllocator:
+    """Allocates and frees overflow-page addresses for one table."""
+
+    def __init__(self, header: Header, pool) -> None:
+        self.header = header
+        self.pool = pool
+        #: usable bits per bitmap page (page header bytes are skipped)
+        self.bits_per_page = (header.bsize - PAGE_HDR_SIZE) * 8
+
+    # -- bit access ------------------------------------------------------------
+
+    def _bitmap_buffer(self, index: int, *, create: bool = False):
+        """Buffer header of bitmap page ``index``; allocates the overflow
+        page for it when ``create`` is set and it does not exist yet."""
+        oaddr = self.header.bitmaps[index]
+        if oaddr == 0:
+            if not create:
+                raise AssertionError(f"bitmap page {index} does not exist")
+            oaddr = self._extend_for_bitmap(index)
+        return self.pool.get(("O", oaddr), create=False)
+
+    def _locate_bit(self, slot: int) -> tuple[int, int, int]:
+        page_index, bit = divmod(slot, self.bits_per_page)
+        byte_off = PAGE_HDR_SIZE + bit // 8
+        mask = 1 << (bit % 8)
+        return page_index, byte_off, mask
+
+    def is_set(self, slot: int) -> bool:
+        page_index, byte_off, mask = self._locate_bit(slot)
+        if self.header.bitmaps[page_index] == 0:
+            return False
+        hdr = self._bitmap_buffer(page_index)
+        return bool(hdr.page[byte_off] & mask)
+
+    def _set_bit(self, slot: int) -> None:
+        page_index, byte_off, mask = self._locate_bit(slot)
+        hdr = self._bitmap_buffer(page_index, create=True)
+        hdr.page[byte_off] |= mask
+        hdr.dirty = True
+
+    def _clear_bit(self, slot: int) -> None:
+        page_index, byte_off, mask = self._locate_bit(slot)
+        hdr = self._bitmap_buffer(page_index)
+        hdr.page[byte_off] &= ~mask & 0xFF
+        hdr.dirty = True
+
+    # -- extension ---------------------------------------------------------------
+
+    @property
+    def total_slots(self) -> int:
+        """Slots allocated so far (== spares at the current split point)."""
+        return self.header.spares[self.header.ovfl_point]
+
+    def _capacity(self) -> int:
+        npages = sum(1 for a in self.header.bitmaps if a)
+        return npages * self.bits_per_page
+
+    def _raw_extend(self) -> tuple[int, int]:
+        """Append one overflow slot at the current split point (no bitmap
+        bookkeeping); returns ``(slot, oaddr)``."""
+        h = self.header
+        s = h.ovfl_point
+        start = h.spares[s - 1] if s > 0 else 0
+        idx = h.spares[s] - start + 1
+        if idx > MAX_OVFL_PER_SPLIT:
+            raise HashFullError(
+                f"split point {s} exhausted its {MAX_OVFL_PER_SPLIT} overflow pages"
+            )
+        slot = h.spares[s]
+        # spares is cumulative: every entry at or above the current split
+        # point moves together (entries above are mirrors, fixed up when
+        # ovfl_point advances).
+        for i in range(s, MAX_SPLITS):
+            h.spares[i] += 1
+        return slot, make_oaddr(s, idx)
+
+    def _extend_for_bitmap(self, index: int) -> int:
+        """Allocate the overflow page that will hold bitmap page ``index``."""
+        if index >= MAX_SPLITS:
+            raise HashFullError("all 32 bitmap page slots are in use")
+        slot, oaddr = self._raw_extend()
+        self.header.bitmaps[index] = oaddr
+        hdr = self.pool.get(("O", oaddr), create=True)
+        hdr.view().initialize(flags=PAGE_F_BITMAP)
+        hdr.dirty = True
+        # A bitmap page's own slot must be coverable: slots grow one at a
+        # time, so slot <= capacity-before, and this page adds capacity.
+        self._set_bit(slot)
+        return oaddr
+
+    def _ensure_capacity(self, slot: int) -> None:
+        while slot >= self._capacity():
+            index = next(
+                (i for i, a in enumerate(self.header.bitmaps) if a == 0), None
+            )
+            if index is None:
+                raise HashFullError("all 32 bitmap page slots are in use")
+            self._extend_for_bitmap(index)
+
+    # -- public allocation API -------------------------------------------------------
+
+    def alloc(self) -> int:
+        """Allocate an overflow page; returns its 16-bit address.
+
+        Freed pages are reused first (scanning from the ``last_freed``
+        hint); otherwise the current split point is extended.
+        """
+        h = self.header
+        if h.last_freed != NO_LAST_FREED:
+            limit = self.total_slots
+            for slot in range(h.last_freed, limit):
+                if not self.is_set(slot):
+                    self._set_bit(slot)
+                    h.last_freed = slot + 1 if slot + 1 < limit else NO_LAST_FREED
+                    return slot_to_oaddr(slot, h.spares, h.ovfl_point)
+            h.last_freed = NO_LAST_FREED
+        slot, oaddr = self._raw_extend()
+        self._ensure_capacity(slot)
+        self._set_bit(slot)
+        return oaddr
+
+    def free(self, oaddr: int) -> None:
+        """Return an overflow page to the free pool (bucket split reclaimed
+        it, or a deletion emptied it)."""
+        slot = oaddr_to_slot(oaddr, self.header.spares)
+        if not self.is_set(slot):
+            raise AssertionError(f"double free of overflow page {oaddr:#x}")
+        self._clear_bit(slot)
+        self.pool.invalidate(("O", oaddr))
+        if slot < self.header.last_freed or self.header.last_freed == NO_LAST_FREED:
+            self.header.last_freed = slot
+
+    def in_use_count(self) -> int:
+        """Number of overflow slots currently marked in use (for stats)."""
+        return sum(1 for slot in range(self.total_slots) if self.is_set(slot))

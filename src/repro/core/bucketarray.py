@@ -1,0 +1,93 @@
+"""Segmented in-memory bucket array.
+
+"The hash table is stored in memory as a logical array of bucket pointers.
+Physically, the array is arranged in segments of 256 pointers.  Initially,
+there is space to allocate 256 segments.  Reallocation occurs when the
+number of buckets exceeds 32K (256 * 256)."
+
+The array maps a bucket number to an arbitrary per-bucket object (the buffer
+manager stores buffer headers here; ``dynahash`` reuses the same structure
+for its chains).  Segments are allocated lazily, so a table with a handful
+of buckets costs a handful of pointers.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from repro.core.constants import DIR_SIZE, SEGMENT_SIZE
+
+
+class BucketArray:
+    """A growable array of bucket slots, segmented like the C package."""
+
+    def __init__(
+        self, segment_size: int = SEGMENT_SIZE, dir_size: int = DIR_SIZE
+    ) -> None:
+        if segment_size <= 0 or dir_size <= 0:
+            raise ValueError("segment_size and dir_size must be positive")
+        self.segment_size = segment_size
+        self._dir: list[list[Any] | None] = [None] * dir_size
+        self._nbuckets = 0
+        self.reallocations = 0  # times the segment directory was doubled
+
+    def __len__(self) -> int:
+        return self._nbuckets
+
+    @property
+    def dir_size(self) -> int:
+        return len(self._dir)
+
+    def grow_to(self, nbuckets: int) -> None:
+        """Ensure slots ``0..nbuckets-1`` exist (new slots hold ``None``)."""
+        if nbuckets <= self._nbuckets:
+            return
+        needed_segments = (nbuckets + self.segment_size - 1) // self.segment_size
+        while needed_segments > len(self._dir):
+            # the C package's realloc when buckets exceed dir * segment
+            self._dir.extend([None] * len(self._dir))
+            self.reallocations += 1
+        self._nbuckets = nbuckets
+
+    def append_bucket(self) -> int:
+        """Add one bucket slot; returns its number (linear-hash expansion)."""
+        self.grow_to(self._nbuckets + 1)
+        return self._nbuckets - 1
+
+    def _locate(self, bucket: int) -> tuple[int, int]:
+        if not 0 <= bucket < self._nbuckets:
+            raise IndexError(
+                f"bucket {bucket} out of range (nbuckets={self._nbuckets})"
+            )
+        return divmod(bucket, self.segment_size)
+
+    def get(self, bucket: int) -> Any:
+        seg_no, off = self._locate(bucket)
+        seg = self._dir[seg_no]
+        return None if seg is None else seg[off]
+
+    def set(self, bucket: int, value: Any) -> None:
+        seg_no, off = self._locate(bucket)
+        seg = self._dir[seg_no]
+        if seg is None:
+            seg = [None] * self.segment_size
+            self._dir[seg_no] = seg
+        seg[off] = value
+
+    def clear(self, bucket: int) -> None:
+        self.set(bucket, None)
+
+    def iter_set(self) -> Iterator[tuple[int, Any]]:
+        """Yield ``(bucket, value)`` for every non-None slot."""
+        for seg_no, seg in enumerate(self._dir):
+            if seg is None:
+                continue
+            base = seg_no * self.segment_size
+            for off, value in enumerate(seg):
+                if value is not None:
+                    bucket = base + off
+                    if bucket < self._nbuckets:
+                        yield bucket, value
+
+    def allocated_segments(self) -> int:
+        return sum(1 for seg in self._dir if seg is not None)

@@ -1,0 +1,280 @@
+"""Structural verification of hash-table files (an fsck for hash(3) files).
+
+:func:`verify_table` walks an open table page by page and cross-checks
+every on-disk structure against every other:
+
+- header sanity: masks, bucket counts, cumulative ``spares``, header pages;
+- bucket chains: acyclic, in-range overflow addresses, parseable pages;
+- pairs: every key hashes to the bucket storing it; big-pair references
+  point at valid, in-use, correctly-sized overflow chains;
+- allocation bitmaps: every overflow page referenced by a chain, big pair
+  or bitmap is marked in use; unreferenced in-use slots are reported as
+  leaks (warnings);
+- counts: the header's ``nkeys`` matches a full scan.
+
+Returns a :class:`CheckReport`; ``errors`` empty means the file is
+structurally sound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core import addressing
+from repro.core.bigpairs import BigPageView
+from repro.core.constants import (
+    MAX_OVFL_PER_SPLIT,
+    MAX_SPLITS,
+    NO_OADDR,
+    PAGE_F_BIG,
+    PAGE_F_BITMAP,
+    PAGE_HDR_SIZE,
+    SLOT_SIZE,
+)
+from repro.core.pages import PageView
+from repro.core.table import HashTable
+
+
+@dataclass
+class CheckReport:
+    """Outcome of a verification pass."""
+
+    errors: list[str] = field(default_factory=list)
+    warnings: list[str] = field(default_factory=list)
+    stats: dict = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    def error(self, msg: str) -> None:
+        self.errors.append(msg)
+
+    def warn(self, msg: str) -> None:
+        self.warnings.append(msg)
+
+    def render(self) -> str:
+        lines = []
+        for e in self.errors:
+            lines.append(f"ERROR: {e}")
+        for w in self.warnings:
+            lines.append(f"WARN:  {w}")
+        for k, v in sorted(self.stats.items()):
+            lines.append(f"{k}: {v}")
+        lines.append("clean" if self.ok else f"{len(self.errors)} error(s)")
+        return "\n".join(lines)
+
+
+def _check_header(t: HashTable, report: CheckReport) -> None:
+    h = t.header
+    if h.low_mask != h.high_mask >> 1:
+        report.error(f"mask mismatch: low={h.low_mask:#x} high={h.high_mask:#x}")
+    if not h.low_mask <= h.max_bucket <= h.high_mask:
+        report.error(
+            f"max_bucket {h.max_bucket} outside masks "
+            f"[{h.low_mask}, {h.high_mask}]"
+        )
+    if h.ovfl_point >= MAX_SPLITS:
+        report.error(f"ovfl_point {h.ovfl_point} out of range")
+    prev = 0
+    for i, s in enumerate(h.spares):
+        if s < prev:
+            report.error(f"spares[{i}]={s} decreases (prev {prev})")
+        if s - prev > MAX_OVFL_PER_SPLIT:
+            report.error(f"spares[{i}] allocates more than a split point holds")
+        prev = s
+    if h.hdr_pages * h.bsize < 512:
+        report.error(f"hdr_pages {h.hdr_pages} too small for the header")
+
+
+def _parse_page(view: PageView, where: str, report: CheckReport) -> bool:
+    """Bounds-check the slot table; False when the page is unusable."""
+    bsize = view.bsize
+    if view.data_off > bsize or view.data_off < PAGE_HDR_SIZE:
+        report.error(f"{where}: data_off {view.data_off} out of range")
+        return False
+    if PAGE_HDR_SIZE + view.nslots * SLOT_SIZE > view.data_off:
+        report.error(f"{where}: slot table overlaps entry data")
+        return False
+    for i in range(view.nslots):
+        try:
+            if view.slot_is_big(i):
+                view.get_big_ref(i)
+            else:
+                view.get_pair(i)
+        except Exception as exc:
+            report.error(f"{where} slot {i}: unreadable ({exc})")
+            return False
+    return True
+
+
+def verify_table(t: HashTable) -> CheckReport:
+    """Verify an open table; read-only (safe on live tables)."""
+    report = CheckReport()
+    h = t.header
+    _check_header(t, report)
+    if report.errors:
+        return report
+
+    referenced: set[int] = set()  # overflow slots referenced by structures
+    nkeys = 0
+    chain_pages = 0
+    big_pairs = 0
+    max_chain = 0
+
+    for bucket in range(h.max_bucket + 1):
+        hdr = t._fault(("B", bucket))
+        view = PageView(hdr.page)
+        seen: set[int] = set()
+        chain_len = 0
+        where = f"bucket {bucket}"
+        while True:
+            if not _parse_page(view, where, report):
+                break
+            for i, big in view.iter_slots():
+                if big:
+                    oaddr, klen, dlen, prefix = view.get_big_ref(i)
+                    big_pairs += 1
+                    key = _check_big_chain(
+                        t, oaddr, klen, dlen, prefix, where, report, referenced
+                    )
+                else:
+                    key = view.get_key(i)
+                if key is not None and t._bucket_of(key) != bucket:
+                    report.error(
+                        f"{where}: key {key[:32]!r} hashes to bucket "
+                        f"{t._bucket_of(key)}"
+                    )
+                nkeys += 1
+            nxt = view.ovfl_addr
+            if nxt == NO_OADDR:
+                break
+            if nxt in seen:
+                report.error(f"{where}: overflow chain cycle at {nxt:#x}")
+                break
+            seen.add(nxt)
+            slot = _slot_of(t, nxt, where, report)
+            if slot is None:
+                break
+            referenced.add(slot)
+            chain_pages += 1
+            chain_len += 1
+            hdr = t._fault(("O", nxt))
+            view = PageView(hdr.page)
+            where = f"bucket {bucket} ovfl {nxt:#x}"
+        max_chain = max(max_chain, chain_len)
+
+    if nkeys != h.nkeys:
+        report.error(f"header nkeys {h.nkeys} but scan found {nkeys}")
+
+    # bitmap pages are in-use overflow pages too
+    bitmap_pages = 0
+    for oaddr in h.bitmaps:
+        if oaddr == 0:
+            continue
+        bitmap_pages += 1
+        slot = _slot_of(t, oaddr, "bitmap table", report)
+        if slot is not None:
+            referenced.add(slot)
+            hdr = t._fault(("O", oaddr))
+            if not PageView(hdr.page).flags & PAGE_F_BITMAP:
+                report.error(f"bitmap page {oaddr:#x} not flagged PAGE_F_BITMAP")
+
+    # cross-check the allocation bitmaps
+    total_slots = h.spares[h.ovfl_point]
+    in_use = 0
+    for slot in range(total_slots):
+        marked = t.allocator.is_set(slot)
+        if marked:
+            in_use += 1
+        if slot in referenced and not marked:
+            report.error(f"overflow slot {slot} referenced but marked free")
+    leaked = in_use - len(referenced)
+    if leaked:
+        report.warn(f"{leaked} in-use overflow slot(s) not referenced (leak)")
+
+    report.stats.update(
+        nkeys=nkeys,
+        buckets=h.max_bucket + 1,
+        overflow_slots_allocated=total_slots,
+        overflow_slots_in_use=in_use,
+        chain_pages=chain_pages,
+        bitmap_pages=bitmap_pages,
+        big_pairs=big_pairs,
+        longest_chain=max_chain,
+        fill_ratio=round(nkeys / (h.max_bucket + 1), 2),
+    )
+    return report
+
+
+def _slot_of(t: HashTable, oaddr: int, where: str, report: CheckReport):
+    try:
+        split, page = addressing.split_oaddr(oaddr)
+    except ValueError as exc:
+        report.error(f"{where}: bad overflow address {oaddr:#x} ({exc})")
+        return None
+    h = t.header
+    base = h.spares[split - 1] if split else 0
+    if base + page > h.spares[split]:
+        report.error(
+            f"{where}: overflow address {oaddr:#x} beyond spares[{split}]"
+        )
+        return None
+    return addressing.oaddr_to_slot(oaddr, h.spares)
+
+
+def _check_big_chain(
+    t: HashTable,
+    head: int,
+    klen: int,
+    dlen: int,
+    prefix: bytes,
+    where: str,
+    report: CheckReport,
+    referenced: set[int],
+) -> bytes | None:
+    """Walk a big-pair chain; returns the key (for hash placement checks)
+    or None when the chain is broken."""
+    total = klen + dlen
+    got = 0
+    oaddr = head
+    seen: set[int] = set()
+    parts = []
+    while oaddr != NO_OADDR:
+        if oaddr in seen:
+            report.error(f"{where}: big-pair chain cycle at {oaddr:#x}")
+            return None
+        seen.add(oaddr)
+        slot = _slot_of(t, oaddr, where, report)
+        if slot is None:
+            return None
+        referenced.add(slot)
+        hdr = t._fault(("O", oaddr))
+        view = BigPageView(hdr.page)
+        if not view.flags & PAGE_F_BIG:
+            report.error(f"{where}: big-pair page {oaddr:#x} not flagged")
+            return None
+        parts.append(view.payload())
+        got += view.used
+        if got >= total:
+            break
+        oaddr = view.next_oaddr
+    if got < total:
+        report.error(
+            f"{where}: big pair truncated ({got} of {total} bytes)"
+        )
+        return None
+    payload = b"".join(parts)
+    key = payload[:klen]
+    if key[: len(prefix)] != prefix:
+        report.error(f"{where}: big-pair inline prefix mismatch")
+    return key
+
+
+def verify_file(path, **open_kwargs) -> CheckReport:
+    """Open ``path`` read-only and verify it."""
+    t = HashTable.open_file(path, readonly=True, **open_kwargs)
+    try:
+        return verify_table(t)
+    finally:
+        t.close()

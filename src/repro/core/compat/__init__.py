@@ -1,0 +1,11 @@
+"""Compatibility interfaces.
+
+"This hashing package provides a set of compatibility routines to implement
+the ndbm interface ... It also provides a set of compatibility routines to
+implement the hsearch interface."
+"""
+
+from repro.core.compat.ndbm import NdbmCompat, dbm_open
+from repro.core.compat.hsearch import ENTER, FIND, HsearchCompat
+
+__all__ = ["NdbmCompat", "dbm_open", "HsearchCompat", "ENTER", "FIND"]

@@ -1,0 +1,81 @@
+"""hsearch-compatible interface over the new package.
+
+System V's hsearch(3) exposes a single global in-memory table via
+``hcreate``/``hsearch``/``hdestroy``.  This module reproduces that shape --
+including the single-global-table restriction, faithfully -- on top of an
+in-memory :class:`~repro.core.table.HashTable`, which removes the
+underlying limitations the paper lists: the table grows past ``nelem``,
+and (through :class:`HsearchCompat` instances) multiple tables can be used
+concurrently where the native interface is chosen.
+"""
+
+from __future__ import annotations
+
+from repro.core.constants import DEFAULT_CACHESIZE
+from repro.core.table import HashTable
+
+#: hsearch ACTION values.
+FIND = 0
+ENTER = 1
+
+
+class HsearchCompat:
+    """One hsearch-style table (instantiate several for multiple tables)."""
+
+    def __init__(self, nelem: int, cachesize: int = DEFAULT_CACHESIZE) -> None:
+        if nelem < 1:
+            raise ValueError(f"nelem must be >= 1, got {nelem}")
+        self._table = HashTable.create(
+            None, nelem=nelem, cachesize=cachesize, in_memory=True
+        )
+
+    def hsearch(self, key: bytes, data: bytes | None, action: int) -> bytes | None:
+        """FIND returns the stored data or None; ENTER stores ``data`` if
+        the key is absent and returns the (existing or new) data.
+
+        Unlike System V, ENTER never fails with "table full".
+        """
+        if action == FIND:
+            return self._table.get(key)
+        if action == ENTER:
+            existing = self._table.get(key)
+            if existing is not None:
+                return existing
+            if data is None:
+                raise ValueError("ENTER requires data")
+            self._table.put(key, data)
+            return data
+        raise ValueError(f"bad hsearch action {action}")
+
+    def hdestroy(self) -> None:
+        self._table.close()
+
+    @property
+    def table(self) -> HashTable:
+        """Escape hatch to the native interface."""
+        return self._table
+
+
+_global_table: HsearchCompat | None = None
+
+
+def hcreate(nelem: int) -> bool:
+    """Create the single global table (System V semantics)."""
+    global _global_table
+    if _global_table is not None:
+        return False
+    _global_table = HsearchCompat(nelem)
+    return True
+
+
+def hsearch(key: bytes, data: bytes | None, action: int) -> bytes | None:
+    if _global_table is None:
+        raise RuntimeError("hsearch before hcreate")
+    return _global_table.hsearch(key, data, action)
+
+
+def hdestroy() -> None:
+    global _global_table
+    if _global_table is not None:
+        _global_table.hdestroy()
+        _global_table = None

@@ -1,0 +1,108 @@
+"""Constants and limits of the new hashing package.
+
+The limits mirror the paper exactly: offsets within pages are 16 bits
+(maximum page size 32 KiB), an overflow address packs a 5-bit split point
+and an 11-bit page number into 16 bits, so a file may split 32 times
+yielding at most 2**32 buckets and 32 * 2**11 overflow pages.
+"""
+
+from __future__ import annotations
+
+# --- file format ------------------------------------------------------------
+
+#: Magic number of the hash file header (the historical 4.4BSD value).
+HASH_MAGIC = 0x061561
+
+#: On-disk format version of *this* reproduction (not byte-compatible with
+#: the C package; see DESIGN.md section 7).
+HASH_VERSION = 1
+
+#: Fixed byte size of the serialized header.  The header occupies
+#: ``ceil(HDR_SIZE / bsize)`` pages at the front of the file.
+HDR_SIZE = 512
+
+# --- table parameter defaults (from the paper) -------------------------------
+
+#: Default bucket/page size in bytes ("The bucket size ... defaults to 256").
+DEFAULT_BSIZE = 256
+
+#: Default fill factor ("Its default is eight").
+DEFAULT_FFACTOR = 8
+
+#: Default buffer-pool budget ("the package allocates up to 64K bytes of
+#: buffered pages").
+DEFAULT_CACHESIZE = 64 * 1024
+
+#: Value hashed into the header so a wrong user hash function can be
+#: detected when an existing table is reopened.
+CHARKEY = b"%$sniglet&*"
+
+# --- hard limits (paper, "Overflow Pages" section) ----------------------------
+
+#: Minimum sane page size; "A bucket size smaller than 64 bytes is not
+#: recommended" -- we enforce it as a hard floor.
+MIN_BSIZE = 64
+
+#: Offsets within pages are 16 bits, "limiting the maximum page size to 32K".
+MAX_BSIZE = 32768
+
+#: Bits of an overflow address devoted to the split point.
+SPLIT_BITS = 5
+
+#: Bits of an overflow address devoted to the page number within the split
+#: point.
+PAGE_BITS = 11
+
+#: "files may split 32 times"
+MAX_SPLITS = 1 << SPLIT_BITS  # 32
+
+#: Maximum overflow pages per split point (page number 0 is reserved so a
+#: zero overflow address can mean "none").
+MAX_OVFL_PER_SPLIT = (1 << PAGE_BITS) - 1  # 2047
+
+#: Mask extracting the page-number field of an overflow address.
+OVFL_PAGE_MASK = (1 << PAGE_BITS) - 1
+
+#: The null overflow address ("no overflow page").
+NO_OADDR = 0
+
+# --- page layout --------------------------------------------------------------
+
+#: Bytes of fixed header at the start of every slotted page:
+#: u16 nslots | u16 data_off | u16 ovfl_addr | u16 flags.
+PAGE_HDR_SIZE = 8
+
+#: Bytes per slot-table entry: u16 entry_off | u16 klen | u16 dlen.
+SLOT_SIZE = 6
+
+#: Flag bit in a slot's klen/dlen fields marking a big (overflow-resident)
+#: key/data pair.
+BIG_FLAG = 0x8000
+
+#: Mask for the length portion of a slot's klen/dlen fields.
+LEN_MASK = 0x7FFF
+
+#: Page-level flags.
+PAGE_F_BITMAP = 0x0001  #: page holds an overflow-allocation bitmap
+PAGE_F_BIG = 0x0002  #: page belongs to a big key/data pair chain
+
+#: Bytes of fixed header on a big-pair chain page: u16 next_oaddr | u16 used.
+BIG_PAGE_HDR_SIZE = 4
+
+#: Bytes of the big-pair inline reference before the key prefix:
+#: u16 chain oaddr | u32 key length | u32 data length.
+BIG_REF_SIZE = 10
+
+#: Key-prefix bytes stored inline with a big-pair reference so most lookups
+#: can reject without fetching the chain.
+BIG_KEY_PREFIX = 16
+
+# --- in-memory structures ------------------------------------------------------
+
+#: Bucket-array segment size ("the array is arranged in segments of 256
+#: pointers").
+SEGMENT_SIZE = 256
+
+#: Initial number of segment slots ("Initially, there is space to allocate
+#: 256 segments").
+DIR_SIZE = 256

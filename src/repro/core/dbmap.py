@@ -1,0 +1,104 @@
+"""Dict-like convenience wrapper and the module-level ``open`` helper."""
+
+from __future__ import annotations
+
+import os
+from collections.abc import MutableMapping
+from typing import Iterator
+
+from repro.core.constants import (
+    DEFAULT_BSIZE,
+    DEFAULT_CACHESIZE,
+    DEFAULT_FFACTOR,
+)
+from repro.core.hashfuncs import HashFunction
+from repro.core.table import HashTable
+
+
+def _to_bytes(value) -> bytes:
+    if isinstance(value, bytes):
+        return value
+    if isinstance(value, bytearray):
+        return bytes(value)
+    if isinstance(value, str):
+        return value.encode("utf-8")
+    raise TypeError(f"keys and values must be bytes or str, not {type(value).__name__}")
+
+
+class HashDB(MutableMapping):
+    """A ``MutableMapping`` over a :class:`~repro.core.table.HashTable`.
+
+    Accepts ``str`` or ``bytes`` keys and values (strings are UTF-8
+    encoded); always returns ``bytes``.
+    """
+
+    def __init__(self, table: HashTable) -> None:
+        self.table = table
+
+    def __getitem__(self, key) -> bytes:
+        value = self.table.get(_to_bytes(key))
+        if value is None:
+            raise KeyError(key)
+        return value
+
+    def __setitem__(self, key, value) -> None:
+        self.table.put(_to_bytes(key), _to_bytes(value))
+
+    def __delitem__(self, key) -> None:
+        if not self.table.delete(_to_bytes(key)):
+            raise KeyError(key)
+
+    def __contains__(self, key) -> bool:
+        return _to_bytes(key) in self.table
+
+    def __iter__(self) -> Iterator[bytes]:
+        return self.table.keys()
+
+    def __len__(self) -> int:
+        return len(self.table)
+
+    def sync(self) -> None:
+        self.table.sync()
+
+    def close(self) -> None:
+        self.table.close()
+
+    def __enter__(self) -> "HashDB":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def open(  # noqa: A001 - mirrors dbm.open's name deliberately
+    path: str | os.PathLike | None = None,
+    flag: str = "r",
+    *,
+    bsize: int = DEFAULT_BSIZE,
+    ffactor: int = DEFAULT_FFACTOR,
+    nelem: int = 1,
+    cachesize: int = DEFAULT_CACHESIZE,
+    hashfn: str | HashFunction | None = None,
+) -> HashDB:
+    """Open a hash database, dbm-style.
+
+    ``flag`` is one of ``'r'`` (read-only), ``'w'`` (read-write existing),
+    ``'c'`` (create if missing), ``'n'`` (always create fresh).  With
+    ``path=None`` an anonymous table is created regardless of ``flag``.
+    """
+    if flag not in ("r", "w", "c", "n"):
+        raise ValueError(f"flag must be one of 'r', 'w', 'c', 'n', got {flag!r}")
+    create_kwargs = dict(
+        bsize=bsize, ffactor=ffactor, nelem=nelem, cachesize=cachesize, hashfn=hashfn
+    )
+    if path is None:
+        return HashDB(HashTable.create(None, **create_kwargs))
+    path = os.fspath(path)
+    exists = os.path.exists(path)
+    if flag == "n" or (flag == "c" and not exists):
+        table = HashTable.create(path, **create_kwargs)
+    else:
+        table = HashTable.open_file(
+            path, cachesize=cachesize, hashfn=hashfn, readonly=(flag == "r")
+        )
+    return HashDB(table)

@@ -1,0 +1,33 @@
+"""Exception hierarchy of the hashing package."""
+
+from __future__ import annotations
+
+
+class HashError(Exception):
+    """Base class for all errors raised by the hashing package."""
+
+
+class BadFileError(HashError):
+    """The file is not a hash table, is corrupt, or has a bad version."""
+
+
+class HashFunctionMismatchError(BadFileError):
+    """An existing table was opened with a different hash function than the
+    one it was created with (detected via the stored charkey hash)."""
+
+
+class HashFullError(HashError):
+    """A hard format limit was hit (32 split points exhausted, or 2047
+    overflow pages within one split point)."""
+
+
+class ReadOnlyError(HashError):
+    """A mutating operation was attempted on a read-only table."""
+
+
+class ClosedError(HashError):
+    """An operation was attempted on a closed table."""
+
+
+class InvalidParameterError(HashError, ValueError):
+    """A table-creation parameter was out of range."""

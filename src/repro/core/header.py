@@ -1,0 +1,160 @@
+"""On-disk file header of a hash table.
+
+The header records everything needed to reopen a table: the table geometry
+(bucket size, fill factor, masks, maximum bucket), the split history
+(``spares`` -- cumulative overflow pages per split point), the addresses of
+the overflow-allocation bitmap pages (``bitmaps``), and a check value
+(``h_charkey``) used to detect that a user-supplied hash function differs
+from the one the table was created with.
+
+Layout (big-endian, fixed 512 bytes, zero-padded):
+
+====== ====== =============================================
+offset size   field
+====== ====== =============================================
+0      4      magic (0x061561)
+4      4      version
+8      4      lorder (byte order marker, 4321 = big-endian)
+12     4      bsize (bucket/page size in bytes)
+16     4      bshift (log2 of bsize)
+20     4      ffactor
+24     4      max_bucket
+28     4      high_mask
+32     4      low_mask
+36     4      ovfl_point (current split point)
+40     4      last_freed (hint: lowest possibly-free overflow slot, ~0 none)
+44     8      nkeys
+52     4      hdr_pages
+56     4      h_charkey (hash of the CHARKEY constant)
+60     128    spares[32] (u32 each, cumulative overflow pages)
+188    64     bitmaps[32] (u16 each, oaddr of bitmap page i, 0 = none)
+252    ...    zero padding to 512 bytes
+====== ====== =============================================
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+from repro.core.constants import (
+    HASH_MAGIC,
+    HASH_VERSION,
+    HDR_SIZE,
+    MAX_SPLITS,
+)
+from repro.core.errors import BadFileError
+
+_FIXED = struct.Struct(">IIIIIIIIII IQ II".replace(" ", ""))
+_SPARES = struct.Struct(f">{MAX_SPLITS}I")
+_BITMAPS = struct.Struct(f">{MAX_SPLITS}H")
+
+#: Sentinel for "no freed overflow slot" in ``last_freed``.
+NO_LAST_FREED = 0xFFFFFFFF
+
+#: Byte-order marker stored in the header (we always write big-endian).
+LORDER_BIG = 4321
+
+
+@dataclass
+class Header:
+    """In-memory form of the file header."""
+
+    bsize: int
+    bshift: int
+    ffactor: int
+    max_bucket: int = 0
+    high_mask: int = 1
+    low_mask: int = 0
+    ovfl_point: int = 0
+    last_freed: int = NO_LAST_FREED
+    nkeys: int = 0
+    hdr_pages: int = 1
+    h_charkey: int = 0
+    magic: int = HASH_MAGIC
+    version: int = HASH_VERSION
+    lorder: int = LORDER_BIG
+    spares: list[int] = field(default_factory=lambda: [0] * MAX_SPLITS)
+    bitmaps: list[int] = field(default_factory=lambda: [0] * MAX_SPLITS)
+
+    def pack(self) -> bytes:
+        """Serialize to exactly ``HDR_SIZE`` bytes."""
+        fixed = _FIXED.pack(
+            self.magic,
+            self.version,
+            self.lorder,
+            self.bsize,
+            self.bshift,
+            self.ffactor,
+            self.max_bucket,
+            self.high_mask,
+            self.low_mask,
+            self.ovfl_point,
+            self.last_freed,
+            self.nkeys,
+            self.hdr_pages,
+            self.h_charkey,
+        )
+        out = fixed + _SPARES.pack(*self.spares) + _BITMAPS.pack(*self.bitmaps)
+        if len(out) > HDR_SIZE:
+            raise AssertionError(
+                f"header serialization of {len(out)} bytes exceeds HDR_SIZE"
+            )
+        return out + b"\0" * (HDR_SIZE - len(out))
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "Header":
+        """Deserialize and validate a header read from the file front."""
+        if len(data) < HDR_SIZE:
+            raise BadFileError(
+                f"file too short to hold a hash header ({len(data)} bytes)"
+            )
+        fields = _FIXED.unpack_from(data, 0)
+        (
+            magic,
+            version,
+            lorder,
+            bsize,
+            bshift,
+            ffactor,
+            max_bucket,
+            high_mask,
+            low_mask,
+            ovfl_point,
+            last_freed,
+            nkeys,
+            hdr_pages,
+            h_charkey,
+        ) = fields
+        if magic != HASH_MAGIC:
+            raise BadFileError(
+                f"bad magic {magic:#x} (expected {HASH_MAGIC:#x}): not a hash file"
+            )
+        if version != HASH_VERSION:
+            raise BadFileError(
+                f"unsupported hash file version {version} (expected {HASH_VERSION})"
+            )
+        if lorder != LORDER_BIG:
+            raise BadFileError(f"unsupported byte-order marker {lorder}")
+        if bsize <= 0 or (1 << bshift) != bsize:
+            raise BadFileError(f"corrupt header: bsize={bsize}, bshift={bshift}")
+        spares = list(_SPARES.unpack_from(data, _FIXED.size))
+        bitmaps = list(_BITMAPS.unpack_from(data, _FIXED.size + _SPARES.size))
+        return cls(
+            bsize=bsize,
+            bshift=bshift,
+            ffactor=ffactor,
+            max_bucket=max_bucket,
+            high_mask=high_mask,
+            low_mask=low_mask,
+            ovfl_point=ovfl_point,
+            last_freed=last_freed,
+            nkeys=nkeys,
+            hdr_pages=hdr_pages,
+            h_charkey=h_charkey,
+            magic=magic,
+            version=version,
+            lorder=lorder,
+            spares=spares,
+            bitmaps=bitmaps,
+        )

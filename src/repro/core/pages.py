@@ -1,0 +1,281 @@
+"""Slotted-page layout for primary buckets and chain overflow pages.
+
+Every bucket (primary) page and every bucket-chain overflow page uses the
+same layout: a slot table growing up from the front, key/data bytes packed
+down from the end, and free space in between -- the structure the C package
+used with its 16-bit in-page offsets.
+
+::
+
+    +--------+--------+-----------+--------+----------------------------+
+    | nslots | dataoff| ovfl_addr | flags  | slot table | free | entries |
+    |  u16   |  u16   |   u16     |  u16   | 6B each -> |      | <- grow |
+    +--------+--------+-----------+--------+----------------------------+
+
+A slot is ``(entry_off: u16, klen: u16, dlen: u16)``.  For an ordinary pair
+the entry bytes are ``key || data`` at ``entry_off``.  A *big* pair (one
+whose key+data cannot fit on a page) is marked with :data:`BIG_FLAG` in the
+``klen`` field; its entry bytes are a fixed reference -- the overflow
+address of the big-pair chain, the true key and data lengths, and an inline
+key prefix for cheap mismatch rejection -- see :mod:`repro.core.bigpairs`.
+
+``ovfl_addr`` links the page to the next overflow page of the same bucket
+(0 = none), giving the logical chain the paper's Figure 4 shows.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterator
+
+from repro.core.constants import (
+    BIG_FLAG,
+    BIG_KEY_PREFIX,
+    BIG_REF_SIZE,
+    LEN_MASK,
+    NO_OADDR,
+    PAGE_HDR_SIZE,
+    SLOT_SIZE,
+)
+
+_PAGE_HDR = struct.Struct(">HHHH")
+_SLOT = struct.Struct(">HHH")
+_BIG_REF = struct.Struct(">HII")
+
+
+class PageFullError(Exception):
+    """Internal signal: the pair does not fit on this page."""
+
+
+def pair_bytes_needed(klen: int, dlen: int) -> int:
+    """Total page bytes an ordinary pair consumes (slot + entry)."""
+    return SLOT_SIZE + klen + dlen
+
+
+def big_ref_bytes(klen: int) -> int:
+    """Page bytes consumed by a big-pair inline reference."""
+    return SLOT_SIZE + BIG_REF_SIZE + min(klen, BIG_KEY_PREFIX)
+
+
+def is_big_pair(klen: int, dlen: int, bsize: int) -> bool:
+    """True if a pair of the given sizes cannot live on a single page and
+    must be stored on a big-pair overflow chain."""
+    return PAGE_HDR_SIZE + pair_bytes_needed(klen, dlen) > bsize
+
+
+def empty_page(bsize: int, flags: int = 0) -> bytearray:
+    """A fresh page: zero slots, data offset at the page end."""
+    page = bytearray(bsize)
+    _PAGE_HDR.pack_into(page, 0, 0, bsize, NO_OADDR, flags)
+    return page
+
+
+class PageView:
+    """Structured read/write access to one page buffer.
+
+    The view mutates the underlying ``bytearray`` in place; the buffer
+    manager owns dirty tracking.
+    """
+
+    __slots__ = ("buf", "bsize")
+
+    def __init__(self, buf: bytearray) -> None:
+        self.buf = buf
+        self.bsize = len(buf)
+
+    # -- header fields ---------------------------------------------------------
+
+    @property
+    def nslots(self) -> int:
+        return struct.unpack_from(">H", self.buf, 0)[0]
+
+    @nslots.setter
+    def nslots(self, value: int) -> None:
+        struct.pack_into(">H", self.buf, 0, value)
+
+    @property
+    def data_off(self) -> int:
+        """Offset of the lowest byte used by packed entries."""
+        return struct.unpack_from(">H", self.buf, 2)[0]
+
+    @data_off.setter
+    def data_off(self, value: int) -> None:
+        struct.pack_into(">H", self.buf, 2, value)
+
+    @property
+    def ovfl_addr(self) -> int:
+        return struct.unpack_from(">H", self.buf, 4)[0]
+
+    @ovfl_addr.setter
+    def ovfl_addr(self, value: int) -> None:
+        struct.pack_into(">H", self.buf, 4, value)
+
+    @property
+    def flags(self) -> int:
+        return struct.unpack_from(">H", self.buf, 6)[0]
+
+    @flags.setter
+    def flags(self, value: int) -> None:
+        struct.pack_into(">H", self.buf, 6, value)
+
+    def initialize(self, flags: int = 0) -> None:
+        """Reset to an empty page (used for zero-filled fresh pages)."""
+        self.buf[:] = b"\0" * self.bsize
+        _PAGE_HDR.pack_into(self.buf, 0, 0, self.bsize, NO_OADDR, flags)
+
+    def looks_uninitialized(self) -> bool:
+        """A zero-filled page read from a file hole: every field zero.
+
+        A real empty page has ``data_off == bsize``, so all-zero means the
+        page was never written (sparse-file hole).
+        """
+        return self.nslots == 0 and self.data_off == 0
+
+    # -- space accounting --------------------------------------------------------
+
+    @property
+    def free_space(self) -> int:
+        """Bytes between the end of the slot table and the packed entries."""
+        return self.data_off - (PAGE_HDR_SIZE + self.nslots * SLOT_SIZE)
+
+    def fits(self, klen: int, dlen: int) -> bool:
+        """Can an ordinary pair of these sizes be inserted here?"""
+        return pair_bytes_needed(klen, dlen) <= self.free_space
+
+    def fits_big_ref(self, klen: int) -> bool:
+        return big_ref_bytes(klen) <= self.free_space
+
+    # -- slot access ---------------------------------------------------------------
+
+    def _slot(self, i: int) -> tuple[int, int, int]:
+        if not 0 <= i < self.nslots:
+            raise IndexError(f"slot {i} out of range (nslots={self.nslots})")
+        return _SLOT.unpack_from(self.buf, PAGE_HDR_SIZE + i * SLOT_SIZE)
+
+    def slot_is_big(self, i: int) -> bool:
+        _off, klen, _dlen = self._slot(i)
+        return bool(klen & BIG_FLAG)
+
+    def get_pair(self, i: int) -> tuple[bytes, bytes]:
+        """Key and data bytes of ordinary slot ``i`` (raises on big slots)."""
+        off, klen, dlen = self._slot(i)
+        if klen & BIG_FLAG:
+            raise ValueError(f"slot {i} is a big-pair reference, not an inline pair")
+        klen &= LEN_MASK
+        dlen &= LEN_MASK
+        return bytes(self.buf[off : off + klen]), bytes(
+            self.buf[off + klen : off + klen + dlen]
+        )
+
+    def get_key(self, i: int) -> bytes:
+        off, klen, _dlen = self._slot(i)
+        if klen & BIG_FLAG:
+            raise ValueError(f"slot {i} is a big-pair reference, not an inline pair")
+        return bytes(self.buf[off : off + (klen & LEN_MASK)])
+
+    def get_big_ref(self, i: int) -> tuple[int, int, int, bytes]:
+        """Decode big slot ``i`` -> (chain oaddr, key length, data length,
+        inline key prefix)."""
+        off, klen, _dlen = self._slot(i)
+        if not klen & BIG_FLAG:
+            raise ValueError(f"slot {i} is an inline pair, not a big-pair reference")
+        ref_len = klen & LEN_MASK
+        oaddr, full_klen, full_dlen = _BIG_REF.unpack_from(self.buf, off)
+        prefix = bytes(self.buf[off + BIG_REF_SIZE : off + ref_len])
+        return oaddr, full_klen, full_dlen, prefix
+
+    # -- mutation ------------------------------------------------------------------
+
+    def _append_entry(self, entry: bytes, klen_field: int, dlen_field: int) -> None:
+        need = SLOT_SIZE + len(entry)
+        if need > self.free_space:
+            raise PageFullError(
+                f"entry of {len(entry)} bytes does not fit (free={self.free_space})"
+            )
+        new_off = self.data_off - len(entry)
+        self.buf[new_off : new_off + len(entry)] = entry
+        n = self.nslots
+        _SLOT.pack_into(
+            self.buf, PAGE_HDR_SIZE + n * SLOT_SIZE, new_off, klen_field, dlen_field
+        )
+        self.nslots = n + 1
+        self.data_off = new_off
+
+    def add_pair(self, key: bytes, data: bytes) -> None:
+        """Insert an ordinary pair; raises :class:`PageFullError` if no room."""
+        if len(key) > LEN_MASK or len(data) > LEN_MASK:
+            raise ValueError("inline key/data length exceeds 15-bit page-offset limit")
+        self._append_entry(key + data, len(key), len(data))
+
+    def add_big_ref(self, oaddr: int, klen: int, dlen: int, key_prefix: bytes) -> None:
+        """Insert a big-pair reference slot pointing at chain ``oaddr``."""
+        prefix = key_prefix[:BIG_KEY_PREFIX]
+        entry = _BIG_REF.pack(oaddr, klen, dlen) + prefix
+        self._append_entry(entry, len(entry) | BIG_FLAG, BIG_FLAG)
+
+    def delete_slot(self, i: int) -> None:
+        """Remove slot ``i``, compacting both the slot table and the packed
+        entry bytes so the freed space is immediately reusable."""
+        off, klen, dlen = self._slot(i)
+        if klen & BIG_FLAG:
+            entry_len = klen & LEN_MASK
+        else:
+            entry_len = (klen & LEN_MASK) + (dlen & LEN_MASK)
+        n = self.nslots
+        # Shift every entry stored below (at lower offsets than) the victim
+        # up by entry_len, then fix the offsets of the slots that pointed
+        # into the shifted region.
+        lo = self.data_off
+        if off > lo:
+            self.buf[lo + entry_len : off + entry_len] = self.buf[lo:off]
+        for j in range(n):
+            if j == i:
+                continue
+            joff, jk, jd = self._slot(j)
+            if joff < off:
+                _SLOT.pack_into(
+                    self.buf,
+                    PAGE_HDR_SIZE + j * SLOT_SIZE,
+                    joff + entry_len,
+                    jk,
+                    jd,
+                )
+        # Close the gap in the slot table.
+        start = PAGE_HDR_SIZE + (i + 1) * SLOT_SIZE
+        end = PAGE_HDR_SIZE + n * SLOT_SIZE
+        self.buf[start - SLOT_SIZE : end - SLOT_SIZE] = self.buf[start:end]
+        self.nslots = n - 1
+        self.data_off = lo + entry_len
+        # Zero the vacated bytes (keeps files deterministic and debuggable).
+        tbl_end = PAGE_HDR_SIZE + (n - 1) * SLOT_SIZE
+        self.buf[tbl_end:end] = b"\0" * (end - tbl_end)
+        self.buf[lo : lo + entry_len] = b"\0" * entry_len
+
+    # -- search / iteration -----------------------------------------------------------
+
+    def find_inline(self, key: bytes) -> int:
+        """Index of the ordinary slot holding ``key``, or -1.
+
+        Big slots are skipped; matching them needs chain access and is done
+        by the table layer.
+        """
+        n = self.nslots
+        klen = len(key)
+        buf = self.buf
+        for i in range(n):
+            off, kf, _df = _SLOT.unpack_from(buf, PAGE_HDR_SIZE + i * SLOT_SIZE)
+            if kf & BIG_FLAG:
+                continue
+            if kf == klen and buf[off : off + klen] == key:
+                return i
+        return -1
+
+    def iter_slots(self) -> Iterator[tuple[int, bool]]:
+        """Yield ``(slot index, is_big)`` for every slot."""
+        for i in range(self.nslots):
+            _off, kf, _df = _SLOT.unpack_from(self.buf, PAGE_HDR_SIZE + i * SLOT_SIZE)
+            yield i, bool(kf & BIG_FLAG)
+
+    def used_bytes(self) -> int:
+        """Bytes in use (header + slots + entries); for stats and tests."""
+        return PAGE_HDR_SIZE + self.nslots * SLOT_SIZE + (self.bsize - self.data_off)

@@ -1,0 +1,777 @@
+"""The hash table engine: linear hashing over buffered, slotted pages.
+
+This is the paper's contribution.  Splits occur in the predefined order of
+linear hashing, but the *time* at which pages are split is determined both
+by page overflows (uncontrolled splitting) and by exceeding the fill factor
+(controlled splitting) -- the hybrid of the dbm family's overflow-driven
+splitting and dynahash's fill-factor-driven splitting.
+
+A :class:`HashTable` composes the substrates:
+
+- a paged file (real, temporary, or RAM) from :mod:`repro.storage`;
+- the buddy-in-waiting address arithmetic (:mod:`repro.core.addressing`);
+- an LRU buffer pool (:mod:`repro.core.buffer`);
+- overflow-page bitmaps (:mod:`repro.core.bitmaps`);
+- big key/data chains (:mod:`repro.core.bigpairs`);
+- the segmented bucket array (:mod:`repro.core.bucketarray`).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.core import addressing
+from repro.core.addressing import log2_ceil
+from repro.core.bigpairs import BigPairStore
+from repro.core.bitmaps import OvflAllocator
+from repro.core.bucketarray import BucketArray
+from repro.core.buffer import BufferHeader, BufferPool
+from repro.core.constants import (
+    BIG_KEY_PREFIX,
+    CHARKEY,
+    DEFAULT_BSIZE,
+    DEFAULT_CACHESIZE,
+    DEFAULT_FFACTOR,
+    HDR_SIZE,
+    MAX_BSIZE,
+    MAX_SPLITS,
+    MIN_BSIZE,
+    NO_OADDR,
+)
+from repro.core.errors import (
+    BadFileError,
+    ClosedError,
+    HashFunctionMismatchError,
+    InvalidParameterError,
+    ReadOnlyError,
+)
+from repro.core.hashfuncs import HashFunction, get_hash_function
+from repro.core.header import Header
+from repro.core.pages import PageView, is_big_pair
+from repro.storage.memfile import MemPagedFile
+from repro.storage.pagedfile import PagedFile
+
+
+@dataclass
+class TableStats:
+    """Operation counters of one table (reset at open)."""
+
+    gets: int = 0
+    puts: int = 0
+    deletes: int = 0
+    splits: int = 0
+    controlled_splits: int = 0
+    uncontrolled_splits: int = 0
+    big_pairs_stored: int = 0
+    ovfl_pages_linked: int = 0
+    extra: dict = field(default_factory=dict)
+
+
+def suggest_parameters(
+    average_pair_length: int,
+    bsize: int | None = None,
+    ffactor: int | None = None,
+) -> tuple[int, int]:
+    """Apply the paper's Equation 1 to pick near-optimal parameters.
+
+    ``(average_pair_length + 4) * ffactor >= bsize``.  Given one of the two
+    parameters (or neither), returns a satisfying ``(bsize, ffactor)`` pair;
+    defaults start from the package defaults.
+    """
+    if average_pair_length <= 0:
+        raise InvalidParameterError("average_pair_length must be positive")
+    per_key = average_pair_length + 4
+    if bsize is not None and ffactor is not None:
+        return bsize, ffactor
+    if bsize is not None:
+        return bsize, max(1, -(-bsize // per_key))  # ceil division
+    if ffactor is None:
+        ffactor = DEFAULT_FFACTOR
+    size = MIN_BSIZE
+    while size < per_key * ffactor and size < MAX_BSIZE:
+        size <<= 1
+    return size, ffactor
+
+
+class HashTable:
+    """A disk- or memory-resident linear hash table of byte-string pairs.
+
+    Construct with :meth:`create` or :meth:`open_file` (or the module-level
+    :func:`repro.open` convenience).  Keys and values are ``bytes``.
+    """
+
+    # ------------------------------------------------------------------ setup
+
+    #: Valid split policies.  The paper's contribution is the *hybrid*:
+    #: "Splits occur in the predefined order of linear hashing, but the
+    #: time at which pages are split is determined both by page overflows
+    #: (uncontrolled splitting) and by exceeding the fill factor
+    #: (controlled splitting)."  'controlled' alone is dynahash's schedule;
+    #: 'uncontrolled' alone approximates the dbm family's trigger.  The
+    #: non-hybrid policies exist for the ablation benchmark.
+    SPLIT_POLICIES = ("hybrid", "controlled", "uncontrolled")
+
+    def __init__(
+        self,
+        file,
+        header: Header,
+        hashfn: HashFunction,
+        cachesize: int,
+        readonly: bool = False,
+        split_policy: str = "hybrid",
+        buffer_policy: str = "lru",
+    ) -> None:
+        if split_policy not in self.SPLIT_POLICIES:
+            raise InvalidParameterError(
+                f"split_policy must be one of {self.SPLIT_POLICIES}, "
+                f"got {split_policy!r}"
+            )
+        self._file = file
+        self.header = header
+        self._hash = hashfn
+        self.readonly = readonly
+        self._closed = False
+        self.split_policy = split_policy
+        self.stats = TableStats()
+        self.pool = BufferPool(
+            file, header.bsize, cachesize, self._address_of, policy=buffer_policy
+        )
+        self.allocator = OvflAllocator(header, self.pool)
+        self.bigstore = BigPairStore(self.pool, self.allocator)
+        self.buckets = BucketArray()
+        self.buckets.grow_to(header.max_bucket + 1)
+        self._cursor: tuple[int, int, int] | None = None
+
+    @classmethod
+    def create(
+        cls,
+        path: str | os.PathLike | None = None,
+        *,
+        bsize: int = DEFAULT_BSIZE,
+        ffactor: int = DEFAULT_FFACTOR,
+        nelem: int = 1,
+        cachesize: int = DEFAULT_CACHESIZE,
+        hashfn: str | HashFunction | None = None,
+        in_memory: bool = False,
+        split_policy: str = "hybrid",
+        buffer_policy: str = "lru",
+        file_wrapper=None,
+    ) -> "HashTable":
+        """Create a new table.
+
+        ``path=None`` uses an anonymous temporary file (an in-memory table
+        that spills to temp storage under buffer-pool pressure, exactly the
+        paper's memory-resident mode); ``in_memory=True`` keeps all pages in
+        RAM with no file at all.
+
+        ``nelem`` is the expected final number of elements: the table is
+        created at full size so no splitting happens while it fills --
+        Figure 6's "known in advance" case.
+        """
+        if bsize < MIN_BSIZE or bsize > MAX_BSIZE:
+            raise InvalidParameterError(
+                f"bsize must be in [{MIN_BSIZE}, {MAX_BSIZE}], got {bsize}"
+            )
+        if bsize & (bsize - 1):
+            raise InvalidParameterError(f"bsize must be a power of two, got {bsize}")
+        if ffactor < 1:
+            raise InvalidParameterError(f"ffactor must be >= 1, got {ffactor}")
+        if nelem < 1:
+            raise InvalidParameterError(f"nelem must be >= 1, got {nelem}")
+        if cachesize < 0:
+            raise InvalidParameterError("cachesize must be non-negative")
+        fn = get_hash_function(hashfn)
+        # Pre-size: nelem/ffactor buckets, rounded up to a power of two.
+        nbuckets = 1
+        while nbuckets * ffactor < nelem:
+            nbuckets <<= 1
+        hdr_pages = -(-HDR_SIZE // bsize)  # ceil
+        header = Header(
+            bsize=bsize,
+            bshift=bsize.bit_length() - 1,
+            ffactor=ffactor,
+            max_bucket=nbuckets - 1,
+            high_mask=(nbuckets << 1) - 1,
+            low_mask=nbuckets - 1,
+            ovfl_point=log2_ceil(nbuckets),
+            hdr_pages=hdr_pages,
+            h_charkey=fn(CHARKEY),
+        )
+        if in_memory:
+            file = MemPagedFile(bsize)
+        else:
+            file = PagedFile(path, bsize, create=True)
+        if file_wrapper is not None:
+            # e.g. repro.storage.simdisk.SimulatedDisk for modelled I/O time
+            file = file_wrapper(file)
+        table = cls(
+            file,
+            header,
+            fn,
+            cachesize,
+            split_policy=split_policy,
+            buffer_policy=buffer_policy,
+        )
+        table._write_header()
+        return table
+
+    @classmethod
+    def open_file(
+        cls,
+        path: str | os.PathLike,
+        *,
+        cachesize: int = DEFAULT_CACHESIZE,
+        hashfn: str | HashFunction | None = None,
+        readonly: bool = False,
+        file_wrapper=None,
+    ) -> "HashTable":
+        """Open an existing table.
+
+        If ``hashfn`` is given, the stored charkey hash is checked; a
+        mismatch raises :class:`HashFunctionMismatchError` ("the hash
+        package will try to determine that the hash function supplied is
+        the one with which the table was created").
+        """
+        fn = get_hash_function(hashfn)
+        probe = PagedFile(path, HDR_SIZE, readonly=readonly)
+        try:
+            if probe.size_bytes() < HDR_SIZE:
+                raise BadFileError(
+                    f"{os.fspath(path)}: too small to hold a hash header "
+                    "(truncated or not a hash file)"
+                )
+            raw = probe.read_page(0)
+            header = Header.unpack(raw)
+        finally:
+            probe.close()
+        if header.h_charkey != fn(CHARKEY):
+            raise HashFunctionMismatchError(
+                "table was created with a different hash function"
+            )
+        file = PagedFile(path, header.bsize, readonly=readonly)
+        if file_wrapper is not None:
+            file = file_wrapper(file)
+        return cls(file, header, fn, cachesize, readonly=readonly)
+
+    # --------------------------------------------------------------- plumbing
+
+    def _address_of(self, key) -> int:
+        kind, addr = key
+        h = self.header
+        if kind == "B":
+            return addressing.bucket_to_page(addr, h.hdr_pages, h.spares)
+        return addressing.oaddr_to_page(addr, h.hdr_pages, h.spares)
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ClosedError("operation on closed HashTable")
+
+    def _check_writable(self) -> None:
+        self._check_open()
+        if self.readonly:
+            raise ReadOnlyError("table is read-only")
+
+    def _write_header(self) -> None:
+        raw = self.header.pack()
+        bsize = self.header.bsize
+        for i in range(self.header.hdr_pages):
+            self._file.write_page(i, raw[i * bsize : (i + 1) * bsize])
+
+    def _bucket_of_hash(self, h: int) -> int:
+        hdr = self.header
+        bucket = h & hdr.high_mask
+        if bucket > hdr.max_bucket:
+            bucket = h & hdr.low_mask
+        return bucket
+
+    def _bucket_of(self, key: bytes) -> int:
+        return self._bucket_of_hash(self._hash(key))
+
+    def _fault(self, bufkey, *, create: bool = False) -> BufferHeader:
+        """Fetch a page, formatting never-written (hole) bucket pages."""
+        hdr = self.pool.get(bufkey, create=create)
+        view = PageView(hdr.page)
+        if create or view.looks_uninitialized():
+            view.initialize()
+            if create:
+                hdr.dirty = True
+        return hdr
+
+    # ---------------------------------------------------------------- lookup
+
+    def _match_big(self, view: PageView, slot: int, key: bytes) -> bool:
+        """Does big-ref ``slot`` hold ``key``?  Prefix and length reject
+        cheaply; only a real candidate fetches the chain."""
+        oaddr, klen, _dlen, prefix = view.get_big_ref(slot)
+        if klen != len(key):
+            return False
+        if prefix != key[: len(prefix)]:
+            return False
+        return self.bigstore.fetch_key(oaddr, klen) == key
+
+    def _locate(
+        self, bucket: int, key: bytes
+    ) -> tuple[BufferHeader | None, BufferHeader, int] | None:
+        """Find ``key`` in ``bucket``'s chain.
+
+        Returns ``(predecessor buffer or None, buffer, slot index)`` with
+        *both* buffers pinned (caller unpins), or ``None`` if absent.
+        """
+        prev: BufferHeader | None = None
+        hdr = self._fault(("B", bucket))
+        hdr.pin()
+        while True:
+            view = PageView(hdr.page)
+            i = view.find_inline(key)
+            if i < 0:
+                for j, big in view.iter_slots():
+                    if big and self._match_big(view, j, key):
+                        i = j
+                        break
+            if i >= 0:
+                return prev, hdr, i
+            nxt = view.ovfl_addr
+            if nxt == NO_OADDR:
+                hdr.unpin()
+                if prev is not None:
+                    prev.unpin()
+                return None
+            if prev is not None:
+                prev.unpin()
+            prev = hdr
+            nhdr = self._fault(("O", nxt))
+            nhdr.pin()
+            self.pool.link_chain(hdr, nhdr)
+            hdr = nhdr
+
+    def get(self, key: bytes, default: bytes | None = None) -> bytes | None:
+        """Value stored under ``key``, or ``default`` if absent."""
+        self._check_open()
+        self.stats.gets += 1
+        found = self._locate(self._bucket_of(key), key)
+        if found is None:
+            return default
+        prev, hdr, slot = found
+        try:
+            view = PageView(hdr.page)
+            if view.slot_is_big(slot):
+                oaddr, klen, dlen, _prefix = view.get_big_ref(slot)
+                _k, data = self.bigstore.fetch(oaddr, klen, dlen)
+                return data
+            return view.get_pair(slot)[1]
+        finally:
+            hdr.unpin()
+            if prev is not None:
+                prev.unpin()
+
+    def __contains__(self, key: bytes) -> bool:
+        self._check_open()
+        found = self._locate(self._bucket_of(key), key)
+        if found is None:
+            return False
+        prev, hdr, _slot = found
+        hdr.unpin()
+        if prev is not None:
+            prev.unpin()
+        return True
+
+    # ---------------------------------------------------------------- insert
+
+    def _place_pair(self, bucket: int, key: bytes, data: bytes) -> bool:
+        """Insert a pair into ``bucket``'s chain (no existence check, no
+        split decision, no nkeys accounting).  Returns True if a new
+        overflow page had to be linked (the uncontrolled-split trigger)."""
+        big = is_big_pair(len(key), len(data), self.header.bsize)
+        hdr = self._fault(("B", bucket))
+        hdr.pin()
+        added_overflow = False
+        try:
+            while True:
+                view = PageView(hdr.page)
+                fits = view.fits_big_ref(len(key)) if big else view.fits(len(key), len(data))
+                if fits:
+                    break
+                nxt = view.ovfl_addr
+                if nxt == NO_OADDR:
+                    # Extend the chain with a fresh overflow page.
+                    oaddr = self.allocator.alloc()
+                    nhdr = self._fault(("O", oaddr), create=True)
+                    nhdr.pin()
+                    view = PageView(hdr.page)
+                    view.ovfl_addr = oaddr
+                    hdr.dirty = True
+                    self.pool.link_chain(hdr, nhdr)
+                    self.stats.ovfl_pages_linked += 1
+                    added_overflow = True
+                    hdr.unpin()
+                    hdr = nhdr
+                    break
+                nhdr = self._fault(("O", nxt))
+                nhdr.pin()
+                self.pool.link_chain(hdr, nhdr)
+                hdr.unpin()
+                hdr = nhdr
+            view = PageView(hdr.page)
+            if big:
+                head = self.bigstore.store(key, data)
+                view = PageView(hdr.page)
+                view.add_big_ref(head, len(key), len(data), key[:BIG_KEY_PREFIX])
+                self.stats.big_pairs_stored += 1
+            else:
+                view.add_pair(key, data)
+            hdr.dirty = True
+        finally:
+            hdr.unpin()
+        return added_overflow
+
+    def put(self, key: bytes, data: bytes, *, replace: bool = True) -> bool:
+        """Store ``key -> data``.
+
+        With ``replace=False`` an existing key is left untouched and False
+        is returned (ndbm's DBM_INSERT semantics).  Inserts never fail for
+        size or collision reasons -- the paper's headline guarantee.
+        """
+        self._check_writable()
+        if not isinstance(key, (bytes, bytearray)) or not isinstance(
+            data, (bytes, bytearray)
+        ):
+            raise TypeError("keys and values must be bytes")
+        key = bytes(key)
+        data = bytes(data)
+        self.stats.puts += 1
+        bucket = self._bucket_of(key)
+        found = self._locate(bucket, key)
+        if found is not None:
+            prev, hdr, slot = found
+            if not replace:
+                hdr.unpin()
+                if prev is not None:
+                    prev.unpin()
+                return False
+            self._delete_at(prev, hdr, slot)  # unpins both buffers
+        added_overflow = self._place_pair(bucket, key, data)
+        self.header.nkeys += 1
+        uncontrolled_ok = self.split_policy in ("hybrid", "uncontrolled")
+        controlled_ok = self.split_policy in ("hybrid", "controlled")
+        if added_overflow and uncontrolled_ok:
+            self.stats.uncontrolled_splits += 1
+            self._expand_table()
+        elif controlled_ok and self.header.nkeys > self.header.ffactor * (
+            self.header.max_bucket + 1
+        ):
+            self.stats.controlled_splits += 1
+            self._expand_table()
+        return True
+
+    # ---------------------------------------------------------------- delete
+
+    def _delete_at(
+        self, prev: BufferHeader | None, hdr: BufferHeader, slot: int
+    ) -> None:
+        """Remove the pair at ``slot`` of pinned page ``hdr``; frees big
+        chains and empty overflow pages; unpins both buffers."""
+        try:
+            view = PageView(hdr.page)
+            if view.slot_is_big(slot):
+                oaddr, _klen, _dlen, _prefix = view.get_big_ref(slot)
+                self.bigstore.free(oaddr)
+                view = PageView(hdr.page)
+            view.delete_slot(slot)
+            hdr.dirty = True
+            self.header.nkeys -= 1
+            kind, addr = hdr.key
+            if (
+                kind == "O"
+                and view.nslots == 0
+                and prev is not None
+            ):
+                # Unlink and reclaim the now-empty overflow page.
+                pview = PageView(prev.page)
+                pview.ovfl_addr = view.ovfl_addr
+                prev.dirty = True
+                self.pool.unlink_chain(prev)
+                hdr.unpin()
+                hdr = None
+                self.allocator.free(addr)
+        finally:
+            if hdr is not None:
+                hdr.unpin()
+            if prev is not None:
+                prev.unpin()
+
+    def delete(self, key: bytes) -> bool:
+        """Remove ``key``; returns True if it was present.
+
+        The file never contracts (paper, footnote 6): buckets stay
+        allocated, only overflow pages are reclaimed.
+        """
+        self._check_writable()
+        self.stats.deletes += 1
+        found = self._locate(self._bucket_of(key), key)
+        if found is None:
+            return False
+        prev, hdr, slot = found
+        self._delete_at(prev, hdr, slot)
+        return True
+
+    # ---------------------------------------------------------------- splits
+
+    def _expand_table(self) -> None:
+        """One step of linear-hash growth: create bucket ``max_bucket+1``
+        and split its buddy.  Hard format limits make this a no-op instead
+        of an error (chains simply lengthen afterwards)."""
+        h = self.header
+        new_bucket = h.max_bucket + 1
+        spare_ndx = log2_ceil(new_bucket + 1)
+        if spare_ndx >= MAX_SPLITS:
+            self.stats.extra["expansion_stopped"] = (
+                self.stats.extra.get("expansion_stopped", 0) + 1
+            )
+            return
+        if new_bucket > h.high_mask:
+            # Starting a new doubling (generation).
+            h.low_mask = h.high_mask
+            h.high_mask = new_bucket | h.low_mask
+        old_bucket = new_bucket & h.low_mask
+        h.max_bucket = new_bucket
+        if spare_ndx > h.ovfl_point:
+            # spares entries above ovfl_point already mirror spares[ovfl_point]
+            h.ovfl_point = spare_ndx
+        self.buckets.grow_to(new_bucket + 1)
+        self.stats.splits += 1
+        self._split_bucket(old_bucket, new_bucket)
+
+    def _split_bucket(self, old_bucket: int, new_bucket: int) -> None:
+        """Redistribute ``old_bucket``'s pairs between it and ``new_bucket``
+        under the new masks, reclaiming its overflow pages."""
+        # -- collect ---------------------------------------------------------
+        inline_pairs: list[tuple[bytes, bytes]] = []
+        big_refs: list[tuple[int, int, int, bytes]] = []  # oaddr, klen, dlen, key
+        chain_oaddrs: list[int] = []
+        hdr = self._fault(("B", old_bucket))
+        primary_hdr = hdr
+        primary_hdr.pin()
+        cur = hdr
+        while True:
+            view = PageView(cur.page)
+            for i, big in view.iter_slots():
+                if big:
+                    oaddr, klen, dlen, _prefix = view.get_big_ref(i)
+                    full_key = self.bigstore.fetch_key(oaddr, klen)
+                    big_refs.append((oaddr, klen, dlen, full_key))
+                else:
+                    inline_pairs.append(view.get_pair(i))
+            nxt = view.ovfl_addr
+            if nxt == NO_OADDR:
+                break
+            chain_oaddrs.append(nxt)
+            cur = self._fault(("O", nxt))
+        # -- reset ------------------------------------------------------------
+        pview = PageView(primary_hdr.page)
+        pview.initialize()
+        primary_hdr.dirty = True
+        self.pool.unlink_chain(primary_hdr)
+        primary_hdr.unpin()
+        new_hdr = self._fault(("B", new_bucket), create=True)
+        new_hdr.dirty = True
+        for oaddr in chain_oaddrs:
+            self.allocator.free(oaddr)
+        # -- redistribute -------------------------------------------------------
+        for key, data in inline_pairs:
+            dest = self._bucket_of(key)
+            self._place_pair(dest, key, data)
+        for oaddr, klen, dlen, full_key in big_refs:
+            dest = self._bucket_of(full_key)
+            self._place_big_ref(dest, oaddr, klen, dlen, full_key)
+
+    def _place_big_ref(
+        self, bucket: int, oaddr: int, klen: int, dlen: int, key: bytes
+    ) -> None:
+        """Re-home an existing big-pair reference (chain pages untouched)."""
+        hdr = self._fault(("B", bucket))
+        hdr.pin()
+        try:
+            while True:
+                view = PageView(hdr.page)
+                if view.fits_big_ref(klen):
+                    view.add_big_ref(oaddr, klen, dlen, key[:BIG_KEY_PREFIX])
+                    hdr.dirty = True
+                    return
+                nxt = view.ovfl_addr
+                if nxt == NO_OADDR:
+                    new_oaddr = self.allocator.alloc()
+                    nhdr = self._fault(("O", new_oaddr), create=True)
+                    nhdr.pin()
+                    view = PageView(hdr.page)
+                    view.ovfl_addr = new_oaddr
+                    hdr.dirty = True
+                    self.pool.link_chain(hdr, nhdr)
+                    self.stats.ovfl_pages_linked += 1
+                    hdr.unpin()
+                    hdr = nhdr
+                    continue
+                nhdr = self._fault(("O", nxt))
+                nhdr.pin()
+                self.pool.link_chain(hdr, nhdr)
+                hdr.unpin()
+                hdr = nhdr
+        finally:
+            hdr.unpin()
+
+    # ------------------------------------------------------------- iteration
+
+    def items(self) -> Iterator[tuple[bytes, bytes]]:
+        """Yield every ``(key, data)`` pair in bucket order.
+
+        The table must not be modified during iteration.
+        """
+        self._check_open()
+        for bucket in range(self.header.max_bucket + 1):
+            hdr = self._fault(("B", bucket))
+            while True:
+                view = PageView(hdr.page)
+                for i, big in view.iter_slots():
+                    if big:
+                        oaddr, klen, dlen, _prefix = view.get_big_ref(i)
+                        yield self.bigstore.fetch(oaddr, klen, dlen)
+                    else:
+                        yield view.get_pair(i)
+                nxt = view.ovfl_addr
+                if nxt == NO_OADDR:
+                    break
+                hdr = self._fault(("O", nxt))
+
+    def keys(self) -> Iterator[bytes]:
+        for key, _data in self.items():
+            yield key
+
+    def values(self) -> Iterator[bytes]:
+        for _key, data in self.items():
+            yield data
+
+    def __len__(self) -> int:
+        return self.header.nkeys
+
+    def __iter__(self) -> Iterator[bytes]:
+        return self.keys()
+
+    # -- ndbm-style cursor --------------------------------------------------------
+
+    def first_key(self) -> bytes | None:
+        """Start a sequential scan; returns the first key or None."""
+        self._check_open()
+        self._cursor = (0, NO_OADDR, 0)
+        return self._cursor_fetch(advance=False)
+
+    def next_key(self) -> bytes | None:
+        """Key after the previous :meth:`first_key`/:meth:`next_key`."""
+        self._check_open()
+        if self._cursor is None:
+            return self.first_key()
+        return self._cursor_fetch(advance=True)
+
+    def _cursor_page(self, bucket: int, oaddr: int) -> BufferHeader:
+        if oaddr == NO_OADDR:
+            return self._fault(("B", bucket))
+        return self._fault(("O", oaddr))
+
+    def _cursor_fetch(self, advance: bool) -> bytes | None:
+        bucket, oaddr, slot = self._cursor
+        if advance:
+            slot += 1
+        while bucket <= self.header.max_bucket:
+            hdr = self._cursor_page(bucket, oaddr)
+            view = PageView(hdr.page)
+            if slot < view.nslots:
+                self._cursor = (bucket, oaddr, slot)
+                if view.slot_is_big(slot):
+                    boaddr, klen, _dlen, _prefix = view.get_big_ref(slot)
+                    return self.bigstore.fetch_key(boaddr, klen)
+                return view.get_key(slot)
+            nxt = view.ovfl_addr
+            if nxt != NO_OADDR:
+                oaddr, slot = nxt, 0
+            else:
+                bucket, oaddr, slot = bucket + 1, NO_OADDR, 0
+        self._cursor = (bucket, NO_OADDR, 0)
+        return None
+
+    # ------------------------------------------------------------ maintenance
+
+    def sync(self) -> None:
+        """Flush dirty pages and the header to the backing file."""
+        self._check_open()
+        self.pool.flush()
+        self._write_header()
+        self._file.sync()
+
+    def close(self) -> None:
+        """Flush and release everything; further operations raise."""
+        if self._closed:
+            return
+        if not self.readonly:
+            self.pool.drop_all()
+            self._write_header()
+        self._closed = True
+        self._file.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def __enter__(self) -> "HashTable":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------- inspection
+
+    @property
+    def nkeys(self) -> int:
+        return self.header.nkeys
+
+    @property
+    def nbuckets(self) -> int:
+        return self.header.max_bucket + 1
+
+    @property
+    def io_stats(self):
+        return self._file.stats
+
+    def fill_ratio(self) -> float:
+        """Current keys per bucket (compare against ffactor)."""
+        return self.header.nkeys / (self.header.max_bucket + 1)
+
+    def check_invariants(self) -> None:
+        """Internal consistency checks used by the test suite.
+
+        Verifies mask arithmetic, that every key hashes to the bucket whose
+        chain stores it, and that nkeys matches a full scan.
+        """
+        h = self.header
+        assert h.low_mask == (h.high_mask >> 1), (h.low_mask, h.high_mask)
+        assert h.low_mask <= h.max_bucket <= h.high_mask
+        count = 0
+        for bucket in range(h.max_bucket + 1):
+            hdr = self._fault(("B", bucket))
+            while True:
+                view = PageView(hdr.page)
+                for i, big in view.iter_slots():
+                    if big:
+                        oaddr, klen, _dlen, _prefix = view.get_big_ref(i)
+                        key = self.bigstore.fetch_key(oaddr, klen)
+                    else:
+                        key = view.get_key(i)
+                    assert self._bucket_of(key) == bucket, (
+                        f"key {key!r} stored in bucket {bucket} but hashes to "
+                        f"{self._bucket_of(key)}"
+                    )
+                    count += 1
+                nxt = view.ovfl_addr
+                if nxt == NO_OADDR:
+                    break
+                hdr = self._fault(("O", nxt))
+        assert count == h.nkeys, f"scan found {count} keys, header says {h.nkeys}"

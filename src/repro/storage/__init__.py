@@ -1,0 +1,20 @@
+"""Paged-file storage substrate.
+
+The 1991 paper ran on raw UNIX files on an HP7959S disk.  This package is the
+equivalent substrate for the reproduction: a fixed-size-page random-access
+file abstraction with explicit I/O accounting so benchmarks can report page
+reads/writes (the deterministic analogue of the paper's *system time*).
+
+Two implementations share one interface:
+
+- :class:`PagedFile` -- a real file on disk (or an anonymous temp file),
+  sparse-friendly, used for persistent hash tables.
+- :class:`MemPagedFile` -- RAM-backed, used for pure in-memory tables and for
+  fast deterministic tests.
+"""
+
+from repro.storage.iostats import IOStats, IOSnapshot
+from repro.storage.pagedfile import PagedFile
+from repro.storage.memfile import MemPagedFile
+
+__all__ = ["IOStats", "IOSnapshot", "PagedFile", "MemPagedFile"]

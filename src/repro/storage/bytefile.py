@@ -1,0 +1,81 @@
+"""Byte-offset random-access file (for the gdbm baseline).
+
+gdbm's database "is a singular, non-sparse file" holding variable-size
+records at arbitrary byte offsets, so it needs byte-granular I/O rather
+than the page-granular :class:`~repro.storage.pagedfile.PagedFile`.  Same
+I/O accounting contract.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.storage.iostats import IOStats
+
+
+class ByteFile:
+    """pread/pwrite at byte offsets with I/O accounting."""
+
+    def __init__(
+        self,
+        path: str | os.PathLike,
+        create: bool = False,
+        readonly: bool = False,
+    ) -> None:
+        self.path = os.fspath(path)
+        self.readonly = readonly
+        self.stats = IOStats()
+        if create:
+            flags = os.O_RDWR | os.O_CREAT | os.O_TRUNC
+        elif readonly:
+            flags = os.O_RDONLY
+        else:
+            flags = os.O_RDWR
+        self._fd = os.open(self.path, flags, 0o644)
+        self._closed = False
+        self.stats.record_syscall()
+
+    def read_at(self, offset: int, nbytes: int) -> bytes:
+        """Read exactly ``nbytes`` at ``offset`` (short reads are an error:
+        gdbm files are non-sparse, every addressed byte must exist)."""
+        self._check_open()
+        data = os.pread(self._fd, nbytes, offset)
+        self.stats.record_read(len(data))
+        if len(data) != nbytes:
+            raise EOFError(
+                f"short read at offset {offset}: wanted {nbytes}, got {len(data)}"
+            )
+        return data
+
+    def write_at(self, offset: int, data: bytes) -> None:
+        self._check_open()
+        os.pwrite(self._fd, data, offset)
+        self.stats.record_write(len(data))
+
+    def size(self) -> int:
+        self._check_open()
+        return os.fstat(self._fd).st_size
+
+    def sync(self) -> None:
+        self._check_open()
+        os.fsync(self._fd)
+        self.stats.record_syscall()
+
+    def close(self) -> None:
+        if not self._closed:
+            os.close(self._fd)
+            self._closed = True
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ValueError("I/O operation on closed ByteFile")
+
+    def __enter__(self) -> "ByteFile":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,106 @@
+"""I/O accounting for the paged-file substrate.
+
+The paper's evaluation reports *system time*, which on its 1991 testbed was
+dominated by read(2)/write(2)/lseek(2) traffic to the database file.  In this
+reproduction every page-level operation is counted, so benchmarks can report
+a deterministic, machine-independent proxy for that system time alongside
+wall-clock measurements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class IOSnapshot:
+    """An immutable point-in-time copy of a set of I/O counters."""
+
+    page_reads: int = 0
+    page_writes: int = 0
+    syscalls: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+
+    @property
+    def page_io(self) -> int:
+        """Total page-granularity transfers (reads + writes)."""
+        return self.page_reads + self.page_writes
+
+    def __sub__(self, other: "IOSnapshot") -> "IOSnapshot":
+        return IOSnapshot(
+            page_reads=self.page_reads - other.page_reads,
+            page_writes=self.page_writes - other.page_writes,
+            syscalls=self.syscalls - other.syscalls,
+            bytes_read=self.bytes_read - other.bytes_read,
+            bytes_written=self.bytes_written - other.bytes_written,
+        )
+
+    def __add__(self, other: "IOSnapshot") -> "IOSnapshot":
+        return IOSnapshot(
+            page_reads=self.page_reads + other.page_reads,
+            page_writes=self.page_writes + other.page_writes,
+            syscalls=self.syscalls + other.syscalls,
+            bytes_read=self.bytes_read + other.bytes_read,
+            bytes_written=self.bytes_written + other.bytes_written,
+        )
+
+
+@dataclass
+class IOStats:
+    """Mutable I/O counters attached to a paged file.
+
+    ``syscalls`` counts each operation that would have been a system call in
+    the C implementation (a seek+read pair is counted as one logical call,
+    matching how the paper reasons about "each access requires a system
+    call").
+    """
+
+    page_reads: int = 0
+    page_writes: int = 0
+    syscalls: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    _marks: dict = field(default_factory=dict, repr=False)
+
+    def record_read(self, nbytes: int) -> None:
+        self.page_reads += 1
+        self.syscalls += 1
+        self.bytes_read += nbytes
+
+    def record_write(self, nbytes: int) -> None:
+        self.page_writes += 1
+        self.syscalls += 1
+        self.bytes_written += nbytes
+
+    def record_syscall(self) -> None:
+        """Count a bookkeeping call (open/close/sync/truncate)."""
+        self.syscalls += 1
+
+    def snapshot(self) -> IOSnapshot:
+        return IOSnapshot(
+            page_reads=self.page_reads,
+            page_writes=self.page_writes,
+            syscalls=self.syscalls,
+            bytes_read=self.bytes_read,
+            bytes_written=self.bytes_written,
+        )
+
+    def reset(self) -> None:
+        self.page_reads = 0
+        self.page_writes = 0
+        self.syscalls = 0
+        self.bytes_read = 0
+        self.bytes_written = 0
+
+    @property
+    def page_io(self) -> int:
+        return self.page_reads + self.page_writes
+
+    def merge(self, other: "IOStats | IOSnapshot") -> None:
+        """Fold another counter set into this one (e.g. at file close)."""
+        self.page_reads += other.page_reads
+        self.page_writes += other.page_writes
+        self.syscalls += other.syscalls
+        self.bytes_read += other.bytes_read
+        self.bytes_written += other.bytes_written

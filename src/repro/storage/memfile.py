@@ -1,0 +1,86 @@
+"""RAM-backed implementation of the paged-file interface.
+
+Used for pure in-memory hash tables (the hsearch-style use case) and for
+fast, deterministic tests.  It still counts I/O so that "page transfers"
+remain observable even without a disk.
+"""
+
+from __future__ import annotations
+
+from repro.storage.iostats import IOStats
+
+
+class MemPagedFile:
+    """In-memory dict of pages with the same interface as ``PagedFile``."""
+
+    def __init__(self, pagesize: int, create: bool = True, readonly: bool = False) -> None:
+        if pagesize <= 0:
+            raise ValueError(f"pagesize must be positive, got {pagesize}")
+        self.pagesize = pagesize
+        self.readonly = readonly
+        self.path = None
+        self.stats = IOStats()
+        self._pages: dict[int, bytes] = {}
+        self._closed = False
+        self._zero = b"\0" * pagesize
+
+    def read_page(self, pageno: int) -> bytes:
+        self._check_open()
+        if pageno < 0:
+            raise ValueError(f"negative page number {pageno}")
+        data = self._pages.get(pageno, self._zero)
+        self.stats.record_read(len(data))
+        return data
+
+    def write_page(self, pageno: int, data: bytes) -> None:
+        self._check_open()
+        if self.readonly:
+            raise OSError("write to readonly MemPagedFile")
+        if pageno < 0:
+            raise ValueError(f"negative page number {pageno}")
+        if len(data) > self.pagesize:
+            raise ValueError(
+                f"data of {len(data)} bytes exceeds pagesize {self.pagesize}"
+            )
+        if len(data) < self.pagesize:
+            data = data + b"\0" * (self.pagesize - len(data))
+        self._pages[pageno] = bytes(data)
+        self.stats.record_write(len(data))
+
+    def sync(self) -> None:
+        self._check_open()
+        self.stats.record_syscall()
+
+    def truncate(self, npages: int) -> None:
+        self._check_open()
+        self._pages = {n: p for n, p in self._pages.items() if n < npages}
+        self.stats.record_syscall()
+
+    def npages(self) -> int:
+        self._check_open()
+        return max(self._pages) + 1 if self._pages else 0
+
+    def size_bytes(self) -> int:
+        self._check_open()
+        return self.npages() * self.pagesize
+
+    def close(self) -> None:
+        self._closed = True
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ValueError("I/O operation on closed MemPagedFile")
+
+    def __enter__(self) -> "MemPagedFile":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "closed" if self._closed else "open"
+        return f"<MemPagedFile pagesize={self.pagesize} npages={len(self._pages)} {state}>"

@@ -1,0 +1,142 @@
+"""A simulated 1991 I/O stack: disk + OS buffer cache + syscall cost.
+
+The paper's elapsed times come from a 33 MHz HP9000/370 running
+4.3BSD-Reno with 16 MB of RAM and an HP7959S disk.  Three effects set
+those numbers, and this wrapper models each -- without sleeping -- so
+benchmarks can report *simulated 1991 seconds* (see EXPERIMENTS.md):
+
+- **syscall + copy cost** (``syscall_ms``, default 0.5 ms): every
+  read/write the library issues pays it, cached or not.  This is what
+  made dbm slow even when its file sat in the buffer cache ("each access
+  requires a system call"), and what the new package's user-level buffer
+  pool avoids.
+- **OS buffer cache** (``os_cache_bytes``, default 2 MB of the machine's
+  16 MB): read hits cost only the syscall; 4.3BSD's delayed writes make
+  write hits syscall-only too.
+- **the disk** (``seek_ms`` 28 ms, ``transfer_bytes_s`` ~1 MB/s): misses
+  pay a seek (skipped for sequential access) plus transfer.
+
+``sync`` charges one seek (the flush of the create test).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+#: HP7959S / 4.3BSD-era defaults.
+DEFAULT_SEEK_MS = 28.0
+DEFAULT_TRANSFER_BYTES_S = 1_000_000
+DEFAULT_OS_CACHE_BYTES = 2 * 1024 * 1024
+DEFAULT_SYSCALL_MS = 0.5
+
+
+class SimulatedDisk:
+    """Wrap a paged file; mirror its interface; accumulate simulated time.
+
+    ``sim_seconds`` is the modelled I/O-stack time of every operation
+    since creation.  The wrapped file does the real storage work, so
+    results stay correct while the clock stays 1991.
+    """
+
+    def __init__(
+        self,
+        inner,
+        *,
+        seek_ms: float = DEFAULT_SEEK_MS,
+        transfer_bytes_s: float = DEFAULT_TRANSFER_BYTES_S,
+        os_cache_bytes: int = DEFAULT_OS_CACHE_BYTES,
+        syscall_ms: float = DEFAULT_SYSCALL_MS,
+    ) -> None:
+        if seek_ms < 0 or transfer_bytes_s <= 0 or os_cache_bytes < 0:
+            raise ValueError("invalid disk model parameters")
+        if syscall_ms < 0:
+            raise ValueError("invalid syscall cost")
+        self.inner = inner
+        self.seek_s = seek_ms / 1000.0
+        self.transfer_bytes_s = transfer_bytes_s
+        self.syscall_s = syscall_ms / 1000.0
+        self.os_cache_pages = os_cache_bytes // inner.pagesize
+        self.sim_seconds = 0.0
+        self.seeks = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self._last_page: int | None = None
+        self._os_cache: OrderedDict[int, None] = OrderedDict()
+
+    # -- the model -------------------------------------------------------------
+
+    def _cache_insert(self, pageno: int) -> None:
+        if not self.os_cache_pages:
+            return
+        self._os_cache[pageno] = None
+        self._os_cache.move_to_end(pageno)
+        while len(self._os_cache) > self.os_cache_pages:
+            self._os_cache.popitem(last=False)
+
+    def _charge(self, pageno: int) -> None:
+        """One page operation: syscall always; disk on a cache miss."""
+        self.sim_seconds += self.syscall_s
+        if pageno in self._os_cache:
+            self.cache_hits += 1
+            self._os_cache.move_to_end(pageno)
+            self._last_page = pageno
+            return
+        self.cache_misses += 1
+        if self._last_page is None or pageno != self._last_page + 1:
+            self.sim_seconds += self.seek_s
+            self.seeks += 1
+        self.sim_seconds += self.inner.pagesize / self.transfer_bytes_s
+        self._last_page = pageno
+        self._cache_insert(pageno)
+
+    # -- paged-file interface -----------------------------------------------------
+
+    @property
+    def pagesize(self) -> int:
+        return self.inner.pagesize
+
+    @property
+    def path(self):
+        return self.inner.path
+
+    @property
+    def stats(self):
+        return self.inner.stats
+
+    @property
+    def readonly(self) -> bool:
+        return self.inner.readonly
+
+    def read_page(self, pageno: int) -> bytes:
+        self._charge(pageno)
+        return self.inner.read_page(pageno)
+
+    def write_page(self, pageno: int, data: bytes) -> None:
+        self._charge(pageno)
+        self.inner.write_page(pageno, data)
+
+    def sync(self) -> None:
+        self.sim_seconds += self.seek_s
+        self.inner.sync()
+
+    def truncate(self, npages: int) -> None:
+        self.inner.truncate(npages)
+
+    def npages(self) -> int:
+        return self.inner.npages()
+
+    def size_bytes(self) -> int:
+        return self.inner.size_bytes()
+
+    def close(self) -> None:
+        self.inner.close()
+
+    @property
+    def closed(self) -> bool:
+        return self.inner.closed
+
+    def __enter__(self) -> "SimulatedDisk":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,14 @@
+"""Command-line utilities for hash-table files.
+
+``python -m repro.tools <command>``:
+
+- ``dump``  -- write a table's pairs in a db_dump-style text format;
+- ``load``  -- rebuild a table from a dump;
+- ``stat``  -- geometry, counters and distribution statistics;
+- ``check`` -- structural verification (:mod:`repro.core.check`).
+"""
+
+from repro.tools.dump import dump_table, load_table
+from repro.tools.stat import format_stats
+
+__all__ = ["dump_table", "load_table", "format_stats"]

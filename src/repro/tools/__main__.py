@@ -1,0 +1,112 @@
+"""CLI entry point: ``python -m repro.tools {dump,load,stat,check} ...``"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.check import verify_file
+from repro.core.table import HashTable
+from repro.tools.dump import dump_table, load_table
+from repro.tools.stat import format_stats
+
+
+def _cmd_dump(args) -> int:
+    table = HashTable.open_file(args.file, readonly=True)
+    try:
+        if args.output == "-":
+            count = dump_table(table, sys.stdout)
+        else:
+            with open(args.output, "w") as out:
+                count = dump_table(table, out)
+    finally:
+        table.close()
+    print(f"dumped {count} pairs", file=sys.stderr)
+    return 0
+
+
+def _cmd_load(args) -> int:
+    if args.input == "-":
+        count = load_table(args.file, sys.stdin)
+    else:
+        with open(args.input) as stream:
+            count = load_table(args.file, stream)
+    print(f"loaded {count} pairs into {args.file}", file=sys.stderr)
+    return 0
+
+
+def _cmd_stat(args) -> int:
+    if _detect_type(args.file) == "btree":
+        from repro.access.btree import BTree
+        from repro.access.btree.stat import format_btree_stats
+
+        tree = BTree.open_file(args.file, readonly=True)
+        try:
+            print(format_btree_stats(tree))
+        finally:
+            tree.close()
+        return 0
+    table = HashTable.open_file(args.file, readonly=True)
+    try:
+        print(format_stats(table))
+    finally:
+        table.close()
+    return 0
+
+
+def _detect_type(path: str) -> str:
+    """Sniff the file magic: 'hash' or 'btree'."""
+    import struct
+
+    with open(path, "rb") as fh:
+        raw = fh.read(4)
+    if len(raw) < 4:
+        return "hash"  # let the hash verifier produce the error
+    magic = struct.unpack(">I", raw)[0]
+    from repro.access.btree.btree import BTREE_MAGIC
+
+    return "btree" if magic == BTREE_MAGIC else "hash"
+
+
+def _cmd_check(args) -> int:
+    if _detect_type(args.file) == "btree":
+        from repro.access.btree.check import verify_btree_file
+
+        report = verify_btree_file(args.file)
+        print(report.render())
+        return 0 if report.ok else 1
+    report = verify_file(args.file)
+    print(report.render())
+    return 0 if report.ok else 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.tools", description="hash-table file utilities"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("dump", help="dump a table to text")
+    p.add_argument("file")
+    p.add_argument("-o", "--output", default="-", help="output file (default stdout)")
+    p.set_defaults(fn=_cmd_dump)
+
+    p = sub.add_parser("load", help="create a table from a dump")
+    p.add_argument("file", help="table file to create")
+    p.add_argument("-i", "--input", default="-", help="dump file (default stdin)")
+    p.set_defaults(fn=_cmd_load)
+
+    p = sub.add_parser("stat", help="print table statistics")
+    p.add_argument("file")
+    p.set_defaults(fn=_cmd_stat)
+
+    p = sub.add_parser("check", help="verify table structure")
+    p.add_argument("file")
+    p.set_defaults(fn=_cmd_check)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,99 @@
+"""Dump/load hash tables in a db_dump(1)-style text format.
+
+Format::
+
+    VERSION=1
+    format=bytevalue
+    type=hash
+    bsize=256
+    ffactor=8
+    HEADER=END
+     <hex key>
+     <hex data>
+     ...
+    DATA=END
+
+Keys/data are hex-encoded one per line (leading space), alternating, as
+db_dump produced; ``load_table`` recreates a table from such a stream.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import IO, Iterator
+
+from repro.core.table import HashTable
+
+_FORMAT_VERSION = 1
+
+
+def dump_table(table: HashTable, out: IO[str]) -> int:
+    """Write every pair of ``table`` to ``out``; returns the pair count."""
+    out.write(f"VERSION={_FORMAT_VERSION}\n")
+    out.write("format=bytevalue\n")
+    out.write("type=hash\n")
+    out.write(f"bsize={table.header.bsize}\n")
+    out.write(f"ffactor={table.header.ffactor}\n")
+    out.write("HEADER=END\n")
+    count = 0
+    for key, data in table.items():
+        out.write(f" {key.hex()}\n")
+        out.write(f" {data.hex()}\n")
+        count += 1
+    out.write("DATA=END\n")
+    return count
+
+
+def _parse_dump(stream: IO[str]) -> tuple[dict, Iterator[tuple[bytes, bytes]]]:
+    meta: dict[str, str] = {}
+    line = stream.readline()
+    while line:
+        line = line.rstrip("\n")
+        if line == "HEADER=END":
+            break
+        if "=" in line:
+            k, _eq, v = line.partition("=")
+            meta[k] = v
+        line = stream.readline()
+    else:
+        raise ValueError("dump stream missing HEADER=END")
+    if meta.get("type") != "hash":
+        raise ValueError(f"dump is of type {meta.get('type')!r}, expected 'hash'")
+
+    def pairs() -> Iterator[tuple[bytes, bytes]]:
+        while True:
+            kline = stream.readline()
+            if not kline:
+                raise ValueError("dump stream missing DATA=END")
+            kline = kline.rstrip("\n")
+            if kline == "DATA=END":
+                return
+            dline = stream.readline().rstrip("\n")
+            if dline == "DATA=END":
+                raise ValueError("dump stream has a key without data")
+            yield bytes.fromhex(kline.strip()), bytes.fromhex(dline.strip())
+
+    return meta, pairs()
+
+
+def load_table(path: str | os.PathLike, stream: IO[str], **create_kwargs) -> int:
+    """Create a fresh table at ``path`` from a dump; returns pairs loaded.
+
+    Geometry recorded in the dump is used unless overridden by
+    ``create_kwargs``.
+    """
+    meta, pairs = _parse_dump(stream)
+    kwargs = dict(create_kwargs)
+    if "bsize" not in kwargs and "bsize" in meta:
+        kwargs["bsize"] = int(meta["bsize"])
+    if "ffactor" not in kwargs and "ffactor" in meta:
+        kwargs["ffactor"] = int(meta["ffactor"])
+    table = HashTable.create(path, **kwargs)
+    count = 0
+    try:
+        for key, data in pairs:
+            table.put(key, data)
+            count += 1
+    finally:
+        table.close()
+    return count

@@ -1,0 +1,78 @@
+"""Table statistics (hashstat).
+
+Reports the geometry and distribution figures an operator tunes with:
+fill ratio vs fill factor, overflow-chain histogram, page utilization --
+the observable counterparts of the paper's Figure 5 parameters.
+"""
+
+from __future__ import annotations
+
+from repro.core.constants import NO_OADDR
+from repro.core.pages import PageView
+from repro.core.table import HashTable
+
+
+def collect_stats(table: HashTable) -> dict:
+    """Gather statistics from an open table (read-only walk)."""
+    h = table.header
+    chain_histogram: dict[int, int] = {}
+    used_bytes = 0
+    pages = 0
+    big_pairs = 0
+    for bucket in range(h.max_bucket + 1):
+        hdr = table._fault(("B", bucket))
+        view = PageView(hdr.page)
+        chain = 0
+        while True:
+            pages += 1
+            used_bytes += view.used_bytes()
+            for _i, big in view.iter_slots():
+                if big:
+                    big_pairs += 1
+            nxt = view.ovfl_addr
+            if nxt == NO_OADDR:
+                break
+            chain += 1
+            hdr = table._fault(("O", nxt))
+            view = PageView(hdr.page)
+        chain_histogram[chain] = chain_histogram.get(chain, 0) + 1
+    return {
+        "path": getattr(table._file, "path", None),
+        "bsize": h.bsize,
+        "ffactor": h.ffactor,
+        "nkeys": h.nkeys,
+        "buckets": h.max_bucket + 1,
+        "fill_ratio": round(h.nkeys / (h.max_bucket + 1), 2),
+        "ovfl_point": h.ovfl_point,
+        "overflow_slots": h.spares[h.ovfl_point],
+        "big_pairs": big_pairs,
+        "chain_histogram": dict(sorted(chain_histogram.items())),
+        "page_utilization": round(used_bytes / (pages * h.bsize), 3) if pages else 0.0,
+        "pool_hits": table.pool.hits,
+        "pool_misses": table.pool.misses,
+    }
+
+
+def format_stats(table: HashTable) -> str:
+    """Human-readable hashstat output."""
+    stats = collect_stats(table)
+    lines = [f"hash table statistics for {stats['path'] or '<memory>'}"]
+    order = [
+        "bsize",
+        "ffactor",
+        "nkeys",
+        "buckets",
+        "fill_ratio",
+        "ovfl_point",
+        "overflow_slots",
+        "big_pairs",
+        "page_utilization",
+        "pool_hits",
+        "pool_misses",
+    ]
+    for key in order:
+        lines.append(f"  {key:<18} {stats[key]}")
+    lines.append("  overflow-chain length histogram (length: buckets):")
+    for length, count in stats["chain_histogram"].items():
+        lines.append(f"    {length:>3}: {count}")
+    return "\n".join(lines)

@@ -1,0 +1,16 @@
+"""Deterministic synthetic workloads matching the paper's datasets."""
+
+from repro.workloads.dictionary import DICTIONARY_SIZE, dictionary_pairs, dictionary_words
+from repro.workloads.passwd import passwd_accounts, passwd_pairs
+from repro.workloads.generators import uniform_pairs, zipf_pairs, average_pair_length
+
+__all__ = [
+    "DICTIONARY_SIZE",
+    "dictionary_words",
+    "dictionary_pairs",
+    "passwd_accounts",
+    "passwd_pairs",
+    "uniform_pairs",
+    "zipf_pairs",
+    "average_pair_length",
+]

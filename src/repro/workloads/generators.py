@@ -1,0 +1,69 @@
+"""Generic key/value workload generators for tests and ablations."""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, Iterator
+
+
+def uniform_pairs(
+    n: int,
+    *,
+    key_len: int = 16,
+    value_len: int = 32,
+    seed: int = 0,
+) -> Iterator[tuple[bytes, bytes]]:
+    """``n`` unique random pairs with fixed key/value lengths."""
+    if key_len < 8:
+        raise ValueError("key_len must be >= 8 to guarantee uniqueness")
+    rng = random.Random(seed)
+    for i in range(n):
+        # unique prefix + random tail
+        prefix = f"{i:08d}".encode("ascii")
+        key = prefix + bytes(rng.randrange(33, 127) for _ in range(key_len - 8))
+        value = bytes(rng.randrange(33, 127) for _ in range(value_len))
+        yield key[:key_len], value
+
+
+def zipf_pairs(
+    n_distinct: int,
+    n_ops: int,
+    *,
+    alpha: float = 1.1,
+    value_len: int = 32,
+    seed: int = 0,
+) -> Iterator[tuple[bytes, bytes]]:
+    """``n_ops`` accesses over ``n_distinct`` keys with Zipf popularity --
+    the skewed-access pattern that makes caching matter (Figure 7's point)."""
+    rng = random.Random(seed)
+    # Inverse-CDF sampling over a truncated zeta distribution.
+    weights = [1.0 / (rank**alpha) for rank in range(1, n_distinct + 1)]
+    total = sum(weights)
+    cdf = []
+    acc = 0.0
+    for w in weights:
+        acc += w / total
+        cdf.append(acc)
+    value = b"v" * value_len
+    for _ in range(n_ops):
+        u = rng.random()
+        lo, hi = 0, n_distinct - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if cdf[mid] < u:
+                lo = mid + 1
+            else:
+                hi = mid
+        yield f"zipf-key-{lo:08d}".encode("ascii"), value
+
+
+def average_pair_length(pairs: Iterable[tuple[bytes, bytes]]) -> float:
+    """Mean key+data length of a workload (feeds Equation 1)."""
+    total = 0
+    count = 0
+    for key, data in pairs:
+        total += len(key) + len(data)
+        count += 1
+    if count == 0:
+        raise ValueError("empty workload")
+    return total / count

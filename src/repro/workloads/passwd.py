@@ -1,0 +1,62 @@
+"""The password-file dataset.
+
+"The second was constructed from a password file with approximately 300
+accounts.  Two records were constructed for each account.  The first used
+the account name as the key and the remainder of the password entry for the
+data.  The second was keyed by uid and contained the entire password entry
+as its data field."
+
+This module synthesizes a deterministic passwd(5) file of the same shape.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator
+
+#: "approximately 300 accounts"
+DEFAULT_ACCOUNTS = 300
+
+_FIRST = [
+    "alice", "bob", "carol", "dave", "erin", "frank", "grace", "heidi",
+    "ivan", "judy", "karl", "lena", "mallory", "nina", "oscar", "peggy",
+    "quinn", "rupert", "sybil", "trent", "uma", "victor", "wendy", "xavier",
+    "yolanda", "zane",
+]
+_SHELLS = ["/bin/sh", "/bin/csh", "/bin/ksh", "/usr/bin/false"]
+
+
+def passwd_accounts(
+    n: int = DEFAULT_ACCOUNTS, seed: int = 1991
+) -> list[tuple[str, int, str]]:
+    """``n`` synthetic accounts as ``(name, uid, full passwd line)``."""
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    rng = random.Random(seed)
+    accounts = []
+    seen: set[str] = set()
+    uid = 100
+    for _ in range(n):
+        name = rng.choice(_FIRST) + rng.choice("abcdefghijklmnopqrstuvwxyz")
+        while name in seen:
+            name += rng.choice("abcdefghijklmnopqrstuvwxyz")
+        seen.add(name)
+        uid += rng.randint(1, 3)
+        gid = rng.choice([10, 20, 31, 100])
+        gecos = f"{name.capitalize()} User,Room {rng.randint(100, 999)}"
+        home = f"/usr/home/{name}"
+        shell = rng.choice(_SHELLS)
+        entry = f"{name}:*:{uid}:{gid}:{gecos}:{home}:{shell}"
+        accounts.append((name, uid, entry))
+    return accounts
+
+
+def passwd_pairs(
+    n: int = DEFAULT_ACCOUNTS, seed: int = 1991
+) -> Iterator[tuple[bytes, bytes]]:
+    """The paper's two records per account: name -> rest-of-entry and
+    uid -> full entry."""
+    for name, uid, entry in passwd_accounts(n, seed):
+        rest = entry[len(name) + 1 :]  # everything after "name:"
+        yield name.encode("ascii"), rest.encode("ascii")
+        yield str(uid).encode("ascii"), entry.encode("ascii")

@@ -1,0 +1,92 @@
+"""Integration: access methods on the paper's workloads."""
+
+import pytest
+
+from repro.access import DB_BTREE, DB_HASH, DB_RECNO, R_CURSOR, R_NEXT, db_open
+from repro.access.btree import BTree
+from repro.workloads import dictionary_pairs, passwd_accounts
+
+
+class TestBtreeOnDictionary:
+    def test_dictionary_is_a_sorted_index(self, tmp_path):
+        pairs = dict(dictionary_pairs(2000))
+        p = tmp_path / "dict.bt"
+        with BTree.create(p, bsize=1024) as t:
+            for k, v in pairs.items():
+                t.put(k, v)
+        with BTree.open_file(p, readonly=True) as t:
+            assert len(t) == len(pairs)
+            # prefix range query: every word starting with "st"
+            expected = sorted(k for k in pairs if k.startswith(b"st"))
+            got = []
+            rec = t.seq(R_CURSOR, key=b"st")
+            while rec is not None and rec[0].startswith(b"st"):
+                got.append(rec[0])
+                rec = t.seq(R_NEXT)
+            assert got == expected
+            assert len(got) > 0
+
+    def test_btree_and_hash_hold_identical_data(self, tmp_path):
+        pairs = dict(dictionary_pairs(1500))
+        bt = db_open(tmp_path / "x.bt", DB_BTREE)
+        hs = db_open(tmp_path / "x.h", DB_HASH)
+        for k, v in pairs.items():
+            bt.put(k, v)
+            hs.put(k, v)
+        assert dict(bt.items()) == dict(hs.items()) == pairs
+        bt.close()
+        hs.close()
+
+
+class TestRecnoAsTextFile:
+    def test_passwd_file_by_line_number(self, tmp_path):
+        """recno's motivating use: vi-style line addressing of a system
+        file."""
+        entries = [entry.encode() for _n, _u, entry in passwd_accounts(100)]
+        p = tmp_path / "passwd.rec"
+        with db_open(p, DB_RECNO, "n") as db:
+            for line in entries:
+                db.append(line)
+        with db_open(p, DB_RECNO, "w") as db:
+            assert len(db) == 100
+            assert db.get_rec(1) == entries[0]
+            assert db.get_rec(100) == entries[99]
+            # delete line 50; line 51 becomes line 50
+            db.delete_rec(50)
+            assert db.get_rec(50) == entries[50]
+            assert len(db) == 99
+
+
+class TestTinyCacheAccessMethods:
+    @pytest.mark.parametrize("bsize", [512, 4096])
+    def test_btree_correct_under_eviction_pressure(self, bsize):
+        t = BTree.create(None, bsize=bsize, cachesize=0, in_memory=True)
+        data = {f"key-{i:05d}".encode(): f"val-{i}".encode() * 2 for i in range(800)}
+        for k, v in data.items():
+            t.put(k, v)
+        for k, v in data.items():
+            assert t.get(k) == v
+        t.check_invariants()
+        t.close()
+
+    def test_btree_big_data_under_eviction_pressure(self):
+        t = BTree.create(None, bsize=512, cachesize=0, in_memory=True)
+        for i in range(20):
+            t.put(f"k{i:02d}".encode(), bytes([i]) * 5000)
+        for i in range(20):
+            assert t.get(f"k{i:02d}".encode()) == bytes([i]) * 5000
+        t.check_invariants()
+        t.close()
+
+
+class TestAccessIOAccounting:
+    def test_btree_cache_eliminates_reread_io(self, tmp_path):
+        p = tmp_path / "io.bt"
+        t = BTree.create(p, bsize=1024, cachesize=1 << 20)
+        for i in range(2000):
+            t.put(f"key-{i:05d}".encode(), b"value")
+        reads_before = t.io_stats.page_reads
+        for i in range(2000):
+            t.get(f"key-{i:05d}".encode())
+        assert t.io_stats.page_reads == reads_before
+        t.close()

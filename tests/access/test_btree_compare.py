@@ -1,0 +1,82 @@
+"""Tests for user-defined key comparators (db(3)'s bt_compare)."""
+
+import pytest
+
+from repro.access.btree import BTree
+
+
+def numeric_compare(a: bytes, b: bytes) -> int:
+    """Order ASCII-decimal keys numerically, not lexicographically."""
+    na, nb = int(a or b"0"), int(b or b"0")
+    return (na > nb) - (na < nb)
+
+
+def reverse_compare(a: bytes, b: bytes) -> int:
+    return (a < b) - (a > b)
+
+
+class TestNumericOrder:
+    def test_iteration_follows_comparator(self):
+        t = BTree.create(None, in_memory=True, compare=numeric_compare)
+        for n in (100, 9, 25, 3, 1000):
+            t.put(str(n).encode(), b"v")
+        keys = [k for k, _v in t.items()]
+        assert keys == [b"3", b"9", b"25", b"100", b"1000"]
+        t.check_invariants()
+        t.close()
+
+    def test_get_and_delete_under_comparator(self):
+        t = BTree.create(None, bsize=512, in_memory=True, compare=numeric_compare)
+        for n in range(500):
+            t.put(str(n).encode(), str(n * 2).encode())
+        assert t.get(b"250") == b"500"
+        assert t.delete(b"250") == 0
+        assert t.get(b"250") is None
+        assert len(t) == 499
+        t.check_invariants()
+        t.close()
+
+    def test_range_scan_numeric(self):
+        from repro.access.api import R_CURSOR, R_NEXT
+
+        t = BTree.create(None, in_memory=True, compare=numeric_compare)
+        for n in (5, 50, 500, 5000):
+            t.put(str(n).encode(), b"v")
+        rec = t.seq(R_CURSOR, key=b"49")
+        assert rec[0] == b"50"
+        assert t.seq(R_NEXT)[0] == b"500"
+        t.close()
+
+    def test_many_keys_stay_consistent(self):
+        t = BTree.create(None, bsize=512, in_memory=True, compare=numeric_compare)
+        import random
+
+        rng = random.Random(9)
+        nums = rng.sample(range(100_000), 2000)
+        for n in nums:
+            t.put(str(n).encode(), b"v")
+        assert [int(k) for k, _v in t.items()] == sorted(nums)
+        t.check_invariants()
+        t.close()
+
+
+class TestReverseOrder:
+    def test_descending_iteration(self):
+        t = BTree.create(None, in_memory=True, compare=reverse_compare)
+        for k in (b"a", b"m", b"z"):
+            t.put(k, b"v")
+        assert [k for k, _v in t.items()] == [b"z", b"m", b"a"]
+        t.check_invariants()
+        t.close()
+
+
+class TestPersistenceWithComparator:
+    def test_reopen_with_same_comparator(self, tmp_path):
+        p = tmp_path / "n.bt"
+        with BTree.create(p, bsize=512, compare=numeric_compare) as t:
+            for n in range(300):
+                t.put(str(n).encode(), b"v")
+        with BTree.open_file(p, compare=numeric_compare) as t:
+            assert [int(k) for k, _v in t.items()] == list(range(300))
+            assert t.get(b"123") == b"v"
+            t.check_invariants()

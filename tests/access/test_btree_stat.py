@@ -1,0 +1,61 @@
+"""Tests for btree statistics."""
+
+from repro.access.btree import BTree
+from repro.access.btree.stat import collect_btree_stats, format_btree_stats
+from repro.tools.__main__ import main as tools_main
+
+
+class TestCollect:
+    def test_fresh_tree(self):
+        t = BTree.create(None, in_memory=True)
+        stats = collect_btree_stats(t)
+        assert stats["nkeys"] == 0
+        assert stats["depth"] == 1
+        assert stats["leaf_pages"] == 1
+        assert stats["internal_pages"] == 0
+        t.close()
+
+    def test_multilevel_tree(self):
+        t = BTree.create(None, bsize=512, in_memory=True)
+        for i in range(2000):
+            t.put(f"key-{i:05d}".encode(), b"value")
+        stats = collect_btree_stats(t)
+        assert stats["nkeys"] == 2000
+        assert stats["depth"] >= 2
+        assert stats["level_counts"][0] == 1  # one root
+        assert sum(stats["level_counts"]) == (
+            stats["leaf_pages"] + stats["internal_pages"]
+        )
+        assert 0 < stats["leaf_utilization"] <= 1
+        t.close()
+
+    def test_big_items_and_free_pages_counted(self):
+        t = BTree.create(None, bsize=512, in_memory=True)
+        t.put(b"big", b"X" * 5000)
+        t.put(b"gone", b"Y" * 5000)
+        t.delete(b"gone")
+        stats = collect_btree_stats(t)
+        assert stats["big_items"] == 1
+        assert stats["free_pages"] > 0
+        t.close()
+
+    def test_format(self):
+        t = BTree.create(None, in_memory=True)
+        t.put(b"k", b"v")
+        text = format_btree_stats(t)
+        assert "nkeys" in text
+        assert "nodes per level" in text
+        t.close()
+
+
+class TestCLI:
+    def test_stat_command_on_btree(self, tmp_path, capsys):
+        p = tmp_path / "s.bt"
+        t = BTree.create(p)
+        for i in range(100):
+            t.put(f"k{i}".encode(), b"v")
+        t.close()
+        assert tools_main(["stat", str(p)]) == 0
+        out = capsys.readouterr().out
+        assert "btree statistics" in out
+        assert "100" in out

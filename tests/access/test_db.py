@@ -1,0 +1,123 @@
+"""Tests for the uniform db_open interface across all three methods."""
+
+import pytest
+
+import repro
+from repro.access import (
+    DB_BTREE,
+    DB_HASH,
+    DB_RECNO,
+    R_FIRST,
+    R_LAST,
+    R_NEXT,
+    R_NOOVERWRITE,
+    R_PREV,
+    db_open,
+)
+from repro.access.recno.recno import encode_recno
+from repro.core.errors import InvalidParameterError
+
+
+class TestDispatch:
+    def test_each_type_creates_right_method(self, tmp_path):
+        for type_, suffix in ((DB_HASH, "h"), (DB_BTREE, "b"), (DB_RECNO, "r")):
+            db = db_open(tmp_path / f"x.{suffix}", type_)
+            assert db.type == type_
+            db.close()
+
+    def test_unknown_type(self, tmp_path):
+        with pytest.raises(InvalidParameterError):
+            db_open(tmp_path / "x", "isam")
+
+    def test_bad_flag(self, tmp_path):
+        with pytest.raises(InvalidParameterError):
+            db_open(tmp_path / "x", DB_HASH, "z")
+
+    def test_exported_from_top_level(self):
+        assert repro.db_open is db_open
+
+    def test_memory_databases(self):
+        for type_ in (DB_HASH, DB_BTREE, DB_RECNO):
+            db = db_open(None, type_)
+            key = encode_recno(1) if type_ == DB_RECNO else b"k"
+            db.put(key, b"v")
+            assert db.get(key) == b"v"
+            db.close()
+
+
+class TestUniformApplicationCode:
+    """The paper's promise: 'application implementations [are] largely
+    independent of the database type' -- identical code on all methods."""
+
+    def run_app(self, db, keys):
+        for i, k in enumerate(keys):
+            assert db.put(k, f"value-{i}".encode()) == 0
+        for i, k in enumerate(keys):
+            assert db.get(k) == f"value-{i}".encode()
+        assert db.put(keys[0], b"x", R_NOOVERWRITE) == 1
+        assert db.delete(keys[-1]) == 0
+        assert db.get(keys[-1]) is None
+        scanned = list(db.items())
+        assert len(scanned) == len(keys) - 1
+        db.sync()
+
+    def test_same_code_all_methods(self, tmp_path):
+        byte_keys = [f"key-{i:03d}".encode() for i in range(50)]
+        recno_keys = [encode_recno(i) for i in range(1, 51)]
+        for type_, keys in (
+            (DB_HASH, byte_keys),
+            (DB_BTREE, byte_keys),
+            (DB_RECNO, recno_keys),
+        ):
+            with db_open(tmp_path / f"app.{type_}", type_, "n") as db:
+                self.run_app(db, keys)
+
+
+class TestOrderingContracts:
+    def test_btree_sorted_hash_unordered_recno_numeric(self, tmp_path):
+        keys = [b"delta", b"alpha", b"charlie", b"bravo"]
+        bt = db_open(tmp_path / "o.bt", DB_BTREE)
+        hs = db_open(tmp_path / "o.h", DB_HASH)
+        for k in keys:
+            bt.put(k, b"v")
+            hs.put(k, b"v")
+        assert [k for k, _v in bt.items()] == sorted(keys)
+        assert sorted(k for k, _v in hs.items()) == sorted(keys)
+        bt.close()
+        hs.close()
+
+    def test_hash_rejects_backward_scan(self, tmp_path):
+        with db_open(tmp_path / "h.db", DB_HASH) as db:
+            db.put(b"k", b"v")
+            with pytest.raises(ValueError):
+                db.seq(R_PREV)
+            with pytest.raises(ValueError):
+                db.seq(R_LAST)
+
+    def test_btree_supports_all_flags(self, tmp_path):
+        with db_open(tmp_path / "b.db", DB_BTREE) as db:
+            for k in (b"a", b"b"):
+                db.put(k, b"v")
+            assert db.seq(R_FIRST)[0] == b"a"
+            assert db.seq(R_NEXT)[0] == b"b"
+            assert db.seq(R_LAST)[0] == b"b"
+            assert db.seq(R_PREV)[0] == b"a"
+
+
+class TestReopenAllTypes:
+    def test_flag_semantics(self, tmp_path):
+        for type_ in (DB_HASH, DB_BTREE):
+            p = tmp_path / f"re.{type_}"
+            with db_open(p, type_, "c") as db:
+                db.put(b"k", b"v")
+            with db_open(p, type_, "r") as db:
+                assert db.get(b"k") == b"v"
+            with db_open(p, type_, "n") as db:
+                assert db.get(b"k") is None  # truncated
+
+    def test_recno_reopen(self, tmp_path):
+        p = tmp_path / "re.recno"
+        with db_open(p, DB_RECNO, "c") as db:
+            db.append(b"one")
+        with db_open(p, DB_RECNO, "w") as db:
+            assert db.get_rec(1) == b"one"

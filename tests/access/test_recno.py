@@ -1,0 +1,188 @@
+"""Tests for the recno access method."""
+
+import pytest
+
+from repro.access.api import R_FIRST, R_LAST, R_NEXT, R_NOOVERWRITE, R_PREV
+from repro.access.recno import Recno
+from repro.access.recno.recno import decode_recno, encode_recno
+from repro.core.errors import InvalidParameterError
+
+
+@pytest.fixture
+def rec():
+    r = Recno.create(None, in_memory=True)
+    yield r
+    if not r.closed:
+        r.close()
+
+
+class TestKeyEncoding:
+    def test_roundtrip(self):
+        for n in (1, 2, 1000, 2**32):
+            assert decode_recno(encode_recno(n)) == n
+
+    def test_ordering_preserved(self):
+        """Big-endian keys keep record order in the underlying btree."""
+        assert encode_recno(9) < encode_recno(10) < encode_recno(300)
+
+    def test_zero_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            encode_recno(0)
+
+    def test_bad_key_length(self):
+        with pytest.raises(InvalidParameterError):
+            decode_recno(b"\x01")
+
+
+class TestVariableLength:
+    def test_append_and_get(self, rec):
+        assert rec.append(b"first") == 1
+        assert rec.append(b"second") == 2
+        assert rec.get_rec(1) == b"first"
+        assert rec.get_rec(2) == b"second"
+        assert rec.get_rec(3) is None
+        assert len(rec) == 2
+
+    def test_put_past_end_materializes_gap(self, rec):
+        rec.put_rec(5, b"five")
+        assert len(rec) == 5
+        for i in range(1, 5):
+            assert rec.get_rec(i) == b""
+        assert rec.get_rec(5) == b"five"
+
+    def test_replace(self, rec):
+        rec.append(b"old")
+        rec.put_rec(1, b"new")
+        assert rec.get_rec(1) == b"new"
+        assert len(rec) == 1
+
+    def test_insert_renumbers(self, rec):
+        for word in (b"a", b"b", b"d"):
+            rec.append(word)
+        rec.insert_rec(3, b"c")
+        assert list(rec.records()) == [b"a", b"b", b"c", b"d"]
+        assert len(rec) == 4
+
+    def test_insert_at_front(self, rec):
+        rec.append(b"second")
+        rec.insert_rec(1, b"first")
+        assert list(rec.records()) == [b"first", b"second"]
+
+    def test_insert_past_end_behaves_like_put(self, rec):
+        rec.insert_rec(3, b"three")
+        assert len(rec) == 3
+        assert rec.get_rec(3) == b"three"
+
+    def test_delete_renumbers(self, rec):
+        for word in (b"a", b"b", b"c", b"d"):
+            rec.append(word)
+        assert rec.delete_rec(2)
+        assert list(rec.records()) == [b"a", b"c", b"d"]
+        assert rec.get_rec(2) == b"c"
+        assert len(rec) == 3
+
+    def test_delete_bounds(self, rec):
+        rec.append(b"only")
+        assert not rec.delete_rec(0)
+        assert not rec.delete_rec(2)
+        assert rec.delete_rec(1)
+        assert len(rec) == 0
+
+    def test_text_file_shape(self, rec):
+        """The classic recno use: line-addressable text."""
+        lines = [f"line {i}".encode() for i in range(100)]
+        for line in lines:
+            rec.append(line)
+        assert rec.get_rec(42) == b"line 41"
+        rec.delete_rec(1)
+        assert rec.get_rec(1) == b"line 1"
+        assert len(rec) == 99
+
+
+class TestFixedLength:
+    def test_padding(self):
+        r = Recno.create(None, reclen=8, bpad=b".", in_memory=True)
+        r.append(b"abc")
+        assert r.get_rec(1) == b"abc....."
+        r.close()
+
+    def test_exact_length_unpadded(self):
+        r = Recno.create(None, reclen=4, in_memory=True)
+        r.append(b"abcd")
+        assert r.get_rec(1) == b"abcd"
+        r.close()
+
+    def test_too_long_rejected(self):
+        r = Recno.create(None, reclen=4, in_memory=True)
+        with pytest.raises(InvalidParameterError):
+            r.append(b"abcde")
+        r.close()
+
+    def test_gap_fill_uses_pad(self):
+        r = Recno.create(None, reclen=3, bpad=b"#", in_memory=True)
+        r.put_rec(3, b"x")
+        assert r.get_rec(1) == b"###"
+        assert r.get_rec(2) == b"###"
+        assert r.get_rec(3) == b"x##"
+        r.close()
+
+    def test_bad_params(self):
+        with pytest.raises(InvalidParameterError):
+            Recno.create(None, reclen=0, in_memory=True)
+        with pytest.raises(InvalidParameterError):
+            Recno.create(None, bpad=b"ab", in_memory=True)
+
+
+class TestUniformInterface:
+    def test_get_put_delete_via_bytes_keys(self, rec):
+        assert rec.put(encode_recno(1), b"one") == 0
+        assert rec.get(encode_recno(1)) == b"one"
+        assert rec.put(encode_recno(1), b"other", R_NOOVERWRITE) == 1
+        assert rec.delete(encode_recno(1)) == 0
+        assert rec.delete(encode_recno(1)) == 1
+
+    def test_seq_scan(self, rec):
+        for i in range(10):
+            rec.append(f"rec{i}".encode())
+        seen = []
+        item = rec.seq(R_FIRST)
+        while item is not None:
+            seen.append(item)
+            item = rec.seq(R_NEXT)
+        assert [decode_recno(k) for k, _d in seen] == list(range(1, 11))
+        assert seen[0][1] == b"rec0"
+
+    def test_seq_backward(self, rec):
+        for i in range(5):
+            rec.append(str(i).encode())
+        last = rec.seq(R_LAST)
+        assert last[1] == b"4"
+        assert rec.seq(R_PREV)[1] == b"3"
+
+    def test_contains_and_items(self, rec):
+        rec.append(b"x")
+        assert encode_recno(1) in rec
+        assert encode_recno(2) not in rec
+        assert list(rec.items()) == [(encode_recno(1), b"x")]
+
+
+class TestPersistence:
+    def test_reopen(self, tmp_path):
+        p = tmp_path / "r.rec"
+        r = Recno.create(p)
+        for i in range(200):
+            r.append(f"record {i}".encode())
+        r.close()
+        r = Recno.open_file(p)
+        assert len(r) == 200
+        assert r.get_rec(100) == b"record 99"
+        r.close()
+
+    def test_fixed_length_reopen(self, tmp_path):
+        p = tmp_path / "f.rec"
+        r = Recno.create(p, reclen=16)
+        r.append(b"short")
+        r.close()
+        r = Recno.open_file(p, reclen=16)
+        assert r.get_rec(1) == b"short" + b"\0" * 11
+        r.close()

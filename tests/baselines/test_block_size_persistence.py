@@ -1,0 +1,55 @@
+"""The block size is a property of an existing dbm/sdbm database.
+
+In the C libraries the block size was a compile-time constant, so a file
+could never be opened with the wrong one.  Our runtime parameter is
+recorded in the .dir header and wins on reopen -- these tests pin that
+contract (a regression here silently corrupts reads).
+"""
+
+from repro.baselines.dbm import DbmFile
+from repro.baselines.sdbm import Sdbm
+
+
+class TestDbmBlockSize:
+    def test_nondefault_block_size_survives_reopen(self, tmp_path):
+        data = {f"k{i}".encode(): f"v{i}".encode() for i in range(200)}
+        with DbmFile(tmp_path / "db", "n", block_size=256) as db:
+            for k, v in data.items():
+                db.store(k, v)
+        # reopen WITHOUT specifying the block size
+        with DbmFile(tmp_path / "db", "w") as db:
+            assert db.block_size == 256
+            for k, v in data.items():
+                assert db.fetch(k) == v
+
+    def test_conflicting_block_size_is_ignored_on_open(self, tmp_path):
+        with DbmFile(tmp_path / "db", "n", block_size=256) as db:
+            db.store(b"k", b"v")
+        with DbmFile(tmp_path / "db", "w", block_size=4096) as db:
+            assert db.block_size == 256  # stored value wins
+            assert db.fetch(b"k") == b"v"
+
+    def test_n_flag_resets_block_size(self, tmp_path):
+        with DbmFile(tmp_path / "db", "n", block_size=256):
+            pass
+        with DbmFile(tmp_path / "db", "n", block_size=1024) as db:
+            assert db.block_size == 1024
+
+
+class TestSdbmBlockSize:
+    def test_nondefault_block_size_survives_reopen(self, tmp_path):
+        data = {f"k{i}".encode(): f"v{i}".encode() for i in range(200)}
+        with Sdbm(tmp_path / "db", "n", block_size=512) as db:
+            for k, v in data.items():
+                db.store(k, v)
+        with Sdbm(tmp_path / "db", "w") as db:
+            assert db.block_size == 512
+            for k, v in data.items():
+                assert db.fetch(k) == v
+
+    def test_readonly_open_uses_stored_block_size(self, tmp_path):
+        with Sdbm(tmp_path / "db", "n", block_size=256) as db:
+            db.store(b"k", b"v")
+        with Sdbm(tmp_path / "db", "r") as db:
+            assert db.block_size == 256
+            assert db.fetch(b"k") == b"v"

@@ -1,0 +1,202 @@
+"""Tests for the dbm/ndbm baseline (Thompson's algorithm)."""
+
+import pytest
+
+from repro.baselines.dbm import DBM_INSERT, DBM_REPLACE, DbmError, DbmFile, Ndbm
+from repro.baselines.dbm import ndbm as dbm_module
+from repro.baselines.dbm.bitmap import DirBitmap
+
+
+class TestDirBitmap:
+    def test_set_and_query(self):
+        bm = DirBitmap()
+        assert not bm.is_set(0)
+        bm.set(0)
+        bm.set(100)
+        assert bm.is_set(0)
+        assert bm.is_set(100)
+        assert not bm.is_set(99)
+
+    def test_clear(self):
+        bm = DirBitmap()
+        bm.set(10)
+        bm.clear(10)
+        assert not bm.is_set(10)
+        bm.clear(1000)  # beyond allocated: no-op
+
+    def test_count(self):
+        bm = DirBitmap()
+        for b in (0, 7, 8, 63):
+            bm.set(b)
+        assert bm.count_set() == 4
+
+    def test_persistence(self, tmp_path):
+        bm = DirBitmap()
+        bm.set(5)
+        bm.set(500)
+        bm.maxbuck = 42
+        bm.save(tmp_path / "x.dir")
+        loaded = DirBitmap.load(tmp_path / "x.dir")
+        assert loaded.is_set(5)
+        assert loaded.is_set(500)
+        assert not loaded.is_set(6)
+        assert loaded.maxbuck == 42
+
+    def test_load_empty_file(self, tmp_path):
+        (tmp_path / "e.dir").write_bytes(b"")
+        bm = DirBitmap.load(tmp_path / "e.dir")
+        assert bm.maxbuck == 0
+
+    def test_load_bad_magic(self, tmp_path):
+        (tmp_path / "bad.dir").write_bytes(b"X" * 64)
+        with pytest.raises(ValueError):
+            DirBitmap.load(tmp_path / "bad.dir")
+
+
+class TestDbmFile:
+    def test_store_fetch(self, tmp_path):
+        with DbmFile(tmp_path / "db", "n") as db:
+            db.store(b"k", b"v")
+            assert db.fetch(b"k") == b"v"
+            assert db.fetch(b"missing") is None
+
+    def test_replace_semantics(self, tmp_path):
+        with DbmFile(tmp_path / "db", "n") as db:
+            db.store(b"k", b"old")
+            db.store(b"k", b"new")
+            assert db.fetch(b"k") == b"new"
+            assert db.store(b"k", b"x", replace=False) is False
+            assert db.fetch(b"k") == b"new"
+
+    def test_delete(self, tmp_path):
+        with DbmFile(tmp_path / "db", "n") as db:
+            db.store(b"k", b"v")
+            assert db.delete(b"k")
+            assert db.fetch(b"k") is None
+            assert not db.delete(b"k")
+
+    def test_splits_on_page_overflow(self, tmp_path):
+        with DbmFile(tmp_path / "db", "n", block_size=128) as db:
+            for i in range(100):
+                db.store(f"key-{i:03d}".encode(), b"x" * 10)
+            for i in range(100):
+                assert db.fetch(f"key-{i:03d}".encode()) == b"x" * 10
+            assert db.bitmap.count_set() > 0  # splits happened
+
+    def test_oversized_pair_fails(self, tmp_path):
+        """dbm's historical shortcoming, reproduced faithfully."""
+        with DbmFile(tmp_path / "db", "n", block_size=256) as db:
+            with pytest.raises(DbmError, match="exceed"):
+                db.store(b"key", b"x" * 300)
+
+    def test_unsplittable_collisions_fail(self, tmp_path):
+        """'if two or more keys produce the same hash value and their total
+        size exceeds the page size, the table cannot store all the
+        colliding keys.'"""
+        same_hash = lambda key: 0x12345678  # noqa: E731
+        with DbmFile(tmp_path / "db", "n", block_size=128, hashfn=same_hash) as db:
+            with pytest.raises(DbmError, match="cannot"):
+                for i in range(50):
+                    db.store(f"collide-{i}".encode(), b"x" * 20)
+
+    def test_persistence(self, tmp_path):
+        data = {f"k{i}".encode(): f"v{i}".encode() for i in range(200)}
+        with DbmFile(tmp_path / "db", "n") as db:
+            for k, v in data.items():
+                db.store(k, v)
+        with DbmFile(tmp_path / "db", "w") as db:
+            for k, v in data.items():
+                assert db.fetch(k) == v
+
+    def test_items_scan_complete(self, tmp_path):
+        data = {f"k{i}".encode(): f"v{i}".encode() for i in range(300)}
+        with DbmFile(tmp_path / "db", "n", block_size=128) as db:
+            for k, v in data.items():
+                db.store(k, v)
+            assert dict(db.items()) == data
+
+    def test_single_block_cache_counts_io(self, tmp_path):
+        """dbm re-reads the block on every bucket change -- the behaviour
+        the paper's caching improves on."""
+        with DbmFile(tmp_path / "db", "n", block_size=128) as db:
+            for i in range(200):
+                db.store(f"key-{i:03d}".encode(), b"x" * 8)
+            reads_before = db.io_stats.page_reads
+            for i in range(200):
+                db.fetch(f"key-{i:03d}".encode())
+            # most fetches hit a different bucket than the cached one
+            assert db.io_stats.page_reads - reads_before > 100
+
+    def test_readonly(self, tmp_path):
+        DbmFile(tmp_path / "db", "n").close()
+        db = DbmFile(tmp_path / "db", "r")
+        with pytest.raises(ValueError):
+            db.store(b"k", b"v")
+        db.close()
+
+    def test_sparse_pag_file(self, tmp_path):
+        with DbmFile(tmp_path / "db", "n") as db:
+            for i in range(500):
+                db.store(f"key-{i}".encode(), b"v" * 100)
+        # .pag addressed by hash bits: logical size >> used size
+        assert (tmp_path / "db.pag").exists()
+        assert (tmp_path / "db.dir").exists()
+
+
+class TestNdbmInterface:
+    def test_store_flags(self, tmp_path):
+        with Ndbm(tmp_path / "db", "n") as db:
+            assert db.store(b"k", b"v", DBM_INSERT) == 0
+            assert db.store(b"k", b"w", DBM_INSERT) == 1
+            assert db.store(b"k", b"w", DBM_REPLACE) == 0
+            assert db.fetch(b"k") == b"w"
+            assert db.delete(b"k") == 0
+            assert db.delete(b"k") == -1
+
+    def test_first_next_scan(self, tmp_path):
+        with Ndbm(tmp_path / "db", "n") as db:
+            for i in range(50):
+                db.store(f"k{i}".encode(), b"v")
+            seen = set()
+            k = db.firstkey()
+            while k is not None:
+                seen.add(k)
+                k = db.nextkey()
+            assert len(seen) == 50
+
+    def test_multiple_open_databases(self, tmp_path):
+        a = Ndbm(tmp_path / "a", "n")
+        b = Ndbm(tmp_path / "b", "n")
+        a.store(b"k", b"A")
+        b.store(b"k", b"B")
+        assert a.fetch(b"k") == b"A"
+        assert b.fetch(b"k") == b"B"
+        a.close()
+        b.close()
+
+
+class TestV7GlobalInterface:
+    def teardown_method(self):
+        dbm_module.dbmclose()
+
+    def test_single_global_database(self, tmp_path):
+        dbm_module.dbminit(tmp_path / "v7")
+        dbm_module.store(b"k", b"v")
+        assert dbm_module.fetch(b"k") == b"v"
+        with pytest.raises(RuntimeError, match="already open"):
+            dbm_module.dbminit(tmp_path / "other")
+
+    def test_use_before_init(self):
+        with pytest.raises(RuntimeError):
+            dbm_module.fetch(b"k")
+
+    def test_scan(self, tmp_path):
+        dbm_module.dbminit(tmp_path / "v7")
+        dbm_module.store(b"a", b"1")
+        dbm_module.store(b"b", b"2")
+        seen = set()
+        k = dbm_module.firstkey()
+        while k is not None:
+            seen.add(k)
+            k = dbm_module.nextkey()
+        assert seen == {b"a", b"b"}

@@ -1,0 +1,121 @@
+"""Tests for the dynahash baseline (in-memory linear hashing)."""
+
+import pytest
+
+from repro.baselines.dynahash import DynaHash
+
+
+class TestBasics:
+    def test_put_get_delete(self):
+        d = DynaHash()
+        assert d.put(b"k", b"v")
+        assert d.get(b"k") == b"v"
+        assert d.get(b"nope") is None
+        assert d.get(b"nope", b"dflt") == b"dflt"
+        assert d.delete(b"k")
+        assert not d.delete(b"k")
+        assert len(d) == 0
+
+    def test_replace(self):
+        d = DynaHash()
+        d.put(b"k", b"1")
+        d.put(b"k", b"2")
+        assert d.get(b"k") == b"2"
+        assert len(d) == 1
+        assert d.put(b"k", b"3", replace=False) is False
+        assert d.get(b"k") == b"2"
+
+    def test_contains(self):
+        d = DynaHash()
+        d.put(b"yes", b"1")
+        assert b"yes" in d
+        assert b"no" not in d
+
+    def test_items(self):
+        d = DynaHash()
+        data = {f"k{i}".encode(): f"v{i}".encode() for i in range(100)}
+        for k, v in data.items():
+            d.put(k, v)
+        assert dict(d.items()) == data
+        assert sorted(d.keys()) == sorted(data)
+
+
+class TestGrowth:
+    def test_table_grows_in_generations(self):
+        """'a hash table begins as a single bucket and grows in
+        generations, where a generation corresponds to a doubling.'"""
+        d = DynaHash(ffactor=2)
+        assert d.max_bucket == 0
+        for i in range(100):
+            d.put(f"key-{i}".encode(), b"v")
+        assert d.max_bucket + 1 >= 100 // 2
+        d.check_invariants()
+
+    def test_controlled_splitting_respects_ffactor(self):
+        d = DynaHash(ffactor=5)
+        for i in range(1000):
+            d.put(f"key-{i}".encode(), b"v")
+        assert d.nkeys / (d.max_bucket + 1) <= 5 + 1e-9
+        d.check_invariants()
+
+    def test_nelem_presizing(self):
+        """'The initial number of buckets is set to nelem rounded to the
+        next higher power of two.'"""
+        d = DynaHash(nelem=100, ffactor=5)
+        assert d.max_bucket + 1 == 32  # ceil(100/5)=20 -> 32
+        assert d.splits == 0
+        for i in range(100):
+            d.put(f"k{i}".encode(), b"v")
+        # pre-sized: filling up to nelem causes few or no splits
+        assert d.splits <= 1
+
+    def test_grows_past_nelem(self):
+        d = DynaHash(nelem=10)
+        for i in range(500):
+            d.put(f"k{i}".encode(), b"v")
+        assert len(d) == 500
+        d.check_invariants()
+
+    def test_splits_are_linear(self):
+        d = DynaHash(ffactor=1)
+        sizes = []
+        for i in range(64):
+            d.put(f"k{i}".encode(), b"v")
+            sizes.append(d.max_bucket + 1)
+        # strictly non-decreasing, steps of one
+        for a, b in zip(sizes, sizes[1:]):
+            assert b in (a, a + 1)
+
+    def test_user_hash_function(self):
+        d = DynaHash(hashfn=lambda k: sum(k))
+        d.put(b"ab", b"1")
+        assert d.get(b"ab") == b"1"
+
+
+class TestValidation:
+    def test_bad_nelem(self):
+        with pytest.raises(ValueError):
+            DynaHash(nelem=0)
+
+    def test_bad_ffactor(self):
+        with pytest.raises(ValueError):
+            DynaHash(ffactor=0)
+
+
+class TestParallelWithCore:
+    def test_same_mask_schedule_as_new_package(self):
+        """dynahash and the new package share split order and masks; their
+        bucket populations should agree when fed identical hashes."""
+        from repro.core.table import HashTable
+
+        fn = lambda k: int.from_bytes(k[:4].ljust(4, b"\0"), "little")  # noqa: E731
+        d = DynaHash(ffactor=8, hashfn=fn)
+        t = HashTable.create(None, ffactor=8, bsize=8192, in_memory=True, hashfn=fn)
+        for i in range(400):
+            key = f"key-{i:04d}".encode()
+            d.put(key, b"v")
+            t.put(key, b"v")
+        assert d.max_bucket == t.header.max_bucket
+        assert d.low_mask == t.header.low_mask
+        assert d.high_mask == t.header.high_mask
+        t.close()

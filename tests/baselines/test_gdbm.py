@@ -1,0 +1,177 @@
+"""Tests for the gdbm baseline (extendible hashing)."""
+
+import os
+
+import pytest
+
+from repro.baselines.gdbm import Gdbm, GdbmError
+from repro.baselines.gdbm.allocator import AVAIL_MAX, ExtentAllocator
+
+
+class TestExtentAllocator:
+    def test_alloc_extends_watermark(self):
+        a = ExtentAllocator(100)
+        assert a.alloc(10) == 100
+        assert a.alloc(5) == 110
+        assert a.watermark == 115
+
+    def test_free_then_first_fit_reuse(self):
+        a = ExtentAllocator(0)
+        off = a.alloc(50)
+        a.free(off, 50)
+        assert a.alloc(30) == off  # first fit
+        # remainder stays available
+        assert a.alloc(20) == off + 30
+
+    def test_exact_fit_removes_entry(self):
+        a = ExtentAllocator(0)
+        off = a.alloc(10)
+        a.free(off, 10)
+        assert a.alloc(10) == off
+        assert a.avail == []
+
+    def test_too_small_extents_skipped(self):
+        a = ExtentAllocator(0)
+        off = a.alloc(10)
+        a.free(off, 10)
+        big = a.alloc(20)
+        assert big != off
+
+    def test_overflowing_free_list_leaks(self):
+        a = ExtentAllocator(0)
+        for i in range(AVAIL_MAX + 10):
+            a.free(i * 100, 10)
+        assert len(a.avail) == AVAIL_MAX
+        assert a.leaked_bytes == 100
+
+    def test_bad_params(self):
+        with pytest.raises(ValueError):
+            ExtentAllocator(-1)
+        a = ExtentAllocator(0)
+        with pytest.raises(ValueError):
+            a.alloc(0)
+        a.free(0, 0)  # zero-size free is a no-op
+
+
+class TestGdbmBasics:
+    def test_store_fetch_delete(self, tmp_path):
+        with Gdbm(tmp_path / "g.db", "n") as db:
+            db.store(b"k", b"v")
+            assert db.fetch(b"k") == b"v"
+            assert db.fetch(b"nope") is None
+            assert db.delete(b"k")
+            assert not db.delete(b"k")
+
+    def test_replace(self, tmp_path):
+        with Gdbm(tmp_path / "g.db", "n") as db:
+            db.store(b"k", b"short")
+            db.store(b"k", b"a much longer replacement value")
+            assert db.fetch(b"k") == b"a much longer replacement value"
+            assert db.store(b"k", b"z", replace=False) is False
+
+    def test_arbitrary_length_data(self, tmp_path):
+        """gdbm's improvement over dbm: no page-size limit on records."""
+        with Gdbm(tmp_path / "g.db", "n", block_size=256) as db:
+            huge = bytes(i % 251 for i in range(100_000))
+            db.store(b"huge", huge)
+            assert db.fetch(b"huge") == huge
+
+    def test_directory_doubles_under_load(self, tmp_path):
+        with Gdbm(tmp_path / "g.db", "n", block_size=256) as db:
+            for i in range(500):
+                db.store(f"key-{i:04d}".encode(), f"value-{i}".encode())
+            assert db.dir_depth > 1
+            assert len(db.directory) == 1 << db.dir_depth
+            for i in range(500):
+                assert db.fetch(f"key-{i:04d}".encode()) == f"value-{i}".encode()
+
+    def test_directory_entries_share_buckets(self, tmp_path):
+        """Multiple directory entries may point at one bucket (the paper's
+        crucial observation about L1)."""
+        with Gdbm(tmp_path / "g.db", "n", block_size=512) as db:
+            for i in range(200):
+                db.store(f"key-{i:04d}".encode(), b"v")
+            distinct = len(set(db.directory))
+            assert distinct < len(db.directory)
+
+    def test_persistence(self, tmp_path):
+        data = {f"key-{i}".encode(): f"val-{i}".encode() * 2 for i in range(400)}
+        with Gdbm(tmp_path / "g.db", "n") as db:
+            for k, v in data.items():
+                db.store(k, v)
+        with Gdbm(tmp_path / "g.db", "w") as db:
+            for k, v in data.items():
+                assert db.fetch(k) == v
+            assert dict(db.items()) == data
+
+    def test_single_non_sparse_file(self, tmp_path):
+        with Gdbm(tmp_path / "g.db", "n") as db:
+            for i in range(100):
+                db.store(f"k{i}".encode(), b"v" * 50)
+        size = os.path.getsize(tmp_path / "g.db")
+        # non-sparse: allocated size == file size (no holes); just assert
+        # the file exists alone and is modest
+        assert size > 0
+        assert not (tmp_path / "g.db.pag").exists()
+
+    def test_deleted_space_reused(self, tmp_path):
+        with Gdbm(tmp_path / "g.db", "n") as db:
+            for i in range(100):
+                db.store(f"key-{i}".encode(), b"x" * 100)
+            size_before = os.path.getsize(tmp_path / "g.db")
+            for i in range(100):
+                db.delete(f"key-{i}".encode())
+            for i in range(100):
+                db.store(f"new-{i}".encode(), b"y" * 100)
+            size_after = os.path.getsize(tmp_path / "g.db")
+            # reuse keeps growth well under doubling
+            assert size_after < size_before * 1.5
+
+    def test_bad_magic(self, tmp_path):
+        p = tmp_path / "bad.db"
+        p.write_bytes(b"\0" * 4096)
+        with pytest.raises(GdbmError):
+            Gdbm(p, "w")
+
+    def test_readonly(self, tmp_path):
+        Gdbm(tmp_path / "g.db", "n").close()
+        db = Gdbm(tmp_path / "g.db", "r")
+        with pytest.raises(ValueError):
+            db.store(b"k", b"v")
+        db.close()
+
+    def test_firstkey_nextkey(self, tmp_path):
+        with Gdbm(tmp_path / "g.db", "n") as db:
+            for i in range(60):
+                db.store(f"k{i}".encode(), b"v")
+            seen = set()
+            k = db.firstkey()
+            while k is not None:
+                seen.add(k)
+                k = db.nextkey()
+            assert len(seen) == 60
+
+    def test_same_hash_keys_distinguished(self, tmp_path):
+        """Full keys are compared (not just the 32-bit hash)."""
+        fixed = lambda key: 0x42424242  # noqa: E731
+        with Gdbm(tmp_path / "g.db", "n", hashfn=fixed) as db:
+            db.store(b"one", b"1")
+            db.store(b"two", b"2")
+            assert db.fetch(b"one") == b"1"
+            assert db.fetch(b"two") == b"2"
+
+    def test_full_bucket_of_identical_hashes_fails(self, tmp_path):
+        """Extendible hashing cannot split a bucket of identical hashes --
+        the directory depth exhausts (capped low here to keep the test
+        cheap; the failure class is the same at the default cap)."""
+        fixed = lambda key: 0x42424242  # noqa: E731
+        with Gdbm(
+            tmp_path / "g.db", "n", block_size=256, hashfn=fixed, max_dir_depth=8
+        ) as db:
+            with pytest.raises(GdbmError, match="cannot split"):
+                for i in range(100):
+                    db.store(f"c{i}".encode(), b"v")
+
+    def test_bad_max_dir_depth(self, tmp_path):
+        with pytest.raises(ValueError):
+            Gdbm(tmp_path / "g.db", "n", max_dir_depth=0)

@@ -1,0 +1,185 @@
+"""Tests for the System V hsearch baseline and its compile-time options."""
+
+import pytest
+
+from repro.baselines.hsearch.hsearch import (
+    ENTER,
+    FIND,
+    Hsearch,
+    TableFullError,
+    _next_prime,
+)
+
+
+class TestNextPrime:
+    def test_known_primes(self):
+        assert _next_prime(2) == 2
+        assert _next_prime(3) == 3
+        assert _next_prime(4) == 5
+        assert _next_prime(100) == 101
+        assert _next_prime(1024) == 1031
+
+    def test_lower_bound(self):
+        assert _next_prime(0) == 2
+        assert _next_prime(1) == 2
+
+
+VARIANTS = [
+    dict(),
+    dict(variant="div"),
+    dict(brent=True),
+    dict(variant="div", brent=True),
+    dict(variant="chained"),
+    dict(variant="chained", order="up"),
+    dict(variant="chained", order="down"),
+]
+
+
+@pytest.mark.parametrize("kwargs", VARIANTS, ids=lambda d: str(d))
+class TestAllVariants:
+    def test_enter_find(self, kwargs):
+        t = Hsearch(100, **kwargs)
+        t.enter(b"k", b"v")
+        assert t.find(b"k") == b"v"
+        assert t.find(b"missing") is None
+        assert b"k" in t
+        assert len(t) == 1
+
+    def test_enter_existing_keeps_first(self, kwargs):
+        """System V semantics: ENTER of an existing key returns the stored
+        data, it does not replace."""
+        t = Hsearch(100, **kwargs)
+        t.enter(b"k", b"first")
+        assert t.enter(b"k", b"second") == b"first"
+        assert t.find(b"k") == b"first"
+
+    def test_hundreds_of_keys(self, kwargs):
+        t = Hsearch(1000, **kwargs)
+        for i in range(600):
+            t.enter(f"key-{i}".encode(), f"val-{i}".encode())
+        for i in range(600):
+            assert t.find(f"key-{i}".encode()) == f"val-{i}".encode()
+
+    def test_hsearch_call_interface(self, kwargs):
+        t = Hsearch(10, **kwargs)
+        assert t.hsearch(b"k", b"v", ENTER) == b"v"
+        assert t.hsearch(b"k", None, FIND) == b"v"
+        with pytest.raises(ValueError):
+            t.hsearch(b"k", None, ENTER)
+        with pytest.raises(ValueError):
+            t.hsearch(b"k", b"v", 99)
+
+
+class TestFixedSizeShortcoming:
+    def test_open_addressing_table_fills(self):
+        """The historical failure the paper calls out: 'an insertion fails
+        with a table full condition.'"""
+        t = Hsearch(10, variant="div")
+        with pytest.raises(TableFullError):
+            for i in range(200):
+                t.enter(f"key-{i}".encode(), b"v")
+
+    def test_default_variant_fills_too(self):
+        t = Hsearch(5)
+        with pytest.raises(TableFullError):
+            for i in range(100):
+                t.enter(f"key-{i}".encode(), b"v")
+
+    def test_chained_variant_never_fills(self):
+        t = Hsearch(5, variant="chained")
+        for i in range(100):
+            t.enter(f"key-{i}".encode(), b"v")
+        assert len(t) == 100
+
+
+class TestBrent:
+    def test_brent_shortens_probe_chains(self):
+        """Brent's rearrangement trades insertion work for shorter
+        retrieval chains on a loaded table."""
+        keys = [f"key-{i:04d}".encode() for i in range(700)]
+        plain = Hsearch(1000)
+        brent = Hsearch(1000, brent=True)
+        for t in (plain, brent):
+            for k in keys:
+                t.enter(k, b"v")
+        plain.probes = brent.probes = 0
+        for k in keys:
+            plain.find(k)
+            brent.find(k)
+        assert brent.probes <= plain.probes
+
+    def test_brent_preserves_correctness(self):
+        t = Hsearch(500, brent=True)
+        data = {f"k{i}".encode(): f"v{i}".encode() for i in range(350)}
+        for k, v in data.items():
+            t.enter(k, v)
+        for k, v in data.items():
+            assert t.find(k) == v
+
+
+class TestChainedOrdering:
+    def test_sortup_keeps_chains_ascending(self):
+        t = Hsearch(3, variant="chained", order="up")
+        for k in (b"zeta", b"alpha", b"mid"):
+            t.enter(k, b"v")
+        for chain in t._chains:
+            keys = [k for k, _ in chain]
+            assert keys == sorted(keys)
+
+    def test_sortdown_keeps_chains_descending(self):
+        t = Hsearch(3, variant="chained", order="down")
+        for k in (b"alpha", b"zeta", b"mid"):
+            t.enter(k, b"v")
+        for chain in t._chains:
+            keys = [k for k, _ in chain]
+            assert keys == sorted(keys, reverse=True)
+
+    def test_default_prepends(self):
+        t = Hsearch(1, variant="chained")  # size rounds to 3; force clash
+        t._chains = [[]]  # single bucket
+        t.size = 1
+        t.enter(b"first", b"1")
+        t.enter(b"second", b"2")
+        assert t._chains[0][0][0] == b"second"
+
+
+class TestUserHash:
+    def test_uscr_hash_used(self):
+        calls = []
+
+        def user_hash(key: bytes) -> int:
+            calls.append(key)
+            return sum(key)
+
+        t = Hsearch(100, hashfn=user_hash)
+        t.enter(b"k", b"v")
+        assert t.find(b"k") == b"v"
+        assert calls
+
+
+class TestValidation:
+    def test_bad_variant(self):
+        with pytest.raises(ValueError):
+            Hsearch(10, variant="nope")
+
+    def test_brent_with_chained_rejected(self):
+        with pytest.raises(ValueError):
+            Hsearch(10, variant="chained", brent=True)
+
+    def test_order_without_chained_rejected(self):
+        with pytest.raises(ValueError):
+            Hsearch(10, order="up")
+
+    def test_bad_order(self):
+        with pytest.raises(ValueError):
+            Hsearch(10, variant="chained", order="sideways")
+
+    def test_bad_nelem(self):
+        with pytest.raises(ValueError):
+            Hsearch(0)
+
+    def test_hdestroy(self):
+        t = Hsearch(10)
+        t.enter(b"k", b"v")
+        t.hdestroy()
+        assert len(t) == 0

@@ -1,0 +1,100 @@
+"""Tests for the sdbm baseline (radix-trie dynamic hashing)."""
+
+import pytest
+
+from repro.baselines.sdbm import Sdbm, SdbmError
+
+
+class TestBasics:
+    def test_store_fetch_delete(self, tmp_path):
+        with Sdbm(tmp_path / "db", "n") as db:
+            db.store(b"k", b"v")
+            assert db.fetch(b"k") == b"v"
+            assert db.fetch(b"missing") is None
+            assert db.delete(b"k")
+            assert db.fetch(b"k") is None
+
+    def test_replace_and_insert(self, tmp_path):
+        with Sdbm(tmp_path / "db", "n") as db:
+            db.store(b"k", b"1")
+            db.store(b"k", b"2")
+            assert db.fetch(b"k") == b"2"
+            assert db.store(b"k", b"3", replace=False) is False
+            assert db.fetch(b"k") == b"2"
+
+    def test_many_keys_split_trie(self, tmp_path):
+        data = {f"key-{i:04d}".encode(): f"value-{i}".encode() for i in range(500)}
+        with Sdbm(tmp_path / "db", "n", block_size=256) as db:
+            for k, v in data.items():
+                db.store(k, v)
+            for k, v in data.items():
+                assert db.fetch(k) == v
+            assert db.trie.count_set() > 0
+            assert dict(db.items()) == data
+
+    def test_persistence(self, tmp_path):
+        data = {f"k{i}".encode(): f"v{i}".encode() for i in range(300)}
+        with Sdbm(tmp_path / "db", "n", block_size=256) as db:
+            for k, v in data.items():
+                db.store(k, v)
+        with Sdbm(tmp_path / "db", "w") as db:
+            for k, v in data.items():
+                assert db.fetch(k) == v
+            assert dict(db.items()) == data
+
+    def test_oversized_pair_fails(self, tmp_path):
+        with Sdbm(tmp_path / "db", "n", block_size=128) as db:
+            with pytest.raises(SdbmError, match="exceed"):
+                db.store(b"key", b"x" * 200)
+
+    def test_unsplittable_collisions_fail(self, tmp_path):
+        same_hash = lambda key: 0xABCDEF01  # noqa: E731
+        with Sdbm(tmp_path / "db", "n", block_size=128, hashfn=same_hash) as db:
+            with pytest.raises(SdbmError, match="cannot store"):
+                for i in range(60):
+                    db.store(f"c{i}".encode(), b"x" * 20)
+
+    def test_readonly(self, tmp_path):
+        Sdbm(tmp_path / "db", "n").close()
+        db = Sdbm(tmp_path / "db", "r")
+        with pytest.raises(ValueError):
+            db.store(b"k", b"v")
+        db.close()
+
+    def test_firstkey_nextkey(self, tmp_path):
+        with Sdbm(tmp_path / "db", "n") as db:
+            for i in range(40):
+                db.store(f"k{i}".encode(), b"v")
+            seen = set()
+            k = db.firstkey()
+            while k is not None:
+                seen.add(k)
+                k = db.nextkey()
+            assert len(seen) == 40
+
+
+class TestTrieAccess:
+    def test_access_consumes_bits_in_order(self, tmp_path):
+        """After a split at the root, bucket selection uses hash bit 0."""
+        with Sdbm(tmp_path / "db", "n", block_size=128) as db:
+            for i in range(60):
+                db.store(f"key-{i:02d}".encode(), b"x" * 10)
+            # root must have split
+            assert db.trie.is_set(0)
+            bucket, mask, nbits, _tbit = db._access(0b0)
+            assert nbits >= 1
+            assert bucket == 0 & mask
+
+    def test_incompatible_with_dbm_at_database_level(self, tmp_path):
+        """Same interface, different hash + bitmap layout: an sdbm file is
+        not a dbm file (the paper notes the incompatibility)."""
+        from repro.baselines.dbm import DbmFile
+
+        with Sdbm(tmp_path / "db", "n", block_size=128) as db:
+            for i in range(80):
+                db.store(f"key-{i:02d}".encode(), b"x" * 10)
+        with DbmFile(tmp_path / "db", "w", block_size=128) as db:
+            misses = sum(
+                1 for i in range(80) if db.fetch(f"key-{i:02d}".encode()) is None
+            )
+            assert misses > 0

@@ -1,0 +1,177 @@
+"""Tests for the benchmark harness (timing, adapters, suites, report)."""
+
+import pytest
+
+from repro.bench.adapters import (
+    DynahashAdapter,
+    GdbmAdapter,
+    HsearchAdapter,
+    NdbmAdapter,
+    NewHashAdapter,
+    NewHashMemoryAdapter,
+    SdbmAdapter,
+)
+from repro.bench.report import (
+    format_bar_table,
+    format_comparison_table,
+    format_series_table,
+    pct_change,
+)
+from repro.bench.suites import disk_suite, memory_suite
+from repro.bench.timing import Measurement, measure
+from repro.storage.iostats import IOSnapshot
+from repro.workloads import passwd_pairs
+
+
+class TestMeasure:
+    def test_measure_returns_result_and_clocks(self):
+        result, m = measure(lambda: 42)
+        assert result == 42
+        assert m.elapsed >= 0
+        assert m.user >= 0
+        assert m.cpu == m.user + m.system
+
+    def test_io_delta_tracked(self):
+        snaps = [IOSnapshot(page_reads=5), IOSnapshot(page_reads=9)]
+        it = iter(snaps)
+        _res, m = measure(lambda: None, io_fn=lambda: next(it))
+        assert m.io.page_reads == 4
+
+    def test_metric_lookup(self):
+        m = Measurement(1.0, 2.0, 3.5, IOSnapshot(page_reads=7, page_writes=3))
+        assert m.metric("user") == 1.0
+        assert m.metric("cpu") == 3.0
+        assert m.metric("page_io") == 10.0
+        assert m.metric("page_reads") == 7.0
+
+    def test_addition(self):
+        a = Measurement(1, 1, 1, IOSnapshot(page_reads=1))
+        b = Measurement(2, 2, 2, IOSnapshot(page_writes=5))
+        c = a + b
+        assert c.user == 3
+        assert c.io.page_io == 6
+
+
+class TestPctChange:
+    def test_paper_formula(self):
+        # % = 100 * (old - new) / old
+        assert pct_change(10, 5) == 50.0
+        assert pct_change(5, 10) == -100.0
+        assert pct_change(0, 5) is None
+        assert pct_change(4, 4) == 0.0
+
+
+DISK_ADAPTERS = [NewHashAdapter, NdbmAdapter, SdbmAdapter, GdbmAdapter]
+MEM_ADAPTERS = [NewHashMemoryAdapter, HsearchAdapter, DynahashAdapter]
+
+
+@pytest.mark.parametrize("cls", DISK_ADAPTERS, ids=lambda c: c.name)
+class TestDiskAdapters:
+    def test_verbs(self, cls, tmp_path):
+        a = cls(str(tmp_path))
+        a.create(nelem_hint=50)
+        a.put(b"k", b"v")
+        assert a.get(b"k") == b"v"
+        assert a.get(b"missing") is None
+        a.sync()
+        assert list(a.iter_keys()) == [b"k"]
+        assert list(a.iter_items()) == [(b"k", b"v")]
+        a.reopen()
+        assert a.get(b"k") == b"v"
+        a.close()
+        a.destroy()
+
+    def test_io_snapshot_cumulative_across_reopen(self, cls, tmp_path):
+        a = cls(str(tmp_path))
+        a.create()
+        for i in range(50):
+            a.put(f"k{i}".encode(), b"v")
+        before = a.io_snapshot().page_io
+        a.reopen()
+        for i in range(50):
+            a.get(f"k{i}".encode())
+        after = a.io_snapshot().page_io
+        assert after >= before  # counters never reset on reopen
+        a.close()
+        a.destroy()
+
+
+@pytest.mark.parametrize("cls", MEM_ADAPTERS, ids=lambda c: c.name)
+class TestMemoryAdapters:
+    def test_verbs(self, cls, tmp_path):
+        a = cls(str(tmp_path))
+        a.create(nelem_hint=100)
+        a.put(b"k", b"v")
+        assert a.get(b"k") == b"v"
+        a.close()
+
+    def test_not_disk(self, cls, tmp_path):
+        assert cls.is_disk is False
+
+
+class TestSuites:
+    def test_disk_suite_produces_all_tests(self, tmp_path):
+        pairs = list(passwd_pairs(50))
+        results = disk_suite(NewHashAdapter(str(tmp_path)), pairs,
+                             nelem_hint=len(pairs))
+        assert set(results) == {
+            "create", "read", "verify", "sequential", "sequential+data",
+        }
+        for m in results.values():
+            assert m.elapsed >= 0
+
+    def test_disk_suite_on_baseline(self, tmp_path):
+        pairs = list(passwd_pairs(30))
+        results = disk_suite(NdbmAdapter(str(tmp_path)), pairs)
+        assert results["create"].io.page_io > 0
+
+    def test_memory_suite(self, tmp_path):
+        pairs = list(passwd_pairs(30))
+        results = memory_suite(HsearchAdapter(str(tmp_path)), pairs)
+        assert "create/read" in results
+
+    def test_suite_catches_data_corruption(self, tmp_path):
+        """verify must fail loudly if an adapter returns wrong data."""
+
+        class LyingAdapter(NewHashMemoryAdapter):
+            def get(self, key):
+                return b"wrong"
+
+        a = LyingAdapter(str(tmp_path))
+        pairs = list(passwd_pairs(5))
+        a.create()
+        for k, v in pairs:
+            a.put(k, v)
+        from repro.bench.suites import verify_test
+
+        with pytest.raises(AssertionError):
+            verify_test(a, pairs)
+
+
+class TestReport:
+    def make_results(self):
+        m1 = Measurement(1.0, 0.5, 2.0, IOSnapshot(page_reads=10))
+        m2 = Measurement(2.0, 1.0, 4.0, IOSnapshot(page_reads=100))
+        return {"create": m1}, {"create": m2}
+
+    def test_comparison_table_contains_pct(self):
+        new, old = self.make_results()
+        text = format_comparison_table("T", new, old)
+        assert "create" in text
+        assert "50" in text  # 100*(2-1)/2 user improvement
+        assert "hash" in text and "ndbm" in text
+
+    def test_series_table_shape(self):
+        cells = {(128, 1): 1.5, (128, 8): 0.5, (256, 1): 2.0}
+        text = format_series_table(
+            "Fig", "bsize", "ffactor", [128, 256], [1, 8], cells
+        )
+        assert "128" in text and "256" in text
+        assert "-" in text  # missing cell placeholder
+
+    def test_bar_table(self):
+        text = format_bar_table(
+            "Fig6", [4, 8], {"pre-sized user": {4: 1.0, 8: 0.5}}
+        )
+        assert "pre-sized user" in text
+        assert "1.00" in text

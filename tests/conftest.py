@@ -1,0 +1,47 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.table import HashTable
+from repro.workloads import dictionary_pairs, passwd_pairs
+
+
+@pytest.fixture
+def small_dict_pairs():
+    """500 dictionary pairs (fast unit-test workload)."""
+    return list(dictionary_pairs(500))
+
+
+@pytest.fixture
+def passwd_workload():
+    """The paper's password dataset (~600 records)."""
+    return list(passwd_pairs())
+
+
+@pytest.fixture
+def mem_table():
+    """A default in-memory table, closed after the test."""
+    t = HashTable.create(None, in_memory=True)
+    yield t
+    if not t.closed:
+        t.close()
+
+
+@pytest.fixture
+def disk_table(tmp_path):
+    """A default disk table in a temp dir, closed after the test."""
+    t = HashTable.create(tmp_path / "t.db")
+    yield t
+    if not t.closed:
+        t.close()
+
+
+@pytest.fixture
+def tiny_cache_table(tmp_path):
+    """A disk table with a minimal buffer pool (forces constant eviction)."""
+    t = HashTable.create(tmp_path / "tiny.db", bsize=64, cachesize=0)
+    yield t
+    if not t.closed:
+        t.close()

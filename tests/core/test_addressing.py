@@ -1,0 +1,138 @@
+"""Unit tests for buddy-in-waiting address arithmetic."""
+
+import pytest
+
+from repro.core.addressing import (
+    bucket_to_page,
+    log2_ceil,
+    make_oaddr,
+    oaddr_to_page,
+    oaddr_to_slot,
+    slot_to_oaddr,
+    split_oaddr,
+)
+from repro.core.constants import MAX_OVFL_PER_SPLIT, MAX_SPLITS
+
+
+class TestLog2Ceil:
+    def test_exact_powers(self):
+        assert log2_ceil(1) == 0
+        assert log2_ceil(2) == 1
+        assert log2_ceil(4) == 2
+        assert log2_ceil(1024) == 10
+
+    def test_between_powers_rounds_up(self):
+        assert log2_ceil(3) == 2
+        assert log2_ceil(5) == 3
+        assert log2_ceil(1025) == 11
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            log2_ceil(0)
+        with pytest.raises(ValueError):
+            log2_ceil(-1)
+
+
+class TestOaddrPacking:
+    def test_roundtrip(self):
+        for s in (0, 1, 5, 31):
+            for p in (1, 2, 1000, MAX_OVFL_PER_SPLIT):
+                oaddr = make_oaddr(s, p)
+                assert split_oaddr(oaddr) == (s, p)
+
+    def test_paper_bit_layout(self):
+        # top 5 bits split point, low 11 page number
+        assert make_oaddr(1, 1) == (1 << 11) | 1
+        assert make_oaddr(2, 3) == (2 << 11) | 3
+
+    def test_zero_pagenum_reserved(self):
+        with pytest.raises(ValueError):
+            make_oaddr(0, 0)
+        with pytest.raises(ValueError):
+            split_oaddr(1 << 11)  # pagenum bits all zero
+
+    def test_limits_enforced(self):
+        with pytest.raises(ValueError):
+            make_oaddr(MAX_SPLITS, 1)
+        with pytest.raises(ValueError):
+            make_oaddr(0, MAX_OVFL_PER_SPLIT + 1)
+        with pytest.raises(ValueError):
+            split_oaddr(0)
+
+
+class TestBucketToPage:
+    def test_no_overflow_pages_is_identity_plus_header(self):
+        spares = [0] * 32
+        for b in (0, 1, 2, 7, 100):
+            assert bucket_to_page(b, 1, spares) == b + 1
+
+    def test_spares_shift_later_generations(self):
+        # 2 overflow pages at split point 0, 3 at split point 1
+        spares = [2, 5] + [5] * 30
+        assert bucket_to_page(0, 1, spares) == 1
+        # bucket 1: generation index log2(2)-1 = 0 -> shifted by spares[0]
+        assert bucket_to_page(1, 1, spares) == 1 + 1 + 2
+        # buckets 2,3: index 1 -> shifted by spares[1]
+        assert bucket_to_page(2, 1, spares) == 2 + 1 + 5
+        assert bucket_to_page(3, 1, spares) == 3 + 1 + 5
+
+    def test_negative_bucket_rejected(self):
+        with pytest.raises(ValueError):
+            bucket_to_page(-1, 1, [0] * 32)
+
+
+class TestOaddrToPage:
+    def test_overflow_follows_its_split_boundary(self):
+        spares = [2, 5] + [5] * 30
+        # split point 0 sits after bucket 0 (page 1)
+        assert oaddr_to_page(make_oaddr(0, 1), 1, spares) == 2
+        assert oaddr_to_page(make_oaddr(0, 2), 1, spares) == 3
+        # split point 1 sits after bucket 1 (page 4)
+        assert oaddr_to_page(make_oaddr(1, 1), 1, spares) == 5
+
+    def test_no_collisions_between_buckets_and_overflow(self):
+        """The core layout invariant: with a consistent spares array, every
+        bucket page and overflow page maps to a distinct physical page."""
+        spares = [3, 7, 12, 12, 20] + [20] * 27
+        used = {}
+        for b in range(16):
+            page = bucket_to_page(b, 1, spares)
+            assert page not in used, f"bucket {b} collides with {used[page]}"
+            used[page] = ("B", b)
+        counts = [3, 4, 5, 0, 8]
+        for s, count in enumerate(counts):
+            for p in range(1, count + 1):
+                oaddr = make_oaddr(s, p)
+                page = oaddr_to_page(oaddr, 1, spares)
+                assert page not in used, (
+                    f"oaddr ({s},{p}) collides with {used[page]}"
+                )
+                used[page] = ("O", s, p)
+
+
+class TestSlotNumbering:
+    def test_slot_roundtrip(self):
+        spares = [3, 7, 12] + [12] * 29
+        for s, count in enumerate((3, 4, 5)):
+            for p in range(1, count + 1):
+                oaddr = make_oaddr(s, p)
+                slot = oaddr_to_slot(oaddr, spares)
+                assert slot_to_oaddr(slot, spares, ovfl_point=2) == oaddr
+
+    def test_slots_are_contiguous_in_allocation_order(self):
+        spares = [2, 5] + [5] * 30
+        slots = [
+            oaddr_to_slot(make_oaddr(0, 1), spares),
+            oaddr_to_slot(make_oaddr(0, 2), spares),
+            oaddr_to_slot(make_oaddr(1, 1), spares),
+            oaddr_to_slot(make_oaddr(1, 2), spares),
+            oaddr_to_slot(make_oaddr(1, 3), spares),
+        ]
+        assert slots == [0, 1, 2, 3, 4]
+
+    def test_slot_out_of_range(self):
+        spares = [1] + [1] * 31
+        with pytest.raises(ValueError):
+            slot_to_oaddr(5, spares, ovfl_point=0)
+        with pytest.raises(ValueError):
+            slot_to_oaddr(-1, spares, ovfl_point=0)

@@ -1,0 +1,126 @@
+"""Unit tests for big key/data pair chains."""
+
+import pytest
+
+from repro.core import addressing
+from repro.core.bigpairs import BigPageView, BigPairStore
+from repro.core.bitmaps import OvflAllocator
+from repro.core.buffer import BufferPool
+from repro.core.constants import PAGE_F_BIG, PAGE_HDR_SIZE
+from repro.core.header import Header
+from repro.storage.memfile import MemPagedFile
+
+
+def make_store(bsize=64, cachesize=1 << 16):
+    header = Header(bsize=bsize, bshift=bsize.bit_length() - 1, ffactor=8)
+    f = MemPagedFile(bsize)
+
+    def addr(key):
+        kind, n = key
+        if kind == "B":
+            return addressing.bucket_to_page(n, header.hdr_pages, header.spares)
+        return addressing.oaddr_to_page(n, header.hdr_pages, header.spares)
+
+    pool = BufferPool(f, bsize, cachesize, addr)
+    alloc = OvflAllocator(header, pool)
+    return header, pool, alloc, BigPairStore(pool, alloc)
+
+
+class TestBigPageView:
+    def test_initialize(self):
+        view = BigPageView(bytearray(64))
+        view.initialize()
+        assert view.used == 0
+        assert view.next_oaddr == 0
+        assert view.flags == PAGE_F_BIG
+        assert view.capacity == 64 - PAGE_HDR_SIZE
+
+    def test_payload_roundtrip(self):
+        view = BigPageView(bytearray(64))
+        view.initialize()
+        view.set_payload(b"hello world")
+        assert view.payload() == b"hello world"
+
+    def test_oversized_payload_rejected(self):
+        view = BigPageView(bytearray(64))
+        view.initialize()
+        with pytest.raises(ValueError):
+            view.set_payload(b"x" * 57)
+
+
+class TestStoreFetch:
+    def test_single_page_pair(self):
+        _h, _p, _a, store = make_store()
+        head = store.store(b"key", b"data")
+        assert store.fetch(head, 3, 4) == (b"key", b"data")
+
+    def test_multi_page_pair(self):
+        _h, _p, _a, store = make_store(bsize=64)
+        key = bytes(range(256))  # 256 bytes > several 56-byte pages
+        data = bytes(reversed(range(256))) * 4
+        head = store.store(key, data)
+        k, d = store.fetch(head, len(key), len(data))
+        assert k == key
+        assert d == data
+
+    def test_fetch_key_reads_only_prefix_pages(self):
+        _h, pool, _a, store = make_store(bsize=64)
+        key = b"K" * 40
+        data = b"D" * 5000  # long chain
+        head = store.store(key, data)
+        pool.drop_all()
+        reads_before = pool.misses
+        assert store.fetch_key(head, len(key)) == key
+        # the key fits on the first chain page: exactly one fault
+        assert pool.misses == reads_before + 1
+
+    def test_empty_data(self):
+        _h, _p, _a, store = make_store()
+        head = store.store(b"justkey", b"")
+        assert store.fetch(head, 7, 0) == (b"justkey", b"")
+
+    def test_key_data_split_across_page_boundary(self):
+        _h, _p, _a, store = make_store(bsize=64)
+        cap = 64 - PAGE_HDR_SIZE
+        key = b"k" * (cap - 3)  # data starts 3 bytes before the boundary
+        data = b"d" * 20
+        head = store.store(key, data)
+        assert store.fetch(head, len(key), len(data)) == (key, data)
+
+    def test_two_pairs_do_not_interfere(self):
+        _h, _p, _a, store = make_store(bsize=64)
+        h1 = store.store(b"a" * 100, b"1" * 100)
+        h2 = store.store(b"b" * 100, b"2" * 100)
+        assert store.fetch(h1, 100, 100) == (b"a" * 100, b"1" * 100)
+        assert store.fetch(h2, 100, 100) == (b"b" * 100, b"2" * 100)
+
+
+class TestFree:
+    def test_free_releases_all_chain_pages(self):
+        _h, _p, alloc, store = make_store(bsize=64)
+        in_use_before = alloc.in_use_count()
+        head = store.store(b"k" * 300, b"v" * 300)
+        used_by_chain = alloc.in_use_count() - in_use_before
+        assert used_by_chain >= 10  # 600 bytes / 56 per page
+        store.free(head)
+        # everything except possibly new bitmap pages is back
+        assert alloc.in_use_count() <= in_use_before + 2
+
+    def test_freed_pages_reused_by_next_store(self):
+        header, _p, alloc, store = make_store(bsize=64)
+        h1 = store.store(b"k" * 200, b"v" * 200)
+        spares_after_first = header.spares[header.ovfl_point]
+        store.free(h1)
+        store.store(b"x" * 200, b"y" * 200)
+        assert header.spares[header.ovfl_point] == spares_after_first
+
+
+class TestEvictionSafety:
+    def test_chain_correct_under_tiny_pool(self):
+        """Chains must survive constant eviction during their own
+        construction (the pinning discipline)."""
+        _h, _p, _a, store = make_store(bsize=64, cachesize=0)
+        key = b"K" * 500
+        data = b"D" * 3000
+        head = store.store(key, data)
+        assert store.fetch(head, len(key), len(data)) == (key, data)

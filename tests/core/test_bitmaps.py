@@ -1,0 +1,155 @@
+"""Unit tests for overflow-page allocation bitmaps."""
+
+import pytest
+
+from repro.core.addressing import make_oaddr, oaddr_to_slot, split_oaddr
+from repro.core.bitmaps import OvflAllocator
+from repro.core.buffer import BufferPool
+from repro.core.constants import PAGE_F_BITMAP
+from repro.core.errors import HashFullError
+from repro.core.header import NO_LAST_FREED, Header
+from repro.core import addressing
+from repro.storage.memfile import MemPagedFile
+
+
+def make_allocator(bsize=64, ovfl_point=0, cachesize=1 << 16):
+    header = Header(bsize=bsize, bshift=bsize.bit_length() - 1, ffactor=8)
+    header.ovfl_point = ovfl_point
+    f = MemPagedFile(bsize)
+
+    def addr(key):
+        kind, n = key
+        if kind == "B":
+            return addressing.bucket_to_page(n, header.hdr_pages, header.spares)
+        return addressing.oaddr_to_page(n, header.hdr_pages, header.spares)
+
+    pool = BufferPool(f, bsize, cachesize, addr)
+    return header, pool, OvflAllocator(header, pool)
+
+
+class TestAlloc:
+    def test_first_alloc_creates_bitmap_page(self):
+        header, pool, alloc = make_allocator()
+        oaddr = alloc.alloc()
+        # slot 0 went to the bitmap page itself... or the data page; either
+        # way two slots exist: one bitmap, one data.
+        assert header.bitmaps[0] != 0
+        assert header.spares[header.ovfl_point] == 2
+        assert oaddr != header.bitmaps[0]
+        assert alloc.is_set(oaddr_to_slot(oaddr, header.spares))
+
+    def test_bitmap_page_flagged(self):
+        header, pool, alloc = make_allocator()
+        alloc.alloc()
+        hdr = pool.get(("O", header.bitmaps[0]))
+        from repro.core.pages import PageView
+
+        assert PageView(hdr.page).flags & PAGE_F_BITMAP
+
+    def test_sequential_allocs_are_distinct(self):
+        header, pool, alloc = make_allocator()
+        addrs = [alloc.alloc() for _ in range(20)]
+        assert len(set(addrs)) == 20
+        for a in addrs:
+            s, p = split_oaddr(a)
+            assert s == header.ovfl_point
+
+    def test_allocs_at_higher_split_point(self):
+        header, pool, alloc = make_allocator(ovfl_point=3)
+        a = alloc.alloc()
+        s, _p = split_oaddr(a)
+        assert s == 3
+        # spares entries at and above the split point move together
+        assert header.spares[3] == header.spares[31]
+        assert header.spares[2] == 0
+
+    def test_split_point_exhaustion(self):
+        header, pool, alloc = make_allocator()
+        # fake a full split point
+        for i in range(32):
+            header.spares[i] = 2047
+        with pytest.raises(HashFullError):
+            alloc.alloc()
+
+
+class TestFree:
+    def test_free_then_realloc_reuses(self):
+        header, pool, alloc = make_allocator()
+        a1 = alloc.alloc()
+        a2 = alloc.alloc()
+        alloc.free(a1)
+        assert header.last_freed != NO_LAST_FREED
+        a3 = alloc.alloc()
+        assert a3 == a1  # reused, file did not grow
+        assert a2 != a3
+
+    def test_double_free_asserts(self):
+        header, pool, alloc = make_allocator()
+        a = alloc.alloc()
+        alloc.free(a)
+        with pytest.raises(AssertionError):
+            alloc.free(a)
+
+    def test_free_invalidates_pool_buffer(self):
+        header, pool, alloc = make_allocator()
+        a = alloc.alloc()
+        pool.get(("O", a), create=True)
+        alloc.free(a)
+        assert ("O", a) not in pool
+
+    def test_freed_slot_cleared_in_bitmap(self):
+        header, pool, alloc = make_allocator()
+        a = alloc.alloc()
+        slot = oaddr_to_slot(a, header.spares)
+        assert alloc.is_set(slot)
+        alloc.free(a)
+        assert not alloc.is_set(slot)
+
+    def test_reuse_across_split_points(self):
+        """A page freed at an old split point is reused before extending."""
+        header, pool, alloc = make_allocator(ovfl_point=0)
+        a_old = alloc.alloc()
+        # advance the table a generation
+        header.ovfl_point = 1
+        alloc.free(a_old)
+        a_new = alloc.alloc()
+        assert a_new == a_old
+
+    def test_in_use_count(self):
+        header, pool, alloc = make_allocator()
+        addrs = [alloc.alloc() for _ in range(5)]
+        # 5 data pages + 1 bitmap page
+        assert alloc.in_use_count() == 6
+        alloc.free(addrs[2])
+        assert alloc.in_use_count() == 5
+
+
+class TestBitmapGrowth:
+    def test_capacity_extends_with_second_bitmap_page(self):
+        # tiny pages: (64-8)*8 = 448 bits per bitmap page
+        header, pool, alloc = make_allocator(bsize=64)
+        for _ in range(500):  # > 448 slots
+            alloc.alloc()
+        assert header.bitmaps[0] != 0
+        assert header.bitmaps[1] != 0
+        assert alloc.in_use_count() == 502  # 500 data + 2 bitmap pages
+
+    def test_bitmap_pages_never_reused(self):
+        header, pool, alloc = make_allocator()
+        alloc.alloc()
+        bitmap_slot = oaddr_to_slot(header.bitmaps[0], header.spares)
+        assert alloc.is_set(bitmap_slot)
+
+
+class TestPersistenceThroughPool:
+    def test_bitmap_survives_eviction(self):
+        """Bitmap pages live in the LRU pool like everything else; state
+        must survive being evicted and re-read."""
+        header, pool, alloc = make_allocator(cachesize=0)
+        addrs = [alloc.alloc() for _ in range(30)]
+        # churn the pool with unrelated bucket pages
+        for i in range(40):
+            pool.get(("B", 0), create=True)
+            pool.invalidate(("B", 0))
+        for a in addrs:
+            assert alloc.is_set(oaddr_to_slot(a, header.spares))

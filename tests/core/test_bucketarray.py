@@ -1,0 +1,84 @@
+"""Unit tests for the segmented bucket array."""
+
+import pytest
+
+from repro.core.bucketarray import BucketArray
+
+
+class TestGrowth:
+    def test_starts_empty(self):
+        arr = BucketArray()
+        assert len(arr) == 0
+        assert arr.allocated_segments() == 0
+
+    def test_grow_to(self):
+        arr = BucketArray()
+        arr.grow_to(10)
+        assert len(arr) == 10
+        assert arr.get(9) is None
+
+    def test_grow_is_monotonic(self):
+        arr = BucketArray()
+        arr.grow_to(10)
+        arr.grow_to(5)  # no shrink
+        assert len(arr) == 10
+
+    def test_append_bucket_returns_number(self):
+        arr = BucketArray()
+        assert arr.append_bucket() == 0
+        assert arr.append_bucket() == 1
+        assert len(arr) == 2
+
+    def test_segments_allocated_lazily(self):
+        arr = BucketArray(segment_size=4)
+        arr.grow_to(12)
+        assert arr.allocated_segments() == 0
+        arr.set(9, "x")
+        assert arr.allocated_segments() == 1
+
+    def test_directory_reallocates_past_32k_equivalent(self):
+        # small sizes to simulate "buckets exceed 256*256"
+        arr = BucketArray(segment_size=4, dir_size=4)
+        arr.grow_to(16)  # exactly dir capacity: no realloc
+        assert arr.reallocations == 0
+        arr.grow_to(17)
+        assert arr.reallocations == 1
+        assert arr.dir_size == 8
+        arr.grow_to(200)
+        arr.set(199, "y")
+        assert arr.get(199) == "y"
+
+
+class TestAccess:
+    def test_set_get_clear(self):
+        arr = BucketArray()
+        arr.grow_to(300)  # spans two default segments
+        arr.set(0, "a")
+        arr.set(255, "b")
+        arr.set(256, "c")
+        assert arr.get(0) == "a"
+        assert arr.get(255) == "b"
+        assert arr.get(256) == "c"
+        arr.clear(255)
+        assert arr.get(255) is None
+
+    def test_out_of_range_raises(self):
+        arr = BucketArray()
+        arr.grow_to(5)
+        with pytest.raises(IndexError):
+            arr.get(5)
+        with pytest.raises(IndexError):
+            arr.set(-1, "x")
+
+    def test_iter_set_skips_none(self):
+        arr = BucketArray(segment_size=4)
+        arr.grow_to(10)
+        arr.set(1, "a")
+        arr.set(7, "b")
+        assert list(arr.iter_set()) == [(1, "a"), (7, "b")]
+
+    def test_bad_construction(self):
+        with pytest.raises(ValueError):
+            BucketArray(segment_size=0)
+        with pytest.raises(ValueError):
+            BucketArray(dir_size=0)

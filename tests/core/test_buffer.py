@@ -1,0 +1,180 @@
+"""Unit tests for the LRU buffer pool."""
+
+import pytest
+
+from repro.core.buffer import MIN_BUFFERS, BufferPool
+from repro.storage.memfile import MemPagedFile
+
+
+def make_pool(cachesize=1024, bsize=64, prewrite=()):
+    """Pool over a memfile where key ('B', n) maps to page n and
+    ('O', n) maps to page 1000+n.
+
+    ``prewrite`` seeds pages before the pool is built -- the pool assumes
+    exclusive ownership of the file from construction on (it tracks the
+    write high-water mark to skip hole reads).
+    """
+    f = MemPagedFile(bsize)
+    for pageno, data in prewrite:
+        f.write_page(pageno, data)
+
+    def addr(key):
+        kind, n = key
+        return n if kind == "B" else 1000 + n
+
+    return f, BufferPool(f, bsize, cachesize, addr)
+
+
+class TestBasics:
+    def test_get_faults_in_and_caches(self):
+        f, pool = make_pool(prewrite=[(3, b"content")])
+        h1 = pool.get(("B", 3))
+        assert bytes(h1.page[:7]) == b"content"
+        h2 = pool.get(("B", 3))
+        assert h1 is h2
+        assert pool.hits == 1
+        assert pool.misses == 1
+
+    def test_hole_fault_skips_read(self):
+        """Pages beyond the file's high-water mark zero-fill with no I/O
+        (a pre-sized table's untouched buckets are free to fault)."""
+        f, pool = make_pool(prewrite=[(0, b"x")])
+        reads = f.stats.page_reads
+        h = pool.get(("B", 500))
+        assert f.stats.page_reads == reads  # no read for a known hole
+        assert h.page == bytearray(64)
+        # once written back, the page is no longer a hole
+        h.dirty = True
+        pool.flush()
+        pool.invalidate(("B", 500))
+        pool.get(("B", 500))
+        assert f.stats.page_reads == reads + 1
+
+    def test_create_skips_read(self):
+        f, pool = make_pool()
+        reads_before = f.stats.page_reads
+        h = pool.get(("B", 5), create=True)
+        assert f.stats.page_reads == reads_before
+        assert h.dirty
+        assert h.page == bytearray(64)
+
+    def test_dirty_written_back_on_flush(self):
+        f, pool = make_pool()
+        h = pool.get(("B", 0), create=True)
+        h.page[:5] = b"dirty"
+        pool.flush()
+        assert f.read_page(0)[:5] == b"dirty"
+        assert not h.dirty
+
+    def test_clean_pages_not_rewritten(self):
+        f, pool = make_pool()
+        pool.get(("B", 0))
+        writes = f.stats.page_writes
+        pool.flush()
+        assert f.stats.page_writes == writes
+
+    def test_invalid_params(self):
+        f = MemPagedFile(64)
+        with pytest.raises(ValueError):
+            BufferPool(f, 0, 100, lambda k: 0)
+        with pytest.raises(ValueError):
+            BufferPool(f, 64, -1, lambda k: 0)
+
+
+class TestEviction:
+    def test_lru_victim_is_least_recent(self):
+        f, pool = make_pool(cachesize=0)  # max_buffers == MIN_BUFFERS
+        for i in range(MIN_BUFFERS):
+            pool.get(("B", i))
+        pool.get(("B", 0))  # refresh 0
+        pool.get(("B", 99))  # evicts 1, the LRU
+        assert ("B", 1) not in pool
+        assert ("B", 0) in pool
+
+    def test_evicted_dirty_page_written(self):
+        f, pool = make_pool(cachesize=0)
+        h = pool.get(("B", 0), create=True)
+        h.page[:3] = b"abc"
+        for i in range(1, MIN_BUFFERS + 2):
+            pool.get(("B", i))
+        assert ("B", 0) not in pool
+        assert f.read_page(0)[:3] == b"abc"
+
+    def test_pinned_pages_survive_pressure(self):
+        f, pool = make_pool(cachesize=0)
+        h = pool.get(("B", 0))
+        h.pin()
+        for i in range(1, MIN_BUFFERS + 5):
+            pool.get(("B", i))
+        assert ("B", 0) in pool
+        h.unpin()
+
+    def test_budget_respected(self):
+        f, pool = make_pool(cachesize=64 * 8)
+        for i in range(50):
+            pool.get(("B", i))
+        assert len(pool) <= 8
+
+    def test_chain_evicted_with_primary(self):
+        """The paper's invariant: an overflow buffer leaves the pool with
+        its predecessor."""
+        f, pool = make_pool(cachesize=64 * 6)
+        prim = pool.get(("B", 0), create=True)
+        ovfl = pool.get(("O", 1), create=True)
+        pool.link_chain(prim, ovfl)
+        # Fill the pool so bucket 0 becomes the LRU victim
+        for i in range(1, 10):
+            pool.get(("B", i))
+        assert ("B", 0) not in pool
+        assert ("O", 1) not in pool
+
+    def test_pinned_chain_blocks_whole_chain_eviction(self):
+        f, pool = make_pool(cachesize=64 * 6)
+        prim = pool.get(("B", 0), create=True)
+        ovfl = pool.get(("O", 1), create=True)
+        pool.link_chain(prim, ovfl)
+        ovfl.pin()
+        for i in range(1, 10):
+            pool.get(("B", i))
+        # primary cannot leave while its chained overflow is pinned
+        assert ("B", 0) in pool
+        assert ("O", 1) in pool
+        ovfl.unpin()
+
+
+class TestInvalidate:
+    def test_invalidate_drops_without_write(self):
+        f, pool = make_pool()
+        h = pool.get(("O", 1), create=True)
+        h.page[:4] = b"gone"
+        pool.invalidate(("O", 1))
+        assert ("O", 1) not in pool
+        assert f.read_page(1001)[:4] == b"\0\0\0\0"
+
+    def test_invalidate_absent_is_noop(self):
+        f, pool = make_pool()
+        pool.invalidate(("O", 42))
+
+    def test_invalidate_pinned_asserts(self):
+        f, pool = make_pool()
+        h = pool.get(("O", 1), create=True)
+        h.pin()
+        with pytest.raises(AssertionError):
+            pool.invalidate(("O", 1))
+        h.unpin()
+
+
+class TestDropAll:
+    def test_drop_all_flushes_and_empties(self):
+        f, pool = make_pool()
+        h = pool.get(("B", 0), create=True)
+        h.page[:2] = b"ok"
+        pool.drop_all()
+        assert len(pool) == 0
+        assert f.read_page(0)[:2] == b"ok"
+
+    def test_unpin_below_zero_asserts(self):
+        f, pool = make_pool()
+        h = pool.get(("B", 0))
+        with pytest.raises(AssertionError):
+            h.unpin()

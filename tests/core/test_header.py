@@ -1,0 +1,80 @@
+"""Unit tests for file-header serialization."""
+
+import pytest
+
+from repro.core.constants import HASH_MAGIC, HDR_SIZE
+from repro.core.errors import BadFileError
+from repro.core.header import NO_LAST_FREED, Header
+
+
+def make_header(**overrides) -> Header:
+    base = dict(bsize=256, bshift=8, ffactor=8)
+    base.update(overrides)
+    return Header(**base)
+
+
+class TestPack:
+    def test_packed_size_is_fixed(self):
+        assert len(make_header().pack()) == HDR_SIZE
+
+    def test_roundtrip_defaults(self):
+        h = make_header()
+        assert Header.unpack(h.pack()) == h
+
+    def test_roundtrip_full_state(self):
+        h = make_header(
+            max_bucket=1234,
+            high_mask=2047,
+            low_mask=1023,
+            ovfl_point=11,
+            last_freed=17,
+            nkeys=99999,
+            hdr_pages=2,
+            h_charkey=0xDEADBEEF,
+        )
+        h.spares = list(range(32))
+        h.bitmaps = [i * 3 for i in range(32)]
+        assert Header.unpack(h.pack()) == h
+
+    def test_large_nkeys(self):
+        h = make_header(nkeys=2**40)
+        assert Header.unpack(h.pack()).nkeys == 2**40
+
+
+class TestUnpackValidation:
+    def test_bad_magic(self):
+        raw = bytearray(make_header().pack())
+        raw[0] ^= 0xFF
+        with pytest.raises(BadFileError, match="magic"):
+            Header.unpack(bytes(raw))
+
+    def test_bad_version(self):
+        h = make_header()
+        h.version = 99
+        with pytest.raises(BadFileError, match="version"):
+            Header.unpack(h.pack())
+
+    def test_truncated(self):
+        with pytest.raises(BadFileError, match="short"):
+            Header.unpack(b"\0" * 10)
+
+    def test_inconsistent_bsize_bshift(self):
+        h = make_header(bshift=9)  # 1<<9 != 256
+        with pytest.raises(BadFileError, match="bsize"):
+            Header.unpack(h.pack())
+
+    def test_magic_is_the_historical_value(self):
+        assert HASH_MAGIC == 0x061561
+
+
+class TestDefaults:
+    def test_fresh_header_state(self):
+        h = make_header()
+        assert h.max_bucket == 0
+        assert h.high_mask == 1
+        assert h.low_mask == 0
+        assert h.ovfl_point == 0
+        assert h.last_freed == NO_LAST_FREED
+        assert h.nkeys == 0
+        assert h.spares == [0] * 32
+        assert h.bitmaps == [0] * 32

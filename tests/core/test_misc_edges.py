@@ -1,0 +1,94 @@
+"""Remaining edge cases across modules."""
+
+import pytest
+
+from repro.core.compat.ndbm import dbm_open
+from repro.core.table import HashTable
+from repro.storage.pagedfile import PagedFile
+
+
+class TestPagedFileReadonly:
+    def test_write_to_readonly_fails(self, tmp_path):
+        p = tmp_path / "f.db"
+        PagedFile(p, 64, create=True).close()
+        f = PagedFile(p, 64, readonly=True)
+        with pytest.raises(OSError):
+            f.write_page(0, b"x")
+        f.close()
+
+
+class TestDbmOpenFlags:
+    def test_open_missing_for_write_fails(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            dbm_open(tmp_path / "missing.db", "w")
+
+    def test_open_r_creates_nothing(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            dbm_open(tmp_path / "nothing.db", "r")
+        assert not (tmp_path / "nothing.db").exists()
+
+    def test_create_params_only_apply_on_create(self, tmp_path):
+        p = tmp_path / "x.db"
+        with dbm_open(p, "c", bsize=512, ffactor=16) as db:
+            assert db.table.header.bsize == 512
+        # reopening ignores geometry kwargs (geometry lives in the file)
+        with dbm_open(p, "w") as db:
+            assert db.table.header.bsize == 512
+
+
+class TestCreateErrorPaths:
+    def test_create_in_missing_directory(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            HashTable.create(tmp_path / "no" / "such" / "dir" / "t.db")
+
+    def test_anonymous_tables_are_independent(self):
+        a = HashTable.create(None)
+        b = HashTable.create(None)
+        a.put(b"k", b"A")
+        b.put(b"k", b"B")
+        assert a.get(b"k") == b"A"
+        assert b.get(b"k") == b"B"
+        a.close()
+        b.close()
+
+    def test_double_close_then_reopen_path(self, tmp_path):
+        p = tmp_path / "t.db"
+        t = HashTable.create(p)
+        t.put(b"k", b"v")
+        t.close()
+        t.close()
+        t2 = HashTable.open_file(p)
+        assert t2.get(b"k") == b"v"
+        t2.close()
+
+
+class TestSuiteReopenSemantics:
+    def test_disk_suite_without_reopen(self, tmp_path):
+        """reopen=False keeps the warm pool -- read I/O collapses."""
+        from repro.bench.adapters import NewHashAdapter
+        from repro.bench.suites import disk_suite
+        from repro.workloads import passwd_pairs
+
+        pairs = list(passwd_pairs(40))
+        warm = disk_suite(
+            NewHashAdapter(str(tmp_path)), pairs, nelem_hint=len(pairs),
+            reopen=False,
+        )
+        assert warm["read"].io.page_reads == 0
+
+    def test_memory_suite_on_dynahash(self, tmp_path):
+        from repro.bench.adapters import DynahashAdapter
+        from repro.bench.suites import memory_suite
+        from repro.workloads import passwd_pairs
+
+        results = memory_suite(DynahashAdapter(str(tmp_path)), list(passwd_pairs(40)))
+        assert results["create/read"].elapsed >= 0
+
+
+class TestStatsAfterClose:
+    def test_io_stats_readable_after_close(self, tmp_path):
+        t = HashTable.create(tmp_path / "t.db")
+        t.put(b"k", b"v")
+        t.close()
+        # the counter object outlives the fd (benchmarks rely on this)
+        assert t.io_stats.page_writes > 0

@@ -1,0 +1,218 @@
+"""Unit tests for the slotted page layout."""
+
+import pytest
+
+from repro.core.constants import (
+    BIG_KEY_PREFIX,
+    PAGE_HDR_SIZE,
+    SLOT_SIZE,
+)
+from repro.core.pages import (
+    PageFullError,
+    PageView,
+    big_ref_bytes,
+    empty_page,
+    is_big_pair,
+    pair_bytes_needed,
+)
+
+
+@pytest.fixture
+def page():
+    return PageView(empty_page(256))
+
+
+class TestEmptyPage:
+    def test_fresh_page_state(self, page):
+        assert page.nslots == 0
+        assert page.data_off == 256
+        assert page.ovfl_addr == 0
+        assert page.flags == 0
+        assert page.free_space == 256 - PAGE_HDR_SIZE
+
+    def test_zero_filled_page_looks_uninitialized(self):
+        view = PageView(bytearray(256))
+        assert view.looks_uninitialized()
+        view.initialize()
+        assert not view.looks_uninitialized()
+
+
+class TestAddGet:
+    def test_single_pair_roundtrip(self, page):
+        page.add_pair(b"key", b"value")
+        assert page.nslots == 1
+        assert page.get_pair(0) == (b"key", b"value")
+        assert page.get_key(0) == b"key"
+
+    def test_multiple_pairs_keep_order(self, page):
+        for i in range(5):
+            page.add_pair(f"k{i}".encode(), f"v{i}".encode())
+        for i in range(5):
+            assert page.get_pair(i) == (f"k{i}".encode(), f"v{i}".encode())
+
+    def test_empty_key_and_value_allowed(self, page):
+        page.add_pair(b"", b"")
+        assert page.get_pair(0) == (b"", b"")
+
+    def test_space_accounting(self, page):
+        before = page.free_space
+        page.add_pair(b"abc", b"defgh")
+        assert page.free_space == before - pair_bytes_needed(3, 5)
+        assert page.used_bytes() == PAGE_HDR_SIZE + SLOT_SIZE + 8
+
+    def test_page_full_raises(self, page):
+        with pytest.raises(PageFullError):
+            for i in range(100):
+                page.add_pair(f"key-{i:04d}".encode(), b"x" * 20)
+
+    def test_fits_predicts_add(self, page):
+        while page.fits(8, 20):
+            page.add_pair(b"k" * 8, b"v" * 20)
+        with pytest.raises(PageFullError):
+            page.add_pair(b"k" * 8, b"v" * 20)
+
+    def test_out_of_range_slot(self, page):
+        page.add_pair(b"a", b"b")
+        with pytest.raises(IndexError):
+            page.get_pair(1)
+        with pytest.raises(IndexError):
+            page.get_pair(-1)
+
+
+class TestFind:
+    def test_find_present_key(self, page):
+        page.add_pair(b"alpha", b"1")
+        page.add_pair(b"beta", b"2")
+        assert page.find_inline(b"beta") == 1
+        assert page.find_inline(b"alpha") == 0
+
+    def test_find_absent_key(self, page):
+        page.add_pair(b"alpha", b"1")
+        assert page.find_inline(b"alphb") == -1
+        assert page.find_inline(b"alph") == -1
+        assert page.find_inline(b"alphaa") == -1
+
+    def test_find_skips_big_slots(self, page):
+        page.add_big_ref(0x0801, 100, 200, b"bigkey-prefix")
+        assert page.find_inline(b"bigkey-prefix") == -1
+
+
+class TestDelete:
+    def test_delete_only_slot(self, page):
+        page.add_pair(b"k", b"v")
+        page.delete_slot(0)
+        assert page.nslots == 0
+        assert page.free_space == 256 - PAGE_HDR_SIZE
+
+    def test_delete_middle_slot_compacts(self, page):
+        page.add_pair(b"k0", b"v0")
+        page.add_pair(b"k1", b"v1")
+        page.add_pair(b"k2", b"v2")
+        page.delete_slot(1)
+        assert page.nslots == 2
+        assert page.get_pair(0) == (b"k0", b"v0")
+        assert page.get_pair(1) == (b"k2", b"v2")
+
+    def test_delete_frees_space_for_reuse(self, page):
+        # fill, delete all, fill again -- identical capacity both times
+        count1 = 0
+        while page.fits(4, 12):
+            page.add_pair(b"a" * 4, b"b" * 12)
+            count1 += 1
+        for _ in range(count1):
+            page.delete_slot(0)
+        count2 = 0
+        while page.fits(4, 12):
+            page.add_pair(b"c" * 4, b"d" * 12)
+            count2 += 1
+        assert count1 == count2
+
+    def test_delete_first_and_last(self, page):
+        for i in range(4):
+            page.add_pair(f"k{i}".encode(), f"val{i}".encode())
+        page.delete_slot(3)
+        page.delete_slot(0)
+        assert [page.get_key(i) for i in range(page.nslots)] == [b"k1", b"k2"]
+
+    def test_interleaved_delete_insert(self, page):
+        page.add_pair(b"aa", b"11")
+        page.add_pair(b"bb", b"2222")
+        page.delete_slot(0)
+        page.add_pair(b"cc", b"333333")
+        assert page.get_pair(0) == (b"bb", b"2222")
+        assert page.get_pair(1) == (b"cc", b"333333")
+
+
+class TestBigRefs:
+    def test_big_ref_roundtrip(self, page):
+        page.add_big_ref(0x1234 & 0x7FFF, 5000, 10000, b"x" * 30)
+        assert page.slot_is_big(0)
+        oaddr, klen, dlen, prefix = page.get_big_ref(0)
+        assert oaddr == 0x1234 & 0x7FFF
+        assert klen == 5000
+        assert dlen == 10000
+        assert prefix == b"x" * BIG_KEY_PREFIX  # truncated to prefix size
+
+    def test_short_key_prefix_kept_whole(self, page):
+        page.add_big_ref(0x0801, 3, 99999, b"abc")
+        _o, _k, _d, prefix = page.get_big_ref(0)
+        assert prefix == b"abc"
+
+    def test_big_and_inline_coexist(self, page):
+        page.add_pair(b"small", b"pair")
+        page.add_big_ref(0x0801, 100, 100, b"bigprefix")
+        page.add_pair(b"more", b"data")
+        assert not page.slot_is_big(0)
+        assert page.slot_is_big(1)
+        assert not page.slot_is_big(2)
+        assert page.get_pair(2) == (b"more", b"data")
+
+    def test_get_pair_on_big_slot_raises(self, page):
+        page.add_big_ref(0x0801, 1, 1, b"k")
+        with pytest.raises(ValueError):
+            page.get_pair(0)
+        with pytest.raises(ValueError):
+            page.get_key(0)
+
+    def test_get_big_ref_on_inline_slot_raises(self, page):
+        page.add_pair(b"k", b"v")
+        with pytest.raises(ValueError):
+            page.get_big_ref(0)
+
+    def test_delete_big_slot(self, page):
+        page.add_pair(b"k", b"v")
+        page.add_big_ref(0x0801, 10, 20, b"prefix")
+        page.delete_slot(1)
+        assert page.nslots == 1
+        assert page.get_pair(0) == (b"k", b"v")
+
+
+class TestHeaderFields:
+    def test_ovfl_addr_setter(self, page):
+        page.ovfl_addr = 0x0805
+        assert page.ovfl_addr == 0x0805
+
+    def test_flags_setter(self, page):
+        page.flags = 3
+        assert page.flags == 3
+
+    def test_iter_slots(self, page):
+        page.add_pair(b"a", b"1")
+        page.add_big_ref(0x0801, 9, 9, b"b")
+        assert list(page.iter_slots()) == [(0, False), (1, True)]
+
+
+class TestSizePredicates:
+    def test_is_big_pair_threshold(self):
+        # a pair that exactly fills an empty 256-byte page is not big
+        cap = 256 - PAGE_HDR_SIZE - SLOT_SIZE
+        assert not is_big_pair(10, cap - 10, 256)
+        assert is_big_pair(10, cap - 9, 256)
+
+    def test_big_ref_bytes_bounded(self):
+        assert big_ref_bytes(5) == SLOT_SIZE + 10 + 5
+        assert big_ref_bytes(5000) == SLOT_SIZE + 10 + BIG_KEY_PREFIX
+
+    def test_oversized_inline_rejected(self, page):
+        with pytest.raises(ValueError):
+            page.add_pair(b"k" * 0x8000, b"")

@@ -1,0 +1,76 @@
+"""Unit tests for the split-policy option (the hybrid is the paper's
+design; the pure policies exist for the ablation)."""
+
+import pytest
+
+from repro.core.errors import InvalidParameterError
+from repro.core.table import HashTable
+
+
+def fill(t, n, value=b"v" * 24):
+    for i in range(n):
+        t.put(f"key-{i:04d}".encode(), value)
+
+
+class TestPolicies:
+    def test_bad_policy_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            HashTable.create(None, in_memory=True, split_policy="sometimes")
+
+    def test_controlled_never_splits_on_overflow(self):
+        """With a huge fill factor, controlled-only splitting leaves one
+        bucket with a long overflow chain."""
+        t = HashTable.create(
+            None, bsize=64, ffactor=10_000, in_memory=True,
+            split_policy="controlled",
+        )
+        fill(t, 200)
+        assert t.nbuckets == 1
+        assert t.stats.uncontrolled_splits == 0
+        assert t.stats.ovfl_pages_linked > 50
+        for i in range(200):
+            assert t.get(f"key-{i:04d}".encode()) == b"v" * 24
+        t.close()
+
+    def test_uncontrolled_ignores_fill_factor(self):
+        """With huge pages, uncontrolled-only splitting never grows the
+        table no matter how many keys per bucket."""
+        t = HashTable.create(
+            None, bsize=8192, ffactor=2, in_memory=True,
+            split_policy="uncontrolled",
+        )
+        fill(t, 300)
+        # 300 pairs of ~38 bytes need ~2 pages: a couple of overflow-driven
+        # splits at most -- crucially far fewer than the fill factor would
+        # demand (300/2 = 150 buckets)
+        assert t.nbuckets < 10
+        assert t.stats.controlled_splits == 0
+        t.close()
+
+    def test_hybrid_uses_both_triggers(self):
+        # ffactor 2 fires controlled splits before the ~3-pair pages fill;
+        # hash skew still overflows some buckets, firing uncontrolled ones.
+        t = HashTable.create(
+            None, bsize=64, ffactor=2, in_memory=True, split_policy="hybrid"
+        )
+        fill(t, 400, value=b"v")
+        assert t.stats.controlled_splits > 0
+        assert t.stats.uncontrolled_splits > 0
+        t.check_invariants()
+        t.close()
+
+    @pytest.mark.parametrize("policy", ["hybrid", "controlled", "uncontrolled"])
+    def test_all_policies_are_correct(self, policy):
+        """Policies trade performance, never correctness."""
+        t = HashTable.create(
+            None, bsize=128, ffactor=8, in_memory=True, split_policy=policy
+        )
+        data = {f"k{i}".encode(): f"v{i}".encode() * 3 for i in range(300)}
+        for k, v in data.items():
+            t.put(k, v)
+        for i in range(0, 300, 3):
+            t.delete(f"k{i}".encode())
+            del data[f"k{i}".encode()]
+        assert dict(t.items()) == data
+        t.check_invariants()
+        t.close()

@@ -1,0 +1,196 @@
+"""Basic get/put/delete behaviour of the hash table."""
+
+import pytest
+
+from repro.core.errors import (
+    ClosedError,
+    InvalidParameterError,
+    ReadOnlyError,
+)
+from repro.core.table import HashTable
+
+
+class TestPutGet:
+    def test_put_then_get(self, mem_table):
+        mem_table.put(b"key", b"value")
+        assert mem_table.get(b"key") == b"value"
+
+    def test_get_absent_returns_default(self, mem_table):
+        assert mem_table.get(b"nope") is None
+        assert mem_table.get(b"nope", b"dflt") == b"dflt"
+
+    def test_replace_overwrites(self, mem_table):
+        mem_table.put(b"k", b"old")
+        mem_table.put(b"k", b"new")
+        assert mem_table.get(b"k") == b"new"
+        assert len(mem_table) == 1
+
+    def test_insert_no_replace_preserves(self, mem_table):
+        mem_table.put(b"k", b"old")
+        assert mem_table.put(b"k", b"new", replace=False) is False
+        assert mem_table.get(b"k") == b"old"
+
+    def test_replace_with_different_size(self, mem_table):
+        mem_table.put(b"k", b"short")
+        mem_table.put(b"k", b"much longer value " * 3)
+        assert mem_table.get(b"k") == b"much longer value " * 3
+        mem_table.put(b"k", b"s")
+        assert mem_table.get(b"k") == b"s"
+        assert len(mem_table) == 1
+
+    def test_empty_key_and_value(self, mem_table):
+        mem_table.put(b"", b"")
+        assert mem_table.get(b"") == b""
+        assert b"" in mem_table
+
+    def test_binary_keys_and_values(self, mem_table):
+        key = bytes(range(256))
+        value = bytes(reversed(range(256)))
+        mem_table.put(key, value)
+        assert mem_table.get(key) == value
+
+    def test_contains(self, mem_table):
+        mem_table.put(b"yes", b"1")
+        assert b"yes" in mem_table
+        assert b"no" not in mem_table
+
+    def test_non_bytes_rejected(self, mem_table):
+        with pytest.raises(TypeError):
+            mem_table.put("str", b"v")
+        with pytest.raises(TypeError):
+            mem_table.put(b"k", 42)
+
+    def test_bytearray_accepted(self, mem_table):
+        mem_table.put(bytearray(b"ba"), bytearray(b"val"))
+        assert mem_table.get(b"ba") == b"val"
+
+    def test_many_keys(self, mem_table):
+        for i in range(1000):
+            mem_table.put(f"key{i}".encode(), f"value{i}".encode())
+        assert len(mem_table) == 1000
+        for i in range(0, 1000, 37):
+            assert mem_table.get(f"key{i}".encode()) == f"value{i}".encode()
+        mem_table.check_invariants()
+
+
+class TestDelete:
+    def test_delete_present(self, mem_table):
+        mem_table.put(b"k", b"v")
+        assert mem_table.delete(b"k") is True
+        assert mem_table.get(b"k") is None
+        assert len(mem_table) == 0
+
+    def test_delete_absent(self, mem_table):
+        assert mem_table.delete(b"ghost") is False
+
+    def test_delete_twice(self, mem_table):
+        mem_table.put(b"k", b"v")
+        assert mem_table.delete(b"k")
+        assert not mem_table.delete(b"k")
+
+    def test_delete_then_reinsert(self, mem_table):
+        mem_table.put(b"k", b"v1")
+        mem_table.delete(b"k")
+        mem_table.put(b"k", b"v2")
+        assert mem_table.get(b"k") == b"v2"
+
+    def test_delete_half_of_many(self, mem_table):
+        for i in range(500):
+            mem_table.put(f"k{i}".encode(), f"v{i}".encode())
+        for i in range(0, 500, 2):
+            assert mem_table.delete(f"k{i}".encode())
+        assert len(mem_table) == 250
+        for i in range(500):
+            expected = None if i % 2 == 0 else f"v{i}".encode()
+            assert mem_table.get(f"k{i}".encode()) == expected
+        mem_table.check_invariants()
+
+    def test_file_never_contracts(self, mem_table):
+        """Paper footnote 6: buckets stay allocated after deletes."""
+        for i in range(500):
+            mem_table.put(f"k{i}".encode(), b"v" * 20)
+        buckets = mem_table.nbuckets
+        for i in range(500):
+            mem_table.delete(f"k{i}".encode())
+        assert mem_table.nbuckets == buckets
+        assert len(mem_table) == 0
+
+
+class TestLifecycle:
+    def test_closed_table_rejects_ops(self, tmp_path):
+        t = HashTable.create(tmp_path / "t.db")
+        t.close()
+        assert t.closed
+        with pytest.raises(ClosedError):
+            t.get(b"k")
+        with pytest.raises(ClosedError):
+            t.put(b"k", b"v")
+        t.close()  # idempotent
+
+    def test_context_manager(self, tmp_path):
+        with HashTable.create(tmp_path / "t.db") as t:
+            t.put(b"k", b"v")
+        assert t.closed
+
+    def test_readonly_table_rejects_writes(self, tmp_path):
+        p = tmp_path / "t.db"
+        with HashTable.create(p) as t:
+            t.put(b"k", b"v")
+        r = HashTable.open_file(p, readonly=True)
+        assert r.get(b"k") == b"v"
+        with pytest.raises(ReadOnlyError):
+            r.put(b"x", b"y")
+        with pytest.raises(ReadOnlyError):
+            r.delete(b"k")
+        r.close()
+
+
+class TestParameters:
+    def test_bad_bsize(self):
+        with pytest.raises(InvalidParameterError):
+            HashTable.create(None, bsize=63, in_memory=True)
+        with pytest.raises(InvalidParameterError):
+            HashTable.create(None, bsize=100, in_memory=True)  # not power of 2
+        with pytest.raises(InvalidParameterError):
+            HashTable.create(None, bsize=65536, in_memory=True)  # > 32K
+
+    def test_bad_ffactor(self):
+        with pytest.raises(InvalidParameterError):
+            HashTable.create(None, ffactor=0, in_memory=True)
+
+    def test_bad_nelem(self):
+        with pytest.raises(InvalidParameterError):
+            HashTable.create(None, nelem=0, in_memory=True)
+
+    def test_bad_cachesize(self):
+        with pytest.raises(InvalidParameterError):
+            HashTable.create(None, cachesize=-1, in_memory=True)
+
+    def test_nelem_presizes_buckets(self):
+        t = HashTable.create(None, nelem=1000, ffactor=10, in_memory=True)
+        # 1000/10 = 100 buckets -> rounded to 128
+        assert t.nbuckets == 128
+        t.close()
+
+    def test_presized_table_does_not_split_while_filling(self):
+        t = HashTable.create(None, nelem=512, ffactor=8, bsize=1024, in_memory=True)
+        for i in range(512):
+            t.put(f"key-{i}".encode(), b"v")
+        assert t.stats.splits == 0
+        t.close()
+
+    def test_table_grows_past_nelem(self):
+        """Unlike hsearch: 'Files may grow beyond nelem elements.'"""
+        t = HashTable.create(None, nelem=64, ffactor=8, in_memory=True)
+        for i in range(1000):
+            t.put(f"key-{i}".encode(), b"v")
+        assert len(t) == 1000
+        assert t.nbuckets > 8
+        t.check_invariants()
+        t.close()
+
+    def test_min_bsize_is_64(self):
+        t = HashTable.create(None, bsize=64, in_memory=True)
+        t.put(b"k", b"v")
+        assert t.get(b"k") == b"v"
+        t.close()

@@ -1,0 +1,145 @@
+"""Big key/data pair handling through the table interface.
+
+"Inserts never fail because key and/or associated data is too large" -- the
+paper's headline functional improvement over dbm.
+"""
+
+import pytest
+
+from repro.core.table import HashTable
+
+
+@pytest.fixture
+def small_page_table():
+    t = HashTable.create(None, bsize=128, ffactor=8, in_memory=True)
+    yield t
+    t.close()
+
+
+class TestBigValues:
+    def test_value_larger_than_page(self, small_page_table):
+        t = small_page_table
+        value = b"V" * 1000
+        t.put(b"k", value)
+        assert t.get(b"k") == value
+
+    def test_value_much_larger_than_page(self, small_page_table):
+        t = small_page_table
+        value = bytes(i % 251 for i in range(50_000))
+        t.put(b"huge", value)
+        assert t.get(b"huge") == value
+
+    def test_big_key_small_value(self, small_page_table):
+        t = small_page_table
+        key = b"K" * 500
+        t.put(key, b"v")
+        assert t.get(key) == b"v"
+        assert key in t
+
+    def test_big_key_and_value(self, small_page_table):
+        t = small_page_table
+        key = b"K" * 400
+        value = b"V" * 4000
+        t.put(key, value)
+        assert t.get(key) == value
+
+    def test_big_pair_replace(self, small_page_table):
+        t = small_page_table
+        key = b"K" * 200
+        t.put(key, b"first" * 100)
+        t.put(key, b"second" * 200)
+        assert t.get(key) == b"second" * 200
+        assert len(t) == 1
+
+    def test_big_pair_replaced_by_small(self, small_page_table):
+        t = small_page_table
+        t.put(b"k", b"X" * 2000)
+        t.put(b"k", b"small")
+        assert t.get(b"k") == b"small"
+
+    def test_big_pair_delete_frees_chain(self, small_page_table):
+        t = small_page_table
+        before = t.allocator.in_use_count()
+        t.put(b"k", b"X" * 5000)
+        assert t.allocator.in_use_count() > before
+        t.delete(b"k")
+        # all chain pages freed (bitmap pages may remain)
+        assert t.allocator.in_use_count() <= before + 2
+        assert t.get(b"k") is None
+
+
+class TestBigKeyDiscrimination:
+    def test_same_prefix_different_big_keys(self, small_page_table):
+        """Keys sharing the inline prefix must still be distinguished (the
+        full key lives on the chain)."""
+        t = small_page_table
+        k1 = b"P" * 300 + b"1"
+        k2 = b"P" * 300 + b"2"
+        t.put(k1, b"one")
+        t.put(k2, b"two")
+        assert t.get(k1) == b"one"
+        assert t.get(k2) == b"two"
+        assert t.get(b"P" * 300 + b"3") is None
+
+    def test_same_length_prefix_no_false_match(self, small_page_table):
+        t = small_page_table
+        k1 = b"prefix-shared-" + b"a" * 200
+        k2 = b"prefix-shared-" + b"b" * 200
+        t.put(k1, b"1")
+        assert t.get(k2) is None
+
+    def test_inline_key_not_confused_with_big(self, small_page_table):
+        t = small_page_table
+        t.put(b"samekey", b"inline")
+        t.put(b"samekey" + b"x" * 400, b"big")
+        assert t.get(b"samekey") == b"inline"
+        assert t.get(b"samekey" + b"x" * 400) == b"big"
+
+
+class TestBigPairsAcrossSplits:
+    def test_big_pairs_survive_table_growth(self, small_page_table):
+        t = small_page_table
+        bigs = {f"bigkey-{i}".encode() * 20: (f"val{i}".encode() * 300) for i in range(10)}
+        for k, v in bigs.items():
+            t.put(k, v)
+        # force many splits with small pairs
+        for i in range(500):
+            t.put(f"small-{i}".encode(), b"v")
+        for k, v in bigs.items():
+            assert t.get(k) == v
+        t.check_invariants()
+
+    def test_iteration_includes_big_pairs(self, small_page_table):
+        t = small_page_table
+        t.put(b"small", b"1")
+        t.put(b"B" * 300, b"2" * 300)
+        items = dict(t.items())
+        assert items == {b"small": b"1", b"B" * 300: b"2" * 300}
+
+    def test_cursor_returns_big_keys(self, small_page_table):
+        t = small_page_table
+        t.put(b"B" * 300, b"big")
+        t.put(b"s", b"small")
+        keys = set()
+        k = t.first_key()
+        while k is not None:
+            keys.add(k)
+            k = t.next_key()
+        assert keys == {b"B" * 300, b"s"}
+
+
+class TestBoundarySizes:
+    def test_pair_exactly_at_page_capacity(self):
+        from repro.core.constants import PAGE_HDR_SIZE, SLOT_SIZE
+
+        t = HashTable.create(None, bsize=256, in_memory=True)
+        cap = 256 - PAGE_HDR_SIZE - SLOT_SIZE
+        key = b"k" * 10
+        # largest inline pair
+        t.put(key, b"v" * (cap - 10))
+        assert t.get(key) == b"v" * (cap - 10)
+        # one byte more: big-pair path
+        t.put(b"j" * 10, b"w" * (cap - 9))
+        assert t.get(b"j" * 10) == b"w" * (cap - 9)
+        assert t.stats.big_pairs_stored == 1
+        t.close()

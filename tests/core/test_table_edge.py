@@ -1,0 +1,150 @@
+"""Edge cases: boundary sizes, pathological hashes, cursor semantics."""
+
+import pytest
+
+from repro.core.constants import LEN_MASK
+from repro.core.table import HashTable
+
+
+class TestBoundarySizes:
+    def test_key_at_inline_offset_limit(self):
+        """Keys near the 15-bit in-page length limit go to big-pair
+        chains and still work."""
+        t = HashTable.create(None, bsize=8192, in_memory=True)
+        key = b"K" * LEN_MASK  # 32767 bytes
+        t.put(key, b"v")
+        assert t.get(key) == b"v"
+        t.close()
+
+    def test_value_various_sizes_around_page(self):
+        t = HashTable.create(None, bsize=256, in_memory=True)
+        for size in (0, 1, 100, 233, 234, 235, 255, 256, 257, 1000):
+            key = f"size-{size}".encode()
+            t.put(key, b"x" * size)
+            assert t.get(key) == b"x" * size, size
+        t.check_invariants()
+        t.close()
+
+    def test_single_byte_and_max_bsize(self):
+        t = HashTable.create(None, bsize=32768, in_memory=True)
+        t.put(b"k", b"v")
+        assert t.get(b"k") == b"v"
+        t.close()
+
+
+class TestPathologicalHashes:
+    def test_constant_hash_all_operations(self):
+        t = HashTable.create(
+            None, bsize=128, ffactor=4, in_memory=True, hashfn=lambda k: 0
+        )
+        data = {f"k{i}".encode(): f"v{i}".encode() for i in range(150)}
+        for k, v in data.items():
+            t.put(k, v)
+        for k in list(data)[:50]:
+            t.delete(k)
+            del data[k]
+        assert dict(t.items()) == data
+        t.check_invariants()
+        t.close()
+
+    def test_two_value_hash(self):
+        """All keys land in two buckets; chains stay consistent across
+        splits that move nothing."""
+        t = HashTable.create(
+            None, bsize=128, ffactor=2, in_memory=True,
+            hashfn=lambda k: len(k) & 1,
+        )
+        for i in range(100):
+            t.put(f"key-{i:03d}-{'x' * (i % 2)}".encode(), b"v")
+        assert len(t) == 100
+        t.check_invariants()
+        t.close()
+
+    def test_high_bits_only_hash(self):
+        """A hash using only high bits degenerates bucket selection to
+        bucket 0/low buckets but must stay correct."""
+        t = HashTable.create(
+            None, bsize=128, ffactor=4, in_memory=True,
+            hashfn=lambda k: (sum(k) & 0xFF) << 24,
+        )
+        for i in range(200):
+            t.put(f"key-{i}".encode(), b"v")
+        assert len(t) == 200
+        t.check_invariants()
+        t.close()
+
+
+class TestCursorSemantics:
+    def test_cursor_survives_reads(self, mem_table):
+        for i in range(20):
+            mem_table.put(f"k{i:02d}".encode(), b"v")
+        first = mem_table.first_key()
+        mem_table.get(b"k10")  # unrelated read
+        nxt = mem_table.next_key()
+        assert nxt != first
+
+    def test_cursor_on_reopened_table(self, tmp_path):
+        p = tmp_path / "c.db"
+        with HashTable.create(p) as t:
+            for i in range(30):
+                t.put(f"k{i}".encode(), b"v")
+        with HashTable.open_file(p, readonly=True) as t:
+            seen = set()
+            k = t.first_key()
+            while k is not None:
+                seen.add(k)
+                k = t.next_key()
+            assert len(seen) == 30
+
+    def test_cursor_stable_across_table_halves(self, mem_table):
+        """Scan sees each surviving key at most once even with buckets of
+        very different sizes."""
+        for i in range(64):
+            mem_table.put(f"{i:02d}".encode(), b"v" * (1 + i % 32))
+        seen = []
+        k = mem_table.first_key()
+        while k is not None:
+            seen.append(k)
+            k = mem_table.next_key()
+        assert len(seen) == len(set(seen)) == 64
+
+
+class TestHashFunctionEdge:
+    def test_custom_callable_reopen_requires_same_callable(self, tmp_path):
+        from repro.core.errors import HashFunctionMismatchError
+
+        p = tmp_path / "h.db"
+        fn = lambda k: (sum(k) * 31) & 0xFFFFFFFF  # noqa: E731
+        with HashTable.create(p, hashfn=fn) as t:
+            t.put(b"k", b"v")
+        # same function works
+        with HashTable.open_file(p, hashfn=fn) as t:
+            assert t.get(b"k") == b"v"
+        # the default refuses
+        with pytest.raises(HashFunctionMismatchError):
+            HashTable.open_file(p)
+
+    def test_two_custom_functions_with_equal_charkey_hash_accepted(self, tmp_path):
+        """The charkey check is a heuristic: functions agreeing on the
+        check value are accepted (documented behaviour of the original)."""
+        p = tmp_path / "h.db"
+        a = lambda k: len(k)  # noqa: E731
+        b = lambda k: len(k)  # noqa: E731  (different object, same result)
+        HashTable.create(p, hashfn=a).close()
+        t = HashTable.open_file(p, hashfn=b)
+        t.close()
+
+
+class TestManyTables:
+    def test_sixteen_tables_interleaved(self):
+        tables = [
+            HashTable.create(None, bsize=64, ffactor=2, in_memory=True)
+            for _ in range(16)
+        ]
+        for round_ in range(30):
+            for i, t in enumerate(tables):
+                t.put(f"r{round_}".encode(), f"t{i}".encode())
+        for i, t in enumerate(tables):
+            assert t.get(b"r7") == f"t{i}".encode()
+            assert len(t) == 30
+            t.close()

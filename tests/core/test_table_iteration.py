@@ -1,0 +1,91 @@
+"""Sequential access: items/keys/values generators and the ndbm cursor."""
+
+from repro.core.table import HashTable
+
+
+class TestItems:
+    def test_items_yields_everything_once(self, mem_table):
+        data = {f"k{i}".encode(): f"v{i}".encode() for i in range(300)}
+        for k, v in data.items():
+            mem_table.put(k, v)
+        got = list(mem_table.items())
+        assert len(got) == 300
+        assert dict(got) == data
+
+    def test_empty_table(self, mem_table):
+        assert list(mem_table.items()) == []
+        assert mem_table.first_key() is None
+
+    def test_keys_and_values_align(self, mem_table):
+        for i in range(50):
+            mem_table.put(f"k{i}".encode(), f"v{i}".encode())
+        keys = list(mem_table.keys())
+        values = list(mem_table.values())
+        assert len(keys) == len(values) == 50
+        for k, v in zip(keys, values):
+            assert v == b"v" + k[1:]
+
+    def test_iteration_covers_overflow_chains(self):
+        t = HashTable.create(None, bsize=64, ffactor=100, in_memory=True)
+        data = {f"key-{i:03d}".encode(): b"x" * 10 for i in range(150)}
+        for k, v in data.items():
+            t.put(k, v)
+        assert dict(t.items()) == data
+        t.close()
+
+
+class TestCursor:
+    def test_first_next_covers_all(self, mem_table):
+        expected = set()
+        for i in range(200):
+            k = f"k{i}".encode()
+            mem_table.put(k, b"v")
+            expected.add(k)
+        seen = []
+        k = mem_table.first_key()
+        while k is not None:
+            seen.append(k)
+            k = mem_table.next_key()
+        assert len(seen) == 200
+        assert set(seen) == expected
+
+    def test_next_without_first_starts_scan(self, mem_table):
+        mem_table.put(b"only", b"v")
+        assert mem_table.next_key() == b"only"
+        assert mem_table.next_key() is None
+
+    def test_first_resets_cursor(self, mem_table):
+        for i in range(10):
+            mem_table.put(f"k{i}".encode(), b"v")
+        a = mem_table.first_key()
+        mem_table.next_key()
+        mem_table.next_key()
+        assert mem_table.first_key() == a
+
+    def test_exhausted_cursor_stays_none(self, mem_table):
+        mem_table.put(b"k", b"v")
+        mem_table.first_key()
+        assert mem_table.next_key() is None
+        assert mem_table.next_key() is None
+
+    def test_cursor_single_bucket_order_matches_items(self, mem_table):
+        for i in range(5):
+            mem_table.put(f"k{i}".encode(), b"v")
+        via_cursor = []
+        k = mem_table.first_key()
+        while k is not None:
+            via_cursor.append(k)
+            k = mem_table.next_key()
+        via_items = [k for k, _v in mem_table.items()]
+        assert via_cursor == via_items
+
+
+class TestSequentialOnDisk:
+    def test_iteration_after_reopen(self, tmp_path):
+        p = tmp_path / "t.db"
+        data = {f"key-{i}".encode(): str(i).encode() for i in range(500)}
+        with HashTable.create(p, ffactor=4) as t:
+            for k, v in data.items():
+                t.put(k, v)
+        with HashTable.open_file(p, readonly=True) as t:
+            assert dict(t.items()) == data

@@ -1,0 +1,65 @@
+"""Equation 1 parameterization helper and table stats."""
+
+import pytest
+
+from repro.core.errors import InvalidParameterError
+from repro.core.table import HashTable, suggest_parameters
+
+
+class TestEquation1:
+    """(average_pair_length + 4) * ffactor >= bsize"""
+
+    def test_given_bsize_computes_ffactor(self):
+        bsize, ffactor = suggest_parameters(28, bsize=256)
+        assert bsize == 256
+        assert (28 + 4) * ffactor >= 256
+        assert (28 + 4) * (ffactor - 1) < 256
+
+    def test_given_ffactor_computes_bsize(self):
+        bsize, ffactor = suggest_parameters(28, ffactor=8)
+        assert ffactor == 8
+        assert (28 + 4) * 8 >= bsize
+        assert bsize >= 64
+        assert bsize & (bsize - 1) == 0
+
+    def test_default_matches_paper_sweet_spot(self):
+        """The paper's dictionary pairs average ~12 bytes; bsize 256 needs
+        ffactor 16; conversely the 256/8 sweet spot satisfies Eq 1 for
+        ~28-byte pairs."""
+        bsize, ffactor = suggest_parameters(28)
+        assert (28 + 4) * ffactor >= bsize
+
+    def test_both_given_passthrough(self):
+        assert suggest_parameters(100, bsize=512, ffactor=3) == (512, 3)
+
+    def test_bad_length(self):
+        with pytest.raises(InvalidParameterError):
+            suggest_parameters(0)
+
+
+class TestStats:
+    def test_counters_track_operations(self, mem_table):
+        mem_table.put(b"a", b"1")
+        mem_table.put(b"b", b"2")
+        mem_table.get(b"a")
+        mem_table.get(b"missing")
+        mem_table.delete(b"a")
+        s = mem_table.stats
+        assert s.puts == 2
+        assert s.gets == 2
+        assert s.deletes == 1
+
+    def test_split_counters(self):
+        t = HashTable.create(None, ffactor=2, in_memory=True)
+        for i in range(100):
+            t.put(f"k{i}".encode(), b"v")
+        assert t.stats.splits == (
+            t.stats.controlled_splits + t.stats.uncontrolled_splits
+        ) - t.stats.extra.get("expansion_stopped", 0)
+        assert t.stats.splits == t.nbuckets - 1
+        t.close()
+
+    def test_nkeys_and_len_agree(self, mem_table):
+        for i in range(20):
+            mem_table.put(f"k{i}".encode(), b"v")
+        assert len(mem_table) == mem_table.nkeys == 20

@@ -1,0 +1,145 @@
+"""Disk persistence: sync, close/reopen, header round-trips, corruption."""
+
+import pytest
+
+from repro.core.errors import BadFileError, HashFunctionMismatchError
+from repro.core.table import HashTable
+
+
+class TestReopen:
+    def test_close_reopen_preserves_everything(self, tmp_path):
+        p = tmp_path / "t.db"
+        data = {f"key-{i}".encode(): f"value-{i}".encode() * 3 for i in range(800)}
+        with HashTable.create(p, bsize=256, ffactor=8) as t:
+            for k, v in data.items():
+                t.put(k, v)
+        t2 = HashTable.open_file(p)
+        assert len(t2) == len(data)
+        for k, v in data.items():
+            assert t2.get(k) == v
+        t2.check_invariants()
+        t2.close()
+
+    def test_geometry_preserved(self, tmp_path):
+        p = tmp_path / "t.db"
+        with HashTable.create(p, bsize=512, ffactor=16, nelem=300) as t:
+            h1 = (t.header.bsize, t.header.ffactor, t.header.max_bucket)
+        t2 = HashTable.open_file(p)
+        assert (t2.header.bsize, t2.header.ffactor, t2.header.max_bucket) == h1
+        t2.close()
+
+    def test_sync_makes_state_durable_before_close(self, tmp_path):
+        """sync() then reading the file via a second handle sees the data."""
+        p = tmp_path / "t.db"
+        t = HashTable.create(p)
+        t.put(b"k", b"v")
+        t.sync()
+        r = HashTable.open_file(p, readonly=True)
+        assert r.get(b"k") == b"v"
+        r.close()
+        t.close()
+
+    def test_reopen_and_continue_writing(self, tmp_path):
+        p = tmp_path / "t.db"
+        with HashTable.create(p, ffactor=4) as t:
+            for i in range(200):
+                t.put(f"a{i}".encode(), b"1")
+        with HashTable.open_file(p) as t:
+            for i in range(200):
+                t.put(f"b{i}".encode(), b"2")
+            t.check_invariants()
+        with HashTable.open_file(p, readonly=True) as t:
+            assert len(t) == 400
+            assert t.get(b"a5") == b"1"
+            assert t.get(b"b5") == b"2"
+
+    def test_reopen_with_overflow_and_big_pairs(self, tmp_path):
+        p = tmp_path / "t.db"
+        with HashTable.create(p, bsize=128, ffactor=32) as t:
+            for i in range(300):
+                t.put(f"key-{i}".encode(), b"x" * 20)
+            t.put(b"BIG" * 100, b"Y" * 5000)
+        with HashTable.open_file(p) as t:
+            assert t.get(b"key-250") == b"x" * 20
+            assert t.get(b"BIG" * 100) == b"Y" * 5000
+            t.check_invariants()
+
+    def test_multiple_reopen_cycles(self, tmp_path):
+        p = tmp_path / "t.db"
+        HashTable.create(p).close()
+        for cycle in range(5):
+            with HashTable.open_file(p) as t:
+                t.put(f"cycle-{cycle}".encode(), str(cycle).encode())
+        with HashTable.open_file(p, readonly=True) as t:
+            for cycle in range(5):
+                assert t.get(f"cycle-{cycle}".encode()) == str(cycle).encode()
+
+
+class TestHashFunctionCheck:
+    def test_matching_function_accepted(self, tmp_path):
+        p = tmp_path / "t.db"
+        HashTable.create(p, hashfn="sdbm").close()
+        t = HashTable.open_file(p, hashfn="sdbm")
+        t.close()
+
+    def test_mismatched_function_rejected(self, tmp_path):
+        p = tmp_path / "t.db"
+        HashTable.create(p, hashfn="sdbm").close()
+        with pytest.raises(HashFunctionMismatchError):
+            HashTable.open_file(p, hashfn="larson")
+
+    def test_default_vs_named_mismatch(self, tmp_path):
+        p = tmp_path / "t.db"
+        HashTable.create(p).close()  # default
+        with pytest.raises(HashFunctionMismatchError):
+            HashTable.open_file(p, hashfn="fnv1a")
+
+    def test_user_function_roundtrip(self, tmp_path):
+        def myhash(key: bytes) -> int:
+            return sum(key) * 2654435761 & 0xFFFFFFFF
+
+        p = tmp_path / "t.db"
+        with HashTable.create(p, hashfn=myhash) as t:
+            t.put(b"k", b"v")
+        with HashTable.open_file(p, hashfn=myhash) as t:
+            assert t.get(b"k") == b"v"
+
+
+class TestCorruption:
+    def test_not_a_hash_file(self, tmp_path):
+        p = tmp_path / "junk.db"
+        p.write_bytes(b"this is not a hash file" * 100)
+        with pytest.raises(BadFileError):
+            HashTable.open_file(p)
+
+    def test_empty_file(self, tmp_path):
+        p = tmp_path / "empty.db"
+        p.write_bytes(b"")
+        with pytest.raises(BadFileError):
+            HashTable.open_file(p)
+
+    def test_truncated_header(self, tmp_path):
+        p = tmp_path / "trunc.db"
+        with HashTable.create(p) as t:
+            t.put(b"k", b"v")
+        raw = p.read_bytes()
+        p.write_bytes(raw[:100])
+        with pytest.raises(BadFileError):
+            HashTable.open_file(p)
+
+
+class TestHeaderPages:
+    def test_small_bsize_uses_multiple_header_pages(self, tmp_path):
+        p = tmp_path / "t.db"
+        with HashTable.create(p, bsize=64) as t:
+            assert t.header.hdr_pages == 8  # 512 / 64
+            for i in range(100):
+                t.put(f"k{i}".encode(), b"v")
+        with HashTable.open_file(p) as t:
+            assert t.header.hdr_pages == 8
+            assert len(t) == 100
+            t.check_invariants()
+
+    def test_large_bsize_single_header_page(self, tmp_path):
+        with HashTable.create(tmp_path / "t.db", bsize=8192) as t:
+            assert t.header.hdr_pages == 1

@@ -1,0 +1,128 @@
+"""Splitting behaviour: controlled, uncontrolled, masks, reclamation."""
+
+from repro.core.constants import NO_OADDR
+from repro.core.pages import PageView
+from repro.core.table import HashTable
+
+
+def fill(table, n, value=b"v", prefix="key"):
+    for i in range(n):
+        table.put(f"{prefix}-{i}".encode(), value)
+
+
+class TestControlledSplitting:
+    def test_split_when_fill_factor_exceeded(self):
+        t = HashTable.create(None, ffactor=4, bsize=1024, in_memory=True)
+        fill(t, 4)  # nkeys == ffactor * 1 bucket: no split yet
+        assert t.nbuckets == 1
+        t.put(b"key-extra", b"v")
+        assert t.nbuckets == 2
+        assert t.stats.controlled_splits >= 1
+        t.close()
+
+    def test_fill_ratio_tracks_ffactor(self):
+        t = HashTable.create(None, ffactor=8, bsize=1024, in_memory=True)
+        fill(t, 2000)
+        assert t.fill_ratio() <= 8.0 + 1e-9
+        # linear hashing keeps the table near the fill factor, not far under
+        assert t.fill_ratio() > 3.0
+        t.check_invariants()
+        t.close()
+
+    def test_splits_follow_linear_order(self):
+        """max_bucket advances by exactly one per split."""
+        t = HashTable.create(None, ffactor=2, bsize=1024, in_memory=True)
+        seen = [t.nbuckets]
+        for i in range(50):
+            t.put(f"k{i}".encode(), b"v")
+            if t.nbuckets != seen[-1]:
+                assert t.nbuckets == seen[-1] + 1
+                seen.append(t.nbuckets)
+        assert len(seen) > 5
+        t.close()
+
+
+class TestUncontrolledSplitting:
+    def test_overflow_triggers_split(self):
+        """Large values overflow pages long before the fill factor does."""
+        t = HashTable.create(None, ffactor=100, bsize=64, in_memory=True)
+        for i in range(30):
+            t.put(f"key-{i}".encode(), b"V" * 30)
+        assert t.stats.uncontrolled_splits > 0
+        assert t.nbuckets > 1
+        for i in range(30):
+            assert t.get(f"key-{i}".encode()) == b"V" * 30
+        t.check_invariants()
+        t.close()
+
+
+class TestMaskMaintenance:
+    def test_masks_across_generations(self):
+        t = HashTable.create(None, ffactor=1, bsize=1024, in_memory=True)
+        for i in range(300):
+            t.put(f"k{i}".encode(), b"v")
+            h = t.header
+            assert h.low_mask == h.high_mask >> 1
+            assert h.low_mask <= h.max_bucket <= h.high_mask
+        t.close()
+
+    def test_every_key_findable_across_many_generations(self):
+        t = HashTable.create(None, ffactor=2, bsize=256, in_memory=True)
+        n = 800
+        fill(t, n)
+        assert t.nbuckets >= 256
+        for i in range(n):
+            assert t.get(f"key-{i}".encode()) == b"v", i
+        t.check_invariants()
+        t.close()
+
+
+class TestOverflowReclamation:
+    def test_split_reclaims_overflow_pages(self):
+        """'overflow pages ... are reclaimed, if possible, when the bucket
+        later splits.'"""
+        t = HashTable.create(None, ffactor=64, bsize=64, cachesize=1 << 16,
+                             in_memory=True)
+        # cram keys into few buckets to build chains, then force splits
+        for i in range(200):
+            t.put(f"key-{i:04d}".encode(), b"v" * 8)
+        in_use = t.allocator.in_use_count()
+        spares_total = t.header.spares[t.header.ovfl_point]
+        # freed pages exist (in_use < allocated) thanks to reclamation
+        assert in_use <= spares_total
+        t.check_invariants()
+        t.close()
+
+    def test_chains_shrink_after_split(self):
+        t = HashTable.create(None, ffactor=50, bsize=64, in_memory=True)
+        for i in range(100):
+            t.put(f"key-{i:03d}".encode(), b"v")
+        # force reads of all chains and verify integrity
+        assert sorted(k for k, _ in t.items()) == sorted(
+            f"key-{i:03d}".encode() for i in range(100)
+        )
+        t.close()
+
+
+class TestSplitRedistribution:
+    def test_split_moves_keys_to_correct_buckets(self):
+        t = HashTable.create(None, ffactor=4, bsize=1024, in_memory=True)
+        fill(t, 500)
+        # check_invariants asserts every key lives where it hashes
+        t.check_invariants()
+        t.close()
+
+    def test_primary_pages_of_split_buckets_have_no_stale_chain(self):
+        t = HashTable.create(None, ffactor=8, bsize=128, in_memory=True)
+        fill(t, 300, value=b"data" * 4)
+        # walk every chain; ovfl addresses must resolve without loops
+        for b in range(t.nbuckets):
+            hdr = t._fault(("B", b))
+            seen = set()
+            view = PageView(hdr.page)
+            while view.ovfl_addr != NO_OADDR:
+                assert view.ovfl_addr not in seen
+                seen.add(view.ovfl_addr)
+                hdr = t._fault(("O", view.ovfl_addr))
+                view = PageView(hdr.page)
+        t.close()

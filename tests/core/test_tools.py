@@ -1,0 +1,134 @@
+"""Tests for the CLI utilities (dump/load/stat/check)."""
+
+import io
+
+import pytest
+
+from repro.core.table import HashTable
+from repro.tools.dump import dump_table, load_table
+from repro.tools.stat import collect_stats, format_stats
+from repro.tools.__main__ import main as tools_main
+
+
+@pytest.fixture
+def table_path(tmp_path):
+    p = tmp_path / "t.db"
+    t = HashTable.create(p, bsize=256, ffactor=8)
+    for i in range(300):
+        t.put(f"key-{i}".encode(), f"value-{i}".encode())
+    t.put(b"binary\x00key", bytes(range(256)))
+    t.close()
+    return p
+
+
+class TestDumpLoad:
+    def test_roundtrip(self, table_path, tmp_path):
+        t = HashTable.open_file(table_path, readonly=True)
+        buf = io.StringIO()
+        count = dump_table(t, buf)
+        original = dict(t.items())
+        t.close()
+        assert count == 301
+
+        buf.seek(0)
+        out = tmp_path / "loaded.db"
+        loaded_count = load_table(out, buf)
+        assert loaded_count == 301
+        t2 = HashTable.open_file(out, readonly=True)
+        assert dict(t2.items()) == original
+        # geometry carried through the dump header
+        assert t2.header.bsize == 256
+        assert t2.header.ffactor == 8
+        t2.close()
+
+    def test_binary_safety(self, tmp_path):
+        p = tmp_path / "bin.db"
+        t = HashTable.create(p)
+        t.put(b"\x00\xff\n ", b"\r\n\x00")
+        buf = io.StringIO()
+        dump_table(t, buf)
+        t.close()
+        buf.seek(0)
+        load_table(tmp_path / "bin2.db", buf)
+        t2 = HashTable.open_file(tmp_path / "bin2.db")
+        assert t2.get(b"\x00\xff\n ") == b"\r\n\x00"
+        t2.close()
+
+    def test_load_overrides_geometry(self, table_path, tmp_path):
+        t = HashTable.open_file(table_path, readonly=True)
+        buf = io.StringIO()
+        dump_table(t, buf)
+        t.close()
+        buf.seek(0)
+        load_table(tmp_path / "o.db", buf, bsize=1024)
+        t2 = HashTable.open_file(tmp_path / "o.db")
+        assert t2.header.bsize == 1024
+        t2.close()
+
+    def test_malformed_dumps_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="HEADER"):
+            load_table(tmp_path / "x.db", io.StringIO("no header here\n"))
+        bad = "VERSION=1\ntype=btree\nHEADER=END\nDATA=END\n"
+        with pytest.raises(ValueError, match="type"):
+            load_table(tmp_path / "y.db", io.StringIO(bad))
+        truncated = "VERSION=1\ntype=hash\nHEADER=END\n aa\n"
+        with pytest.raises(ValueError, match="DATA=END"):
+            load_table(tmp_path / "z.db", io.StringIO(truncated))
+
+
+class TestStat:
+    def test_collect(self, table_path):
+        t = HashTable.open_file(table_path, readonly=True)
+        stats = collect_stats(t)
+        t.close()
+        assert stats["nkeys"] == 301
+        assert stats["bsize"] == 256
+        assert stats["buckets"] >= 1
+        assert 0 < stats["page_utilization"] <= 1
+        assert sum(stats["chain_histogram"].values()) == stats["buckets"]
+
+    def test_format(self, table_path):
+        t = HashTable.open_file(table_path, readonly=True)
+        text = format_stats(t)
+        t.close()
+        assert "nkeys" in text
+        assert "chain length histogram" in text
+
+
+class TestCLI:
+    def test_stat_command(self, table_path, capsys):
+        assert tools_main(["stat", str(table_path)]) == 0
+        assert "nkeys" in capsys.readouterr().out
+
+    def test_check_command_clean(self, table_path, capsys):
+        assert tools_main(["check", str(table_path)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_check_command_corrupt(self, table_path, capsys):
+        import struct
+
+        with open(table_path, "r+b") as fh:
+            fh.seek(44)  # nkeys
+            fh.write(struct.pack(">Q", 424242))
+        assert tools_main(["check", str(table_path)]) == 1
+
+    def test_check_command_btree(self, tmp_path, capsys):
+        from repro.access.btree import BTree
+
+        p = tmp_path / "t.bt"
+        t = BTree.create(p)
+        t.put(b"k", b"v")
+        t.close()
+        assert tools_main(["check", str(p)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_dump_load_commands(self, table_path, tmp_path, capsys):
+        dump_file = tmp_path / "d.txt"
+        assert tools_main(["dump", str(table_path), "-o", str(dump_file)]) == 0
+        out = tmp_path / "reloaded.db"
+        assert tools_main(["load", str(out), "-i", str(dump_file)]) == 0
+        a = HashTable.open_file(table_path, readonly=True)
+        b = HashTable.open_file(out, readonly=True)
+        assert dict(a.items()) == dict(b.items())
+        a.close()
+        b.close()

@@ -1,0 +1,132 @@
+"""Model-based property tests: every hashing system against a Python dict.
+
+Random operation sequences (put/get/delete/replace) must leave each system
+observationally equal to a plain dict -- the strongest single invariant a
+key/value store has.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.dynahash import DynaHash
+from repro.baselines.hsearch import Hsearch
+from repro.core.table import HashTable
+
+# compact keyspace so operations collide often
+KEYS = st.binary(min_size=0, max_size=12)
+VALUES = st.binary(min_size=0, max_size=40)
+
+OPS = st.lists(
+    st.one_of(
+        st.tuples(st.just("put"), KEYS, VALUES),
+        st.tuples(st.just("delete"), KEYS, st.just(b"")),
+        st.tuples(st.just("get"), KEYS, st.just(b"")),
+    ),
+    max_size=60,
+)
+
+
+def run_ops_against_model(table_put, table_get, table_delete, ops):
+    model: dict[bytes, bytes] = {}
+    for op, key, value in ops:
+        if op == "put":
+            table_put(key, value)
+            model[key] = value
+        elif op == "delete":
+            assert table_delete(key) == (key in model)
+            model.pop(key, None)
+        else:
+            assert table_get(key) == model.get(key)
+    return model
+
+
+@settings(max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(ops=OPS)
+def test_hashtable_memory_matches_dict(ops):
+    t = HashTable.create(None, bsize=64, ffactor=4, in_memory=True)
+    try:
+        model = run_ops_against_model(t.put, t.get, t.delete, ops)
+        assert dict(t.items()) == model
+        assert len(t) == len(model)
+        t.check_invariants()
+    finally:
+        t.close()
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(ops=OPS)
+def test_hashtable_disk_matches_dict_after_reopen(ops, tmp_path_factory):
+    path = tmp_path_factory.mktemp("prop") / "t.db"
+    t = HashTable.create(path, bsize=64, ffactor=4, cachesize=512)
+    try:
+        model = run_ops_against_model(t.put, t.get, t.delete, ops)
+    finally:
+        t.close()
+    t2 = HashTable.open_file(path)
+    try:
+        assert dict(t2.items()) == model
+        t2.check_invariants()
+    finally:
+        t2.close()
+
+
+@settings(max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(ops=OPS)
+def test_dynahash_matches_dict(ops):
+    d = DynaHash(ffactor=2)
+    model = run_ops_against_model(d.put, d.get, d.delete, ops)
+    assert dict(d.items()) == model
+    d.check_invariants()
+
+
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    pairs=st.dictionaries(KEYS, VALUES, max_size=40),
+    variant=st.sampled_from(["default", "div", "chained"]),
+)
+def test_hsearch_stores_first_value(pairs, variant):
+    """hsearch ENTER semantics: first value wins, FIND returns it."""
+    t = Hsearch(max(len(pairs) * 2, 8), variant=variant)
+    for k, v in pairs.items():
+        t.enter(k, v)
+    for k, v in pairs.items():
+        assert t.find(k) == v
+    assert len(t) == len(pairs)
+
+
+@settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(ops=OPS)
+def test_dbm_matches_dict(ops, tmp_path_factory):
+    from repro.baselines.dbm import DbmFile
+
+    base = tmp_path_factory.mktemp("dbm") / "db"
+    with DbmFile(base, "n", block_size=1024) as db:
+        model = run_ops_against_model(
+            db.store, db.fetch, db.delete, ops
+        )
+        assert dict(db.items()) == model
+
+
+@settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(ops=OPS)
+def test_sdbm_matches_dict(ops, tmp_path_factory):
+    from repro.baselines.sdbm import Sdbm
+
+    base = tmp_path_factory.mktemp("sdbm") / "db"
+    with Sdbm(base, "n", block_size=1024) as db:
+        model = run_ops_against_model(db.store, db.fetch, db.delete, ops)
+        assert dict(db.items()) == model
+
+
+@settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(ops=OPS)
+def test_gdbm_matches_dict(ops, tmp_path_factory):
+    from repro.baselines.gdbm import Gdbm
+
+    path = tmp_path_factory.mktemp("gdbm") / "g.db"
+    with Gdbm(path, "n", block_size=512) as db:
+        model = run_ops_against_model(db.store, db.fetch, db.delete, ops)
+        assert dict(db.items()) == model

@@ -1,0 +1,78 @@
+"""Model-based property tests for recno: the model is a Python list."""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.access.recno import Recno
+
+DATA = st.binary(max_size=30)
+
+OPS = st.lists(
+    st.one_of(
+        st.tuples(st.just("append"), DATA, st.just(0)),
+        st.tuples(st.just("insert"), DATA, st.integers(1, 40)),
+        st.tuples(st.just("delete"), st.just(b""), st.integers(1, 40)),
+        st.tuples(st.just("set"), DATA, st.integers(1, 40)),
+        st.tuples(st.just("get"), st.just(b""), st.integers(1, 40)),
+    ),
+    max_size=40,
+)
+
+
+@settings(max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(ops=OPS)
+def test_recno_matches_list(ops):
+    r = Recno.create(None, in_memory=True)
+    try:
+        model: list[bytes] = []
+        for op, data, recno in ops:
+            if op == "append":
+                assert r.append(data) == len(model) + 1
+                model.append(data)
+            elif op == "insert":
+                if recno <= len(model) + 1:
+                    r.insert_rec(recno, data)
+                    model.insert(recno - 1, data)
+                else:
+                    # past-the-end insert materializes the gap
+                    r.insert_rec(recno, data)
+                    model.extend([b""] * (recno - 1 - len(model)))
+                    model.append(data)
+            elif op == "delete":
+                ok = r.delete_rec(recno)
+                assert ok == (1 <= recno <= len(model))
+                if ok:
+                    del model[recno - 1]
+            elif op == "set":
+                r.put_rec(recno, data)
+                model.extend([b""] * (recno - len(model)))
+                model[recno - 1] = data
+            else:  # get
+                expected = model[recno - 1] if recno <= len(model) else None
+                assert r.get_rec(recno) == expected
+        assert list(r.records()) == model
+        assert len(r) == len(model)
+    finally:
+        r.close()
+
+
+@settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    lines=st.lists(DATA, max_size=60),
+    reclen=st.integers(1, 40),
+)
+def test_fixed_length_always_reclen(lines, reclen):
+    r = Recno.create(None, reclen=reclen, in_memory=True)
+    try:
+        stored = 0
+        for line in lines:
+            if len(line) <= reclen:
+                r.append(line)
+                stored += 1
+        for i in range(1, stored + 1):
+            rec = r.get_rec(i)
+            assert len(rec) == reclen
+    finally:
+        r.close()

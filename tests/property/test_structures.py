@@ -1,0 +1,181 @@
+"""Property tests on the core data structures and invariants."""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.addressing import (
+    bucket_to_page,
+    make_oaddr,
+    oaddr_to_page,
+    oaddr_to_slot,
+    slot_to_oaddr,
+)
+from repro.core.header import Header
+from repro.core.pages import PageView, empty_page, pair_bytes_needed
+from repro.core.table import HashTable
+
+
+# ---------------------------------------------------------------- pages
+
+SMALL_PAIRS = st.lists(
+    st.tuples(st.binary(max_size=20), st.binary(max_size=30)), max_size=12
+)
+
+
+@settings(max_examples=100, deadline=None)
+@given(pairs=SMALL_PAIRS)
+def test_page_roundtrips_any_pair_sequence(pairs):
+    page = PageView(empty_page(512))
+    stored = []
+    for k, v in pairs:
+        if page.fits(len(k), len(v)):
+            page.add_pair(k, v)
+            stored.append((k, v))
+    assert page.nslots == len(stored)
+    for i, (k, v) in enumerate(stored):
+        assert page.get_pair(i) == (k, v)
+
+
+@settings(max_examples=100, deadline=None)
+@given(pairs=SMALL_PAIRS, delete_order=st.lists(st.integers(0, 30), max_size=12))
+def test_page_delete_preserves_remaining(pairs, delete_order):
+    page = PageView(empty_page(512))
+    stored = []
+    for k, v in pairs:
+        if page.fits(len(k), len(v)):
+            page.add_pair(k, v)
+            stored.append((k, v))
+    for raw in delete_order:
+        if not stored:
+            break
+        i = raw % len(stored)
+        page.delete_slot(i)
+        stored.pop(i)
+    assert page.nslots == len(stored)
+    for i, (k, v) in enumerate(stored):
+        assert page.get_pair(i) == (k, v)
+    # space accounting exact
+    used = sum(pair_bytes_needed(len(k), len(v)) for k, v in stored)
+    assert page.free_space == 512 - 8 - used
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.binary(max_size=512))
+def test_serialized_page_reparses(data):
+    """Serialization is just the buffer: any page state survives a byte
+    copy."""
+    page = PageView(empty_page(256))
+    if len(data) >= 2:
+        page.add_pair(data[: len(data) // 2][:50], data[len(data) // 2 :][:50])
+    copy = PageView(bytearray(bytes(page.buf)))
+    assert copy.nslots == page.nslots
+    for i in range(copy.nslots):
+        assert copy.get_pair(i) == page.get_pair(i)
+
+
+# ---------------------------------------------------------------- header
+
+@settings(max_examples=100, deadline=None)
+@given(
+    bshift=st.integers(6, 15),
+    ffactor=st.integers(1, 1000),
+    max_bucket=st.integers(0, 2**31),
+    nkeys=st.integers(0, 2**40),
+    spares=st.lists(st.integers(0, 2**31 - 1), min_size=32, max_size=32),
+    bitmaps=st.lists(st.integers(0, 0xFFFF), min_size=32, max_size=32),
+)
+def test_header_roundtrip(bshift, ffactor, max_bucket, nkeys, spares, bitmaps):
+    h = Header(
+        bsize=1 << bshift,
+        bshift=bshift,
+        ffactor=ffactor,
+        max_bucket=max_bucket,
+        nkeys=nkeys,
+    )
+    h.spares = spares
+    h.bitmaps = bitmaps
+    assert Header.unpack(h.pack()) == h
+
+
+# ---------------------------------------------------------------- addressing
+
+@st.composite
+def consistent_spares(draw):
+    """A cumulative spares array as the allocator would build it."""
+    increments = draw(
+        st.lists(st.integers(0, 50), min_size=32, max_size=32)
+    )
+    spares = []
+    acc = 0
+    for inc in increments:
+        acc += inc
+        spares.append(acc)
+    return spares
+
+
+@settings(max_examples=100, deadline=None)
+@given(spares=consistent_spares(), hdr_pages=st.integers(1, 8))
+def test_bucket_and_overflow_pages_never_collide(spares, hdr_pages):
+    used: set[int] = set()
+    for b in range(64):
+        page = bucket_to_page(b, hdr_pages, spares)
+        assert page not in used
+        used.add(page)
+    for s in range(7):  # split points covering buckets 0..63
+        count = spares[s] - (spares[s - 1] if s else 0)
+        for p in range(1, min(count, 50) + 1):
+            page = oaddr_to_page(make_oaddr(s, p), hdr_pages, spares)
+            assert page not in used
+            used.add(page)
+
+
+@settings(max_examples=100, deadline=None)
+@given(spares=consistent_spares())
+def test_slot_oaddr_bijection(spares):
+    ovfl_point = 31
+    total = spares[ovfl_point]
+    for slot in range(min(total, 200)):
+        oaddr = slot_to_oaddr(slot, spares, ovfl_point)
+        assert oaddr_to_slot(oaddr, spares) == slot
+
+
+# ---------------------------------------------------------------- table invariants
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    keys=st.sets(st.binary(min_size=1, max_size=16), max_size=80),
+    ffactor=st.integers(1, 16),
+)
+def test_no_key_lost_across_splits(keys, ffactor):
+    """Splits never lose or duplicate keys, whatever the fill factor."""
+    t = HashTable.create(None, bsize=128, ffactor=ffactor, in_memory=True)
+    try:
+        for k in keys:
+            t.put(k, k[::-1])
+        assert sorted(t.keys()) == sorted(keys)
+        assert len(t) == len(keys)
+        t.check_invariants()
+    finally:
+        t.close()
+
+
+@settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    keys=st.sets(st.binary(min_size=1, max_size=10), min_size=1, max_size=50),
+    cachesize=st.sampled_from([0, 128, 1024, 1 << 16]),
+)
+def test_pool_size_never_changes_results(keys, cachesize):
+    """Figure 7's correctness premise: the buffer pool is transparent."""
+    t = HashTable.create(
+        None, bsize=64, ffactor=4, cachesize=cachesize, in_memory=True
+    )
+    try:
+        for k in keys:
+            t.put(k, k + k)
+        for k in keys:
+            assert t.get(k) == k + k
+        t.check_invariants()
+    finally:
+        t.close()

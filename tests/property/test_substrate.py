@@ -1,0 +1,116 @@
+"""Property tests for the substrate: buffer pool, bitmaps, allocators.
+
+The buffer pool's contract is transparency: any sequence of page writes
+and reads through the pool must observe exactly what direct file access
+would, for every pool size and policy.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.dbm.bitmap import DirBitmap
+from repro.baselines.gdbm.allocator import ExtentAllocator
+from repro.core.buffer import BufferPool
+from repro.storage.memfile import MemPagedFile
+
+PAGE_OPS = st.lists(
+    st.one_of(
+        st.tuples(st.just("write"), st.integers(0, 20), st.binary(min_size=1, max_size=16)),
+        st.tuples(st.just("read"), st.integers(0, 20), st.just(b"")),
+        st.tuples(st.just("flush"), st.just(0), st.just(b"")),
+    ),
+    max_size=60,
+)
+
+
+@settings(max_examples=80, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(ops=PAGE_OPS, cachesize=st.sampled_from([0, 64, 256, 4096]),
+       policy=st.sampled_from(["lru", "fifo"]))
+def test_buffer_pool_is_transparent(ops, cachesize, policy):
+    """Pool-mediated state == plain-dict model, any budget, any policy."""
+    f = MemPagedFile(64)
+    pool = BufferPool(f, 64, cachesize, lambda key: key, policy=policy)
+    model: dict[int, bytes] = {}
+    for op, pageno, data in ops:
+        if op == "write":
+            hdr = pool.get(pageno)
+            hdr.page[: len(data)] = data
+            hdr.page[len(data):] = b"\0" * (64 - len(data))
+            hdr.dirty = True
+            model[pageno] = bytes(data) + b"\0" * (64 - len(data))
+        elif op == "read":
+            hdr = pool.get(pageno)
+            expected = model.get(pageno, b"\0" * 64)
+            assert bytes(hdr.page) == expected
+        else:
+            pool.flush()
+    pool.drop_all()
+    # after drop_all the file alone must hold everything
+    for pageno, expected in model.items():
+        assert f.read_page(pageno) == expected
+
+
+@settings(max_examples=80, deadline=None)
+@given(bits=st.lists(st.integers(0, 100_000), max_size=40))
+def test_dirbitmap_matches_set_model(bits):
+    bm = DirBitmap()
+    model: set[int] = set()
+    for b in bits:
+        if b in model:
+            bm.clear(b)
+            model.discard(b)
+        else:
+            bm.set(b)
+            model.add(b)
+    for b in bits:
+        assert bm.is_set(b) == (b in model)
+    assert bm.count_set() == len(model)
+
+
+@settings(max_examples=60, deadline=None)
+@given(data=st.data())
+def test_dirbitmap_save_load_roundtrip(data, tmp_path_factory):
+    bits = data.draw(st.sets(st.integers(0, 50_000), max_size=30))
+    bm = DirBitmap()
+    for b in bits:
+        bm.set(b)
+    bm.maxbuck = data.draw(st.integers(0, 2**40))
+    bm.block_size = data.draw(st.sampled_from([0, 256, 1024]))
+    path = tmp_path_factory.mktemp("bm") / "x.dir"
+    bm.save(path)
+    loaded = DirBitmap.load(path)
+    assert loaded.maxbuck == bm.maxbuck
+    assert loaded.block_size == bm.block_size
+    for b in bits:
+        assert loaded.is_set(b)
+    assert loaded.count_set() == len(bits)
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    ops=st.lists(
+        st.one_of(
+            st.tuples(st.just("alloc"), st.integers(1, 500)),
+            st.tuples(st.just("free"), st.integers(0, 30)),
+        ),
+        max_size=40,
+    )
+)
+def test_extent_allocator_never_overlaps(ops):
+    """Live extents never overlap, whatever the alloc/free sequence."""
+    alloc = ExtentAllocator(0)
+    live: list[tuple[int, int]] = []
+    for op, arg in ops:
+        if op == "alloc":
+            off = alloc.alloc(arg)
+            for o, s in live:
+                assert off + arg <= o or off >= o + s, (
+                    f"extent ({off},{arg}) overlaps ({o},{s})"
+                )
+            live.append((off, arg))
+        elif live:
+            idx = arg % len(live)
+            off, size = live.pop(idx)
+            alloc.free(off, size)

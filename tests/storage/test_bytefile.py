@@ -1,0 +1,47 @@
+"""Unit tests for the byte-offset file (gdbm substrate)."""
+
+import pytest
+
+from repro.storage.bytefile import ByteFile
+
+
+class TestByteFile:
+    def test_roundtrip(self, tmp_path):
+        with ByteFile(tmp_path / "b.db", create=True) as f:
+            f.write_at(0, b"hello")
+            f.write_at(100, b"world")
+            assert f.read_at(0, 5) == b"hello"
+            assert f.read_at(100, 5) == b"world"
+
+    def test_short_read_is_error(self, tmp_path):
+        with ByteFile(tmp_path / "b.db", create=True) as f:
+            f.write_at(0, b"abc")
+            with pytest.raises(EOFError):
+                f.read_at(0, 10)
+
+    def test_size(self, tmp_path):
+        with ByteFile(tmp_path / "b.db", create=True) as f:
+            assert f.size() == 0
+            f.write_at(10, b"x")
+            assert f.size() == 11
+
+    def test_reopen_preserves_content(self, tmp_path):
+        p = tmp_path / "b.db"
+        with ByteFile(p, create=True) as f:
+            f.write_at(0, b"persist")
+        with ByteFile(p, readonly=True) as f:
+            assert f.read_at(0, 7) == b"persist"
+
+    def test_stats(self, tmp_path):
+        with ByteFile(tmp_path / "b.db", create=True) as f:
+            f.write_at(0, b"xyz")
+            f.read_at(0, 3)
+            assert f.stats.bytes_written == 3
+            assert f.stats.bytes_read == 3
+
+    def test_closed_rejects_operations(self, tmp_path):
+        f = ByteFile(tmp_path / "b.db", create=True)
+        f.close()
+        with pytest.raises(ValueError):
+            f.read_at(0, 1)
+        f.close()  # idempotent

@@ -1,0 +1,89 @@
+"""Unit tests for I/O accounting."""
+
+from repro.storage.iostats import IOSnapshot, IOStats
+
+
+class TestIOStats:
+    def test_initial_state_is_zero(self):
+        s = IOStats()
+        assert s.page_reads == 0
+        assert s.page_writes == 0
+        assert s.syscalls == 0
+        assert s.bytes_read == 0
+        assert s.bytes_written == 0
+        assert s.page_io == 0
+
+    def test_record_read(self):
+        s = IOStats()
+        s.record_read(4096)
+        assert s.page_reads == 1
+        assert s.syscalls == 1
+        assert s.bytes_read == 4096
+        assert s.page_writes == 0
+
+    def test_record_write(self):
+        s = IOStats()
+        s.record_write(512)
+        assert s.page_writes == 1
+        assert s.syscalls == 1
+        assert s.bytes_written == 512
+
+    def test_record_syscall_only_bumps_syscalls(self):
+        s = IOStats()
+        s.record_syscall()
+        assert s.syscalls == 1
+        assert s.page_io == 0
+
+    def test_page_io_sums_reads_and_writes(self):
+        s = IOStats()
+        s.record_read(10)
+        s.record_write(20)
+        s.record_write(30)
+        assert s.page_io == 3
+
+    def test_reset(self):
+        s = IOStats()
+        s.record_read(100)
+        s.reset()
+        assert s.snapshot() == IOSnapshot()
+
+    def test_merge(self):
+        a = IOStats()
+        b = IOStats()
+        a.record_read(10)
+        b.record_write(20)
+        b.record_syscall()
+        a.merge(b)
+        assert a.page_reads == 1
+        assert a.page_writes == 1
+        assert a.syscalls == 3  # 1 read + 1 write + 1 explicit
+
+
+class TestIOSnapshot:
+    def test_snapshot_is_point_in_time(self):
+        s = IOStats()
+        s.record_read(10)
+        snap = s.snapshot()
+        s.record_read(10)
+        assert snap.page_reads == 1
+        assert s.page_reads == 2
+
+    def test_subtraction_gives_delta(self):
+        s = IOStats()
+        s.record_read(10)
+        before = s.snapshot()
+        s.record_write(20)
+        s.record_read(5)
+        delta = s.snapshot() - before
+        assert delta.page_reads == 1
+        assert delta.page_writes == 1
+        assert delta.bytes_read == 5
+
+    def test_addition_accumulates(self):
+        a = IOSnapshot(page_reads=1, bytes_read=10)
+        b = IOSnapshot(page_writes=2, bytes_written=20, syscalls=3)
+        c = a + b
+        assert c.page_reads == 1
+        assert c.page_writes == 2
+        assert c.syscalls == 3
+        assert c.page_io == 3

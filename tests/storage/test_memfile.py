@@ -1,0 +1,68 @@
+"""Unit tests for the RAM-backed paged file."""
+
+import pytest
+
+from repro.storage.memfile import MemPagedFile
+
+
+class TestMemPagedFile:
+    def test_roundtrip(self):
+        f = MemPagedFile(64)
+        f.write_page(2, b"hello")
+        assert f.read_page(2)[:5] == b"hello"
+        assert len(f.read_page(2)) == 64
+
+    def test_unwritten_page_reads_zero(self):
+        f = MemPagedFile(32)
+        assert f.read_page(7) == b"\0" * 32
+
+    def test_npages_tracks_highest_written(self):
+        f = MemPagedFile(32)
+        assert f.npages() == 0
+        f.write_page(4, b"x")
+        assert f.npages() == 5
+        assert f.size_bytes() == 5 * 32
+
+    def test_truncate_drops_tail_pages(self):
+        f = MemPagedFile(32)
+        f.write_page(1, b"a")
+        f.write_page(9, b"b")
+        f.truncate(5)
+        assert f.read_page(9) == b"\0" * 32
+        assert f.read_page(1)[:1] == b"a"
+
+    def test_readonly_rejects_writes(self):
+        f = MemPagedFile(32, readonly=True)
+        with pytest.raises(OSError):
+            f.write_page(0, b"x")
+
+    def test_oversized_write_rejected(self):
+        f = MemPagedFile(32)
+        with pytest.raises(ValueError):
+            f.write_page(0, b"x" * 33)
+
+    def test_stats_counted(self):
+        f = MemPagedFile(32)
+        f.write_page(0, b"x")
+        f.read_page(0)
+        f.read_page(1)
+        assert f.stats.page_writes == 1
+        assert f.stats.page_reads == 2
+
+    def test_closed_rejects_operations(self):
+        f = MemPagedFile(32)
+        f.close()
+        with pytest.raises(ValueError):
+            f.read_page(0)
+
+    def test_write_copy_isolated_from_caller(self):
+        f = MemPagedFile(8)
+        buf = bytearray(b"abcdefgh")
+        f.write_page(0, bytes(buf))
+        buf[0] = ord("z")
+        assert f.read_page(0) == b"abcdefgh"
+
+    def test_negative_page_rejected(self):
+        f = MemPagedFile(8)
+        with pytest.raises(ValueError):
+            f.read_page(-2)

@@ -1,0 +1,112 @@
+"""Unit tests for the disk-backed paged file."""
+
+import pytest
+
+from repro.storage.pagedfile import PagedFile
+
+
+class TestCreation:
+    def test_create_and_reopen(self, tmp_path):
+        p = tmp_path / "f.db"
+        with PagedFile(p, 256, create=True) as f:
+            f.write_page(0, b"hello")
+        with PagedFile(p, 256) as f:
+            assert f.read_page(0).startswith(b"hello")
+
+    def test_anonymous_file_has_no_path(self):
+        with PagedFile(None, 128) as f:
+            assert f.path is None
+            f.write_page(3, b"x")
+            assert f.read_page(3)[0:1] == b"x"
+
+    def test_bad_pagesize_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            PagedFile(tmp_path / "f.db", 0, create=True)
+
+    def test_readonly_create_conflict(self, tmp_path):
+        with pytest.raises(ValueError):
+            PagedFile(tmp_path / "f.db", 64, create=True, readonly=True)
+
+    def test_open_missing_file_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            PagedFile(tmp_path / "nope.db", 64)
+
+
+class TestPageIO:
+    def test_read_returns_exactly_pagesize(self, tmp_path):
+        with PagedFile(tmp_path / "f.db", 512, create=True) as f:
+            assert len(f.read_page(0)) == 512
+            f.write_page(0, b"abc")
+            assert len(f.read_page(0)) == 512
+
+    def test_hole_reads_back_zeroes(self, tmp_path):
+        with PagedFile(tmp_path / "f.db", 64, create=True) as f:
+            f.write_page(10, b"\xff" * 64)
+            assert f.read_page(5) == b"\0" * 64
+
+    def test_short_write_zero_padded(self, tmp_path):
+        with PagedFile(tmp_path / "f.db", 64, create=True) as f:
+            f.write_page(0, b"ab")
+            page = f.read_page(0)
+            assert page[:2] == b"ab"
+            assert page[2:] == b"\0" * 62
+
+    def test_oversized_write_rejected(self, tmp_path):
+        with PagedFile(tmp_path / "f.db", 64, create=True) as f:
+            with pytest.raises(ValueError):
+                f.write_page(0, b"x" * 65)
+
+    def test_negative_page_rejected(self, tmp_path):
+        with PagedFile(tmp_path / "f.db", 64, create=True) as f:
+            with pytest.raises(ValueError):
+                f.read_page(-1)
+            with pytest.raises(ValueError):
+                f.write_page(-1, b"")
+
+    def test_sparse_far_page(self, tmp_path):
+        with PagedFile(tmp_path / "f.db", 64, create=True) as f:
+            f.write_page(100_000, b"far")
+            assert f.read_page(100_000)[:3] == b"far"
+            assert f.npages() == 100_001
+
+
+class TestMaintenance:
+    def test_npages_counts_partial(self, tmp_path):
+        with PagedFile(tmp_path / "f.db", 100, create=True) as f:
+            assert f.npages() == 0
+            f.write_page(1, b"x")
+            assert f.npages() == 2
+
+    def test_truncate(self, tmp_path):
+        with PagedFile(tmp_path / "f.db", 64, create=True) as f:
+            f.write_page(9, b"x" * 64)
+            f.truncate(5)
+            assert f.npages() == 5
+            assert f.read_page(9) == b"\0" * 64
+
+    def test_stats_count_operations(self, tmp_path):
+        with PagedFile(tmp_path / "f.db", 64, create=True) as f:
+            base = f.stats.syscalls  # the open
+            f.write_page(0, b"a")
+            f.read_page(0)
+            f.sync()
+            assert f.stats.page_writes == 1
+            assert f.stats.page_reads == 1
+            assert f.stats.syscalls == base + 3
+
+    def test_operations_on_closed_file_raise(self, tmp_path):
+        f = PagedFile(tmp_path / "f.db", 64, create=True)
+        f.close()
+        assert f.closed
+        with pytest.raises(ValueError):
+            f.read_page(0)
+        with pytest.raises(ValueError):
+            f.write_page(0, b"")
+        f.close()  # idempotent
+
+    def test_create_truncates_existing(self, tmp_path):
+        p = tmp_path / "f.db"
+        with PagedFile(p, 64, create=True) as f:
+            f.write_page(0, b"old")
+        with PagedFile(p, 64, create=True) as f:
+            assert f.read_page(0) == b"\0" * 64

@@ -1,0 +1,148 @@
+"""Unit tests for the simulated 1991 I/O stack."""
+
+import pytest
+
+from repro.storage.memfile import MemPagedFile
+from repro.storage.simdisk import SimulatedDisk
+
+
+def make_disk(**kwargs):
+    params = dict(
+        seek_ms=10.0,
+        transfer_bytes_s=1_000_000,
+        os_cache_bytes=4000,  # 4 pages of 1000 bytes
+        syscall_ms=1.0,
+    )
+    params.update(kwargs)
+    return SimulatedDisk(MemPagedFile(1000), **params)
+
+
+class TestModel:
+    def test_miss_pays_syscall_seek_transfer(self):
+        d = make_disk()
+        d.write_page(0, b"a")
+        # 1ms syscall + 10ms seek + 1000 bytes at 1MB/s (1ms)
+        assert d.sim_seconds == pytest.approx(0.012)
+        assert d.seeks == 1
+        assert d.cache_misses == 1
+
+    def test_sequential_miss_skips_seek(self):
+        d = make_disk(os_cache_bytes=0)
+        d.write_page(0, b"a")
+        d.write_page(1, b"b")
+        d.write_page(2, b"c")
+        assert d.seeks == 1
+        assert d.sim_seconds == pytest.approx(0.010 + 3 * 0.002)
+
+    def test_backward_jump_seeks(self):
+        d = make_disk(os_cache_bytes=0)
+        d.write_page(5, b"a")
+        d.write_page(2, b"b")
+        assert d.seeks == 2
+
+    def test_cache_hit_costs_syscall_only(self):
+        d = make_disk()
+        d.write_page(0, b"a")
+        cost = d.sim_seconds
+        d.read_page(0)
+        assert d.sim_seconds == pytest.approx(cost + 0.001)
+        assert d.cache_hits == 1
+
+    def test_cache_is_lru_bounded(self):
+        d = make_disk()  # 4-page cache
+        d.write_page(0, b"a")
+        for pg in range(1, 6):
+            d.write_page(pg, b"x")
+        before = d.sim_seconds
+        d.read_page(0)  # evicted: full miss again
+        assert d.sim_seconds > before + 0.010
+        assert d.cache_misses == 7
+
+    def test_delayed_write_hit_is_cheap(self):
+        """4.3BSD-style: rewriting a cached page is syscall-only."""
+        d = make_disk()
+        d.write_page(0, b"a")
+        cost = d.sim_seconds
+        d.write_page(0, b"b")
+        assert d.sim_seconds == pytest.approx(cost + 0.001)
+
+    def test_sync_charges_a_seek(self):
+        d = make_disk()
+        before = d.sim_seconds
+        d.sync()
+        assert d.sim_seconds == pytest.approx(before + 0.010)
+
+    def test_bad_params(self):
+        with pytest.raises(ValueError):
+            SimulatedDisk(MemPagedFile(64), seek_ms=-1)
+        with pytest.raises(ValueError):
+            SimulatedDisk(MemPagedFile(64), syscall_ms=-1)
+
+
+class TestDelegation:
+    def test_data_passes_through(self):
+        d = make_disk()
+        d.write_page(3, b"hello")
+        assert d.read_page(3)[:5] == b"hello"
+        assert d.pagesize == 1000
+        assert d.npages() == 4
+        d.close()
+        assert d.closed
+
+    def test_real_stats_still_counted(self):
+        d = make_disk()
+        d.write_page(0, b"x")
+        d.read_page(0)
+        assert d.stats.page_writes == 1
+        assert d.stats.page_reads == 1
+
+
+class TestWithHashTable:
+    def test_table_runs_on_simulated_disk(self, tmp_path):
+        from repro.core.table import HashTable
+
+        wrapped = {}
+
+        def wrapper(f):
+            wrapped["disk"] = SimulatedDisk(f)
+            return wrapped["disk"]
+
+        t = HashTable.create(
+            tmp_path / "sim.db", bsize=256, cachesize=1024, file_wrapper=wrapper
+        )
+        for i in range(300):
+            t.put(f"k{i}".encode(), b"v" * 20)
+        for i in range(300):
+            assert t.get(f"k{i}".encode()) == b"v" * 20
+        t.close()
+        disk = wrapped["disk"]
+        assert disk.sim_seconds > 0
+        assert disk.seeks > 0
+
+    def test_bigger_pool_less_simulated_time(self, tmp_path):
+        """Figure 7's conclusion holds on the 1991 clock too: a bigger
+        user-level pool avoids even the syscall costs the OS cache
+        cannot."""
+        from repro.core.table import HashTable
+
+        def run(cachesize, name):
+            holder = {}
+
+            def wrapper(f):
+                holder["d"] = SimulatedDisk(f, os_cache_bytes=16 * 1024)
+                return holder["d"]
+
+            t = HashTable.create(
+                tmp_path / name, bsize=256, ffactor=8,
+                cachesize=cachesize, file_wrapper=wrapper,
+            )
+            for i in range(1000):
+                t.put(f"key-{i}".encode(), b"value")
+            for i in range(1000):
+                t.get(f"key-{i}".encode())
+            t.close()
+            return holder["d"].sim_seconds
+
+        small = run(1024, "small.db")
+        large = run(1 << 20, "large.db")
+        assert large < small / 2

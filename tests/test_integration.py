@@ -1,0 +1,196 @@
+"""Cross-module integration tests: realistic end-to-end scenarios."""
+
+import os
+import random
+
+import pytest
+
+import repro
+from repro.baselines import DynaHash, Gdbm, Hsearch, Ndbm, Sdbm
+from repro.core.compat.ndbm import dbm_open
+from repro.core.table import HashTable
+from repro.workloads import dictionary_pairs, passwd_pairs, zipf_pairs
+
+
+class TestDictionaryWorkload:
+    """The paper's main dataset end-to-end (scaled)."""
+
+    N = 3000
+
+    def test_full_create_read_verify_cycle_on_disk(self, tmp_path):
+        pairs = list(dictionary_pairs(self.N))
+        path = tmp_path / "dict.db"
+        with HashTable.create(path, bsize=1024, ffactor=32,
+                              nelem=self.N, cachesize=1 << 20) as t:
+            for k, v in pairs:
+                t.put(k, v)
+        with HashTable.open_file(path) as t:
+            assert len(t) == self.N
+            for k, v in pairs:
+                assert t.get(k) == v
+            assert sorted(t.keys()) == sorted(k for k, _v in pairs)
+            t.check_invariants()
+
+    def test_paper_sweet_spot_parameters(self):
+        """bsize=256/ffactor=8 (the paper's tradeoff winner) handles the
+        dictionary in memory."""
+        pairs = list(dictionary_pairs(self.N))
+        t = HashTable.create(None, bsize=256, ffactor=8, cachesize=1 << 20,
+                             in_memory=True)
+        for k, v in pairs:
+            t.put(k, v)
+        for k, v in pairs:
+            assert t.get(k) == v
+        t.check_invariants()
+        t.close()
+
+    def test_same_data_all_systems_agree(self, tmp_path):
+        """Every system in the repository stores and returns the same
+        dictionary subset."""
+        pairs = list(dictionary_pairs(400))
+        stores = []
+        t = HashTable.create(None, in_memory=True)
+        stores.append(("hash", t.put, t.get))
+        nd = Ndbm(tmp_path / "nd", "n")
+        stores.append(("ndbm", nd.store, nd.fetch))
+        sd = Sdbm(tmp_path / "sd", "n")
+        stores.append(("sdbm", sd.store, sd.fetch))
+        gd = Gdbm(tmp_path / "gd.db", "n")
+        stores.append(("gdbm", gd.store, gd.fetch))
+        hs = Hsearch(1000)
+        stores.append(("hsearch", hs.enter, hs.find))
+        dy = DynaHash()
+        stores.append(("dynahash", dy.put, dy.get))
+        for _name, put, _get in stores:
+            for k, v in pairs:
+                put(k, v)
+        for name, _put, get in stores:
+            for k, v in pairs:
+                assert get(k) == v, (name, k)
+        t.close()
+        nd.close()
+        sd.close()
+        gd.close()
+
+
+class TestPasswdWorkload:
+    """The paper's second dataset: passwd lookups by name and by uid."""
+
+    def test_lookup_by_name_and_uid(self, tmp_path):
+        db = repro.open(tmp_path / "passwd.db", "c", nelem=600)
+        for k, v in passwd_pairs():
+            db[k] = v
+        accounts = dict()
+        from repro.workloads import passwd_accounts
+
+        for name, uid, entry in passwd_accounts():
+            assert db[str(uid).encode()] == entry.encode()
+            assert db[name.encode()] == entry[len(name) + 1 :].encode()
+            accounts[name] = uid
+        assert len(db) == 600
+        db.close()
+
+
+class TestMixedWorkload:
+    def test_zipf_read_heavy_workload(self):
+        """Skewed access with interleaved updates (the cache-friendly
+        pattern Figure 7 exploits)."""
+        t = HashTable.create(None, bsize=256, ffactor=8, cachesize=8192)
+        model = {}
+        for k, v in zipf_pairs(200, 3000, seed=11):
+            if k in model:
+                assert t.get(k) == model[k]
+            new = v + k
+            t.put(k, new)
+            model[k] = new
+        for k, v in model.items():
+            assert t.get(k) == v
+        t.close()
+
+    def test_churn_grow_shrink_grow(self):
+        rng = random.Random(5)
+        t = HashTable.create(None, bsize=128, ffactor=4, in_memory=True)
+        model = {}
+        for round_ in range(3):
+            # grow
+            for i in range(400):
+                k = f"r{round_}-k{i}".encode()
+                v = os.urandom(rng.randint(0, 60))
+                t.put(k, v)
+                model[k] = v
+            # shrink
+            victims = rng.sample(sorted(model), k=len(model) // 2)
+            for k in victims:
+                assert t.delete(k)
+                del model[k]
+            assert len(t) == len(model)
+        assert dict(t.items()) == model
+        t.check_invariants()
+        t.close()
+
+    def test_interleaved_tables_do_not_interfere(self, tmp_path):
+        """'Multiple hash tables may be accessed concurrently' (vs
+        hsearch's single table)."""
+        tables = [
+            HashTable.create(tmp_path / f"t{i}.db", ffactor=4) for i in range(4)
+        ]
+        for i, t in enumerate(tables):
+            for j in range(200):
+                t.put(f"k{j}".encode(), f"table-{i}-{j}".encode())
+        for i, t in enumerate(tables):
+            for j in range(200):
+                assert t.get(f"k{j}".encode()) == f"table-{i}-{j}".encode()
+            t.close()
+
+
+class TestCompatInterop:
+    def test_ndbm_compat_file_is_native_file(self, tmp_path):
+        """A database made through the ndbm compat layer opens natively."""
+        with dbm_open(tmp_path / "x.db", "c") as db:
+            db.store(b"k", b"v")
+        with HashTable.open_file(tmp_path / "x.db") as t:
+            assert t.get(b"k") == b"v"
+
+    def test_native_file_opens_through_compat(self, tmp_path):
+        with HashTable.create(tmp_path / "y.db") as t:
+            t.put(b"k", b"v")
+        with dbm_open(tmp_path / "y.db", "w") as db:
+            assert db.fetch(b"k") == b"v"
+
+
+class TestEnhancedFunctionality:
+    """The paper's two bullet lists of improvements, as executable claims."""
+
+    def test_inserts_never_fail_on_collisions(self):
+        """'Inserts never fail because too many keys hash to the same
+        value' -- constant hash function, still works."""
+        t = HashTable.create(
+            None, bsize=128, ffactor=4, in_memory=True, hashfn=lambda k: 7
+        )
+        for i in range(300):
+            t.put(f"key-{i}".encode(), b"v" * 10)
+        assert len(t) == 300
+        for i in range(300):
+            assert t.get(f"key-{i}".encode()) == b"v" * 10
+        t.close()
+
+    def test_inserts_never_fail_on_size(self):
+        t = HashTable.create(None, bsize=64, in_memory=True)
+        t.put(b"K" * 10_000, b"V" * 100_000)
+        assert t.get(b"K" * 10_000) == b"V" * 100_000
+        t.close()
+
+    def test_user_specified_hash_at_runtime(self):
+        t = HashTable.create(None, in_memory=True, hashfn="fnv1a")
+        t.put(b"k", b"v")
+        assert t.get(b"k") == b"v"
+        t.close()
+
+    def test_tables_stored_and_accessed_on_disk(self, tmp_path):
+        """The hsearch shortcoming fixed: tables persist."""
+        p = tmp_path / "persist.db"
+        with HashTable.create(p) as t:
+            t.put(b"k", b"v")
+        assert p.exists()
+        with HashTable.open_file(p, readonly=True) as t:
+            assert t.get(b"k") == b"v"

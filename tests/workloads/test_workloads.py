@@ -1,0 +1,119 @@
+"""Tests for the synthetic workload generators."""
+
+import pytest
+
+from repro.workloads import (
+    DICTIONARY_SIZE,
+    average_pair_length,
+    dictionary_pairs,
+    dictionary_words,
+    passwd_accounts,
+    passwd_pairs,
+    uniform_pairs,
+    zipf_pairs,
+)
+
+
+class TestDictionary:
+    def test_paper_size(self):
+        assert DICTIONARY_SIZE == 24474
+
+    def test_words_unique_and_deterministic(self):
+        w1 = dictionary_words(3000)
+        w2 = dictionary_words(3000)
+        assert w1 == w2
+        assert len(set(w1)) == 3000
+
+    def test_words_look_like_words(self):
+        for w in dictionary_words(500):
+            assert w.isascii()
+            assert w.islower() or any(c.isdigit() for c in w.decode())
+            assert 2 <= len(w) <= 30
+
+    def test_realistic_length_distribution(self):
+        words = dictionary_words(5000)
+        mean = sum(len(w) for w in words) / len(words)
+        assert 5 <= mean <= 12  # webster-era dictionaries average ~8
+
+    def test_pairs_are_paper_format(self):
+        """data value = ASCII integer 1..n inclusive."""
+        pairs = list(dictionary_pairs(100))
+        assert len(pairs) == 100
+        assert pairs[0][1] == b"1"
+        assert pairs[99][1] == b"100"
+
+    def test_different_seed_different_words(self):
+        assert dictionary_words(100, seed=1) != dictionary_words(100, seed=2)
+
+    def test_zero_n(self):
+        assert dictionary_words(0) == []
+        with pytest.raises(ValueError):
+            dictionary_words(-1)
+
+
+class TestPasswd:
+    def test_default_scale_matches_paper(self):
+        """~300 accounts, 2 records each."""
+        pairs = list(passwd_pairs())
+        assert len(pairs) == 600
+
+    def test_accounts_deterministic(self):
+        assert passwd_accounts() == passwd_accounts()
+
+    def test_entry_format(self):
+        for name, uid, entry in passwd_accounts(50):
+            fields = entry.split(":")
+            assert len(fields) == 7
+            assert fields[0] == name
+            assert int(fields[2]) == uid
+
+    def test_two_records_per_account(self):
+        accounts = passwd_accounts(10)
+        pairs = list(passwd_pairs(10))
+        assert len(pairs) == 20
+        name_key, rest = pairs[0]
+        uid_key, full = pairs[1]
+        assert name_key == accounts[0][0].encode()
+        assert full.startswith(name_key + b":")
+        assert rest == full[len(name_key) + 1 :]
+
+    def test_keys_unique(self):
+        pairs = list(passwd_pairs())
+        keys = [k for k, _v in pairs]
+        assert len(set(keys)) == len(keys)
+
+
+class TestGenerators:
+    def test_uniform_pairs_unique_keys(self):
+        pairs = list(uniform_pairs(500, key_len=16, value_len=8))
+        assert len({k for k, _ in pairs}) == 500
+        for k, v in pairs:
+            assert len(k) == 16
+            assert len(v) == 8
+
+    def test_uniform_needs_room_for_uniqueness(self):
+        with pytest.raises(ValueError):
+            list(uniform_pairs(10, key_len=4))
+
+    def test_zipf_skews_access(self):
+        ops = list(zipf_pairs(100, 2000, alpha=1.2, seed=3))
+        assert len(ops) == 2000
+        from collections import Counter
+
+        counts = Counter(k for k, _v in ops)
+        top = counts.most_common(10)
+        # top-10 keys take a large share under zipf
+        assert sum(c for _k, c in top) > 2000 * 0.3
+
+    def test_average_pair_length(self):
+        assert average_pair_length([(b"ab", b"cd"), (b"", b"abcdef")]) == 5.0
+        with pytest.raises(ValueError):
+            average_pair_length([])
+
+    def test_dictionary_average_feeds_equation1(self):
+        """Sanity link between workload and Eq 1 helper."""
+        from repro.core.table import suggest_parameters
+
+        avg = average_pair_length(dictionary_pairs(2000))
+        bsize, ffactor = suggest_parameters(int(avg), bsize=256)
+        assert (int(avg) + 4) * ffactor >= 256
