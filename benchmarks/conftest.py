@@ -48,6 +48,9 @@ def scale_note():
     )
 
 
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
 def emit(name: str, text: str) -> None:
     """Print a results table and persist it under benchmarks/results/."""
     os.makedirs(RESULTS_DIR, exist_ok=True)
@@ -55,6 +58,16 @@ def emit(name: str, text: str) -> None:
     print(banner)
     with open(os.path.join(RESULTS_DIR, name + ".txt"), "w") as fh:
         fh.write(text + "\n")
+
+
+def emit_json(name: str, payload: dict) -> str:
+    """Persist an observability snapshot as BENCH_<name>.json at the repo
+    root (the machine-readable counterpart of ``emit``)."""
+    from repro.bench.report import write_bench_json
+
+    path = write_bench_json(name, payload, REPO_ROOT)
+    print(f"wrote {path}")
+    return path
 
 
 @pytest.fixture

@@ -1,0 +1,45 @@
+"""Observability snapshot: run the dictionary workload with the metrics
+registry enabled and persist the full ``db.stat()`` tree as BENCH_*.json.
+
+This is the machine-readable counterpart of the figure tables: every run
+records operation counts, latency quantiles, buffer-pool behaviour and
+page I/O for the standard dictionary load/read workload, so regressions
+show up as diffs in the snapshot rather than only in wall-clock time.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import DICT_N, SWEEP_CACHE, emit_json
+from repro.bench.report import registry_snapshot
+from repro.core.table import HashTable
+
+
+def test_obs_registry_snapshot(dict_pairs, workdir):
+    table = HashTable.create(
+        workdir + "/obs.db", bsize=1024, ffactor=32, cachesize=SWEEP_CACHE
+    )
+    try:
+        for k, v in dict_pairs:
+            table.put(k, v)
+        for k, _v in dict_pairs:
+            table.get(k)
+
+        stat = table.stat()
+        assert stat["ops"]["counts"]["puts"] == len(dict_pairs)
+        assert stat["ops"]["counts"]["gets"] == len(dict_pairs)
+        assert stat["ops"]["latency"]["put"]["count"] == len(dict_pairs)
+        assert stat["ops"]["latency"]["get"]["p95"] >= 0.0
+
+        payload = registry_snapshot(
+            stat,
+            label="dictionary load + full read (hash)",
+            context={
+                "scale": DICT_N,
+                "bsize": 1024,
+                "ffactor": 32,
+                "cachesize": SWEEP_CACHE,
+            },
+        )
+        emit_json("fig8a_observability", payload)
+    finally:
+        table.close()

@@ -18,14 +18,7 @@ Run: ``python examples/access_methods.py``
 import os
 import tempfile
 
-from repro.access import (
-    DB_BTREE,
-    DB_HASH,
-    DB_RECNO,
-    R_CURSOR,
-    R_NEXT,
-    db_open,
-)
+from repro.access import DB_BTREE, DB_HASH, DB_RECNO, db_open
 from repro.access.recno.recno import encode_recno
 
 PEOPLE = [
@@ -62,12 +55,13 @@ def main() -> None:
                       f"with identical application code")
 
         # -- what each method is FOR -----------------------------------------
-        print("\nbtree: ordered range query (names c..e)")
+        print("\nbtree: ordered range query (names c..e) via a cursor")
         with db_open(os.path.join(d, "book.btree"), DB_BTREE, "w") as bt:
-            rec = bt.seq(R_CURSOR, key=b"c")
-            while rec is not None and rec[0] < b"f":
-                print(f"   {rec[0].decode():8s} -> {rec[1].decode()}")
-                rec = bt.seq(R_NEXT)
+            with bt.cursor() as cur:
+                rec = cur.seek(b"c")
+                while rec is not None and rec[0] < b"f":
+                    print(f"   {rec[0].decode():8s} -> {rec[1].decode()}")
+                    rec = cur.next()
 
         print("\nrecno: fetch by record number, insert renumbers")
         with db_open(os.path.join(d, "book.recno"), DB_RECNO, "w") as rn:

@@ -1,9 +1,10 @@
 #!/usr/bin/env python3
-"""Quickstart: the three faces of the hashing package.
+"""Quickstart: the four faces of the hashing package.
 
 1. the dict-like convenience API (``repro.open``),
-2. the native byte-level engine (``repro.HashTable``),
-3. the ndbm- and hsearch-compatible interfaces.
+2. first-class cursors and the built-in observability layer,
+3. the native byte-level engine (``repro.HashTable``),
+4. the ndbm- and hsearch-compatible interfaces.
 
 Run: ``python examples/quickstart.py``
 """
@@ -32,6 +33,37 @@ def dict_like_api(path: str) -> None:
     with repro.open(path, "r") as db:
         for key in sorted(db):
             print(f"  scan   -> {key.decode()}")
+
+
+def cursors_and_observability(path: str) -> None:
+    print("== cursors and observability ==")
+    with repro.open(path, type="btree") as db:
+        for name in ("adams", "baker", "clark", "davis", "evans"):
+            db[name] = f"room for {name}"
+
+        # any number of independent cursors may scan at once; btree
+        # cursors support seek/last/prev in addition to first/next
+        with db.cursor() as cur:
+            k, v = cur.seek(b"c")  # at-or-after: lands on clark
+            print(f"  seek('c') -> {k.decode()}")
+            print(f"  next      -> {cur.next()[0].decode()}")
+            print(f"  last      -> {db.cursor().last()[0].decode()}")
+
+        # every database keeps a metrics tree: operation counts, latency
+        # quantiles, buffer-pool behaviour, page I/O
+        for name in ("adams", "clark", "evans"):
+            db[name]
+        st = db.stat()
+        ops = st["ops"]["counts"]
+        print(f"  stat: {st['nkeys']} keys, {ops['puts']} puts, "
+              f"get p95 {st['ops']['latency']['get']['p95'] * 1e6:.1f}us, "
+              f"{st['buffer']['hits']} buffer hits")
+
+        # trace hooks fire on structural events (splits, evictions, ...)
+        db.hooks.subscribe(
+            "on_split", lambda p: print(f"  split! {p['old_bucket']} -> "
+                                        f"{p['new_bucket']} ({p['reason']})")
+        )
 
 
 def native_api(path: str) -> None:
@@ -87,6 +119,7 @@ def compat_apis(path: str) -> None:
 def main() -> None:
     with tempfile.TemporaryDirectory() as d:
         dict_like_api(os.path.join(d, "quick.db"))
+        cursors_and_observability(os.path.join(d, "obs.db"))
         native_api(os.path.join(d, "native.db"))
         compat_apis(os.path.join(d, "compat.db"))
     print("quickstart done.")

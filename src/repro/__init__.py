@@ -13,10 +13,19 @@ Quickstart::
 
     import repro
 
-    db = repro.open("example.db", "c", bsize=1024, ffactor=32)
+    db = repro.open("example.db", bsize=1024, ffactor=32)
     db["key"] = "value"
     print(db[b"key"])      # b'value'
+    print(db.stat()["nkeys"])
     db.close()
+
+    # Sorted keys and cursors via the btree method:
+    bt = repro.open("sorted.db", type=repro.DB_BTREE)
+    bt.update({"b": "2", "a": "1"})
+    with bt.cursor() as cur:
+        for key, value in cur:
+            ...
+    bt.close()
 
     # Or the byte-level engine directly:
     t = repro.HashTable.create("raw.db", nelem=10_000)
@@ -24,7 +33,7 @@ Quickstart::
     t.close()
 """
 
-from repro.access import DB_BTREE, DB_HASH, DB_RECNO, db_open
+from repro.access import DB_BTREE, DB_HASH, DB_RECNO, AccessMethod, Cursor, db_open, open
 from repro.core import (
     HASH_FUNCTIONS,
     BadFileError,
@@ -38,9 +47,9 @@ from repro.core import (
     ReadOnlyError,
     TableStats,
     get_hash_function,
-    open,
     suggest_parameters,
 )
+from repro.core.dbmap import open as hash_open
 
 __version__ = "1.0.0"
 
@@ -48,7 +57,10 @@ __all__ = [
     "HashTable",
     "HashDB",
     "open",
+    "hash_open",
     "db_open",
+    "AccessMethod",
+    "Cursor",
     "DB_HASH",
     "DB_BTREE",
     "DB_RECNO",

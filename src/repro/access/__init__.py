@@ -30,12 +30,15 @@ from repro.access.api import (
     R_NOOVERWRITE,
     R_PREV,
     AccessMethod,
+    Cursor,
 )
-from repro.access.db import db_open
+from repro.access.db import db_open, open
 
 __all__ = [
+    "open",
     "db_open",
     "AccessMethod",
+    "Cursor",
     "DB_HASH",
     "DB_BTREE",
     "DB_RECNO",

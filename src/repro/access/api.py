@@ -1,9 +1,21 @@
 """The uniform key/data interface shared by every access method.
 
-Mirrors 4.4BSD db(3): ``get``/``put``/``delete``/``seq``/``sync``/``close``
-with the historical flag values.  Keys and data are ``bytes``; recno keys
-are 1-based record numbers encoded by the recno method itself, so "all of
-the access methods ... appear identical to the application layer".
+Mirrors 4.4BSD db(3) -- ``get``/``put``/``delete``/``sync``/``close`` with
+the historical flag values -- with two modernizations over the 1991
+interface:
+
+- **cursors are first-class**: :meth:`AccessMethod.cursor` returns an
+  independent :class:`Cursor` (``first``/``last``/``next``/``prev``/
+  ``seek``), any number of which may scan one database concurrently.  The
+  stateful db(3) ``seq(flag)`` call survives as a thin compatibility shim
+  over a hidden default cursor.
+- **databases are mappings**: ``db[key]``, ``key in db``, ``len(db)``,
+  iteration, ``pop`` and ``update`` work on every method, with ``str``
+  keys/values transparently UTF-8 encoded.
+
+Keys and data are ``bytes``; recno keys are 1-based record numbers encoded
+by the recno method itself, so "all of the access methods ... appear
+identical to the application layer".
 """
 
 from __future__ import annotations
@@ -24,11 +36,72 @@ R_PREV = 10  #: seq: previous record
 R_NOOVERWRITE = 11  #: put: fail (return 1) if the key exists
 
 
+def _to_bytes(value) -> bytes:
+    """UTF-8 encode ``str``; anything else passes through for the concrete
+    method's own type checking."""
+    if isinstance(value, str):
+        return value.encode("utf-8")
+    return value
+
+
+class Cursor:
+    """A first-class scan position over one database.
+
+    Every positioning method returns the ``(key, data)`` pair now under the
+    cursor, or ``None`` past either end.  Methods an access method cannot
+    support raise ``ValueError`` (hash has no order, so only ``first`` and
+    ``next`` work there -- as in 4.4BSD).
+
+    Cursors are independent: each tracks its own position, and any number
+    may be open on one database.  A cursor is also an iterator (resuming
+    from its current position, starting at the first pair if never
+    positioned) and a context manager.
+    """
+
+    def first(self) -> tuple[bytes, bytes] | None:
+        raise NotImplementedError
+
+    def last(self) -> tuple[bytes, bytes] | None:
+        raise NotImplementedError
+
+    def next(self) -> tuple[bytes, bytes] | None:
+        raise NotImplementedError
+
+    def prev(self) -> tuple[bytes, bytes] | None:
+        raise NotImplementedError
+
+    def seek(self, key: bytes) -> tuple[bytes, bytes] | None:
+        """Position at ``key``, or the smallest key greater than it
+        (db(3)'s R_CURSOR "at or after" contract)."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release the cursor (position state only; safe to skip)."""
+
+    def __iter__(self) -> "Cursor":
+        return self
+
+    def __next__(self) -> tuple[bytes, bytes]:
+        item = self.next()
+        if item is None:
+            raise StopIteration
+        return item
+
+    def __enter__(self) -> "Cursor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
 class AccessMethod:
     """Abstract base: the db(3) operations every method implements."""
 
     #: the DBTYPE string of the concrete method
     type: str = "abstract"
+
+    #: hidden default cursor backing the legacy ``seq`` shim
+    _seq_cursor: Cursor | None = None
 
     def get(self, key: bytes) -> bytes | None:
         """Data stored under ``key``, or None."""
@@ -43,11 +116,14 @@ class AccessMethod:
         """Remove ``key``.  Returns 0, or 1 if the key was absent."""
         raise NotImplementedError
 
-    def seq(
-        self, flag: int, key: bytes | None = None
-    ) -> tuple[bytes, bytes] | None:
-        """Sequential access: R_FIRST/R_NEXT/R_LAST/R_PREV/R_CURSOR.
-        Returns ``(key, data)`` or None at either end."""
+    def cursor(self) -> Cursor:
+        """A new independent scan cursor over this database."""
+        raise NotImplementedError
+
+    def stat(self) -> dict:
+        """The database's metrics tree: one nested dict with the shared
+        top-level keys ``type``/``nkeys``/``ops``/``buffer``/``io``/
+        ``method`` (see docs/OBSERVABILITY.md)."""
         raise NotImplementedError
 
     def sync(self) -> None:
@@ -56,25 +132,114 @@ class AccessMethod:
     def close(self) -> None:
         raise NotImplementedError
 
+    # -- legacy stateful scan (4.4BSD seq) -------------------------------------
+
+    def seq(
+        self, flag: int, key: bytes | None = None
+    ) -> tuple[bytes, bytes] | None:
+        """Sequential access: R_FIRST/R_NEXT/R_LAST/R_PREV/R_CURSOR.
+        Returns ``(key, data)`` or None at either end.
+
+        Compatibility shim over a hidden default :class:`Cursor`; new code
+        should hold its own cursor from :meth:`cursor` instead.
+        """
+        cur = self._seq_cursor
+        if cur is None:
+            cur = self._seq_cursor = self.cursor()
+        if flag == R_FIRST:
+            return cur.first()
+        if flag == R_NEXT:
+            return cur.next()
+        if flag == R_LAST:
+            return cur.last()
+        if flag == R_PREV:
+            return cur.prev()
+        if flag == R_CURSOR:
+            if key is None:
+                raise ValueError("R_CURSOR requires a key")
+            return cur.seek(key)
+        raise ValueError(f"bad seq flag {flag}")
+
     # -- conveniences shared by all methods -----------------------------------
 
     def items(self) -> Iterator[tuple[bytes, bytes]]:
         """Iterate in the method's native order (sorted for btree, record
-        order for recno, bucket order for hash)."""
-        rec = self.seq(R_FIRST)
-        while rec is not None:
-            yield rec
-            rec = self.seq(R_NEXT)
+        order for recno, bucket order for hash).  Uses a private cursor, so
+        it never disturbs ``seq`` state or other cursors."""
+        cur = self.cursor()
+        item = cur.first()
+        while item is not None:
+            yield item
+            item = cur.next()
 
     def keys(self) -> Iterator[bytes]:
         for k, _d in self.items():
             yield k
 
-    def __contains__(self, key: bytes) -> bool:
-        return self.get(key) is not None
+    def values(self) -> Iterator[bytes]:
+        for _k, d in self.items():
+            yield d
 
     def __enter__(self) -> "AccessMethod":
         return self
 
     def __exit__(self, *exc) -> None:
         self.close()
+
+    # -- mapping facade ----------------------------------------------------------
+
+    def _coerce_key(self, key) -> bytes:
+        """Mapping-facade key coercion (str -> UTF-8 bytes); recno widens
+        this to accept record numbers."""
+        return _to_bytes(key)
+
+    def __getitem__(self, key) -> bytes:
+        data = self.get(self._coerce_key(key))
+        if data is None:
+            raise KeyError(key)
+        return data
+
+    def __setitem__(self, key, value) -> None:
+        self.put(self._coerce_key(key), _to_bytes(value))
+
+    def __delitem__(self, key) -> None:
+        if self.delete(self._coerce_key(key)):
+            raise KeyError(key)
+
+    def __contains__(self, key) -> bool:
+        return self.get(self._coerce_key(key)) is not None
+
+    def __iter__(self) -> Iterator[bytes]:
+        return self.keys()
+
+    def get_default(self, key, default=None):
+        """Mapping-style get: ``default`` instead of None-means-missing."""
+        data = self.get(self._coerce_key(key))
+        return default if data is None else data
+
+    def pop(self, key, *default) -> bytes:
+        k = self._coerce_key(key)
+        data = self.get(k)
+        if data is None:
+            if default:
+                return default[0]
+            raise KeyError(key)
+        self.delete(k)
+        return data
+
+    def setdefault(self, key, default: bytes = b"") -> bytes:
+        k = self._coerce_key(key)
+        data = self.get(k)
+        if data is not None:
+            return data
+        default = _to_bytes(default)
+        self.put(k, default)
+        return default
+
+    def update(self, other=(), **kw) -> None:
+        if hasattr(other, "items"):
+            other = other.items()
+        for k, v in other:
+            self[k] = v
+        for k, v in kw.items():
+            self[k] = v

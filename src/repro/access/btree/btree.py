@@ -21,16 +21,13 @@ from __future__ import annotations
 
 import os
 import struct
+import time
 
 from repro.access.api import (
     DB_BTREE,
-    R_CURSOR,
-    R_FIRST,
-    R_LAST,
-    R_NEXT,
-    R_PREV,
     R_NOOVERWRITE,
     AccessMethod,
+    Cursor,
 )
 from repro.access.btree.nodes import (
     NODE_HDR_SIZE,
@@ -43,6 +40,8 @@ from repro.access.btree.nodes import (
 )
 from repro.core.buffer import BufferPool
 from repro.core.errors import BadFileError, ClosedError, InvalidParameterError, ReadOnlyError
+from repro.obs.hooks import TraceHooks
+from repro.obs.registry import Registry
 from repro.storage.memfile import MemPagedFile
 from repro.storage.pagedfile import PagedFile
 
@@ -65,23 +64,57 @@ class BTree(AccessMethod):
 
     # ------------------------------------------------------------------ setup
 
-    def __init__(self, file, readonly: bool, cachesize: int, compare=None) -> None:
+    def __init__(
+        self,
+        file,
+        readonly: bool,
+        cachesize: int,
+        compare=None,
+        observability: bool = True,
+    ) -> None:
         self._file = file
         self.readonly = readonly
         self._closed = False
-        self.pool = BufferPool(file, file.pagesize, cachesize, lambda pgno: pgno)
+        #: metrics tree rooted at this tree; ``stat()`` renders it
+        self.obs = Registry("btree", enabled=observability)
+        self.hooks = TraceHooks()
+        self.pool = BufferPool(
+            file,
+            file.pagesize,
+            cachesize,
+            lambda pgno: pgno,
+            obs=self.obs.child("buffer"),
+            hooks=self.hooks,
+        )
+        _ops = self.obs.child("ops")
+        self._h_get = _ops.histogram("get")
+        self._h_put = _ops.histogram("put")
+        self._h_delete = _ops.histogram("delete")
+        self._h_split = _ops.histogram("split")
+        self._clock = time.perf_counter if observability else None
+        file.on_page_io = self._page_io_event
+        self._gets = 0
+        self._puts = 0
+        self._deletes = 0
+        self._leaf_splits = 0
+        self._internal_splits = 0
         self.bsize = file.pagesize
         #: db(3)'s bt_compare: optional ``(a, b) -> <0/0/>0`` key order.
         #: Like the C library, it is not stored in the file -- reopen with
         #: the same comparator or the tree misbehaves.
         self._compare = compare
-        #: cursor: (leaf pgno, slot) after the last seq, or None
-        self._cursor: tuple[int, int] | None = None
         # meta fields
         self.root = 0
         self.free_head = 0
         self.npages = 0
         self.nkeys = 0
+
+    def _page_io_event(self, kind: str, pageno: int, nbytes: int) -> None:
+        hooks = self.hooks
+        if hooks.on_page_io:
+            hooks.emit(
+                "on_page_io", {"kind": kind, "pageno": pageno, "nbytes": nbytes}
+            )
 
     def _ge(self, a: bytes, b: bytes) -> bool:
         if self._compare is None:
@@ -102,6 +135,7 @@ class BTree(AccessMethod):
         cachesize: int = DEFAULT_CACHESIZE,
         in_memory: bool = False,
         compare=None,
+        observability: bool = True,
     ) -> "BTree":
         """Create a new btree (``path=None`` + ``in_memory`` for RAM).
 
@@ -117,7 +151,13 @@ class BTree(AccessMethod):
             file = MemPagedFile(bsize)
         else:
             file = PagedFile(path, bsize, create=True)
-        tree = cls(file, readonly=False, cachesize=cachesize, compare=compare)
+        tree = cls(
+            file,
+            readonly=False,
+            cachesize=cachesize,
+            compare=compare,
+            observability=observability,
+        )
         tree.npages = 1  # the meta page
         root_hdr = tree._new_page(T_LEAF)
         tree.root = root_hdr.key
@@ -132,6 +172,7 @@ class BTree(AccessMethod):
         cachesize: int = DEFAULT_CACHESIZE,
         readonly: bool = False,
         compare=None,
+        observability: bool = True,
     ) -> "BTree":
         probe = PagedFile(path, MIN_BSIZE, readonly=True)
         try:
@@ -146,7 +187,13 @@ class BTree(AccessMethod):
         if version != BTREE_VERSION:
             raise BadFileError(f"unsupported btree version {version}")
         file = PagedFile(path, bsize, readonly=readonly)
-        tree = cls(file, readonly=readonly, cachesize=cachesize, compare=compare)
+        tree = cls(
+            file,
+            readonly=readonly,
+            cachesize=cachesize,
+            compare=compare,
+            observability=observability,
+        )
         tree._read_meta()
         return tree
 
@@ -233,6 +280,12 @@ class BTree(AccessMethod):
         pos = 0
         while pos < len(data) or head == 0:
             hdr = self._new_page(T_OVERFLOW)
+            if self.hooks.on_overflow_link:
+                # bucket=None: btree overflow chains hang off leaf entries,
+                # not hash buckets
+                self.hooks.emit(
+                    "on_overflow_link", {"bucket": None, "oaddr": hdr.key}
+                )
             hdr.pin()
             chunk = data[pos : pos + cap]
             hdr.page[NODE_HDR_SIZE : NODE_HDR_SIZE + len(chunk)] = chunk
@@ -311,7 +364,18 @@ class BTree(AccessMethod):
         raise BadFileError("btree deeper than 64 levels (cycle?)")
 
     def get(self, key: bytes) -> bytes | None:
+        clock = self._clock
+        if clock is None:
+            return self._get_impl(key)
+        t0 = clock()
+        try:
+            return self._get_impl(key)
+        finally:
+            self._h_get.observe(clock() - t0)
+
+    def _get_impl(self, key: bytes) -> bytes | None:
         self._check_open()
+        self._gets += 1
         _path, leaf = self._descend(key)
         hdr = self.pool.get(leaf)
         view = NodeView(hdr.page)
@@ -323,7 +387,18 @@ class BTree(AccessMethod):
     # ----------------------------------------------------------------- insert
 
     def put(self, key: bytes, data: bytes, flags: int = 0) -> int:
+        clock = self._clock
+        if clock is None:
+            return self._put_impl(key, data, flags)
+        t0 = clock()
+        try:
+            return self._put_impl(key, data, flags)
+        finally:
+            self._h_put.observe(clock() - t0)
+
+    def _put_impl(self, key: bytes, data: bytes, flags: int = 0) -> int:
         self._check_writable()
+        self._puts += 1
         if not isinstance(key, (bytes, bytearray)) or not isinstance(
             data, (bytes, bytearray)
         ):
@@ -369,6 +444,9 @@ class BTree(AccessMethod):
             hdr.dirty = True
             return
         # -- split the leaf ---------------------------------------------------
+        clock = self._clock
+        t0 = clock() if clock is not None else 0.0
+        self._leaf_splits += 1
         right_hdr = self._new_page(T_LEAF)
         right_hdr.pin()
         try:
@@ -406,8 +484,20 @@ class BTree(AccessMethod):
             tview._insert_entry(tslot, entry)
             target_hdr.dirty = True
             self._insert_into_parent(path, hdr.key, separator, right_hdr.key)
+            if self.hooks.on_split:
+                self.hooks.emit(
+                    "on_split",
+                    {
+                        "old_bucket": hdr.key,
+                        "new_bucket": right_hdr.key,
+                        "reason": "structural",
+                        "nkeys": self.nkeys,
+                    },
+                )
         finally:
             right_hdr.unpin()
+            if clock is not None:
+                self._h_split.observe(clock() - t0)
 
     def _insert_into_parent(self, path, left_pgno, separator, right_pgno) -> None:
         entry = NodeView.pack_int_entry(separator, right_pgno)
@@ -430,6 +520,7 @@ class BTree(AccessMethod):
                 hdr.dirty = True
                 return
             # -- split the internal node ----------------------------------------
+            self._internal_splits += 1
             right_hdr = self._new_page(T_INTERNAL)
             right_hdr.pin()
             try:
@@ -476,7 +567,18 @@ class BTree(AccessMethod):
     # ----------------------------------------------------------------- delete
 
     def delete(self, key: bytes) -> int:
+        clock = self._clock
+        if clock is None:
+            return self._delete_impl(key)
+        t0 = clock()
+        try:
+            return self._delete_impl(key)
+        finally:
+            self._h_delete.observe(clock() - t0)
+
+    def _delete_impl(self, key: bytes) -> int:
         self._check_writable()
+        self._deletes += 1
         _path, leaf = self._descend(key)
         hdr = self.pool.get(leaf)
         view = NodeView(hdr.page)
@@ -492,8 +594,8 @@ class BTree(AccessMethod):
             self.nkeys -= 1
         finally:
             hdr.unpin()
-        # lazy deletion: empty leaves stay linked (4.4BSD policy)
-        self._cursor = None
+        # lazy deletion: empty leaves stay linked (4.4BSD policy); open
+        # cursors reposition themselves by key on their next move
         return 0
 
     # -------------------------------------------------------------- sequencing
@@ -518,66 +620,38 @@ class BTree(AccessMethod):
             _k, pgno = view.int_entry(view.nslots - 1)
         raise BadFileError("btree deeper than 64 levels")
 
-    def _seq_return(self, pgno: int, slot: int):
-        hdr = self.pool.get(pgno)
-        view = NodeView(hdr.page)
-        key = view.leaf_key(slot)
-        data = self._leaf_payload(view, slot)
-        self._cursor = (pgno, slot)
-        return key, data
-
-    def _advance(self, pgno: int, slot: int):
-        """First entry at or after (pgno, slot), skipping empty leaves."""
-        for _ in range(1 << 30):
+    def _advance_pos(self, pgno: int, slot: int) -> tuple[int, int] | None:
+        """First occupied (leaf, slot) at or after the given position,
+        skipping empty leaves."""
+        while True:
             hdr = self.pool.get(pgno)
             view = NodeView(hdr.page)
             if slot < view.nslots:
-                return self._seq_return(pgno, slot)
+                return pgno, slot
             if not view.next:
                 return None
             pgno, slot = view.next, 0
-        return None  # pragma: no cover
 
-    def _retreat(self, pgno: int, slot: int):
-        """Last entry at or before (pgno, slot), skipping empty leaves."""
-        for _ in range(1 << 30):
+    def _retreat_pos(self, pgno: int, slot: int) -> tuple[int, int] | None:
+        """Last occupied (leaf, slot) at or before the given position,
+        skipping empty leaves (slot past the end clamps to the last)."""
+        while True:
             hdr = self.pool.get(pgno)
             view = NodeView(hdr.page)
             if view.nslots:
                 if slot >= view.nslots:
                     slot = view.nslots - 1
                 if slot >= 0:
-                    return self._seq_return(pgno, slot)
+                    return pgno, slot
             if not view.prev:
                 return None
             prev_hdr = self.pool.get(view.prev)
             pgno, slot = view.prev, NodeView(prev_hdr.page).nslots - 1
-        return None  # pragma: no cover
 
-    def seq(self, flag: int, key: bytes | None = None):
+    def cursor(self) -> "BTreeCursor":
+        """A fresh bidirectional cursor; any number may be open at once."""
         self._check_open()
-        if flag == R_FIRST:
-            return self._advance(self._leftmost_leaf(), 0)
-        if flag == R_LAST:
-            leaf = self._rightmost_leaf()
-            hdr = self.pool.get(leaf)
-            return self._retreat(leaf, NodeView(hdr.page).nslots - 1)
-        if flag == R_CURSOR:
-            if key is None:
-                raise ValueError("R_CURSOR requires a key")
-            _path, leaf = self._descend(key)
-            hdr = self.pool.get(leaf)
-            view = NodeView(hdr.page)
-            slot, _exact = view.leaf_search(key, self._compare)
-            return self._advance(leaf, slot)
-        if flag in (R_NEXT, R_PREV):
-            if self._cursor is None:
-                return self.seq(R_FIRST if flag == R_NEXT else R_LAST)
-            pgno, slot = self._cursor
-            if flag == R_NEXT:
-                return self._advance(pgno, slot + 1)
-            return self._retreat(pgno, slot - 1)
-        raise ValueError(f"bad seq flag {flag}")
+        return BTreeCursor(self)
 
     # -------------------------------------------------------------- maintenance
 
@@ -602,6 +676,38 @@ class BTree(AccessMethod):
 
     def __len__(self) -> int:
         return self.nkeys
+
+    def stat(self) -> dict:
+        """The tree's metrics as the shared nested-dict shape (same
+        top-level keys as the hash method's ``stat``)."""
+        self._check_open()
+        return {
+            "type": "btree",
+            "nkeys": self.nkeys,
+            "ops": {
+                "counts": {
+                    "gets": self._gets,
+                    "puts": self._puts,
+                    "deletes": self._deletes,
+                    "splits": self._leaf_splits + self._internal_splits,
+                },
+                "latency": {
+                    "get": self._h_get.as_value(),
+                    "put": self._h_put.as_value(),
+                    "delete": self._h_delete.as_value(),
+                    "split": self._h_split.as_value(),
+                },
+            },
+            "buffer": self.pool.metrics(),
+            "io": self._file.stats.as_dict(),
+            "method": {
+                "bsize": self.bsize,
+                "npages": self.npages,
+                "root": self.root,
+                "leaf_splits": self._leaf_splits,
+                "internal_splits": self._internal_splits,
+            },
+        }
 
     @property
     def io_stats(self):
@@ -644,3 +750,89 @@ class BTree(AccessMethod):
             expected_prev = pgno
             pgno = view.next
         assert count == self.nkeys, f"scan found {count}, meta says {self.nkeys}"
+
+
+class BTreeCursor(Cursor):
+    """A bidirectional, key-addressed cursor over one :class:`BTree`.
+
+    The cursor remembers the key it last returned plus a (leaf page, slot)
+    hint.  Each move first checks the hint; if an insert, delete or split
+    has reorganized that page, the cursor re-descends by the remembered
+    key, so it stays correct under mutation: ``next`` continues at the
+    smallest key greater than the last one returned (even if that key was
+    just deleted), ``prev`` symmetrically.
+    """
+
+    __slots__ = ("tree", "_lastkey", "_hint")
+
+    def __init__(self, tree: BTree) -> None:
+        self.tree = tree
+        self._lastkey: bytes | None = None
+        self._hint: tuple[int, int] | None = None
+
+    def _return(self, pos: tuple[int, int] | None):
+        if pos is None:
+            return None
+        pgno, slot = pos
+        hdr = self.tree.pool.get(pgno)
+        view = NodeView(hdr.page)
+        key = view.leaf_key(slot)
+        data = self.tree._leaf_payload(view, slot)
+        self._lastkey = key
+        self._hint = (pgno, slot)
+        return key, data
+
+    def _locate(self) -> tuple[int, int, bool]:
+        """(leaf pgno, slot, exact) of the last-returned key: the hint if
+        still valid, else a fresh descent (exact=False means the key is
+        gone and slot is where it would insert)."""
+        t = self.tree
+        pgno, slot = self._hint
+        hdr = t.pool.get(pgno)
+        view = NodeView(hdr.page)
+        if (
+            view.type == T_LEAF
+            and slot < view.nslots
+            and view.leaf_key(slot) == self._lastkey
+        ):
+            return pgno, slot, True
+        _path, leaf = t._descend(self._lastkey)
+        hdr = t.pool.get(leaf)
+        slot, exact = NodeView(hdr.page).leaf_search(self._lastkey, t._compare)
+        return leaf, slot, exact
+
+    def first(self):
+        t = self.tree
+        t._check_open()
+        return self._return(t._advance_pos(t._leftmost_leaf(), 0))
+
+    def last(self):
+        t = self.tree
+        t._check_open()
+        leaf = t._rightmost_leaf()
+        hdr = t.pool.get(leaf)
+        return self._return(t._retreat_pos(leaf, NodeView(hdr.page).nslots - 1))
+
+    def next(self):
+        t = self.tree
+        t._check_open()
+        if self._lastkey is None:
+            return self.first()
+        pgno, slot, exact = self._locate()
+        return self._return(t._advance_pos(pgno, slot + 1 if exact else slot))
+
+    def prev(self):
+        t = self.tree
+        t._check_open()
+        if self._lastkey is None:
+            return self.last()
+        pgno, slot, _exact = self._locate()
+        return self._return(t._retreat_pos(pgno, slot - 1))
+
+    def seek(self, key: bytes):
+        t = self.tree
+        t._check_open()
+        _path, leaf = t._descend(key)
+        hdr = t.pool.get(leaf)
+        slot, _exact = NodeView(hdr.page).leaf_search(key, t._compare)
+        return self._return(t._advance_pos(leaf, slot))

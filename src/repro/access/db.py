@@ -46,3 +46,22 @@ def db_open(
     if flag == "n" or (flag == "c" and not exists):
         return cls.create(path, **params)
     return cls.open_file(path, readonly=(flag == "r"), **params)
+
+
+def open(  # noqa: A001 - deliberately shadows builtins.open, like dbm.open
+    path: str | os.PathLike | None = None,
+    flag: str = "c",
+    *,
+    type: str = DB_HASH,  # noqa: A002
+    **params,
+) -> AccessMethod:
+    """``repro.open``: one call for any access method.
+
+    ``repro.open(path)`` opens (creating if missing) a hash database;
+    ``type=`` selects btree or recno; ``params`` forward to the method
+    exactly as in :func:`db_open`.  The returned object is both the db(3)
+    interface and a mapping (``db[key]``, ``len(db)``, iteration), with
+    ``str`` keys and values UTF-8 encoded -- see
+    :class:`repro.access.api.AccessMethod`.
+    """
+    return db_open(path, type, flag, **params)

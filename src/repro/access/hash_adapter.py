@@ -2,8 +2,8 @@
 
 Wraps :class:`repro.core.table.HashTable` (the paper's package) so "all of
 the access methods ... appear identical to the application layer".  As in
-4.4BSD, the hash method's sequential scan is forward-only and unordered:
-``R_PREV``, ``R_LAST`` and ``R_CURSOR`` raise, exactly as db(3)'s hash
+4.4BSD, the hash method's scans are forward-only and unordered: a hash
+cursor's ``last``/``prev``/``seek`` raise, exactly as db(3)'s hash
 returned an error for them.
 """
 
@@ -11,14 +11,37 @@ from __future__ import annotations
 
 import os
 
-from repro.access.api import (
-    DB_HASH,
-    R_FIRST,
-    R_NEXT,
-    R_NOOVERWRITE,
-    AccessMethod,
-)
+from repro.access.api import DB_HASH, R_NOOVERWRITE, AccessMethod, Cursor
 from repro.core.table import HashTable
+
+
+class HashCursor(Cursor):
+    """Forward-only cursor over a hash table (no order, so no backward or
+    keyed positioning)."""
+
+    def __init__(self, table: HashTable) -> None:
+        self._c = table.cursor()
+
+    def first(self):
+        return self._c.first()
+
+    def next(self):
+        return self._c.next()
+
+    def _unsupported(self):
+        raise ValueError(
+            "the hash access method supports only R_FIRST/R_NEXT "
+            "(4.4BSD hash had no ordered or backward scans)"
+        )
+
+    def last(self):
+        self._unsupported()
+
+    def prev(self):
+        self._unsupported()
+
+    def seek(self, key: bytes):
+        self._unsupported()
 
 
 class HashAccess(AccessMethod):
@@ -49,19 +72,19 @@ class HashAccess(AccessMethod):
     def delete(self, key: bytes) -> int:
         return 0 if self.table.delete(key) else 1
 
-    def seq(self, flag: int, key: bytes | None = None):
-        if flag == R_FIRST:
-            k = self.table.first_key()
-        elif flag == R_NEXT:
-            k = self.table.next_key()
-        else:
-            raise ValueError(
-                "the hash access method supports only R_FIRST/R_NEXT "
-                "(4.4BSD hash had no ordered or backward scans)"
-            )
-        if k is None:
-            return None
-        return k, self.table.get(k)
+    def cursor(self) -> HashCursor:
+        return HashCursor(self.table)
+
+    def stat(self) -> dict:
+        return self.table.stat()
+
+    @property
+    def obs(self):
+        return self.table.obs
+
+    @property
+    def hooks(self):
+        return self.table.hooks
 
     def sync(self) -> None:
         self.table.sync()

@@ -28,13 +28,9 @@ import struct
 
 from repro.access.api import (
     DB_RECNO,
-    R_CURSOR,
-    R_FIRST,
-    R_LAST,
-    R_NEXT,
     R_NOOVERWRITE,
-    R_PREV,
     AccessMethod,
+    Cursor,
 )
 from repro.access.btree.btree import BTree
 from repro.core.errors import InvalidParameterError
@@ -78,6 +74,7 @@ class Recno(AccessMethod):
         bsize: int = 4096,
         cachesize: int = 256 * 1024,
         in_memory: bool = False,
+        observability: bool = True,
     ) -> "Recno":
         """Create a record file.  ``reclen`` selects fixed-length mode."""
         if reclen is not None and reclen < 1:
@@ -85,7 +82,11 @@ class Recno(AccessMethod):
         if len(bpad) != 1:
             raise InvalidParameterError("bpad must be a single byte")
         tree = BTree.create(
-            path, bsize=bsize, cachesize=cachesize, in_memory=in_memory
+            path,
+            bsize=bsize,
+            cachesize=cachesize,
+            in_memory=in_memory,
+            observability=observability,
         )
         return cls(tree, reclen, bpad)
 
@@ -98,8 +99,11 @@ class Recno(AccessMethod):
         bpad: bytes = b"\0",
         cachesize: int = 256 * 1024,
         readonly: bool = False,
+        observability: bool = True,
     ) -> "Recno":
-        tree = BTree.open_file(path, cachesize=cachesize, readonly=readonly)
+        tree = BTree.open_file(
+            path, cachesize=cachesize, readonly=readonly, observability=observability
+        )
         return cls(tree, reclen, bpad)
 
     # -------------------------------------------------------------- shaping
@@ -178,12 +182,28 @@ class Recno(AccessMethod):
     def delete(self, key: bytes) -> int:
         return 0 if self.delete_rec(decode_recno(key)) else 1
 
-    def seq(self, flag: int, key: bytes | None = None):
-        if flag == R_CURSOR and key is not None:
-            return self._tree.seq(flag, key)
-        if flag in (R_FIRST, R_LAST, R_NEXT, R_PREV):
-            return self._tree.seq(flag)
-        raise ValueError(f"bad seq flag {flag}")
+    def cursor(self) -> Cursor:
+        """Cursor over (8-byte record-number key, record) pairs, in record
+        order; it is the underlying btree's bidirectional cursor."""
+        return self._tree.cursor()
+
+    def _coerce_key(self, key) -> bytes:
+        """Record numbers (int) are accepted directly in the mapping
+        facade: ``rec[3]`` reads record 3."""
+        if isinstance(key, int):
+            return encode_recno(key)
+        return super()._coerce_key(key)
+
+    def stat(self) -> dict:
+        """The underlying btree's metrics re-labelled for recno, with the
+        record-file parameters added."""
+        s = self._tree.stat()
+        s["type"] = DB_RECNO
+        s["nkeys"] = self.nrecords
+        s["method"] = dict(s["method"])
+        s["method"]["nrecords"] = self.nrecords
+        s["method"]["reclen"] = self.reclen
+        return s
 
     def sync(self) -> None:
         self._tree.sync()

@@ -1,10 +1,32 @@
-"""Text rendering of the paper's tables and figure series."""
+"""Text rendering of the paper's tables and figure series, plus JSON
+serialization of observability-registry snapshots for benchmark artifacts."""
 
 from __future__ import annotations
 
+import json
+import os
 from typing import Mapping, Sequence
 
 from repro.bench.timing import Measurement
+
+
+def registry_snapshot(stat: dict, *, label: str, context: dict | None = None) -> dict:
+    """Wrap a ``db.stat()`` metric tree as a benchmark artifact payload.
+
+    ``label`` names the workload; ``context`` records the run parameters
+    (scale, bsize, cachesize, ...) so snapshots are comparable over time.
+    """
+    return {"label": label, "context": dict(context or {}), "stat": stat}
+
+
+def write_bench_json(name: str, payload: dict, directory: str | os.PathLike = ".") -> str:
+    """Persist a snapshot payload as ``BENCH_<name>.json``; returns the
+    path written."""
+    path = os.path.join(os.fspath(directory), f"BENCH_{name}.json")
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path
 
 
 def pct_change(old: float, new: float) -> float | None:

@@ -21,6 +21,12 @@ Eviction policy nuances reproduced from the paper:
 - the pool size is a byte budget; ``cachesize=0`` degenerates to the minimum
   number of resident pages an operation needs, exactly the paper's Figure 7
   x-axis origin.
+
+Observability: all pool accounting lives in :mod:`repro.obs` counters
+(registered under the owning table's metrics tree when one is supplied),
+and evictions are reported through the ``on_evict`` trace event.  Chain
+edges are mirrored in a reverse map so invalidation and re-linking are
+O(1) instead of an O(pool) scan.
 """
 
 from __future__ import annotations
@@ -29,6 +35,8 @@ from collections import OrderedDict
 from typing import Callable, Hashable
 
 from repro.core.pages import PageView
+from repro.obs.hooks import TraceHooks
+from repro.obs.registry import Counter, Registry
 
 #: Minimum resident pages regardless of budget: an expansion touches the old
 #: bucket chain head, the new bucket, a bitmap page and a big-pair page.
@@ -79,6 +87,8 @@ class BufferPool:
         cachesize: int,
         addresser: Callable[[BufferKey], int],
         policy: str = "lru",
+        obs: Registry | None = None,
+        hooks: TraceHooks | None = None,
     ) -> None:
         if bsize <= 0:
             raise ValueError(f"bsize must be positive, got {bsize}")
@@ -94,13 +104,54 @@ class BufferPool:
         #: ablation benchmark (hits do not refresh recency).
         self.policy = policy
         self._pool: OrderedDict[BufferKey, BufferHeader] = OrderedDict()
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
+        #: reverse chain edges: successor key -> predecessor key.  Kept
+        #: exactly in sync with the headers' ``chain_next`` hints so chain
+        #: unlink and invalidation are O(1).
+        self._chain_prev: dict[BufferKey, BufferKey] = {}
+        self._hooks = hooks
+        # Counters are always real (a slotted attribute add); supplying an
+        # enabled registry merely publishes them in the metrics tree.
+        self._c_hits = Counter("hits")
+        self._c_misses = Counter("misses")
+        self._c_evictions = Counter("evictions")
+        self._c_chain_evictions = Counter("chain_evictions")
+        self._c_invalidations = Counter("invalidations")
+        self._c_writebacks = Counter("writebacks")
+        if obs is not None:
+            for c in (
+                self._c_hits,
+                self._c_misses,
+                self._c_evictions,
+                self._c_chain_evictions,
+                self._c_invalidations,
+                self._c_writebacks,
+            ):
+                obs.attach(c)
+            obs.gauge("resident").set_function(lambda: len(self._pool))
+            obs.gauge("dirty").set_function(self.dirty_count)
+            obs.gauge("max_buffers").set_function(lambda: self.max_buffers)
         #: pages at or beyond this number have never been written (file
         #: high-water mark): faulting them zero-fills without a read.  A
         #: pre-sized table's untouched buckets cost no I/O this way.
         self._hole_threshold = file.npages()
+
+    # -- legacy counter views -----------------------------------------------------
+
+    @property
+    def hits(self) -> int:
+        return self._c_hits.value
+
+    @property
+    def misses(self) -> int:
+        return self._c_misses.value
+
+    @property
+    def evictions(self) -> int:
+        return self._c_evictions.value
+
+    @property
+    def invalidations(self) -> int:
+        return self._c_invalidations.value
 
     # -- lookup ---------------------------------------------------------------
 
@@ -122,11 +173,11 @@ class BufferPool:
         """
         hdr = self._pool.get(key)
         if hdr is not None:
-            self.hits += 1
+            self._c_hits.value += 1
             if self.policy == "lru":
                 self._pool.move_to_end(key)
             return hdr
-        self.misses += 1
+        self._c_misses.value += 1
         pageno = self.addresser(key)
         if create or pageno >= self._hole_threshold:
             page = bytearray(self.bsize)
@@ -152,23 +203,53 @@ class BufferPool:
         hdr.dirty = True
 
     def link_chain(self, pred: BufferHeader, succ: BufferHeader) -> None:
-        """Record that ``succ`` is the overflow buffer following ``pred``."""
+        """Record that ``succ`` is the overflow buffer following ``pred``.
+
+        Keeps the invariant that at most one resident predecessor points at
+        any buffer: a previous predecessor of ``succ`` (or a previous
+        successor of ``pred``) has its edge cleared, in O(1) via the
+        reverse map.
+        """
+        if pred.chain_next == succ.key:
+            return
+        if pred.chain_next is not None and self._chain_prev.get(pred.chain_next) == pred.key:
+            del self._chain_prev[pred.chain_next]
+        old_pred_key = self._chain_prev.get(succ.key)
+        if old_pred_key is not None and old_pred_key != pred.key:
+            old_pred = self._pool.get(old_pred_key)
+            if old_pred is not None and old_pred.chain_next == succ.key:
+                old_pred.chain_next = None
         pred.chain_next = succ.key
+        self._chain_prev[succ.key] = pred.key
 
     def unlink_chain(self, pred: BufferHeader) -> None:
+        nxt = pred.chain_next
+        if nxt is not None and self._chain_prev.get(nxt) == pred.key:
+            del self._chain_prev[nxt]
         pred.chain_next = None
 
     def invalidate(self, key: BufferKey) -> None:
-        """Drop a buffer without writing it (its page was freed)."""
-        hdr = self._pool.pop(key, None)
+        """Drop a buffer without writing it (its page was freed).
+
+        Clears the dangling chain hint of the buffer's predecessor -- the
+        page may be reused in another chain, and a stale edge would make
+        eviction drag (or cycle through) unrelated buffers.  O(1) via the
+        reverse-edge map (formerly an O(pool) scan).
+        """
+        hdr = self._pool.get(key)
         if hdr is not None and hdr.pins:
             raise AssertionError(f"invalidate of pinned buffer {key!r}")
-        # Clear dangling chain hints: the page may be reused in another
-        # chain, and a stale edge would make eviction drag (or cycle
-        # through) unrelated buffers.
-        for other in self._pool.values():
-            if other.chain_next == key:
-                other.chain_next = None
+        pred_key = self._chain_prev.pop(key, None)
+        if pred_key is not None:
+            pred = self._pool.get(pred_key)
+            if pred is not None and pred.chain_next == key:
+                pred.chain_next = None
+        if hdr is not None:
+            del self._pool[key]
+            nxt = hdr.chain_next
+            if nxt is not None and self._chain_prev.get(nxt) == key:
+                del self._chain_prev[nxt]
+            self._c_invalidations.value += 1
 
     # -- eviction / flushing ----------------------------------------------------------
 
@@ -176,8 +257,20 @@ class BufferPool:
         if hdr.dirty:
             self.file.write_page(hdr.pageno, bytes(hdr.page))
             hdr.dirty = False
+            self._c_writebacks.value += 1
             if hdr.pageno >= self._hole_threshold:
                 self._hole_threshold = hdr.pageno + 1
+
+    def _drop_edges(self, hdr: BufferHeader) -> None:
+        """Remove ``hdr``'s reverse-map edges as it leaves the pool."""
+        pred_key = self._chain_prev.pop(hdr.key, None)
+        if pred_key is not None:
+            pred = self._pool.get(pred_key)
+            if pred is not None and pred.chain_next == hdr.key:
+                pred.chain_next = None
+        nxt = hdr.chain_next
+        if nxt is not None and self._chain_prev.get(nxt) == hdr.key:
+            del self._chain_prev[nxt]
 
     def _evict_chain(self, key: BufferKey) -> bool:
         """Evict ``key`` and its chained overflow buffers; False if any
@@ -198,10 +291,26 @@ class BufferPool:
                 return False
             chain.append(hdr)
             k = hdr.chain_next
+        hooks = self._hooks
+        emit = hooks is not None and bool(hooks.on_evict)
+        chained = len(chain) > 1
         for hdr in chain:
+            if emit:
+                hooks.emit(
+                    "on_evict",
+                    {
+                        "key": hdr.key,
+                        "pageno": hdr.pageno,
+                        "dirty": hdr.dirty,
+                        "chained": chained,
+                    },
+                )
             self._write_back(hdr)
             self._pool.pop(hdr.key, None)
-            self.evictions += 1
+            self._drop_edges(hdr)
+            self._c_evictions.value += 1
+        if chained:
+            self._c_chain_evictions.value += 1
         return True
 
     def _shrink(self) -> None:
@@ -225,6 +334,7 @@ class BufferPool:
         if any(h.pins for h in self._pool.values()):
             raise AssertionError("drop_all with pinned buffers resident")
         self._pool.clear()
+        self._chain_prev.clear()
 
     # -- introspection -----------------------------------------------------------------
 
@@ -233,3 +343,18 @@ class BufferPool:
 
     def dirty_count(self) -> int:
         return sum(1 for h in self._pool.values() if h.dirty)
+
+    def metrics(self) -> dict:
+        """The pool's accounting as the dict ``db.stat()`` nests under
+        'buffer'."""
+        return {
+            "hits": self._c_hits.value,
+            "misses": self._c_misses.value,
+            "evictions": self._c_evictions.value,
+            "chain_evictions": self._c_chain_evictions.value,
+            "invalidations": self._c_invalidations.value,
+            "writebacks": self._c_writebacks.value,
+            "resident": len(self._pool),
+            "dirty": self.dirty_count(),
+            "max_buffers": self.max_buffers,
+        }

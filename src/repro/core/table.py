@@ -19,6 +19,7 @@ A :class:`HashTable` composes the substrates:
 from __future__ import annotations
 
 import os
+import time
 from dataclasses import dataclass, field
 from typing import Iterator
 
@@ -50,6 +51,8 @@ from repro.core.errors import (
 from repro.core.hashfuncs import HashFunction, get_hash_function
 from repro.core.header import Header
 from repro.core.pages import PageView, is_big_pair
+from repro.obs.hooks import TraceHooks
+from repro.obs.registry import Registry
 from repro.storage.memfile import MemPagedFile
 from repro.storage.pagedfile import PagedFile
 
@@ -122,6 +125,7 @@ class HashTable:
         readonly: bool = False,
         split_policy: str = "hybrid",
         buffer_policy: str = "lru",
+        observability: bool = True,
     ) -> None:
         if split_policy not in self.SPLIT_POLICIES:
             raise InvalidParameterError(
@@ -135,14 +139,34 @@ class HashTable:
         self._closed = False
         self.split_policy = split_policy
         self.stats = TableStats()
+        #: metrics tree rooted at this table; ``stat()`` renders it.  With
+        #: ``observability=False`` every instrument is a shared null object
+        #: and the op wrappers skip the clock entirely.
+        self.obs = Registry("hash", enabled=observability)
+        self.hooks = TraceHooks()
         self.pool = BufferPool(
-            file, header.bsize, cachesize, self._address_of, policy=buffer_policy
+            file,
+            header.bsize,
+            cachesize,
+            self._address_of,
+            policy=buffer_policy,
+            obs=self.obs.child("buffer"),
+            hooks=self.hooks,
         )
+        _ops = self.obs.child("ops")
+        self._h_get = _ops.histogram("get")
+        self._h_put = _ops.histogram("put")
+        self._h_delete = _ops.histogram("delete")
+        self._h_split = _ops.histogram("split")
+        self._clock = time.perf_counter if observability else None
+        # Page-I/O trace events piggyback on the file's callback slot; the
+        # storage layer stays ignorant of the hook machinery.
+        file.on_page_io = self._page_io_event
         self.allocator = OvflAllocator(header, self.pool)
         self.bigstore = BigPairStore(self.pool, self.allocator)
         self.buckets = BucketArray()
         self.buckets.grow_to(header.max_bucket + 1)
-        self._cursor: tuple[int, int, int] | None = None
+        self._scan: "TableCursor | None" = None
 
     @classmethod
     def create(
@@ -157,6 +181,7 @@ class HashTable:
         in_memory: bool = False,
         split_policy: str = "hybrid",
         buffer_policy: str = "lru",
+        observability: bool = True,
         file_wrapper=None,
     ) -> "HashTable":
         """Create a new table.
@@ -213,6 +238,7 @@ class HashTable:
             cachesize,
             split_policy=split_policy,
             buffer_policy=buffer_policy,
+            observability=observability,
         )
         table._write_header()
         return table
@@ -225,6 +251,7 @@ class HashTable:
         cachesize: int = DEFAULT_CACHESIZE,
         hashfn: str | HashFunction | None = None,
         readonly: bool = False,
+        observability: bool = True,
         file_wrapper=None,
     ) -> "HashTable":
         """Open an existing table.
@@ -253,7 +280,9 @@ class HashTable:
         file = PagedFile(path, header.bsize, readonly=readonly)
         if file_wrapper is not None:
             file = file_wrapper(file)
-        return cls(file, header, fn, cachesize, readonly=readonly)
+        return cls(
+            file, header, fn, cachesize, readonly=readonly, observability=observability
+        )
 
     # --------------------------------------------------------------- plumbing
 
@@ -263,6 +292,13 @@ class HashTable:
         if kind == "B":
             return addressing.bucket_to_page(addr, h.hdr_pages, h.spares)
         return addressing.oaddr_to_page(addr, h.hdr_pages, h.spares)
+
+    def _page_io_event(self, kind: str, pageno: int, nbytes: int) -> None:
+        hooks = self.hooks
+        if hooks.on_page_io:
+            hooks.emit(
+                "on_page_io", {"kind": kind, "pageno": pageno, "nbytes": nbytes}
+            )
 
     def _check_open(self) -> None:
         if self._closed:
@@ -348,6 +384,16 @@ class HashTable:
 
     def get(self, key: bytes, default: bytes | None = None) -> bytes | None:
         """Value stored under ``key``, or ``default`` if absent."""
+        clock = self._clock
+        if clock is None:
+            return self._get_impl(key, default)
+        t0 = clock()
+        try:
+            return self._get_impl(key, default)
+        finally:
+            self._h_get.observe(clock() - t0)
+
+    def _get_impl(self, key: bytes, default: bytes | None = None) -> bytes | None:
         self._check_open()
         self.stats.gets += 1
         found = self._locate(self._bucket_of(key), key)
@@ -404,6 +450,10 @@ class HashTable:
                     hdr.dirty = True
                     self.pool.link_chain(hdr, nhdr)
                     self.stats.ovfl_pages_linked += 1
+                    if self.hooks.on_overflow_link:
+                        self.hooks.emit(
+                            "on_overflow_link", {"bucket": bucket, "oaddr": oaddr}
+                        )
                     added_overflow = True
                     hdr.unpin()
                     hdr = nhdr
@@ -433,6 +483,16 @@ class HashTable:
         is returned (ndbm's DBM_INSERT semantics).  Inserts never fail for
         size or collision reasons -- the paper's headline guarantee.
         """
+        clock = self._clock
+        if clock is None:
+            return self._put_impl(key, data, replace=replace)
+        t0 = clock()
+        try:
+            return self._put_impl(key, data, replace=replace)
+        finally:
+            self._h_put.observe(clock() - t0)
+
+    def _put_impl(self, key: bytes, data: bytes, *, replace: bool = True) -> bool:
         self._check_writable()
         if not isinstance(key, (bytes, bytearray)) or not isinstance(
             data, (bytes, bytearray)
@@ -457,12 +517,12 @@ class HashTable:
         controlled_ok = self.split_policy in ("hybrid", "controlled")
         if added_overflow and uncontrolled_ok:
             self.stats.uncontrolled_splits += 1
-            self._expand_table()
+            self._expand_table("uncontrolled")
         elif controlled_ok and self.header.nkeys > self.header.ffactor * (
             self.header.max_bucket + 1
         ):
             self.stats.controlled_splits += 1
-            self._expand_table()
+            self._expand_table("controlled")
         return True
 
     # ---------------------------------------------------------------- delete
@@ -507,6 +567,16 @@ class HashTable:
         The file never contracts (paper, footnote 6): buckets stay
         allocated, only overflow pages are reclaimed.
         """
+        clock = self._clock
+        if clock is None:
+            return self._delete_impl(key)
+        t0 = clock()
+        try:
+            return self._delete_impl(key)
+        finally:
+            self._h_delete.observe(clock() - t0)
+
+    def _delete_impl(self, key: bytes) -> bool:
         self._check_writable()
         self.stats.deletes += 1
         found = self._locate(self._bucket_of(key), key)
@@ -518,10 +588,14 @@ class HashTable:
 
     # ---------------------------------------------------------------- splits
 
-    def _expand_table(self) -> None:
+    def _expand_table(self, reason: str = "structural") -> None:
         """One step of linear-hash growth: create bucket ``max_bucket+1``
         and split its buddy.  Hard format limits make this a no-op instead
-        of an error (chains simply lengthen afterwards)."""
+        of an error (chains simply lengthen afterwards).
+
+        ``reason`` records what triggered the split ('controlled',
+        'uncontrolled', or 'structural') for the ``on_split`` trace event.
+        """
         h = self.header
         new_bucket = h.max_bucket + 1
         spare_ndx = log2_ceil(new_bucket + 1)
@@ -541,7 +615,25 @@ class HashTable:
             h.ovfl_point = spare_ndx
         self.buckets.grow_to(new_bucket + 1)
         self.stats.splits += 1
-        self._split_bucket(old_bucket, new_bucket)
+        clock = self._clock
+        if clock is None:
+            self._split_bucket(old_bucket, new_bucket)
+        else:
+            t0 = clock()
+            try:
+                self._split_bucket(old_bucket, new_bucket)
+            finally:
+                self._h_split.observe(clock() - t0)
+        if self.hooks.on_split:
+            self.hooks.emit(
+                "on_split",
+                {
+                    "old_bucket": old_bucket,
+                    "new_bucket": new_bucket,
+                    "reason": reason,
+                    "nkeys": h.nkeys,
+                },
+            )
 
     def _split_bucket(self, old_bucket: int, new_bucket: int) -> None:
         """Redistribute ``old_bucket``'s pairs between it and ``new_bucket``
@@ -609,6 +701,11 @@ class HashTable:
                     hdr.dirty = True
                     self.pool.link_chain(hdr, nhdr)
                     self.stats.ovfl_pages_linked += 1
+                    if self.hooks.on_overflow_link:
+                        self.hooks.emit(
+                            "on_overflow_link",
+                            {"bucket": bucket, "oaddr": new_oaddr},
+                        )
                     hdr.unpin()
                     hdr = nhdr
                     continue
@@ -657,46 +754,31 @@ class HashTable:
     def __iter__(self) -> Iterator[bytes]:
         return self.keys()
 
-    # -- ndbm-style cursor --------------------------------------------------------
+    # -- sequential scans ---------------------------------------------------------
+
+    def cursor(self) -> "TableCursor":
+        """A fresh forward scan cursor; any number may be open at once."""
+        self._check_open()
+        return TableCursor(self)
 
     def first_key(self) -> bytes | None:
-        """Start a sequential scan; returns the first key or None."""
+        """Start a sequential scan; returns the first key or None.
+
+        ndbm-style convenience over a hidden :class:`TableCursor`; use
+        :meth:`cursor` for independent concurrent scans.
+        """
         self._check_open()
-        self._cursor = (0, NO_OADDR, 0)
-        return self._cursor_fetch(advance=False)
+        self._scan = TableCursor(self)
+        item = self._scan.first()
+        return None if item is None else item[0]
 
     def next_key(self) -> bytes | None:
         """Key after the previous :meth:`first_key`/:meth:`next_key`."""
         self._check_open()
-        if self._cursor is None:
+        if self._scan is None:
             return self.first_key()
-        return self._cursor_fetch(advance=True)
-
-    def _cursor_page(self, bucket: int, oaddr: int) -> BufferHeader:
-        if oaddr == NO_OADDR:
-            return self._fault(("B", bucket))
-        return self._fault(("O", oaddr))
-
-    def _cursor_fetch(self, advance: bool) -> bytes | None:
-        bucket, oaddr, slot = self._cursor
-        if advance:
-            slot += 1
-        while bucket <= self.header.max_bucket:
-            hdr = self._cursor_page(bucket, oaddr)
-            view = PageView(hdr.page)
-            if slot < view.nslots:
-                self._cursor = (bucket, oaddr, slot)
-                if view.slot_is_big(slot):
-                    boaddr, klen, _dlen, _prefix = view.get_big_ref(slot)
-                    return self.bigstore.fetch_key(boaddr, klen)
-                return view.get_key(slot)
-            nxt = view.ovfl_addr
-            if nxt != NO_OADDR:
-                oaddr, slot = nxt, 0
-            else:
-                bucket, oaddr, slot = bucket + 1, NO_OADDR, 0
-        self._cursor = (bucket, NO_OADDR, 0)
-        return None
+        item = self._scan.next()
+        return None if item is None else item[0]
 
     # ------------------------------------------------------------ maintenance
 
@@ -745,6 +827,50 @@ class HashTable:
         """Current keys per bucket (compare against ffactor)."""
         return self.header.nkeys / (self.header.max_bucket + 1)
 
+    def stat(self) -> dict:
+        """The table's full metrics tree as one nested dict.
+
+        The top-level shape -- ``type``, ``nkeys``, ``ops`` (counts +
+        latency quantiles), ``buffer``, ``io``, ``method`` -- is shared by
+        every access method, so callers can report on any database the same
+        way.  With ``observability=False`` the latency entries are
+        shape-stable zeros; the counts are always live.
+        """
+        self._check_open()
+        h = self.header
+        s = self.stats
+        return {
+            "type": "hash",
+            "nkeys": h.nkeys,
+            "ops": {
+                "counts": {
+                    "gets": s.gets,
+                    "puts": s.puts,
+                    "deletes": s.deletes,
+                    "splits": s.splits,
+                },
+                "latency": {
+                    "get": self._h_get.as_value(),
+                    "put": self._h_put.as_value(),
+                    "delete": self._h_delete.as_value(),
+                    "split": self._h_split.as_value(),
+                },
+            },
+            "buffer": self.pool.metrics(),
+            "io": self._file.stats.as_dict(),
+            "method": {
+                "nbuckets": h.max_bucket + 1,
+                "bsize": h.bsize,
+                "ffactor": h.ffactor,
+                "fill_ratio": self.fill_ratio(),
+                "split_policy": self.split_policy,
+                "controlled_splits": s.controlled_splits,
+                "uncontrolled_splits": s.uncontrolled_splits,
+                "ovfl_pages_linked": s.ovfl_pages_linked,
+                "big_pairs_stored": s.big_pairs_stored,
+            },
+        }
+
     def check_invariants(self) -> None:
         """Internal consistency checks used by the test suite.
 
@@ -775,3 +901,70 @@ class HashTable:
                     break
                 hdr = self._fault(("O", nxt))
         assert count == h.nkeys, f"scan found {count} keys, header says {h.nkeys}"
+
+
+class TableCursor:
+    """A forward-only scan over a :class:`HashTable` with private state.
+
+    Any number of cursors may be open on one table; each advances
+    independently.  :meth:`first` and :meth:`next` return full
+    ``(key, data)`` pairs, or ``None`` past the end (hash order is
+    arbitrary, so there is no backward or keyed positioning -- the access
+    layer raises for those, as 4.4BSD hash did).
+
+    The position is a (bucket, overflow address, slot) triple and pages are
+    not pinned between calls, so a table mutated mid-scan degrades loosely
+    rather than failing: pairs untouched for the whole scan are seen
+    exactly once, but pairs relocated by a split or delete may be seen
+    twice or skipped.
+    """
+
+    __slots__ = ("table", "_pos", "_done")
+
+    def __init__(self, table: HashTable) -> None:
+        self.table = table
+        self._pos: tuple[int, int, int] | None = None
+        self._done = False
+
+    def first(self) -> tuple[bytes, bytes] | None:
+        """(Re)position at the first pair; None if the table is empty."""
+        self.table._check_open()
+        self._pos = (0, NO_OADDR, 0)
+        self._done = False
+        return self._fetch(advance=False)
+
+    def next(self) -> tuple[bytes, bytes] | None:
+        """The pair after the current one; starts at :meth:`first` if
+        unpositioned; None (forever) once exhausted."""
+        self.table._check_open()
+        if self._done:
+            return None
+        if self._pos is None:
+            return self.first()
+        return self._fetch(advance=True)
+
+    def _fetch(self, advance: bool) -> tuple[bytes, bytes] | None:
+        t = self.table
+        bucket, oaddr, slot = self._pos
+        if advance:
+            slot += 1
+        while bucket <= t.header.max_bucket:
+            if oaddr == NO_OADDR:
+                hdr = t._fault(("B", bucket))
+            else:
+                hdr = t._fault(("O", oaddr))
+            view = PageView(hdr.page)
+            if slot < view.nslots:
+                self._pos = (bucket, oaddr, slot)
+                if view.slot_is_big(slot):
+                    boaddr, klen, dlen, _prefix = view.get_big_ref(slot)
+                    return t.bigstore.fetch(boaddr, klen, dlen)
+                return view.get_pair(slot)
+            nxt = view.ovfl_addr
+            if nxt != NO_OADDR:
+                oaddr, slot = nxt, 0
+            else:
+                bucket, oaddr, slot = bucket + 1, NO_OADDR, 0
+        self._pos = (bucket, NO_OADDR, 0)
+        self._done = True
+        return None

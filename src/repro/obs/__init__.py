@@ -1,0 +1,46 @@
+"""Unified observability: hierarchical metrics + trace-event hooks.
+
+The paper's entire evaluation hinges on counting the work each layer does
+-- system calls, page faults, buffer hits (Figures 5-8).  This package is
+the measurement substrate those figures need: every layer of the database
+(storage, buffer pool, access methods) registers its counters, gauges and
+latency histograms under one :class:`~repro.obs.registry.Registry` tree,
+so ``db.stat()`` can return a single nested dict for any access method,
+and subscribes trace callbacks through :class:`~repro.obs.hooks.TraceHooks`
+for event-level visibility (splits, evictions, page I/O, overflow links).
+
+Design constraints:
+
+- **bounded memory**: histograms are log-bucketed (quarter-octave), never
+  per-sample;
+- **cheap when enabled**: counters are a slotted attribute add;
+- **near-zero when disabled**: a disabled registry hands out shared no-op
+  null instruments and null timers, and emit sites guard on an attribute
+  check.
+"""
+
+from repro.obs.hooks import TraceHooks
+from repro.obs.registry import (
+    NULL_COUNTER,
+    NULL_GAUGE,
+    NULL_HISTOGRAM,
+    NULL_SCOPE,
+    Counter,
+    Gauge,
+    Histogram,
+    Registry,
+    Scope,
+)
+
+__all__ = [
+    "Registry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Scope",
+    "TraceHooks",
+    "NULL_COUNTER",
+    "NULL_GAUGE",
+    "NULL_HISTOGRAM",
+    "NULL_SCOPE",
+]

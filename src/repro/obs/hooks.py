@@ -1,0 +1,71 @@
+"""Trace-event hooks: callback lists with cheap empty-path checks.
+
+Emit sites in the engine guard on the per-event subscriber list before
+building a payload::
+
+    hooks = self.hooks
+    if hooks.on_split:
+        hooks.emit("on_split", {"old_bucket": old, "new_bucket": new, ...})
+
+so an unsubscribed event costs one attribute load and one truth test.
+Each callback receives a single dict payload; the keys per event are part
+of the contract documented in docs/OBSERVABILITY.md:
+
+``on_split``
+    ``old_bucket``, ``new_bucket``, ``reason`` ('controlled' |
+    'uncontrolled' | 'structural'), ``nkeys``
+``on_evict``
+    ``key``, ``pageno``, ``dirty``, ``chained``
+``on_page_io``
+    ``kind`` ('read' | 'write'), ``pageno``, ``nbytes``
+``on_overflow_link``
+    ``bucket`` (or ``None`` for big-pair/btree data chains), ``oaddr``
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+Payload = dict
+Callback = Callable[[Payload], None]
+
+__all__ = ["TraceHooks"]
+
+
+class TraceHooks:
+    """Per-table set of trace-event subscriber lists."""
+
+    EVENTS = ("on_split", "on_evict", "on_page_io", "on_overflow_link")
+
+    __slots__ = EVENTS
+
+    def __init__(self) -> None:
+        for event in self.EVENTS:
+            setattr(self, event, [])
+
+    def subscribe(self, event: str, fn: Callback) -> Callback:
+        """Register ``fn`` for ``event``; returns ``fn`` (decorator-friendly)."""
+        self._listeners(event).append(fn)
+        return fn
+
+    def unsubscribe(self, event: str, fn: Callback) -> None:
+        self._listeners(event).remove(fn)
+
+    def emit(self, event: str, payload: Payload) -> None:
+        for fn in self._listeners(event):
+            fn(payload)
+
+    def clear(self) -> None:
+        for event in self.EVENTS:
+            getattr(self, event).clear()
+
+    def _listeners(self, event: str) -> list:
+        if event not in self.EVENTS:
+            raise ValueError(
+                f"unknown trace event {event!r}; choose from {self.EVENTS}"
+            )
+        return getattr(self, event)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        counts = {e: len(getattr(self, e)) for e in self.EVENTS}
+        return f"<TraceHooks {counts}>"

@@ -97,6 +97,17 @@ class IOStats:
     def page_io(self) -> int:
         return self.page_reads + self.page_writes
 
+    def as_dict(self) -> dict:
+        """The counters as the plain dict ``db.stat()`` nests under 'io'."""
+        return {
+            "page_reads": self.page_reads,
+            "page_writes": self.page_writes,
+            "page_io": self.page_io,
+            "syscalls": self.syscalls,
+            "bytes_read": self.bytes_read,
+            "bytes_written": self.bytes_written,
+        }
+
     def merge(self, other: "IOStats | IOSnapshot") -> None:
         """Fold another counter set into this one (e.g. at file close)."""
         self.page_reads += other.page_reads

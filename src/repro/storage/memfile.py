@@ -20,6 +20,9 @@ class MemPagedFile:
         self.readonly = readonly
         self.path = None
         self.stats = IOStats()
+        #: optional page-I/O trace callback ``(kind, pageno, nbytes)``,
+        #: invoked on every read/write when set (see repro.obs.hooks)
+        self.on_page_io = None
         self._pages: dict[int, bytes] = {}
         self._closed = False
         self._zero = b"\0" * pagesize
@@ -30,6 +33,9 @@ class MemPagedFile:
             raise ValueError(f"negative page number {pageno}")
         data = self._pages.get(pageno, self._zero)
         self.stats.record_read(len(data))
+        cb = self.on_page_io
+        if cb is not None:
+            cb("read", pageno, len(data))
         return data
 
     def write_page(self, pageno: int, data: bytes) -> None:
@@ -46,6 +52,9 @@ class MemPagedFile:
             data = data + b"\0" * (self.pagesize - len(data))
         self._pages[pageno] = bytes(data)
         self.stats.record_write(len(data))
+        cb = self.on_page_io
+        if cb is not None:
+            cb("write", pageno, len(data))
 
     def sync(self) -> None:
         self._check_open()

@@ -52,6 +52,9 @@ class PagedFile:
         self.pagesize = pagesize
         self.readonly = readonly
         self.stats = IOStats()
+        #: optional page-I/O trace callback ``(kind, pageno, nbytes)``,
+        #: invoked on every read/write when set (see repro.obs.hooks)
+        self.on_page_io = None
         self._closed = False
         if path is None:
             fd, tmppath = tempfile.mkstemp(prefix="repro-hash-")
@@ -82,6 +85,9 @@ class PagedFile:
             raise ValueError(f"negative page number {pageno}")
         data = os.pread(self._fd, self.pagesize, pageno * self.pagesize)
         self.stats.record_read(len(data))
+        cb = self.on_page_io
+        if cb is not None:
+            cb("read", pageno, len(data))
         if len(data) < self.pagesize:
             data += b"\0" * (self.pagesize - len(data))
         return data
@@ -100,6 +106,9 @@ class PagedFile:
             data = data + b"\0" * (self.pagesize - len(data))
         os.pwrite(self._fd, data, pageno * self.pagesize)
         self.stats.record_write(len(data))
+        cb = self.on_page_io
+        if cb is not None:
+            cb("write", pageno, len(data))
 
     # -- maintenance -----------------------------------------------------------
 

@@ -107,6 +107,14 @@ class SimulatedDisk:
     def readonly(self) -> bool:
         return self.inner.readonly
 
+    @property
+    def on_page_io(self):
+        return self.inner.on_page_io
+
+    @on_page_io.setter
+    def on_page_io(self, cb) -> None:
+        self.inner.on_page_io = cb
+
     def read_page(self, pageno: int) -> bytes:
         self._charge(pageno)
         return self.inner.read_page(pageno)

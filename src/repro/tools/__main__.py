@@ -1,4 +1,4 @@
-"""CLI entry point: ``python -m repro.tools {dump,load,stat,check} ...``"""
+"""CLI entry point: ``python -m repro.tools {dump,load,stat,check,prof} ...``"""
 
 from __future__ import annotations
 
@@ -103,6 +103,10 @@ def main(argv: list[str] | None = None) -> int:
     p = sub.add_parser("check", help="verify table structure")
     p.add_argument("file")
     p.set_defaults(fn=_cmd_check)
+
+    from repro.tools.prof import add_prof_parser
+
+    add_prof_parser(sub)
 
     args = parser.parse_args(argv)
     return args.fn(args)

@@ -1,0 +1,131 @@
+"""``repro.tools prof``: replay a workload and print the metric tree.
+
+Runs a synthetic get/put/delete/scan workload against an in-memory
+database (or a read-only scan+get replay of an existing file) with
+observability enabled, then renders the nested ``db.stat()`` dict --
+operation counts, latency quantiles, buffer-pool behaviour and page
+I/O -- as an indented tree or JSON.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.access.api import DB_BTREE, DB_HASH, DB_RECNO
+from repro.access.db import db_open
+from repro.access.recno.recno import encode_recno
+
+
+def _workload_keys(type_: str, n: int) -> list[bytes]:
+    if type_ == DB_RECNO:
+        return [encode_recno(i + 1) for i in range(n)]
+    return [f"key-{i:08d}".encode() for i in range(n)]
+
+
+def run_synthetic(type_: str = DB_HASH, n: int = 5000, **params) -> dict:
+    """n puts, n gets, a full cursor scan and n//4 deletes against a fresh
+    in-memory database; returns its ``stat()`` dict."""
+    db = db_open(None, type_, "c", **params)
+    try:
+        keys = _workload_keys(type_, n)
+        for i, k in enumerate(keys):
+            db.put(k, f"value-{i:08d}".encode())
+        for k in keys:
+            db.get(k)
+        cur = db.cursor()
+        item = cur.first()
+        while item is not None:
+            item = cur.next()
+        # delete from the end: cheap for recno (no renumbering), neutral
+        # for the others
+        for k in reversed(keys[-(n // 4) :]):
+            db.delete(k)
+        return db.stat()
+    finally:
+        db.close()
+
+
+def run_replay(path: str, type_: str) -> dict:
+    """Read-only replay against an existing file: one full cursor scan,
+    then a point ``get`` of every key; returns ``stat()``."""
+    db = db_open(path, type_, "r")
+    try:
+        keys = []
+        cur = db.cursor()
+        item = cur.first()
+        while item is not None:
+            keys.append(item[0])
+            item = cur.next()
+        for k in keys:
+            db.get(k)
+        return db.stat()
+    finally:
+        db.close()
+
+
+def _fmt_value(v) -> str:
+    if isinstance(v, bool) or not isinstance(v, float):
+        return str(v)
+    if v == 0:
+        return "0"
+    if abs(v) < 0.001:
+        return f"{v * 1e6:.3f}u"  # microseconds for the latency entries
+    if abs(v) < 1.0:
+        return f"{v * 1e3:.3f}m"
+    return f"{v:.6g}"
+
+
+def format_metric_tree(stat: dict, indent: int = 0) -> str:
+    """Render a ``stat()`` dict as an indented key: value tree."""
+    lines = []
+    pad = "  " * indent
+    for k, v in stat.items():
+        if isinstance(v, dict):
+            lines.append(f"{pad}{k}:")
+            lines.append(format_metric_tree(v, indent + 1))
+        else:
+            lines.append(f"{pad}{k}: {_fmt_value(v)}")
+    return "\n".join(lines)
+
+
+def cmd_prof(args) -> int:
+    if args.file:
+        from repro.tools.__main__ import _detect_type
+
+        try:
+            type_ = _detect_type(args.file)
+        except FileNotFoundError:
+            import sys
+
+            print(f"prof: no such file: {args.file}", file=sys.stderr)
+            return 1
+        stat = run_replay(args.file, type_)
+    else:
+        stat = run_synthetic(args.type, args.n)
+    if args.json:
+        print(json.dumps(stat, indent=2, sort_keys=True))
+    else:
+        print(format_metric_tree(stat))
+    return 0
+
+
+def add_prof_parser(sub) -> None:
+    p = sub.add_parser(
+        "prof", help="replay a workload and print the metric tree"
+    )
+    p.add_argument(
+        "--type",
+        choices=(DB_HASH, DB_BTREE, DB_RECNO),
+        default=DB_HASH,
+        help="access method for the synthetic workload (default hash)",
+    )
+    p.add_argument(
+        "-n", type=int, default=5000, help="synthetic workload size (default 5000)"
+    )
+    p.add_argument(
+        "--file",
+        default=None,
+        help="replay read-only against this existing database instead",
+    )
+    p.add_argument("--json", action="store_true", help="emit JSON instead of a tree")
+    p.set_defaults(fn=cmd_prof)

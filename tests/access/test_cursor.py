@@ -1,0 +1,214 @@
+"""Tests for the first-class cursor API across all three access methods:
+positioning, independence, iterator/context-manager protocol, behaviour
+under concurrent mutation, and the legacy seq() shim riding on top."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.access.api import R_FIRST, R_NEXT
+from repro.access.db import db_open
+from repro.access.recno.recno import decode_recno, encode_recno
+
+
+def _filled(type_: str, n: int = 50):
+    db = db_open(None, type_, "c")
+    for i in range(n):
+        db.put(_key(type_, i), f"val-{i:04d}".encode())
+    return db
+
+
+def _key(type_: str, i: int) -> bytes:
+    if type_ == "recno":
+        return encode_recno(i + 1)
+    return f"key-{i:04d}".encode()
+
+
+@pytest.fixture(params=["hash", "btree", "recno"])
+def any_db(request):
+    db = _filled(request.param)
+    yield request.param, db
+    db.close()
+
+
+class TestForwardScan:
+    def test_first_next_visits_everything(self, any_db):
+        type_, db = any_db
+        cur = db.cursor()
+        seen = []
+        item = cur.first()
+        while item is not None:
+            seen.append(item)
+            item = cur.next()
+        assert len(seen) == 50
+        assert {k for k, _ in seen} == {_key(type_, i) for i in range(50)}
+        for k, v in seen:
+            assert db.get(k) == v
+
+    def test_next_unpositioned_starts_at_first(self, any_db):
+        _, db = any_db
+        assert db.cursor().next() == db.cursor().first()
+
+    def test_exhausted_cursor_stays_exhausted(self, any_db):
+        _, db = any_db
+        cur = db.cursor()
+        while cur.next() is not None:
+            pass
+        assert cur.next() is None
+        assert cur.next() is None
+
+    def test_empty_database(self, any_db):
+        type_, _ = any_db
+        db = db_open(None, type_, "c")
+        try:
+            cur = db.cursor()
+            assert cur.first() is None
+            assert cur.next() is None
+        finally:
+            db.close()
+
+    def test_iterator_protocol(self, any_db):
+        _, db = any_db
+        assert len(list(db.cursor())) == 50
+
+    def test_context_manager(self, any_db):
+        _, db = any_db
+        with db.cursor() as cur:
+            assert cur.first() is not None
+
+    def test_cursors_are_independent(self, any_db):
+        _, db = any_db
+        a, b = db.cursor(), db.cursor()
+        first = a.first()
+        a.next()
+        a.next()
+        assert b.first() == first  # b's position untouched by a's walk
+        assert a.next() != first
+
+
+class TestOrderedCursors:
+    @pytest.fixture(params=["btree", "recno"])
+    def ordered_db(self, request):
+        db = _filled(request.param)
+        yield request.param, db
+        db.close()
+
+    def test_forward_is_sorted(self, ordered_db):
+        _, db = ordered_db
+        keys = [k for k, _ in db.cursor()]
+        assert keys == sorted(keys)
+
+    def test_reverse_mirrors_forward(self, ordered_db):
+        _, db = ordered_db
+        fwd = [k for k, _ in db.cursor()]
+        cur = db.cursor()
+        rev = []
+        item = cur.last()
+        while item is not None:
+            rev.append(item[0])
+            item = cur.prev()
+        assert rev == list(reversed(fwd))
+
+    def test_seek_exact_and_at_or_after(self):
+        db = _filled("btree")
+        try:
+            cur = db.cursor()
+            k, v = cur.seek(b"key-0010")
+            assert k == b"key-0010"
+            # between key-0010 and key-0011 -> lands on 0011
+            k, _ = cur.seek(b"key-0010a")
+            assert k == b"key-0011"
+            assert cur.next()[0] == b"key-0012"
+            assert cur.seek(b"zzz") is None
+        finally:
+            db.close()
+
+    def test_seek_recno_by_record_number(self):
+        db = _filled("recno")
+        try:
+            cur = db.cursor()
+            k, v = cur.seek(encode_recno(7))
+            assert decode_recno(k) == 7
+            assert v == b"val-0006"
+        finally:
+            db.close()
+
+    def test_btree_cursor_survives_delete_at_cursor(self):
+        # the modern cursor repositions by key: deleting the pair under it
+        # continues at the next key (the old seq shim restarted at FIRST)
+        db = _filled("btree")
+        try:
+            cur = db.cursor()
+            cur.first()
+            k, _ = cur.next()
+            assert k == b"key-0001"
+            db.delete(k)
+            assert cur.next()[0] == b"key-0002"
+        finally:
+            db.close()
+
+    def test_btree_cursor_sees_inserts_ahead(self):
+        db = _filled("btree")
+        try:
+            cur = db.cursor()
+            cur.seek(b"key-0010")
+            db.put(b"key-0010a", b"wedged")
+            assert cur.next()[0] == b"key-0010a"
+        finally:
+            db.close()
+
+
+class TestHashCursorLimits:
+    def test_backward_and_seek_rejected(self):
+        db = _filled("hash")
+        try:
+            cur = db.cursor()
+            with pytest.raises(ValueError):
+                cur.last()
+            with pytest.raises(ValueError):
+                cur.prev()
+            with pytest.raises(ValueError):
+                cur.seek(b"key-0001")
+        finally:
+            db.close()
+
+    def test_scan_over_splitting_table(self):
+        # inserting during a scan may split buckets under the cursor; the
+        # loose guarantee is that the scan terminates and every pair it
+        # returns is genuine (pairs may be missed or repeated)
+        db = _filled("hash", n=100)
+        try:
+            cur = db.cursor()
+            seen = []
+            item = cur.first()
+            extra = 0
+            while item is not None:
+                seen.append(item)
+                if extra < 200:
+                    db.put(f"extra-{extra:04d}".encode(), b"x")
+                    extra += 1
+                item = cur.next()
+            assert len(seen) >= 100 // 2
+            for k, v in seen:
+                assert db.get(k) == v
+        finally:
+            db.close()
+
+
+class TestSeqShim:
+    def test_seq_matches_cursor_scan(self, any_db):
+        _, db = any_db
+        via_cursor = list(db.cursor())
+        via_seq = []
+        item = db.seq(R_FIRST)
+        while item is not None:
+            via_seq.append(item)
+            item = db.seq(R_NEXT)
+        assert via_seq == via_cursor
+
+    def test_seq_uses_one_hidden_cursor(self, any_db):
+        _, db = any_db
+        first = db.seq(R_FIRST)
+        second = db.seq(R_NEXT)
+        assert first != second
+        assert db.seq(R_FIRST) == first  # R_FIRST rewinds the same cursor

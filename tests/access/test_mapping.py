@@ -1,0 +1,113 @@
+"""Mapping facade + unified repro.open: dict-style access works the same
+on every access method, with str keys/values UTF-8 encoded and recno
+additionally accepting plain ints as record numbers."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.access.db import db_open
+from repro.access.recno.recno import encode_recno
+
+
+@pytest.fixture(params=["hash", "btree"])
+def kv_db(request):
+    db = db_open(None, request.param, "c")
+    yield db
+    db.close()
+
+
+class TestMappingFacade:
+    def test_round_trip_bytes_and_str(self, kv_db):
+        kv_db[b"k"] = b"v"
+        assert kv_db[b"k"] == b"v"
+        kv_db["clé"] = "valüe"
+        assert kv_db["clé"] == "valüe".encode("utf-8")
+        assert kv_db[b"cl\xc3\xa9"] == "valüe".encode("utf-8")
+
+    def test_contains_len_del(self, kv_db):
+        kv_db[b"a"] = b"1"
+        kv_db[b"b"] = b"2"
+        assert b"a" in kv_db and "a" in kv_db
+        assert len(kv_db) == 2
+        del kv_db[b"a"]
+        assert b"a" not in kv_db
+        assert len(kv_db) == 1
+
+    def test_missing_key_raises(self, kv_db):
+        with pytest.raises(KeyError):
+            kv_db[b"nope"]
+        with pytest.raises(KeyError):
+            del kv_db[b"nope"]
+
+    def test_get_default(self, kv_db):
+        assert kv_db.get_default(b"nope") is None
+        assert kv_db.get_default(b"nope", b"d") == b"d"
+        kv_db[b"k"] = b"v"
+        assert kv_db.get_default(b"k", b"d") == b"v"
+
+    def test_pop(self, kv_db):
+        kv_db[b"k"] = b"v"
+        assert kv_db.pop(b"k") == b"v"
+        assert kv_db.pop(b"k", b"gone") == b"gone"
+        with pytest.raises(KeyError):
+            kv_db.pop(b"k")
+
+    def test_setdefault(self, kv_db):
+        assert kv_db.setdefault(b"k", b"v") == b"v"
+        assert kv_db.setdefault(b"k", b"other") == b"v"
+
+    def test_update_and_iter(self, kv_db):
+        kv_db.update({b"a": b"1", "b": "2"})
+        kv_db.update([(b"c", b"3")], d=b"4")
+        assert sorted(kv_db) == [b"a", b"b", b"c", b"d"]
+        assert sorted(kv_db.items())[0] == (b"a", b"1")
+        assert sorted(kv_db.keys()) == sorted(kv_db)
+        assert sorted(kv_db.values()) == [b"1", b"2", b"3", b"4"]
+
+
+class TestRecnoMapping:
+    def test_int_keys_are_record_numbers(self):
+        db = db_open(None, "recno", "c")
+        try:
+            db[1] = b"first"
+            db[2] = "second"
+            assert db[1] == b"first"
+            assert db[2] == b"second"
+            assert db[encode_recno(2)] == b"second"
+            assert 1 in db
+            assert len(db) == 2
+            del db[1]
+            assert db[1] == b"second"  # recno renumbers on delete
+        finally:
+            db.close()
+
+
+class TestUnifiedOpen:
+    def test_default_is_hash(self, tmp_path):
+        with repro.open(tmp_path / "h.db") as db:
+            assert db.type == "hash"
+            db[b"k"] = b"v"
+        with repro.open(tmp_path / "h.db", "r") as db:
+            assert db[b"k"] == b"v"
+
+    @pytest.mark.parametrize("type_", ["btree", "recno"])
+    def test_type_selects_method(self, tmp_path, type_):
+        with repro.open(tmp_path / "x.db", type=type_) as db:
+            assert db.type == type_
+            assert db.stat()["type"] == type_
+
+    def test_params_forwarded(self, tmp_path):
+        with repro.open(tmp_path / "h.db", bsize=1024, ffactor=32) as db:
+            assert db.stat()["method"]["bsize"] == 1024
+            assert db.stat()["method"]["ffactor"] == 32
+
+    def test_in_memory(self):
+        with repro.open() as db:
+            db[b"k"] = b"v"
+            assert db[b"k"] == b"v"
+
+    def test_bad_type_rejected(self):
+        with pytest.raises(repro.InvalidParameterError):
+            repro.open(None, type="isam")

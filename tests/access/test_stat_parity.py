@@ -1,0 +1,120 @@
+"""stat() parity: every access method returns one nested metrics dict with
+the same top-level shape, populated when observability is on and
+shape-stable (zeroed) when it is off."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.access.db import db_open
+from repro.access.recno.recno import encode_recno
+
+TOP_KEYS = {"type", "nkeys", "ops", "buffer", "io", "method"}
+COUNT_KEYS = {"gets", "puts", "deletes", "splits"}
+LATENCY_OPS = {"get", "put", "delete", "split"}
+HIST_KEYS = {"count", "total", "mean", "min", "max", "p50", "p95", "p99"}
+BUFFER_KEYS = {
+    "hits",
+    "misses",
+    "evictions",
+    "chain_evictions",
+    "invalidations",
+    "writebacks",
+    "resident",
+    "dirty",
+    "max_buffers",
+}
+
+
+def _key(type_: str, i: int) -> bytes:
+    return encode_recno(i + 1) if type_ == "recno" else f"k{i:03d}".encode()
+
+
+@pytest.fixture(params=["hash", "btree", "recno"])
+def worked_db(request):
+    db = db_open(None, request.param, "c")
+    for i in range(40):
+        db.put(_key(request.param, i), b"v")
+    for i in range(40):
+        db.get(_key(request.param, i))
+    db.delete(_key(request.param, 39))
+    yield request.param, db
+    db.close()
+
+
+class TestShapeParity:
+    def test_top_level_keys(self, worked_db):
+        type_, db = worked_db
+        st = db.stat()
+        assert set(st) >= TOP_KEYS
+        assert st["type"] == type_
+
+    def test_ops_subtree(self, worked_db):
+        type_, db = worked_db
+        st = db.stat()
+        assert set(st["ops"]) == {"counts", "latency"}
+        assert set(st["ops"]["counts"]) == COUNT_KEYS
+        assert set(st["ops"]["latency"]) == LATENCY_OPS
+        for op in LATENCY_OPS:
+            assert set(st["ops"]["latency"][op]) == HIST_KEYS
+
+    def test_buffer_and_io_subtrees(self, worked_db):
+        _, db = worked_db
+        st = db.stat()
+        assert set(st["buffer"]) == BUFFER_KEYS
+        assert set(st["io"]) == {
+            "page_reads",
+            "page_writes",
+            "page_io",
+            "syscalls",
+            "bytes_read",
+            "bytes_written",
+        }
+
+    def test_counts_reflect_workload(self, worked_db):
+        type_, db = worked_db
+        st = db.stat()
+        counts = st["ops"]["counts"]
+        assert counts["puts"] >= 40
+        assert counts["gets"] >= 40
+        assert counts["deletes"] >= 1
+        assert st["nkeys"] == 39
+        lat = st["ops"]["latency"]
+        assert lat["put"]["count"] >= 40
+        assert lat["get"]["count"] >= 40
+        assert lat["get"]["p95"] >= lat["get"]["min"] > 0.0
+
+    def test_json_serializable(self, worked_db):
+        _, db = worked_db
+        assert json.loads(json.dumps(db.stat())) == db.stat()
+
+
+class TestDisabledObservability:
+    @pytest.fixture(params=["hash", "btree", "recno"])
+    def dark_db(self, request):
+        db = db_open(None, request.param, "c", observability=False)
+        for i in range(10):
+            db.put(_key(request.param, i), b"v")
+        yield request.param, db
+        db.close()
+
+    def test_shape_survives_disabled(self, dark_db):
+        type_, db = dark_db
+        st = db.stat()
+        assert set(st) >= TOP_KEYS
+        assert set(st["ops"]["latency"]) == LATENCY_OPS
+        for op in LATENCY_OPS:
+            assert set(st["ops"]["latency"][op]) == HIST_KEYS
+            assert st["ops"]["latency"][op]["count"] == 0
+
+    def test_data_operations_unaffected(self, dark_db):
+        type_, db = dark_db
+        assert db.get(_key(type_, 3)) == b"v"
+        assert st_nkeys(db) == 10
+        assert len(list(db.cursor())) == 10
+
+
+def st_nkeys(db) -> int:
+    return db.stat()["nkeys"]

@@ -175,3 +175,23 @@ class TestReport:
         )
         assert "pre-sized user" in text
         assert "1.00" in text
+
+
+class TestBenchJson:
+    def test_registry_snapshot_round_trip(self, tmp_path):
+        import json
+
+        from repro.bench.report import registry_snapshot, write_bench_json
+
+        payload = registry_snapshot(
+            {"nkeys": 3, "ops": {"counts": {"gets": 1}}},
+            label="unit",
+            context={"scale": 3},
+        )
+        path = write_bench_json("unit_snapshot", payload, tmp_path)
+        assert path.endswith("BENCH_unit_snapshot.json")
+        with open(path) as fh:
+            loaded = json.load(fh)
+        assert loaded == payload
+        assert loaded["context"]["scale"] == 3
+        assert loaded["stat"]["ops"]["counts"]["gets"] == 1

@@ -178,3 +178,113 @@ class TestDropAll:
         h = pool.get(("B", 0))
         with pytest.raises(AssertionError):
             h.unpin()
+
+
+class TestChainReverseMap:
+    """The O(1) invalidate rewrite: the reverse-edge map must stay exactly
+    in sync with the headers' chain_next hints."""
+
+    def test_invalidate_clears_predecessor_hint(self):
+        f, pool = make_pool()
+        prim = pool.get(("B", 0), create=True)
+        ovfl = pool.get(("O", 1), create=True)
+        pool.link_chain(prim, ovfl)
+        pool.invalidate(("O", 1))
+        assert prim.chain_next is None
+        assert pool._chain_prev == {}
+
+    def test_invalidate_middle_of_chain(self):
+        f, pool = make_pool()
+        a = pool.get(("B", 0), create=True)
+        b = pool.get(("O", 1), create=True)
+        c = pool.get(("O", 2), create=True)
+        pool.link_chain(a, b)
+        pool.link_chain(b, c)
+        pool.invalidate(("O", 1))
+        assert a.chain_next is None  # pred hint cleared
+        assert ("O", 2) not in pool._chain_prev  # succ edge dropped too
+
+    def test_relink_clears_old_predecessor(self):
+        # a freed overflow page reused under a different bucket must not
+        # leave the old bucket pointing at it
+        f, pool = make_pool()
+        old = pool.get(("B", 0), create=True)
+        new = pool.get(("B", 1), create=True)
+        ovfl = pool.get(("O", 7), create=True)
+        pool.link_chain(old, ovfl)
+        pool.link_chain(new, ovfl)
+        assert old.chain_next is None
+        assert new.chain_next == ("O", 7)
+        assert pool._chain_prev[("O", 7)] == ("B", 1)
+
+    def test_relink_successor_clears_old_edge(self):
+        f, pool = make_pool()
+        prim = pool.get(("B", 0), create=True)
+        o1 = pool.get(("O", 1), create=True)
+        o2 = pool.get(("O", 2), create=True)
+        pool.link_chain(prim, o1)
+        pool.link_chain(prim, o2)  # prim's successor replaced
+        assert ("O", 1) not in pool._chain_prev
+        assert pool._chain_prev[("O", 2)] == ("B", 0)
+
+    def test_unlink_chain_drops_edge(self):
+        f, pool = make_pool()
+        prim = pool.get(("B", 0), create=True)
+        ovfl = pool.get(("O", 1), create=True)
+        pool.link_chain(prim, ovfl)
+        pool.unlink_chain(prim)
+        assert prim.chain_next is None
+        assert pool._chain_prev == {}
+
+    def test_eviction_cleans_edges(self):
+        f, pool = make_pool(cachesize=64 * 6)
+        prim = pool.get(("B", 0), create=True)
+        ovfl = pool.get(("O", 1), create=True)
+        pool.link_chain(prim, ovfl)
+        for i in range(1, 10):
+            pool.get(("B", i))
+        assert ("B", 0) not in pool
+        assert pool._chain_prev == {}
+
+    def test_drop_all_clears_map(self):
+        f, pool = make_pool()
+        prim = pool.get(("B", 0), create=True)
+        ovfl = pool.get(("O", 1), create=True)
+        pool.link_chain(prim, ovfl)
+        pool.drop_all()
+        assert pool._chain_prev == {}
+
+
+class TestMetrics:
+    def test_counters_track_activity(self):
+        f, pool = make_pool(cachesize=0)
+        for i in range(MIN_BUFFERS + 2):
+            pool.get(("B", i), create=True)
+        pool.get(("B", MIN_BUFFERS + 1))  # hit
+        m = pool.metrics()
+        assert m["misses"] == MIN_BUFFERS + 2
+        assert m["hits"] == 1
+        assert m["evictions"] == 2
+        assert m["writebacks"] == 2  # created pages are dirty
+        assert m["resident"] == len(pool)
+        assert m["max_buffers"] == MIN_BUFFERS
+
+    def test_invalidations_counted_only_when_resident(self):
+        f, pool = make_pool()
+        pool.get(("O", 1), create=True)
+        pool.invalidate(("O", 1))
+        pool.invalidate(("O", 1))  # absent: no-op, not counted
+        assert pool.metrics()["invalidations"] == 1
+        assert pool.invalidations == 1
+
+    def test_registry_publishes_pool_metrics(self):
+        from repro.obs.registry import Registry
+
+        f = MemPagedFile(64)
+        obs = Registry("buffer")
+        pool = BufferPool(f, 64, 1024, lambda k: k, obs=obs)
+        pool.get(5, create=True)
+        d = obs.as_dict()
+        assert d["misses"] == 1
+        assert d["resident"] == 1
+        assert d["max_buffers"] == pool.max_buffers

@@ -97,8 +97,13 @@ class TestOpen:
             db[b"k"] = b"v"
             assert db[b"k"] == b"v"
 
-    def test_repro_open_is_the_same_function(self):
-        assert repro.open is hash_open
+    def test_repro_hash_open_is_the_same_function(self):
+        # repro.open is the unified access-method entry point; the
+        # dbm-style hash mapping stays available as repro.hash_open
+        assert repro.hash_open is hash_open
+        from repro.access.db import open as unified_open
+
+        assert repro.open is unified_open
 
     def test_create_parameters_forwarded(self, tmp_path):
         with hash_open(tmp_path / "db", "c", bsize=1024, ffactor=32) as db:

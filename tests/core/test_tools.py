@@ -132,3 +132,30 @@ class TestCLI:
         assert dict(a.items()) == dict(b.items())
         a.close()
         b.close()
+
+
+class TestProfCommand:
+    def test_synthetic_tree_output(self, capsys):
+        assert tools_main(["prof", "-n", "200"]) == 0
+        out = capsys.readouterr().out
+        assert "ops:" in out
+        assert "latency:" in out
+        assert "buffer:" in out
+
+    def test_synthetic_json_output(self, capsys):
+        import json
+
+        for type_ in ("hash", "btree", "recno"):
+            assert tools_main(["prof", "--type", type_, "-n", "100", "--json"]) == 0
+            stat = json.loads(capsys.readouterr().out)
+            assert stat["type"] == type_
+            assert stat["ops"]["counts"]["puts"] >= 100
+            assert stat["ops"]["latency"]["get"]["count"] >= 100
+
+    def test_replay_existing_file(self, table_path, capsys):
+        assert tools_main(["prof", "--file", str(table_path), "--json"]) == 0
+        import json
+
+        stat = json.loads(capsys.readouterr().out)
+        assert stat["type"] == "hash"
+        assert stat["ops"]["counts"]["gets"] == stat["nkeys"]

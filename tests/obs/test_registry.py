@@ -1,0 +1,191 @@
+"""Tests for the metrics registry: instruments, quantile math, tree shape,
+and the disabled (null-object) mode."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.registry import (
+    NULL_COUNTER,
+    NULL_GAUGE,
+    NULL_HISTOGRAM,
+    NULL_SCOPE,
+    Counter,
+    Gauge,
+    Histogram,
+    Registry,
+)
+
+
+class TestCounter:
+    def test_inc_and_reset(self):
+        c = Counter("hits")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+        assert c.as_value() == 5
+        c.reset()
+        assert c.value == 0
+
+
+class TestGauge:
+    def test_set(self):
+        g = Gauge("resident")
+        g.set(17)
+        assert g.value == 17
+        assert g.as_value() == 17
+
+    def test_set_function_reads_live(self):
+        backing = {"n": 0}
+        g = Gauge("resident")
+        g.set_function(lambda: backing["n"])
+        backing["n"] = 9
+        assert g.value == 9
+        backing["n"] = 12
+        assert g.as_value() == 12
+
+
+class TestHistogram:
+    def test_exact_aggregates(self):
+        h = Histogram("lat")
+        for v in (1.0, 2.0, 3.0, 4.0):
+            h.observe(v)
+        assert h.count == 4
+        assert h.total == pytest.approx(10.0)
+        assert h.mean == pytest.approx(2.5)
+        assert h.min == 1.0
+        assert h.max == 4.0
+
+    def test_constant_stream_reports_exact_value(self):
+        # clamping to [min, max] makes a constant stream exact
+        h = Histogram("lat")
+        for _ in range(100):
+            h.observe(0.0042)
+        for q in (0.0, 0.5, 0.95, 0.99, 1.0):
+            assert h.quantile(q) == pytest.approx(0.0042)
+
+    def test_quantiles_within_bucket_error(self):
+        # uniform 1..1000: buckets are <=12.5% wide, so the p50 estimate
+        # must land within ~15% of the true median
+        h = Histogram("lat")
+        for i in range(1, 1001):
+            h.observe(float(i))
+        assert h.quantile(0.5) == pytest.approx(500.0, rel=0.15)
+        assert h.quantile(0.99) == pytest.approx(990.0, rel=0.15)
+        # extremes clamp to the observed range (midpoint interpolation may
+        # sit up to one bucket width inside it)
+        assert 1.0 <= h.quantile(0.0) <= 1.15
+        assert 870.0 <= h.quantile(1.0) <= 1000.0
+
+    def test_quantiles_monotonic(self):
+        h = Histogram("lat")
+        for i in range(1, 201):
+            h.observe(float(i) / 7.0)
+        qs = [h.quantile(q / 20.0) for q in range(21)]
+        assert qs == sorted(qs)
+
+    def test_bounded_memory(self):
+        h = Histogram("lat")
+        for i in range(10_000):
+            h.observe(1e-9 * (1.0001**i))
+        assert len(h._buckets) <= 256
+
+    def test_empty_and_bad_quantile(self):
+        h = Histogram("lat")
+        assert h.quantile(0.5) == 0.0
+        assert h.as_value() == {
+            "count": 0,
+            "total": 0.0,
+            "mean": 0.0,
+            "min": 0.0,
+            "max": 0.0,
+            "p50": 0.0,
+            "p95": 0.0,
+            "p99": 0.0,
+        }
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+
+    def test_as_value_keys(self):
+        h = Histogram("lat")
+        h.observe(0.25)
+        v = h.as_value()
+        assert set(v) == {"count", "total", "mean", "min", "max", "p50", "p95", "p99"}
+        assert v["count"] == 1
+        assert v["p50"] == pytest.approx(0.25)
+
+    def test_reset(self):
+        h = Histogram("lat")
+        h.observe(1.0)
+        h.reset()
+        assert h.count == 0
+        assert h.quantile(0.5) == 0.0
+
+
+class TestRegistry:
+    def test_instruments_cached_by_name(self):
+        r = Registry("root")
+        assert r.counter("c") is r.counter("c")
+        assert r.gauge("g") is r.gauge("g")
+        assert r.histogram("h") is r.histogram("h")
+        assert r.child("sub") is r.child("sub")
+
+    def test_as_dict_nests_children(self):
+        r = Registry("root")
+        r.counter("hits").inc(3)
+        r.child("ops").histogram("get").observe(0.5)
+        d = r.as_dict()
+        assert d["hits"] == 3
+        assert d["ops"]["get"]["count"] == 1
+
+    def test_timer_observes(self):
+        r = Registry("root")
+        with r.timer("op"):
+            pass
+        assert r.histogram("op").count == 1
+        assert r.histogram("op").min >= 0.0
+
+    def test_attach_adopts_external_instrument(self):
+        r = Registry("root")
+        c = Counter("external")
+        assert r.attach(c) is c
+        c.inc(2)
+        assert r.as_dict()["external"] == 2
+
+    def test_reset_recurses(self):
+        r = Registry("root")
+        r.counter("c").inc()
+        r.child("sub").counter("c2").inc()
+        r.reset()
+        assert r.as_dict() == {"c": 0, "sub": {"c2": 0}}
+
+
+class TestDisabledRegistry:
+    def test_hands_out_null_singletons(self):
+        r = Registry("root", enabled=False)
+        assert r.counter("c") is NULL_COUNTER
+        assert r.gauge("g") is NULL_GAUGE
+        assert r.histogram("h") is NULL_HISTOGRAM
+        assert r.timer("t") is NULL_SCOPE
+
+    def test_children_inherit_disabled(self):
+        r = Registry("root", enabled=False)
+        assert r.child("sub").counter("c") is NULL_COUNTER
+
+    def test_null_ops_are_noops_with_stable_shape(self):
+        NULL_COUNTER.inc(5)
+        assert NULL_COUNTER.as_value() == 0
+        NULL_HISTOGRAM.observe(1.0)
+        v = NULL_HISTOGRAM.as_value()
+        assert v["count"] == 0
+        assert set(v) == {"count", "total", "mean", "min", "max", "p50", "p95", "p99"}
+        with NULL_SCOPE:
+            pass
+
+    def test_as_dict_empty_and_attach_refused(self):
+        r = Registry("root", enabled=False)
+        r.counter("c")
+        c = Counter("real")
+        r.attach(c)
+        c.inc()
+        assert r.as_dict() == {}
