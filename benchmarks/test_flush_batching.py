@@ -1,0 +1,66 @@
+"""Flush batching: syscalls-per-flush before/after run coalescing.
+
+The batched :meth:`BufferPool.flush` sorts dirty pages and coalesces
+contiguous runs into single vectored writes.  This benchmark loads the
+1000-insert dictionary workload into a large cache, flushes it once each
+way, and persists the real IOStats deltas as ``BENCH_flush_batching.json``
+so the syscall reduction is a tracked artifact, not a claim.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit_json
+from repro.bench.report import pct_change, registry_snapshot
+from repro.core.table import HashTable
+from repro.workloads.dictionary import dictionary_words
+
+N_INSERTS = 1000
+BSIZE = 512
+CACHESIZE = 1 << 22  # hold the whole workload so close() is one big flush
+
+
+def _flush_once(workdir: str, batched: bool) -> dict:
+    """Build the table, flush it one way, return the flush's I/O delta."""
+    suffix = "batched" if batched else "per_page"
+    table = HashTable.create(
+        f"{workdir}/flush-{suffix}.db", bsize=BSIZE, cachesize=CACHESIZE
+    )
+    try:
+        for i, word in enumerate(dictionary_words(N_INSERTS)):
+            table.put(word, f"value-{i:06d}".encode())
+        before = table.io_stats.snapshot()
+        pages = table.pool.flush(batched=batched)
+        delta = table.io_stats.snapshot() - before
+        return {
+            "pages_flushed": pages,
+            "write_syscalls": delta.syscalls,
+            "page_writes": delta.page_writes,
+            "bytes_written": delta.bytes_written,
+            "syscalls_per_page": delta.syscalls / max(pages, 1),
+            "batched_runs": table.pool.metrics()["batched_runs"],
+        }
+    finally:
+        table.close()
+
+
+def test_flush_batching_snapshot(workdir):
+    plain = _flush_once(workdir, batched=False)
+    batch = _flush_once(workdir, batched=True)
+
+    # Same work either way; coalescing must at least halve the syscalls.
+    assert plain["pages_flushed"] == batch["pages_flushed"] > 10
+    assert plain["write_syscalls"] == plain["pages_flushed"]
+    assert batch["write_syscalls"] < plain["write_syscalls"] // 2
+
+    payload = registry_snapshot(
+        {
+            "per_page": plain,
+            "batched": batch,
+            "syscall_reduction_pct": pct_change(
+                plain["write_syscalls"], batch["write_syscalls"]
+            ),
+        },
+        label="dictionary 1000-insert flush: per-page vs batched write-back",
+        context={"n_inserts": N_INSERTS, "bsize": BSIZE, "cachesize": CACHESIZE},
+    )
+    emit_json("flush_batching", payload)

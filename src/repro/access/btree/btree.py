@@ -1,7 +1,7 @@
 """The btree access method: a paged B+tree.
 
-Shares the substrate of the hash package -- a :class:`PagedFile` (or
-:class:`MemPagedFile`) under an LRU :class:`BufferPool` -- and exposes the
+Shares the substrate of the hash package -- any :class:`repro.storage.Pager`
+under an LRU :class:`BufferPool` -- and exposes the
 db(3) interface of :class:`repro.access.api.AccessMethod`, with keys kept
 in sorted order (optionally under a user comparator, db(3)'s
 ``bt_compare``).
@@ -42,8 +42,7 @@ from repro.core.buffer import BufferPool
 from repro.core.errors import BadFileError, ClosedError, InvalidParameterError, ReadOnlyError
 from repro.obs.hooks import TraceHooks
 from repro.obs.registry import Registry
-from repro.storage.memfile import MemPagedFile
-from repro.storage.pagedfile import PagedFile
+from repro.storage.pager import open_pager
 
 BTREE_MAGIC = 0x42543931  # "BT91"
 BTREE_VERSION = 1
@@ -136,21 +135,24 @@ class BTree(AccessMethod):
         in_memory: bool = False,
         compare=None,
         observability: bool = True,
+        file_wrapper=None,
     ) -> "BTree":
         """Create a new btree (``path=None`` + ``in_memory`` for RAM).
 
         ``compare`` is db(3)'s ``bt_compare``: a total order over keys as
         ``(a, b) -> <0/0/>0``.  Supply the same function on every reopen.
+        ``file_wrapper`` post-wraps the pager (SimulatedDisk for modelled
+        I/O time, FaultyPager for crash injection).
         """
         if bsize < MIN_BSIZE or bsize > MAX_BSIZE or bsize & (bsize - 1):
             raise InvalidParameterError(
                 f"bsize must be a power of two in [{MIN_BSIZE}, {MAX_BSIZE}], "
                 f"got {bsize}"
             )
-        if in_memory:
-            file = MemPagedFile(bsize)
-        else:
-            file = PagedFile(path, bsize, create=True)
+        file = open_pager(
+            path, pagesize=bsize, create=True, in_memory=in_memory,
+            wrapper=file_wrapper,
+        )
         tree = cls(
             file,
             readonly=False,
@@ -173,8 +175,9 @@ class BTree(AccessMethod):
         readonly: bool = False,
         compare=None,
         observability: bool = True,
+        file_wrapper=None,
     ) -> "BTree":
-        probe = PagedFile(path, MIN_BSIZE, readonly=True)
+        probe = open_pager(path, pagesize=MIN_BSIZE, readonly=True)
         try:
             if probe.size_bytes() < _META.size:
                 raise BadFileError(f"{os.fspath(path)}: too small to be a btree")
@@ -186,7 +189,11 @@ class BTree(AccessMethod):
             raise BadFileError(f"{os.fspath(path)}: bad btree magic {magic:#x}")
         if version != BTREE_VERSION:
             raise BadFileError(f"unsupported btree version {version}")
-        file = PagedFile(path, bsize, readonly=readonly)
+        if bsize < MIN_BSIZE or bsize > MAX_BSIZE or bsize & (bsize - 1):
+            raise BadFileError(f"corrupt btree meta: bsize {bsize}")
+        file = open_pager(
+            path, pagesize=bsize, readonly=readonly, wrapper=file_wrapper
+        )
         tree = cls(
             file,
             readonly=readonly,
@@ -656,17 +663,21 @@ class BTree(AccessMethod):
     # -------------------------------------------------------------- maintenance
 
     def sync(self) -> None:
+        """Batched page write-back, meta write, one group sync -- the
+        shared flush-before-sync ordering (see docs/STORAGE.md)."""
         self._check_open()
         self.pool.flush()
         self._write_meta()
         self._file.sync()
 
     def close(self) -> None:
+        """Flush, sync and release; idempotent like every backend's."""
         if self._closed:
             return
         if not self.readonly:
             self.pool.drop_all()
             self._write_meta()
+            self._file.sync()
         self._closed = True
         self._file.close()
 

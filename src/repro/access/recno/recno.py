@@ -75,8 +75,13 @@ class Recno(AccessMethod):
         cachesize: int = 256 * 1024,
         in_memory: bool = False,
         observability: bool = True,
+        file_wrapper=None,
     ) -> "Recno":
-        """Create a record file.  ``reclen`` selects fixed-length mode."""
+        """Create a record file.  ``reclen`` selects fixed-length mode.
+
+        ``file_wrapper`` post-wraps the pager of the underlying btree
+        (SimulatedDisk, FaultyPager ...).
+        """
         if reclen is not None and reclen < 1:
             raise InvalidParameterError(f"reclen must be >= 1, got {reclen}")
         if len(bpad) != 1:
@@ -87,6 +92,7 @@ class Recno(AccessMethod):
             cachesize=cachesize,
             in_memory=in_memory,
             observability=observability,
+            file_wrapper=file_wrapper,
         )
         return cls(tree, reclen, bpad)
 
@@ -100,9 +106,14 @@ class Recno(AccessMethod):
         cachesize: int = 256 * 1024,
         readonly: bool = False,
         observability: bool = True,
+        file_wrapper=None,
     ) -> "Recno":
         tree = BTree.open_file(
-            path, cachesize=cachesize, readonly=readonly, observability=observability
+            path,
+            cachesize=cachesize,
+            readonly=readonly,
+            observability=observability,
+            file_wrapper=file_wrapper,
         )
         return cls(tree, reclen, bpad)
 
@@ -206,9 +217,11 @@ class Recno(AccessMethod):
         return s
 
     def sync(self) -> None:
+        """Shared flush-before-sync ordering via the underlying btree."""
         self._tree.sync()
 
     def close(self) -> None:
+        """Idempotent close via the underlying btree."""
         self._tree.close()
 
     @property

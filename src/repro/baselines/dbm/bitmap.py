@@ -17,9 +17,13 @@ from __future__ import annotations
 import os
 import struct
 
-_MAGIC = 0x44424D32  # "DBM2"
-_HDR = struct.Struct(">IQII")  # magic, maxbuck, block_size, nchunks
+_MAGIC = 0x44424D33  # "DBM3"
+_HDR = struct.Struct(">IQIIB")  # magic, maxbuck, block_size, nchunks, flags
 _CHUNK_HDR = struct.Struct(">Q")  # chunk index
+
+#: header flag bit: the companion .pag file is open for writing and has
+#: not been cleanly closed (crash detector).
+_F_DIRTY = 0x01
 
 #: bytes per sparse chunk
 CHUNK_BYTES = 512
@@ -37,6 +41,11 @@ class DirBitmap:
         self.maxbuck = 0
         #: block size of the companion .pag file (0 = unrecorded).
         self.block_size = 0
+        #: unclean-shutdown marker.  A writer saves the .dir with this set
+        #: the moment it opens and clears it only after a clean close has
+        #: fsync'd the data, so a crash anywhere in between is detectable
+        #: on reopen (the dbm family has no other commit record).
+        self.dirty = False
 
     def _locate(self, bit: int) -> tuple[int, int, int]:
         byte, shift = divmod(bit, 8)
@@ -68,9 +77,12 @@ class DirBitmap:
     # -- persistence --------------------------------------------------------
 
     def save(self, path: str | os.PathLike) -> None:
+        flags = _F_DIRTY if self.dirty else 0
         with open(path, "wb") as fh:
             fh.write(
-                _HDR.pack(_MAGIC, self.maxbuck, self.block_size, len(self._chunks))
+                _HDR.pack(
+                    _MAGIC, self.maxbuck, self.block_size, len(self._chunks), flags
+                )
             )
             for index in sorted(self._chunks):
                 fh.write(_CHUNK_HDR.pack(index))
@@ -83,11 +95,12 @@ class DirBitmap:
             raw = fh.read()
         if len(raw) < _HDR.size:
             return bm  # fresh/empty .dir file
-        magic, maxbuck, block_size, nchunks = _HDR.unpack_from(raw, 0)
+        magic, maxbuck, block_size, nchunks, flags = _HDR.unpack_from(raw, 0)
         if magic != _MAGIC:
             raise ValueError(f"{os.fspath(path)}: not a dbm .dir file")
         bm.maxbuck = maxbuck
         bm.block_size = block_size
+        bm.dirty = bool(flags & _F_DIRTY)
         pos = _HDR.size
         for _ in range(nchunks):
             (index,) = _CHUNK_HDR.unpack_from(raw, pos)

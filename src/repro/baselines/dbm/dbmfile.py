@@ -36,7 +36,7 @@ from repro.baselines.dbm.bitmap import DirBitmap
 from repro.core.hashfuncs import thompson_hash
 from repro.core.pages import PageFullError, PageView, empty_page, pair_bytes_needed
 from repro.core.constants import PAGE_HDR_SIZE
-from repro.storage.pagedfile import PagedFile
+from repro.storage.pager import open_pager
 
 #: dbm's historical block size (PBLKSIZ).
 DEFAULT_BLOCK_SIZE = 1024
@@ -79,11 +79,21 @@ class DbmFile:
         # The block size is a property of the existing database (a
         # compile-time constant in the C library); the stored value wins.
         self.block_size = self.bitmap.block_size or block_size
-        self.pag = PagedFile(self.pag_path, self.block_size, create=create,
-                             readonly=self.readonly)
-        if file_wrapper is not None:
-            # e.g. repro.storage.simdisk.SimulatedDisk for modelled I/O time
-            self.pag = file_wrapper(self.pag)
+        # Crash detection: a .pag without its .dir, or a .dir whose dirty
+        # flag was never cleared, is the wreck of an unclean shutdown.
+        self._was_unclean = self.bitmap.dirty or (
+            not create and exists and not os.path.exists(self.dir_path)
+        )
+        if not self.readonly:
+            # Mark the whole write session dirty up front; close() clears
+            # the flag only after the data fsync.
+            self.bitmap.dirty = True
+            self.bitmap.save(self.dir_path)
+        # e.g. repro.storage.simdisk.SimulatedDisk for modelled I/O time, or
+        # repro.storage.faulty.FaultyPager for crash injection
+        self.pag = open_pager(self.pag_path, pagesize=self.block_size,
+                              create=create, readonly=self.readonly,
+                              wrapper=file_wrapper)
         self._closed = False
         # The single-block cache (the C library's pagbuf/pagbno).
         self._cached_blkno: int | None = None
@@ -244,20 +254,54 @@ class DbmFile:
     # -- maintenance -------------------------------------------------------------------
 
     def sync(self) -> None:
+        """Flush-before-sync: dirty block first, then the ``.dir`` bitmap,
+        then one fsync of the ``.pag`` file (same ordering as the hash and
+        btree access methods: data pages, metadata, fsync)."""
         self._check_open()
         self._flush_block()
-        self.pag.sync()
         if not self.readonly:
             self.bitmap.save(self.dir_path)
+        self.pag.sync()
 
     def close(self) -> None:
+        """Idempotent; syncs (same ordering as :meth:`sync`) before closing
+        unless read-only, then clears the .dir dirty flag -- the commit
+        record a crash leaves set."""
         if self._closed:
             return
-        self._flush_block()
         if not self.readonly:
+            self.sync()
+            self.bitmap.dirty = False
             self.bitmap.save(self.dir_path)
-        self.pag.close()
         self._closed = True
+        self.pag.close()
+
+    def check(self) -> list[str]:
+        """Consistency walk: every stored key must hash to the bucket it
+        lives in under the access function (which also catches pairs left
+        behind in split buckets) and pages must parse.  Returns a list of
+        problems (empty = clean).
+
+        Raises whatever the page parser raises on structurally corrupt
+        blocks -- callers treat any exception as detected corruption.
+        """
+        self._check_open()
+        problems: list[str] = []
+        if self._was_unclean:
+            problems.append(
+                "unclean shutdown: the .dir dirty flag was never cleared "
+                "(blocks may contain torn writes)"
+            )
+        for blkno in range(self.bitmap.maxbuck + 1):
+            view = PageView(self._read_block(blkno))
+            for i in range(view.nslots):
+                k, _d = view.get_pair(i)
+                _h, bucket, _mask = self._calc_bucket(k)
+                if bucket != blkno:
+                    problems.append(
+                        f"block {blkno}: key {k!r} belongs in bucket {bucket}"
+                    )
+        return problems
 
     def _check_open(self) -> None:
         if self._closed:

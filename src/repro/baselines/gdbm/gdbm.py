@@ -33,9 +33,11 @@ from typing import Callable, Iterator
 
 from repro.baselines.gdbm.allocator import AVAIL_MAX, ExtentAllocator
 from repro.core.hashfuncs import fnv1a_hash
+from repro.obs.hooks import TraceHooks
+from repro.obs.registry import Counter, Registry
 from repro.storage.bytefile import ByteFile
 
-_MAGIC = 0x47444D31  # "GDM1"
+GDBM_MAGIC = 0x47444D31  # "GDM1"
 
 #: header: magic, block_size, dir_offset, dir_depth, bucket_elems,
 #: watermark, navail  -- then navail (offset,size) pairs.
@@ -85,6 +87,8 @@ class Gdbm:
         block_size: int = DEFAULT_BLOCK_SIZE,
         hashfn: Callable[[bytes], int] | None = None,
         max_dir_depth: int = DEFAULT_MAX_DIR_DEPTH,
+        observability: bool = True,
+        file_wrapper=None,
     ) -> None:
         if flags not in ("r", "w", "c", "n"):
             raise ValueError(f"flags must be 'r', 'w', 'c' or 'n', got {flags!r}")
@@ -97,7 +101,14 @@ class Gdbm:
         exists = os.path.exists(self.path)
         create = flags == "n" or (flags == "c" and not exists)
         self.file = ByteFile(self.path, create=create, readonly=self.readonly)
+        if file_wrapper is not None:
+            # e.g. FaultyPager for crash injection (byte-granular wrapping)
+            self.file = file_wrapper(self.file)
         self._closed = False
+        self.obs = Registry("gdbm", enabled=observability)
+        self.hooks = TraceHooks()
+        self._c_splits = self.obs.attach(Counter("splits"))
+        self._c_dir_doubles = self.obs.attach(Counter("dir_doubles"))
         # single-bucket cache (gdbm reads one bucket per access)
         self._cached: _Bucket | None = None
         if create:
@@ -115,6 +126,18 @@ class Gdbm:
             self._write_header()
         else:
             self._read_header()
+        # Byte-granular I/O surfaces as on_page_io events at block
+        # granularity, so gdbm shows up in the same traces as the paged
+        # formats (installed after bootstrap I/O so block_size is known).
+        self.file.on_io = self._io_event
+
+    def _io_event(self, kind: str, offset: int, nbytes: int) -> None:
+        hooks = self.hooks
+        if hooks.on_page_io:
+            hooks.emit(
+                "on_page_io",
+                {"kind": kind, "pageno": offset // self.block_size, "nbytes": nbytes},
+            )
 
     # -- geometry ------------------------------------------------------------
 
@@ -133,7 +156,7 @@ class Gdbm:
         avail = self.alloc.avail[:AVAIL_MAX]
         out = [
             _HDR.pack(
-                _MAGIC,
+                GDBM_MAGIC,
                 self.block_size,
                 self.dir_offset,
                 self.dir_depth,
@@ -148,12 +171,33 @@ class Gdbm:
         self.file.write_at(0, b"".join(out))
 
     def _read_header(self) -> None:
-        raw = self.file.read_at(0, _HEADER_SIZE)
+        """Load and validate the header; every field is range-checked so a
+        torn or truncated file raises :class:`GdbmError` instead of, say,
+        allocating a ``2**garbage``-entry directory."""
+        try:
+            raw = self.file.read_at(0, _HEADER_SIZE)
+        except EOFError as exc:
+            raise GdbmError(f"{self.path}: truncated gdbm header") from exc
         magic, block_size, dir_offset, dir_depth, bucket_elems, watermark, navail = (
             _HDR.unpack_from(raw, 0)
         )
-        if magic != _MAGIC:
+        if magic != GDBM_MAGIC:
             raise GdbmError(f"{self.path}: not a gdbm file (bad magic {magic:#x})")
+        if dir_depth > 31:
+            raise GdbmError(f"{self.path}: corrupt header (dir_depth {dir_depth})")
+        if bucket_elems < 2 or _BUCKET_HDR.size + bucket_elems * _ELEM.size > block_size:
+            raise GdbmError(
+                f"{self.path}: corrupt header (bucket_elems {bucket_elems} "
+                f"for block_size {block_size})"
+            )
+        if navail > AVAIL_MAX:
+            raise GdbmError(f"{self.path}: corrupt header (navail {navail})")
+        file_size = self.file.size()
+        if dir_offset + 8 * (1 << dir_depth) > file_size:
+            raise GdbmError(
+                f"{self.path}: corrupt header (directory at {dir_offset} "
+                f"past EOF {file_size})"
+            )
         self.block_size = block_size
         self.bucket_elems = bucket_elems
         self.dir_offset = dir_offset
@@ -272,6 +316,7 @@ class Gdbm:
             )
         if new_depth > self.dir_depth:
             self._double_directory()
+        self._c_splits.inc()
         new_off = self.alloc.alloc(self._bucket_size())
         # Redistribute on the bit below the bucket's old prefix (hashes are
         # consumed from the top, as extendible hashing prescribes).
@@ -303,6 +348,7 @@ class Gdbm:
         """Double the directory, duplicating every entry (the depths of
         unsplit buckets now differ from the directory's depth by one
         more)."""
+        self._c_dir_doubles.inc()
         old_size = 8 * len(self.directory)
         self.directory = [off for off in self.directory for _ in (0, 1)]
         new_offset = self.alloc.alloc(8 * len(self.directory))
@@ -358,17 +404,93 @@ class Gdbm:
     # -- maintenance ----------------------------------------------------------------------
 
     def sync(self) -> None:
+        """Flush-before-sync: buckets, records and the directory are
+        written through, so sync writes the header (metadata last) and
+        issues one fsync -- the ordering shared by every disk format in
+        this repo."""
         self._check_open()
-        self._write_header()
+        if not self.readonly:
+            self._write_header()
         self.file.sync()
 
     def close(self) -> None:
+        """Idempotent; syncs (same ordering as :meth:`sync`) before
+        closing unless read-only."""
         if self._closed:
             return
         if not self.readonly:
-            self._write_header()
-        self.file.close()
+            self.sync()
         self._closed = True
+        self.file.close()
+
+    def stat(self) -> dict:
+        """Metrics in the shared ``db.stat()`` shape (``type``, ``nkeys``,
+        ``io``, ``method``), so prof and the CLI can report on a gdbm file
+        the same way as on the paged access methods."""
+        self._check_open()
+        nkeys = sum(len(b.elems) for b in self._distinct_buckets())
+        return {
+            "type": "gdbm",
+            "nkeys": nkeys,
+            "io": self.file.stats.as_dict(),
+            "method": {
+                "block_size": self.block_size,
+                "bucket_elems": self.bucket_elems,
+                "dir_depth": self.dir_depth,
+                "dir_entries": len(self.directory),
+                "nbuckets": self.nbuckets(),
+                "splits": self._c_splits.as_value(),
+                "dir_doubles": self._c_dir_doubles.as_value(),
+                "avail_extents": len(self.alloc.avail),
+            },
+        }
+
+    def check(self) -> list[str]:
+        """Consistency walk: bucket depths vs the directory, element hash
+        prefixes vs the directory slot they are reachable from, and record
+        extents within the file.  Returns problems found (empty = clean);
+        I/O and parse failures are reported as problems, not raised."""
+        self._check_open()
+        problems: list[str] = []
+        file_size = self.file.size()
+        seen: set[int] = set()
+        for slot, off in enumerate(self.directory):
+            if off in seen:
+                continue
+            seen.add(off)
+            try:
+                bucket = self._read_bucket(off)
+            except (GdbmError, EOFError, struct.error) as exc:
+                problems.append(f"bucket at {off}: unreadable ({exc})")
+                continue
+            if bucket.depth > self.dir_depth:
+                problems.append(
+                    f"bucket at {off}: depth {bucket.depth} exceeds "
+                    f"directory depth {self.dir_depth}"
+                )
+                continue
+            # A depth-d bucket owns an aligned run of 2**(n-d) slots.
+            span = 1 << (self.dir_depth - bucket.depth)
+            start = (slot // span) * span
+            for i in range(start, start + span):
+                if self.directory[i] != off:
+                    problems.append(
+                        f"bucket at {off}: directory slot {i} points "
+                        f"elsewhere (fragmented depth-{bucket.depth} run)"
+                    )
+                    break
+            for h, ksize, dsize, roff in bucket.elems:
+                if self.dir_depth and self.directory[self._dir_index(h)] != off:
+                    problems.append(
+                        f"bucket at {off}: element hash {h:#010x} is not "
+                        "reachable from its directory slot"
+                    )
+                if ksize + dsize and roff + ksize + dsize > file_size:
+                    problems.append(
+                        f"bucket at {off}: record extent [{roff}, "
+                        f"{roff + ksize + dsize}) past EOF {file_size}"
+                    )
+        return problems
 
     def _check_open(self) -> None:
         if self._closed:

@@ -34,7 +34,7 @@ from repro.baselines.dbm.bitmap import DirBitmap
 from repro.core.constants import PAGE_HDR_SIZE
 from repro.core.hashfuncs import sdbm_hash
 from repro.core.pages import PageFullError, PageView, empty_page, pair_bytes_needed
-from repro.storage.pagedfile import PagedFile
+from repro.storage.pager import open_pager
 
 #: sdbm's historical PBLKSIZ.
 DEFAULT_BLOCK_SIZE = 1024
@@ -57,6 +57,7 @@ class Sdbm:
         *,
         block_size: int = DEFAULT_BLOCK_SIZE,
         hashfn: Callable[[bytes], int] | None = None,
+        file_wrapper=None,
     ) -> None:
         if flags not in ("r", "w", "c", "n"):
             raise ValueError(f"flags must be 'r', 'w', 'c' or 'n', got {flags!r}")
@@ -74,8 +75,21 @@ class Sdbm:
             self.trie = DirBitmap.load(self.dir_path)
         # The stored block size wins on reopen (compile-time constant in C).
         self.block_size = self.trie.block_size or block_size
-        self.pag = PagedFile(self.pag_path, self.block_size, create=create,
-                             readonly=self.readonly)
+        # Crash detection: a .pag without its .dir, or a .dir whose dirty
+        # flag was never cleared, is the wreck of an unclean shutdown.
+        self._was_unclean = self.trie.dirty or (
+            not create and exists and not os.path.exists(self.dir_path)
+        )
+        if not self.readonly:
+            # Mark the whole write session dirty up front; close() clears
+            # the flag only after the data fsync.
+            self.trie.dirty = True
+            self.trie.save(self.dir_path)
+        # e.g. SimulatedDisk for modelled I/O time or FaultyPager for
+        # crash injection
+        self.pag = open_pager(self.pag_path, pagesize=self.block_size,
+                              create=create, readonly=self.readonly,
+                              wrapper=file_wrapper)
         self._closed = False
         self._cached_blkno: int | None = None
         self._cached_page: bytearray | None = None
@@ -220,20 +234,50 @@ class Sdbm:
     # -- maintenance --------------------------------------------------------------------
 
     def sync(self) -> None:
+        """Flush-before-sync: dirty block, then the ``.dir`` trie, then one
+        fsync of the ``.pag`` file (the ordering shared by every disk
+        format in this repo)."""
         self._check_open()
         self._flush_block()
-        self.pag.sync()
         if not self.readonly:
             self.trie.save(self.dir_path)
+        self.pag.sync()
 
     def close(self) -> None:
+        """Idempotent; syncs (same ordering as :meth:`sync`) before closing
+        unless read-only, then clears the .dir dirty flag -- the commit
+        record a crash leaves set."""
         if self._closed:
             return
-        self._flush_block()
         if not self.readonly:
+            self.sync()
+            self.trie.dirty = False
             self.trie.save(self.dir_path)
-        self.pag.close()
         self._closed = True
+        self.pag.close()
+
+    def check(self) -> list[str]:
+        """Consistency walk mirroring :meth:`DbmFile.check`: every key must
+        land in its own block under the trie traversal; pages must parse.
+        Returns problems found (empty = clean); raises on structurally
+        corrupt blocks."""
+        self._check_open()
+        problems: list[str] = []
+        if self._was_unclean:
+            problems.append(
+                "unclean shutdown: the .dir dirty flag was never cleared "
+                "(blocks may contain torn writes)"
+            )
+        for blkno in range(self.trie.maxbuck + 1):
+            view = PageView(self._read_block(blkno))
+            for i in range(view.nslots):
+                k, _d = view.get_pair(i)
+                bucket, _mask, _nbits, _tbit = self._access(self._hash(k))
+                if bucket != blkno:
+                    problems.append(
+                        f"block {blkno}: key {k!r} belongs in bucket {bucket}"
+                    )
+        return problems
 
     def _check_open(self) -> None:
         if self._closed:

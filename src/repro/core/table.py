@@ -53,8 +53,7 @@ from repro.core.header import Header
 from repro.core.pages import PageView, is_big_pair
 from repro.obs.hooks import TraceHooks
 from repro.obs.registry import Registry
-from repro.storage.memfile import MemPagedFile
-from repro.storage.pagedfile import PagedFile
+from repro.storage.pager import open_pager
 
 
 @dataclass
@@ -224,13 +223,12 @@ class HashTable:
             hdr_pages=hdr_pages,
             h_charkey=fn(CHARKEY),
         )
-        if in_memory:
-            file = MemPagedFile(bsize)
-        else:
-            file = PagedFile(path, bsize, create=True)
-        if file_wrapper is not None:
-            # e.g. repro.storage.simdisk.SimulatedDisk for modelled I/O time
-            file = file_wrapper(file)
+        # e.g. repro.storage.simdisk.SimulatedDisk for modelled I/O time, or
+        # repro.storage.faulty.FaultyPager for crash injection
+        file = open_pager(
+            path, pagesize=bsize, create=True, in_memory=in_memory,
+            wrapper=file_wrapper,
+        )
         table = cls(
             file,
             header,
@@ -262,7 +260,7 @@ class HashTable:
         the one with which the table was created").
         """
         fn = get_hash_function(hashfn)
-        probe = PagedFile(path, HDR_SIZE, readonly=readonly)
+        probe = open_pager(path, pagesize=HDR_SIZE, readonly=readonly)
         try:
             if probe.size_bytes() < HDR_SIZE:
                 raise BadFileError(
@@ -277,9 +275,9 @@ class HashTable:
             raise HashFunctionMismatchError(
                 "table was created with a different hash function"
             )
-        file = PagedFile(path, header.bsize, readonly=readonly)
-        if file_wrapper is not None:
-            file = file_wrapper(file)
+        file = open_pager(
+            path, pagesize=header.bsize, readonly=readonly, wrapper=file_wrapper
+        )
         return cls(
             file, header, fn, cachesize, readonly=readonly, observability=observability
         )
@@ -312,8 +310,12 @@ class HashTable:
     def _write_header(self) -> None:
         raw = self.header.pack()
         bsize = self.header.bsize
-        for i in range(self.header.hdr_pages):
-            self._file.write_page(i, raw[i * bsize : (i + 1) * bsize])
+        if self.header.hdr_pages == 1:
+            self._file.write_page(0, raw[:bsize])
+            return
+        # Multi-page headers go out as one vectored write (one syscall).
+        span = self.header.hdr_pages * bsize
+        self._file.write_pages(0, raw[:span] + b"\0" * max(0, span - len(raw)))
 
     def _bucket_of_hash(self, h: int) -> int:
         hdr = self.header
@@ -783,19 +785,24 @@ class HashTable:
     # ------------------------------------------------------------ maintenance
 
     def sync(self) -> None:
-        """Flush dirty pages and the header to the backing file."""
+        """Flush dirty pages and the header, then fsync -- the shared
+        flush-before-sync ordering of every access method (see
+        docs/STORAGE.md): batched page write-back, header/meta write,
+        one group sync."""
         self._check_open()
         self.pool.flush()
         self._write_header()
         self._file.sync()
 
     def close(self) -> None:
-        """Flush and release everything; further operations raise."""
+        """Flush, sync and release everything; idempotent (a second
+        close is a no-op); further operations raise."""
         if self._closed:
             return
         if not self.readonly:
             self.pool.drop_all()
             self._write_header()
+            self._file.sync()
         self._closed = True
         self._file.close()
 

@@ -1,20 +1,47 @@
 """Paged-file storage substrate.
 
 The 1991 paper ran on raw UNIX files on an HP7959S disk.  This package is the
-equivalent substrate for the reproduction: a fixed-size-page random-access
-file abstraction with explicit I/O accounting so benchmarks can report page
-reads/writes (the deterministic analogue of the paper's *system time*).
+equivalent substrate for the reproduction: one :class:`Pager` protocol --
+``read_page`` / ``write_page`` / ``write_pages`` / ``sync`` / ``truncate`` /
+``close`` with mandatory :class:`IOStats` accounting and an ``on_page_io``
+trace hook -- consumed by every access method and baseline, so benchmarks
+report page reads/writes (the deterministic analogue of the paper's *system
+time*) the same way regardless of backend.
 
-Two implementations share one interface:
+Implementations sharing the protocol:
 
 - :class:`PagedFile` -- a real file on disk (or an anonymous temp file),
   sparse-friendly, used for persistent hash tables.
 - :class:`MemPagedFile` -- RAM-backed, used for pure in-memory tables and for
   fast deterministic tests.
+- :class:`BytePagerAdapter` -- page-granular view of a byte-granular
+  :class:`ByteFile` (the gdbm substrate).
+- :class:`FaultyPager` -- wraps any pager with injected crash points, torn
+  writes and I/O errors for recovery testing.
+- :class:`repro.storage.simdisk.SimulatedDisk` -- wraps any pager with a
+  modelled 1991 I/O-time clock.
+
+Construct through :func:`open_pager` to stay coupled only to the protocol.
+See docs/STORAGE.md.
 """
 
 from repro.storage.iostats import IOStats, IOSnapshot
 from repro.storage.pagedfile import PagedFile
 from repro.storage.memfile import MemPagedFile
+from repro.storage.bytefile import ByteFile
+from repro.storage.pager import BytePagerAdapter, Pager, open_pager
+from repro.storage.faulty import CrashPoint, FaultyPager, InjectedIOError
 
-__all__ = ["IOStats", "IOSnapshot", "PagedFile", "MemPagedFile"]
+__all__ = [
+    "IOStats",
+    "IOSnapshot",
+    "Pager",
+    "open_pager",
+    "PagedFile",
+    "MemPagedFile",
+    "ByteFile",
+    "BytePagerAdapter",
+    "FaultyPager",
+    "CrashPoint",
+    "InjectedIOError",
+]

@@ -25,6 +25,11 @@ class ByteFile:
         self.path = os.fspath(path)
         self.readonly = readonly
         self.stats = IOStats()
+        #: optional byte-I/O trace callback ``(kind, offset, nbytes)`` --
+        #: the byte-granular twin of the pagers' ``on_page_io``, invoked on
+        #: every read/write so gdbm-style baselines are visible to I/O
+        #: tracing and ``prof`` like everything else (see repro.obs.hooks)
+        self.on_io = None
         if create:
             flags = os.O_RDWR | os.O_CREAT | os.O_TRUNC
         elif readonly:
@@ -41,20 +46,43 @@ class ByteFile:
         self._check_open()
         data = os.pread(self._fd, nbytes, offset)
         self.stats.record_read(len(data))
+        cb = self.on_io
+        if cb is not None:
+            cb("read", offset, len(data))
         if len(data) != nbytes:
             raise EOFError(
                 f"short read at offset {offset}: wanted {nbytes}, got {len(data)}"
             )
         return data
 
+    def read_at_most(self, offset: int, nbytes: int) -> bytes:
+        """Read up to ``nbytes`` at ``offset``; reads past EOF simply
+        return fewer bytes (the page-adapter's zero-fill contract)."""
+        self._check_open()
+        data = os.pread(self._fd, nbytes, offset)
+        self.stats.record_read(len(data))
+        cb = self.on_io
+        if cb is not None:
+            cb("read", offset, len(data))
+        return data
+
     def write_at(self, offset: int, data: bytes) -> None:
         self._check_open()
         os.pwrite(self._fd, data, offset)
         self.stats.record_write(len(data))
+        cb = self.on_io
+        if cb is not None:
+            cb("write", offset, len(data))
 
     def size(self) -> int:
         self._check_open()
         return os.fstat(self._fd).st_size
+
+    def truncate_to(self, nbytes: int) -> None:
+        """Shrink or extend the file to exactly ``nbytes`` bytes."""
+        self._check_open()
+        os.ftruncate(self._fd, nbytes)
+        self.stats.record_syscall()
 
     def sync(self) -> None:
         self._check_open()

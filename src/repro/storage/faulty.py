@@ -1,0 +1,243 @@
+"""Fault injection for any pager: crash points, torn writes, bad I/O.
+
+Nothing in a 1991-style hash package survives ``kill -9`` by accident;
+whether the *file* survives is a property you have to test.  ``FaultyPager``
+wraps any storage object -- page-granular (:class:`Pager`) or
+byte-granular (:class:`~repro.storage.bytefile.ByteFile`) -- and counts
+every I/O operation.  At a chosen operation index it injects one of:
+
+- ``'crash'``    -- the op does not happen; this and every later op raise
+  :class:`CrashPoint`, as if the process died mid-call.  Reopen the path
+  with a fresh pager to see exactly what a post-crash file looks like.
+- ``'torn'``     -- like ``'crash'``, but a write lands HALF its bytes
+  first (a torn page: the classic partial-sector failure).
+- ``'oserror'``  -- the op raises :class:`InjectedIOError` once, then
+  I/O continues normally (a transient fault, e.g. EIO on a flaky disk).
+- ``'short_read'`` -- a read returns only half its bytes once (then
+  normal).  Page reads violate the exactly-one-page contract on purpose.
+
+The decorator exposes whichever interface its inner object has, so the
+whole stack -- hash table, btree, recno, and the dbm/sdbm/gdbm baselines
+-- can be swept with the same wrapper::
+
+    table = HashTable.create(path, file_wrapper=lambda f: FaultyPager(f, fail_after=17))
+
+Use :attr:`ops` after an un-faulted run to learn a workload's operation
+count, then sweep ``fail_after`` over ``range(ops)`` -- the recovery test
+in ``tests/test_crash_recovery.py`` does exactly that for every on-disk
+format.
+"""
+
+from __future__ import annotations
+
+__all__ = ["CrashPoint", "InjectedIOError", "FaultyPager", "FAULT_MODES"]
+
+FAULT_MODES = ("crash", "torn", "oserror", "short_read")
+
+
+class CrashPoint(OSError):
+    """The injected kill: raised at the crash op and on every op after it."""
+
+
+class InjectedIOError(OSError):
+    """A transient injected I/O failure (the op fails, the pager lives)."""
+
+
+class FaultyPager:
+    """Wrap a pager (or byte file) with a fail-after-N-ops fault.
+
+    Parameters
+    ----------
+    inner:
+        Any object with the Pager protocol's operations, or a
+        :class:`ByteFile` (``read_at``/``write_at``).  Non-operation
+        attributes (``pagesize``, ``stats``, ``path`` ...) pass through.
+    fail_after:
+        0-based operation index at which the fault fires; ``None`` counts
+        ops without ever faulting (the calibration run).
+    mode:
+        One of ``'crash'``, ``'torn'``, ``'oserror'``, ``'short_read'``.
+    """
+
+    def __init__(self, inner, fail_after: int | None = None, mode: str = "crash") -> None:
+        if mode not in FAULT_MODES:
+            raise ValueError(f"mode must be one of {FAULT_MODES}, got {mode!r}")
+        if fail_after is not None and fail_after < 0:
+            raise ValueError(f"fail_after must be >= 0, got {fail_after}")
+        self.inner = inner
+        self.fail_after = fail_after
+        self.mode = mode
+        #: I/O operations issued through this wrapper so far
+        self.ops = 0
+        #: True once the crash fault fired (all further ops refuse)
+        self.crashed = False
+        self._fired = False
+
+    # -- the fault engine ------------------------------------------------------
+
+    def _tick(self) -> bool:
+        """Count one op; returns True when the fault fires on THIS op."""
+        if self.crashed:
+            raise CrashPoint(f"I/O after injected crash (op {self.ops})")
+        op = self.ops
+        self.ops += 1
+        if self._fired or self.fail_after is None or op != self.fail_after:
+            return False
+        self._fired = True
+        return True
+
+    def _fail_read(self):
+        if self.mode in ("crash", "torn"):
+            self.crashed = True
+            raise CrashPoint(f"injected crash at op {self.fail_after}")
+        if self.mode == "oserror":
+            raise InjectedIOError(f"injected I/O error at op {self.fail_after}")
+        return None  # short_read: caller truncates
+
+    def _fail_write(self, do_partial) -> None:
+        if self.mode == "torn":
+            do_partial()
+            self.crashed = True
+            raise CrashPoint(f"injected torn write at op {self.fail_after}")
+        if self.mode == "crash":
+            self.crashed = True
+            raise CrashPoint(f"injected crash at op {self.fail_after}")
+        raise InjectedIOError(f"injected I/O error at op {self.fail_after}")
+
+    # -- page-granular operations ----------------------------------------------
+
+    def read_page(self, pageno: int) -> bytes:
+        if self._tick():
+            if self._fail_read() is None and self.mode == "short_read":
+                data = self.inner.read_page(pageno)
+                return data[: len(data) // 2]
+        return self.inner.read_page(pageno)
+
+    def write_page(self, pageno: int, data: bytes) -> None:
+        if self._tick():
+            pagesize = self.inner.pagesize
+            if len(data) < pagesize:
+                data = data + b"\0" * (pagesize - len(data))
+            self._fail_write(
+                lambda: self.inner.write_page(pageno, data[: pagesize // 2])
+            )
+            return  # oserror: op lost, pager lives
+        self.inner.write_page(pageno, data)
+
+    def write_pages(self, start_pageno: int, data: bytes) -> None:
+        if self._tick():
+            pagesize = self.inner.pagesize
+            half = (len(data) // 2 // pagesize) * pagesize or pagesize
+            self._fail_write(
+                lambda: self.inner.write_pages(start_pageno, data[:half])
+            )
+            return
+        self.inner.write_pages(start_pageno, data)
+
+    # -- byte-granular operations (ByteFile) -------------------------------------
+
+    def read_at(self, offset: int, nbytes: int) -> bytes:
+        if self._tick():
+            if self._fail_read() is None and self.mode == "short_read":
+                data = self.inner.read_at_most(offset, nbytes)
+                return data[: len(data) // 2]
+        return self.inner.read_at(offset, nbytes)
+
+    def read_at_most(self, offset: int, nbytes: int) -> bytes:
+        if self._tick():
+            if self._fail_read() is None and self.mode == "short_read":
+                data = self.inner.read_at_most(offset, nbytes)
+                return data[: len(data) // 2]
+        return self.inner.read_at_most(offset, nbytes)
+
+    def write_at(self, offset: int, data: bytes) -> None:
+        if self._tick():
+            self._fail_write(
+                lambda: self.inner.write_at(offset, data[: max(1, len(data) // 2)])
+            )
+            return
+        self.inner.write_at(offset, data)
+
+    # -- maintenance operations ----------------------------------------------------
+
+    def sync(self) -> None:
+        if self._tick():
+            self._fail_write(lambda: None)  # a torn sync syncs nothing
+            return
+        self.inner.sync()
+
+    def truncate(self, npages: int) -> None:
+        if self._tick():
+            self._fail_write(lambda: None)
+            return
+        self.inner.truncate(npages)
+
+    def truncate_to(self, nbytes: int) -> None:
+        if self._tick():
+            self._fail_write(lambda: None)
+            return
+        self.inner.truncate_to(nbytes)
+
+    # -- non-faulting passthroughs ---------------------------------------------------
+
+    def npages(self) -> int:
+        return self.inner.npages()
+
+    def size(self) -> int:
+        return self.inner.size()
+
+    def size_bytes(self) -> int:
+        return self.inner.size_bytes()
+
+    def close(self) -> None:
+        # Closing is always allowed: post-crash cleanup must not raise.
+        self.inner.close()
+
+    @property
+    def closed(self) -> bool:
+        return self.inner.closed
+
+    @property
+    def pagesize(self) -> int:
+        return self.inner.pagesize
+
+    @property
+    def readonly(self) -> bool:
+        return self.inner.readonly
+
+    @property
+    def path(self):
+        return self.inner.path
+
+    @property
+    def stats(self):
+        return self.inner.stats
+
+    @property
+    def on_page_io(self):
+        return self.inner.on_page_io
+
+    @on_page_io.setter
+    def on_page_io(self, cb) -> None:
+        self.inner.on_page_io = cb
+
+    @property
+    def on_io(self):
+        return self.inner.on_io
+
+    @on_io.setter
+    def on_io(self, cb) -> None:
+        self.inner.on_io = cb
+
+    def __enter__(self) -> "FaultyPager":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "crashed" if self.crashed else f"ops={self.ops}"
+        return (
+            f"<FaultyPager mode={self.mode} fail_after={self.fail_after} "
+            f"{state} over {self.inner!r}>"
+        )

@@ -73,6 +73,14 @@ class IOStats:
         self.syscalls += 1
         self.bytes_written += nbytes
 
+    def record_vector_write(self, npages: int, nbytes: int) -> None:
+        """A coalesced multi-page write: one syscall covers ``npages``
+        page transfers (the batched-flush saving the paper's buffer pool
+        exists to realize)."""
+        self.page_writes += npages
+        self.syscalls += 1
+        self.bytes_written += nbytes
+
     def record_syscall(self) -> None:
         """Count a bookkeeping call (open/close/sync/truncate)."""
         self.syscalls += 1

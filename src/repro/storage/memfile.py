@@ -56,6 +56,30 @@ class MemPagedFile:
         if cb is not None:
             cb("write", pageno, len(data))
 
+    def write_pages(self, start_pageno: int, data: bytes) -> None:
+        """Vectored write: same single-syscall accounting as the disk
+        pager, so cache-policy experiments see the batching too."""
+        self._check_open()
+        if self.readonly:
+            raise OSError("write to readonly MemPagedFile")
+        if start_pageno < 0:
+            raise ValueError(f"negative page number {start_pageno}")
+        if not data or len(data) % self.pagesize:
+            raise ValueError(
+                f"vectored write of {len(data)} bytes is not a whole number "
+                f"of {self.pagesize}-byte pages"
+            )
+        n = len(data) // self.pagesize
+        for i in range(n):
+            self._pages[start_pageno + i] = bytes(
+                data[i * self.pagesize : (i + 1) * self.pagesize]
+            )
+        self.stats.record_vector_write(n, len(data))
+        cb = self.on_page_io
+        if cb is not None:
+            for i in range(n):
+                cb("write", start_pageno + i, self.pagesize)
+
     def sync(self) -> None:
         self._check_open()
         self.stats.record_syscall()

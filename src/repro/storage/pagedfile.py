@@ -110,6 +110,26 @@ class PagedFile:
         if cb is not None:
             cb("write", pageno, len(data))
 
+    def write_pages(self, start_pageno: int, data: bytes) -> None:
+        """Vectored write: a whole number of pages lands at
+        ``start_pageno`` onward in one pwrite (one syscall, ``n`` page
+        writes in the accounting)."""
+        self._check_open()
+        if start_pageno < 0:
+            raise ValueError(f"negative page number {start_pageno}")
+        if not data or len(data) % self.pagesize:
+            raise ValueError(
+                f"vectored write of {len(data)} bytes is not a whole number "
+                f"of {self.pagesize}-byte pages"
+            )
+        os.pwrite(self._fd, data, start_pageno * self.pagesize)
+        n = len(data) // self.pagesize
+        self.stats.record_vector_write(n, len(data))
+        cb = self.on_page_io
+        if cb is not None:
+            for i in range(n):
+                cb("write", start_pageno + i, self.pagesize)
+
     # -- maintenance -----------------------------------------------------------
 
     def sync(self) -> None:

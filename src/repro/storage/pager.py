@@ -1,0 +1,214 @@
+"""The one storage protocol every access method consumes.
+
+The 1991 package owed its wins to a disciplined paged substrate under an
+LRU buffer manager.  This module pins that discipline down as a single
+:class:`Pager` protocol -- ``read_page`` / ``write_page`` / ``write_pages``
+/ ``sync`` / ``truncate`` / ``close`` plus mandatory :class:`IOStats`
+accounting and an ``on_page_io`` trace hook -- so the hash table, btree,
+recno and every dbm-family baseline talk to storage the same way, and any
+new backend (mmap, async, sharded) plugs in underneath all of them at
+once.
+
+Implementations:
+
+- :class:`~repro.storage.pagedfile.PagedFile` -- a real file on disk;
+- :class:`~repro.storage.memfile.MemPagedFile` -- RAM-backed;
+- :class:`~repro.storage.simdisk.SimulatedDisk` -- wraps another pager
+  with a 1991 I/O-time model;
+- :class:`BytePagerAdapter` (here) -- page-granular view of a
+  byte-granular :class:`~repro.storage.bytefile.ByteFile`;
+- :class:`~repro.storage.faulty.FaultyPager` -- wraps another pager with
+  injected crash points for recovery testing.
+
+``write_pages`` is the vectored write the batched buffer-pool flush rides
+on: one syscall covers a whole run of contiguous dirty pages, and the
+saving is visible in ``IOStats.syscalls``.
+
+:func:`open_pager` is the factory consumers use instead of importing
+concrete classes, keeping them coupled only to the protocol.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Protocol, runtime_checkable
+
+from repro.storage.bytefile import ByteFile
+from repro.storage.iostats import IOStats
+from repro.storage.memfile import MemPagedFile
+from repro.storage.pagedfile import PagedFile
+
+
+@runtime_checkable
+class Pager(Protocol):
+    """Fixed-size-page random-access storage with I/O accounting.
+
+    Every implementation carries:
+
+    - ``pagesize`` -- page size in bytes (positive);
+    - ``readonly`` -- writes raise when true;
+    - ``path`` -- backing file path or ``None``;
+    - ``stats`` -- an :class:`IOStats` counting every operation;
+    - ``on_page_io`` -- optional ``(kind, pageno, nbytes)`` trace callback
+      invoked on every page read/write (``kind`` is 'read' or 'write').
+
+    Reads past EOF (or into holes) return zero-filled pages; writes
+    shorter than a page are zero-padded; longer writes are an error.
+    """
+
+    pagesize: int
+    readonly: bool
+    stats: IOStats
+
+    def read_page(self, pageno: int) -> bytes: ...
+
+    def write_page(self, pageno: int, data: bytes) -> None: ...
+
+    def write_pages(self, start_pageno: int, data: bytes) -> None:
+        """Vectored write: ``data`` (a whole number of pages) lands at
+        ``start_pageno`` onward in ONE backend operation (one syscall in
+        ``stats``, one ``page_write`` per page)."""
+        ...
+
+    def sync(self) -> None: ...
+
+    def truncate(self, npages: int) -> None: ...
+
+    def npages(self) -> int: ...
+
+    def size_bytes(self) -> int: ...
+
+    def close(self) -> None: ...
+
+    @property
+    def closed(self) -> bool: ...
+
+
+def open_pager(
+    path: str | os.PathLike | None = None,
+    *,
+    pagesize: int,
+    create: bool = False,
+    readonly: bool = False,
+    in_memory: bool = False,
+    wrapper=None,
+) -> Pager:
+    """The factory every access method goes through.
+
+    ``in_memory=True`` returns a :class:`MemPagedFile`; otherwise a
+    :class:`PagedFile` (``path=None`` means an anonymous temp file).
+    ``wrapper`` post-wraps the pager -- e.g. ``SimulatedDisk`` for
+    modelled I/O time or ``FaultyPager`` for crash injection -- and the
+    wrapped object must itself satisfy the protocol.
+    """
+    if in_memory:
+        pager: Pager = MemPagedFile(pagesize, readonly=readonly)
+    else:
+        pager = PagedFile(path, pagesize, create=create, readonly=readonly)
+    if wrapper is not None:
+        pager = wrapper(pager)
+    return pager
+
+
+class BytePagerAdapter:
+    """Page-granular :class:`Pager` view over a byte-granular
+    :class:`ByteFile`.
+
+    The gdbm baseline needs byte offsets for its variable-size records,
+    so :class:`ByteFile` stays byte-granular -- but anything that wants
+    to treat such a file as pages (the buffer pool, fault injection
+    sweeps, page-level tools) can wrap it in this adapter.  Page
+    accounting lives in the adapter's own :class:`IOStats`; the wrapped
+    file keeps counting its byte-level traffic independently.
+    """
+
+    def __init__(self, inner: ByteFile, pagesize: int) -> None:
+        if pagesize <= 0:
+            raise ValueError(f"pagesize must be positive, got {pagesize}")
+        self.inner = inner
+        self.pagesize = pagesize
+        self.stats = IOStats()
+        #: optional page-I/O trace callback ``(kind, pageno, nbytes)``
+        self.on_page_io = None
+
+    @property
+    def path(self):
+        return self.inner.path
+
+    @property
+    def readonly(self) -> bool:
+        return self.inner.readonly
+
+    def read_page(self, pageno: int) -> bytes:
+        if pageno < 0:
+            raise ValueError(f"negative page number {pageno}")
+        data = self.inner.read_at_most(pageno * self.pagesize, self.pagesize)
+        self.stats.record_read(len(data))
+        cb = self.on_page_io
+        if cb is not None:
+            cb("read", pageno, len(data))
+        if len(data) < self.pagesize:
+            data += b"\0" * (self.pagesize - len(data))
+        return data
+
+    def write_page(self, pageno: int, data: bytes) -> None:
+        if pageno < 0:
+            raise ValueError(f"negative page number {pageno}")
+        if len(data) > self.pagesize:
+            raise ValueError(
+                f"data of {len(data)} bytes exceeds pagesize {self.pagesize}"
+            )
+        if len(data) < self.pagesize:
+            data = data + b"\0" * (self.pagesize - len(data))
+        self.inner.write_at(pageno * self.pagesize, data)
+        self.stats.record_write(len(data))
+        cb = self.on_page_io
+        if cb is not None:
+            cb("write", pageno, len(data))
+
+    def write_pages(self, start_pageno: int, data: bytes) -> None:
+        if start_pageno < 0:
+            raise ValueError(f"negative page number {start_pageno}")
+        if not data or len(data) % self.pagesize:
+            raise ValueError(
+                f"vectored write of {len(data)} bytes is not a whole number "
+                f"of {self.pagesize}-byte pages"
+            )
+        self.inner.write_at(start_pageno * self.pagesize, data)
+        n = len(data) // self.pagesize
+        self.stats.record_vector_write(n, len(data))
+        cb = self.on_page_io
+        if cb is not None:
+            for i in range(n):
+                cb("write", start_pageno + i, self.pagesize)
+
+    def sync(self) -> None:
+        self.inner.sync()
+        self.stats.record_syscall()
+
+    def truncate(self, npages: int) -> None:
+        self.inner.truncate_to(npages * self.pagesize)
+        self.stats.record_syscall()
+
+    def npages(self) -> int:
+        size = self.inner.size()
+        return (size + self.pagesize - 1) // self.pagesize
+
+    def size_bytes(self) -> int:
+        return self.inner.size()
+
+    def close(self) -> None:
+        self.inner.close()
+
+    @property
+    def closed(self) -> bool:
+        return self.inner.closed
+
+    def __enter__(self) -> "BytePagerAdapter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<BytePagerAdapter pagesize={self.pagesize} over {self.inner!r}>"

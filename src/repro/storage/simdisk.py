@@ -76,6 +76,11 @@ class SimulatedDisk:
     def _charge(self, pageno: int) -> None:
         """One page operation: syscall always; disk on a cache miss."""
         self.sim_seconds += self.syscall_s
+        self._charge_disk(pageno)
+
+    def _charge_disk(self, pageno: int) -> None:
+        """The post-syscall part of the model: buffer cache, then seek +
+        transfer on a miss."""
         if pageno in self._os_cache:
             self.cache_hits += 1
             self._os_cache.move_to_end(pageno)
@@ -122,6 +127,15 @@ class SimulatedDisk:
     def write_page(self, pageno: int, data: bytes) -> None:
         self._charge(pageno)
         self.inner.write_page(pageno, data)
+
+    def write_pages(self, start_pageno: int, data: bytes) -> None:
+        """A vectored write pays ONE syscall for the whole run; the pages
+        after the first are sequential by construction, so only the first
+        can seek -- exactly why batched flushing beats page-at-a-time."""
+        self.sim_seconds += self.syscall_s
+        for i in range(len(data) // self.inner.pagesize):
+            self._charge_disk(start_pageno + i)
+        self.inner.write_pages(start_pageno, data)
 
     def sync(self) -> None:
         self.sim_seconds += self.seek_s

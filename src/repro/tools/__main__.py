@@ -36,7 +36,8 @@ def _cmd_load(args) -> int:
 
 
 def _cmd_stat(args) -> int:
-    if _detect_type(args.file) == "btree":
+    kind = _detect_type(args.file)
+    if kind == "btree":
         from repro.access.btree import BTree
         from repro.access.btree.stat import format_btree_stats
 
@@ -45,6 +46,13 @@ def _cmd_stat(args) -> int:
             print(format_btree_stats(tree))
         finally:
             tree.close()
+        return 0
+    if kind == "gdbm":
+        from repro.baselines.gdbm.gdbm import Gdbm
+        from repro.tools.prof import format_metric_tree
+
+        with Gdbm(args.file, "r") as db:
+            print(format_metric_tree(db.stat()))
         return 0
     table = HashTable.open_file(args.file, readonly=True)
     try:
@@ -55,7 +63,7 @@ def _cmd_stat(args) -> int:
 
 
 def _detect_type(path: str) -> str:
-    """Sniff the file magic: 'hash' or 'btree'."""
+    """Sniff the file magic: 'hash', 'btree' or 'gdbm'."""
     import struct
 
     with open(path, "rb") as fh:
@@ -64,17 +72,32 @@ def _detect_type(path: str) -> str:
         return "hash"  # let the hash verifier produce the error
     magic = struct.unpack(">I", raw)[0]
     from repro.access.btree.btree import BTREE_MAGIC
+    from repro.baselines.gdbm.gdbm import GDBM_MAGIC
 
-    return "btree" if magic == BTREE_MAGIC else "hash"
+    if magic == BTREE_MAGIC:
+        return "btree"
+    if magic == GDBM_MAGIC:
+        return "gdbm"
+    return "hash"
 
 
 def _cmd_check(args) -> int:
-    if _detect_type(args.file) == "btree":
+    kind = _detect_type(args.file)
+    if kind == "btree":
         from repro.access.btree.check import verify_btree_file
 
         report = verify_btree_file(args.file)
         print(report.render())
         return 0 if report.ok else 1
+    if kind == "gdbm":
+        from repro.baselines.gdbm.gdbm import Gdbm
+
+        with Gdbm(args.file, "r") as db:
+            problems = db.check()
+        for p in problems:
+            print(p)
+        print(f"gdbm check: {'ok' if not problems else f'{len(problems)} problem(s)'}")
+        return 0 if not problems else 1
     report = verify_file(args.file)
     print(report.render())
     return 0 if report.ok else 1

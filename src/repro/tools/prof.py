@@ -48,6 +48,13 @@ def run_synthetic(type_: str = DB_HASH, n: int = 5000, **params) -> dict:
 def run_replay(path: str, type_: str) -> dict:
     """Read-only replay against an existing file: one full cursor scan,
     then a point ``get`` of every key; returns ``stat()``."""
+    if type_ == "gdbm":
+        from repro.baselines.gdbm.gdbm import Gdbm
+
+        with Gdbm(path, "r") as gdb:
+            for k in list(gdb.keys()):
+                gdb.fetch(k)
+            return gdb.stat()
     db = db_open(path, type_, "r")
     try:
         keys = []

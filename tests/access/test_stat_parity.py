@@ -22,6 +22,7 @@ BUFFER_KEYS = {
     "chain_evictions",
     "invalidations",
     "writebacks",
+    "batched_runs",
     "resident",
     "dirty",
     "max_buffers",

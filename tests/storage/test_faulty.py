@@ -1,0 +1,83 @@
+"""FaultyPager semantics: each mode does exactly what it advertises."""
+
+import pytest
+
+from repro.storage import CrashPoint, FaultyPager, InjectedIOError, MemPagedFile
+from repro.storage.bytefile import ByteFile
+
+PAGESIZE = 128
+
+
+def test_calibration_counts_ops_without_faulting():
+    pager = FaultyPager(MemPagedFile(PAGESIZE))
+    pager.write_page(0, b"a" * PAGESIZE)
+    pager.read_page(0)
+    pager.write_pages(1, b"b" * (2 * PAGESIZE))
+    pager.sync()
+    assert pager.ops == 4
+    assert not pager.crashed
+
+
+def test_crash_mode_kills_the_op_and_everything_after():
+    pager = FaultyPager(MemPagedFile(PAGESIZE), fail_after=1, mode="crash")
+    pager.write_page(0, b"a" * PAGESIZE)
+    with pytest.raises(CrashPoint):
+        pager.write_page(1, b"b" * PAGESIZE)  # op 1: dies, write lost
+    assert pager.crashed
+    with pytest.raises(CrashPoint):
+        pager.read_page(0)  # the process is "dead"
+    # ... but the file it leaves behind shows op 1 never happened
+    assert pager.inner.read_page(0) == b"a" * PAGESIZE
+    assert pager.inner.read_page(1) == b"\0" * PAGESIZE
+    pager.close()  # post-mortem close never raises
+
+
+def test_torn_write_lands_half_a_page():
+    pager = FaultyPager(MemPagedFile(PAGESIZE), fail_after=0, mode="torn")
+    with pytest.raises(CrashPoint):
+        pager.write_page(0, b"x" * PAGESIZE)
+    half = PAGESIZE // 2
+    assert pager.inner.read_page(0) == b"x" * half + b"\0" * (PAGESIZE - half)
+
+
+def test_torn_vectored_write_lands_a_page_prefix():
+    pager = FaultyPager(MemPagedFile(PAGESIZE), fail_after=0, mode="torn")
+    data = b"A" * PAGESIZE + b"B" * PAGESIZE + b"C" * PAGESIZE
+    with pytest.raises(CrashPoint):
+        pager.write_pages(0, data)
+    assert pager.inner.read_page(0) == b"A" * PAGESIZE
+    assert pager.inner.read_page(2) == b"\0" * PAGESIZE
+
+
+def test_oserror_is_transient():
+    pager = FaultyPager(MemPagedFile(PAGESIZE), fail_after=0, mode="oserror")
+    with pytest.raises(InjectedIOError):
+        pager.write_page(0, b"a" * PAGESIZE)
+    assert not pager.crashed
+    pager.write_page(0, b"b" * PAGESIZE)  # the pager lives on
+    assert pager.read_page(0) == b"b" * PAGESIZE
+
+
+def test_short_read_violates_page_contract_once():
+    pager = FaultyPager(MemPagedFile(PAGESIZE), fail_after=1, mode="short_read")
+    pager.write_page(0, b"z" * PAGESIZE)
+    short = pager.read_page(0)
+    assert len(short) == PAGESIZE // 2
+    assert pager.read_page(0) == b"z" * PAGESIZE  # back to normal
+
+
+def test_byte_granular_wrapping(tmp_path):
+    inner = ByteFile(tmp_path / "b.db", create=True)
+    pager = FaultyPager(inner, fail_after=1, mode="torn")
+    pager.write_at(0, b"0123456789")
+    with pytest.raises(CrashPoint):
+        pager.write_at(10, b"ABCDEFGHIJ")  # only "ABCDE" lands
+    assert inner.read_at_most(0, 100) == b"0123456789ABCDE"
+    pager.close()
+
+
+def test_bad_parameters():
+    with pytest.raises(ValueError):
+        FaultyPager(MemPagedFile(PAGESIZE), mode="meteor")
+    with pytest.raises(ValueError):
+        FaultyPager(MemPagedFile(PAGESIZE), fail_after=-1)

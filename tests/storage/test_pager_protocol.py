@@ -1,0 +1,152 @@
+"""Every storage backend satisfies the one Pager protocol.
+
+These tests are the contract: whatever open_pager (or a wrapper) hands an
+access method must behave identically for reads past EOF, vectored
+writes, idempotent close and I/O accounting.
+"""
+
+import pytest
+
+from repro.storage import (
+    BytePagerAdapter,
+    ByteFile,
+    FaultyPager,
+    MemPagedFile,
+    PagedFile,
+    Pager,
+    open_pager,
+)
+from repro.storage.simdisk import SimulatedDisk
+
+PAGESIZE = 256
+
+
+def _make(kind, tmp_path):
+    if kind == "paged":
+        return PagedFile(tmp_path / "p.db", PAGESIZE, create=True)
+    if kind == "mem":
+        return MemPagedFile(PAGESIZE)
+    if kind == "simdisk":
+        return SimulatedDisk(MemPagedFile(PAGESIZE))
+    if kind == "byte":
+        return BytePagerAdapter(
+            ByteFile(tmp_path / "b.db", create=True), PAGESIZE
+        )
+    if kind == "faulty":
+        return FaultyPager(MemPagedFile(PAGESIZE))
+    raise AssertionError(kind)
+
+
+KINDS = ("paged", "mem", "simdisk", "byte", "faulty")
+
+
+@pytest.mark.parametrize("kind", KINDS)
+def test_satisfies_protocol(kind, tmp_path):
+    pager = _make(kind, tmp_path)
+    try:
+        assert isinstance(pager, Pager)
+    finally:
+        pager.close()
+
+
+@pytest.mark.parametrize("kind", KINDS)
+def test_roundtrip_and_eof_semantics(kind, tmp_path):
+    pager = _make(kind, tmp_path)
+    try:
+        assert pager.read_page(7) == b"\0" * PAGESIZE  # holes read zero
+        pager.write_page(3, b"x" * PAGESIZE)
+        pager.write_page(5, b"short")  # short writes are zero-padded
+        assert pager.read_page(3) == b"x" * PAGESIZE
+        assert pager.read_page(5) == b"short" + b"\0" * (PAGESIZE - 5)
+        with pytest.raises(ValueError):
+            pager.write_page(0, b"y" * (PAGESIZE + 1))
+    finally:
+        pager.close()
+
+
+@pytest.mark.parametrize("kind", KINDS)
+def test_vectored_write_is_one_syscall(kind, tmp_path):
+    pager = _make(kind, tmp_path)
+    try:
+        data = b"".join(bytes([65 + i]) * PAGESIZE for i in range(4))
+        before = pager.stats.snapshot()
+        pager.write_pages(2, data)
+        delta = pager.stats.snapshot() - before
+        assert delta.page_writes == 4
+        assert delta.syscalls == 1
+        for i in range(4):
+            assert pager.read_page(2 + i) == bytes([65 + i]) * PAGESIZE
+        with pytest.raises(ValueError):
+            pager.write_pages(0, b"not-a-page-multiple")
+        with pytest.raises(ValueError):
+            pager.write_pages(0, b"")
+    finally:
+        pager.close()
+
+
+@pytest.mark.parametrize("kind", KINDS)
+def test_close_is_idempotent(kind, tmp_path):
+    pager = _make(kind, tmp_path)
+    pager.close()
+    assert pager.closed
+    pager.close()  # second close is a no-op, not an error
+    assert pager.closed
+
+
+@pytest.mark.parametrize("kind", KINDS)
+def test_page_io_hook_sees_vectored_pages(kind, tmp_path):
+    pager = _make(kind, tmp_path)
+    try:
+        events = []
+        pager.on_page_io = lambda kind_, pageno, nbytes: events.append(
+            (kind_, pageno)
+        )
+        pager.write_pages(4, b"z" * (3 * PAGESIZE))
+        assert events == [("write", 4), ("write", 5), ("write", 6)]
+    finally:
+        pager.close()
+
+
+def test_open_pager_factory(tmp_path):
+    mem = open_pager(pagesize=PAGESIZE, in_memory=True)
+    assert isinstance(mem, MemPagedFile)
+    mem.close()
+
+    disk = open_pager(tmp_path / "f.db", pagesize=PAGESIZE, create=True)
+    assert isinstance(disk, PagedFile)
+    disk.write_page(0, b"hello")
+    disk.close()
+
+    wrapped = open_pager(
+        tmp_path / "f.db", pagesize=PAGESIZE, readonly=True,
+        wrapper=lambda f: FaultyPager(f),
+    )
+    assert isinstance(wrapped, FaultyPager)
+    assert isinstance(wrapped, Pager)
+    assert wrapped.read_page(0).startswith(b"hello")
+    wrapped.close()
+
+
+def test_byte_adapter_keeps_inner_byte_accounting(tmp_path):
+    inner = ByteFile(tmp_path / "g.db", create=True)
+    pager = BytePagerAdapter(inner, PAGESIZE)
+    pager.write_page(0, b"a" * PAGESIZE)
+    pager.read_page(0)
+    # Page accounting on the adapter, byte accounting on the file.
+    assert pager.stats.page_writes == 1 and pager.stats.page_reads == 1
+    assert inner.stats.bytes_written == PAGESIZE
+    assert inner.stats.bytes_read == PAGESIZE
+    pager.close()
+    assert inner.closed
+
+
+def test_byte_adapter_truncate(tmp_path):
+    pager = BytePagerAdapter(ByteFile(tmp_path / "t.db", create=True), PAGESIZE)
+    pager.write_pages(0, b"q" * (4 * PAGESIZE))
+    assert pager.npages() == 4
+    pager.truncate(2)
+    assert pager.npages() == 2
+    assert pager.size_bytes() == 2 * PAGESIZE
+    # The truncated tail reads back as a hole.
+    assert pager.read_page(3) == b"\0" * PAGESIZE
+    pager.close()

@@ -1,0 +1,263 @@
+"""Crash/reopen sweep: kill every on-disk format at every syscall.
+
+For each format, a calibration run counts the I/O operations of a small
+insert workload.  The sweep then re-runs the workload once per operation
+index with a :class:`FaultyPager` that injects a crash (or a torn write)
+at exactly that operation, reopens the surviving file and demands one of:
+
+- a clean, typed failure on open;
+- a checker-detected inconsistency;
+- a consistent table in which every readable key maps to the value that
+  was written (a key may be absent -- the crash predates its sync -- but
+  it may NEVER map to different bytes).
+
+Zero silent-corruption reopens is the acceptance criterion of the fault
+injection sweep.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+
+import pytest
+
+from repro.access.btree.btree import BTree
+from repro.access.btree.check import verify_btree
+from repro.baselines.dbm.dbmfile import DbmError, DbmFile
+from repro.baselines.gdbm.gdbm import Gdbm, GdbmError
+from repro.baselines.sdbm.sdbm import Sdbm, SdbmError
+from repro.core.check import verify_table
+from repro.core.errors import HashError
+from repro.core.table import HashTable
+from repro.storage.faulty import CrashPoint, FaultyPager
+
+#: Failing in one of these ways on a post-crash file is "clean": the
+#: library refused, detectably, rather than serving corrupt data.
+CLEAN_ERRORS = (
+    HashError,
+    DbmError,
+    SdbmError,
+    GdbmError,
+    OSError,
+    EOFError,
+    ValueError,
+    IndexError,
+    KeyError,
+    struct.error,
+)
+
+
+def _pairs(n: int) -> list[tuple[bytes, bytes]]:
+    return [
+        (
+            f"key-{i:04d}".encode(),
+            (f"value-{i:04d}-" + "x" * (i % 37)).encode(),
+        )
+        for i in range(n)
+    ]
+
+
+class _Spec:
+    """How to build, reopen and verify one on-disk format."""
+
+    def __init__(self, name, npairs, build, verify):
+        self.name = name
+        self.pairs = _pairs(npairs)
+        self.build = build  # (dirpath, wrapper, pairs) -> None
+        self.verify = verify  # (dirpath, pairs) -> None (asserts)
+
+
+def _assert_values(get, pairs) -> None:
+    """Correct value or absent; anything else is silent corruption."""
+    for k, v in pairs:
+        try:
+            got = get(k)
+        except CLEAN_ERRORS:
+            return  # detected while reading: not silent
+        assert got is None or got == v, (
+            f"silent corruption: {k!r} -> {got!r}, expected {v!r} or absence"
+        )
+
+
+# -- hash ------------------------------------------------------------------
+
+
+def _build_hash(dirpath, wrapper, pairs):
+    t = HashTable.create(
+        os.path.join(dirpath, "t.hash"),
+        bsize=512,
+        cachesize=0,  # minimum buffers: force mid-workload evictions
+        file_wrapper=wrapper,
+    )
+    for k, v in pairs:
+        t.put(k, v)
+    t.close()
+
+
+def _verify_hash(dirpath, pairs):
+    t = HashTable.open_file(os.path.join(dirpath, "t.hash"), readonly=True)
+    try:
+        if verify_table(t).errors:
+            return  # detected
+        _assert_values(t.get, pairs)
+    finally:
+        t.close()
+
+
+# -- btree ------------------------------------------------------------------
+
+
+def _build_btree(dirpath, wrapper, pairs):
+    t = BTree.create(
+        os.path.join(dirpath, "t.bt"),
+        bsize=512,
+        cachesize=0,  # minimum buffers: force mid-workload evictions
+        file_wrapper=wrapper,
+    )
+    for k, v in pairs:
+        t.put(k, v)
+    t.close()
+
+
+def _verify_btree(dirpath, pairs):
+    t = BTree.open_file(os.path.join(dirpath, "t.bt"), readonly=True)
+    try:
+        if not verify_btree(t).ok:
+            return
+        _assert_values(t.get, pairs)
+    finally:
+        t.close()
+
+
+# -- dbm / sdbm --------------------------------------------------------------
+
+
+def _build_dbm(dirpath, wrapper, pairs):
+    db = DbmFile(
+        os.path.join(dirpath, "d"), "n", block_size=512, file_wrapper=wrapper
+    )
+    for k, v in pairs:
+        db.store(k, v)
+    db.close()
+
+
+def _verify_dbm(dirpath, pairs):
+    with DbmFile(os.path.join(dirpath, "d"), "r", block_size=512) as db:
+        if db.check():
+            return
+        _assert_values(db.fetch, pairs)
+
+
+def _build_sdbm(dirpath, wrapper, pairs):
+    db = Sdbm(
+        os.path.join(dirpath, "s"), "n", block_size=512, file_wrapper=wrapper
+    )
+    for k, v in pairs:
+        db.store(k, v)
+    db.close()
+
+
+def _verify_sdbm(dirpath, pairs):
+    with Sdbm(os.path.join(dirpath, "s"), "r", block_size=512) as db:
+        if db.check():
+            return
+        _assert_values(db.fetch, pairs)
+
+
+# -- gdbm -------------------------------------------------------------------
+
+
+def _build_gdbm(dirpath, wrapper, pairs):
+    db = Gdbm(
+        os.path.join(dirpath, "g.db"), "n", block_size=512, file_wrapper=wrapper
+    )
+    for k, v in pairs:
+        db.store(k, v)
+    db.close()
+
+
+def _verify_gdbm(dirpath, pairs):
+    with Gdbm(os.path.join(dirpath, "g.db"), "r") as db:
+        if db.check():
+            return
+        _assert_values(db.fetch, pairs)
+
+
+SPECS = {
+    "hash": _Spec("hash", 40, _build_hash, _verify_hash),
+    "btree": _Spec("btree", 40, _build_btree, _verify_btree),
+    "dbm": _Spec("dbm", 40, _build_dbm, _verify_dbm),
+    "sdbm": _Spec("sdbm", 40, _build_sdbm, _verify_sdbm),
+    "gdbm": _Spec("gdbm", 16, _build_gdbm, _verify_gdbm),
+}
+
+
+def _calibrate(spec, tmp_path) -> int:
+    """Un-faulted run; returns the workload's I/O operation count."""
+    cal = tmp_path / "calibration"
+    cal.mkdir()
+    holder = {}
+
+    def capture(f):
+        holder["pager"] = FaultyPager(f)
+        return holder["pager"]
+
+    spec.build(str(cal), capture, spec.pairs)
+    ops = holder["pager"].ops
+    assert ops > 5, f"{spec.name}: workload too small to sweep ({ops} ops)"
+    return ops
+
+
+@pytest.mark.parametrize("mode", ("crash", "torn"))
+@pytest.mark.parametrize("fmt", sorted(SPECS))
+def test_every_crash_point_recovers_or_fails_cleanly(fmt, mode, tmp_path):
+    spec = SPECS[fmt]
+    total_ops = _calibrate(spec, tmp_path)
+    for fail_after in range(total_ops):
+        rundir = tmp_path / f"{mode}-{fail_after}"
+        rundir.mkdir()
+        holder = {}
+
+        def wrap(f, _i=fail_after):
+            holder["pager"] = FaultyPager(f, fail_after=_i, mode=mode)
+            return holder["pager"]
+
+        try:
+            spec.build(str(rundir), wrap, spec.pairs)
+            crashed = False
+        except CrashPoint:
+            crashed = True
+        finally:
+            # Release the fd the "dead process" held; never raises.
+            if "pager" in holder:
+                holder["pager"].close()
+        assert crashed, (
+            f"{fmt}: op {fail_after} never executed "
+            f"(calibration said {total_ops} ops)"
+        )
+        try:
+            spec.verify(str(rundir), spec.pairs)
+        except CLEAN_ERRORS:
+            pass  # clean, typed refusal to open/walk the wreck
+
+
+@pytest.mark.parametrize("fmt", sorted(SPECS))
+def test_transient_oserror_then_full_recovery(fmt, tmp_path):
+    """'oserror' mode: the op fails once but the library object survives;
+    a subsequent rebuild of the same file must work and verify clean."""
+    spec = SPECS[fmt]
+    rundir = tmp_path / "transient"
+    rundir.mkdir()
+
+    def wrap(f):
+        return FaultyPager(f, fail_after=2, mode="oserror")
+
+    try:
+        spec.build(str(rundir), wrap, spec.pairs)
+    except OSError:
+        # The injected failure surfaced mid-workload; rebuild cleanly.
+        for name in os.listdir(rundir):
+            os.unlink(os.path.join(rundir, name))
+        spec.build(str(rundir), None, spec.pairs)
+    spec.verify(str(rundir), spec.pairs)
