@@ -1,0 +1,150 @@
+"""Concurrency benchmarks: locking overhead and thread scaling.
+
+Two artifacts, one guard:
+
+1. The zero-overhead guard: a ``concurrent=False`` table replays the
+   flush-batching workload and must reproduce ``BENCH_flush_batching.json``
+   exactly (same page writes, same batched syscall count).  The locking
+   layer is built so a single-threaded handle takes no locks at all; this
+   pins that claim to the previously recorded artifact.
+
+2. ``BENCH_concurrency.json``: measured single-thread throughput of a
+   plain handle vs a ``concurrent=True`` handle (the rwlock toll), plus
+   1-vs-4-thread throughput of the concurrent handle.  CPython holds the
+   GIL, so threads interleave rather than parallelize -- the artifact
+   records that honestly instead of claiming speedup.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+
+from benchmarks.conftest import REPO_ROOT, emit_json
+from repro.bench.report import pct_change, registry_snapshot
+from repro.core.table import HashTable
+from repro.workloads.dictionary import dictionary_words
+
+N_INSERTS = 1000
+BSIZE = 512
+CACHESIZE = 1 << 22
+NTHREADS = 4
+OPS_PER_THREAD = 4000
+
+
+def _flush_batched(workdir: str, concurrent: bool) -> dict:
+    """The exact workload behind BENCH_flush_batching.json (batched arm)."""
+    table = HashTable.create(
+        f"{workdir}/guard-{int(concurrent)}.db",
+        bsize=BSIZE,
+        cachesize=CACHESIZE,
+        concurrent=concurrent,
+    )
+    try:
+        for i, word in enumerate(dictionary_words(N_INSERTS)):
+            table.put(word, f"value-{i:06d}".encode())
+        before = table.io_stats.snapshot()
+        pages = table.pool.flush(batched=True)
+        delta = table.io_stats.snapshot() - before
+        return {
+            "pages_flushed": pages,
+            "write_syscalls": delta.syscalls,
+            "page_writes": delta.page_writes,
+            "bytes_written": delta.bytes_written,
+        }
+    finally:
+        table.close()
+
+
+def test_single_threaded_path_matches_recorded_artifact(workdir):
+    """concurrent=False must replicate BENCH_flush_batching.json: adding
+    the locking layer changed nothing on the unlocked path."""
+    with open(os.path.join(REPO_ROOT, "BENCH_flush_batching.json")) as fh:
+        recorded = json.load(fh)["stat"]["batched"]
+    now = _flush_batched(workdir, concurrent=False)
+    for field in ("pages_flushed", "write_syscalls", "page_writes", "bytes_written"):
+        assert now[field] == recorded[field], (
+            f"single-threaded regression: {field} {now[field]} != "
+            f"recorded {recorded[field]}"
+        )
+    # the locked handle does identical I/O too -- the toll is CPU only
+    locked = _flush_batched(workdir, concurrent=True)
+    assert locked == now
+
+
+def _ops_per_sec(table, nthreads: int, words) -> float:
+    """Mixed put/get workload, ops/sec wall-clock across all threads."""
+    barrier = threading.Barrier(nthreads + 1)
+
+    def worker(tid):
+        barrier.wait()
+        for i in range(OPS_PER_THREAD):
+            w = words[(tid * OPS_PER_THREAD + i) % len(words)]
+            if i % 4 == 0:
+                table.put(w, b"v" * 32)
+            else:
+                table.get(w)
+
+    threads = [
+        threading.Thread(target=worker, args=(t,), daemon=True)
+        for t in range(nthreads)
+    ]
+    for t in threads:
+        t.start()
+    barrier.wait()
+    t0 = time.perf_counter()
+    for t in threads:
+        t.join()
+    elapsed = time.perf_counter() - t0
+    return nthreads * OPS_PER_THREAD / elapsed
+
+
+def test_concurrency_throughput_snapshot(workdir):
+    words = list(dictionary_words(2000))
+
+    def make(concurrent):
+        return HashTable.create(
+            None, in_memory=True, bsize=BSIZE, ffactor=8, concurrent=concurrent
+        )
+
+    plain = make(False)
+    try:
+        base = _ops_per_sec(plain, 1, words)
+    finally:
+        plain.close()
+
+    locked = make(True)
+    try:
+        locked_1t = _ops_per_sec(locked, 1, words)
+    finally:
+        locked.close()
+
+    shared = make(True)
+    try:
+        locked_4t = _ops_per_sec(shared, NTHREADS, words)
+        shared.check_invariants()
+    finally:
+        shared.close()
+
+    payload = registry_snapshot(
+        {
+            "plain_1thread_ops_per_sec": round(base, 1),
+            "concurrent_1thread_ops_per_sec": round(locked_1t, 1),
+            "concurrent_4thread_ops_per_sec": round(locked_4t, 1),
+            "rwlock_overhead_pct": pct_change(base, locked_1t),
+            "scaling_4t_vs_1t_pct": pct_change(locked_1t, locked_4t),
+        },
+        label="hash table ops/sec: plain vs rwlock-guarded, 1 vs 4 threads",
+        context={
+            "bsize": BSIZE,
+            "ffactor": 8,
+            "ops_per_thread": OPS_PER_THREAD,
+            "nthreads": NTHREADS,
+            "note": "CPython GIL: threads interleave, no parallel speedup expected",
+        },
+    )
+    emit_json("concurrency", payload)
+    # sanity floor, not a perf gate: the locked handle still does real work
+    assert locked_1t > 0 and locked_4t > 0

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import os
 import struct
+import threading
 import time
 
 from repro.access.api import (
@@ -40,6 +41,7 @@ from repro.access.btree.nodes import (
 )
 from repro.core.buffer import BufferPool
 from repro.core.errors import BadFileError, ClosedError, InvalidParameterError, ReadOnlyError
+from repro.core.locking import NULL_GUARD, RWLock
 from repro.obs.hooks import TraceHooks
 from repro.obs.registry import Registry
 from repro.storage.pager import open_pager
@@ -70,12 +72,23 @@ class BTree(AccessMethod):
         cachesize: int,
         compare=None,
         observability: bool = True,
+        concurrent: bool = False,
     ) -> None:
         self._file = file
         self.readonly = readonly
         self._closed = False
+        #: table-level rwlock and reusable guards (see docs/CONCURRENCY.md);
+        #: no-op objects when single-threaded
+        self.concurrent = concurrent
+        self._lock = RWLock() if concurrent else None
+        self._rd = self._lock.reader if concurrent else NULL_GUARD
+        self._wr = self._lock.writer if concurrent else NULL_GUARD
+        self._stats_lock = threading.Lock() if concurrent else None
         #: metrics tree rooted at this tree; ``stat()`` renders it
         self.obs = Registry("btree", enabled=observability)
+        if concurrent:
+            self.obs.make_threadsafe()
+            file.stats.make_threadsafe()
         self.hooks = TraceHooks()
         self.pool = BufferPool(
             file,
@@ -84,6 +97,7 @@ class BTree(AccessMethod):
             lambda pgno: pgno,
             obs=self.obs.child("buffer"),
             hooks=self.hooks,
+            concurrent=concurrent,
         )
         _ops = self.obs.child("ops")
         self._h_get = _ops.histogram("get")
@@ -135,6 +149,7 @@ class BTree(AccessMethod):
         in_memory: bool = False,
         compare=None,
         observability: bool = True,
+        concurrent: bool = False,
         file_wrapper=None,
     ) -> "BTree":
         """Create a new btree (``path=None`` + ``in_memory`` for RAM).
@@ -159,6 +174,7 @@ class BTree(AccessMethod):
             cachesize=cachesize,
             compare=compare,
             observability=observability,
+            concurrent=concurrent,
         )
         tree.npages = 1  # the meta page
         root_hdr = tree._new_page(T_LEAF)
@@ -175,6 +191,7 @@ class BTree(AccessMethod):
         readonly: bool = False,
         compare=None,
         observability: bool = True,
+        concurrent: bool = False,
         file_wrapper=None,
     ) -> "BTree":
         probe = open_pager(path, pagesize=MIN_BSIZE, readonly=True)
@@ -200,6 +217,7 @@ class BTree(AccessMethod):
             cachesize=cachesize,
             compare=compare,
             observability=observability,
+            concurrent=concurrent,
         )
         tree._read_meta()
         return tree
@@ -371,18 +389,28 @@ class BTree(AccessMethod):
         raise BadFileError("btree deeper than 64 levels (cycle?)")
 
     def get(self, key: bytes) -> bytes | None:
-        clock = self._clock
-        if clock is None:
-            return self._get_impl(key)
-        t0 = clock()
-        try:
-            return self._get_impl(key)
-        finally:
-            self._h_get.observe(clock() - t0)
+        with self._rd:
+            clock = self._clock
+            if clock is None:
+                return self._get_impl(key)
+            t0 = clock()
+            try:
+                return self._get_impl(key)
+            finally:
+                self._h_get.observe(clock() - t0)
+
+    def _bump_gets(self) -> None:
+        # the one counter bumped under a shared lock (+= is not atomic)
+        lock = self._stats_lock
+        if lock is None:
+            self._gets += 1
+            return
+        with lock:
+            self._gets += 1
 
     def _get_impl(self, key: bytes) -> bytes | None:
         self._check_open()
-        self._gets += 1
+        self._bump_gets()
         _path, leaf = self._descend(key)
         hdr = self.pool.get(leaf)
         view = NodeView(hdr.page)
@@ -394,14 +422,15 @@ class BTree(AccessMethod):
     # ----------------------------------------------------------------- insert
 
     def put(self, key: bytes, data: bytes, flags: int = 0) -> int:
-        clock = self._clock
-        if clock is None:
-            return self._put_impl(key, data, flags)
-        t0 = clock()
-        try:
-            return self._put_impl(key, data, flags)
-        finally:
-            self._h_put.observe(clock() - t0)
+        with self._wr:
+            clock = self._clock
+            if clock is None:
+                return self._put_impl(key, data, flags)
+            t0 = clock()
+            try:
+                return self._put_impl(key, data, flags)
+            finally:
+                self._h_put.observe(clock() - t0)
 
     def _put_impl(self, key: bytes, data: bytes, flags: int = 0) -> int:
         self._check_writable()
@@ -574,14 +603,15 @@ class BTree(AccessMethod):
     # ----------------------------------------------------------------- delete
 
     def delete(self, key: bytes) -> int:
-        clock = self._clock
-        if clock is None:
-            return self._delete_impl(key)
-        t0 = clock()
-        try:
-            return self._delete_impl(key)
-        finally:
-            self._h_delete.observe(clock() - t0)
+        with self._wr:
+            clock = self._clock
+            if clock is None:
+                return self._delete_impl(key)
+            t0 = clock()
+            try:
+                return self._delete_impl(key)
+            finally:
+                self._h_delete.observe(clock() - t0)
 
     def _delete_impl(self, key: bytes) -> int:
         self._check_writable()
@@ -665,21 +695,23 @@ class BTree(AccessMethod):
     def sync(self) -> None:
         """Batched page write-back, meta write, one group sync -- the
         shared flush-before-sync ordering (see docs/STORAGE.md)."""
-        self._check_open()
-        self.pool.flush()
-        self._write_meta()
-        self._file.sync()
+        with self._wr:
+            self._check_open()
+            self.pool.flush()
+            self._write_meta()
+            self._file.sync()
 
     def close(self) -> None:
         """Flush, sync and release; idempotent like every backend's."""
-        if self._closed:
-            return
-        if not self.readonly:
-            self.pool.drop_all()
-            self._write_meta()
-            self._file.sync()
-        self._closed = True
-        self._file.close()
+        with self._wr:
+            if self._closed:
+                return
+            if not self.readonly:
+                self.pool.drop_all()
+                self._write_meta()
+                self._file.sync()
+            self._closed = True
+            self._file.close()
 
     @property
     def closed(self) -> bool:
@@ -691,6 +723,10 @@ class BTree(AccessMethod):
     def stat(self) -> dict:
         """The tree's metrics as the shared nested-dict shape (same
         top-level keys as the hash method's ``stat``)."""
+        with self._rd:
+            return self._stat_impl()
+
+    def _stat_impl(self) -> dict:
         self._check_open()
         return {
             "type": "btree",
@@ -738,6 +774,10 @@ class BTree(AccessMethod):
     def check_invariants(self) -> None:
         """Structural verification: sorted leaves, consistent links, key
         count, and separator correctness (used by the test suite)."""
+        with self._rd:
+            self._check_invariants_impl()
+
+    def _check_invariants_impl(self) -> None:
         count = 0
         prev_key: bytes | None = None
         pgno = self._leftmost_leaf()
@@ -814,36 +854,45 @@ class BTreeCursor(Cursor):
 
     def first(self):
         t = self.tree
-        t._check_open()
-        return self._return(t._advance_pos(t._leftmost_leaf(), 0))
+        with t._rd:
+            t._check_open()
+            return self._return(t._advance_pos(t._leftmost_leaf(), 0))
 
     def last(self):
         t = self.tree
-        t._check_open()
-        leaf = t._rightmost_leaf()
-        hdr = t.pool.get(leaf)
-        return self._return(t._retreat_pos(leaf, NodeView(hdr.page).nslots - 1))
+        with t._rd:
+            t._check_open()
+            leaf = t._rightmost_leaf()
+            hdr = t.pool.get(leaf)
+            return self._return(t._retreat_pos(leaf, NodeView(hdr.page).nslots - 1))
 
     def next(self):
         t = self.tree
-        t._check_open()
-        if self._lastkey is None:
-            return self.first()
-        pgno, slot, exact = self._locate()
-        return self._return(t._advance_pos(pgno, slot + 1 if exact else slot))
+        with t._rd:
+            t._check_open()
+            if self._lastkey is None:
+                return self._return(t._advance_pos(t._leftmost_leaf(), 0))
+            pgno, slot, exact = self._locate()
+            return self._return(t._advance_pos(pgno, slot + 1 if exact else slot))
 
     def prev(self):
         t = self.tree
-        t._check_open()
-        if self._lastkey is None:
-            return self.last()
-        pgno, slot, _exact = self._locate()
-        return self._return(t._retreat_pos(pgno, slot - 1))
+        with t._rd:
+            t._check_open()
+            if self._lastkey is None:
+                leaf = t._rightmost_leaf()
+                hdr = t.pool.get(leaf)
+                return self._return(
+                    t._retreat_pos(leaf, NodeView(hdr.page).nslots - 1)
+                )
+            pgno, slot, _exact = self._locate()
+            return self._return(t._retreat_pos(pgno, slot - 1))
 
     def seek(self, key: bytes):
         t = self.tree
-        t._check_open()
-        _path, leaf = t._descend(key)
-        hdr = t.pool.get(leaf)
-        slot, _exact = NodeView(hdr.page).leaf_search(key, t._compare)
-        return self._return(t._advance_pos(leaf, slot))
+        with t._rd:
+            t._check_open()
+            _path, leaf = t._descend(key)
+            hdr = t.pool.get(leaf)
+            slot, _exact = NodeView(hdr.page).leaf_search(key, t._compare)
+            return self._return(t._advance_pos(leaf, slot))

@@ -29,6 +29,10 @@ def db_open(
     ``params`` are forwarded to the method (hash: bsize/ffactor/nelem/
     cachesize/hashfn; btree: bsize/cachesize; recno: reclen/bpad/bsize/
     cachesize).  ``path=None`` creates an in-memory database.
+
+    ``concurrent=True`` (any method) makes the handle safe for multiple
+    threads: shared readers, exclusive writers, fail-fast cursors -- see
+    docs/CONCURRENCY.md.  The default pays zero locking overhead.
     """
     if flag not in ("r", "w", "c", "n"):
         raise InvalidParameterError(f"flag must be 'r', 'w', 'c' or 'n', got {flag!r}")

@@ -75,6 +75,7 @@ class Recno(AccessMethod):
         cachesize: int = 256 * 1024,
         in_memory: bool = False,
         observability: bool = True,
+        concurrent: bool = False,
         file_wrapper=None,
     ) -> "Recno":
         """Create a record file.  ``reclen`` selects fixed-length mode.
@@ -92,6 +93,7 @@ class Recno(AccessMethod):
             cachesize=cachesize,
             in_memory=in_memory,
             observability=observability,
+            concurrent=concurrent,
             file_wrapper=file_wrapper,
         )
         return cls(tree, reclen, bpad)
@@ -106,6 +108,7 @@ class Recno(AccessMethod):
         cachesize: int = 256 * 1024,
         readonly: bool = False,
         observability: bool = True,
+        concurrent: bool = False,
         file_wrapper=None,
     ) -> "Recno":
         tree = BTree.open_file(
@@ -113,6 +116,7 @@ class Recno(AccessMethod):
             cachesize=cachesize,
             readonly=readonly,
             observability=observability,
+            concurrent=concurrent,
             file_wrapper=file_wrapper,
         )
         return cls(tree, reclen, bpad)
@@ -139,39 +143,47 @@ class Recno(AccessMethod):
         return self._tree.get(encode_recno(recno))
 
     def put_rec(self, recno: int, data: bytes) -> None:
-        """Set record ``recno``, materializing any intervening records."""
-        data = self._shape(data)
-        for missing in range(self.nrecords + 1, recno):
-            self._tree.put(encode_recno(missing), self._empty())
-        self._tree.put(encode_recno(recno), data)
-        self.nrecords = max(self.nrecords, recno)
+        """Set record ``recno``, materializing any intervening records.
+
+        Composite operations take the underlying tree's write lock for
+        their whole extent (reentrant around the nested tree ops), so a
+        concurrent reader never observes a half-renumbered file."""
+        with self._tree._wr:
+            data = self._shape(data)
+            for missing in range(self.nrecords + 1, recno):
+                self._tree.put(encode_recno(missing), self._empty())
+            self._tree.put(encode_recno(recno), data)
+            self.nrecords = max(self.nrecords, recno)
 
     def append(self, data: bytes) -> int:
         """Add a record at the end; returns its record number."""
-        recno = self.nrecords + 1
-        self.put_rec(recno, data)
-        return recno
+        with self._tree._wr:
+            recno = self.nrecords + 1
+            self.put_rec(recno, data)
+            return recno
 
     def insert_rec(self, recno: int, data: bytes) -> None:
         """Insert before ``recno``, renumbering subsequent records
         (recno's O(n) middle insert)."""
-        if recno > self.nrecords + 1:
-            self.put_rec(recno, data)
-            return
-        for i in range(self.nrecords, recno - 1, -1):
-            self._tree.put(encode_recno(i + 1), self._tree.get(encode_recno(i)))
-        self._tree.put(encode_recno(recno), self._shape(data))
-        self.nrecords += 1
+        with self._tree._wr:
+            if recno > self.nrecords + 1:
+                self.put_rec(recno, data)
+                return
+            for i in range(self.nrecords, recno - 1, -1):
+                self._tree.put(encode_recno(i + 1), self._tree.get(encode_recno(i)))
+            self._tree.put(encode_recno(recno), self._shape(data))
+            self.nrecords += 1
 
     def delete_rec(self, recno: int) -> bool:
         """Delete ``recno``, renumbering subsequent records down."""
-        if recno < 1 or recno > self.nrecords:
-            return False
-        for i in range(recno, self.nrecords):
-            self._tree.put(encode_recno(i), self._tree.get(encode_recno(i + 1)))
-        self._tree.delete(encode_recno(self.nrecords))
-        self.nrecords -= 1
-        return True
+        with self._tree._wr:
+            if recno < 1 or recno > self.nrecords:
+                return False
+            for i in range(recno, self.nrecords):
+                self._tree.put(encode_recno(i), self._tree.get(encode_recno(i + 1)))
+            self._tree.delete(encode_recno(self.nrecords))
+            self.nrecords -= 1
+            return True
 
     def records(self):
         """Iterate records in order (without their numbers)."""
@@ -184,11 +196,12 @@ class Recno(AccessMethod):
         return self.get_rec(decode_recno(key))
 
     def put(self, key: bytes, data: bytes, flags: int = 0) -> int:
-        recno = decode_recno(key)
-        if flags == R_NOOVERWRITE and self.get_rec(recno) is not None:
-            return 1
-        self.put_rec(recno, data)
-        return 0
+        with self._tree._wr:
+            recno = decode_recno(key)
+            if flags == R_NOOVERWRITE and self.get_rec(recno) is not None:
+                return 1
+            self.put_rec(recno, data)
+            return 0
 
     def delete(self, key: bytes) -> int:
         return 0 if self.delete_rec(decode_recno(key)) else 1

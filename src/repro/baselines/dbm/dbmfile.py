@@ -34,6 +34,7 @@ from typing import Callable, Iterator
 
 from repro.baselines.dbm.bitmap import DirBitmap
 from repro.core.hashfuncs import thompson_hash
+from repro.core.locking import NULL_GUARD, RWLock
 from repro.core.pages import PageFullError, PageView, empty_page, pair_bytes_needed
 from repro.core.constants import PAGE_HDR_SIZE
 from repro.storage.pager import open_pager
@@ -60,6 +61,7 @@ class DbmFile:
         *,
         block_size: int = DEFAULT_BLOCK_SIZE,
         hashfn: Callable[[bytes], int] | None = None,
+        concurrent: bool = False,
         file_wrapper=None,
     ) -> None:
         if flags not in ("r", "w", "c", "n"):
@@ -99,6 +101,14 @@ class DbmFile:
         self._cached_blkno: int | None = None
         self._cached_page: bytearray | None = None
         self._cached_dirty = False
+        #: ``concurrent=True`` serializes every operation exclusively:
+        #: dbm's single-block cache makes even a fetch a mutation, so
+        #: there is no shared-reader mode to offer.  The same write-side
+        #: RWLock as the new package, so the race harness can observe it.
+        self._lock = RWLock() if concurrent else None
+        self._guard = self._lock.writer if concurrent else NULL_GUARD
+        if concurrent:
+            self.pag.stats.make_threadsafe()
 
     # -- block cache -----------------------------------------------------------
 
@@ -147,13 +157,14 @@ class DbmFile:
     # -- operations ------------------------------------------------------------------
 
     def fetch(self, key: bytes) -> bytes | None:
-        self._check_open()
-        _h, bucket, _mask = self._calc_bucket(key)
-        view = PageView(self._read_block(bucket))
-        i = view.find_inline(key)
-        if i < 0:
-            return None
-        return view.get_pair(i)[1]
+        with self._guard:
+            self._check_open()
+            _h, bucket, _mask = self._calc_bucket(key)
+            view = PageView(self._read_block(bucket))
+            i = view.find_inline(key)
+            if i < 0:
+                return None
+            return view.get_pair(i)[1]
 
     def store(self, key: bytes, data: bytes, *, replace: bool = True) -> bool:
         """Insert/replace; splits the target bucket as needed.
@@ -161,35 +172,36 @@ class DbmFile:
         Raises :class:`DbmError` for the algorithm's inherent failures
         (oversized pair, unsplittable collisions).
         """
-        self._check_writable()
-        if pair_bytes_needed(len(key), len(data)) + PAGE_HDR_SIZE > self.block_size:
+        with self._guard:
+            self._check_writable()
+            if pair_bytes_needed(len(key), len(data)) + PAGE_HDR_SIZE > self.block_size:
+                raise DbmError(
+                    f"dbm: key+data of {len(key) + len(data)} bytes exceed the "
+                    f"{self.block_size}-byte block size"
+                )
+            h = self._hash(key)
+            for _attempt in range(MAX_SPLIT_DEPTH + 1):
+                bucket, mask = self._access(h)
+                page = self._read_block(bucket)
+                view = PageView(page)
+                i = view.find_inline(key)
+                if i >= 0:
+                    if not replace:
+                        return False
+                    view.delete_slot(i)
+                try:
+                    view.add_pair(key, data)
+                except PageFullError:
+                    self._split(bucket, mask)
+                    continue
+                self._cached_dirty = True
+                if bucket > self.bitmap.maxbuck:
+                    self.bitmap.maxbuck = bucket
+                return True
             raise DbmError(
-                f"dbm: key+data of {len(key) + len(data)} bytes exceed the "
-                f"{self.block_size}-byte block size"
+                "dbm: cannot store -- colliding keys exceed block size "
+                "(split depth exhausted)"
             )
-        h = self._hash(key)
-        for _attempt in range(MAX_SPLIT_DEPTH + 1):
-            bucket, mask = self._access(h)
-            page = self._read_block(bucket)
-            view = PageView(page)
-            i = view.find_inline(key)
-            if i >= 0:
-                if not replace:
-                    return False
-                view.delete_slot(i)
-            try:
-                view.add_pair(key, data)
-            except PageFullError:
-                self._split(bucket, mask)
-                continue
-            self._cached_dirty = True
-            if bucket > self.bitmap.maxbuck:
-                self.bitmap.maxbuck = bucket
-            return True
-        raise DbmError(
-            "dbm: cannot store -- colliding keys exceed block size "
-            "(split depth exhausted)"
-        )
 
     def _split(self, bucket: int, mask: int) -> None:
         """Split ``bucket`` at level ``mask``: set its bitmap bit and
@@ -217,21 +229,29 @@ class DbmFile:
             self.bitmap.maxbuck = buddy
 
     def delete(self, key: bytes) -> bool:
-        self._check_writable()
-        _h, bucket, _mask = self._calc_bucket(key)
-        view = PageView(self._read_block(bucket))
-        i = view.find_inline(key)
-        if i < 0:
-            return False
-        view.delete_slot(i)
-        self._cached_dirty = True
-        return True
+        with self._guard:
+            self._check_writable()
+            _h, bucket, _mask = self._calc_bucket(key)
+            view = PageView(self._read_block(bucket))
+            i = view.find_inline(key)
+            if i < 0:
+                return False
+            view.delete_slot(i)
+            self._cached_dirty = True
+            return True
 
     # -- sequential access ----------------------------------------------------------
 
     def items(self) -> Iterator[tuple[bytes, bytes]]:
         """Scan blocks 0..maxbuck in order (dbm's block-order traversal);
-        only leaf buckets contain data, holes read back empty."""
+        only leaf buckets contain data, holes read back empty.  Concurrent
+        handles materialize the scan under the lock (stable snapshot)."""
+        if self._lock is None:
+            return self._iter_items()
+        with self._guard:
+            return iter(list(self._iter_items()))
+
+    def _iter_items(self) -> Iterator[tuple[bytes, bytes]]:
         self._check_open()
         for blkno in range(self.bitmap.maxbuck + 1):
             view = PageView(self._read_block(blkno))
@@ -257,6 +277,10 @@ class DbmFile:
         """Flush-before-sync: dirty block first, then the ``.dir`` bitmap,
         then one fsync of the ``.pag`` file (same ordering as the hash and
         btree access methods: data pages, metadata, fsync)."""
+        with self._guard:
+            self._sync_impl()
+
+    def _sync_impl(self) -> None:
         self._check_open()
         self._flush_block()
         if not self.readonly:
@@ -267,14 +291,15 @@ class DbmFile:
         """Idempotent; syncs (same ordering as :meth:`sync`) before closing
         unless read-only, then clears the .dir dirty flag -- the commit
         record a crash leaves set."""
-        if self._closed:
-            return
-        if not self.readonly:
-            self.sync()
-            self.bitmap.dirty = False
-            self.bitmap.save(self.dir_path)
-        self._closed = True
-        self.pag.close()
+        with self._guard:
+            if self._closed:
+                return
+            if not self.readonly:
+                self._sync_impl()
+                self.bitmap.dirty = False
+                self.bitmap.save(self.dir_path)
+            self._closed = True
+            self.pag.close()
 
     def check(self) -> list[str]:
         """Consistency walk: every stored key must hash to the bucket it
@@ -285,6 +310,10 @@ class DbmFile:
         Raises whatever the page parser raises on structurally corrupt
         blocks -- callers treat any exception as detected corruption.
         """
+        with self._guard:
+            return self._check_impl()
+
+    def _check_impl(self) -> list[str]:
         self._check_open()
         problems: list[str] = []
         if self._was_unclean:

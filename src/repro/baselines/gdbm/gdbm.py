@@ -33,6 +33,7 @@ from typing import Callable, Iterator
 
 from repro.baselines.gdbm.allocator import AVAIL_MAX, ExtentAllocator
 from repro.core.hashfuncs import fnv1a_hash
+from repro.core.locking import NULL_GUARD, RWLock
 from repro.obs.hooks import TraceHooks
 from repro.obs.registry import Counter, Registry
 from repro.storage.bytefile import ByteFile
@@ -88,6 +89,7 @@ class Gdbm:
         hashfn: Callable[[bytes], int] | None = None,
         max_dir_depth: int = DEFAULT_MAX_DIR_DEPTH,
         observability: bool = True,
+        concurrent: bool = False,
         file_wrapper=None,
     ) -> None:
         if flags not in ("r", "w", "c", "n"):
@@ -130,6 +132,15 @@ class Gdbm:
         # granularity, so gdbm shows up in the same traces as the paged
         # formats (installed after bootstrap I/O so block_size is known).
         self.file.on_io = self._io_event
+        #: ``concurrent=True`` serializes every operation exclusively:
+        #: gdbm's single-bucket cache makes even a fetch a mutation, so
+        #: there is no shared-reader mode to offer.  The same write-side
+        #: RWLock as the new package, so the race harness can observe it.
+        self._lock = RWLock() if concurrent else None
+        self._guard = self._lock.writer if concurrent else NULL_GUARD
+        if concurrent:
+            self.file.stats.make_threadsafe()
+            self.obs.make_threadsafe()
 
     def _io_event(self, kind: str, offset: int, nbytes: int) -> None:
         hooks = self.hooks
@@ -267,42 +278,44 @@ class Gdbm:
     # -- operations -------------------------------------------------------------------
 
     def fetch(self, key: bytes) -> bytes | None:
-        self._check_open()
-        h = self._hash(key)
-        bucket = self._read_bucket(self.directory[self._dir_index(h)])
-        for elem in bucket.elems:
-            if elem[0] == h and elem[1] == len(key) and self._read_key(elem) == key:
-                return self._read_record(elem)[1]
-        return None
+        with self._guard:
+            self._check_open()
+            h = self._hash(key)
+            bucket = self._read_bucket(self.directory[self._dir_index(h)])
+            for elem in bucket.elems:
+                if elem[0] == h and elem[1] == len(key) and self._read_key(elem) == key:
+                    return self._read_record(elem)[1]
+            return None
 
     def store(self, key: bytes, data: bytes, *, replace: bool = True) -> bool:
         """Insert/replace; splits buckets and doubles the directory as
         needed.  Arbitrary-length keys and data are supported."""
-        self._check_writable()
-        h = self._hash(key)
-        # replace path
-        bucket = self._read_bucket(self.directory[self._dir_index(h)])
-        for i, elem in enumerate(bucket.elems):
-            if elem[0] == h and elem[1] == len(key) and self._read_key(elem) == key:
-                if not replace:
-                    return False
-                self.alloc.free(elem[3], elem[1] + elem[2])
-                off = self._alloc_record(key, data)
-                bucket.elems[i] = (h, len(key), len(data), off)
-                self._write_bucket(bucket)
-                self._write_header()
-                return True
-        # insert path: split until the target bucket has room
-        while True:
+        with self._guard:
+            self._check_writable()
+            h = self._hash(key)
+            # replace path
             bucket = self._read_bucket(self.directory[self._dir_index(h)])
-            if len(bucket.elems) < self.bucket_elems:
-                break
-            self._split(bucket)
-        off = self._alloc_record(key, data)
-        bucket.elems.append((h, len(key), len(data), off))
-        self._write_bucket(bucket)
-        self._write_header()
-        return True
+            for i, elem in enumerate(bucket.elems):
+                if elem[0] == h and elem[1] == len(key) and self._read_key(elem) == key:
+                    if not replace:
+                        return False
+                    self.alloc.free(elem[3], elem[1] + elem[2])
+                    off = self._alloc_record(key, data)
+                    bucket.elems[i] = (h, len(key), len(data), off)
+                    self._write_bucket(bucket)
+                    self._write_header()
+                    return True
+            # insert path: split until the target bucket has room
+            while True:
+                bucket = self._read_bucket(self.directory[self._dir_index(h)])
+                if len(bucket.elems) < self.bucket_elems:
+                    break
+                self._split(bucket)
+            off = self._alloc_record(key, data)
+            bucket.elems.append((h, len(key), len(data), off))
+            self._write_bucket(bucket)
+            self._write_header()
+            return True
 
     def _split(self, bucket: _Bucket) -> None:
         """The paper's code fragment: give the full bucket a buddy one
@@ -359,17 +372,18 @@ class Gdbm:
         self._write_header()
 
     def delete(self, key: bytes) -> bool:
-        self._check_writable()
-        h = self._hash(key)
-        bucket = self._read_bucket(self.directory[self._dir_index(h)])
-        for i, elem in enumerate(bucket.elems):
-            if elem[0] == h and elem[1] == len(key) and self._read_key(elem) == key:
-                self.alloc.free(elem[3], elem[1] + elem[2])
-                del bucket.elems[i]
-                self._write_bucket(bucket)
-                self._write_header()
-                return True
-        return False
+        with self._guard:
+            self._check_writable()
+            h = self._hash(key)
+            bucket = self._read_bucket(self.directory[self._dir_index(h)])
+            for i, elem in enumerate(bucket.elems):
+                if elem[0] == h and elem[1] == len(key) and self._read_key(elem) == key:
+                    self.alloc.free(elem[3], elem[1] + elem[2])
+                    del bucket.elems[i]
+                    self._write_bucket(bucket)
+                    self._write_header()
+                    return True
+            return False
 
     # -- iteration ----------------------------------------------------------------------
 
@@ -381,6 +395,14 @@ class Gdbm:
                 yield self._read_bucket(off)
 
     def items(self) -> Iterator[tuple[bytes, bytes]]:
+        """Concurrent handles materialize the scan under the lock (stable
+        snapshot)."""
+        if self._lock is None:
+            return self._iter_items()
+        with self._guard:
+            return iter(list(self._iter_items()))
+
+    def _iter_items(self) -> Iterator[tuple[bytes, bytes]]:
         self._check_open()
         for bucket in self._distinct_buckets():
             # Copy: _read_record goes through the single-bucket cache's file
@@ -408,6 +430,10 @@ class Gdbm:
         written through, so sync writes the header (metadata last) and
         issues one fsync -- the ordering shared by every disk format in
         this repo."""
+        with self._guard:
+            self._sync_impl()
+
+    def _sync_impl(self) -> None:
         self._check_open()
         if not self.readonly:
             self._write_header()
@@ -416,17 +442,22 @@ class Gdbm:
     def close(self) -> None:
         """Idempotent; syncs (same ordering as :meth:`sync`) before
         closing unless read-only."""
-        if self._closed:
-            return
-        if not self.readonly:
-            self.sync()
-        self._closed = True
-        self.file.close()
+        with self._guard:
+            if self._closed:
+                return
+            if not self.readonly:
+                self._sync_impl()
+            self._closed = True
+            self.file.close()
 
     def stat(self) -> dict:
         """Metrics in the shared ``db.stat()`` shape (``type``, ``nkeys``,
         ``io``, ``method``), so prof and the CLI can report on a gdbm file
         the same way as on the paged access methods."""
+        with self._guard:
+            return self._stat_impl()
+
+    def _stat_impl(self) -> dict:
         self._check_open()
         nkeys = sum(len(b.elems) for b in self._distinct_buckets())
         return {
@@ -450,6 +481,10 @@ class Gdbm:
         prefixes vs the directory slot they are reachable from, and record
         extents within the file.  Returns problems found (empty = clean);
         I/O and parse failures are reported as problems, not raised."""
+        with self._guard:
+            return self._check_impl()
+
+    def _check_impl(self) -> list[str]:
         self._check_open()
         problems: list[str] = []
         file_size = self.file.size()

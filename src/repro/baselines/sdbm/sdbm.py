@@ -33,6 +33,7 @@ from typing import Callable, Iterator
 from repro.baselines.dbm.bitmap import DirBitmap
 from repro.core.constants import PAGE_HDR_SIZE
 from repro.core.hashfuncs import sdbm_hash
+from repro.core.locking import NULL_GUARD, RWLock
 from repro.core.pages import PageFullError, PageView, empty_page, pair_bytes_needed
 from repro.storage.pager import open_pager
 
@@ -57,6 +58,7 @@ class Sdbm:
         *,
         block_size: int = DEFAULT_BLOCK_SIZE,
         hashfn: Callable[[bytes], int] | None = None,
+        concurrent: bool = False,
         file_wrapper=None,
     ) -> None:
         if flags not in ("r", "w", "c", "n"):
@@ -94,6 +96,14 @@ class Sdbm:
         self._cached_blkno: int | None = None
         self._cached_page: bytearray | None = None
         self._cached_dirty = False
+        #: ``concurrent=True`` serializes every operation exclusively:
+        #: sdbm's single-block cache makes even a fetch a mutation, so
+        #: there is no shared-reader mode to offer.  The same write-side
+        #: RWLock as the new package, so the race harness can observe it.
+        self._lock = RWLock() if concurrent else None
+        self._guard = self._lock.writer if concurrent else NULL_GUARD
+        if concurrent:
+            self.pag.stats.make_threadsafe()
 
     # -- trie traversal -----------------------------------------------------------
 
@@ -135,46 +145,48 @@ class Sdbm:
     # -- operations -------------------------------------------------------------------
 
     def fetch(self, key: bytes) -> bytes | None:
-        self._check_open()
-        bucket, _mask, _nbits, _tbit = self._access(self._hash(key))
-        view = PageView(self._read_block(bucket))
-        i = view.find_inline(key)
-        if i < 0:
-            return None
-        return view.get_pair(i)[1]
+        with self._guard:
+            self._check_open()
+            bucket, _mask, _nbits, _tbit = self._access(self._hash(key))
+            view = PageView(self._read_block(bucket))
+            i = view.find_inline(key)
+            if i < 0:
+                return None
+            return view.get_pair(i)[1]
 
     def store(self, key: bytes, data: bytes, *, replace: bool = True) -> bool:
-        self._check_writable()
-        if pair_bytes_needed(len(key), len(data)) + PAGE_HDR_SIZE > self.block_size:
+        with self._guard:
+            self._check_writable()
+            if pair_bytes_needed(len(key), len(data)) + PAGE_HDR_SIZE > self.block_size:
+                raise SdbmError(
+                    f"sdbm: key+data of {len(key) + len(data)} bytes exceed the "
+                    f"{self.block_size}-byte block size"
+                )
+            h = self._hash(key)
+            for _attempt in range(MAX_SPLIT_DEPTH + 1):
+                bucket, _mask, nbits, tbit = self._access(h)
+                page = self._read_block(bucket)
+                view = PageView(page)
+                i = view.find_inline(key)
+                if i >= 0:
+                    if not replace:
+                        return False
+                    view.delete_slot(i)
+                try:
+                    view.add_pair(key, data)
+                except PageFullError:
+                    if nbits >= MAX_SPLIT_DEPTH:
+                        break
+                    self._split(bucket, nbits, tbit)
+                    continue
+                self._cached_dirty = True
+                if bucket > self.trie.maxbuck:
+                    self.trie.maxbuck = bucket
+                return True
             raise SdbmError(
-                f"sdbm: key+data of {len(key) + len(data)} bytes exceed the "
-                f"{self.block_size}-byte block size"
+                "sdbm: cannot store -- colliding keys exceed block size "
+                "(trie depth exhausted)"
             )
-        h = self._hash(key)
-        for _attempt in range(MAX_SPLIT_DEPTH + 1):
-            bucket, _mask, nbits, tbit = self._access(h)
-            page = self._read_block(bucket)
-            view = PageView(page)
-            i = view.find_inline(key)
-            if i >= 0:
-                if not replace:
-                    return False
-                view.delete_slot(i)
-            try:
-                view.add_pair(key, data)
-            except PageFullError:
-                if nbits >= MAX_SPLIT_DEPTH:
-                    break
-                self._split(bucket, nbits, tbit)
-                continue
-            self._cached_dirty = True
-            if bucket > self.trie.maxbuck:
-                self.trie.maxbuck = bucket
-            return True
-        raise SdbmError(
-            "sdbm: cannot store -- colliding keys exceed block size "
-            "(trie depth exhausted)"
-        )
 
     def _split(self, bucket: int, nbits: int, tbit: int) -> None:
         """Make external node ``tbit`` internal and redistribute its bucket
@@ -199,19 +211,28 @@ class Sdbm:
             self.trie.maxbuck = buddy
 
     def delete(self, key: bytes) -> bool:
-        self._check_writable()
-        bucket, _mask, _nbits, _tbit = self._access(self._hash(key))
-        view = PageView(self._read_block(bucket))
-        i = view.find_inline(key)
-        if i < 0:
-            return False
-        view.delete_slot(i)
-        self._cached_dirty = True
-        return True
+        with self._guard:
+            self._check_writable()
+            bucket, _mask, _nbits, _tbit = self._access(self._hash(key))
+            view = PageView(self._read_block(bucket))
+            i = view.find_inline(key)
+            if i < 0:
+                return False
+            view.delete_slot(i)
+            self._cached_dirty = True
+            return True
 
     # -- sequential access -----------------------------------------------------------
 
     def items(self) -> Iterator[tuple[bytes, bytes]]:
+        """Scan blocks 0..maxbuck in order; concurrent handles materialize
+        the scan under the lock (stable snapshot)."""
+        if self._lock is None:
+            return self._iter_items()
+        with self._guard:
+            return iter(list(self._iter_items()))
+
+    def _iter_items(self) -> Iterator[tuple[bytes, bytes]]:
         self._check_open()
         for blkno in range(self.trie.maxbuck + 1):
             view = PageView(self._read_block(blkno))
@@ -237,6 +258,10 @@ class Sdbm:
         """Flush-before-sync: dirty block, then the ``.dir`` trie, then one
         fsync of the ``.pag`` file (the ordering shared by every disk
         format in this repo)."""
+        with self._guard:
+            self._sync_impl()
+
+    def _sync_impl(self) -> None:
         self._check_open()
         self._flush_block()
         if not self.readonly:
@@ -247,20 +272,25 @@ class Sdbm:
         """Idempotent; syncs (same ordering as :meth:`sync`) before closing
         unless read-only, then clears the .dir dirty flag -- the commit
         record a crash leaves set."""
-        if self._closed:
-            return
-        if not self.readonly:
-            self.sync()
-            self.trie.dirty = False
-            self.trie.save(self.dir_path)
-        self._closed = True
-        self.pag.close()
+        with self._guard:
+            if self._closed:
+                return
+            if not self.readonly:
+                self._sync_impl()
+                self.trie.dirty = False
+                self.trie.save(self.dir_path)
+            self._closed = True
+            self.pag.close()
 
     def check(self) -> list[str]:
         """Consistency walk mirroring :meth:`DbmFile.check`: every key must
         land in its own block under the trie traversal; pages must parse.
         Returns problems found (empty = clean); raises on structurally
         corrupt blocks."""
+        with self._guard:
+            return self._check_impl()
+
+    def _check_impl(self) -> list[str]:
         self._check_open()
         problems: list[str] = []
         if self._was_unclean:

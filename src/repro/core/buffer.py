@@ -36,9 +36,11 @@ O(1) instead of an O(pool) scan.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Callable, Hashable
 
+from repro.core.locking import NULL_GUARD, PageLatch
 from repro.core.pages import PageView
 from repro.obs.hooks import TraceHooks
 from repro.obs.registry import Counter, Registry
@@ -50,6 +52,51 @@ MIN_BUFFERS = 4
 BufferKey = Hashable
 
 
+class OwnedMutex:
+    """A reentrant mutex that knows who holds it (hierarchy level 2).
+
+    ``threading.RLock`` cannot answer "does *this* thread hold you?", but
+    the race harness needs exactly that: its page-I/O yield points fire
+    inside pool critical sections (eviction write-back), where parking
+    the thread would block every other pool user invisibly.  The owner
+    ident lets the harness (and assertions) detect that case.
+    """
+
+    __slots__ = ("_lock", "_owner", "_depth")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._owner: int | None = None
+        self._depth = 0
+
+    def acquire(self) -> None:
+        me = threading.get_ident()
+        if self._owner == me:
+            self._depth += 1
+            return
+        self._lock.acquire()
+        self._owner = me
+        self._depth = 1
+
+    def release(self) -> None:
+        if self._owner != threading.get_ident():
+            raise RuntimeError("OwnedMutex released by a non-owner thread")
+        self._depth -= 1
+        if self._depth == 0:
+            self._owner = None
+            self._lock.release()
+
+    def held_by_me(self) -> bool:
+        return self._owner == threading.get_ident()
+
+    def __enter__(self) -> "OwnedMutex":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.release()
+
+
 class BufferHeader:
     """One resident page: the buffer plus its bookkeeping.
 
@@ -58,7 +105,7 @@ class BufferHeader:
     (the LRU links live in the pool's ordered dict).
     """
 
-    __slots__ = ("key", "pageno", "page", "dirty", "pins", "chain_next")
+    __slots__ = ("key", "pageno", "page", "dirty", "pins", "chain_next", "latch")
 
     def __init__(self, key: BufferKey, pageno: int, page: bytearray) -> None:
         self.key = key
@@ -69,6 +116,10 @@ class BufferHeader:
         #: key of the next overflow buffer chained behind this page, if that
         #: buffer is resident; evicted together with this one.
         self.chain_next: BufferKey | None = None
+        #: per-page latch (hierarchy level 3), installed only by concurrent
+        #: pools; held while the page's bytes are mutated or snapshotted so
+        #: a write-back never captures a torn page.
+        self.latch: PageLatch | None = None
 
     def view(self) -> PageView:
         return PageView(self.page)
@@ -94,6 +145,7 @@ class BufferPool:
         policy: str = "lru",
         obs: Registry | None = None,
         hooks: TraceHooks | None = None,
+        concurrent: bool = False,
     ) -> None:
         if bsize <= 0:
             raise ValueError(f"bsize must be positive, got {bsize}")
@@ -141,6 +193,11 @@ class BufferPool:
         #: high-water mark): faulting them zero-fills without a read.  A
         #: pre-sized table's untouched buckets cost no I/O this way.
         self._hole_threshold = file.npages()
+        #: pool mutex (hierarchy level 2): None keeps the single-threaded
+        #: fast path free of every lock acquire.  Counters are bumped via
+        #: bare ``.value +=`` on purpose -- always inside this mutex when
+        #: it exists, so they need no lock of their own.
+        self.mutex: OwnedMutex | None = OwnedMutex() if concurrent else None
 
     # -- legacy counter views -----------------------------------------------------
 
@@ -178,19 +235,56 @@ class BufferPool:
         With ``create=True`` the page is known to be brand new: the buffer
         is zero-initialized without a disk read (the caller formats it).
         """
-        hdr = self._pool.get(key)
-        if hdr is not None:
-            self._c_hits.value += 1
-            if self.policy == "lru":
-                self._pool.move_to_end(key)
-            return hdr
-        self._c_misses.value += 1
-        pageno = self.addresser(key)
-        if create or pageno >= self._hole_threshold:
+        mutex = self.mutex
+        if mutex is None:
+            hdr = self._pool.get(key)
+            if hdr is not None:
+                self._c_hits.value += 1
+                if self.policy == "lru":
+                    self._pool.move_to_end(key)
+                return hdr
+            self._c_misses.value += 1
+            pageno = self.addresser(key)
+            if create or pageno >= self._hole_threshold:
+                page = bytearray(self.bsize)
+            else:
+                page = bytearray(self.file.read_page(pageno))
+            return self._install(key, pageno, page, create)
+        # Concurrent path: the miss read happens OUTSIDE the mutex (pread
+        # needs no shared cursor), both so a slow fault never serializes
+        # every hit behind it and so the page-I/O yield point fires with
+        # no pool lock held -- the race harness can park there safely.
+        with mutex:
+            hdr = self._pool.get(key)
+            if hdr is not None:
+                self._c_hits.value += 1
+                if self.policy == "lru":
+                    self._pool.move_to_end(key)
+                return hdr
+            self._c_misses.value += 1
+            pageno = self.addresser(key)
+            hole = create or pageno >= self._hole_threshold
+        if hole:
             page = bytearray(self.bsize)
         else:
             page = bytearray(self.file.read_page(pageno))
+        with mutex:
+            # Double-checked insert: a sibling reader may have faulted the
+            # same page while the mutex was dropped; its buffer wins (ours
+            # is identical bytes -- no writer can run during read faults).
+            other = self._pool.get(key)
+            if other is not None:
+                if self.policy == "lru":
+                    self._pool.move_to_end(key)
+                return other
+            return self._install(key, pageno, page, create)
+
+    def _install(self, key: BufferKey, pageno: int, page: bytearray, create: bool) -> BufferHeader:
+        """Insert a freshly faulted buffer and rebalance (mutex held when
+        concurrent)."""
         hdr = BufferHeader(key, pageno, page)
+        if self.mutex is not None:
+            hdr.latch = PageLatch()
         self._pool[key] = hdr
         if create:
             hdr.dirty = True
@@ -203,6 +297,14 @@ class BufferPool:
         finally:
             hdr.unpin()
         return hdr
+
+    def latched(self, hdr: BufferHeader):
+        """Context manager guarding byte-level access to ``hdr.page``.
+
+        The shared no-op guard in non-concurrent pools, the page's latch
+        otherwise.  Never call back into the pool while holding it."""
+        latch = hdr.latch
+        return NULL_GUARD if latch is None else latch
 
     # -- state changes -----------------------------------------------------------
 
@@ -217,23 +319,27 @@ class BufferPool:
         successor of ``pred``) has its edge cleared, in O(1) via the
         reverse map.
         """
-        if pred.chain_next == succ.key:
-            return
-        if pred.chain_next is not None and self._chain_prev.get(pred.chain_next) == pred.key:
-            del self._chain_prev[pred.chain_next]
-        old_pred_key = self._chain_prev.get(succ.key)
-        if old_pred_key is not None and old_pred_key != pred.key:
-            old_pred = self._pool.get(old_pred_key)
-            if old_pred is not None and old_pred.chain_next == succ.key:
-                old_pred.chain_next = None
-        pred.chain_next = succ.key
-        self._chain_prev[succ.key] = pred.key
+        mutex = self.mutex if self.mutex is not None else NULL_GUARD
+        with mutex:
+            if pred.chain_next == succ.key:
+                return
+            if pred.chain_next is not None and self._chain_prev.get(pred.chain_next) == pred.key:
+                del self._chain_prev[pred.chain_next]
+            old_pred_key = self._chain_prev.get(succ.key)
+            if old_pred_key is not None and old_pred_key != pred.key:
+                old_pred = self._pool.get(old_pred_key)
+                if old_pred is not None and old_pred.chain_next == succ.key:
+                    old_pred.chain_next = None
+            pred.chain_next = succ.key
+            self._chain_prev[succ.key] = pred.key
 
     def unlink_chain(self, pred: BufferHeader) -> None:
-        nxt = pred.chain_next
-        if nxt is not None and self._chain_prev.get(nxt) == pred.key:
-            del self._chain_prev[nxt]
-        pred.chain_next = None
+        mutex = self.mutex if self.mutex is not None else NULL_GUARD
+        with mutex:
+            nxt = pred.chain_next
+            if nxt is not None and self._chain_prev.get(nxt) == pred.key:
+                del self._chain_prev[nxt]
+            pred.chain_next = None
 
     def invalidate(self, key: BufferKey) -> None:
         """Drop a buffer without writing it (its page was freed).
@@ -243,6 +349,14 @@ class BufferPool:
         eviction drag (or cycle through) unrelated buffers.  O(1) via the
         reverse-edge map (formerly an O(pool) scan).
         """
+        mutex = self.mutex
+        if mutex is None:
+            self._invalidate_locked(key)
+            return
+        with mutex:
+            self._invalidate_locked(key)
+
+    def _invalidate_locked(self, key: BufferKey) -> None:
         hdr = self._pool.get(key)
         if hdr is not None and hdr.pins:
             raise AssertionError(f"invalidate of pinned buffer {key!r}")
@@ -260,9 +374,18 @@ class BufferPool:
 
     # -- eviction / flushing ----------------------------------------------------------
 
+    def _snapshot(self, hdr: BufferHeader) -> bytes:
+        """Copy the page's bytes out under its latch (if it has one), so
+        a write-back never captures a half-applied in-place mutation."""
+        latch = hdr.latch
+        if latch is None:
+            return bytes(hdr.page)
+        with latch:
+            return bytes(hdr.page)
+
     def _write_back(self, hdr: BufferHeader) -> None:
         if hdr.dirty:
-            self.file.write_page(hdr.pageno, bytes(hdr.page))
+            self.file.write_page(hdr.pageno, self._snapshot(hdr))
             hdr.dirty = False
             self._c_writebacks.value += 1
             if hdr.pageno >= self._hole_threshold:
@@ -302,6 +425,12 @@ class BufferPool:
         emit = hooks is not None and bool(hooks.on_evict)
         chained = len(chain) > 1
         for hdr in chain:
+            # Re-validate before every member: the on_evict / on_page_io
+            # hooks fired for an earlier member may have called back into
+            # the pool and invalidated this one (reentrant trace hooks
+            # used to corrupt the walk here).
+            if self._pool.get(hdr.key) is not hdr:
+                continue
             if emit:
                 hooks.emit(
                     "on_evict",
@@ -312,6 +441,8 @@ class BufferPool:
                         "chained": chained,
                     },
                 )
+            if self._pool.get(hdr.key) is not hdr:
+                continue
             self._write_back(hdr)
             self._pool.pop(hdr.key, None)
             self._drop_edges(hdr)
@@ -340,41 +471,76 @@ class BufferPool:
         costs one syscall instead of N, which ``IOStats.syscalls`` makes
         visible.  ``batched=False`` keeps the historical page-at-a-time
         path (the ablation baseline in BENCH_flush_batching.json).
+
+        Each header is re-validated against the live pool immediately
+        before its bytes go out: ``on_page_io`` trace hooks fire during
+        the writes and may reenter the pool (``invalidate``), so the
+        dirty list collected up front can go stale mid-walk.
         """
+        mutex = self.mutex
+        if mutex is None:
+            return self._flush_locked(batched)
+        with mutex:
+            return self._flush_locked(batched)
+
+    def _flush_locked(self, batched: bool) -> int:
         dirty = [h for h in self._pool.values() if h.dirty]
         if not dirty:
             return 0
         dirty.sort(key=lambda h: h.pageno)
         vector_write = getattr(self.file, "write_pages", None) if batched else None
+        written = 0
+
+        def live(h: BufferHeader) -> bool:
+            return self._pool.get(h.key) is h and h.dirty
+
         if vector_write is None:
             for hdr in dirty:
-                self._write_back(hdr)
-            return len(dirty)
+                if live(hdr):
+                    self._write_back(hdr)
+                    written += 1
+            return written
         i = 0
         n = len(dirty)
         while i < n:
+            hdr = dirty[i]
+            if not live(hdr):
+                i += 1
+                continue
+            # Greedily extend the run with contiguous successors that are
+            # still resident and dirty at this instant.
+            run = [hdr]
             j = i + 1
-            while j < n and dirty[j].pageno == dirty[j - 1].pageno + 1:
+            while j < n and dirty[j].pageno == run[-1].pageno + 1 and live(dirty[j]):
+                run.append(dirty[j])
                 j += 1
-            if j - i == 1:
-                self._write_back(dirty[i])
+            if len(run) == 1:
+                self._write_back(hdr)
             else:
-                run = dirty[i:j]
                 vector_write(
-                    run[0].pageno, b"".join(bytes(h.page) for h in run)
+                    run[0].pageno, b"".join(self._snapshot(h) for h in run)
                 )
-                for hdr in run:
-                    hdr.dirty = False
-                self._c_writebacks.value += j - i
+                for h in run:
+                    h.dirty = False
+                self._c_writebacks.value += len(run)
                 self._c_batched_runs.value += 1
                 if run[-1].pageno >= self._hole_threshold:
                     self._hole_threshold = run[-1].pageno + 1
+            written += len(run)
             i = j
-        return n
+        return written
 
     def drop_all(self) -> None:
         """Flush then empty the pool (table close)."""
-        self.flush()
+        mutex = self.mutex
+        if mutex is None:
+            self._drop_all_locked()
+            return
+        with mutex:
+            self._drop_all_locked()
+
+    def _drop_all_locked(self) -> None:
+        self._flush_locked(True)
         if any(h.pins for h in self._pool.values()):
             raise AssertionError("drop_all with pinned buffers resident")
         self._pool.clear()
@@ -383,10 +549,20 @@ class BufferPool:
     # -- introspection -----------------------------------------------------------------
 
     def resident_keys(self) -> list[BufferKey]:
-        return list(self._pool.keys())
+        mutex = self.mutex
+        if mutex is None:
+            return list(self._pool.keys())
+        with mutex:
+            return list(self._pool.keys())
 
     def dirty_count(self) -> int:
-        return sum(1 for h in self._pool.values() if h.dirty)
+        # Snapshot the headers first: sibling readers faulting pages can
+        # resize the dict mid-iteration when the pool is concurrent.
+        mutex = self.mutex
+        if mutex is None:
+            return sum(1 for h in self._pool.values() if h.dirty)
+        with mutex:
+            return sum(1 for h in self._pool.values() if h.dirty)
 
     def metrics(self) -> dict:
         """The pool's accounting as the dict ``db.stat()`` nests under

@@ -31,3 +31,12 @@ class ClosedError(HashError):
 
 class InvalidParameterError(HashError, ValueError):
     """A table-creation parameter was out of range."""
+
+
+class ConcurrentModificationError(HashError):
+    """A cursor's position was invalidated by a concurrent structural
+    change (a bucket split relocated pairs the scan had not reached).
+
+    Raised only by tables opened with ``concurrent=True``: instead of
+    silently skipping or double-returning relocated pairs, the cursor
+    fails fast and the caller restarts the scan with :meth:`first`."""

@@ -1,0 +1,288 @@
+"""Concurrency primitives: the table rwlock and per-page latches.
+
+The 1991 package was single-process; serving concurrent readers and
+writers from one process needs a locking hierarchy, which this module
+pins down in three levels (acquired strictly top-down, see
+docs/CONCURRENCY.md):
+
+1. **Table lock** (:class:`RWLock`) -- one per open table, taken at the
+   public operation boundary.  Multiple-reader/single-writer with FIFO
+   writer queueing: readers share, writers exclude everyone, and a
+   queued writer blocks new readers so writers cannot starve.
+2. **Pool mutex** -- one per :class:`~repro.core.buffer.BufferPool`,
+   protecting the pool's maps, LRU order and counters (lives in
+   buffer.py as :class:`OwnedMutex`).
+3. **Page latch** (:class:`PageLatch`) -- one per resident buffer,
+   held while a page's bytes are copied out (write-back) or mutated in
+   place, so a flush never snapshots a torn page.
+
+:class:`RWLock` is reentrant in both modes -- a thread may nest read
+inside read, write inside write, and read inside its own write (the
+recno method wraps composite record operations around nested btree
+ops) -- but upgrading read to write raises, since upgrades deadlock the
+moment two readers race for the same upgrade.
+
+Every blocking transition is observable: an attached
+:class:`LockObserver` hears ``on_block``/``on_unblock``/``on_acquired``
+per thread.  The deterministic race harness
+(``tests/concurrency/harness.py``) drives its scheduler off these
+callbacks, which is what makes recorded interleavings replay exactly:
+the lock tells the scheduler which thread is runnable, instead of the
+scheduler guessing.
+
+Single-threaded tables never construct any of this: ``concurrent=False``
+paths keep a ``None`` lock and the shared :data:`NULL_GUARD` context
+manager, so the hot path costs one attribute load (the BENCH guard in
+``benchmarks/test_concurrency.py`` holds that at zero syscall overhead).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Protocol
+
+__all__ = ["RWLock", "PageLatch", "LockObserver", "NULL_GUARD"]
+
+
+class LockObserver(Protocol):
+    """Callbacks an :class:`RWLock` issues around blocking transitions.
+
+    ``ident`` is the waiting thread's :func:`threading.get_ident`.
+    ``on_block``/``on_unblock`` are called with the lock's internal
+    mutex held (keep them tiny and never call back into the lock);
+    ``on_acquired`` is called after the mutex is released, so it may
+    park the calling thread.
+    """
+
+    def on_block(self, ident: int) -> None: ...
+
+    def on_unblock(self, ident: int) -> None: ...
+
+    def on_acquired(self, ident: int) -> None: ...
+
+
+class _NullGuard:
+    """Shared reusable no-op context manager for non-concurrent paths."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullGuard":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        return None
+
+
+NULL_GUARD = _NullGuard()
+
+
+class _ReadGuard:
+    """Reusable context manager: ``with lock.reader:`` (state lives in
+    the lock, keyed by thread, so one instance serves every thread)."""
+
+    __slots__ = ("_lock",)
+
+    def __init__(self, lock: "RWLock") -> None:
+        self._lock = lock
+
+    def __enter__(self) -> "_ReadGuard":
+        self._lock.acquire_read()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._lock.release_read()
+
+
+class _WriteGuard:
+    __slots__ = ("_lock",)
+
+    def __init__(self, lock: "RWLock") -> None:
+        self._lock = lock
+
+    def __enter__(self) -> "_WriteGuard":
+        self._lock.acquire_write()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._lock.release_write()
+
+
+class RWLock:
+    """Reentrant multiple-reader/single-writer lock with FIFO writers.
+
+    Policy:
+
+    - any number of threads may hold the read side together;
+    - the write side is exclusive against readers and other writers;
+    - writers queue FIFO, and a non-empty writer queue blocks *new*
+      readers (writer preference without writer starvation);
+    - reentrant read-in-read, write-in-write and read-in-write are
+      allowed; read-to-write upgrade raises :class:`RuntimeError`.
+
+    The FIFO queue also makes the grant order a pure function of the
+    arrival order, which the deterministic race harness relies on.
+    """
+
+    def __init__(self) -> None:
+        self._mutex = threading.Lock()
+        self._cond = threading.Condition(self._mutex)
+        #: ident -> reentrant read depth (an entry exists while held)
+        self._readers: dict[int, int] = {}
+        self._writer: int | None = None
+        self._writer_depth = 0
+        #: idents of threads waiting for the write side, in arrival order
+        self._write_queue: list[int] = []
+        #: idents of threads currently blocked waiting for the read side
+        self._read_waiters: set[int] = set()
+        #: optional LockObserver (the race harness); None in production
+        self.observer: LockObserver | None = None
+
+    # -- read side -------------------------------------------------------------
+
+    def acquire_read(self) -> None:
+        me = threading.get_ident()
+        obs = self.observer
+        blocked = False
+        with self._cond:
+            if self._writer == me or me in self._readers:
+                # read inside own write, or nested read: always admitted
+                # (blocking here on a queued writer would self-deadlock)
+                self._readers[me] = self._readers.get(me, 0) + 1
+                return
+            while self._writer is not None or self._write_queue:
+                # on_block before EVERY wait, not just the first: a woken
+                # reader can lose the race to a newly queued writer, and
+                # the observer must see it as blocked again.
+                blocked = True
+                self._read_waiters.add(me)
+                if obs is not None:
+                    obs.on_block(me)
+                self._cond.wait()
+            if blocked:
+                self._read_waiters.discard(me)
+            self._readers[me] = 1
+        if blocked and obs is not None:
+            obs.on_acquired(me)
+
+    def release_read(self) -> None:
+        me = threading.get_ident()
+        with self._cond:
+            depth = self._readers.get(me)
+            if depth is None:
+                raise RuntimeError("release_read without matching acquire_read")
+            if depth > 1:
+                self._readers[me] = depth - 1
+                return
+            del self._readers[me]
+            if self._writer is None and not self._readers and self._write_queue:
+                if self.observer is not None:
+                    self.observer.on_unblock(self._write_queue[0])
+                self._cond.notify_all()
+
+    # -- write side -------------------------------------------------------------
+
+    def acquire_write(self) -> None:
+        me = threading.get_ident()
+        obs = self.observer
+        blocked = False
+        with self._cond:
+            if self._writer == me:
+                self._writer_depth += 1
+                return
+            if me in self._readers:
+                raise RuntimeError(
+                    "read-to-write upgrade is not supported (release the "
+                    "read lock before acquiring the write lock)"
+                )
+            self._write_queue.append(me)
+            while not (
+                self._write_queue[0] == me
+                and self._writer is None
+                and not self._readers
+            ):
+                blocked = True
+                if obs is not None:
+                    obs.on_block(me)
+                self._cond.wait()
+            self._write_queue.pop(0)
+            self._writer = me
+            self._writer_depth = 1
+            if self._write_queue:
+                # the next queued writer is still blocked; nothing to signal
+                pass
+        if blocked and obs is not None:
+            obs.on_acquired(me)
+
+    def release_write(self) -> None:
+        me = threading.get_ident()
+        with self._cond:
+            if self._writer != me:
+                raise RuntimeError("release_write by a thread not holding it")
+            self._writer_depth -= 1
+            if self._writer_depth:
+                return
+            self._writer = None
+            obs = self.observer
+            if obs is not None:
+                if self._write_queue:
+                    obs.on_unblock(self._write_queue[0])
+                else:
+                    for ident in self._read_waiters:
+                        obs.on_unblock(ident)
+            self._cond.notify_all()
+
+    # -- reusable guards ---------------------------------------------------------
+
+    @property
+    def reader(self) -> _ReadGuard:
+        return _ReadGuard(self)
+
+    @property
+    def writer(self) -> _WriteGuard:
+        return _WriteGuard(self)
+
+    # -- introspection -----------------------------------------------------------
+
+    def held_read(self) -> bool:
+        """Does the calling thread hold the read side (possibly nested
+        inside its own write)?"""
+        me = threading.get_ident()
+        with self._mutex:
+            return me in self._readers
+
+    def held_write(self) -> bool:
+        return self._writer == threading.get_ident()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<RWLock readers={len(self._readers)} writer={self._writer} "
+            f"queued={len(self._write_queue)}>"
+        )
+
+
+class PageLatch:
+    """Exclusive latch on one resident page buffer (hierarchy level 3).
+
+    Held for the duration of a byte-level touch only -- a write-back
+    snapshot or an in-place mutation -- never across an I/O wait for a
+    *different* page, so latch deadlock is impossible by construction.
+    Reentrant, because a split mutates the page it just faulted.
+    """
+
+    __slots__ = ("_lock",)
+
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+
+    def acquire(self, blocking: bool = True) -> bool:
+        return self._lock.acquire(blocking)
+
+    def release(self) -> None:
+        self._lock.release()
+
+    def __enter__(self) -> "PageLatch":
+        self._lock.acquire()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._lock.release()

@@ -19,6 +19,7 @@ A :class:`HashTable` composes the substrates:
 from __future__ import annotations
 
 import os
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Iterator
@@ -44,12 +45,14 @@ from repro.core.constants import (
 from repro.core.errors import (
     BadFileError,
     ClosedError,
+    ConcurrentModificationError,
     HashFunctionMismatchError,
     InvalidParameterError,
     ReadOnlyError,
 )
 from repro.core.hashfuncs import HashFunction, get_hash_function
 from repro.core.header import Header
+from repro.core.locking import NULL_GUARD, RWLock
 from repro.core.pages import PageView, is_big_pair
 from repro.obs.hooks import TraceHooks
 from repro.obs.registry import Registry
@@ -69,6 +72,24 @@ class TableStats:
     big_pairs_stored: int = 0
     ovfl_pages_linked: int = 0
     extra: dict = field(default_factory=dict)
+    #: mutex for the reader-side counter (writer-side counters are already
+    #: serialized by the table's exclusive write lock); None = lock-free
+    _lock: threading.Lock | None = field(default=None, repr=False, compare=False)
+
+    def make_threadsafe(self) -> "TableStats":
+        if self._lock is None:
+            self._lock = threading.Lock()
+        return self
+
+    def bump_gets(self) -> None:
+        """Count a get: the one counter bumped under a *shared* lock, so
+        concurrent tables serialize it (``+=`` is not atomic)."""
+        lock = self._lock
+        if lock is None:
+            self.gets += 1
+            return
+        with lock:
+            self.gets += 1
 
 
 def suggest_parameters(
@@ -125,6 +146,7 @@ class HashTable:
         split_policy: str = "hybrid",
         buffer_policy: str = "lru",
         observability: bool = True,
+        concurrent: bool = False,
     ) -> None:
         if split_policy not in self.SPLIT_POLICIES:
             raise InvalidParameterError(
@@ -138,10 +160,25 @@ class HashTable:
         self._closed = False
         self.split_policy = split_policy
         self.stats = TableStats()
+        #: table-level rwlock (hierarchy level 1) and its reusable guards;
+        #: ``concurrent=False`` keeps both guards the shared no-op object,
+        #: so single-threaded operations never touch a lock.
+        self.concurrent = concurrent
+        self._lock = RWLock() if concurrent else None
+        self._rd = self._lock.reader if concurrent else NULL_GUARD
+        self._wr = self._lock.writer if concurrent else NULL_GUARD
+        #: bumped by every structural change (bucket split, overflow-page
+        #: reclaim); concurrent cursors compare it to fail fast instead of
+        #: silently skipping or double-returning relocated pairs.
+        self._structure_version = 0
         #: metrics tree rooted at this table; ``stat()`` renders it.  With
         #: ``observability=False`` every instrument is a shared null object
         #: and the op wrappers skip the clock entirely.
         self.obs = Registry("hash", enabled=observability)
+        if concurrent:
+            self.stats.make_threadsafe()
+            self.obs.make_threadsafe()
+            file.stats.make_threadsafe()
         self.hooks = TraceHooks()
         self.pool = BufferPool(
             file,
@@ -151,6 +188,7 @@ class HashTable:
             policy=buffer_policy,
             obs=self.obs.child("buffer"),
             hooks=self.hooks,
+            concurrent=concurrent,
         )
         _ops = self.obs.child("ops")
         self._h_get = _ops.histogram("get")
@@ -181,6 +219,7 @@ class HashTable:
         split_policy: str = "hybrid",
         buffer_policy: str = "lru",
         observability: bool = True,
+        concurrent: bool = False,
         file_wrapper=None,
     ) -> "HashTable":
         """Create a new table.
@@ -237,6 +276,7 @@ class HashTable:
             split_policy=split_policy,
             buffer_policy=buffer_policy,
             observability=observability,
+            concurrent=concurrent,
         )
         table._write_header()
         return table
@@ -250,6 +290,7 @@ class HashTable:
         hashfn: str | HashFunction | None = None,
         readonly: bool = False,
         observability: bool = True,
+        concurrent: bool = False,
         file_wrapper=None,
     ) -> "HashTable":
         """Open an existing table.
@@ -279,7 +320,13 @@ class HashTable:
             path, pagesize=header.bsize, readonly=readonly, wrapper=file_wrapper
         )
         return cls(
-            file, header, fn, cachesize, readonly=readonly, observability=observability
+            file,
+            header,
+            fn,
+            cachesize,
+            readonly=readonly,
+            observability=observability,
+            concurrent=concurrent,
         )
 
     # --------------------------------------------------------------- plumbing
@@ -386,18 +433,19 @@ class HashTable:
 
     def get(self, key: bytes, default: bytes | None = None) -> bytes | None:
         """Value stored under ``key``, or ``default`` if absent."""
-        clock = self._clock
-        if clock is None:
-            return self._get_impl(key, default)
-        t0 = clock()
-        try:
-            return self._get_impl(key, default)
-        finally:
-            self._h_get.observe(clock() - t0)
+        with self._rd:
+            clock = self._clock
+            if clock is None:
+                return self._get_impl(key, default)
+            t0 = clock()
+            try:
+                return self._get_impl(key, default)
+            finally:
+                self._h_get.observe(clock() - t0)
 
     def _get_impl(self, key: bytes, default: bytes | None = None) -> bytes | None:
         self._check_open()
-        self.stats.gets += 1
+        self.stats.bump_gets()
         found = self._locate(self._bucket_of(key), key)
         if found is None:
             return default
@@ -415,15 +463,16 @@ class HashTable:
                 prev.unpin()
 
     def __contains__(self, key: bytes) -> bool:
-        self._check_open()
-        found = self._locate(self._bucket_of(key), key)
-        if found is None:
-            return False
-        prev, hdr, _slot = found
-        hdr.unpin()
-        if prev is not None:
-            prev.unpin()
-        return True
+        with self._rd:
+            self._check_open()
+            found = self._locate(self._bucket_of(key), key)
+            if found is None:
+                return False
+            prev, hdr, _slot = found
+            hdr.unpin()
+            if prev is not None:
+                prev.unpin()
+            return True
 
     # ---------------------------------------------------------------- insert
 
@@ -485,14 +534,15 @@ class HashTable:
         is returned (ndbm's DBM_INSERT semantics).  Inserts never fail for
         size or collision reasons -- the paper's headline guarantee.
         """
-        clock = self._clock
-        if clock is None:
-            return self._put_impl(key, data, replace=replace)
-        t0 = clock()
-        try:
-            return self._put_impl(key, data, replace=replace)
-        finally:
-            self._h_put.observe(clock() - t0)
+        with self._wr:
+            clock = self._clock
+            if clock is None:
+                return self._put_impl(key, data, replace=replace)
+            t0 = clock()
+            try:
+                return self._put_impl(key, data, replace=replace)
+            finally:
+                self._h_put.observe(clock() - t0)
 
     def _put_impl(self, key: bytes, data: bytes, *, replace: bool = True) -> bool:
         self._check_writable()
@@ -557,6 +607,9 @@ class HashTable:
                 hdr.unpin()
                 hdr = None
                 self.allocator.free(addr)
+                # A reclaimed overflow page is a structural change: a
+                # cursor parked on it would scan a recycled page.
+                self._structure_version += 1
         finally:
             if hdr is not None:
                 hdr.unpin()
@@ -569,14 +622,15 @@ class HashTable:
         The file never contracts (paper, footnote 6): buckets stay
         allocated, only overflow pages are reclaimed.
         """
-        clock = self._clock
-        if clock is None:
-            return self._delete_impl(key)
-        t0 = clock()
-        try:
-            return self._delete_impl(key)
-        finally:
-            self._h_delete.observe(clock() - t0)
+        with self._wr:
+            clock = self._clock
+            if clock is None:
+                return self._delete_impl(key)
+            t0 = clock()
+            try:
+                return self._delete_impl(key)
+            finally:
+                self._h_delete.observe(clock() - t0)
 
     def _delete_impl(self, key: bytes) -> bool:
         self._check_writable()
@@ -617,6 +671,7 @@ class HashTable:
             h.ovfl_point = spare_ndx
         self.buckets.grow_to(new_bucket + 1)
         self.stats.splits += 1
+        self._structure_version += 1
         clock = self._clock
         if clock is None:
             self._split_bucket(old_bucket, new_bucket)
@@ -724,8 +779,17 @@ class HashTable:
     def items(self) -> Iterator[tuple[bytes, bytes]]:
         """Yield every ``(key, data)`` pair in bucket order.
 
-        The table must not be modified during iteration.
+        Single-threaded tables stream lazily (the table must not be
+        modified during iteration); concurrent tables materialize the
+        whole scan under the read lock, so the returned iterator is a
+        stable snapshot no writer can invalidate.
         """
+        if self._lock is None:
+            return self._iter_items()
+        with self._rd:
+            return iter(list(self._iter_items()))
+
+    def _iter_items(self) -> Iterator[tuple[bytes, bytes]]:
         self._check_open()
         for bucket in range(self.header.max_bucket + 1):
             hdr = self._fault(("B", bucket))
@@ -789,22 +853,24 @@ class HashTable:
         flush-before-sync ordering of every access method (see
         docs/STORAGE.md): batched page write-back, header/meta write,
         one group sync."""
-        self._check_open()
-        self.pool.flush()
-        self._write_header()
-        self._file.sync()
+        with self._wr:
+            self._check_open()
+            self.pool.flush()
+            self._write_header()
+            self._file.sync()
 
     def close(self) -> None:
         """Flush, sync and release everything; idempotent (a second
         close is a no-op); further operations raise."""
-        if self._closed:
-            return
-        if not self.readonly:
-            self.pool.drop_all()
-            self._write_header()
-            self._file.sync()
-        self._closed = True
-        self._file.close()
+        with self._wr:
+            if self._closed:
+                return
+            if not self.readonly:
+                self.pool.drop_all()
+                self._write_header()
+                self._file.sync()
+            self._closed = True
+            self._file.close()
 
     @property
     def closed(self) -> bool:
@@ -843,6 +909,10 @@ class HashTable:
         way.  With ``observability=False`` the latency entries are
         shape-stable zeros; the counts are always live.
         """
+        with self._rd:
+            return self._stat_impl()
+
+    def _stat_impl(self) -> dict:
         self._check_open()
         h = self.header
         s = self.stats
@@ -884,6 +954,10 @@ class HashTable:
         Verifies mask arithmetic, that every key hashes to the bucket whose
         chain stores it, and that nkeys matches a full scan.
         """
+        with self._rd:
+            self._check_invariants_impl()
+
+    def _check_invariants_impl(self) -> None:
         h = self.header
         assert h.low_mask == (h.high_mask >> 1), (h.low_mask, h.high_mask)
         assert h.low_mask <= h.max_bucket <= h.high_mask
@@ -924,34 +998,51 @@ class TableCursor:
     rather than failing: pairs untouched for the whole scan are seen
     exactly once, but pairs relocated by a split or delete may be seen
     twice or skipped.
+
+    On a table opened with ``concurrent=True`` each call holds the read
+    lock, and the loose degradation is replaced by fail-fast: if a split
+    or overflow reclaim changed the table's structure since :meth:`first`,
+    the next fetch raises :class:`ConcurrentModificationError` and the
+    caller restarts the scan.
     """
 
-    __slots__ = ("table", "_pos", "_done")
+    __slots__ = ("table", "_pos", "_done", "_version")
 
     def __init__(self, table: HashTable) -> None:
         self.table = table
         self._pos: tuple[int, int, int] | None = None
         self._done = False
+        self._version = table._structure_version
 
     def first(self) -> tuple[bytes, bytes] | None:
         """(Re)position at the first pair; None if the table is empty."""
-        self.table._check_open()
-        self._pos = (0, NO_OADDR, 0)
-        self._done = False
-        return self._fetch(advance=False)
+        with self.table._rd:
+            self.table._check_open()
+            self._pos = (0, NO_OADDR, 0)
+            self._done = False
+            self._version = self.table._structure_version
+            return self._fetch(advance=False)
 
     def next(self) -> tuple[bytes, bytes] | None:
         """The pair after the current one; starts at :meth:`first` if
         unpositioned; None (forever) once exhausted."""
-        self.table._check_open()
-        if self._done:
-            return None
-        if self._pos is None:
-            return self.first()
-        return self._fetch(advance=True)
+        with self.table._rd:
+            self.table._check_open()
+            if self._done:
+                return None
+            if self._pos is None:
+                self._pos = (0, NO_OADDR, 0)
+                self._version = self.table._structure_version
+                return self._fetch(advance=False)
+            return self._fetch(advance=True)
 
     def _fetch(self, advance: bool) -> tuple[bytes, bytes] | None:
         t = self.table
+        if t.concurrent and self._version != t._structure_version:
+            raise ConcurrentModificationError(
+                "table structure changed under this cursor (split or "
+                "overflow reclaim); restart the scan with first()"
+            )
         bucket, oaddr, slot = self._pos
         if advance:
             slot += 1

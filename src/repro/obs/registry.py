@@ -10,6 +10,7 @@ operations are no-ops, so instrumented code needs no branches of its own.
 from __future__ import annotations
 
 import math
+import threading
 import time
 from typing import Callable
 
@@ -27,17 +28,33 @@ __all__ = [
 
 
 class Counter:
-    """A monotonically increasing integer."""
+    """A monotonically increasing integer.
 
-    __slots__ = ("name", "value")
+    ``inc`` is lock-free by default; :meth:`make_threadsafe` installs a
+    mutex for instruments updated by unserialized concurrent readers.
+    Code that bumps ``.value`` directly (the buffer pool) must hold its
+    own lock instead.
+    """
+
+    __slots__ = ("name", "value", "_lock")
     is_null = False
 
     def __init__(self, name: str = "") -> None:
         self.name = name
         self.value = 0
+        self._lock: threading.Lock | None = None
+
+    def make_threadsafe(self) -> None:
+        if self._lock is None:
+            self._lock = threading.Lock()
 
     def inc(self, n: int = 1) -> None:
-        self.value += n
+        lock = self._lock
+        if lock is None:
+            self.value += n
+            return
+        with lock:
+            self.value += n
 
     def reset(self) -> None:
         self.value = 0
@@ -59,6 +76,11 @@ class Gauge:
         self.name = name
         self._value = 0
         self._fn = fn
+
+    def make_threadsafe(self) -> None:
+        """No-op: ``set`` is a single attribute store (atomic under the
+        GIL) and function-backed gauges read live state at snapshot
+        time; present for uniformity with the other instruments."""
 
     def set(self, value) -> None:
         self._value = value
@@ -125,7 +147,7 @@ class Histogram:
     exact value.
     """
 
-    __slots__ = ("name", "unit", "count", "total", "min", "max", "_buckets")
+    __slots__ = ("name", "unit", "count", "total", "min", "max", "_buckets", "_lock")
     is_null = False
 
     def __init__(self, name: str = "", unit: str = "seconds") -> None:
@@ -136,16 +158,28 @@ class Histogram:
         self.min = math.inf
         self.max = -math.inf
         self._buckets: dict[int, int] = {}
+        self._lock: threading.Lock | None = None
+
+    def make_threadsafe(self) -> None:
+        if self._lock is None:
+            self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
-        self.count += 1
-        self.total += value
-        if value < self.min:
-            self.min = value
-        if value > self.max:
-            self.max = value
-        idx = _bucket_index(value)
-        self._buckets[idx] = self._buckets.get(idx, 0) + 1
+        lock = self._lock
+        if lock is not None:
+            lock.acquire()
+        try:
+            self.count += 1
+            self.total += value
+            if value < self.min:
+                self.min = value
+            if value > self.max:
+                self.max = value
+            idx = _bucket_index(value)
+            self._buckets[idx] = self._buckets.get(idx, 0) + 1
+        finally:
+            if lock is not None:
+                lock.release()
 
     def reset(self) -> None:
         self.count = 0
@@ -318,13 +352,29 @@ class Registry:
     null instruments; its :meth:`as_dict` is always ``{}``.
     """
 
-    __slots__ = ("name", "enabled", "_metrics", "_children")
+    __slots__ = ("name", "enabled", "_metrics", "_children", "_threadsafe")
 
     def __init__(self, name: str = "", enabled: bool = True) -> None:
         self.name = name
         self.enabled = enabled
         self._metrics: dict[str, object] = {}
         self._children: dict[str, Registry] = {}
+        self._threadsafe = False
+
+    def make_threadsafe(self) -> "Registry":
+        """Install mutexes on every instrument in this subtree, and on
+        any instrument or child created afterwards.  Idempotent; called
+        once by tables opened with ``concurrent=True``, so disabled and
+        single-threaded registries never pay for a lock."""
+        if not self._threadsafe:
+            self._threadsafe = True
+            for metric in self._metrics.values():
+                make = getattr(metric, "make_threadsafe", None)
+                if make is not None:
+                    make()
+            for node in self._children.values():
+                node.make_threadsafe()
+        return self
 
     # -- structure -------------------------------------------------------------
 
@@ -332,12 +382,18 @@ class Registry:
         node = self._children.get(name)
         if node is None:
             node = Registry(name, enabled=self.enabled)
+            if self._threadsafe:
+                node.make_threadsafe()
             self._children[name] = node
         return node
 
     def attach(self, instrument) -> object:
         """Adopt an externally created instrument under this node."""
         if self.enabled and not instrument.is_null:
+            if self._threadsafe:
+                make = getattr(instrument, "make_threadsafe", None)
+                if make is not None:
+                    make()
             self._metrics[instrument.name] = instrument
         return instrument
 
@@ -349,6 +405,8 @@ class Registry:
         c = self._metrics.get(name)
         if c is None:
             c = Counter(name)
+            if self._threadsafe:
+                c.make_threadsafe()
             self._metrics[name] = c
         return c
 
@@ -367,6 +425,8 @@ class Registry:
         h = self._metrics.get(name)
         if h is None:
             h = Histogram(name, unit=unit)
+            if self._threadsafe:
+                h.make_threadsafe()
             self._metrics[name] = h
         return h
 

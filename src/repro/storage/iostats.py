@@ -9,6 +9,7 @@ wall-clock measurements.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 
@@ -62,28 +63,68 @@ class IOStats:
     bytes_read: int = 0
     bytes_written: int = 0
     _marks: dict = field(default_factory=dict, repr=False)
+    #: optional mutex installed by :meth:`make_threadsafe`; None keeps the
+    #: single-threaded fast path lock-free
+    _lock: threading.Lock | None = field(default=None, repr=False, compare=False)
+
+    def make_threadsafe(self) -> "IOStats":
+        """Serialize counter updates behind a mutex.
+
+        ``x += 1`` on an attribute is a read-modify-write that two
+        threads can interleave even under the GIL; tables opened with
+        ``concurrent=True`` call this so concurrent readers never lose
+        increments.  Idempotent; returns self for chaining."""
+        if self._lock is None:
+            self._lock = threading.Lock()
+        return self
 
     def record_read(self, nbytes: int) -> None:
-        self.page_reads += 1
-        self.syscalls += 1
-        self.bytes_read += nbytes
+        lock = self._lock
+        if lock is None:
+            self.page_reads += 1
+            self.syscalls += 1
+            self.bytes_read += nbytes
+            return
+        with lock:
+            self.page_reads += 1
+            self.syscalls += 1
+            self.bytes_read += nbytes
 
     def record_write(self, nbytes: int) -> None:
-        self.page_writes += 1
-        self.syscalls += 1
-        self.bytes_written += nbytes
+        lock = self._lock
+        if lock is None:
+            self.page_writes += 1
+            self.syscalls += 1
+            self.bytes_written += nbytes
+            return
+        with lock:
+            self.page_writes += 1
+            self.syscalls += 1
+            self.bytes_written += nbytes
 
     def record_vector_write(self, npages: int, nbytes: int) -> None:
         """A coalesced multi-page write: one syscall covers ``npages``
         page transfers (the batched-flush saving the paper's buffer pool
         exists to realize)."""
-        self.page_writes += npages
-        self.syscalls += 1
-        self.bytes_written += nbytes
+        lock = self._lock
+        if lock is None:
+            self.page_writes += npages
+            self.syscalls += 1
+            self.bytes_written += nbytes
+            return
+        with lock:
+            self.page_writes += npages
+            self.syscalls += 1
+            self.bytes_written += nbytes
 
     def record_syscall(self) -> None:
         """Count a bookkeeping call (open/close/sync/truncate)."""
-        self.syscalls += 1
+        lock = self._lock
+        if lock is None:
+            self.syscalls += 1
+            return
+        with lock:
+            self.syscalls += 1
 
     def snapshot(self) -> IOSnapshot:
         return IOSnapshot(
@@ -95,11 +136,18 @@ class IOStats:
         )
 
     def reset(self) -> None:
-        self.page_reads = 0
-        self.page_writes = 0
-        self.syscalls = 0
-        self.bytes_read = 0
-        self.bytes_written = 0
+        lock = self._lock
+        if lock is not None:
+            lock.acquire()
+        try:
+            self.page_reads = 0
+            self.page_writes = 0
+            self.syscalls = 0
+            self.bytes_read = 0
+            self.bytes_written = 0
+        finally:
+            if lock is not None:
+                lock.release()
 
     @property
     def page_io(self) -> int:

@@ -1,0 +1,1 @@
+"""Deterministic concurrency tests: the race harness and its suites."""

@@ -1,0 +1,369 @@
+"""Deterministic schedule-driven race harness.
+
+Real threads, deterministic interleavings: N worker threads each run a
+script of database operations, but only one worker executes at a time.
+Workers hand control back to a central scheduler at *yield points*:
+
+- every operation boundary (before each scripted op);
+- every page I/O, via the engine's ``on_page_io`` trace hook -- so the
+  interleaving cuts *inside* composite operations such as a bucket
+  split, not just between them;
+- every lock transition, via :class:`repro.core.locking.LockObserver` --
+  a worker that blocks on the table RWLock is marked BLOCKED (the
+  scheduler stops granting it), and parks again the moment the lock is
+  granted back (``on_acquired``), so lock hand-offs are scheduling
+  decisions too.
+
+In **record** mode the scheduler draws the next runnable worker from a
+seeded RNG and returns the grant sequence (the *schedule*).  In
+**replay** mode it follows a recorded schedule; because the RWLock's
+FIFO grant order is a pure function of arrival order, replaying the same
+grants reproduces the identical execution -- same per-op results, same
+trace, same final database bytes.  :meth:`Outcome.digest` condenses all
+of that into one sha256 for byte-identical comparison across runs.
+
+The harness never parks a worker that holds the buffer-pool mutex
+(``pool.mutex.held_by_me()``): page I/O issued from inside the pool's
+critical section (eviction write-back, flush) must complete without a
+scheduling decision, or every other worker needing the pool would wedge
+on a mutex the scheduler knows nothing about.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+import threading
+import time
+
+from repro.core.errors import ConcurrentModificationError
+
+__all__ = ["RaceHarness", "Outcome", "HarnessDeadlock", "engine_of"]
+
+#: worker states
+STARTING = "starting"  # thread launched, not yet parked at its gate
+WAITING = "waiting"  # parked at a yield point; runnable
+RUNNING = "running"  # holds the (single) execution grant
+BLOCKED = "blocked"  # waiting inside an RWLock; not runnable
+WAKING = "waking"  # lock granted back; in flight to its on_acquired park
+DONE = "done"
+
+#: how many pairs a "scan" op reads before stopping
+SCAN_LIMIT = 64
+
+
+class HarnessDeadlock(AssertionError):
+    """No worker became runnable before the deadline."""
+
+
+def engine_of(db):
+    """The object carrying ``_lock``/``pool``/``hooks`` for a handle.
+
+    Accepts a raw engine (HashTable, BTree, a baseline) or a db(3)
+    veneer (HashAccess wraps ``.table``, Recno wraps ``._tree``).
+    """
+    for attr in ("table", "_tree"):
+        inner = getattr(db, attr, None)
+        if inner is not None and hasattr(inner, "_lock"):
+            return inner
+    return db
+
+
+class _Worker:
+    __slots__ = ("name", "ops", "gate", "state", "thread", "log")
+
+    def __init__(self, name: str, ops: list) -> None:
+        self.name = name
+        self.ops = ops
+        self.gate = threading.Event()
+        self.state = STARTING
+        self.thread: threading.Thread | None = None
+        #: [(op, outcome)] where outcome is ("ok", value) or
+        #: ("raise", exception type name)
+        self.log: list = []
+
+
+class _ObserverAdapter:
+    """LockObserver wired to the scheduler.
+
+    ``on_block``/``on_unblock`` run with the RWLock's internal mutex
+    held, so they only flip worker state and notify.  ``on_acquired``
+    runs outside it and parks the worker for its next grant.
+    """
+
+    __slots__ = ("_h",)
+
+    def __init__(self, harness: "RaceHarness") -> None:
+        self._h = harness
+
+    def on_block(self, ident: int) -> None:
+        h = self._h
+        w = h._by_ident.get(ident)
+        if w is None:
+            return
+        with h._cv:
+            w.state = BLOCKED
+            h._cv.notify_all()
+
+    def on_unblock(self, ident: int) -> None:
+        # The lock is being handed to this thread.  Mark it in flight so
+        # the scheduler's quiescence wait covers the window between the
+        # wake-up and its on_acquired park -- otherwise whether the park
+        # lands before or after the next decision would be an OS race.
+        h = self._h
+        w = h._by_ident.get(ident)
+        if w is None:
+            return
+        with h._cv:
+            if w.state == BLOCKED:
+                w.state = WAKING
+            h._cv.notify_all()
+
+    def on_acquired(self, ident: int) -> None:
+        h = self._h
+        w = h._by_ident.get(ident)
+        if w is not None:
+            h._park(w)
+
+
+class Outcome:
+    """Everything observable about one harness run."""
+
+    def __init__(self, schedule, logs, items, errors) -> None:
+        #: the grant sequence: worker names in scheduling order
+        self.schedule: list[str] = schedule
+        #: worker name -> [(op, outcome)]
+        self.logs: dict[str, list] = logs
+        #: sorted final (key, value) pairs
+        self.items: list[tuple[bytes, bytes]] = items
+        #: worker name -> traceback string, for crashes outside ops
+        self.errors: dict[str, str] = errors
+
+    def digest(self) -> str:
+        """sha256 over the canonical form of the whole outcome; two runs
+        are byte-identical iff their digests match."""
+        blob = repr((self.schedule, sorted(self.logs.items()), self.items))
+        return hashlib.sha256(blob.encode()).hexdigest()
+
+
+class RaceHarness:
+    """Drive scripted workers over one concurrent handle.
+
+    ``scripts`` maps worker name -> list of ops; an op is a tuple:
+
+    - ``("put", key, value)`` / ``("get", key)`` / ``("delete", key)``
+    - ``("scan",)`` -- cursor walk of up to :data:`SCAN_LIMIT` pairs
+      (a ``ConcurrentModificationError`` is a legal, logged outcome)
+    - ``("sync",)``
+
+    ``apply`` overrides op dispatch (e.g. for the dbm-family baselines,
+    use :meth:`apply_baseline`).
+    """
+
+    def __init__(self, db, scripts: dict[str, list], *, apply=None,
+                 timeout: float = 30.0) -> None:
+        self.db = db
+        self.engine = engine_of(db)
+        if getattr(self.engine, "_lock", None) is None:
+            raise ValueError("RaceHarness needs a concurrent=True handle")
+        self._apply = apply or self.apply_db
+        self.timeout = timeout
+        self._workers = [_Worker(name, ops) for name, ops in sorted(scripts.items())]
+        self._by_ident: dict[int, _Worker] = {}
+        self._cv = threading.Condition()
+        self._pool_mutex = getattr(getattr(self.engine, "pool", None), "mutex", None)
+
+    # -- op dispatch ---------------------------------------------------------
+
+    def apply_db(self, db, op):
+        """Dispatch one op through the uniform db(3) interface."""
+        kind = op[0]
+        if kind == "put":
+            return db.put(op[1], op[2])
+        if kind == "get":
+            return db.get(op[1])
+        if kind == "delete":
+            return db.delete(op[1])
+        if kind == "sync":
+            return db.sync()
+        if kind == "scan":
+            out = []
+            c = db.cursor()
+            pair = c.first()
+            while pair is not None and len(out) < SCAN_LIMIT:
+                out.append(pair[0])
+                pair = c.next()
+            return out
+        raise ValueError(f"unknown op {op!r}")
+
+    @staticmethod
+    def apply_baseline(db, op):
+        """Dispatch one op through the dbm-family interface."""
+        kind = op[0]
+        if kind == "put":
+            return db.store(op[1], op[2])
+        if kind == "get":
+            return db.fetch(op[1])
+        if kind == "delete":
+            return db.delete(op[1])
+        if kind == "sync":
+            return db.sync()
+        if kind == "scan":
+            return [k for k, _v in db.items()][:SCAN_LIMIT]
+        raise ValueError(f"unknown op {op!r}")
+
+    # -- yield points --------------------------------------------------------
+
+    def _park(self, w: _Worker) -> None:
+        """Hand the grant back and wait for the next one."""
+        with self._cv:
+            w.state = WAITING
+            self._cv.notify_all()
+        w.gate.wait()
+        w.gate.clear()
+
+    def _on_page_io(self, _payload) -> None:
+        w = self._by_ident.get(threading.get_ident())
+        if w is None:
+            return
+        # Never park inside the buffer pool's critical section: other
+        # workers would wedge on its mutex outside scheduler control.
+        if self._pool_mutex is not None and self._pool_mutex.held_by_me():
+            return
+        self._park(w)
+
+    # -- worker body ---------------------------------------------------------
+
+    def _worker_body(self, w: _Worker) -> None:
+        self._by_ident[threading.get_ident()] = w
+        self._park(w)  # wait for the first grant
+        for op in w.ops:
+            try:
+                result = self._apply(self.db, op)
+                w.log.append((op, ("ok", result)))
+            except ConcurrentModificationError:
+                w.log.append((op, ("raise", "ConcurrentModificationError")))
+            except Exception as exc:  # logged, deterministic outcome
+                w.log.append((op, ("raise", type(exc).__name__)))
+            self._park(w)
+        with self._cv:
+            w.state = DONE
+            self._cv.notify_all()
+
+    # -- the scheduler -------------------------------------------------------
+
+    def _quiesced(self) -> bool:
+        """True when no worker is mid-flight (STARTING, RUNNING or
+        WAKING) -- the runnable set is stable, so a decision made now is
+        reproducible."""
+        return all(w.state in (WAITING, BLOCKED, DONE) for w in self._workers)
+
+    def _drive(self, pick) -> list[str]:
+        """Grant loop: wait for quiescence, pick a WAITING worker, grant.
+
+        ``pick(runnable) -> worker`` with ``runnable`` sorted by name.
+        """
+        deadline = time.monotonic() + self.timeout
+        schedule: list[str] = []
+        while True:
+            with self._cv:
+                while not self._quiesced():
+                    if not self._cv.wait(timeout=0.5) and time.monotonic() > deadline:
+                        self._abort("quiescence")
+                runnable = [w for w in self._workers if w.state == WAITING]
+                if not runnable:
+                    if all(w.state == DONE for w in self._workers):
+                        return schedule
+                    # Workers BLOCKED with nobody to unblock them.
+                    self._abort("all blocked")
+                chosen = pick(runnable)
+                chosen.state = RUNNING
+                schedule.append(chosen.name)
+            chosen.gate.set()
+            if time.monotonic() > deadline:
+                self._abort("deadline")
+
+    def _abort(self, why: str) -> None:
+        states = {w.name: w.state for w in self._workers}
+        raise HarnessDeadlock(f"harness stuck ({why}); worker states: {states}")
+
+    # -- record / replay -----------------------------------------------------
+
+    def record(self, seed: int) -> Outcome:
+        """Run under a seeded random scheduler; the outcome's
+        ``schedule`` replays it exactly."""
+        rng = random.Random(seed)
+        return self._run(lambda runnable: rng.choice(runnable))
+
+    def replay(self, schedule: list[str]) -> Outcome:
+        """Re-run a recorded grant sequence.
+
+        Entries whose worker is not currently runnable are skipped (the
+        deterministic skip rule); an exhausted schedule falls back to
+        first-runnable, so replay always terminates.
+        """
+        remaining = list(schedule)
+
+        def pick(runnable):
+            names = {w.name: w for w in runnable}
+            while remaining:
+                name = remaining.pop(0)
+                if name in names:
+                    return names[name]
+            return runnable[0]
+
+        return self._run(pick)
+
+    def _run(self, pick) -> Outcome:
+        hooks = getattr(self.engine, "hooks", None)
+        lock = self.engine._lock
+        observer = _ObserverAdapter(self)
+        lock.observer = observer
+        if hooks is not None:
+            hooks.subscribe("on_page_io", self._on_page_io)
+        errors: dict[str, str] = {}
+        try:
+            for w in self._workers:
+                w.thread = threading.Thread(
+                    target=self._guarded_body, args=(w, errors),
+                    name=f"race-{w.name}", daemon=True,
+                )
+                w.thread.start()
+            schedule = self._drive(pick)
+            for w in self._workers:
+                w.thread.join(timeout=5)
+        finally:
+            lock.observer = None
+            if hooks is not None:
+                hooks.unsubscribe("on_page_io", self._on_page_io)
+            self._by_ident.clear()
+        try:
+            items = sorted(self._final_items())
+        except Exception as exc:
+            # A fault-injected handle may be unreadable after the run
+            # (e.g. FaultyPager post-crash).  The failure is itself part
+            # of the outcome -- deterministic given the schedule.
+            items = []
+            errors["__items__"] = type(exc).__name__
+        return Outcome(schedule, {w.name: w.log for w in self._workers},
+                       items, errors)
+
+    def _guarded_body(self, w: _Worker, errors: dict) -> None:
+        try:
+            self._worker_body(w)
+        except BaseException as exc:  # noqa: BLE001 - surfaced in Outcome
+            errors[w.name] = f"{type(exc).__name__}: {exc}"
+            with self._cv:
+                w.state = DONE
+                self._cv.notify_all()
+
+    def _final_items(self):
+        if hasattr(self.db, "items"):
+            return [(bytes(k), bytes(v)) for k, v in self.db.items()]
+        out = []
+        c = self.db.cursor()
+        pair = c.first()
+        while pair is not None:
+            out.append((bytes(pair[0]), bytes(pair[1])))
+            pair = c.next()
+        return out

@@ -1,4 +1,4 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures and collection options for the test suite."""
 
 from __future__ import annotations
 
@@ -6,6 +6,24 @@ import pytest
 
 from repro.core.table import HashTable
 from repro.workloads import dictionary_pairs, passwd_pairs
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--run-soak",
+        action="store_true",
+        default=False,
+        help="run @pytest.mark.soak tests (long multi-threaded workloads)",
+    )
+
+
+def pytest_collection_modifyitems(config, items):
+    if config.getoption("--run-soak"):
+        return
+    skip = pytest.mark.skip(reason="soak test: pass --run-soak to run")
+    for item in items:
+        if "soak" in item.keywords:
+            item.add_marker(skip)
 
 
 @pytest.fixture

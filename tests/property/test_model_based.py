@@ -130,3 +130,68 @@ def test_gdbm_matches_dict(ops, tmp_path_factory):
     with Gdbm(path, "n", block_size=512) as db:
         model = run_ops_against_model(db.store, db.fetch, db.delete, ops)
         assert dict(db.items()) == model
+
+
+# -- concurrency: linearizability under the race harness ----------------------
+
+THREAD_OPS = st.lists(
+    st.one_of(
+        st.tuples(st.just("put"), KEYS, VALUES),
+        st.tuples(st.just("delete"), KEYS),
+        st.tuples(st.just("get"), KEYS),
+        st.tuples(st.just("scan")),
+    ),
+    max_size=12,
+)
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    scripts=st.dictionaries(
+        st.sampled_from(["t0", "t1", "t2"]), THREAD_OPS, min_size=2, max_size=3
+    ),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_concurrent_table_is_linearizable(scripts, seed):
+    """K logical threads of interleaved get/put/delete/scan ops on one
+    ``concurrent=True`` table are linearizable: the harness's grant order
+    IS the linearization (in-memory tables have no page-I/O yield points,
+    so each op runs entirely within one grant), and replaying that order
+    against a plain dict must predict every logged result exactly.
+    """
+    from repro.access.db import db_open
+    from tests.concurrency.harness import SCAN_LIMIT, RaceHarness
+
+    db = db_open(None, "hash", concurrent=True, bsize=64, ffactor=4)
+    try:
+        out = RaceHarness(db, scripts).record(seed)
+        assert not out.errors, out.errors
+        model: dict[bytes, bytes] = {}
+        progress = {name: 0 for name in scripts}
+        for name in out.schedule:
+            i = progress[name]
+            if i >= len(scripts[name]):
+                continue  # retirement grant, no op ran
+            progress[name] = i + 1
+            op = scripts[name][i]
+            logged_op, outcome = out.logs[name][i]
+            assert logged_op == op
+            if op[0] == "put":
+                assert outcome == ("ok", 0)
+                model[op[1]] = op[2]
+            elif op[0] == "delete":
+                assert outcome == ("ok", 0 if op[1] in model else 1)
+                model.pop(op[1], None)
+            elif op[0] == "get":
+                assert outcome == ("ok", model.get(op[1]))
+            else:  # scan: the key set at this instant, up to the limit
+                assert outcome[0] == "ok"
+                if len(model) <= SCAN_LIMIT:
+                    assert sorted(outcome[1]) == sorted(model)
+                else:
+                    assert len(outcome[1]) == SCAN_LIMIT
+                    assert set(outcome[1]) <= set(model)
+        assert all(progress[n] == len(scripts[n]) for n in scripts)
+        assert sorted(out.items) == sorted(model.items())
+    finally:
+        db.close()

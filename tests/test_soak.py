@@ -83,3 +83,108 @@ class TestBtreeSoak:
             t.close()
         report = verify_btree_file(path)
         assert report.ok, report.render()
+
+
+# -- multi-threaded soak (opt-in: pass --run-soak) ---------------------------
+#
+# Free-running threads against one concurrent handle for tens of
+# thousands of operations.  No model (interleaving is nondeterministic);
+# the bar is structural: invariants hold at checkpoints, the final fsck
+# is clean, and every surviving value is bytes some thread wrote.
+
+
+def _soak_threads(worker, nthreads):
+    import threading
+
+    errors = []
+
+    def guarded(t):
+        try:
+            worker(t)
+        except Exception as exc:  # pragma: no cover - failure path
+            errors.append((t, repr(exc)))
+
+    threads = [
+        threading.Thread(target=guarded, args=(t,), daemon=True)
+        for t in range(nthreads)
+    ]
+    for th in threads:
+        th.start()
+    for th in threads:
+        th.join(timeout=300)
+        assert not th.is_alive(), "soak worker wedged"
+    assert not errors, errors
+
+
+@pytest.mark.soak
+class TestConcurrentHashSoak:
+    NTHREADS = 4
+    STEPS = 8000
+
+    def test_threads_hammer_one_handle(self, tmp_path):
+        path = tmp_path / "csoak.db"
+        t = HashTable.create(
+            path, bsize=128, ffactor=4, cachesize=2048, concurrent=True
+        )
+
+        def worker(tid):
+            rng = random.Random(100 + tid)
+            for step in range(self.STEPS):
+                r = rng.random()
+                key = f"key-{rng.randrange(600)}".encode()
+                if r < 0.5:
+                    size = rng.randrange(2000) if rng.random() < 0.05 else rng.randrange(60)
+                    t.put(key, b"%d:" % tid + bytes(size))
+                elif r < 0.75:
+                    t.delete(key)
+                else:
+                    got = t.get(key)
+                    assert got is None or got[:2].rstrip(b":").isdigit()
+                if step % 2000 == 1999:
+                    t.check_invariants()
+
+        try:
+            _soak_threads(worker, self.NTHREADS)
+            t.check_invariants()
+            for _k, v in t.items():
+                assert v[:2].rstrip(b":").isdigit(), v
+        finally:
+            t.close()
+        report = verify_file(path)
+        assert report.ok, report.render()
+
+
+@pytest.mark.soak
+class TestConcurrentBtreeSoak:
+    NTHREADS = 4
+    STEPS = 6000
+
+    def test_threads_hammer_one_handle(self, tmp_path):
+        path = tmp_path / "csoak.bt"
+        t = BTree.create(path, bsize=512, cachesize=4096, concurrent=True)
+
+        def worker(tid):
+            rng = random.Random(200 + tid)
+            for step in range(self.STEPS):
+                r = rng.random()
+                key = f"key-{rng.randrange(600):04d}".encode()
+                if r < 0.5:
+                    size = rng.randrange(3000) if rng.random() < 0.05 else rng.randrange(60)
+                    t.put(key, b"%d:" % tid + bytes(size))
+                elif r < 0.75:
+                    t.delete(key)
+                else:
+                    got = t.get(key)
+                    assert got is None or got[:2].rstrip(b":").isdigit()
+                if step % 2000 == 1999:
+                    t.check_invariants()
+
+        try:
+            _soak_threads(worker, self.NTHREADS)
+            t.check_invariants()
+            for _k, v in t.items():
+                assert v[:2].rstrip(b":").isdigit(), v
+        finally:
+            t.close()
+        report = verify_btree_file(path)
+        assert report.ok, report.render()
