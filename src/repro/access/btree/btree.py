@@ -44,6 +44,7 @@ from repro.core.errors import BadFileError, ClosedError, InvalidParameterError, 
 from repro.core.locking import NULL_GUARD, RWLock
 from repro.obs.hooks import TraceHooks
 from repro.obs.registry import Registry
+from repro.obs.trace import TraceSupport
 from repro.storage.pager import open_pager
 
 BTREE_MAGIC = 0x42543931  # "BT91"
@@ -58,7 +59,7 @@ MAX_BSIZE = 65536
 DEFAULT_CACHESIZE = 256 * 1024
 
 
-class BTree(AccessMethod):
+class BTree(TraceSupport, AccessMethod):
     """A B+tree of byte-string pairs with sorted iteration."""
 
     type = DB_BTREE
@@ -106,6 +107,12 @@ class BTree(AccessMethod):
         self._h_split = _ops.histogram("split")
         self._clock = time.perf_counter if observability else None
         file.on_page_io = self._page_io_event
+        # tracer (disabled) + fault/lock-wait emit adapters (obs.trace)
+        self._init_tracing()
+        if hasattr(file, "on_fault"):
+            file.on_fault = self._fault_event
+        if concurrent:
+            self._lock.wait_hook = self._lock_wait_event
         self._gets = 0
         self._puts = 0
         self._deletes = 0
@@ -150,6 +157,7 @@ class BTree(AccessMethod):
         compare=None,
         observability: bool = True,
         concurrent: bool = False,
+        tracing: bool = False,
         file_wrapper=None,
     ) -> "BTree":
         """Create a new btree (``path=None`` + ``in_memory`` for RAM).
@@ -164,6 +172,7 @@ class BTree(AccessMethod):
                 f"bsize must be a power of two in [{MIN_BSIZE}, {MAX_BSIZE}], "
                 f"got {bsize}"
             )
+        t_open = time.perf_counter()
         file = open_pager(
             path, pagesize=bsize, create=True, in_memory=in_memory,
             wrapper=file_wrapper,
@@ -180,6 +189,8 @@ class BTree(AccessMethod):
         root_hdr = tree._new_page(T_LEAF)
         tree.root = root_hdr.key
         tree._write_meta()
+        if tracing:
+            tree._trace_open(t_open, "create")
         return tree
 
     @classmethod
@@ -192,8 +203,10 @@ class BTree(AccessMethod):
         compare=None,
         observability: bool = True,
         concurrent: bool = False,
+        tracing: bool = False,
         file_wrapper=None,
     ) -> "BTree":
+        t_open = time.perf_counter()
         probe = open_pager(path, pagesize=MIN_BSIZE, readonly=True)
         try:
             if probe.size_bytes() < _META.size:
@@ -220,6 +233,8 @@ class BTree(AccessMethod):
             concurrent=concurrent,
         )
         tree._read_meta()
+        if tracing:
+            tree._trace_open(t_open, "open")
         return tree
 
     def _write_meta(self) -> None:
@@ -389,6 +404,8 @@ class BTree(AccessMethod):
         raise BadFileError("btree deeper than 64 levels (cycle?)")
 
     def get(self, key: bytes) -> bytes | None:
+        if self.tracer.enabled:
+            return self._traced_op("get", self._h_get, self._rd, self._get_impl, key)
         with self._rd:
             clock = self._clock
             if clock is None:
@@ -422,6 +439,10 @@ class BTree(AccessMethod):
     # ----------------------------------------------------------------- insert
 
     def put(self, key: bytes, data: bytes, flags: int = 0) -> int:
+        if self.tracer.enabled:
+            return self._traced_op(
+                "put", self._h_put, self._wr, self._put_impl, key, data, flags
+            )
         with self._wr:
             clock = self._clock
             if clock is None:
@@ -603,6 +624,10 @@ class BTree(AccessMethod):
     # ----------------------------------------------------------------- delete
 
     def delete(self, key: bytes) -> int:
+        if self.tracer.enabled:
+            return self._traced_op(
+                "delete", self._h_delete, self._wr, self._delete_impl, key
+            )
         with self._wr:
             clock = self._clock
             if clock is None:
@@ -695,11 +720,17 @@ class BTree(AccessMethod):
     def sync(self) -> None:
         """Batched page write-back, meta write, one group sync -- the
         shared flush-before-sync ordering (see docs/STORAGE.md)."""
+        if self.tracer.enabled:
+            self._traced_op("sync", None, self._wr, self._sync_impl)
+            return
         with self._wr:
-            self._check_open()
-            self.pool.flush()
-            self._write_meta()
-            self._file.sync()
+            self._sync_impl()
+
+    def _sync_impl(self) -> None:
+        self._check_open()
+        self.pool.flush()
+        self._write_meta()
+        self._file.sync()
 
     def close(self) -> None:
         """Flush, sync and release; idempotent like every backend's."""
@@ -852,47 +883,66 @@ class BTreeCursor(Cursor):
         slot, exact = NodeView(hdr.page).leaf_search(self._lastkey, t._compare)
         return leaf, slot, exact
 
-    def first(self):
+    def _step(self, name: str, fn, *args):
+        """Run one cursor movement under the read lock, as a root span
+        when the tree's tracer is on."""
         t = self.tree
+        if t.tracer.enabled:
+            return t._traced_op(name, None, t._rd, fn, *args)
         with t._rd:
-            t._check_open()
-            return self._return(t._advance_pos(t._leftmost_leaf(), 0))
+            return fn(*args)
+
+    def first(self):
+        return self._step("cursor_first", self._first_impl)
+
+    def _first_impl(self):
+        t = self.tree
+        t._check_open()
+        return self._return(t._advance_pos(t._leftmost_leaf(), 0))
 
     def last(self):
+        return self._step("cursor_last", self._last_impl)
+
+    def _last_impl(self):
         t = self.tree
-        with t._rd:
-            t._check_open()
-            leaf = t._rightmost_leaf()
-            hdr = t.pool.get(leaf)
-            return self._return(t._retreat_pos(leaf, NodeView(hdr.page).nslots - 1))
+        t._check_open()
+        leaf = t._rightmost_leaf()
+        hdr = t.pool.get(leaf)
+        return self._return(t._retreat_pos(leaf, NodeView(hdr.page).nslots - 1))
 
     def next(self):
+        return self._step("cursor_next", self._next_impl)
+
+    def _next_impl(self):
         t = self.tree
-        with t._rd:
-            t._check_open()
-            if self._lastkey is None:
-                return self._return(t._advance_pos(t._leftmost_leaf(), 0))
-            pgno, slot, exact = self._locate()
-            return self._return(t._advance_pos(pgno, slot + 1 if exact else slot))
+        t._check_open()
+        if self._lastkey is None:
+            return self._return(t._advance_pos(t._leftmost_leaf(), 0))
+        pgno, slot, exact = self._locate()
+        return self._return(t._advance_pos(pgno, slot + 1 if exact else slot))
 
     def prev(self):
+        return self._step("cursor_prev", self._prev_impl)
+
+    def _prev_impl(self):
         t = self.tree
-        with t._rd:
-            t._check_open()
-            if self._lastkey is None:
-                leaf = t._rightmost_leaf()
-                hdr = t.pool.get(leaf)
-                return self._return(
-                    t._retreat_pos(leaf, NodeView(hdr.page).nslots - 1)
-                )
-            pgno, slot, _exact = self._locate()
-            return self._return(t._retreat_pos(pgno, slot - 1))
+        t._check_open()
+        if self._lastkey is None:
+            leaf = t._rightmost_leaf()
+            hdr = t.pool.get(leaf)
+            return self._return(
+                t._retreat_pos(leaf, NodeView(hdr.page).nslots - 1)
+            )
+        pgno, slot, _exact = self._locate()
+        return self._return(t._retreat_pos(pgno, slot - 1))
 
     def seek(self, key: bytes):
+        return self._step("cursor_seek", self._seek_impl, key)
+
+    def _seek_impl(self, key: bytes):
         t = self.tree
-        with t._rd:
-            t._check_open()
-            _path, leaf = t._descend(key)
-            hdr = t.pool.get(leaf)
-            slot, _exact = NodeView(hdr.page).leaf_search(key, t._compare)
-            return self._return(t._advance_pos(leaf, slot))
+        t._check_open()
+        _path, leaf = t._descend(key)
+        hdr = t.pool.get(leaf)
+        slot, _exact = NodeView(hdr.page).leaf_search(key, t._compare)
+        return self._return(t._advance_pos(leaf, slot))

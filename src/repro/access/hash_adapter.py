@@ -102,3 +102,19 @@ class HashAccess(AccessMethod):
     @property
     def io_stats(self):
         return self.table.io_stats
+
+    # -- tracing: delegated to the underlying table ------------------------------
+
+    @property
+    def tracer(self):
+        return self.table.tracer
+
+    @property
+    def flight_recorder(self):
+        return self.table.flight_recorder
+
+    def enable_tracing(self, **kwargs):
+        return self.table.enable_tracing(**kwargs)
+
+    def disable_tracing(self) -> None:
+        self.table.disable_tracing()

@@ -76,6 +76,7 @@ class Recno(AccessMethod):
         in_memory: bool = False,
         observability: bool = True,
         concurrent: bool = False,
+        tracing: bool = False,
         file_wrapper=None,
     ) -> "Recno":
         """Create a record file.  ``reclen`` selects fixed-length mode.
@@ -94,6 +95,7 @@ class Recno(AccessMethod):
             in_memory=in_memory,
             observability=observability,
             concurrent=concurrent,
+            tracing=tracing,
             file_wrapper=file_wrapper,
         )
         return cls(tree, reclen, bpad)
@@ -109,6 +111,7 @@ class Recno(AccessMethod):
         readonly: bool = False,
         observability: bool = True,
         concurrent: bool = False,
+        tracing: bool = False,
         file_wrapper=None,
     ) -> "Recno":
         tree = BTree.open_file(
@@ -117,6 +120,7 @@ class Recno(AccessMethod):
             readonly=readonly,
             observability=observability,
             concurrent=concurrent,
+            tracing=tracing,
             file_wrapper=file_wrapper,
         )
         return cls(tree, reclen, bpad)
@@ -247,3 +251,19 @@ class Recno(AccessMethod):
     @property
     def io_stats(self):
         return self._tree.io_stats
+
+    # -- tracing: delegated to the underlying btree ------------------------------
+
+    @property
+    def tracer(self):
+        return self._tree.tracer
+
+    @property
+    def flight_recorder(self):
+        return self._tree.flight_recorder
+
+    def enable_tracing(self, **kwargs):
+        return self._tree.enable_tracing(**kwargs)
+
+    def disable_tracing(self) -> None:
+        self._tree.disable_tracing()

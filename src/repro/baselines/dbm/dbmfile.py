@@ -30,6 +30,7 @@ comparison points of the evaluation:
 from __future__ import annotations
 
 import os
+import time
 from typing import Callable, Iterator
 
 from repro.baselines.dbm.bitmap import DirBitmap
@@ -37,6 +38,8 @@ from repro.core.hashfuncs import thompson_hash
 from repro.core.locking import NULL_GUARD, RWLock
 from repro.core.pages import PageFullError, PageView, empty_page, pair_bytes_needed
 from repro.core.constants import PAGE_HDR_SIZE
+from repro.obs.hooks import TraceHooks
+from repro.obs.trace import TraceSupport
 from repro.storage.pager import open_pager
 
 #: dbm's historical block size (PBLKSIZ).
@@ -50,7 +53,7 @@ class DbmError(Exception):
     """A dbm failure the original library also produced."""
 
 
-class DbmFile:
+class DbmFile(TraceSupport):
     """One dbm database: ``<name>.pag`` (data blocks) + ``<name>.dir``
     (split bitmap)."""
 
@@ -62,8 +65,10 @@ class DbmFile:
         block_size: int = DEFAULT_BLOCK_SIZE,
         hashfn: Callable[[bytes], int] | None = None,
         concurrent: bool = False,
+        tracing: bool = False,
         file_wrapper=None,
     ) -> None:
+        t_open = time.perf_counter()
         if flags not in ("r", "w", "c", "n"):
             raise ValueError(f"flags must be 'r', 'w', 'c' or 'n', got {flags!r}")
         base = os.fspath(name)
@@ -101,6 +106,13 @@ class DbmFile:
         self._cached_blkno: int | None = None
         self._cached_page: bytearray | None = None
         self._cached_dirty = False
+        self.hooks = TraceHooks()
+        self.concurrent = concurrent
+        self._file = self.pag  # the mixin's handle for the default dump path
+        self._init_tracing()
+        self.pag.on_page_io = self._page_io_event
+        if hasattr(self.pag, "on_fault"):
+            self.pag.on_fault = self._fault_event
         #: ``concurrent=True`` serializes every operation exclusively:
         #: dbm's single-block cache makes even a fetch a mutation, so
         #: there is no shared-reader mode to offer.  The same write-side
@@ -109,12 +121,27 @@ class DbmFile:
         self._guard = self._lock.writer if concurrent else NULL_GUARD
         if concurrent:
             self.pag.stats.make_threadsafe()
+            self._lock.wait_hook = self._lock_wait_event
+        if tracing:
+            self._trace_open(t_open, "create" if create else "open")
+
+    def _page_io_event(self, kind: str, pageno: int, nbytes: int) -> None:
+        hooks = self.hooks
+        if hooks.on_page_io:
+            hooks.emit(
+                "on_page_io", {"kind": kind, "pageno": pageno, "nbytes": nbytes}
+            )
 
     # -- block cache -----------------------------------------------------------
 
     def _read_block(self, blkno: int) -> bytearray:
+        hooks = self.hooks
         if blkno == self._cached_blkno:
+            if hooks.on_buffer:
+                hooks.emit("on_buffer", {"kind": "hit", "key": blkno, "pageno": blkno})
             return self._cached_page
+        if hooks.on_buffer:
+            hooks.emit("on_buffer", {"kind": "miss", "key": blkno, "pageno": blkno})
         self._flush_block()
         raw = self.pag.read_page(blkno)
         page = bytearray(raw)
@@ -157,14 +184,19 @@ class DbmFile:
     # -- operations ------------------------------------------------------------------
 
     def fetch(self, key: bytes) -> bytes | None:
+        if self.tracer.enabled:
+            return self._traced_op("get", None, self._guard, self._fetch_impl, key)
         with self._guard:
-            self._check_open()
-            _h, bucket, _mask = self._calc_bucket(key)
-            view = PageView(self._read_block(bucket))
-            i = view.find_inline(key)
-            if i < 0:
-                return None
-            return view.get_pair(i)[1]
+            return self._fetch_impl(key)
+
+    def _fetch_impl(self, key: bytes) -> bytes | None:
+        self._check_open()
+        _h, bucket, _mask = self._calc_bucket(key)
+        view = PageView(self._read_block(bucket))
+        i = view.find_inline(key)
+        if i < 0:
+            return None
+        return view.get_pair(i)[1]
 
     def store(self, key: bytes, data: bytes, *, replace: bool = True) -> bool:
         """Insert/replace; splits the target bucket as needed.
@@ -172,36 +204,43 @@ class DbmFile:
         Raises :class:`DbmError` for the algorithm's inherent failures
         (oversized pair, unsplittable collisions).
         """
-        with self._guard:
-            self._check_writable()
-            if pair_bytes_needed(len(key), len(data)) + PAGE_HDR_SIZE > self.block_size:
-                raise DbmError(
-                    f"dbm: key+data of {len(key) + len(data)} bytes exceed the "
-                    f"{self.block_size}-byte block size"
-                )
-            h = self._hash(key)
-            for _attempt in range(MAX_SPLIT_DEPTH + 1):
-                bucket, mask = self._access(h)
-                page = self._read_block(bucket)
-                view = PageView(page)
-                i = view.find_inline(key)
-                if i >= 0:
-                    if not replace:
-                        return False
-                    view.delete_slot(i)
-                try:
-                    view.add_pair(key, data)
-                except PageFullError:
-                    self._split(bucket, mask)
-                    continue
-                self._cached_dirty = True
-                if bucket > self.bitmap.maxbuck:
-                    self.bitmap.maxbuck = bucket
-                return True
-            raise DbmError(
-                "dbm: cannot store -- colliding keys exceed block size "
-                "(split depth exhausted)"
+        if self.tracer.enabled:
+            return self._traced_op(
+                "put", None, self._guard, self._store_impl, key, data, replace
             )
+        with self._guard:
+            return self._store_impl(key, data, replace)
+
+    def _store_impl(self, key: bytes, data: bytes, replace: bool) -> bool:
+        self._check_writable()
+        if pair_bytes_needed(len(key), len(data)) + PAGE_HDR_SIZE > self.block_size:
+            raise DbmError(
+                f"dbm: key+data of {len(key) + len(data)} bytes exceed the "
+                f"{self.block_size}-byte block size"
+            )
+        h = self._hash(key)
+        for _attempt in range(MAX_SPLIT_DEPTH + 1):
+            bucket, mask = self._access(h)
+            page = self._read_block(bucket)
+            view = PageView(page)
+            i = view.find_inline(key)
+            if i >= 0:
+                if not replace:
+                    return False
+                view.delete_slot(i)
+            try:
+                view.add_pair(key, data)
+            except PageFullError:
+                self._split(bucket, mask)
+                continue
+            self._cached_dirty = True
+            if bucket > self.bitmap.maxbuck:
+                self.bitmap.maxbuck = bucket
+            return True
+        raise DbmError(
+            "dbm: cannot store -- colliding keys exceed block size "
+            "(split depth exhausted)"
+        )
 
     def _split(self, bucket: int, mask: int) -> None:
         """Split ``bucket`` at level ``mask``: set its bitmap bit and
@@ -229,16 +268,21 @@ class DbmFile:
             self.bitmap.maxbuck = buddy
 
     def delete(self, key: bytes) -> bool:
+        if self.tracer.enabled:
+            return self._traced_op("delete", None, self._guard, self._delete_impl, key)
         with self._guard:
-            self._check_writable()
-            _h, bucket, _mask = self._calc_bucket(key)
-            view = PageView(self._read_block(bucket))
-            i = view.find_inline(key)
-            if i < 0:
-                return False
-            view.delete_slot(i)
-            self._cached_dirty = True
-            return True
+            return self._delete_impl(key)
+
+    def _delete_impl(self, key: bytes) -> bool:
+        self._check_writable()
+        _h, bucket, _mask = self._calc_bucket(key)
+        view = PageView(self._read_block(bucket))
+        i = view.find_inline(key)
+        if i < 0:
+            return False
+        view.delete_slot(i)
+        self._cached_dirty = True
+        return True
 
     # -- sequential access ----------------------------------------------------------
 
@@ -277,6 +321,9 @@ class DbmFile:
         """Flush-before-sync: dirty block first, then the ``.dir`` bitmap,
         then one fsync of the ``.pag`` file (same ordering as the hash and
         btree access methods: data pages, metadata, fsync)."""
+        if self.tracer.enabled:
+            self._traced_op("sync", None, self._guard, self._sync_impl)
+            return
         with self._guard:
             self._sync_impl()
 

@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import os
 import struct
+import time
 from typing import Callable, Iterator
 
 from repro.baselines.gdbm.allocator import AVAIL_MAX, ExtentAllocator
@@ -36,6 +37,7 @@ from repro.core.hashfuncs import fnv1a_hash
 from repro.core.locking import NULL_GUARD, RWLock
 from repro.obs.hooks import TraceHooks
 from repro.obs.registry import Counter, Registry
+from repro.obs.trace import TraceSupport
 from repro.storage.bytefile import ByteFile
 
 GDBM_MAGIC = 0x47444D31  # "GDM1"
@@ -77,7 +79,7 @@ class _Bucket:
         self.elems = elems
 
 
-class Gdbm:
+class Gdbm(TraceSupport):
     """One gdbm database file."""
 
     def __init__(
@@ -90,8 +92,10 @@ class Gdbm:
         max_dir_depth: int = DEFAULT_MAX_DIR_DEPTH,
         observability: bool = True,
         concurrent: bool = False,
+        tracing: bool = False,
         file_wrapper=None,
     ) -> None:
+        t_open = time.perf_counter()
         if flags not in ("r", "w", "c", "n"):
             raise ValueError(f"flags must be 'r', 'w', 'c' or 'n', got {flags!r}")
         if not 1 <= max_dir_depth <= 31:
@@ -109,6 +113,9 @@ class Gdbm:
         self._closed = False
         self.obs = Registry("gdbm", enabled=observability)
         self.hooks = TraceHooks()
+        self.concurrent = concurrent
+        self._file = self.file  # the mixin's handle for the default dump path
+        self._init_tracing()
         self._c_splits = self.obs.attach(Counter("splits"))
         self._c_dir_doubles = self.obs.attach(Counter("dir_doubles"))
         # single-bucket cache (gdbm reads one bucket per access)
@@ -132,6 +139,8 @@ class Gdbm:
         # granularity, so gdbm shows up in the same traces as the paged
         # formats (installed after bootstrap I/O so block_size is known).
         self.file.on_io = self._io_event
+        if hasattr(self.file, "on_fault"):
+            self.file.on_fault = self._fault_event
         #: ``concurrent=True`` serializes every operation exclusively:
         #: gdbm's single-bucket cache makes even a fetch a mutation, so
         #: there is no shared-reader mode to offer.  The same write-side
@@ -141,6 +150,9 @@ class Gdbm:
         if concurrent:
             self.file.stats.make_threadsafe()
             self.obs.make_threadsafe()
+            self._lock.wait_hook = self._lock_wait_event
+        if tracing:
+            self._trace_open(t_open, "create" if create else "open")
 
     def _io_event(self, kind: str, offset: int, nbytes: int) -> None:
         hooks = self.hooks
@@ -228,8 +240,21 @@ class Gdbm:
     # -- bucket I/O ---------------------------------------------------------------
 
     def _read_bucket(self, offset: int) -> _Bucket:
+        hooks = self.hooks
         if self._cached is not None and self._cached.offset == offset:
+            if hooks.on_buffer:
+                hooks.emit(
+                    "on_buffer",
+                    {"kind": "hit", "key": offset,
+                     "pageno": offset // self.block_size},
+                )
             return self._cached
+        if hooks.on_buffer:
+            hooks.emit(
+                "on_buffer",
+                {"kind": "miss", "key": offset,
+                 "pageno": offset // self.block_size},
+            )
         raw = self.file.read_at(offset, self._bucket_size())
         depth, count = _BUCKET_HDR.unpack_from(raw, 0)
         if count > self.bucket_elems:
@@ -278,44 +303,56 @@ class Gdbm:
     # -- operations -------------------------------------------------------------------
 
     def fetch(self, key: bytes) -> bytes | None:
+        if self.tracer.enabled:
+            return self._traced_op("get", None, self._guard, self._fetch_impl, key)
         with self._guard:
-            self._check_open()
-            h = self._hash(key)
-            bucket = self._read_bucket(self.directory[self._dir_index(h)])
-            for elem in bucket.elems:
-                if elem[0] == h and elem[1] == len(key) and self._read_key(elem) == key:
-                    return self._read_record(elem)[1]
-            return None
+            return self._fetch_impl(key)
+
+    def _fetch_impl(self, key: bytes) -> bytes | None:
+        self._check_open()
+        h = self._hash(key)
+        bucket = self._read_bucket(self.directory[self._dir_index(h)])
+        for elem in bucket.elems:
+            if elem[0] == h and elem[1] == len(key) and self._read_key(elem) == key:
+                return self._read_record(elem)[1]
+        return None
 
     def store(self, key: bytes, data: bytes, *, replace: bool = True) -> bool:
         """Insert/replace; splits buckets and doubles the directory as
         needed.  Arbitrary-length keys and data are supported."""
+        if self.tracer.enabled:
+            return self._traced_op(
+                "put", None, self._guard, self._store_impl, key, data, replace
+            )
         with self._guard:
-            self._check_writable()
-            h = self._hash(key)
-            # replace path
+            return self._store_impl(key, data, replace)
+
+    def _store_impl(self, key: bytes, data: bytes, replace: bool) -> bool:
+        self._check_writable()
+        h = self._hash(key)
+        # replace path
+        bucket = self._read_bucket(self.directory[self._dir_index(h)])
+        for i, elem in enumerate(bucket.elems):
+            if elem[0] == h and elem[1] == len(key) and self._read_key(elem) == key:
+                if not replace:
+                    return False
+                self.alloc.free(elem[3], elem[1] + elem[2])
+                off = self._alloc_record(key, data)
+                bucket.elems[i] = (h, len(key), len(data), off)
+                self._write_bucket(bucket)
+                self._write_header()
+                return True
+        # insert path: split until the target bucket has room
+        while True:
             bucket = self._read_bucket(self.directory[self._dir_index(h)])
-            for i, elem in enumerate(bucket.elems):
-                if elem[0] == h and elem[1] == len(key) and self._read_key(elem) == key:
-                    if not replace:
-                        return False
-                    self.alloc.free(elem[3], elem[1] + elem[2])
-                    off = self._alloc_record(key, data)
-                    bucket.elems[i] = (h, len(key), len(data), off)
-                    self._write_bucket(bucket)
-                    self._write_header()
-                    return True
-            # insert path: split until the target bucket has room
-            while True:
-                bucket = self._read_bucket(self.directory[self._dir_index(h)])
-                if len(bucket.elems) < self.bucket_elems:
-                    break
-                self._split(bucket)
-            off = self._alloc_record(key, data)
-            bucket.elems.append((h, len(key), len(data), off))
-            self._write_bucket(bucket)
-            self._write_header()
-            return True
+            if len(bucket.elems) < self.bucket_elems:
+                break
+            self._split(bucket)
+        off = self._alloc_record(key, data)
+        bucket.elems.append((h, len(key), len(data), off))
+        self._write_bucket(bucket)
+        self._write_header()
+        return True
 
     def _split(self, bucket: _Bucket) -> None:
         """The paper's code fragment: give the full bucket a buddy one
@@ -372,18 +409,23 @@ class Gdbm:
         self._write_header()
 
     def delete(self, key: bytes) -> bool:
+        if self.tracer.enabled:
+            return self._traced_op("delete", None, self._guard, self._delete_impl, key)
         with self._guard:
-            self._check_writable()
-            h = self._hash(key)
-            bucket = self._read_bucket(self.directory[self._dir_index(h)])
-            for i, elem in enumerate(bucket.elems):
-                if elem[0] == h and elem[1] == len(key) and self._read_key(elem) == key:
-                    self.alloc.free(elem[3], elem[1] + elem[2])
-                    del bucket.elems[i]
-                    self._write_bucket(bucket)
-                    self._write_header()
-                    return True
-            return False
+            return self._delete_impl(key)
+
+    def _delete_impl(self, key: bytes) -> bool:
+        self._check_writable()
+        h = self._hash(key)
+        bucket = self._read_bucket(self.directory[self._dir_index(h)])
+        for i, elem in enumerate(bucket.elems):
+            if elem[0] == h and elem[1] == len(key) and self._read_key(elem) == key:
+                self.alloc.free(elem[3], elem[1] + elem[2])
+                del bucket.elems[i]
+                self._write_bucket(bucket)
+                self._write_header()
+                return True
+        return False
 
     # -- iteration ----------------------------------------------------------------------
 
@@ -430,6 +472,9 @@ class Gdbm:
         written through, so sync writes the header (metadata last) and
         issues one fsync -- the ordering shared by every disk format in
         this repo."""
+        if self.tracer.enabled:
+            self._traced_op("sync", None, self._guard, self._sync_impl)
+            return
         with self._guard:
             self._sync_impl()
 

@@ -28,6 +28,7 @@ the access function ... make the two incompatible at the database level."
 from __future__ import annotations
 
 import os
+import time
 from typing import Callable, Iterator
 
 from repro.baselines.dbm.bitmap import DirBitmap
@@ -35,6 +36,8 @@ from repro.core.constants import PAGE_HDR_SIZE
 from repro.core.hashfuncs import sdbm_hash
 from repro.core.locking import NULL_GUARD, RWLock
 from repro.core.pages import PageFullError, PageView, empty_page, pair_bytes_needed
+from repro.obs.hooks import TraceHooks
+from repro.obs.trace import TraceSupport
 from repro.storage.pager import open_pager
 
 #: sdbm's historical PBLKSIZ.
@@ -47,7 +50,7 @@ class SdbmError(Exception):
     """An sdbm failure the original library also produced."""
 
 
-class Sdbm:
+class Sdbm(TraceSupport):
     """One sdbm database: sparse ``.pag`` data blocks plus a ``.dir``
     linearized-radix-trie bitmap."""
 
@@ -59,8 +62,10 @@ class Sdbm:
         block_size: int = DEFAULT_BLOCK_SIZE,
         hashfn: Callable[[bytes], int] | None = None,
         concurrent: bool = False,
+        tracing: bool = False,
         file_wrapper=None,
     ) -> None:
+        t_open = time.perf_counter()
         if flags not in ("r", "w", "c", "n"):
             raise ValueError(f"flags must be 'r', 'w', 'c' or 'n', got {flags!r}")
         base = os.fspath(name)
@@ -96,6 +101,13 @@ class Sdbm:
         self._cached_blkno: int | None = None
         self._cached_page: bytearray | None = None
         self._cached_dirty = False
+        self.hooks = TraceHooks()
+        self.concurrent = concurrent
+        self._file = self.pag  # the mixin's handle for the default dump path
+        self._init_tracing()
+        self.pag.on_page_io = self._page_io_event
+        if hasattr(self.pag, "on_fault"):
+            self.pag.on_fault = self._fault_event
         #: ``concurrent=True`` serializes every operation exclusively:
         #: sdbm's single-block cache makes even a fetch a mutation, so
         #: there is no shared-reader mode to offer.  The same write-side
@@ -104,6 +116,16 @@ class Sdbm:
         self._guard = self._lock.writer if concurrent else NULL_GUARD
         if concurrent:
             self.pag.stats.make_threadsafe()
+            self._lock.wait_hook = self._lock_wait_event
+        if tracing:
+            self._trace_open(t_open, "create" if create else "open")
+
+    def _page_io_event(self, kind: str, pageno: int, nbytes: int) -> None:
+        hooks = self.hooks
+        if hooks.on_page_io:
+            hooks.emit(
+                "on_page_io", {"kind": kind, "pageno": pageno, "nbytes": nbytes}
+            )
 
     # -- trie traversal -----------------------------------------------------------
 
@@ -125,8 +147,13 @@ class Sdbm:
     # -- block cache (same single-buffer scheme as dbm) ------------------------------
 
     def _read_block(self, blkno: int) -> bytearray:
+        hooks = self.hooks
         if blkno == self._cached_blkno:
+            if hooks.on_buffer:
+                hooks.emit("on_buffer", {"kind": "hit", "key": blkno, "pageno": blkno})
             return self._cached_page
+        if hooks.on_buffer:
+            hooks.emit("on_buffer", {"kind": "miss", "key": blkno, "pageno": blkno})
         self._flush_block()
         page = bytearray(self.pag.read_page(blkno))
         view = PageView(page)
@@ -145,48 +172,60 @@ class Sdbm:
     # -- operations -------------------------------------------------------------------
 
     def fetch(self, key: bytes) -> bytes | None:
+        if self.tracer.enabled:
+            return self._traced_op("get", None, self._guard, self._fetch_impl, key)
         with self._guard:
-            self._check_open()
-            bucket, _mask, _nbits, _tbit = self._access(self._hash(key))
-            view = PageView(self._read_block(bucket))
-            i = view.find_inline(key)
-            if i < 0:
-                return None
-            return view.get_pair(i)[1]
+            return self._fetch_impl(key)
+
+    def _fetch_impl(self, key: bytes) -> bytes | None:
+        self._check_open()
+        bucket, _mask, _nbits, _tbit = self._access(self._hash(key))
+        view = PageView(self._read_block(bucket))
+        i = view.find_inline(key)
+        if i < 0:
+            return None
+        return view.get_pair(i)[1]
 
     def store(self, key: bytes, data: bytes, *, replace: bool = True) -> bool:
-        with self._guard:
-            self._check_writable()
-            if pair_bytes_needed(len(key), len(data)) + PAGE_HDR_SIZE > self.block_size:
-                raise SdbmError(
-                    f"sdbm: key+data of {len(key) + len(data)} bytes exceed the "
-                    f"{self.block_size}-byte block size"
-                )
-            h = self._hash(key)
-            for _attempt in range(MAX_SPLIT_DEPTH + 1):
-                bucket, _mask, nbits, tbit = self._access(h)
-                page = self._read_block(bucket)
-                view = PageView(page)
-                i = view.find_inline(key)
-                if i >= 0:
-                    if not replace:
-                        return False
-                    view.delete_slot(i)
-                try:
-                    view.add_pair(key, data)
-                except PageFullError:
-                    if nbits >= MAX_SPLIT_DEPTH:
-                        break
-                    self._split(bucket, nbits, tbit)
-                    continue
-                self._cached_dirty = True
-                if bucket > self.trie.maxbuck:
-                    self.trie.maxbuck = bucket
-                return True
-            raise SdbmError(
-                "sdbm: cannot store -- colliding keys exceed block size "
-                "(trie depth exhausted)"
+        if self.tracer.enabled:
+            return self._traced_op(
+                "put", None, self._guard, self._store_impl, key, data, replace
             )
+        with self._guard:
+            return self._store_impl(key, data, replace)
+
+    def _store_impl(self, key: bytes, data: bytes, replace: bool) -> bool:
+        self._check_writable()
+        if pair_bytes_needed(len(key), len(data)) + PAGE_HDR_SIZE > self.block_size:
+            raise SdbmError(
+                f"sdbm: key+data of {len(key) + len(data)} bytes exceed the "
+                f"{self.block_size}-byte block size"
+            )
+        h = self._hash(key)
+        for _attempt in range(MAX_SPLIT_DEPTH + 1):
+            bucket, _mask, nbits, tbit = self._access(h)
+            page = self._read_block(bucket)
+            view = PageView(page)
+            i = view.find_inline(key)
+            if i >= 0:
+                if not replace:
+                    return False
+                view.delete_slot(i)
+            try:
+                view.add_pair(key, data)
+            except PageFullError:
+                if nbits >= MAX_SPLIT_DEPTH:
+                    break
+                self._split(bucket, nbits, tbit)
+                continue
+            self._cached_dirty = True
+            if bucket > self.trie.maxbuck:
+                self.trie.maxbuck = bucket
+            return True
+        raise SdbmError(
+            "sdbm: cannot store -- colliding keys exceed block size "
+            "(trie depth exhausted)"
+        )
 
     def _split(self, bucket: int, nbits: int, tbit: int) -> None:
         """Make external node ``tbit`` internal and redistribute its bucket
@@ -211,16 +250,21 @@ class Sdbm:
             self.trie.maxbuck = buddy
 
     def delete(self, key: bytes) -> bool:
+        if self.tracer.enabled:
+            return self._traced_op("delete", None, self._guard, self._delete_impl, key)
         with self._guard:
-            self._check_writable()
-            bucket, _mask, _nbits, _tbit = self._access(self._hash(key))
-            view = PageView(self._read_block(bucket))
-            i = view.find_inline(key)
-            if i < 0:
-                return False
-            view.delete_slot(i)
-            self._cached_dirty = True
-            return True
+            return self._delete_impl(key)
+
+    def _delete_impl(self, key: bytes) -> bool:
+        self._check_writable()
+        bucket, _mask, _nbits, _tbit = self._access(self._hash(key))
+        view = PageView(self._read_block(bucket))
+        i = view.find_inline(key)
+        if i < 0:
+            return False
+        view.delete_slot(i)
+        self._cached_dirty = True
+        return True
 
     # -- sequential access -----------------------------------------------------------
 
@@ -258,6 +302,9 @@ class Sdbm:
         """Flush-before-sync: dirty block, then the ``.dir`` trie, then one
         fsync of the ``.pag`` file (the ordering shared by every disk
         format in this repo)."""
+        if self.tracer.enabled:
+            self._traced_op("sync", None, self._guard, self._sync_impl)
+            return
         with self._guard:
             self._sync_impl()
 

@@ -84,9 +84,18 @@ class BigPairStore:
     everything else.
     """
 
-    def __init__(self, pool, allocator) -> None:
+    def __init__(self, pool, allocator, hooks=None) -> None:
         self.pool = pool
         self.allocator = allocator
+        #: optional TraceHooks: ``on_big_pair`` fires per store/fetch/free
+        self.hooks = hooks
+
+    def _emit(self, kind: str, head: int, npages: int) -> None:
+        hooks = self.hooks
+        if hooks is not None and hooks.on_big_pair:
+            hooks.emit(
+                "on_big_pair", {"kind": kind, "head": head, "npages": npages}
+            )
 
     def store(self, key: bytes, data: bytes) -> int:
         """Write ``key || data`` to a fresh chain; returns the head address.
@@ -99,6 +108,7 @@ class BigPairStore:
         head = NO_OADDR
         prev_hdr = None
         pos = 0
+        npages = 0
         try:
             while pos < len(payload) or head == NO_OADDR:
                 oaddr = self.allocator.alloc()
@@ -112,6 +122,7 @@ class BigPairStore:
                 view.set_payload(chunk)
                 hdr.dirty = True
                 pos += len(chunk)
+                npages += 1
                 if head == NO_OADDR:
                     head = oaddr
                 else:
@@ -123,6 +134,7 @@ class BigPairStore:
         finally:
             if prev_hdr is not None and prev_hdr.pins:
                 prev_hdr.unpin()
+        self._emit("store", head, npages)
         return head
 
     def _walk(self, head: int) -> list[int]:
@@ -155,6 +167,7 @@ class BigPairStore:
             raise AssertionError(
                 f"big-pair chain truncated: expected {total} bytes, got {len(payload)}"
             )
+        self._emit("fetch", head, len(parts))
         return payload[:klen], payload[klen : klen + dlen]
 
     def fetch_key(self, head: int, klen: int) -> bytes:
@@ -176,5 +189,7 @@ class BigPairStore:
 
     def free(self, head: int) -> None:
         """Release every page of the chain at ``head``."""
-        for oaddr in self._walk(head):
+        addrs = self._walk(head)
+        for oaddr in addrs:
             self.allocator.free(oaddr)
+        self._emit("free", head, len(addrs))

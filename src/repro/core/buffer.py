@@ -236,15 +236,25 @@ class BufferPool:
         is zero-initialized without a disk read (the caller formats it).
         """
         mutex = self.mutex
+        hooks = self._hooks
         if mutex is None:
             hdr = self._pool.get(key)
             if hdr is not None:
                 self._c_hits.value += 1
                 if self.policy == "lru":
                     self._pool.move_to_end(key)
+                if hooks is not None and hooks.on_buffer:
+                    hooks.emit(
+                        "on_buffer",
+                        {"kind": "hit", "key": key, "pageno": hdr.pageno},
+                    )
                 return hdr
             self._c_misses.value += 1
             pageno = self.addresser(key)
+            if hooks is not None and hooks.on_buffer:
+                hooks.emit(
+                    "on_buffer", {"kind": "miss", "key": key, "pageno": pageno}
+                )
             if create or pageno >= self._hole_threshold:
                 page = bytearray(self.bsize)
             else:
@@ -260,10 +270,21 @@ class BufferPool:
                 self._c_hits.value += 1
                 if self.policy == "lru":
                     self._pool.move_to_end(key)
-                return hdr
-            self._c_misses.value += 1
-            pageno = self.addresser(key)
-            hole = create or pageno >= self._hole_threshold
+                hit_pageno = hdr.pageno
+            else:
+                self._c_misses.value += 1
+                pageno = self.addresser(key)
+                hole = create or pageno >= self._hole_threshold
+        # on_buffer fires OUTSIDE the mutex (subscribers may be slow or
+        # reenter the pool), same rule as the miss read below.
+        if hdr is not None:
+            if hooks is not None and hooks.on_buffer:
+                hooks.emit(
+                    "on_buffer", {"kind": "hit", "key": key, "pageno": hit_pageno}
+                )
+            return hdr
+        if hooks is not None and hooks.on_buffer:
+            hooks.emit("on_buffer", {"kind": "miss", "key": key, "pageno": pageno})
         if hole:
             page = bytearray(self.bsize)
         else:

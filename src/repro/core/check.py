@@ -114,6 +114,8 @@ def verify_table(t: HashTable) -> CheckReport:
     h = t.header
     _check_header(t, report)
     if report.errors:
+        if t.tracer.enabled:
+            t.tracer.recorder.auto_dump("check_failure")
         return report
 
     referenced: set[int] = set()  # overflow slots referenced by structures
@@ -204,6 +206,9 @@ def verify_table(t: HashTable) -> CheckReport:
         longest_chain=max_chain,
         fill_ratio=round(nkeys / (h.max_bucket + 1), 2),
     )
+    if not report.ok and t.tracer.enabled:
+        # preserve the event tail that led to the structural damage
+        t.tracer.recorder.auto_dump("check_failure")
     return report
 
 

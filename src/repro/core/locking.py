@@ -39,7 +39,8 @@ manager, so the hot path costs one attribute load (the BENCH guard in
 from __future__ import annotations
 
 import threading
-from typing import Protocol
+import time
+from typing import Callable, Protocol
 
 __all__ = ["RWLock", "PageLatch", "LockObserver", "NULL_GUARD"]
 
@@ -136,6 +137,11 @@ class RWLock:
         self._read_waiters: set[int] = set()
         #: optional LockObserver (the race harness); None in production
         self.observer: LockObserver | None = None
+        #: optional ``fn(mode, t0, wait_seconds)`` called after a blocked
+        #: acquisition, outside the lock's mutex -- the tracer's lock-wait
+        #: span feed.  ``t0`` is an absolute ``perf_counter`` reading.
+        #: Uncontended acquisitions never touch the clock.
+        self.wait_hook: Callable[[str, float, float], None] | None = None
 
     # -- read side -------------------------------------------------------------
 
@@ -143,6 +149,7 @@ class RWLock:
         me = threading.get_ident()
         obs = self.observer
         blocked = False
+        t0 = 0.0
         with self._cond:
             if self._writer == me or me in self._readers:
                 # read inside own write, or nested read: always admitted
@@ -153,6 +160,8 @@ class RWLock:
                 # on_block before EVERY wait, not just the first: a woken
                 # reader can lose the race to a newly queued writer, and
                 # the observer must see it as blocked again.
+                if not blocked and self.wait_hook is not None:
+                    t0 = time.perf_counter()
                 blocked = True
                 self._read_waiters.add(me)
                 if obs is not None:
@@ -161,8 +170,12 @@ class RWLock:
             if blocked:
                 self._read_waiters.discard(me)
             self._readers[me] = 1
-        if blocked and obs is not None:
-            obs.on_acquired(me)
+        if blocked:
+            if obs is not None:
+                obs.on_acquired(me)
+            hook = self.wait_hook
+            if hook is not None and t0:
+                hook("read", t0, time.perf_counter() - t0)
 
     def release_read(self) -> None:
         me = threading.get_ident()
@@ -185,6 +198,7 @@ class RWLock:
         me = threading.get_ident()
         obs = self.observer
         blocked = False
+        t0 = 0.0
         with self._cond:
             if self._writer == me:
                 self._writer_depth += 1
@@ -200,6 +214,8 @@ class RWLock:
                 and self._writer is None
                 and not self._readers
             ):
+                if not blocked and self.wait_hook is not None:
+                    t0 = time.perf_counter()
                 blocked = True
                 if obs is not None:
                     obs.on_block(me)
@@ -210,8 +226,12 @@ class RWLock:
             if self._write_queue:
                 # the next queued writer is still blocked; nothing to signal
                 pass
-        if blocked and obs is not None:
-            obs.on_acquired(me)
+        if blocked:
+            if obs is not None:
+                obs.on_acquired(me)
+            hook = self.wait_hook
+            if hook is not None and t0:
+                hook("write", t0, time.perf_counter() - t0)
 
     def release_write(self) -> None:
         me = threading.get_ident()

@@ -56,6 +56,7 @@ from repro.core.locking import NULL_GUARD, RWLock
 from repro.core.pages import PageView, is_big_pair
 from repro.obs.hooks import TraceHooks
 from repro.obs.registry import Registry
+from repro.obs.trace import TraceSupport
 from repro.storage.pager import open_pager
 
 
@@ -118,7 +119,7 @@ def suggest_parameters(
     return size, ffactor
 
 
-class HashTable:
+class HashTable(TraceSupport):
     """A disk- or memory-resident linear hash table of byte-string pairs.
 
     Construct with :meth:`create` or :meth:`open_file` (or the module-level
@@ -180,6 +181,9 @@ class HashTable:
             self.obs.make_threadsafe()
             file.stats.make_threadsafe()
         self.hooks = TraceHooks()
+        # disabled tracer until enable_tracing(): each traced call site
+        # costs one attribute load + truth test (see obs.trace.TraceSupport)
+        self._init_tracing()
         self.pool = BufferPool(
             file,
             header.bsize,
@@ -199,8 +203,15 @@ class HashTable:
         # Page-I/O trace events piggyback on the file's callback slot; the
         # storage layer stays ignorant of the hook machinery.
         file.on_page_io = self._page_io_event
+        # Fault injection (FaultyPager) exposes the same style of slot;
+        # route it into on_fault so the flight recorder logs the injected
+        # fault before the crash it causes.
+        if hasattr(file, "on_fault"):
+            file.on_fault = self._fault_event
+        if concurrent:
+            self._lock.wait_hook = self._lock_wait_event
         self.allocator = OvflAllocator(header, self.pool)
-        self.bigstore = BigPairStore(self.pool, self.allocator)
+        self.bigstore = BigPairStore(self.pool, self.allocator, hooks=self.hooks)
         self.buckets = BucketArray()
         self.buckets.grow_to(header.max_bucket + 1)
         self._scan: "TableCursor | None" = None
@@ -220,6 +231,7 @@ class HashTable:
         buffer_policy: str = "lru",
         observability: bool = True,
         concurrent: bool = False,
+        tracing: bool = False,
         file_wrapper=None,
     ) -> "HashTable":
         """Create a new table.
@@ -264,6 +276,7 @@ class HashTable:
         )
         # e.g. repro.storage.simdisk.SimulatedDisk for modelled I/O time, or
         # repro.storage.faulty.FaultyPager for crash injection
+        t_open = time.perf_counter()
         file = open_pager(
             path, pagesize=bsize, create=True, in_memory=in_memory,
             wrapper=file_wrapper,
@@ -279,6 +292,8 @@ class HashTable:
             concurrent=concurrent,
         )
         table._write_header()
+        if tracing:
+            table._trace_open(t_open, "create")
         return table
 
     @classmethod
@@ -291,6 +306,7 @@ class HashTable:
         readonly: bool = False,
         observability: bool = True,
         concurrent: bool = False,
+        tracing: bool = False,
         file_wrapper=None,
     ) -> "HashTable":
         """Open an existing table.
@@ -301,6 +317,7 @@ class HashTable:
         the one with which the table was created").
         """
         fn = get_hash_function(hashfn)
+        t_open = time.perf_counter()
         probe = open_pager(path, pagesize=HDR_SIZE, readonly=readonly)
         try:
             if probe.size_bytes() < HDR_SIZE:
@@ -319,7 +336,7 @@ class HashTable:
         file = open_pager(
             path, pagesize=header.bsize, readonly=readonly, wrapper=file_wrapper
         )
-        return cls(
+        table = cls(
             file,
             header,
             fn,
@@ -328,6 +345,9 @@ class HashTable:
             observability=observability,
             concurrent=concurrent,
         )
+        if tracing:
+            table._trace_open(t_open, "open")
+        return table
 
     # --------------------------------------------------------------- plumbing
 
@@ -405,6 +425,8 @@ class HashTable:
         *both* buffers pinned (caller unpins), or ``None`` if absent.
         """
         prev: BufferHeader | None = None
+        hooks = self.hooks
+        depth = 0
         hdr = self._fault(("B", bucket))
         hdr.pin()
         while True:
@@ -426,6 +448,12 @@ class HashTable:
             if prev is not None:
                 prev.unpin()
             prev = hdr
+            depth += 1
+            if hooks.on_overflow_hop:
+                hooks.emit(
+                    "on_overflow_hop",
+                    {"bucket": bucket, "oaddr": nxt, "depth": depth},
+                )
             nhdr = self._fault(("O", nxt))
             nhdr.pin()
             self.pool.link_chain(hdr, nhdr)
@@ -433,6 +461,10 @@ class HashTable:
 
     def get(self, key: bytes, default: bytes | None = None) -> bytes | None:
         """Value stored under ``key``, or ``default`` if absent."""
+        if self.tracer.enabled:
+            return self._traced_op(
+                "get", self._h_get, self._rd, self._get_impl, key, default
+            )
         with self._rd:
             clock = self._clock
             if clock is None:
@@ -534,6 +566,11 @@ class HashTable:
         is returned (ndbm's DBM_INSERT semantics).  Inserts never fail for
         size or collision reasons -- the paper's headline guarantee.
         """
+        if self.tracer.enabled:
+            return self._traced_op(
+                "put", self._h_put, self._wr, self._put_impl, key, data,
+                replace=replace,
+            )
         with self._wr:
             clock = self._clock
             if clock is None:
@@ -622,6 +659,10 @@ class HashTable:
         The file never contracts (paper, footnote 6): buckets stay
         allocated, only overflow pages are reclaimed.
         """
+        if self.tracer.enabled:
+            return self._traced_op(
+                "delete", self._h_delete, self._wr, self._delete_impl, key
+            )
         with self._wr:
             clock = self._clock
             if clock is None:
@@ -853,11 +894,17 @@ class HashTable:
         flush-before-sync ordering of every access method (see
         docs/STORAGE.md): batched page write-back, header/meta write,
         one group sync."""
+        if self.tracer.enabled:
+            self._traced_op("sync", None, self._wr, self._sync_impl)
+            return
         with self._wr:
-            self._check_open()
-            self.pool.flush()
-            self._write_header()
-            self._file.sync()
+            self._sync_impl()
+
+    def _sync_impl(self) -> None:
+        self._check_open()
+        self.pool.flush()
+        self._write_header()
+        self._file.sync()
 
     def close(self) -> None:
         """Flush, sync and release everything; idempotent (a second
@@ -954,8 +1001,14 @@ class HashTable:
         Verifies mask arithmetic, that every key hashes to the bucket whose
         chain stores it, and that nkeys matches a full scan.
         """
-        with self._rd:
-            self._check_invariants_impl()
+        try:
+            with self._rd:
+                self._check_invariants_impl()
+        except AssertionError:
+            # a failed check is exactly when the event tail matters
+            if self.tracer.enabled:
+                self.tracer.recorder.auto_dump("check_failure")
+            raise
 
     def _check_invariants_impl(self) -> None:
         h = self.header
@@ -1016,25 +1069,37 @@ class TableCursor:
 
     def first(self) -> tuple[bytes, bytes] | None:
         """(Re)position at the first pair; None if the table is empty."""
-        with self.table._rd:
-            self.table._check_open()
-            self._pos = (0, NO_OADDR, 0)
-            self._done = False
-            self._version = self.table._structure_version
-            return self._fetch(advance=False)
+        t = self.table
+        if t.tracer.enabled:
+            return t._traced_op("cursor_first", None, t._rd, self._first_impl)
+        with t._rd:
+            return self._first_impl()
+
+    def _first_impl(self) -> tuple[bytes, bytes] | None:
+        self.table._check_open()
+        self._pos = (0, NO_OADDR, 0)
+        self._done = False
+        self._version = self.table._structure_version
+        return self._fetch(advance=False)
 
     def next(self) -> tuple[bytes, bytes] | None:
         """The pair after the current one; starts at :meth:`first` if
         unpositioned; None (forever) once exhausted."""
-        with self.table._rd:
-            self.table._check_open()
-            if self._done:
-                return None
-            if self._pos is None:
-                self._pos = (0, NO_OADDR, 0)
-                self._version = self.table._structure_version
-                return self._fetch(advance=False)
-            return self._fetch(advance=True)
+        t = self.table
+        if t.tracer.enabled:
+            return t._traced_op("cursor_next", None, t._rd, self._next_impl)
+        with t._rd:
+            return self._next_impl()
+
+    def _next_impl(self) -> tuple[bytes, bytes] | None:
+        self.table._check_open()
+        if self._done:
+            return None
+        if self._pos is None:
+            self._pos = (0, NO_OADDR, 0)
+            self._version = self.table._structure_version
+            return self._fetch(advance=False)
+        return self._fetch(advance=True)
 
     def _fetch(self, advance: bool) -> tuple[bytes, bytes] | None:
         t = self.table

@@ -19,6 +19,7 @@ Design constraints:
   check.
 """
 
+from repro.obs.export import to_chrome_trace, to_ndjson, to_prometheus
 from repro.obs.hooks import TraceHooks
 from repro.obs.registry import (
     NULL_COUNTER,
@@ -31,6 +32,7 @@ from repro.obs.registry import (
     Registry,
     Scope,
 )
+from repro.obs.trace import FlightRecorder, Span, Tracer
 
 __all__ = [
     "Registry",
@@ -39,6 +41,12 @@ __all__ = [
     "Histogram",
     "Scope",
     "TraceHooks",
+    "Tracer",
+    "Span",
+    "FlightRecorder",
+    "to_chrome_trace",
+    "to_prometheus",
+    "to_ndjson",
     "NULL_COUNTER",
     "NULL_GAUGE",
     "NULL_HISTOGRAM",

@@ -1,0 +1,149 @@
+"""Exporters: flight-recorder records and metric trees to standard formats.
+
+Three renderings, three audiences:
+
+- :func:`to_chrome_trace` -- the Trace Event Format consumed by
+  ``chrome://tracing`` and Perfetto (https://ui.perfetto.dev): drop the
+  JSON in and the span tree renders as a flame chart, one track per
+  thread.  Spans become ``"ph": "X"`` complete events, instants become
+  ``"ph": "i"`` thread-scoped markers; timestamps and durations are in
+  integer-ish microseconds as the format requires.
+- :func:`to_prometheus` -- the text exposition format, rendered from a
+  ``db.stat()`` metric tree.  Nested scope names become metric-name
+  segments (``ops.counts.gets`` -> ``repro_ops_counts_gets``);
+  histogram snapshots become Prometheus summaries (quantile-labelled
+  samples plus ``_sum``/``_count``).
+- :func:`to_ndjson` -- one JSON object per line, for grep/jq and
+  structured-log shippers.
+
+All three are pure functions over plain dicts -- no sockets, no global
+state -- so tests assert on their output directly and the CLI just
+writes the strings to files.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+
+__all__ = ["to_chrome_trace", "to_prometheus", "to_ndjson"]
+
+#: keys that identify a Histogram.snapshot() dict among stat() leaves
+_HIST_KEYS = {"count", "total", "mean", "min", "max", "p50", "p95", "p99"}
+
+#: snapshot percentile key -> Prometheus quantile label
+_QUANTILES = (("p50", "0.5"), ("p95", "0.95"), ("p99", "0.99"))
+
+
+def to_chrome_trace(events: list[dict], pid: int = 0) -> list[dict]:
+    """Convert flight-recorder records to Chrome trace-event dicts.
+
+    Returns the JSON Array form of the format (a plain list of event
+    objects) -- both chrome://tracing and Perfetto accept it directly.
+    """
+    out = []
+    for rec in events:
+        args = dict(rec.get("attrs") or {})
+        parent = rec.get("parent")
+        if parent is not None:
+            args["parent_span"] = parent
+        args["span_id"] = rec.get("id")
+        base = {
+            "name": rec.get("name", "?"),
+            "cat": rec.get("cat", "event"),
+            "pid": pid,
+            "tid": rec.get("tid", 0),
+            "ts": round(rec.get("ts", 0.0) * 1e6, 3),
+            "args": _jsonable(args),
+        }
+        if rec.get("type") == "span":
+            base["ph"] = "X"
+            base["dur"] = round(rec.get("dur", 0.0) * 1e6, 3)
+        else:
+            base["ph"] = "i"
+            base["s"] = "t"  # thread-scoped instant
+        out.append(base)
+    return out
+
+
+def _jsonable(obj):
+    """Coerce hook payload values (bytes keys, tuples) to JSON-safe types."""
+    if isinstance(obj, dict):
+        return {str(k): _jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_jsonable(v) for v in obj]
+    if isinstance(obj, (bytes, bytearray)):
+        return obj.decode("utf-8", "backslashreplace")
+    if isinstance(obj, (str, int, bool)) or obj is None:
+        return obj
+    if isinstance(obj, float):
+        return obj if math.isfinite(obj) else repr(obj)
+    return repr(obj)
+
+
+_NAME_BAD = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def _metric_name(parts: list[str]) -> str:
+    name = "_".join(_NAME_BAD.sub("_", p) for p in parts if p)
+    if name and name[0].isdigit():
+        name = "_" + name
+    return name
+
+
+def _is_histogram(d: dict) -> bool:
+    return isinstance(d, dict) and _HIST_KEYS.issubset(d.keys())
+
+
+def to_prometheus(stat: dict, prefix: str = "repro") -> str:
+    """Render a ``db.stat()`` tree as Prometheus text exposition format."""
+    lines: list[str] = []
+    infos: list[str] = []
+
+    def walk(node, parts):
+        if _is_histogram(node):
+            name = _metric_name(parts) + "_seconds"
+            lines.append(f"# TYPE {name} summary")
+            for pkey, q in _QUANTILES:
+                lines.append(f'{name}{{quantile="{q}"}} {_fmt(node[pkey])}')
+            lines.append(f"{name}_sum {_fmt(node['total'])}")
+            lines.append(f"{name}_count {_fmt(node['count'])}")
+            return
+        if isinstance(node, dict):
+            for key in node:
+                walk(node[key], parts + [str(key)])
+            return
+        name = _metric_name(parts)
+        if isinstance(node, bool):
+            lines.append(f"# TYPE {name} gauge")
+            lines.append(f"{name} {int(node)}")
+        elif isinstance(node, (int, float)):
+            lines.append(f"# TYPE {name} gauge")
+            lines.append(f"{name} {_fmt(node)}")
+        else:
+            # string leaves (e.g. type='hash') become an info-style label
+            label = _NAME_BAD.sub("_", parts[-1]) if parts else "value"
+            infos.append(f'{label}="{node}"')
+
+    walk(stat, [prefix])
+    if infos:
+        name = _metric_name([prefix, "info"])
+        lines.insert(0, f"{name}{{{','.join(infos)}}} 1")
+        lines.insert(0, f"# TYPE {name} gauge")
+    return "\n".join(lines) + "\n"
+
+
+def _fmt(v) -> str:
+    if isinstance(v, float):
+        if not math.isfinite(v):
+            return "NaN"
+        return repr(round(v, 9))
+    return str(v)
+
+
+def to_ndjson(events: list[dict]) -> str:
+    """One flight-recorder record per line, JSON-encoded."""
+    return "\n".join(
+        json.dumps(_jsonable(rec), separators=(",", ":")) for rec in events
+    ) + ("\n" if events else "")

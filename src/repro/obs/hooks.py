@@ -20,10 +20,27 @@ of the contract documented in docs/OBSERVABILITY.md:
     ``kind`` ('read' | 'write'), ``pageno``, ``nbytes``
 ``on_overflow_link``
     ``bucket`` (or ``None`` for big-pair/btree data chains), ``oaddr``
+``on_overflow_hop``
+    ``bucket``, ``oaddr``, ``depth`` (1-based position in the chain walk)
+``on_buffer``
+    ``kind`` ('hit' | 'miss'), ``key``, ``pageno``
+``on_lock``
+    ``mode`` ('read' | 'write'), ``wait`` (seconds blocked), ``t0``
+    (absolute ``perf_counter`` at block start)
+``on_fault``
+    ``mode`` (injected fault mode), ``op`` ('read' | 'write' | 'sync')
+``on_big_pair``
+    ``kind`` ('store' | 'fetch' | 'free'), ``head``, ``npages``
+
+A raising subscriber must never abort the database operation that
+emitted the event: ``emit`` isolates each callback, collects the
+exception on :attr:`TraceHooks.errors` (bounded), and warns once per
+(event, callback) pair.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Callable
 
 Payload = dict
@@ -35,13 +52,29 @@ __all__ = ["TraceHooks"]
 class TraceHooks:
     """Per-table set of trace-event subscriber lists."""
 
-    EVENTS = ("on_split", "on_evict", "on_page_io", "on_overflow_link")
+    EVENTS = (
+        "on_split",
+        "on_evict",
+        "on_page_io",
+        "on_overflow_link",
+        "on_overflow_hop",
+        "on_buffer",
+        "on_lock",
+        "on_fault",
+        "on_big_pair",
+    )
 
-    __slots__ = EVENTS
+    #: cap on retained subscriber exceptions (oldest dropped first)
+    MAX_ERRORS = 64
+
+    __slots__ = EVENTS + ("errors", "_warned")
 
     def __init__(self) -> None:
         for event in self.EVENTS:
             setattr(self, event, [])
+        #: (event, exception) pairs from isolated subscriber failures
+        self.errors: list[tuple[str, BaseException]] = []
+        self._warned: set = set()
 
     def subscribe(self, event: str, fn: Callback) -> Callback:
         """Register ``fn`` for ``event``; returns ``fn`` (decorator-friendly)."""
@@ -53,11 +86,30 @@ class TraceHooks:
 
     def emit(self, event: str, payload: Payload) -> None:
         for fn in self._listeners(event):
-            fn(payload)
+            try:
+                fn(payload)
+            except Exception as exc:
+                self._record_error(event, fn, exc)
+
+    def _record_error(self, event: str, fn: Callback, exc: Exception) -> None:
+        """Isolate a raising subscriber: keep the exception, warn once."""
+        self.errors.append((event, exc))
+        del self.errors[: -self.MAX_ERRORS]
+        key = (event, id(fn))
+        if key not in self._warned:
+            self._warned.add(key)
+            warnings.warn(
+                f"trace subscriber {fn!r} for {event!r} raised "
+                f"{type(exc).__name__}: {exc}; suppressed (see hooks.errors)",
+                RuntimeWarning,
+                stacklevel=3,
+            )
 
     def clear(self) -> None:
         for event in self.EVENTS:
             getattr(self, event).clear()
+        self.errors.clear()
+        self._warned.clear()
 
     def _listeners(self, event: str) -> list:
         if event not in self.EVENTS:

@@ -193,11 +193,20 @@ class Histogram:
         return self.total / self.count if self.count else 0.0
 
     def quantile(self, q: float) -> float:
-        """Estimated q-quantile (0 <= q <= 1) of the observed values."""
+        """Estimated q-quantile (0 <= q <= 1) of the observed values.
+
+        Defined edge cases (no interpolation artifacts): an empty
+        histogram returns 0.0; ``q=0``/``q=1`` return the exact observed
+        min/max; a single-sample histogram returns that sample.
+        """
         if not 0.0 <= q <= 1.0:
             raise ValueError(f"quantile must be in [0, 1], got {q}")
         if self.count == 0:
             return 0.0
+        if self.count == 1 or q == 0.0:
+            return self.min
+        if q == 1.0:
+            return self.max
         rank = q * (self.count - 1)  # 0-based fractional rank
         seen = 0
         for idx in sorted(self._buckets):

@@ -72,6 +72,10 @@ class FaultyPager:
         #: True once the crash fault fired (all further ops refuse)
         self.crashed = False
         self._fired = False
+        #: optional ``fn(payload)`` called the instant the fault fires,
+        #: before the failure is raised -- the tracer's ``on_fault`` feed
+        #: (so the flight recorder logs the injection ahead of the crash)
+        self.on_fault = None
 
     # -- the fault engine ------------------------------------------------------
 
@@ -84,6 +88,8 @@ class FaultyPager:
         if self._fired or self.fail_after is None or op != self.fail_after:
             return False
         self._fired = True
+        if self.on_fault is not None:
+            self.on_fault({"mode": self.mode, "op": op})
         return True
 
     def _fail_read(self):

@@ -1,4 +1,5 @@
-"""CLI entry point: ``python -m repro.tools {dump,load,stat,check,prof} ...``"""
+"""CLI entry point: ``python -m repro.tools
+{dump,load,stat,check,prof,trace,top} ...``"""
 
 from __future__ import annotations
 
@@ -128,8 +129,10 @@ def main(argv: list[str] | None = None) -> int:
     p.set_defaults(fn=_cmd_check)
 
     from repro.tools.prof import add_prof_parser
+    from repro.tools.trace import add_trace_parsers
 
     add_prof_parser(sub)
+    add_trace_parsers(sub)
 
     args = parser.parse_args(argv)
     return args.fn(args)

@@ -1,0 +1,275 @@
+"""``repro.tools trace`` / ``top``: capture and inspect span traces.
+
+``trace`` runs a workload (synthetic, or a read-only replay of an
+existing file) with span tracing enabled and writes the flight-recorder
+contents as a Chrome trace (``--out``), the final ``stat()`` tree as
+Prometheus text exposition (``--prom-out``), and/or the raw records as
+NDJSON (``--ndjson-out``).  The Chrome file drops straight into
+``chrome://tracing`` or Perfetto.
+
+``top`` renders a flight-recorder dump (the ``*.flight.json`` a crash
+leaves behind, an explicit ``dump()``, or ``trace --ndjson-out``) as an
+aggregated per-operation table -- count, total, mean, max, errors --
+plus the child-event tallies.  ``--follow`` re-reads and re-renders, so
+it works as a crude live view over a dump a long-running process
+refreshes.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+
+from repro.access.api import DB_BTREE, DB_HASH, DB_RECNO
+from repro.access.db import db_open
+from repro.obs.export import to_chrome_trace, to_ndjson, to_prometheus
+
+WORKLOADS = ("generic", "dictionary")
+
+
+def _workload_pairs(workload: str, n: int, type_: str) -> list[tuple[bytes, bytes]]:
+    if workload == "dictionary":
+        from repro.workloads.dictionary import dictionary_pairs
+
+        pairs = list(dictionary_pairs(n))
+    else:
+        pairs = [
+            (f"key-{i:08d}".encode(), f"value-{i:08d}".encode()) for i in range(n)
+        ]
+    if type_ == DB_RECNO:
+        from repro.access.recno.recno import encode_recno
+
+        pairs = [(encode_recno(i + 1), v) for i, (_k, v) in enumerate(pairs)]
+    return pairs
+
+
+def run_traced_synthetic(
+    type_: str, n: int, workload: str, ring: int | None
+) -> tuple[list[dict], dict]:
+    """Puts, gets, a cursor scan and a sync against a fresh in-memory
+    database with tracing on; returns ``(records, stat())``."""
+    t_open = time.perf_counter()
+    db = db_open(None, type_, "c")
+    try:
+        tracer = db.enable_tracing(ring_capacity=ring)
+        # Backfill the construction interval as the trace's 'open' root
+        # span (same re-anchoring trick as tracing=True at open).
+        tracer.epoch = t_open
+        tracer.complete(
+            "open", t_open, time.perf_counter() - t_open, "op", {"how": "synthetic"}
+        )
+        pairs = _workload_pairs(workload, n, type_)
+        for k, v in pairs:
+            db.put(k, v)
+        for k, _v in pairs:
+            db.get(k)
+        cur = db.cursor()
+        item = cur.first()
+        while item is not None:
+            item = cur.next()
+        db.sync()
+        return db.flight_recorder.events(), db.stat()
+    finally:
+        db.close()
+
+
+def run_traced_replay(path: str, ring: int | None) -> tuple[list[dict], dict]:
+    """Read-only traced replay of an existing file: a full cursor scan,
+    then a point ``get`` of every key."""
+    from repro.tools.__main__ import _detect_type
+
+    type_ = _detect_type(path)
+    if type_ == "gdbm":
+        from repro.baselines.gdbm.gdbm import Gdbm
+
+        t_open = time.perf_counter()
+        with Gdbm(path, "r") as gdb:
+            tracer = gdb.enable_tracing(ring_capacity=ring)
+            tracer.epoch = t_open
+            tracer.complete(
+                "open", t_open, time.perf_counter() - t_open, "op", {"how": "replay"}
+            )
+            for k in list(gdb.keys()):
+                gdb.fetch(k)
+            return gdb.flight_recorder.events(), gdb.stat()
+    t_open = time.perf_counter()
+    db = db_open(path, type_, "r")
+    try:
+        tracer = db.enable_tracing(ring_capacity=ring)
+        tracer.epoch = t_open
+        tracer.complete(
+            "open", t_open, time.perf_counter() - t_open, "op", {"how": "replay"}
+        )
+        keys = []
+        cur = db.cursor()
+        item = cur.first()
+        while item is not None:
+            keys.append(item[0])
+            item = cur.next()
+        for k in keys:
+            db.get(k)
+        return db.flight_recorder.events(), db.stat()
+    finally:
+        db.close()
+
+
+def cmd_trace(args) -> int:
+    ring = None if args.ring == 0 else args.ring
+    if args.file:
+        try:
+            records, stat = run_traced_replay(args.file, ring)
+        except FileNotFoundError:
+            print(f"trace: no such file: {args.file}", file=sys.stderr)
+            return 1
+    else:
+        records, stat = run_traced_synthetic(args.type, args.n, args.workload, ring)
+    spans = sum(1 for r in records if r.get("type") == "span")
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(to_chrome_trace(records), fh)
+            fh.write("\n")
+    if args.prom_out:
+        with open(args.prom_out, "w") as fh:
+            fh.write(to_prometheus(stat))
+    if args.ndjson_out:
+        with open(args.ndjson_out, "w") as fh:
+            fh.write(to_ndjson(records))
+    print(
+        f"traced {len(records)} records ({spans} spans, "
+        f"{len(records) - spans} events)",
+        file=sys.stderr,
+    )
+    return 0
+
+
+# -- top -----------------------------------------------------------------------
+
+
+def load_records(path: str) -> list[dict]:
+    """Records from a flight dump (``{"events": [...]}``), a bare JSON
+    array, or NDJSON."""
+    with open(path) as fh:
+        text = fh.read()
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError:
+        return [json.loads(line) for line in text.splitlines() if line.strip()]
+    if isinstance(doc, dict):
+        return doc.get("events", [])
+    return doc
+
+
+def render_top(records: list[dict]) -> str:
+    """Aggregate records into a per-span-name table plus event tallies."""
+    spans: dict[str, list] = {}  # name -> [count, total, max, errors]
+    events: dict[str, int] = {}
+    for rec in records:
+        name = rec.get("name", "?")
+        if rec.get("type") == "span":
+            row = spans.setdefault(name, [0, 0.0, 0.0, 0])
+            dur = rec.get("dur", 0.0)
+            row[0] += 1
+            row[1] += dur
+            row[2] = max(row[2], dur)
+            if "error" in (rec.get("attrs") or {}):
+                row[3] += 1
+        else:
+            events[name] = events.get(name, 0) + 1
+    lines = [
+        f"{'span':<14} {'count':>8} {'total_ms':>10} {'mean_us':>10} "
+        f"{'max_us':>10} {'errors':>7}"
+    ]
+    for name, (count, total, peak, errors) in sorted(
+        spans.items(), key=lambda kv: -kv[1][1]
+    ):
+        mean = total / count if count else 0.0
+        lines.append(
+            f"{name:<14} {count:>8} {total * 1e3:>10.3f} {mean * 1e6:>10.1f} "
+            f"{peak * 1e6:>10.1f} {errors:>7}"
+        )
+    if events:
+        lines.append("")
+        lines.append("events:")
+        width = max(len(n) for n in events)
+        for name, count in sorted(events.items(), key=lambda kv: -kv[1]):
+            lines.append(f"  {name:<{width}} {count}")
+    lines.append("")
+    lines.append(f"{len(records)} records")
+    return "\n".join(lines)
+
+
+def cmd_top(args) -> int:
+    iterations = args.iterations if not args.follow else 0
+    i = 0
+    while True:
+        try:
+            records = load_records(args.file)
+        except FileNotFoundError:
+            print(f"top: no such file: {args.file}", file=sys.stderr)
+            return 1
+        if not args.no_clear and (args.follow or args.iterations > 1):
+            sys.stdout.write("\x1b[2J\x1b[H")
+        print(render_top(records))
+        i += 1
+        if iterations and i >= iterations:
+            return 0
+        time.sleep(args.interval)
+
+
+def add_trace_parsers(sub) -> None:
+    p = sub.add_parser(
+        "trace", help="run a traced workload and export the span trace"
+    )
+    p.add_argument(
+        "--type",
+        choices=(DB_HASH, DB_BTREE, DB_RECNO),
+        default=DB_HASH,
+        help="access method for the synthetic workload (default hash)",
+    )
+    p.add_argument(
+        "-n", type=int, default=1000, help="synthetic workload size (default 1000)"
+    )
+    p.add_argument(
+        "--workload",
+        choices=WORKLOADS,
+        default="generic",
+        help="key distribution for the synthetic workload",
+    )
+    p.add_argument(
+        "--file",
+        default=None,
+        help="trace a read-only replay of this existing database instead",
+    )
+    p.add_argument(
+        "--ring",
+        type=int,
+        default=0,
+        help="flight-recorder ring capacity (0 = unbounded, the default here)",
+    )
+    p.add_argument(
+        "-o", "--out", default=None, help="write Chrome trace-event JSON here"
+    )
+    p.add_argument(
+        "--prom-out", default=None, help="write Prometheus text exposition here"
+    )
+    p.add_argument("--ndjson-out", default=None, help="write NDJSON records here")
+    p.set_defaults(fn=cmd_trace)
+
+    p = sub.add_parser(
+        "top", help="aggregate a flight-recorder dump into a per-op table"
+    )
+    p.add_argument("file", help="flight dump, Chrome-less JSON array, or NDJSON")
+    p.add_argument(
+        "--interval", type=float, default=2.0, help="seconds between refreshes"
+    )
+    p.add_argument(
+        "--iterations", type=int, default=1, help="renders before exiting (default 1)"
+    )
+    p.add_argument(
+        "--follow", action="store_true", help="refresh until interrupted"
+    )
+    p.add_argument(
+        "--no-clear", action="store_true", help="do not clear the screen between renders"
+    )
+    p.set_defaults(fn=cmd_top)

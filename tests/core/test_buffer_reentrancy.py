@@ -156,3 +156,42 @@ class TestEvictionReentrancy:
             pool.mark_dirty(h)
         pool.flush()
         assert pool.dirty_count() == 0
+
+
+class TestRaisingSubscribers:
+    """Companion regression to the reentrancy ones: a subscriber that
+    *raises* mid-walk must be isolated (TraceHooks catches it), leaving
+    the flush/eviction intact and the exception on ``hooks.errors``."""
+
+    def test_raising_on_evict_does_not_abort_eviction(self):
+        import pytest
+
+        hooks = TraceHooks()
+        f, pool = _make_pool(nbuffers=4, hooks=hooks)
+
+        def bomb(payload):
+            raise RuntimeError("subscriber bug")
+
+        hooks.subscribe("on_evict", bomb)
+        with pytest.warns(RuntimeWarning):
+            for i in range(12):
+                h = pool.get(("B", i), create=True)
+                pool.mark_dirty(h)
+        assert hooks.errors and hooks.errors[0][0] == "on_evict"
+        pool.flush()
+        assert pool.dirty_count() == 0
+
+    def test_raising_on_buffer_does_not_abort_table_ops(self):
+        import pytest
+
+        from repro.core.table import HashTable
+
+        t = HashTable.create(None, in_memory=True)
+        t.hooks.subscribe("on_buffer", lambda p: 1 / 0)
+        try:
+            with pytest.warns(RuntimeWarning):
+                t.put(b"k", b"v")
+            assert t.get(b"k") == b"v"
+            assert any(e == "on_buffer" for e, _ in t.hooks.errors)
+        finally:
+            t.close()

@@ -1,0 +1,138 @@
+"""End-to-end tests for the ``python -m repro.tools`` CLI: prof, stat,
+trace and top run as real subprocesses, the way CI and users invoke
+them."""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.core.table import HashTable
+
+SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+
+def run_tools(*argv: str, cwd=None):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC
+    return subprocess.run(
+        [sys.executable, "-m", "repro.tools", *argv],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=cwd,
+        timeout=120,
+    )
+
+
+@pytest.fixture
+def table_path(tmp_path):
+    p = tmp_path / "t.db"
+    t = HashTable.create(p, bsize=256, ffactor=8)
+    for i in range(200):
+        t.put(f"key-{i}".encode(), f"value-{i}".encode())
+    t.close()
+    return p
+
+
+class TestProfCli:
+    def test_synthetic_json(self):
+        proc = run_tools("prof", "-n", "200", "--json")
+        assert proc.returncode == 0, proc.stderr
+        stat = json.loads(proc.stdout)
+        assert stat["type"] == "hash"
+        assert stat["ops"]["counts"]["puts"] == 200
+
+    def test_synthetic_tree(self):
+        proc = run_tools("prof", "-n", "50", "--type", "btree")
+        assert proc.returncode == 0, proc.stderr
+        assert "counts:" in proc.stdout and "btree" in proc.stdout
+
+    def test_replay_missing_file(self):
+        proc = run_tools("prof", "--file", "/nonexistent/x.db")
+        assert proc.returncode == 1
+        assert "no such file" in proc.stderr
+
+
+class TestStatCli:
+    def test_stat_on_hash_file(self, table_path):
+        proc = run_tools("stat", str(table_path))
+        assert proc.returncode == 0, proc.stderr
+        assert "nkeys" in proc.stdout
+
+
+class TestTraceCli:
+    def test_synthetic_exports_all_three_formats(self, tmp_path):
+        out = tmp_path / "chrome.json"
+        prom = tmp_path / "m.prom"
+        nd = tmp_path / "t.ndjson"
+        proc = run_tools(
+            "trace", "-n", "100", "--workload", "dictionary",
+            "-o", str(out), "--prom-out", str(prom), "--ndjson-out", str(nd),
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "traced" in proc.stderr and "spans" in proc.stderr
+
+        events = json.loads(out.read_text())
+        assert isinstance(events, list) and events
+        for ev in events:
+            assert {"ph", "ts", "pid", "tid", "name"} <= ev.keys()
+        names = {ev["name"] for ev in events}
+        assert {"open", "put", "get", "sync"} <= names
+
+        text = prom.read_text()
+        assert "# TYPE" in text and "repro_" in text
+
+        lines = nd.read_text().splitlines()
+        assert len(lines) == len(events)
+        assert all(json.loads(ln) for ln in lines)
+
+    def test_replay_traces_existing_file(self, table_path, tmp_path):
+        out = tmp_path / "replay.json"
+        proc = run_tools("trace", "--file", str(table_path), "-o", str(out))
+        assert proc.returncode == 0, proc.stderr
+        names = {ev["name"] for ev in json.loads(out.read_text())}
+        assert "get" in names and "cursor_next" in names
+
+    def test_missing_file(self):
+        proc = run_tools("trace", "--file", "/nonexistent/x.db")
+        assert proc.returncode == 1
+        assert "no such file" in proc.stderr
+
+
+class TestTopCli:
+    def test_renders_flight_dump(self, tmp_path):
+        nd = tmp_path / "t.ndjson"
+        proc = run_tools("trace", "-n", "50", "--ndjson-out", str(nd))
+        assert proc.returncode == 0, proc.stderr
+        proc = run_tools("top", str(nd))
+        assert proc.returncode == 0, proc.stderr
+        assert "span" in proc.stdout and "put" in proc.stdout
+        assert "records" in proc.stdout
+
+    def test_renders_crash_dump_payload(self, tmp_path):
+        dump = tmp_path / "x.flight.json"
+        dump.write_text(json.dumps({
+            "reason": "exception:CrashPoint",
+            "events": [
+                {"type": "span", "name": "put", "dur": 0.001,
+                 "attrs": {"error": "CrashPoint"}},
+                {"type": "event", "name": "fault_injected", "attrs": {}},
+            ],
+        }))
+        proc = run_tools("top", str(dump))
+        assert proc.returncode == 0, proc.stderr
+        assert "fault_injected" in proc.stdout
+        # the errored span is counted in the errors column
+        row = next(ln for ln in proc.stdout.splitlines() if ln.startswith("put"))
+        assert row.split()[-1] == "1"
+
+    def test_missing_file(self):
+        proc = run_tools("top", "/nonexistent/x.json")
+        assert proc.returncode == 1
+        assert "no such file" in proc.stderr

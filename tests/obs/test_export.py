@@ -1,0 +1,106 @@
+"""Tests for the trace/metric exporters: Chrome trace-event JSON,
+Prometheus text exposition, and NDJSON."""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs.export import to_chrome_trace, to_ndjson, to_prometheus
+
+SPAN = {
+    "type": "span", "id": 2, "parent": 1, "tid": 0, "name": "get",
+    "cat": "op", "ts": 0.001, "dur": 0.0005, "attrs": {"error": "KeyError"},
+}
+EVENT = {
+    "type": "event", "id": 3, "parent": 2, "tid": 1, "name": "buffer_hit",
+    "cat": "buffer", "ts": 0.0012, "attrs": {"pageno": 7, "key": b"\xffk"},
+}
+
+
+class TestChromeTrace:
+    def test_span_becomes_complete_event(self):
+        (ev,) = to_chrome_trace([SPAN])
+        assert ev["ph"] == "X"
+        assert ev["ts"] == 1000.0  # seconds -> microseconds
+        assert ev["dur"] == 500.0
+        assert ev["pid"] == 0 and ev["tid"] == 0
+        assert ev["args"]["parent_span"] == 1
+        assert ev["args"]["span_id"] == 2
+        assert ev["args"]["error"] == "KeyError"
+
+    def test_instant_event_is_thread_scoped(self):
+        (ev,) = to_chrome_trace([EVENT])
+        assert ev["ph"] == "i" and ev["s"] == "t"
+        assert "dur" not in ev
+
+    def test_output_is_json_serializable(self):
+        # bytes payloads (keys) must not leak into the JSON
+        out = to_chrome_trace([SPAN, EVENT])
+        text = json.dumps(out)
+        parsed = json.loads(text)
+        assert len(parsed) == 2
+        for ev in parsed:
+            assert {"ph", "ts", "pid", "tid", "name", "cat", "args"} <= ev.keys()
+
+    def test_root_record_has_no_parent_arg(self):
+        root = dict(SPAN, parent=None)
+        (ev,) = to_chrome_trace([root])
+        assert "parent_span" not in ev["args"]
+
+
+class TestPrometheus:
+    STAT = {
+        "type": "hash",
+        "nkeys": 42,
+        "buffer": {"hits": 10, "misses": 3, "hit_rate": 0.769},
+        "ops": {
+            "latency": {
+                "get": {
+                    "count": 4, "total": 0.01, "mean": 0.0025,
+                    "min": 0.001, "max": 0.004,
+                    "p50": 0.002, "p95": 0.0039, "p99": 0.004,
+                }
+            }
+        },
+    }
+
+    def test_gauges_and_nesting(self):
+        text = to_prometheus(self.STAT)
+        assert "repro_nkeys 42\n" in text
+        assert "repro_buffer_hits 10" in text
+        assert "repro_buffer_hit_rate 0.769" in text
+        assert "# TYPE repro_nkeys gauge" in text
+
+    def test_histogram_becomes_summary(self):
+        text = to_prometheus(self.STAT)
+        assert "# TYPE repro_ops_latency_get_seconds summary" in text
+        assert 'repro_ops_latency_get_seconds{quantile="0.5"} 0.002' in text
+        assert 'repro_ops_latency_get_seconds{quantile="0.99"} 0.004' in text
+        assert "repro_ops_latency_get_seconds_sum 0.01" in text
+        assert "repro_ops_latency_get_seconds_count 4" in text
+        # the histogram's own keys must not also appear as gauges
+        assert "repro_ops_latency_get_p50" not in text
+
+    def test_string_leaves_become_info_labels(self):
+        text = to_prometheus(self.STAT)
+        first_sample = [
+            ln for ln in text.splitlines() if ln and not ln.startswith("#")
+        ][0]
+        assert first_sample == 'repro_info{type="hash"} 1'
+
+    def test_name_sanitization(self):
+        text = to_prometheus({"odd key-1": {"9lives": 2}})
+        assert "repro_odd_key_1_9lives 2" in text
+
+
+class TestNdjson:
+    def test_one_record_per_line(self):
+        text = to_ndjson([SPAN, EVENT])
+        lines = text.splitlines()
+        assert len(lines) == 2
+        assert json.loads(lines[0])["name"] == "get"
+        assert json.loads(lines[1])["attrs"]["pageno"] == 7
+        assert text.endswith("\n")
+
+    def test_empty_input(self):
+        assert to_ndjson([]) == ""

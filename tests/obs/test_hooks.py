@@ -48,6 +48,71 @@ class TestMechanics:
             assert getattr(hooks, event) == []
 
 
+class TestSubscriberIsolation:
+    def test_raising_subscriber_does_not_abort_emit(self):
+        hooks = TraceHooks()
+        calls = []
+
+        def bad(payload):
+            raise RuntimeError("subscriber bug")
+
+        hooks.subscribe("on_split", bad)
+        hooks.subscribe("on_split", calls.append)
+        with pytest.warns(RuntimeWarning, match="subscriber bug"):
+            hooks.emit("on_split", {"x": 1})
+        # the raise was swallowed, later subscribers still ran
+        assert calls == [{"x": 1}]
+        assert len(hooks.errors) == 1
+        event, exc = hooks.errors[0]
+        assert event == "on_split" and isinstance(exc, RuntimeError)
+
+    def test_warns_once_per_subscriber(self):
+        hooks = TraceHooks()
+        hooks.subscribe("on_evict", lambda p: 1 / 0)
+        with pytest.warns(RuntimeWarning):
+            hooks.emit("on_evict", {})
+        with warnings_none():
+            hooks.emit("on_evict", {})
+        assert len(hooks.errors) == 2  # still collected, just not re-warned
+
+    def test_errors_list_is_bounded(self):
+        hooks = TraceHooks()
+        hooks.subscribe("on_page_io", lambda p: 1 / 0)
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            for _ in range(TraceHooks.MAX_ERRORS + 50):
+                hooks.emit("on_page_io", {})
+        assert len(hooks.errors) == TraceHooks.MAX_ERRORS
+
+    def test_clear_resets_errors_and_warnings(self):
+        hooks = TraceHooks()
+        hooks.subscribe("on_fault", lambda p: 1 / 0)
+        with pytest.warns(RuntimeWarning):
+            hooks.emit("on_fault", {})
+        hooks.clear()
+        assert hooks.errors == []
+        hooks.subscribe("on_fault", lambda p: 1 / 0)
+        with pytest.warns(RuntimeWarning):  # warns again after clear
+            hooks.emit("on_fault", {})
+
+
+def warnings_none():
+    """Context manager asserting no warnings are raised inside."""
+    import contextlib
+    import warnings
+
+    @contextlib.contextmanager
+    def cm():
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            yield
+        assert caught == [], [str(w.message) for w in caught]
+
+    return cm()
+
+
 class TestEngineEmission:
     def test_split_events_on_forced_growth(self, small_dict_pairs):
         t = HashTable.create(None, in_memory=True, bsize=256, ffactor=8)

@@ -121,6 +121,29 @@ class TestHistogram:
         assert h.count == 0
         assert h.quantile(0.5) == 0.0
 
+    def test_single_observation_is_exact_at_every_quantile(self):
+        # regression: one sample used to report bucket-midpoint estimates
+        h = Histogram("lat")
+        h.observe(0.037)
+        for q in (0.0, 0.25, 0.5, 0.95, 1.0):
+            assert h.quantile(q) == 0.037
+
+    def test_extreme_quantiles_are_exact_bounds(self):
+        # regression: q=0 / q=1 used to interpolate inside the edge buckets
+        h = Histogram("lat")
+        for v in (3.0, 8.0, 21.0, 500.0):
+            h.observe(v)
+        assert h.quantile(0.0) == 3.0
+        assert h.quantile(1.0) == 500.0
+
+    def test_negative_observations_keep_exact_bounds(self):
+        h = Histogram("drift")
+        for v in (-5.0, -1.0, 2.0):
+            h.observe(v)
+        assert h.quantile(0.0) == -5.0
+        assert h.quantile(1.0) == 2.0
+        assert h.min == -5.0 and h.max == 2.0
+
 
 class TestRegistry:
     def test_instruments_cached_by_name(self):
