@@ -41,6 +41,24 @@ def run_create(pairs, ffactor: int, presized: bool):
     return m, splits
 
 
+def run_bulk(pairs, ffactor: int):
+    """The bulk-loader arm: same keys, presize computed by ``bulk_load``
+    itself; ``on_split`` proves the load never splits."""
+    def body():
+        t = HashTable.create(
+            None, bsize=BSIZE, ffactor=ffactor, cachesize=SWEEP_CACHE
+        )
+        split_events: list = []
+        t.hooks.subscribe("on_split", split_events.append)
+        t.bulk_load(pairs)
+        t.close()
+        return t.io_stats.snapshot(), len(split_events)
+
+    (io, splits), m = measure(body)
+    m.io = io
+    return m, splits
+
+
 def test_fig6_presized_vs_grown(benchmark, dict_pairs, scale_note):
     rows: dict[str, dict] = {
         "pre-sized user (s)": {},
@@ -51,12 +69,21 @@ def test_fig6_presized_vs_grown(benchmark, dict_pairs, scale_note):
         "grown     elapsed (s)": {},
         "pre-sized splits": {},
         "grown     splits": {},
+        "bulk-load user (s)": {},
+        "bulk-load page I/O": {},
+        "bulk-load elapsed (s)": {},
+        "bulk-load splits": {},
     }
 
     def sweep():
         for ff in FILL_FACTORS:
             pre, pre_splits = run_create(dict_pairs, ff, presized=True)
             grown, grown_splits = run_create(dict_pairs, ff, presized=False)
+            bulk, bulk_splits = run_bulk(dict_pairs, ff)
+            rows["bulk-load user (s)"][ff] = bulk.user
+            rows["bulk-load page I/O"][ff] = bulk.io.page_io
+            rows["bulk-load elapsed (s)"][ff] = bulk.elapsed
+            rows["bulk-load splits"][ff] = bulk_splits
             rows["pre-sized user (s)"][ff] = pre.user
             rows["grown     user (s)"][ff] = grown.user
             rows["pre-sized page I/O"][ff] = pre.io.page_io
@@ -98,3 +125,9 @@ def test_fig6_presized_vs_grown(benchmark, dict_pairs, scale_note):
         rows["pre-sized user (s)"][64], 1e-9
     )
     assert ratio_hi < 3.0
+    # 4. the bulk loader is the "known in advance" case taken further:
+    #    zero splits at every fill factor (asserted via on_split, not
+    #    just the counter), sitting on the pre-sized side of the gap.
+    for ff in FILL_FACTORS:
+        assert rows["bulk-load splits"][ff] == 0
+    assert rows["bulk-load user (s)"][8] <= rows["grown     user (s)"][8] * 1.1

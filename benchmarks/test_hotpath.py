@@ -1,0 +1,295 @@
+"""Hot-path overhaul: legacy engine vs zero-copy engine, same run.
+
+The acceptance gate of the hot-path PR (docs/PERFORMANCE.md): on the
+10k-key dictionary put+get microbenchmark the current engine must reach
+**>= 1.5x** the ops/sec of the pre-PR engine, with page read/write
+counts unchanged or lower.  Both arms run in the same process on the
+same workload, so the ratio is immune to machine speed.
+
+The "legacy" arm is the pre-PR engine reconstructed by monkeypatching:
+
+* ``PageView._slot`` unpacks one slot per call (no decoded-slot cache),
+* ``find_inline`` compares via bytearray slice copies,
+* ``BufferHeader.view`` builds a fresh ``PageView`` on every access,
+* ``HashTable._fault`` re-parses the page header on every fault (no
+  ``formatted`` short-circuit),
+* ``get`` materializes both key and data (``get_pair``) and copies the
+  probe key unconditionally,
+* the storage layer's per-I/O callback is wired even with zero
+  ``on_page_io`` subscribers.
+
+Page-I/O counts are deterministic (fixed workload, LRU pool), so they
+are pinned byte-exactly against the committed ``BENCH_hotpath.json``
+the way ``test_trace_overhead.py`` pins flush batching; wall-clock
+numbers are recorded and only the legacy/current *ratio* is gated.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from contextlib import contextmanager
+
+from benchmarks.conftest import REPO_ROOT, emit_json
+from repro.bench.report import pct_change, registry_snapshot
+from repro.core.buffer import BufferHeader
+from repro.core.constants import BIG_FLAG, LEN_MASK, PAGE_HDR_SIZE, SLOT_SIZE
+from repro.core.pages import _SLOT, PageView
+from repro.core.table import HashTable
+from repro.workloads.dictionary import dictionary_words
+
+N_KEYS = 10_000
+BSIZE = 1024
+FFACTOR = 32
+CACHESIZE = 1 << 19  # smaller than the table, so eviction I/O stays real
+VALUE = b"v" * 32
+BATCH = 512
+MIN_SPEEDUP = 1.5
+
+#: Deterministic per-arm counters pinned against the committed artifact.
+PINNED = ("page_reads", "page_writes")
+
+
+# ------------------------------------------------------- the pre-PR engine
+
+def _legacy_slot(self, i):
+    if not 0 <= i < self.nslots:
+        raise IndexError(f"slot {i} out of range (nslots={self.nslots})")
+    return _SLOT.unpack_from(self.buf, PAGE_HDR_SIZE + i * SLOT_SIZE)
+
+
+def _legacy_find_inline(self, key):
+    for i in range(self.nslots):
+        off, kf, _df = _legacy_slot(self, i)
+        if kf & BIG_FLAG:
+            continue
+        klen = kf & LEN_MASK
+        if klen == len(key) and self.buf[off : off + klen] == key:
+            return i
+    return -1
+
+
+def _legacy_iter_slots(self):
+    for i in range(self.nslots):
+        _off, kf, _df = _legacy_slot(self, i)
+        yield i, bool(kf & BIG_FLAG)
+
+
+def _legacy_view(self):
+    return PageView(self.page)
+
+
+def _legacy_fault(self, bufkey, *, create=False):
+    hdr = self.pool.get(bufkey, create=create)
+    view = PageView(hdr.page)
+    if create or view.looks_uninitialized():
+        view.initialize()
+        if create:
+            hdr.dirty = True
+    return hdr
+
+
+def _legacy_get_impl(self, key, default=None, *, _hash=None):
+    self._check_open()
+    key = bytes(key)
+    self.stats.bump_gets()
+    found = self._locate(self._bucket_of(key), key)
+    if found is None:
+        return default
+    prev, hdr, slot = found
+    try:
+        view = PageView(hdr.page)
+        if view.slot_is_big(slot):
+            oaddr, klen, dlen, _prefix = view.get_big_ref(slot)
+            _k, data = self.bigstore.fetch(oaddr, klen, dlen)
+            return data
+        return view.get_pair(slot)[1]
+    finally:
+        hdr.unpin()
+        if prev is not None:
+            prev.unpin()
+
+
+@contextmanager
+def legacy_engine():
+    """Swap in the pre-PR hot path for the duration of the block."""
+    patches = [
+        (PageView, "_slot", _legacy_slot),
+        (PageView, "find_inline", _legacy_find_inline),
+        (PageView, "iter_slots", _legacy_iter_slots),
+        (BufferHeader, "view", _legacy_view),
+        (HashTable, "_fault", _legacy_fault),
+        (HashTable, "_get_impl", _legacy_get_impl),
+    ]
+    saved = [(cls, name, cls.__dict__[name]) for cls, name, _fn in patches]
+    for cls, name, fn in patches:
+        setattr(cls, name, fn)
+    try:
+        yield
+    finally:
+        for cls, name, fn in saved:
+            setattr(cls, name, fn)
+
+
+# ------------------------------------------------------------------- arms
+
+def _make_table(workdir: str, tag: str) -> HashTable:
+    return HashTable.create(
+        os.path.join(workdir, f"hotpath-{tag}.db"),
+        bsize=BSIZE, ffactor=FFACTOR, cachesize=CACHESIZE,
+        observability=False,
+    )
+
+
+def _finish(table: HashTable, words, elapsed: float) -> dict:
+    """Untimed epilogue shared by every arm: spot-check correctness, sync,
+    and read the deterministic I/O counters."""
+    assert len(table) == len(words)
+    for w in words[::997]:
+        assert table.get(w) == VALUE
+    table.sync()
+    io = table.io_stats.snapshot()
+    return {
+        "ops_per_sec": round(2 * len(words) / elapsed, 1),
+        "page_reads": io.page_reads,
+        "page_writes": io.page_writes,
+    }
+
+
+def _sweep_single(workdir: str, tag: str, words, legacy_wiring: bool = False) -> dict:
+    table = _make_table(workdir, tag)
+    try:
+        if legacy_wiring:
+            # Pre-PR: the per-I/O Python callback was installed even with
+            # zero on_page_io subscribers.
+            table._file.on_page_io = table._page_io_event
+        put, get = table.put, table.get
+        t0 = time.perf_counter()
+        for w in words:
+            put(w, VALUE)
+        for w in words:
+            get(w)
+        elapsed = time.perf_counter() - t0
+        return _finish(table, words, elapsed)
+    finally:
+        table.close()
+
+
+def _sweep_batched(workdir: str, words) -> dict:
+    table = _make_table(workdir, "batched")
+    try:
+        pairs = [(w, VALUE) for w in words]
+        t0 = time.perf_counter()
+        for i in range(0, len(pairs), BATCH):
+            table.put_many(pairs[i : i + BATCH])
+        for i in range(0, len(words), BATCH):
+            table.get_many(words[i : i + BATCH])
+        elapsed = time.perf_counter() - t0
+        return _finish(table, words, elapsed)
+    finally:
+        table.close()
+
+
+def _sweep_bulk(workdir: str, words) -> dict:
+    table = _make_table(workdir, "bulk")
+    splits = []
+    table.hooks.subscribe("on_split", splits.append)
+    try:
+        pairs = [(w, VALUE) for w in words]
+        t0 = time.perf_counter()
+        table.bulk_load(pairs)
+        for i in range(0, len(words), BATCH):
+            table.get_many(words[i : i + BATCH])
+        elapsed = time.perf_counter() - t0
+        out = _finish(table, words, elapsed)
+        out["splits"] = len(splits)
+        return out
+    finally:
+        table.close()
+
+
+# ------------------------------------------------------------------ tests
+
+def test_hotpath_snapshot(workdir):
+    words = dictionary_words(N_KEYS)
+    assert len(words) == N_KEYS
+
+    # Load the committed artifact *before* this run overwrites it: the
+    # deterministic counters below are compared against it (the drift
+    # gate CI re-runs; absent on the very first generation).
+    recorded = None
+    path = os.path.join(REPO_ROOT, "BENCH_hotpath.json")
+    if os.path.exists(path):
+        with open(path) as fh:
+            recorded = json.load(fh)["stat"]
+
+    _sweep_single(workdir, "warmup", words)  # page cache, bytecode, buckets
+
+    with legacy_engine():
+        legacy = _sweep_single(workdir, "legacy", words, legacy_wiring=True)
+    current = _sweep_single(workdir, "current", words)
+    batched = _sweep_batched(workdir, words)
+    bulk = _sweep_bulk(workdir, words)
+
+    speedup = current["ops_per_sec"] / legacy["ops_per_sec"]
+
+    payload = registry_snapshot(
+        {
+            "legacy": legacy,
+            "current": current,
+            "batched": batched,
+            "bulk": bulk,
+            "speedup_current_vs_legacy": round(speedup, 2),
+            "put_get_time_saved_pct": pct_change(
+                1.0 / legacy["ops_per_sec"], 1.0 / current["ops_per_sec"]
+            ),
+        },
+        label="10k-key dictionary put+get: pre-PR engine vs zero-copy engine",
+        context={
+            "n_keys": N_KEYS,
+            "bsize": BSIZE,
+            "ffactor": FFACTOR,
+            "cachesize": CACHESIZE,
+            "batch": BATCH,
+            "note": (
+                "legacy arm is the pre-PR engine via monkeypatch (per-slot "
+                "unpack, fresh views, no formatted short-circuit); page I/O "
+                "counts are deterministic and pinned, wall-clock arms are "
+                "recorded but only the in-run speedup ratio is gated"
+            ),
+        },
+    )
+    emit_json("hotpath", payload)
+
+    # -- gates ------------------------------------------------------------
+    # Acceptance: >= 1.5x ops/sec against the pre-PR engine, same run.
+    assert speedup >= MIN_SPEEDUP, (
+        f"hot-path speedup {speedup:.2f}x below the {MIN_SPEEDUP}x gate "
+        f"(legacy {legacy['ops_per_sec']}, current {current['ops_per_sec']})"
+    )
+    # Zero-copy must not change what hits storage: unchanged or lower.
+    for field in PINNED:
+        assert current[field] <= legacy[field], (
+            f"I/O regression: current {field}={current[field]} > "
+            f"legacy {field}={legacy[field]}"
+        )
+    # Batched/bulk I/O counts differ from the single-op arm only through
+    # eviction order (bucket-grouped access vs key order under a cache
+    # smaller than the table); they are pinned by the drift gate below,
+    # and the lock/pin amortization itself is asserted deterministically
+    # in tests/core/test_batch_ops.py.  The bulk loader must never split.
+    assert bulk["splits"] == 0
+    # Drift gate: deterministic counters must match the committed
+    # artifact exactly -- the zero-copy path must not change what hits
+    # storage from one revision to the next.
+    if recorded is not None:
+        now = {"legacy": legacy, "current": current,
+               "batched": batched, "bulk": bulk}
+        for arm, counts in now.items():
+            for field in PINNED:
+                assert counts[field] == recorded[arm][field], (
+                    f"I/O drift in {arm}: {field} {counts[field]} != "
+                    f"recorded {recorded[arm][field]}"
+                )
+        assert bulk["splits"] == recorded["bulk"]["splits"] == 0

@@ -160,6 +160,38 @@ class AccessMethod:
             return cur.seek(key)
         raise ValueError(f"bad seq flag {flag}")
 
+    # -- batch operations --------------------------------------------------------
+
+    def put_many(self, items, *, replace: bool = True) -> int:
+        """Store many ``(key, data)`` pairs; returns how many were stored.
+
+        The base implementation loops over :meth:`put`; methods with a
+        native batch path (hash) override it to amortize locking, page
+        pins and trace spans across the whole batch.
+        """
+        flags = 0 if replace else R_NOOVERWRITE
+        stored = 0
+        for key, data in items:
+            if self.put(_to_bytes(key), _to_bytes(data), flags) == 0:
+                stored += 1
+        return stored
+
+    def get_many(self, keys, default: bytes | None = None) -> list:
+        """Values for ``keys``, order preserved; ``default`` where absent."""
+        out = []
+        for key in keys:
+            data = self.get(_to_bytes(key))
+            out.append(default if data is None else data)
+        return out
+
+    def delete_many(self, keys) -> int:
+        """Remove many keys; returns how many were present."""
+        removed = 0
+        for key in keys:
+            if self.delete(_to_bytes(key)) == 0:
+                removed += 1
+        return removed
+
     # -- conveniences shared by all methods -----------------------------------
 
     def items(self) -> Iterator[tuple[bytes, bytes]]:
@@ -237,9 +269,11 @@ class AccessMethod:
         return default
 
     def update(self, other=(), **kw) -> None:
+        """dict.update semantics, routed through :meth:`put_many` so hash
+        databases get the batched fast path."""
         if hasattr(other, "items"):
             other = other.items()
-        for k, v in other:
-            self[k] = v
-        for k, v in kw.items():
-            self[k] = v
+        pairs = [(self._coerce_key(k), _to_bytes(v)) for k, v in other]
+        pairs.extend((self._coerce_key(k), _to_bytes(v)) for k, v in kw.items())
+        if pairs:
+            self.put_many(pairs)

@@ -33,6 +33,11 @@ def db_open(
     ``concurrent=True`` (any method) makes the handle safe for multiple
     threads: shared readers, exclusive writers, fail-fast cursors -- see
     docs/CONCURRENCY.md.  The default pays zero locking overhead.
+
+    Every method offers batched ``put_many``/``get_many``/``delete_many``
+    (hash amortizes locks, page pins and trace spans across the batch),
+    and hash adds ``bulk_load(items, nelem=...)`` -- a presized, zero-split
+    load of an empty table -- see docs/PERFORMANCE.md.
     """
     if flag not in ("r", "w", "c", "n"):
         raise InvalidParameterError(f"flag must be 'r', 'w', 'c' or 'n', got {flag!r}")

@@ -72,6 +72,22 @@ class HashAccess(AccessMethod):
     def delete(self, key: bytes) -> int:
         return 0 if self.table.delete(key) else 1
 
+    # -- native batch path (amortized locks, pins and trace spans) ---------------
+
+    def put_many(self, items, *, replace: bool = True) -> int:
+        return self.table.put_many(items, replace=replace)
+
+    def get_many(self, keys, default: bytes | None = None) -> list:
+        return self.table.get_many(keys, default)
+
+    def delete_many(self, keys) -> int:
+        return self.table.delete_many(keys)
+
+    def bulk_load(self, items, *, nelem: int | None = None) -> int:
+        """Presized bottom-up load of an empty table; see
+        :meth:`repro.core.table.HashTable.bulk_load`."""
+        return self.table.bulk_load(items, nelem=nelem)
+
     def cursor(self) -> HashCursor:
         return HashCursor(self.table)
 

@@ -105,7 +105,18 @@ class BufferHeader:
     (the LRU links live in the pool's ordered dict).
     """
 
-    __slots__ = ("key", "pageno", "page", "dirty", "pins", "chain_next", "latch")
+    __slots__ = (
+        "key",
+        "pageno",
+        "page",
+        "dirty",
+        "pins",
+        "chain_next",
+        "latch",
+        "epoch",
+        "formatted",
+        "_view",
+    )
 
     def __init__(self, key: BufferKey, pageno: int, page: bytearray) -> None:
         self.key = key
@@ -120,9 +131,27 @@ class BufferHeader:
         #: pools; held while the page's bytes are mutated or snapshotted so
         #: a write-back never captures a torn page.
         self.latch: PageLatch | None = None
+        #: dirty epoch: bumped by every out-of-band mutation notice
+        #: (:meth:`BufferPool.mark_dirty`), so the cached view's decoded
+        #: slot table revalidates lazily instead of being reparsed per use.
+        self.epoch = 0
+        #: set once the engine has checked/initialized the page format, so
+        #: repeat faults of a resident page skip the hole-detection parse.
+        self.formatted = False
+        self._view: PageView | None = None
 
     def view(self) -> PageView:
-        return PageView(self.page)
+        """The page's shared :class:`PageView` (one per resident buffer).
+
+        Reusing one view keeps the decoded slot table warm across
+        operations: a hot page is parsed once per mutation, not once per
+        lookup.  Callers needing a private uncached view can still
+        construct ``PageView(hdr.page)`` directly.
+        """
+        v = self._view
+        if v is None:
+            v = self._view = PageView(self.page, owner=self)
+        return v
 
     def pin(self) -> None:
         self.pins += 1
@@ -330,7 +359,14 @@ class BufferPool:
     # -- state changes -----------------------------------------------------------
 
     def mark_dirty(self, hdr: BufferHeader) -> None:
+        """Note that ``hdr.page`` was (or is about to be) mutated.
+
+        Bumps the header's dirty epoch so the cached decoded slot table
+        is invalidated even when the mutation bypassed the page's shared
+        :class:`PageView` (raw byte pokes, compat shims, tests).
+        """
         hdr.dirty = True
+        hdr.epoch += 1
 
     def link_chain(self, pred: BufferHeader, succ: BufferHeader) -> None:
         """Record that ``succ`` is the overflow buffer following ``pred``.
@@ -473,14 +509,26 @@ class BufferPool:
         return True
 
     def _shrink(self) -> None:
-        if len(self._pool) <= self.max_buffers:
+        pool = self._pool
+        if len(pool) <= self.max_buffers:
             return
-        # Walk from the LRU end; stop when within budget or only pinned
-        # buffers remain.
-        for key in list(self._pool.keys()):
-            if len(self._pool) <= self.max_buffers:
+        # O(1) candidate selection: the victim is always the dict head
+        # (LRU end).  A head whose chain is pinned rotates to the MRU end
+        # -- it is in active use this very operation, so refreshing its
+        # recency is harmless -- instead of being rescanned, which made
+        # the old walk O(pool) per eviction.  ``rotations`` bounds the
+        # pass when every resident buffer is pinned (budget is soft then).
+        rotations = 0
+        while len(pool) > self.max_buffers and rotations < len(pool):
+            key = next(iter(pool))
+            before = len(pool)
+            if not self._evict_chain(key):
+                pool.move_to_end(key)
+                rotations += 1
+            elif len(pool) >= before:
+                # Defensive: a reentrant hook refilled the pool faster
+                # than the evict drained it; never spin on that.
                 break
-            self._evict_chain(key)
 
     def flush(self, *, batched: bool = True) -> int:
         """Write every dirty buffer (pool contents stay resident);

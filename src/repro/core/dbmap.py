@@ -57,6 +57,42 @@ class HashDB(MutableMapping):
     def __len__(self) -> int:
         return len(self.table)
 
+    # -- batched fast paths (amortized locks, pins, trace spans) ---------------
+
+    def put_many(self, items, *, replace: bool = True) -> int:
+        """Store many pairs in one batched call; returns how many stored."""
+        if hasattr(items, "items"):
+            items = items.items()
+        return self.table.put_many(
+            [(_to_bytes(k), _to_bytes(v)) for k, v in items], replace=replace
+        )
+
+    def get_many(self, keys, default: bytes | None = None) -> list:
+        """Values for ``keys``, order preserved; ``default`` where absent."""
+        return self.table.get_many([_to_bytes(k) for k in keys], default)
+
+    def delete_many(self, keys) -> int:
+        """Remove many keys; returns how many were present."""
+        return self.table.delete_many([_to_bytes(k) for k in keys])
+
+    def update(self, other=(), **kw) -> None:  # type: ignore[override]
+        """dict.update routed through :meth:`put_many` (one batch)."""
+        if hasattr(other, "items"):
+            other = other.items()
+        pairs = [(_to_bytes(k), _to_bytes(v)) for k, v in other]
+        pairs.extend((_to_bytes(k), _to_bytes(v)) for k, v in kw.items())
+        if pairs:
+            self.table.put_many(pairs)
+
+    def bulk_load(self, items, *, nelem: int | None = None) -> int:
+        """Presized bottom-up load of an empty table (zero splits); see
+        :meth:`repro.core.table.HashTable.bulk_load`."""
+        if hasattr(items, "items"):
+            items = items.items()
+        return self.table.bulk_load(
+            [(_to_bytes(k), _to_bytes(v)) for k, v in items], nelem=nelem
+        )
+
     def sync(self) -> None:
         self.table.sync()
 

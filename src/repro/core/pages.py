@@ -21,6 +21,22 @@ key prefix for cheap mismatch rejection -- see :mod:`repro.core.bigpairs`.
 
 ``ovfl_addr`` links the page to the next overflow page of the same bucket
 (0 = none), giving the logical chain the paper's Figure 4 shows.
+
+Hot-path design (see docs/PERFORMANCE.md):
+
+- the slot table is decoded **once** per page version with a single
+  ``struct.iter_unpack`` call and cached on the view (:meth:`PageView.slots`);
+  every search and scan then iterates plain tuples instead of issuing one
+  ``unpack_from`` per slot;
+- key comparison is **zero-copy**: :meth:`PageView.find_inline` compares
+  ``memoryview`` slices against the probe key (after a free length
+  pre-filter), so a page scan allocates no key copies.  ``bytes`` are
+  materialized only at the API boundary (:meth:`PageView.get_pair` /
+  :meth:`PageView.get_data`);
+- a view constructed with an ``owner`` (a
+  :class:`~repro.core.buffer.BufferHeader`) revalidates its decoded table
+  against the owner's dirty ``epoch``, so out-of-band page mutations
+  (``mark_dirty``) invalidate the cache without the view seeing them.
 """
 
 from __future__ import annotations
@@ -75,13 +91,57 @@ class PageView:
 
     The view mutates the underlying ``bytearray`` in place; the buffer
     manager owns dirty tracking.
+
+    ``owner`` (optional) is the page's buffer header: the decoded slot
+    table is revalidated against ``owner.epoch``, which the buffer pool
+    bumps on out-of-band mutation (:meth:`BufferPool.mark_dirty`).
+    Mutations made *through this view* keep the cache coherent directly.
+    Holding the cached ``memoryview`` pins the ``bytearray`` against
+    resizing, which is fine: page buffers are fixed-size for their whole
+    life.
     """
 
-    __slots__ = ("buf", "bsize")
+    __slots__ = ("buf", "bsize", "_owner", "_mv", "_slots", "_epoch")
 
-    def __init__(self, buf: bytearray) -> None:
+    def __init__(self, buf: bytearray, owner=None) -> None:
         self.buf = buf
         self.bsize = len(buf)
+        self._owner = owner
+        self._mv: memoryview | None = None
+        self._slots: list[tuple[int, int, int]] | None = None
+        self._epoch = 0
+
+    # -- decoded-slot cache ------------------------------------------------------
+
+    def memview(self) -> memoryview:
+        """A cached read/write ``memoryview`` over the page bytes (used
+        for zero-copy slice comparison; never resizes the buffer)."""
+        mv = self._mv
+        if mv is None:
+            mv = self._mv = memoryview(self.buf)
+        return mv
+
+    def slots(self) -> list[tuple[int, int, int]]:
+        """The decoded slot table: ``[(entry_off, klen_field, dlen_field)]``.
+
+        Decoded once per page version (one C-level ``iter_unpack`` over
+        the slot-table bytes) and cached; callers must not mutate the
+        returned list.
+        """
+        s = self._slots
+        if s is not None:
+            owner = self._owner
+            if owner is None or owner.epoch == self._epoch:
+                return s
+        owner = self._owner
+        if owner is not None:
+            self._epoch = owner.epoch
+        end = PAGE_HDR_SIZE + self.nslots * SLOT_SIZE
+        s = self._slots = list(_SLOT.iter_unpack(self.memview()[PAGE_HDR_SIZE:end]))
+        return s
+
+    def _invalidate(self) -> None:
+        self._slots = None
 
     # -- header fields ---------------------------------------------------------
 
@@ -92,6 +152,7 @@ class PageView:
     @nslots.setter
     def nslots(self, value: int) -> None:
         struct.pack_into(">H", self.buf, 0, value)
+        self._invalidate()
 
     @property
     def data_off(self) -> int:
@@ -122,6 +183,7 @@ class PageView:
         """Reset to an empty page (used for zero-filled fresh pages)."""
         self.buf[:] = b"\0" * self.bsize
         _PAGE_HDR.pack_into(self.buf, 0, 0, self.bsize, NO_OADDR, flags)
+        self._invalidate()
 
     def looks_uninitialized(self) -> bool:
         """A zero-filled page read from a file hole: every field zero.
@@ -148,9 +210,10 @@ class PageView:
     # -- slot access ---------------------------------------------------------------
 
     def _slot(self, i: int) -> tuple[int, int, int]:
-        if not 0 <= i < self.nslots:
-            raise IndexError(f"slot {i} out of range (nslots={self.nslots})")
-        return _SLOT.unpack_from(self.buf, PAGE_HDR_SIZE + i * SLOT_SIZE)
+        slots = self.slots()
+        if not 0 <= i < len(slots):
+            raise IndexError(f"slot {i} out of range (nslots={len(slots)})")
+        return slots[i]
 
     def slot_is_big(self, i: int) -> bool:
         _off, klen, _dlen = self._slot(i)
@@ -166,6 +229,32 @@ class PageView:
         return bytes(self.buf[off : off + klen]), bytes(
             self.buf[off + klen : off + klen + dlen]
         )
+
+    def get_pair_view(self, i: int) -> tuple[memoryview, memoryview]:
+        """Zero-copy key and data views of ordinary slot ``i``.
+
+        The views alias the live page buffer: they are valid only until
+        the page is next mutated, unpinned, or evicted -- callers must
+        either finish with them inside the same engine operation or
+        materialize with ``bytes()`` (see docs/PERFORMANCE.md for the
+        ownership rules).
+        """
+        off, klen, dlen = self._slot(i)
+        if klen & BIG_FLAG:
+            raise ValueError(f"slot {i} is a big-pair reference, not an inline pair")
+        klen &= LEN_MASK
+        dlen &= LEN_MASK
+        mv = self.memview()
+        return mv[off : off + klen], mv[off + klen : off + klen + dlen]
+
+    def get_data(self, i: int) -> bytes:
+        """Data bytes of ordinary slot ``i`` alone (skips the key copy --
+        the common ``get`` result path)."""
+        off, klen, dlen = self._slot(i)
+        if klen & BIG_FLAG:
+            raise ValueError(f"slot {i} is a big-pair reference, not an inline pair")
+        klen &= LEN_MASK
+        return bytes(self.buf[off + klen : off + klen + (dlen & LEN_MASK)])
 
     def get_key(self, i: int) -> bytes:
         off, klen, _dlen = self._slot(i)
@@ -216,12 +305,15 @@ class PageView:
     def delete_slot(self, i: int) -> None:
         """Remove slot ``i``, compacting both the slot table and the packed
         entry bytes so the freed space is immediately reusable."""
-        off, klen, dlen = self._slot(i)
+        # Snapshot the decoded table before any byte moves: every read
+        # below wants the pre-shift offsets.
+        slots = list(self.slots())
+        off, klen, dlen = slots[i]
         if klen & BIG_FLAG:
             entry_len = klen & LEN_MASK
         else:
             entry_len = (klen & LEN_MASK) + (dlen & LEN_MASK)
-        n = self.nslots
+        n = len(slots)
         # Shift every entry stored below (at lower offsets than) the victim
         # up by entry_len, then fix the offsets of the slots that pointed
         # into the shifted region.
@@ -231,7 +323,7 @@ class PageView:
         for j in range(n):
             if j == i:
                 continue
-            joff, jk, jd = self._slot(j)
+            joff, jk, jd = slots[j]
             if joff < off:
                 _SLOT.pack_into(
                     self.buf,
@@ -257,23 +349,24 @@ class PageView:
         """Index of the ordinary slot holding ``key``, or -1.
 
         Big slots are skipped; matching them needs chain access and is done
-        by the table layer.
+        by the table layer.  Zero-copy: the length pre-filter rejects most
+        slots for free, and candidates are compared through ``memoryview``
+        slices, never materialized.
         """
-        n = self.nslots
         klen = len(key)
-        buf = self.buf
-        for i in range(n):
-            off, kf, _df = _SLOT.unpack_from(buf, PAGE_HDR_SIZE + i * SLOT_SIZE)
-            if kf & BIG_FLAG:
-                continue
-            if kf == klen and buf[off : off + klen] == key:
+        if klen > LEN_MASK:
+            return -1  # cannot be inline; big-pair matching is the table's job
+        mv = self.memview()
+        # An inline slot's klen field is <= LEN_MASK, so ``kf == klen``
+        # also excludes big-pair slots (whose field carries BIG_FLAG).
+        for i, (off, kf, _df) in enumerate(self.slots()):
+            if kf == klen and mv[off : off + klen] == key:
                 return i
         return -1
 
     def iter_slots(self) -> Iterator[tuple[int, bool]]:
         """Yield ``(slot index, is_big)`` for every slot."""
-        for i in range(self.nslots):
-            _off, kf, _df = _SLOT.unpack_from(self.buf, PAGE_HDR_SIZE + i * SLOT_SIZE)
+        for i, (_off, kf, _df) in enumerate(self.slots()):
             yield i, bool(kf & BIG_FLAG)
 
     def used_bytes(self) -> int:

@@ -82,15 +82,15 @@ class TableStats:
             self._lock = threading.Lock()
         return self
 
-    def bump_gets(self) -> None:
-        """Count a get: the one counter bumped under a *shared* lock, so
-        concurrent tables serialize it (``+=`` is not atomic)."""
+    def bump_gets(self, n: int = 1) -> None:
+        """Count ``n`` gets: the one counter bumped under a *shared* lock,
+        so concurrent tables serialize it (``+=`` is not atomic)."""
         lock = self._lock
         if lock is None:
-            self.gets += 1
+            self.gets += n
             return
         with lock:
-            self.gets += 1
+            self.gets += n
 
 
 def suggest_parameters(
@@ -195,14 +195,24 @@ class HashTable(TraceSupport):
             concurrent=concurrent,
         )
         _ops = self.obs.child("ops")
+        self._ops = _ops
         self._h_get = _ops.histogram("get")
         self._h_put = _ops.histogram("put")
         self._h_delete = _ops.histogram("delete")
         self._h_split = _ops.histogram("split")
+        # batch-op histograms are created lazily on first use, keeping the
+        # metrics-tree shape of batch-free workloads identical to before
+        self._h_put_many = None
+        self._h_get_many = None
+        self._h_delete_many = None
         self._clock = time.perf_counter if observability else None
         # Page-I/O trace events piggyback on the file's callback slot; the
-        # storage layer stays ignorant of the hook machinery.
-        file.on_page_io = self._page_io_event
+        # storage layer stays ignorant of the hook machinery.  The slot is
+        # wired only while on_page_io has subscribers (hook fast path):
+        # an unobserved table leaves it None, and the storage layer's
+        # ``cb is None`` check makes every page read/write emit-free.
+        self.hooks.on_change = self._hooks_changed
+        self._hooks_changed("on_page_io")
         # Fault injection (FaultyPager) exposes the same style of slot;
         # route it into on_fault so the flight recorder logs the injected
         # fault before the crash it causes.
@@ -365,6 +375,16 @@ class HashTable(TraceSupport):
                 "on_page_io", {"kind": kind, "pageno": pageno, "nbytes": nbytes}
             )
 
+    def _hooks_changed(self, event: str | None) -> None:
+        """``TraceHooks.on_change`` callback: (un)wire the storage layer's
+        per-I/O callback to track on_page_io subscriptions, so tables with
+        no subscribers pay zero Python calls per page read/write."""
+        if event is not None and event != "on_page_io":
+            return
+        self._file.on_page_io = (
+            self._page_io_event if self.hooks.on_page_io else None
+        )
+
     def _check_open(self) -> None:
         if self._closed:
             raise ClosedError("operation on closed HashTable")
@@ -395,13 +415,23 @@ class HashTable(TraceSupport):
         return self._bucket_of_hash(self._hash(key))
 
     def _fault(self, bufkey, *, create: bool = False) -> BufferHeader:
-        """Fetch a page, formatting never-written (hole) bucket pages."""
+        """Fetch a page, formatting never-written (hole) bucket pages.
+
+        ``hdr.formatted`` short-circuits the hole check once a resident
+        page has been through it, so repeat faults cost one attribute
+        test instead of a header parse.  ``create=True`` always
+        reformats: a freshly allocated address may land on a recycled,
+        still-resident buffer with stale contents.
+        """
         hdr = self.pool.get(bufkey, create=create)
-        view = PageView(hdr.page)
+        if hdr.formatted and not create:
+            return hdr
+        view = hdr.view()
         if create or view.looks_uninitialized():
             view.initialize()
             if create:
                 hdr.dirty = True
+        hdr.formatted = True
         return hdr
 
     # ---------------------------------------------------------------- lookup
@@ -430,7 +460,7 @@ class HashTable(TraceSupport):
         hdr = self._fault(("B", bucket))
         hdr.pin()
         while True:
-            view = PageView(hdr.page)
+            view = hdr.view()
             i = view.find_inline(key)
             if i < 0:
                 for j, big in view.iter_slots():
@@ -475,20 +505,29 @@ class HashTable(TraceSupport):
             finally:
                 self._h_get.observe(clock() - t0)
 
-    def _get_impl(self, key: bytes, default: bytes | None = None) -> bytes | None:
+    def _get_impl(
+        self,
+        key: bytes,
+        default: bytes | None = None,
+        *,
+        _hash: int | None = None,
+    ) -> bytes | None:
         self._check_open()
+        if not isinstance(key, bytes):
+            key = bytes(key)  # copy only on non-bytes input
         self.stats.bump_gets()
-        found = self._locate(self._bucket_of(key), key)
+        h = self._hash(key) if _hash is None else _hash
+        found = self._locate(self._bucket_of_hash(h), key)
         if found is None:
             return default
         prev, hdr, slot = found
         try:
-            view = PageView(hdr.page)
+            view = hdr.view()
             if view.slot_is_big(slot):
                 oaddr, klen, dlen, _prefix = view.get_big_ref(slot)
                 _k, data = self.bigstore.fetch(oaddr, klen, dlen)
                 return data
-            return view.get_pair(slot)[1]
+            return view.get_data(slot)
         finally:
             hdr.unpin()
             if prev is not None:
@@ -517,8 +556,8 @@ class HashTable(TraceSupport):
         hdr.pin()
         added_overflow = False
         try:
+            view = hdr.view()
             while True:
-                view = PageView(hdr.page)
                 fits = view.fits_big_ref(len(key)) if big else view.fits(len(key), len(data))
                 if fits:
                     break
@@ -528,7 +567,6 @@ class HashTable(TraceSupport):
                     oaddr = self.allocator.alloc()
                     nhdr = self._fault(("O", oaddr), create=True)
                     nhdr.pin()
-                    view = PageView(hdr.page)
                     view.ovfl_addr = oaddr
                     hdr.dirty = True
                     self.pool.link_chain(hdr, nhdr)
@@ -540,16 +578,16 @@ class HashTable(TraceSupport):
                     added_overflow = True
                     hdr.unpin()
                     hdr = nhdr
+                    view = hdr.view()
                     break
                 nhdr = self._fault(("O", nxt))
                 nhdr.pin()
                 self.pool.link_chain(hdr, nhdr)
                 hdr.unpin()
                 hdr = nhdr
-            view = PageView(hdr.page)
+                view = hdr.view()
             if big:
                 head = self.bigstore.store(key, data)
-                view = PageView(hdr.page)
                 view.add_big_ref(head, len(key), len(data), key[:BIG_KEY_PREFIX])
                 self.stats.big_pairs_stored += 1
             else:
@@ -581,16 +619,28 @@ class HashTable(TraceSupport):
             finally:
                 self._h_put.observe(clock() - t0)
 
-    def _put_impl(self, key: bytes, data: bytes, *, replace: bool = True) -> bool:
+    def _put_impl(
+        self,
+        key: bytes,
+        data: bytes,
+        *,
+        replace: bool = True,
+        _hash: int | None = None,
+    ) -> bool:
         self._check_writable()
-        if not isinstance(key, (bytes, bytearray)) or not isinstance(
-            data, (bytes, bytearray)
-        ):
-            raise TypeError("keys and values must be bytes")
-        key = bytes(key)
-        data = bytes(data)
+        # Copy only on non-bytes input: the common bytes-in case is
+        # zero-copy all the way to the page write.
+        if not isinstance(key, bytes):
+            if not isinstance(key, bytearray):
+                raise TypeError("keys and values must be bytes")
+            key = bytes(key)
+        if not isinstance(data, bytes):
+            if not isinstance(data, bytearray):
+                raise TypeError("keys and values must be bytes")
+            data = bytes(data)
         self.stats.puts += 1
-        bucket = self._bucket_of(key)
+        h = self._hash(key) if _hash is None else _hash
+        bucket = self._bucket_of_hash(h)
         found = self._locate(bucket, key)
         if found is not None:
             prev, hdr, slot = found
@@ -622,11 +672,10 @@ class HashTable(TraceSupport):
         """Remove the pair at ``slot`` of pinned page ``hdr``; frees big
         chains and empty overflow pages; unpins both buffers."""
         try:
-            view = PageView(hdr.page)
+            view = hdr.view()
             if view.slot_is_big(slot):
                 oaddr, _klen, _dlen, _prefix = view.get_big_ref(slot)
                 self.bigstore.free(oaddr)
-                view = PageView(hdr.page)
             view.delete_slot(slot)
             hdr.dirty = True
             self.header.nkeys -= 1
@@ -637,7 +686,7 @@ class HashTable(TraceSupport):
                 and prev is not None
             ):
                 # Unlink and reclaim the now-empty overflow page.
-                pview = PageView(prev.page)
+                pview = prev.view()
                 pview.ovfl_addr = view.ovfl_addr
                 prev.dirty = True
                 self.pool.unlink_chain(prev)
@@ -673,15 +722,263 @@ class HashTable(TraceSupport):
             finally:
                 self._h_delete.observe(clock() - t0)
 
-    def _delete_impl(self, key: bytes) -> bool:
+    def _delete_impl(self, key: bytes, *, _hash: int | None = None) -> bool:
         self._check_writable()
+        if not isinstance(key, bytes):
+            key = bytes(key)  # copy only on non-bytes input
         self.stats.deletes += 1
-        found = self._locate(self._bucket_of(key), key)
+        h = self._hash(key) if _hash is None else _hash
+        found = self._locate(self._bucket_of_hash(h), key)
         if found is None:
             return False
         prev, hdr, slot = found
         self._delete_at(prev, hdr, slot)
         return True
+
+    # ------------------------------------------------------------- batch ops
+
+    @staticmethod
+    def _as_bytes(value, what: str) -> bytes:
+        """Normalize batch input to ``bytes``, copying only when needed."""
+        if isinstance(value, bytes):
+            return value
+        if isinstance(value, (bytearray, memoryview)):
+            return bytes(value)
+        raise TypeError(f"{what}s must be bytes")
+
+    def _group_by_bucket(self, hashes: list[int]) -> dict[int, list[int]]:
+        """Input indices grouped by tentative bucket.
+
+        Computed outside the lock as a locality heuristic; every
+        operation recomputes its bucket from the stored hash once the
+        lock is held, so a concurrent split cannot misroute a key.
+        """
+        groups: dict[int, list[int]] = {}
+        bucket_of = self._bucket_of_hash
+        for i, h in enumerate(hashes):
+            groups.setdefault(bucket_of(h), []).append(i)
+        return groups
+
+    def _batch_span(self, name: str, n: int, ngroups: int):
+        """One aggregate span for a whole batch (or None, tracing off)."""
+        tracer = self.tracer
+        if not tracer.enabled:
+            return None
+        return tracer.start(name, attrs={"n": n, "groups": ngroups})
+
+    def put_many(self, items, *, replace: bool = True) -> int:
+        """Store many ``(key, data)`` pairs; returns how many were stored.
+
+        Keys are hashed up front and grouped by bucket, so consecutive
+        operations hit hot buffers; under ``concurrent=True`` the write
+        lock is taken once per bucket group -- O(groups), not O(N) --
+        and tracing emits one aggregate ``put_many`` span for the whole
+        batch instead of a span per pair.
+        """
+        pairs = [
+            (self._as_bytes(k, "key"), self._as_bytes(d, "value"))
+            for k, d in items
+        ]
+        hashes = [self._hash(k) for k, _d in pairs]
+        groups = self._group_by_bucket(hashes)
+        span = self._batch_span("put_many", len(pairs), len(groups))
+        clock = self._clock
+        t0 = clock() if clock is not None else None
+        stored = 0
+        try:
+            for idxs in groups.values():
+                with self._wr:
+                    for i in idxs:
+                        key, data = pairs[i]
+                        if self._put_impl(
+                            key, data, replace=replace, _hash=hashes[i]
+                        ):
+                            stored += 1
+        finally:
+            if t0 is not None:
+                if self._h_put_many is None:
+                    self._h_put_many = self._ops.histogram("put_many")
+                self._h_put_many.observe(clock() - t0)
+            if span is not None:
+                self.tracer.end(span)
+        return stored
+
+    def get_many(self, keys, default: bytes | None = None) -> list:
+        """Values for ``keys``, order preserved (``default`` where absent).
+
+        One read-lock acquisition and one chain walk per bucket group:
+        each page in a bucket's chain is faulted and pinned exactly once
+        for all the keys that hash to it.
+        """
+        keys_b = [self._as_bytes(k, "key") for k in keys]
+        hashes = [self._hash(k) for k in keys_b]
+        groups = self._group_by_bucket(hashes)
+        out: list = [default] * len(keys_b)
+        span = self._batch_span("get_many", len(keys_b), len(groups))
+        clock = self._clock
+        t0 = clock() if clock is not None else None
+        try:
+            for idxs in groups.values():
+                with self._rd:
+                    self._check_open()
+                    self.stats.bump_gets(len(idxs))
+                    # Recompute buckets under the lock: a split between
+                    # grouping and locking may have rehomed some keys.
+                    actual: dict[int, list[int]] = {}
+                    for i in idxs:
+                        actual.setdefault(
+                            self._bucket_of_hash(hashes[i]), []
+                        ).append(i)
+                    for bucket, ids in actual.items():
+                        self._lookup_chain(bucket, ids, keys_b, out)
+        finally:
+            if t0 is not None:
+                if self._h_get_many is None:
+                    self._h_get_many = self._ops.histogram("get_many")
+                self._h_get_many.observe(clock() - t0)
+            if span is not None:
+                self.tracer.end(span)
+        return out
+
+    def _lookup_chain(
+        self, bucket: int, ids: list[int], keys: list[bytes], out: list
+    ) -> None:
+        """Resolve every key index in ``ids`` against ``bucket``'s chain
+        in a single walk, pinning each page once."""
+        pending = ids
+        hooks = self.hooks
+        depth = 0
+        hdr = self._fault(("B", bucket))
+        hdr.pin()
+        try:
+            while True:
+                view = hdr.view()
+                missing = []
+                for i in pending:
+                    key = keys[i]
+                    s = view.find_inline(key)
+                    if s < 0:
+                        for j, big in view.iter_slots():
+                            if big and self._match_big(view, j, key):
+                                s = j
+                                break
+                    if s < 0:
+                        missing.append(i)
+                    elif view.slot_is_big(s):
+                        oaddr, klen, dlen, _prefix = view.get_big_ref(s)
+                        out[i] = self.bigstore.fetch(oaddr, klen, dlen)[1]
+                    else:
+                        out[i] = view.get_data(s)
+                pending = missing
+                if not pending:
+                    return
+                nxt = view.ovfl_addr
+                if nxt == NO_OADDR:
+                    return
+                depth += 1
+                if hooks.on_overflow_hop:
+                    hooks.emit(
+                        "on_overflow_hop",
+                        {"bucket": bucket, "oaddr": nxt, "depth": depth},
+                    )
+                nhdr = self._fault(("O", nxt))
+                nhdr.pin()
+                self.pool.link_chain(hdr, nhdr)
+                hdr.unpin()
+                hdr = nhdr
+        finally:
+            hdr.unpin()
+
+    def delete_many(self, keys) -> int:
+        """Remove many keys; returns how many were present.
+
+        Same lock amortization as :meth:`put_many`: one write-lock
+        acquisition per bucket group.
+        """
+        keys_b = [self._as_bytes(k, "key") for k in keys]
+        hashes = [self._hash(k) for k in keys_b]
+        groups = self._group_by_bucket(hashes)
+        span = self._batch_span("delete_many", len(keys_b), len(groups))
+        clock = self._clock
+        t0 = clock() if clock is not None else None
+        removed = 0
+        try:
+            for idxs in groups.values():
+                with self._wr:
+                    for i in idxs:
+                        if self._delete_impl(keys_b[i], _hash=hashes[i]):
+                            removed += 1
+        finally:
+            if t0 is not None:
+                if self._h_delete_many is None:
+                    self._h_delete_many = self._ops.histogram("delete_many")
+                self._h_delete_many.observe(clock() - t0)
+            if span is not None:
+                self.tracer.end(span)
+        return removed
+
+    # ------------------------------------------------------------- bulk load
+
+    def bulk_load(self, items, *, nelem: int | None = None) -> int:
+        """Presized bottom-up load of an empty table -- Figure 6's
+        "number of entries known in advance" case as an actual fast path.
+
+        Materializes ``items`` (a later duplicate key wins, matching
+        ``put(replace=True)``), grows the bucket address space to its
+        final size in one step, then packs each bucket's chain directly:
+        **zero splits, zero redistribution**.  ``nelem`` overrides the
+        presize element count (defaults to ``len(items)``).
+
+        Requires a pristine table -- no keys, no splits, no overflow
+        pages -- and raises :class:`InvalidParameterError` otherwise;
+        use :meth:`put_many` to feed a populated table.  Returns the
+        number of pairs stored.
+        """
+        if self.tracer.enabled:
+            return self._traced_op(
+                "bulk_load", None, self._wr, self._bulk_load_impl, items, nelem
+            )
+        with self._wr:
+            return self._bulk_load_impl(items, nelem)
+
+    def _bulk_load_impl(self, items, nelem: int | None) -> int:
+        self._check_writable()
+        h = self.header
+        if h.nkeys != 0 or any(h.bitmaps) or any(h.spares):
+            raise InvalidParameterError(
+                "bulk_load requires a pristine table (no keys, no overflow "
+                "pages); use put_many() on a populated table"
+            )
+        unique: dict[bytes, bytes] = {}
+        for k, d in items:
+            unique[self._as_bytes(k, "key")] = self._as_bytes(d, "value")
+        n = len(unique)
+        target = max(nelem or 0, n, 1)
+        # Same presize math as create(nelem=...): nelem/ffactor buckets,
+        # rounded up to a power of two.
+        nbuckets = 1
+        while nbuckets * h.ffactor < target:
+            nbuckets <<= 1
+        if nbuckets > h.max_bucket + 1:
+            # One-step growth to the final address space.  With no keys,
+            # no spares and no overflow pages, every bucket page is still
+            # an unwritten hole, so only the masks need to move.
+            h.max_bucket = nbuckets - 1
+            h.high_mask = (nbuckets << 1) - 1
+            h.low_mask = nbuckets - 1
+            h.ovfl_point = log2_ceil(nbuckets)
+            self.buckets.grow_to(nbuckets)
+            self._structure_version += 1
+        groups: dict[int, list[tuple[bytes, bytes]]] = {}
+        for k, d in unique.items():
+            groups.setdefault(self._bucket_of(k), []).append((k, d))
+        for bucket, pairs in groups.items():
+            for k, d in pairs:
+                self._place_pair(bucket, k, d)
+        h.nkeys += n
+        self.stats.puts += n
+        self._write_header()
+        return n
 
     # ---------------------------------------------------------------- splits
 
@@ -745,7 +1042,7 @@ class HashTable(TraceSupport):
         primary_hdr.pin()
         cur = hdr
         while True:
-            view = PageView(cur.page)
+            view = cur.view()
             for i, big in view.iter_slots():
                 if big:
                     oaddr, klen, dlen, _prefix = view.get_big_ref(i)
@@ -759,7 +1056,7 @@ class HashTable(TraceSupport):
             chain_oaddrs.append(nxt)
             cur = self._fault(("O", nxt))
         # -- reset ------------------------------------------------------------
-        pview = PageView(primary_hdr.page)
+        pview = primary_hdr.view()
         pview.initialize()
         primary_hdr.dirty = True
         self.pool.unlink_chain(primary_hdr)
@@ -784,7 +1081,7 @@ class HashTable(TraceSupport):
         hdr.pin()
         try:
             while True:
-                view = PageView(hdr.page)
+                view = hdr.view()
                 if view.fits_big_ref(klen):
                     view.add_big_ref(oaddr, klen, dlen, key[:BIG_KEY_PREFIX])
                     hdr.dirty = True
@@ -794,7 +1091,6 @@ class HashTable(TraceSupport):
                     new_oaddr = self.allocator.alloc()
                     nhdr = self._fault(("O", new_oaddr), create=True)
                     nhdr.pin()
-                    view = PageView(hdr.page)
                     view.ovfl_addr = new_oaddr
                     hdr.dirty = True
                     self.pool.link_chain(hdr, nhdr)
@@ -835,7 +1131,7 @@ class HashTable(TraceSupport):
         for bucket in range(self.header.max_bucket + 1):
             hdr = self._fault(("B", bucket))
             while True:
-                view = PageView(hdr.page)
+                view = hdr.view()
                 for i, big in view.iter_slots():
                     if big:
                         oaddr, klen, dlen, _prefix = view.get_big_ref(i)
@@ -1018,7 +1314,7 @@ class HashTable(TraceSupport):
         for bucket in range(h.max_bucket + 1):
             hdr = self._fault(("B", bucket))
             while True:
-                view = PageView(hdr.page)
+                view = hdr.view()
                 for i, big in view.iter_slots():
                     if big:
                         oaddr, klen, _dlen, _prefix = view.get_big_ref(i)
@@ -1116,7 +1412,7 @@ class TableCursor:
                 hdr = t._fault(("B", bucket))
             else:
                 hdr = t._fault(("O", oaddr))
-            view = PageView(hdr.page)
+            view = hdr.view()
             if slot < view.nslots:
                 self._pos = (bucket, oaddr, slot)
                 if view.slot_is_big(slot):

@@ -67,7 +67,7 @@ class TraceHooks:
     #: cap on retained subscriber exceptions (oldest dropped first)
     MAX_ERRORS = 64
 
-    __slots__ = EVENTS + ("errors", "_warned")
+    __slots__ = EVENTS + ("errors", "_warned", "on_change")
 
     def __init__(self) -> None:
         for event in self.EVENTS:
@@ -75,14 +75,25 @@ class TraceHooks:
         #: (event, exception) pairs from isolated subscriber failures
         self.errors: list[tuple[str, BaseException]] = []
         self._warned: set = set()
+        #: optional ``fn(event_name)`` called after every subscribe /
+        #: unsubscribe (and once with ``None`` after :meth:`clear`).  The
+        #: engine uses it to wire expensive emit plumbing -- e.g. the
+        #: storage layer's per-page-I/O callback -- only while someone is
+        #: actually listening, so a fully unsubscribed table pays zero
+        #: emit-path calls (see docs/PERFORMANCE.md).
+        self.on_change: Callable[[str | None], None] | None = None
 
     def subscribe(self, event: str, fn: Callback) -> Callback:
         """Register ``fn`` for ``event``; returns ``fn`` (decorator-friendly)."""
         self._listeners(event).append(fn)
+        if self.on_change is not None:
+            self.on_change(event)
         return fn
 
     def unsubscribe(self, event: str, fn: Callback) -> None:
         self._listeners(event).remove(fn)
+        if self.on_change is not None:
+            self.on_change(event)
 
     def emit(self, event: str, payload: Payload) -> None:
         for fn in self._listeners(event):
@@ -110,6 +121,8 @@ class TraceHooks:
             getattr(self, event).clear()
         self.errors.clear()
         self._warned.clear()
+        if self.on_change is not None:
+            self.on_change(None)
 
     def _listeners(self, event: str) -> list:
         if event not in self.EVENTS:

@@ -186,6 +186,12 @@ class RaceHarness:
             return db.delete(op[1])
         if kind == "sync":
             return db.sync()
+        if kind == "put_many":
+            return db.put_many(op[1])
+        if kind == "get_many":
+            return db.get_many(op[1])
+        if kind == "delete_many":
+            return db.delete_many(op[1])
         if kind == "scan":
             out = []
             c = db.cursor()

@@ -1,0 +1,187 @@
+"""Batch operations: semantics, lock amortization, aggregate spans.
+
+Acceptance criterion of the hot-path PR: ``put_many``/``get_many`` on N
+keys acquire the table rwlock O(groups) times -- once per bucket group
+-- not O(N), counted by wrapping the lock's acquire methods.
+"""
+
+import pytest
+
+from repro.core.errors import ReadOnlyError
+from repro.core.table import HashTable
+from repro.workloads.dictionary import dictionary_words
+
+
+def make_items(n):
+    return [(w, w[::-1]) for w in dictionary_words(n)]
+
+
+class TestSemantics:
+    def test_put_many_then_get_many_roundtrip(self):
+        items = make_items(500)
+        with HashTable.create(None) as t:
+            assert t.put_many(items) == 500
+            assert len(t) == 500
+            keys = [k for k, _ in items]
+            assert t.get_many(keys) == [d for _, d in items]
+            t.check_invariants()
+
+    def test_get_many_preserves_order_and_default(self):
+        with HashTable.create(None) as t:
+            t.put_many([(b"a", b"1"), (b"b", b"2")])
+            assert t.get_many([b"b", b"missing", b"a"], b"?") == [b"2", b"?", b"1"]
+
+    def test_delete_many_counts_only_present(self):
+        items = make_items(100)
+        with HashTable.create(None) as t:
+            t.put_many(items)
+            keys = [k for k, _ in items]
+            assert t.delete_many(keys[:40] + [b"ghost"]) == 40
+            assert len(t) == 60
+            t.check_invariants()
+
+    def test_put_many_no_replace(self):
+        with HashTable.create(None) as t:
+            t.put(b"a", b"old")
+            assert t.put_many([(b"a", b"new"), (b"b", b"2")], replace=False) == 1
+            assert t.get(b"a") == b"old"
+            assert t.get(b"b") == b"2"
+
+    def test_duplicate_keys_in_batch_last_wins(self):
+        with HashTable.create(None) as t:
+            t.put_many([(b"k", b"first"), (b"k", b"second")])
+            assert t.get(b"k") == b"second"
+            assert len(t) == 1
+
+    def test_bytearray_input_accepted(self):
+        with HashTable.create(None) as t:
+            t.put_many([(bytearray(b"a"), bytearray(b"1"))])
+            assert t.get_many([bytearray(b"a")]) == [b"1"]
+            assert t.delete_many([bytearray(b"a")]) == 1
+
+    def test_bad_types_raise(self):
+        with HashTable.create(None) as t:
+            with pytest.raises(TypeError):
+                t.put_many([("str", b"v")])
+            with pytest.raises(TypeError):
+                t.get_many([3])
+
+    def test_empty_batches(self):
+        with HashTable.create(None) as t:
+            assert t.put_many([]) == 0
+            assert t.get_many([]) == []
+            assert t.delete_many([]) == 0
+
+    def test_readonly_rejects_writes(self, tmp_path):
+        p = tmp_path / "ro.db"
+        with HashTable.create(p) as t:
+            t.put(b"a", b"1")
+        t = HashTable.open_file(p, readonly=True)
+        try:
+            with pytest.raises(ReadOnlyError):
+                t.put_many([(b"b", b"2")])
+            with pytest.raises(ReadOnlyError):
+                t.delete_many([b"a"])
+            assert t.get_many([b"a"]) == [b"1"]
+        finally:
+            t.close()
+
+
+class _CountingLock:
+    """Wraps an RWLock's acquire methods with call counters."""
+
+    def __init__(self, lock):
+        self.reads = 0
+        self.writes = 0
+        self._orig_read = lock.acquire_read
+        self._orig_write = lock.acquire_write
+        lock.acquire_read = self._acquire_read
+        lock.acquire_write = self._acquire_write
+
+    def _acquire_read(self):
+        self.reads += 1
+        self._orig_read()
+
+    def _acquire_write(self):
+        self.writes += 1
+        self._orig_write()
+
+
+class TestLockAmortization:
+    def test_put_many_acquires_write_lock_once_per_group(self):
+        items = make_items(400)
+        t = HashTable.create(None, concurrent=True)
+        try:
+            hashes = [t._hash(k) for k, _ in items]
+            ngroups = len(t._group_by_bucket(hashes))
+            counter = _CountingLock(t._lock)
+            t.put_many(items)
+            assert counter.writes == ngroups
+            assert counter.writes < len(items)
+        finally:
+            t.close()
+
+    def test_get_many_acquires_read_lock_once_per_group(self):
+        items = make_items(400)
+        t = HashTable.create(None, concurrent=True, nelem=400)
+        try:
+            t.put_many(items)
+            keys = [k for k, _ in items]
+            ngroups = len(t._group_by_bucket([t._hash(k) for k in keys]))
+            counter = _CountingLock(t._lock)
+            assert t.get_many(keys) == [d for _, d in items]
+            assert counter.reads == ngroups
+            assert counter.reads < len(keys)
+        finally:
+            t.close()
+
+    def test_single_bucket_batch_takes_one_lock(self):
+        # A fresh default table has one bucket, so every key is one group:
+        # N puts under exactly one write-lock acquisition (splits during
+        # the batch happen inside the already-held lock).
+        items = make_items(50)
+        t = HashTable.create(None, concurrent=True)
+        try:
+            assert t.nbuckets == 1
+            counter = _CountingLock(t._lock)
+            t.put_many(items)
+            assert counter.writes == 1
+            counter2 = _CountingLock(t._lock)
+            t.delete_many([k for k, _ in items][:10])
+            assert counter2.writes <= t.nbuckets
+        finally:
+            t.close()
+
+
+class TestAggregateSpan:
+    def test_one_span_per_batch_not_per_op(self):
+        items = make_items(64)
+        t = HashTable.create(None, tracing=True)
+        try:
+            t.put_many(items)
+            t.get_many([k for k, _ in items])
+            names = [
+                ev["name"]
+                for ev in t.flight_recorder.events()
+                if ev["type"] == "span"
+            ]
+            assert names.count("put_many") == 1
+            assert names.count("get_many") == 1
+            assert "put" not in names and "get" not in names
+        finally:
+            t.close()
+
+    def test_span_attrs_record_batch_shape(self):
+        items = make_items(64)
+        t = HashTable.create(None, tracing=True)
+        try:
+            t.put_many(items)
+            span = next(
+                ev
+                for ev in t.flight_recorder.events()
+                if ev["name"] == "put_many"
+            )
+            assert span["attrs"]["n"] == 64
+            assert span["attrs"]["groups"] >= 1
+        finally:
+            t.close()

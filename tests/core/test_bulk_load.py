@@ -1,0 +1,128 @@
+"""The presized bulk loader: zero splits, paper-equivalent contents.
+
+Acceptance criterion of the hot-path PR: ``bulk_load`` of the dictionary
+workload performs **zero** bucket splits, asserted via the ``on_split``
+hook (Figure 6's "number of entries known in advance" case).
+"""
+
+import pytest
+
+from repro.core.errors import InvalidParameterError, ReadOnlyError
+from repro.core.table import HashTable
+from repro.workloads.dictionary import dictionary_words
+
+
+def make_items(n):
+    return [(w, w[::-1]) for w in dictionary_words(n)]
+
+
+class TestZeroSplits:
+    def test_dictionary_load_never_splits(self):
+        items = make_items(4000)
+        t = HashTable.create(None)
+        splits = []
+        t.hooks.subscribe("on_split", splits.append)
+        try:
+            assert t.bulk_load(items) == 4000
+            assert splits == []
+            assert t.stats.splits == 0
+            assert len(t) == 4000
+            t.check_invariants()
+        finally:
+            t.close()
+
+    def test_presize_matches_create_nelem(self):
+        items = make_items(2000)
+        loaded = HashTable.create(None)
+        presized = HashTable.create(None, nelem=2000)
+        try:
+            loaded.bulk_load(items)
+            assert loaded.nbuckets == presized.nbuckets
+            assert loaded.header.high_mask == presized.header.high_mask
+            assert loaded.header.low_mask == presized.header.low_mask
+            assert loaded.header.ovfl_point == presized.header.ovfl_point
+        finally:
+            loaded.close()
+            presized.close()
+
+    def test_contents_equal_put_path(self):
+        items = make_items(1000)
+        bulk = HashTable.create(None)
+        grown = HashTable.create(None)
+        try:
+            bulk.bulk_load(items)
+            for k, d in items:
+                grown.put(k, d)
+            assert sorted(bulk.items()) == sorted(grown.items())
+        finally:
+            bulk.close()
+            grown.close()
+
+
+class TestSemantics:
+    def test_duplicate_keys_last_wins(self):
+        with HashTable.create(None) as t:
+            assert t.bulk_load([(b"k", b"a"), (b"j", b"x"), (b"k", b"b")]) == 2
+            assert t.get(b"k") == b"b"
+            assert len(t) == 2
+
+    def test_nelem_overrides_presize(self):
+        with HashTable.create(None) as t:
+            t.bulk_load(make_items(10), nelem=5000)
+            assert t.nbuckets * t.header.ffactor >= 5000
+            assert len(t) == 10
+            t.check_invariants()
+
+    def test_empty_load(self):
+        with HashTable.create(None) as t:
+            assert t.bulk_load([]) == 0
+            assert len(t) == 0
+
+    def test_populated_table_rejected(self):
+        with HashTable.create(None) as t:
+            t.put(b"a", b"1")
+            with pytest.raises(InvalidParameterError):
+                t.bulk_load(make_items(10))
+
+    def test_split_table_rejected(self):
+        with HashTable.create(None) as t:
+            for k, d in make_items(200):
+                t.put(k, d)
+            for k, _ in make_items(200):
+                t.delete(k)
+            assert len(t) == 0
+            # nkeys is zero but the table has split: still not pristine.
+            with pytest.raises(InvalidParameterError):
+                t.bulk_load(make_items(10))
+
+    def test_readonly_rejected(self, tmp_path):
+        p = tmp_path / "ro.db"
+        HashTable.create(p).close()
+        t = HashTable.open_file(p, readonly=True)
+        try:
+            with pytest.raises(ReadOnlyError):
+                t.bulk_load(make_items(10))
+        finally:
+            t.close()
+
+    def test_reopen_after_bulk_load(self, tmp_path):
+        p = tmp_path / "bulk.db"
+        items = make_items(1500)
+        with HashTable.create(p) as t:
+            t.bulk_load(items)
+        t = HashTable.open_file(p)
+        try:
+            assert len(t) == 1500
+            for k, d in items[::97]:
+                assert t.get(k) == d
+            t.check_invariants()
+        finally:
+            t.close()
+
+    def test_puts_after_bulk_load_keep_working(self):
+        with HashTable.create(None) as t:
+            t.bulk_load(make_items(500))
+            t.put(b"new-key", b"new-val")
+            assert t.get(b"new-key") == b"new-val"
+            assert t.delete(b"new-key")
+            t.check_invariants()

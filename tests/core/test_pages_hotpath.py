@@ -1,0 +1,186 @@
+"""PageView edge cases and the decoded-slot cache.
+
+Covers the hot-path rework (docs/PERFORMANCE.md): pages filled to
+exactly zero free space, big-pair references sitting right on the
+``is_big_pair`` boundary, slot tables that grow until they touch
+``data_off``, and the cache-invalidation rules (view-side mutators and
+the owner dirty epoch).
+"""
+
+import pytest
+
+from repro.core.constants import PAGE_HDR_SIZE, SLOT_SIZE
+from repro.core.pages import (
+    PageFullError,
+    PageView,
+    big_ref_bytes,
+    empty_page,
+    is_big_pair,
+    pair_bytes_needed,
+)
+
+BSIZE = 256
+
+
+@pytest.fixture
+def page():
+    return PageView(empty_page(BSIZE))
+
+
+class TestExactlyFull:
+    def test_one_pair_fills_page_to_zero_free(self, page):
+        """A pair sized to leave free_space == 0 stores and reads back."""
+        avail = BSIZE - PAGE_HDR_SIZE - SLOT_SIZE
+        key = b"k" * 100
+        data = b"d" * (avail - 100)
+        assert pair_bytes_needed(len(key), len(data)) == BSIZE - PAGE_HDR_SIZE
+        page.add_pair(key, data)
+        assert page.free_space == 0
+        assert page.get_pair(0) == (key, data)
+        assert page.find_inline(key) == 0
+
+    def test_full_page_rejects_everything(self, page):
+        avail = BSIZE - PAGE_HDR_SIZE - SLOT_SIZE
+        page.add_pair(b"k" * 100, b"d" * (avail - 100))
+        assert not page.fits(0, 0)
+        with pytest.raises(PageFullError):
+            page.add_pair(b"", b"")
+
+    def test_delete_from_full_page_reopens_space(self, page):
+        avail = BSIZE - PAGE_HDR_SIZE - SLOT_SIZE
+        key = b"k" * 100
+        page.add_pair(key, b"d" * (avail - 100))
+        page.delete_slot(0)
+        assert page.nslots == 0
+        assert page.free_space == BSIZE - PAGE_HDR_SIZE
+        page.add_pair(b"again", b"works")
+        assert page.get_pair(0) == (b"again", b"works")
+
+
+class TestBigPairBoundary:
+    def test_largest_inline_pair_is_not_big(self, page):
+        """klen + dlen == bsize - header - slot: inline by one byte."""
+        limit = BSIZE - PAGE_HDR_SIZE - SLOT_SIZE
+        assert not is_big_pair(100, limit - 100, BSIZE)
+        page.add_pair(b"k" * 100, b"d" * (limit - 100))
+        assert page.get_pair(0) == (b"k" * 100, b"d" * (limit - 100))
+
+    def test_one_byte_over_is_big(self):
+        limit = BSIZE - PAGE_HDR_SIZE - SLOT_SIZE
+        assert is_big_pair(100, limit - 100 + 1, BSIZE)
+
+    def test_big_ref_on_boundary_page(self, page):
+        """A big-pair reference added when exactly its size remains."""
+        klen = 500  # longer than BIG_KEY_PREFIX, so the prefix truncates
+        need = big_ref_bytes(klen)
+        filler_data = BSIZE - PAGE_HDR_SIZE - SLOT_SIZE - need
+        page.add_pair(b"x", b"f" * (filler_data - 1))
+        assert page.free_space == need
+        assert page.fits_big_ref(klen)
+        page.add_big_ref(77, klen, 4000, b"p" * klen)
+        assert page.free_space == 0
+        assert page.slot_is_big(1)
+        oaddr, k, d, prefix = page.get_big_ref(1)
+        assert (oaddr, k, d) == (77, 500, 4000)
+        assert prefix and set(prefix) == {ord("p")}
+        # find_inline must skip the big slot even for a same-length probe
+        assert page.find_inline(b"p" * len(prefix)) == -1
+
+
+class TestSlotTableTouchesDataoff:
+    def test_pack_until_slot_table_meets_entries(self, page):
+        """31 pairs of 2-byte entries: slot table end == data_off."""
+        n = (BSIZE - PAGE_HDR_SIZE) // (SLOT_SIZE + 2)
+        for i in range(n):
+            page.add_pair(bytes([65 + i // 26, 65 + i % 26]), b"")
+        assert page.free_space == 0
+        assert PAGE_HDR_SIZE + page.nslots * SLOT_SIZE == page.data_off
+        for i in range(n):
+            key = bytes([65 + i // 26, 65 + i % 26])
+            assert page.find_inline(key) == i
+            assert page.get_pair(i) == (key, b"")
+
+    def test_delete_middle_slot_when_touching(self, page):
+        n = (BSIZE - PAGE_HDR_SIZE) // (SLOT_SIZE + 2)
+        keys = [bytes([65 + i // 26, 65 + i % 26]) for i in range(n)]
+        for k in keys:
+            page.add_pair(k, b"")
+        page.delete_slot(n // 2)
+        survivors = keys[: n // 2] + keys[n // 2 + 1 :]
+        assert page.nslots == n - 1
+        for i, k in enumerate(survivors):
+            assert page.get_pair(i) == (k, b"")
+
+
+class _FakeOwner:
+    """Stands in for a BufferHeader: just the dirty epoch."""
+
+    def __init__(self):
+        self.epoch = 0
+
+
+class TestDecodedSlotCache:
+    def test_cache_is_reused_between_reads(self, page):
+        page.add_pair(b"a", b"1")
+        first = page.slots()
+        assert page.slots() is first
+
+    def test_view_mutators_invalidate(self, page):
+        page.add_pair(b"a", b"1")
+        before = page.slots()
+        page.add_pair(b"b", b"2")
+        after = page.slots()
+        assert after is not before
+        assert len(after) == 2
+        page.delete_slot(0)
+        assert len(page.slots()) == 1
+        assert page.get_pair(0) == (b"b", b"2")
+
+    def test_owner_epoch_invalidates_out_of_band_writes(self):
+        owner = _FakeOwner()
+        buf = empty_page(BSIZE)
+        view = PageView(buf, owner=owner)
+        view.add_pair(b"a", b"1")
+        assert len(view.slots()) == 1
+        # Out-of-band byte poke (as BufferPool.mark_dirty callers do):
+        # rewrite the page wholesale behind the view's back.
+        fresh = empty_page(BSIZE)
+        fresh_view = PageView(fresh)
+        fresh_view.add_pair(b"x", b"9")
+        fresh_view.add_pair(b"y", b"8")
+        buf[:] = fresh
+        owner.epoch += 1
+        assert len(view.slots()) == 2
+        assert view.get_pair(0) == (b"x", b"9")
+
+    def test_unowned_view_trusts_its_own_mutations_only(self):
+        view = PageView(empty_page(BSIZE))
+        view.add_pair(b"a", b"1")
+        assert view.find_inline(b"a") == 0
+        assert view.find_inline(b"zz") == -1
+
+
+class TestZeroCopyAccessors:
+    def test_get_pair_view_aliases_the_page(self, page):
+        page.add_pair(b"key", b"value")
+        kv, dv = page.get_pair_view(0)
+        assert isinstance(kv, memoryview) and isinstance(dv, memoryview)
+        assert bytes(kv) == b"key" and bytes(dv) == b"value"
+        # aliasing: mutate through the view, see it in get_pair
+        dv[0] = ord("V")
+        assert page.get_pair(0) == (b"key", b"Value")
+
+    def test_get_data_matches_get_pair(self, page):
+        page.add_pair(b"key", b"value")
+        assert page.get_data(0) == page.get_pair(0)[1]
+
+    def test_big_slot_rejected_by_pair_accessors(self, page):
+        page.add_big_ref(5, 100, 100, b"prefix")
+        with pytest.raises(ValueError):
+            page.get_pair_view(0)
+        with pytest.raises(ValueError):
+            page.get_data(0)
+
+    def test_oversized_probe_key_never_matches(self, page):
+        page.add_pair(b"k", b"v")
+        assert page.find_inline(b"x" * 40000) == -1
