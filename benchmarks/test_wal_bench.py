@@ -1,0 +1,181 @@
+"""WAL benchmarks: group-commit throughput and recovery time.
+
+Two artifacts in ``BENCH_wal.json``, each with a deterministic gate:
+
+1. Group commit: committed writes/sec with 1 committer vs 8 concurrent
+   committers under ``durability='wal+fsync'``.  The log's fsync is the
+   bottleneck by construction (the wrapper below adds a fixed delay per
+   sync, modelling a disk's flush latency), so coalescing concurrent
+   COMMITs into one fsync is directly visible.  The GATE is on counters,
+   not wall clock: with 8 threads the WAL must issue measurably fewer
+   fsyncs than commits.
+
+2. Recovery: reopen time after a simulated ``kill -9`` as a function of
+   WAL length (checkpointing disabled, so the log holds everything).
+   The GATE is correctness: every committed key readable after replay.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+
+from benchmarks.conftest import emit_json
+from repro.bench.report import registry_snapshot
+from repro.core.table import HashTable
+from repro.core.wal import wal_path_for
+
+BSIZE = 512
+NTHREADS = 8
+COMMITS_TOTAL = 80  # same total work in both arms
+KEYS_PER_COMMIT = 4
+SYNC_DELAY = 0.002  # a realistic-ish flush latency, GIL-released
+
+
+class SlowSyncStore:
+    """Wrap the WAL's byte store with a fixed per-sync delay.
+
+    ``time.sleep`` releases the GIL, so while the group-commit leader
+    waits on the 'disk', follower threads can append and queue -- the
+    same overlap a real fsync gives.
+    """
+
+    def __init__(self, inner, delay: float = SYNC_DELAY) -> None:
+        self._inner = inner
+        self.delay = delay
+
+    def sync(self) -> None:
+        time.sleep(self.delay)
+        self._inner.sync()
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+
+def _commit_rate(workdir: str, nthreads: int) -> tuple[float, dict]:
+    """Run COMMITS_TOTAL transactions across ``nthreads`` committers;
+    returns (commits/sec, the handle's wal stat section)."""
+    table = HashTable.create(
+        f"{workdir}/gc{nthreads}.db",
+        bsize=BSIZE,
+        durability="wal+fsync",
+        concurrent=True,
+        wal_wrapper=SlowSyncStore,
+    )
+    per_thread = COMMITS_TOTAL // nthreads
+    errors: list[Exception] = []
+    barrier = threading.Barrier(nthreads + 1)
+
+    def committer(tid: int) -> None:
+        try:
+            barrier.wait()
+            for j in range(per_thread):
+                table.begin()
+                for i in range(KEYS_PER_COMMIT):
+                    table.put(f"t{tid}-c{j}-k{i}".encode(), b"v" * 32)
+                table.commit()
+        except Exception as exc:  # pragma: no cover
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=committer, args=(t,), daemon=True)
+        for t in range(nthreads)
+    ]
+    for t in threads:
+        t.start()
+    barrier.wait()
+    t0 = time.perf_counter()
+    for t in threads:
+        t.join()
+    elapsed = time.perf_counter() - t0
+    assert not errors, errors
+    try:
+        wal_stat = table.stat()["wal"]
+        # correctness: every committed write really landed
+        for tid in range(nthreads):
+            for j in range(per_thread):
+                assert table.get(f"t{tid}-c{j}-k0".encode()) == b"v" * 32
+    finally:
+        table.close()
+    return COMMITS_TOTAL / elapsed, wal_stat
+
+
+def _recovery_time(workdir: str, ncommits: int) -> dict:
+    """Commit ``ncommits`` transactions, kill without close, time the
+    replay on reopen."""
+    path = f"{workdir}/rec{ncommits}.db"
+    table = HashTable.create(
+        path,
+        bsize=BSIZE,
+        durability="wal",
+        wal_checkpoint_bytes=1 << 30,  # never checkpoint: the log keeps all
+    )
+    for j in range(ncommits):
+        table.begin()
+        for i in range(KEYS_PER_COMMIT):
+            table.put(f"c{j:05d}-k{i}".encode(), b"v" * 32)
+        table.commit()
+    wal_bytes = os.path.getsize(wal_path_for(path))
+    del table  # kill -9
+
+    t0 = time.perf_counter()
+    reopened = HashTable.open_file(path)
+    replay_s = time.perf_counter() - t0
+    try:
+        recovery = reopened.stats.extra["wal_recovery"]
+        # the gate: zero lost committed writes at every log length
+        for j in range(ncommits):
+            for i in range(KEYS_PER_COMMIT):
+                assert reopened.get(f"c{j:05d}-k{i}".encode()) == b"v" * 32
+    finally:
+        reopened.close()
+    return {
+        "commits": ncommits,
+        "wal_bytes": wal_bytes,
+        "frames_replayed": recovery["frames"],
+        "replay_seconds": round(replay_s, 4),
+    }
+
+
+def test_wal_bench_snapshot(workdir):
+    rate_1t, stat_1t = _commit_rate(workdir, 1)
+    rate_8t, stat_8t = _commit_rate(workdir, NTHREADS)
+
+    # THE regression gate (counters, deterministic): concurrent
+    # committers coalesce -- measurably fewer fsyncs than commits
+    # (commits may exceed COMMITS_TOTAL by the create-time implicit one)
+    assert stat_8t["commits"] >= COMMITS_TOTAL
+    assert stat_8t["fsyncs"] < stat_8t["commits"], (
+        f"group commit broken: {stat_8t['fsyncs']} fsyncs for "
+        f"{stat_8t['commits']} commits"
+    )
+    # a lone committer cannot coalesce: one fsync per explicit commit
+    assert stat_1t["fsyncs"] >= COMMITS_TOTAL
+
+    recovery = [_recovery_time(workdir, n) for n in (50, 200, 800)]
+
+    payload = registry_snapshot(
+        {
+            "group_commit": {
+                "commit_rate_1thread_per_sec": round(rate_1t, 1),
+                f"commit_rate_{NTHREADS}thread_per_sec": round(rate_8t, 1),
+                "fsyncs_1thread": stat_1t["fsyncs"],
+                f"fsyncs_{NTHREADS}thread": stat_8t["fsyncs"],
+                "commits_per_arm": COMMITS_TOTAL,
+                "coalescing_ratio": round(
+                    stat_8t["commits"] / max(1, stat_8t["fsyncs"]), 2
+                ),
+            },
+            "recovery": recovery,
+        },
+        label="WAL group commit (1 vs 8 committers) and replay time vs log length",
+        context={
+            "bsize": BSIZE,
+            "keys_per_commit": KEYS_PER_COMMIT,
+            "sync_delay_s": SYNC_DELAY,
+            "durability": "wal+fsync (group commit) / wal (recovery)",
+            "note": "fsync gate is on counters; wall-clock numbers are informational",
+        },
+    )
+    emit_json("wal", payload)

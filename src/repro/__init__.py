@@ -46,6 +46,8 @@ from repro.core import (
     InvalidParameterError,
     ReadOnlyError,
     TableStats,
+    TransactionError,
+    WALCorruptionError,
     get_hash_function,
     suggest_parameters,
 )
@@ -75,5 +77,7 @@ __all__ = [
     "InvalidParameterError",
     "ReadOnlyError",
     "ClosedError",
+    "TransactionError",
+    "WALCorruptionError",
     "__version__",
 ]

@@ -20,7 +20,11 @@ identical to the application layer".
 
 from __future__ import annotations
 
+import warnings
 from typing import Iterator
+
+from repro.core.errors import TransactionError
+from repro.core.wal import TransactionContext
 
 # -- access-method selectors (db.h's DBTYPE) ----------------------------------
 DB_BTREE = "btree"
@@ -107,9 +111,43 @@ class AccessMethod:
         """Data stored under ``key``, or None."""
         raise NotImplementedError
 
-    def put(self, key: bytes, data: bytes, flags: int = 0) -> int:
-        """Store ``key -> data``.  Returns 0, or 1 when R_NOOVERWRITE found
-        an existing key."""
+    def put(
+        self,
+        key: bytes,
+        data: bytes,
+        flags: int | None = None,
+        *,
+        replace: bool | None = None,
+    ) -> int:
+        """Store ``key -> data``.  Returns 0, or 1 when ``replace=False``
+        found an existing key.
+
+        ``replace=True`` (the default) overwrites; ``replace=False`` is
+        db(3)'s R_NOOVERWRITE.  The positional ``flags`` argument is
+        **deprecated** -- passing ``R_NOOVERWRITE`` (or any int) emits a
+        :class:`DeprecationWarning`; see docs/API.md for the migration.
+        """
+        if flags is not None:
+            if replace is not None:
+                raise TypeError(
+                    "put() takes either the deprecated flags argument or "
+                    "replace=, not both"
+                )
+            warnings.warn(
+                "the positional flags argument to put() is deprecated; "
+                "use put(key, data, replace=False) instead of "
+                "put(key, data, R_NOOVERWRITE) -- see docs/API.md",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            replace = flags != R_NOOVERWRITE
+        elif replace is None:
+            replace = True
+        return self._put(key, data, replace)
+
+    def _put(self, key: bytes, data: bytes, replace: bool) -> int:
+        """Concrete store operation behind the :meth:`put` shim.  Returns
+        0 on store, 1 when ``replace=False`` found an existing key."""
         raise NotImplementedError
 
     def delete(self, key: bytes) -> int:
@@ -160,19 +198,55 @@ class AccessMethod:
             return cur.seek(key)
         raise ValueError(f"bad seq flag {flag}")
 
+    # -- transactions ------------------------------------------------------------
+
+    def begin(self) -> None:
+        """Open an explicit transaction: atomic commit/abort across every
+        mutation until :meth:`commit`.  Requires opening the database
+        with ``durability='wal'`` or ``'wal+fsync'`` (see
+        docs/TRANSACTIONS.md); methods without a write-ahead log raise
+        :class:`~repro.core.errors.TransactionError`."""
+        raise TransactionError(
+            f"the {self.type} handle was opened without durability=; "
+            "transactions require durability='wal' or 'wal+fsync'"
+        )
+
+    def commit(self) -> None:
+        """Commit the open transaction (group commit shares the fsync
+        among concurrent committers under ``durability='wal+fsync'``)."""
+        raise TransactionError("no transaction support without durability=")
+
+    def abort(self) -> None:
+        """Roll back the open transaction to its :meth:`begin` point."""
+        raise TransactionError("no transaction support without durability=")
+
+    def checkpoint(self) -> int:
+        """Force a WAL checkpoint (transfer committed pages, fsync the
+        table file, truncate the log); returns pages transferred."""
+        raise TransactionError("no checkpoint support without durability=")
+
+    def transaction(self) -> TransactionContext:
+        """``with db.transaction(): ...`` -- commit on clean exit, abort
+        if the body raises."""
+        return TransactionContext(self)
+
+    @property
+    def in_transaction(self) -> bool:
+        """True while an explicit transaction is open on this handle."""
+        return False
+
     # -- batch operations --------------------------------------------------------
 
     def put_many(self, items, *, replace: bool = True) -> int:
         """Store many ``(key, data)`` pairs; returns how many were stored.
 
-        The base implementation loops over :meth:`put`; methods with a
+        The base implementation loops over :meth:`_put`; methods with a
         native batch path (hash) override it to amortize locking, page
         pins and trace spans across the whole batch.
         """
-        flags = 0 if replace else R_NOOVERWRITE
         stored = 0
         for key, data in items:
-            if self.put(_to_bytes(key), _to_bytes(data), flags) == 0:
+            if self._put(_to_bytes(key), _to_bytes(data), replace) == 0:
                 stored += 1
         return stored
 

@@ -26,7 +26,6 @@ import time
 
 from repro.access.api import (
     DB_BTREE,
-    R_NOOVERWRITE,
     AccessMethod,
     Cursor,
 )
@@ -40,11 +39,29 @@ from repro.access.btree.nodes import (
     NodeView,
 )
 from repro.core.buffer import BufferPool
-from repro.core.errors import BadFileError, ClosedError, InvalidParameterError, ReadOnlyError
+from repro.core.errors import (
+    BadFileError,
+    ClosedError,
+    InvalidParameterError,
+    ReadOnlyError,
+    TransactionError,
+)
 from repro.core.locking import NULL_GUARD, RWLock
+from repro.core.wal import (
+    DEFAULT_CHECKPOINT_BYTES,
+    DURABILITY_LEVELS,
+    MemByteStore,
+    TransactionContext,
+    TransactionManager,
+    WALPager,
+    WriteAheadLog,
+    wal_path_for,
+)
+from repro.core.wal import recover as wal_recover
 from repro.obs.hooks import TraceHooks
 from repro.obs.registry import Registry
 from repro.obs.trace import TraceSupport
+from repro.storage.bytefile import ByteFile
 from repro.storage.pager import open_pager
 
 BTREE_MAGIC = 0x42543931  # "BT91"
@@ -74,7 +91,16 @@ class BTree(TraceSupport, AccessMethod):
         compare=None,
         observability: bool = True,
         concurrent: bool = False,
+        durability: str = "none",
+        wal_checkpoint_bytes: int = DEFAULT_CHECKPOINT_BYTES,
+        wal_wrapper=None,
+        wal_fresh: bool = False,
     ) -> None:
+        if durability not in DURABILITY_LEVELS:
+            raise InvalidParameterError(
+                f"durability must be one of {DURABILITY_LEVELS}, "
+                f"got {durability!r}"
+            )
         self._file = file
         self.readonly = readonly
         self._closed = False
@@ -91,8 +117,32 @@ class BTree(TraceSupport, AccessMethod):
             self.obs.make_threadsafe()
             file.stats.make_threadsafe()
         self.hooks = TraceHooks()
+        # Durability: same interposition as the hash method -- the WAL
+        # sits between the buffer pool and the real pager, so write-back
+        # lands in the log and the tree file is only written by
+        # checkpoints/recovery (see repro.core.wal).
+        self.durability = durability if not readonly else "none"
+        self._wal: WriteAheadLog | None = None
+        self._txn: TransactionManager | None = None
+        self.wal_recovery: dict | None = None
+        if self.durability != "none":
+            path = getattr(file, "path", None)
+            if path is None:
+                # RAM trees get transaction semantics, no durable sidecar
+                store = MemByteStore()
+                fresh = True
+            else:
+                wpath = wal_path_for(path)
+                fresh = wal_fresh or not os.path.exists(wpath)
+                store = ByteFile(wpath, create=fresh)
+            if wal_wrapper is not None:
+                store = wal_wrapper(store)
+            if concurrent:
+                store.stats.make_threadsafe()
+            self._wal = WriteAheadLog(store, file.pagesize, fresh=fresh)
+            self._file = WALPager(file, self._wal)
         self.pool = BufferPool(
-            file,
+            self._file,
             file.pagesize,
             cachesize,
             lambda pgno: pgno,
@@ -106,7 +156,7 @@ class BTree(TraceSupport, AccessMethod):
         self._h_delete = _ops.histogram("delete")
         self._h_split = _ops.histogram("split")
         self._clock = time.perf_counter if observability else None
-        file.on_page_io = self._page_io_event
+        self._file.on_page_io = self._page_io_event
         # tracer (disabled) + fault/lock-wait emit adapters (obs.trace)
         self._init_tracing()
         if hasattr(file, "on_fault"):
@@ -128,6 +178,22 @@ class BTree(TraceSupport, AccessMethod):
         self.free_head = 0
         self.npages = 0
         self.nkeys = 0
+        if self._wal is not None:
+            self._txn = TransactionManager(
+                wal=self._wal,
+                walpager=self._file,
+                inner=file,
+                pool=self.pool,
+                write_meta=self._write_meta,
+                snapshot=self._txn_snapshot,
+                restore=self._txn_restore,
+                check=self._check_writable,
+                guard=self._wr,
+                hooks=self.hooks,
+                obs=self.obs.child("wal"),
+                fsync=(self.durability == "wal+fsync"),
+                checkpoint_bytes=wal_checkpoint_bytes,
+            )
 
     def _page_io_event(self, kind: str, pageno: int, nbytes: int) -> None:
         hooks = self.hooks
@@ -159,13 +225,19 @@ class BTree(TraceSupport, AccessMethod):
         concurrent: bool = False,
         tracing: bool = False,
         file_wrapper=None,
+        durability: str = "none",
+        wal_checkpoint_bytes: int = DEFAULT_CHECKPOINT_BYTES,
+        wal_wrapper=None,
     ) -> "BTree":
         """Create a new btree (``path=None`` + ``in_memory`` for RAM).
 
         ``compare`` is db(3)'s ``bt_compare``: a total order over keys as
         ``(a, b) -> <0/0/>0``.  Supply the same function on every reopen.
         ``file_wrapper`` post-wraps the pager (SimulatedDisk for modelled
-        I/O time, FaultyPager for crash injection).
+        I/O time, FaultyPager for crash injection).  ``durability``
+        selects the crash-safety level ('none' | 'wal' | 'wal+fsync',
+        see docs/TRANSACTIONS.md) and enables ``begin``/``commit``/
+        ``abort``; ``wal_wrapper`` decorates the log's byte store.
         """
         if bsize < MIN_BSIZE or bsize > MAX_BSIZE or bsize & (bsize - 1):
             raise InvalidParameterError(
@@ -184,11 +256,19 @@ class BTree(TraceSupport, AccessMethod):
             compare=compare,
             observability=observability,
             concurrent=concurrent,
+            durability=durability,
+            wal_checkpoint_bytes=wal_checkpoint_bytes,
+            wal_wrapper=wal_wrapper,
+            wal_fresh=True,
         )
         tree.npages = 1  # the meta page
         root_hdr = tree._new_page(T_LEAF)
         tree.root = root_hdr.key
         tree._write_meta()
+        if tree._txn is not None:
+            # materialize the fresh file (creation must not live only in
+            # the log: a probe-on-reopen needs a real meta page)
+            tree.checkpoint()
         if tracing:
             tree._trace_open(t_open, "create")
         return tree
@@ -205,8 +285,17 @@ class BTree(TraceSupport, AccessMethod):
         concurrent: bool = False,
         tracing: bool = False,
         file_wrapper=None,
+        durability: str = "none",
+        wal_checkpoint_bytes: int = DEFAULT_CHECKPOINT_BYTES,
+        wal_wrapper=None,
     ) -> "BTree":
         t_open = time.perf_counter()
+        # Replay any committed-but-uncheckpointed transactions from a
+        # previous incarnation BEFORE probing the meta page: the probe
+        # must see the recovered file.
+        recovery = wal_recover(
+            path, file_wrapper=file_wrapper, wal_wrapper=wal_wrapper
+        )
         probe = open_pager(path, pagesize=MIN_BSIZE, readonly=True)
         try:
             if probe.size_bytes() < _META.size:
@@ -231,8 +320,13 @@ class BTree(TraceSupport, AccessMethod):
             compare=compare,
             observability=observability,
             concurrent=concurrent,
+            durability=durability,
+            wal_checkpoint_bytes=wal_checkpoint_bytes,
+            wal_wrapper=wal_wrapper,
         )
         tree._read_meta()
+        if recovery["frames"]:
+            tree.wal_recovery = recovery
         if tracing:
             tree._trace_open(t_open, "open")
         return tree
@@ -438,22 +532,22 @@ class BTree(TraceSupport, AccessMethod):
 
     # ----------------------------------------------------------------- insert
 
-    def put(self, key: bytes, data: bytes, flags: int = 0) -> int:
+    def _put(self, key: bytes, data: bytes, replace: bool) -> int:
         if self.tracer.enabled:
             return self._traced_op(
-                "put", self._h_put, self._wr, self._put_impl, key, data, flags
+                "put", self._h_put, self._wr, self._put_impl, key, data, replace
             )
         with self._wr:
             clock = self._clock
             if clock is None:
-                return self._put_impl(key, data, flags)
+                return self._put_impl(key, data, replace)
             t0 = clock()
             try:
-                return self._put_impl(key, data, flags)
+                return self._put_impl(key, data, replace)
             finally:
                 self._h_put.observe(clock() - t0)
 
-    def _put_impl(self, key: bytes, data: bytes, flags: int = 0) -> int:
+    def _put_impl(self, key: bytes, data: bytes, replace: bool = True) -> int:
         self._check_writable()
         self._puts += 1
         if not isinstance(key, (bytes, bytearray)) or not isinstance(
@@ -473,7 +567,7 @@ class BTree(TraceSupport, AccessMethod):
             view = NodeView(hdr.page)
             slot, exact = view.leaf_search(key, self._compare)
             if exact:
-                if flags == R_NOOVERWRITE:
+                if not replace:
                     return 1
                 self._release_entry_data(view, slot)
                 view.delete_slot(slot, view.leaf_entry_len(slot))
@@ -715,11 +809,66 @@ class BTree(TraceSupport, AccessMethod):
         self._check_open()
         return BTreeCursor(self)
 
+    # ----------------------------------------------------------- transactions
+
+    def _require_txn(self) -> TransactionManager:
+        if self._txn is None:
+            raise TransactionError(
+                "transactions require opening the btree with "
+                "durability='wal' or 'wal+fsync'"
+            )
+        return self._txn
+
+    def begin(self) -> None:
+        """Open an explicit transaction (atomic across crashes, undone by
+        :meth:`abort`); holds the write lock until commit/abort."""
+        self._check_writable()
+        self._require_txn().begin()
+
+    def commit(self) -> None:
+        """Commit the open transaction (group commit shares fsyncs under
+        ``durability='wal+fsync'``)."""
+        self._check_open()
+        self._require_txn().commit()
+
+    def abort(self) -> None:
+        """Roll back the open transaction to its :meth:`begin` point."""
+        self._check_open()
+        self._require_txn().abort()
+
+    def transaction(self) -> TransactionContext:
+        """``with tree.transaction(): ...`` -- commit on clean exit,
+        abort if the body raises."""
+        return TransactionContext(self)
+
+    @property
+    def in_transaction(self) -> bool:
+        return self._txn is not None and self._txn.in_transaction
+
+    def checkpoint(self) -> int:
+        """Force a WAL checkpoint; returns pages transferred.  Raises
+        :class:`TransactionError` inside an open transaction (or without
+        ``durability=``)."""
+        self._check_writable()
+        txn = self._require_txn()
+        with self._wr:
+            return txn.checkpoint_locked()
+
+    def _txn_snapshot(self) -> tuple:
+        """The volatile meta state abort must rewind; page bytes need no
+        snapshot (abort drops their buffers, rereads old images)."""
+        return (self.root, self.free_head, self.npages, self.nkeys)
+
+    def _txn_restore(self, snap: tuple) -> None:
+        self.root, self.free_head, self.npages, self.nkeys = snap
+
     # -------------------------------------------------------------- maintenance
 
     def sync(self) -> None:
         """Batched page write-back, meta write, one group sync -- the
-        shared flush-before-sync ordering (see docs/STORAGE.md)."""
+        shared flush-before-sync ordering (see docs/STORAGE.md).  In WAL
+        mode this is a full checkpoint and raises
+        :class:`TransactionError` inside an open transaction."""
         if self.tracer.enabled:
             self._traced_op("sync", None, self._wr, self._sync_impl)
             return
@@ -728,21 +877,34 @@ class BTree(TraceSupport, AccessMethod):
 
     def _sync_impl(self) -> None:
         self._check_open()
+        if self._txn is not None:
+            self._txn.checkpoint_locked()
+            return
         self.pool.flush()
         self._write_meta()
         self._file.sync()
 
     def close(self) -> None:
-        """Flush, sync and release; idempotent like every backend's."""
+        """Flush, sync and release; idempotent like every backend's.  An
+        open uncommitted transaction is ROLLED BACK first -- close never
+        half-flushes work that was never committed."""
         with self._wr:
             if self._closed:
                 return
+            txn = self._txn
             if not self.readonly:
-                self.pool.drop_all()
-                self._write_meta()
-                self._file.sync()
+                if txn is not None:
+                    txn.abort_for_close()
+                    txn.checkpoint_locked()
+                    self.pool.drop_all()
+                else:
+                    self.pool.drop_all()
+                    self._write_meta()
+                    self._file.sync()
             self._closed = True
             self._file.close()
+            if txn is not None:
+                txn.close()
 
     @property
     def closed(self) -> bool:
@@ -759,8 +921,10 @@ class BTree(TraceSupport, AccessMethod):
 
     def _stat_impl(self) -> dict:
         self._check_open()
+        wal = {} if self._txn is None else {"wal": self._txn.metrics()}
         return {
             "type": "btree",
+            **wal,
             "nkeys": self.nkeys,
             "ops": {
                 "counts": {

@@ -34,6 +34,13 @@ def db_open(
     threads: shared readers, exclusive writers, fail-fast cursors -- see
     docs/CONCURRENCY.md.  The default pays zero locking overhead.
 
+    ``durability='wal'`` or ``'wal+fsync'`` (any method) puts a
+    write-ahead log in front of the file and enables the transaction
+    API -- ``begin``/``commit``/``abort`` and ``with db.transaction():``
+    -- with crash recovery on reopen; ``'wal+fsync'`` additionally
+    fsyncs every commit, shared among concurrent committers by group
+    commit.  See docs/TRANSACTIONS.md.
+
     Every method offers batched ``put_many``/``get_many``/``delete_many``
     (hash amortizes locks, page pins and trace spans across the batch),
     and hash adds ``bulk_load(items, nelem=...)`` -- a presized, zero-split
@@ -68,9 +75,10 @@ def open(  # noqa: A001 - deliberately shadows builtins.open, like dbm.open
 
     ``repro.open(path)`` opens (creating if missing) a hash database;
     ``type=`` selects btree or recno; ``params`` forward to the method
-    exactly as in :func:`db_open`.  The returned object is both the db(3)
-    interface and a mapping (``db[key]``, ``len(db)``, iteration), with
-    ``str`` keys and values UTF-8 encoded -- see
-    :class:`repro.access.api.AccessMethod`.
+    exactly as in :func:`db_open` (including ``durability='wal'`` /
+    ``'wal+fsync'`` for transactions and crash recovery).  The returned
+    object is both the db(3) interface and a mapping (``db[key]``,
+    ``len(db)``, iteration), with ``str`` keys and values UTF-8 encoded
+    -- see :class:`repro.access.api.AccessMethod`.
     """
     return db_open(path, type, flag, **params)

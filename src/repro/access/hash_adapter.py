@@ -11,8 +11,9 @@ from __future__ import annotations
 
 import os
 
-from repro.access.api import DB_HASH, R_NOOVERWRITE, AccessMethod, Cursor
+from repro.access.api import DB_HASH, AccessMethod, Cursor
 from repro.core.table import HashTable
+from repro.core.wal import TransactionContext
 
 
 class HashCursor(Cursor):
@@ -65,12 +66,41 @@ class HashAccess(AccessMethod):
     def get(self, key: bytes) -> bytes | None:
         return self.table.get(key)
 
-    def put(self, key: bytes, data: bytes, flags: int = 0) -> int:
-        stored = self.table.put(key, data, replace=(flags != R_NOOVERWRITE))
+    def _put(self, key: bytes, data: bytes, replace: bool) -> int:
+        stored = self.table.put(key, data, replace=replace)
         return 0 if stored else 1
 
     def delete(self, key: bytes) -> int:
         return 0 if self.table.delete(key) else 1
+
+    # -- transactions: delegated to the underlying table -------------------------
+
+    def begin(self) -> None:
+        self.table.begin()
+
+    def commit(self) -> None:
+        self.table.commit()
+
+    def abort(self) -> None:
+        self.table.abort()
+
+    def checkpoint(self) -> int:
+        return self.table.checkpoint()
+
+    def transaction(self) -> TransactionContext:
+        return TransactionContext(self)
+
+    @property
+    def in_transaction(self) -> bool:
+        return self.table.in_transaction
+
+    @property
+    def durability(self) -> str:
+        return self.table.durability
+
+    @property
+    def wal_recovery(self) -> dict | None:
+        return self.table.wal_recovery
 
     # -- native batch path (amortized locks, pins and trace spans) ---------------
 

@@ -28,12 +28,12 @@ import struct
 
 from repro.access.api import (
     DB_RECNO,
-    R_NOOVERWRITE,
     AccessMethod,
     Cursor,
 )
 from repro.access.btree.btree import BTree
 from repro.core.errors import InvalidParameterError
+from repro.core.wal import TransactionContext
 
 _KEY = struct.Struct(">Q")
 
@@ -61,6 +61,7 @@ class Recno(AccessMethod):
         self.reclen = reclen
         self.bpad = bpad
         self.nrecords = len(tree)
+        self._txn_nrecords: int | None = None
 
     # ------------------------------------------------------------------ setup
 
@@ -78,11 +79,13 @@ class Recno(AccessMethod):
         concurrent: bool = False,
         tracing: bool = False,
         file_wrapper=None,
+        **wal_params,
     ) -> "Recno":
         """Create a record file.  ``reclen`` selects fixed-length mode.
 
         ``file_wrapper`` post-wraps the pager of the underlying btree
-        (SimulatedDisk, FaultyPager ...).
+        (SimulatedDisk, FaultyPager ...).  ``durability=`` and the other
+        WAL parameters forward to the btree (see docs/TRANSACTIONS.md).
         """
         if reclen is not None and reclen < 1:
             raise InvalidParameterError(f"reclen must be >= 1, got {reclen}")
@@ -97,6 +100,7 @@ class Recno(AccessMethod):
             concurrent=concurrent,
             tracing=tracing,
             file_wrapper=file_wrapper,
+            **wal_params,
         )
         return cls(tree, reclen, bpad)
 
@@ -113,6 +117,7 @@ class Recno(AccessMethod):
         concurrent: bool = False,
         tracing: bool = False,
         file_wrapper=None,
+        **wal_params,
     ) -> "Recno":
         tree = BTree.open_file(
             path,
@@ -122,6 +127,7 @@ class Recno(AccessMethod):
             concurrent=concurrent,
             tracing=tracing,
             file_wrapper=file_wrapper,
+            **wal_params,
         )
         return cls(tree, reclen, bpad)
 
@@ -199,16 +205,52 @@ class Recno(AccessMethod):
     def get(self, key: bytes) -> bytes | None:
         return self.get_rec(decode_recno(key))
 
-    def put(self, key: bytes, data: bytes, flags: int = 0) -> int:
+    def _put(self, key: bytes, data: bytes, replace: bool) -> int:
         with self._tree._wr:
             recno = decode_recno(key)
-            if flags == R_NOOVERWRITE and self.get_rec(recno) is not None:
+            if not replace and self.get_rec(recno) is not None:
                 return 1
             self.put_rec(recno, data)
             return 0
 
     def delete(self, key: bytes) -> int:
         return 0 if self.delete_rec(decode_recno(key)) else 1
+
+    # -- transactions: delegated to the underlying btree --------------------------
+
+    def begin(self) -> None:
+        """Open an explicit transaction on the underlying btree; the
+        record count is snapshotted so :meth:`abort` rewinds it too."""
+        self._tree.begin()
+        self._txn_nrecords = self.nrecords
+
+    def commit(self) -> None:
+        self._txn_nrecords = None
+        self._tree.commit()
+
+    def abort(self) -> None:
+        self._tree.abort()
+        if self._txn_nrecords is not None:
+            self.nrecords = self._txn_nrecords
+            self._txn_nrecords = None
+
+    def checkpoint(self) -> int:
+        return self._tree.checkpoint()
+
+    def transaction(self) -> TransactionContext:
+        return TransactionContext(self)
+
+    @property
+    def in_transaction(self) -> bool:
+        return self._tree.in_transaction
+
+    @property
+    def durability(self) -> str:
+        return self._tree.durability
+
+    @property
+    def wal_recovery(self) -> dict | None:
+        return self._tree.wal_recovery
 
     def cursor(self) -> Cursor:
         """Cursor over (8-byte record-number key, record) pairs, in record

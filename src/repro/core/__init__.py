@@ -19,6 +19,8 @@ from repro.core.errors import (
     HashFunctionMismatchError,
     InvalidParameterError,
     ReadOnlyError,
+    TransactionError,
+    WALCorruptionError,
 )
 from repro.core.hashfuncs import HASH_FUNCTIONS, get_hash_function
 from repro.core.table import HashTable, TableStats, suggest_parameters
@@ -38,4 +40,6 @@ __all__ = [
     "InvalidParameterError",
     "ReadOnlyError",
     "ClosedError",
+    "TransactionError",
+    "WALCorruptionError",
 ]

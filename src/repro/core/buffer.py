@@ -599,6 +599,29 @@ class BufferPool:
             i = j
         return written
 
+    def discard(self, predicate) -> int:
+        """Drop every buffer matching ``predicate(hdr)`` WITHOUT writing
+        it back -- transaction abort's tool: dirty buffers (and clean
+        ones re-read from the transaction's own WAL images) simply
+        vanish, and the next fault reads the pre-transaction bytes.
+        Returns the number of buffers dropped; raises if any match is
+        pinned (abort never runs mid-operation)."""
+        mutex = self.mutex
+        if mutex is None:
+            return self._discard_locked(predicate)
+        with mutex:
+            return self._discard_locked(predicate)
+
+    def _discard_locked(self, predicate) -> int:
+        victims = [h for h in self._pool.values() if predicate(h)]
+        for hdr in victims:
+            if hdr.pins:
+                raise AssertionError(f"discard of pinned buffer {hdr.key!r}")
+        for hdr in victims:
+            hdr.dirty = False  # _invalidate_locked must not write it back
+            self._invalidate_locked(hdr.key)
+        return len(victims)
+
     def drop_all(self) -> None:
         """Flush then empty the pool (table close)."""
         mutex = self.mutex

@@ -33,6 +33,18 @@ class InvalidParameterError(HashError, ValueError):
     """A table-creation parameter was out of range."""
 
 
+class TransactionError(HashError):
+    """Transaction-API misuse: ``begin()`` on a table opened without
+    ``durability=``, nested ``begin()``, ``commit()``/``abort()`` with no
+    open transaction, or ``sync()``/``checkpoint()`` called inside one."""
+
+
+class WALCorruptionError(BadFileError):
+    """The write-ahead log's file header is not a WAL of the expected
+    version, or does not match the table it sits next to.  (A corrupt
+    frame *tail* is not an error: replay stops cleanly before it.)"""
+
+
 class ConcurrentModificationError(HashError):
     """A cursor's position was invalidated by a concurrent structural
     change (a bucket split relocated pairs the scan had not reached).

@@ -18,6 +18,7 @@ A :class:`HashTable` composes the substrates:
 
 from __future__ import annotations
 
+import dataclasses
 import os
 import threading
 import time
@@ -49,11 +50,26 @@ from repro.core.errors import (
     HashFunctionMismatchError,
     InvalidParameterError,
     ReadOnlyError,
+    TransactionError,
 )
 from repro.core.hashfuncs import HashFunction, get_hash_function
 from repro.core.header import Header
 from repro.core.locking import NULL_GUARD, RWLock
 from repro.core.pages import PageView, is_big_pair
+from repro.core.wal import (
+    DEFAULT_CHECKPOINT_BYTES,
+    DURABILITY_LEVELS,
+    FT_DELETE,
+    FT_PUT,
+    MemByteStore,
+    TransactionContext,
+    TransactionManager,
+    WALPager,
+    WriteAheadLog,
+    recover as wal_recover,
+    wal_path_for,
+)
+from repro.storage.bytefile import ByteFile
 from repro.obs.hooks import TraceHooks
 from repro.obs.registry import Registry
 from repro.obs.trace import TraceSupport
@@ -148,11 +164,21 @@ class HashTable(TraceSupport):
         buffer_policy: str = "lru",
         observability: bool = True,
         concurrent: bool = False,
+        durability: str = "none",
+        wal_checkpoint_bytes: int = DEFAULT_CHECKPOINT_BYTES,
+        wal_audit: bool = False,
+        wal_wrapper=None,
+        wal_fresh: bool = False,
     ) -> None:
         if split_policy not in self.SPLIT_POLICIES:
             raise InvalidParameterError(
                 f"split_policy must be one of {self.SPLIT_POLICIES}, "
                 f"got {split_policy!r}"
+            )
+        if durability not in DURABILITY_LEVELS:
+            raise InvalidParameterError(
+                f"durability must be one of {DURABILITY_LEVELS}, "
+                f"got {durability!r}"
             )
         self._file = file
         self.header = header
@@ -184,8 +210,36 @@ class HashTable(TraceSupport):
         # disabled tracer until enable_tracing(): each traced call site
         # costs one attribute load + truth test (see obs.trace.TraceSupport)
         self._init_tracing()
+        # Durability: interpose the write-ahead log between the buffer
+        # pool and the real pager, so page write-back lands in the log
+        # and the table file is only written by checkpoints/recovery
+        # (see repro.core.wal).  Read-only tables skip the machinery --
+        # recovery already ran at open, and nothing will be written.
+        self.durability = durability if not readonly else "none"
+        self._wal: WriteAheadLog | None = None
+        self._txn: TransactionManager | None = None
+        #: what replay did at open time (None when no recovery ran)
+        self.wal_recovery: dict | None = None
+        if self.durability != "none":
+            path = getattr(file, "path", None)
+            if path is None:
+                # Anonymous temp / RAM tables: full transaction semantics
+                # (atomic commit/abort), no durable sidecar -- same
+                # lifetime as the table itself.
+                store = MemByteStore()
+                fresh = True
+            else:
+                wpath = wal_path_for(path)
+                fresh = wal_fresh or not os.path.exists(wpath)
+                store = ByteFile(wpath, create=fresh)
+            if wal_wrapper is not None:
+                store = wal_wrapper(store)
+            if concurrent:
+                store.stats.make_threadsafe()
+            self._wal = WriteAheadLog(store, header.bsize, fresh=fresh)
+            self._file = WALPager(file, self._wal)
         self.pool = BufferPool(
-            file,
+            self._file,
             header.bsize,
             cachesize,
             self._address_of,
@@ -220,6 +274,23 @@ class HashTable(TraceSupport):
             file.on_fault = self._fault_event
         if concurrent:
             self._lock.wait_hook = self._lock_wait_event
+        if self._wal is not None:
+            self._txn = TransactionManager(
+                wal=self._wal,
+                walpager=self._file,
+                inner=file,
+                pool=self.pool,
+                write_meta=self._write_header,
+                snapshot=self._txn_snapshot,
+                restore=self._txn_restore,
+                check=self._check_writable,
+                guard=self._wr,
+                hooks=self.hooks,
+                obs=self.obs.child("wal"),
+                fsync=(self.durability == "wal+fsync"),
+                checkpoint_bytes=wal_checkpoint_bytes,
+                audit=wal_audit,
+            )
         self.allocator = OvflAllocator(header, self.pool)
         self.bigstore = BigPairStore(self.pool, self.allocator, hooks=self.hooks)
         self.buckets = BucketArray()
@@ -243,6 +314,10 @@ class HashTable(TraceSupport):
         concurrent: bool = False,
         tracing: bool = False,
         file_wrapper=None,
+        durability: str = "none",
+        wal_checkpoint_bytes: int = DEFAULT_CHECKPOINT_BYTES,
+        wal_audit: bool = False,
+        wal_wrapper=None,
     ) -> "HashTable":
         """Create a new table.
 
@@ -254,6 +329,17 @@ class HashTable(TraceSupport):
         ``nelem`` is the expected final number of elements: the table is
         created at full size so no splitting happens while it fills --
         Figure 6's "known in advance" case.
+
+        ``durability`` selects the crash-safety level (see
+        docs/TRANSACTIONS.md): ``'none'`` is the historical
+        sync-when-asked behavior; ``'wal'`` adds a write-ahead log with
+        atomic transactions (``begin``/``commit``/``abort``); and
+        ``'wal+fsync'`` additionally fsyncs the log at every commit,
+        with concurrent committers coalesced by group commit.
+        ``wal_checkpoint_bytes`` bounds the log (and replay) length;
+        ``wal_audit`` adds per-operation PUT/DELETE audit frames;
+        ``wal_wrapper`` decorates the log's byte store (fault
+        injection), the WAL twin of ``file_wrapper``.
         """
         if bsize < MIN_BSIZE or bsize > MAX_BSIZE:
             raise InvalidParameterError(
@@ -300,8 +386,18 @@ class HashTable(TraceSupport):
             buffer_policy=buffer_policy,
             observability=observability,
             concurrent=concurrent,
+            durability=durability,
+            wal_checkpoint_bytes=wal_checkpoint_bytes,
+            wal_audit=wal_audit,
+            wal_wrapper=wal_wrapper,
+            wal_fresh=True,
         )
         table._write_header()
+        if table._txn is not None:
+            # Materialize the freshly logged header into the table file
+            # right away: a crash after create() then finds a valid (if
+            # empty) table plus whatever the log holds.
+            table.checkpoint()
         if tracing:
             table._trace_open(t_open, "create")
         return table
@@ -318,6 +414,10 @@ class HashTable(TraceSupport):
         concurrent: bool = False,
         tracing: bool = False,
         file_wrapper=None,
+        durability: str = "none",
+        wal_checkpoint_bytes: int = DEFAULT_CHECKPOINT_BYTES,
+        wal_audit: bool = False,
+        wal_wrapper=None,
     ) -> "HashTable":
         """Open an existing table.
 
@@ -325,9 +425,18 @@ class HashTable(TraceSupport):
         mismatch raises :class:`HashFunctionMismatchError` ("the hash
         package will try to determine that the hash function supplied is
         the one with which the table was created").
+
+        If a write-ahead log (``<path>.wal``) is present -- whatever
+        ``durability`` this open requests -- committed transactions are
+        replayed into the table file *before* the header is even probed,
+        so a post-crash file is repaired unconditionally (see
+        :func:`repro.core.wal.recover`).
         """
         fn = get_hash_function(hashfn)
         t_open = time.perf_counter()
+        recovery = wal_recover(
+            path, file_wrapper=file_wrapper, wal_wrapper=wal_wrapper
+        )
         probe = open_pager(path, pagesize=HDR_SIZE, readonly=readonly)
         try:
             if probe.size_bytes() < HDR_SIZE:
@@ -354,7 +463,14 @@ class HashTable(TraceSupport):
             readonly=readonly,
             observability=observability,
             concurrent=concurrent,
+            durability=durability,
+            wal_checkpoint_bytes=wal_checkpoint_bytes,
+            wal_audit=wal_audit,
+            wal_wrapper=wal_wrapper,
         )
+        if recovery["frames"]:
+            table.wal_recovery = recovery
+            table.stats.extra["wal_recovery"] = recovery
         if tracing:
             table._trace_open(t_open, "open")
         return table
@@ -662,6 +778,9 @@ class HashTable(TraceSupport):
         ):
             self.stats.controlled_splits += 1
             self._expand_table("controlled")
+        txn = self._txn
+        if txn is not None and txn.audit:
+            txn.log_op(FT_PUT, key, len(data))
         return True
 
     # ---------------------------------------------------------------- delete
@@ -733,6 +852,9 @@ class HashTable(TraceSupport):
             return False
         prev, hdr, slot = found
         self._delete_at(prev, hdr, slot)
+        txn = self._txn
+        if txn is not None and txn.audit:
+            txn.log_op(FT_DELETE, key)
         return True
 
     # ------------------------------------------------------------- batch ops
@@ -1183,13 +1305,88 @@ class HashTable(TraceSupport):
         item = self._scan.next()
         return None if item is None else item[0]
 
+    # ----------------------------------------------------------- transactions
+
+    def _require_txn(self) -> TransactionManager:
+        if self._txn is None:
+            raise TransactionError(
+                "transactions require opening the table with "
+                "durability='wal' or 'wal+fsync'"
+            )
+        return self._txn
+
+    def begin(self) -> None:
+        """Open an explicit transaction: every mutation until
+        :meth:`commit` is atomic (all-or-nothing across crashes) and
+        :meth:`abort` undoes all of them.  Holds the table's write lock
+        until commit/abort, so transactions are thread-affine and do
+        not nest.  Requires ``durability='wal'`` or ``'wal+fsync'``."""
+        self._check_writable()
+        self._require_txn().begin()
+
+    def commit(self) -> None:
+        """Commit the open transaction.  Under ``durability='wal+fsync'``
+        this blocks until the log is fsynced (group commit shares that
+        fsync among concurrent committers)."""
+        self._check_open()
+        self._require_txn().commit()
+
+    def abort(self) -> None:
+        """Roll back the open transaction: logged frames are orphaned
+        and the in-memory state rewinds to the :meth:`begin` point."""
+        self._check_open()
+        self._require_txn().abort()
+
+    def transaction(self) -> TransactionContext:
+        """``with table.transaction(): ...`` -- commit on clean exit,
+        abort if the body raises."""
+        return TransactionContext(self)
+
+    @property
+    def in_transaction(self) -> bool:
+        return self._txn is not None and self._txn.in_transaction
+
+    def checkpoint(self) -> int:
+        """Force a WAL checkpoint: committed pages move into the table
+        file, the file is fsynced, the log is truncated.  Returns the
+        number of pages transferred.  Raises :class:`TransactionError`
+        inside an open transaction (or without ``durability=``)."""
+        self._check_writable()
+        txn = self._require_txn()
+        with self._wr:
+            return txn.checkpoint_locked()
+
+    def _txn_snapshot(self) -> Header:
+        """Copy out the volatile state abort must rewind: the header
+        (with its mutable spares/bitmaps lists).  Page bytes need no
+        snapshot -- abort just drops their buffers and the next fault
+        rereads pre-transaction images."""
+        h = self.header
+        return dataclasses.replace(
+            h, spares=list(h.spares), bitmaps=list(h.bitmaps)
+        )
+
+    def _txn_restore(self, snap: Header) -> None:
+        """Put the snapshot back IN PLACE: the allocator, addresser and
+        big-pair store all hold references to ``self.header``, so the
+        object must keep its identity."""
+        h = self.header
+        for f in dataclasses.fields(h):
+            setattr(h, f.name, getattr(snap, f.name))
+        self.buckets.grow_to(h.max_bucket + 1)
+        # Splits undone by the rollback are structural changes too:
+        # fail any cursor that was scanning mid-transaction state.
+        self._structure_version += 1
+
     # ------------------------------------------------------------ maintenance
 
     def sync(self) -> None:
         """Flush dirty pages and the header, then fsync -- the shared
         flush-before-sync ordering of every access method (see
         docs/STORAGE.md): batched page write-back, header/meta write,
-        one group sync."""
+        one group sync.  In WAL mode this is a full checkpoint (commit
+        the implicit transaction, transfer, truncate the log), and
+        raises :class:`TransactionError` inside an open transaction."""
         if self.tracer.enabled:
             self._traced_op("sync", None, self._wr, self._sync_impl)
             return
@@ -1198,22 +1395,35 @@ class HashTable(TraceSupport):
 
     def _sync_impl(self) -> None:
         self._check_open()
+        if self._txn is not None:
+            self._txn.checkpoint_locked()
+            return
         self.pool.flush()
         self._write_header()
         self._file.sync()
 
     def close(self) -> None:
         """Flush, sync and release everything; idempotent (a second
-        close is a no-op); further operations raise."""
+        close is a no-op); further operations raise.  An open
+        uncommitted transaction is ROLLED BACK first -- close never
+        half-flushes work that was never committed."""
         with self._wr:
             if self._closed:
                 return
+            txn = self._txn
             if not self.readonly:
-                self.pool.drop_all()
-                self._write_header()
-                self._file.sync()
+                if txn is not None:
+                    txn.abort_for_close()
+                    txn.checkpoint_locked()
+                    self.pool.drop_all()
+                else:
+                    self.pool.drop_all()
+                    self._write_header()
+                    self._file.sync()
             self._closed = True
             self._file.close()
+            if txn is not None:
+                txn.close()
 
     @property
     def closed(self) -> bool:
@@ -1259,8 +1469,10 @@ class HashTable(TraceSupport):
         self._check_open()
         h = self.header
         s = self.stats
+        wal = {} if self._txn is None else {"wal": self._txn.metrics()}
         return {
             "type": "hash",
+            **wal,
             "nkeys": h.nkeys,
             "ops": {
                 "counts": {

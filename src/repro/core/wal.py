@@ -1,0 +1,1025 @@
+"""Write-ahead log: crash-atomic transactions in front of any pager.
+
+The paper's durability story ends at ``sync()``: a crash mid-split can
+still lose acknowledged writes, because page write-back happens in
+whatever order the buffer pool evicts.  This module closes that gap with
+a physical-redo WAL in the style the serious engines converged on
+(ARIES' redo pass, SQLite's wal mode): page images are appended to a
+sidecar log ``<path>.wal`` *instead of* the table file, and the table
+file itself is only ever written during a checkpoint or recovery --
+after the logged images are safely on disk -- so a torn table-file write
+can always be repaired from the log.
+
+Layered here, bottom up:
+
+- :class:`WriteAheadLog` -- the checksummed record format over a
+  byte-granular store (:class:`~repro.storage.bytefile.ByteFile` on
+  disk, :class:`MemByteStore` in RAM).  Frames carry a CRC32, a
+  monotonic LSN, the owning transaction id, a frame type (PAGE / COMMIT
+  / ROLLBACK / CHECKPOINT plus optional PUT/DELETE audit records) and a
+  payload.  :meth:`WriteAheadLog.scan` stops cleanly at the first torn
+  or corrupt frame, so a crash mid-append loses at most the
+  unacknowledged tail.
+- :class:`WALPager` -- a :class:`~repro.storage.pager.Pager` decorator
+  the buffer pool writes through: ``write_page`` appends a PAGE frame,
+  ``read_page`` serves the newest logged image (uncommitted first, then
+  committed, then the real file).  The table file underneath stays
+  untouched between checkpoints.
+- :class:`TransactionManager` -- begin/commit/abort bookkeeping shared
+  by the hash and btree engines: commit = flush dirty pages into the
+  log, log the meta page, append COMMIT; abort = discard dirty buffers
+  and roll the engine's in-memory state back to the begin() snapshot.
+  Engine-specific state travels through two callables (``snapshot`` /
+  ``restore``), so the manager stays ignorant of headers and masks.
+- :class:`GroupCommitter` -- the commit-queue condition variable:
+  concurrent committers under ``durability='wal+fsync'`` elect one
+  leader to fsync for the whole queue, so N commits cost far fewer than
+  N fsyncs (BENCH_wal.json asserts this).
+- :func:`recover` -- replay-on-open: applies the last committed image
+  of every page to the table file, fsyncs it, then truncates the log.
+  Runs before the table header is even probed, so the engine never sees
+  a pre-crash file.
+
+Checkpointing bounds replay length: when the log passes
+``checkpoint_bytes`` (or on ``sync()``/``close()``), committed images
+are transferred into the table file -- contiguous runs coalesced into
+vectored ``write_pages`` calls, the same batching as
+:meth:`~repro.core.buffer.BufferPool.flush` -- the table file is
+fsynced, and only then is the log truncated.  Crash at any point in
+that sequence leaves either a full log or a fully-transferred file.
+
+See docs/TRANSACTIONS.md for the record format and the replay
+algorithm's torn-tail rules.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import threading
+import zlib
+
+from repro.core.errors import TransactionError, WALCorruptionError
+from repro.storage.iostats import IOStats
+
+__all__ = [
+    "DURABILITY_LEVELS",
+    "DEFAULT_CHECKPOINT_BYTES",
+    "FT_PAGE",
+    "FT_COMMIT",
+    "FT_ROLLBACK",
+    "FT_CHECKPOINT",
+    "FT_PUT",
+    "FT_DELETE",
+    "FRAME_NAMES",
+    "Frame",
+    "TransactionContext",
+    "MemByteStore",
+    "WriteAheadLog",
+    "WALPager",
+    "GroupCommitter",
+    "TransactionManager",
+    "recover",
+    "read_wal_header",
+    "wal_path_for",
+]
+
+#: the ``durability=`` open flag's accepted values
+DURABILITY_LEVELS = ("none", "wal", "wal+fsync")
+
+#: default log size that triggers an automatic checkpoint
+DEFAULT_CHECKPOINT_BYTES = 1 << 20
+
+# -- record format -------------------------------------------------------------
+
+WAL_MAGIC = 0x57414C31  # "WAL1"
+WAL_VERSION = 1
+
+#: file header: magic, version, pagesize, reserved
+_HDR = struct.Struct(">IIII")
+WAL_HDR_SIZE = _HDR.size
+
+#: frame header: crc32, lsn, txid, ftype, pageno, payload length.  The CRC
+#: covers the rest of the header plus the payload.
+_FRAME = struct.Struct(">IQQBII")
+FRAME_HDR_SIZE = _FRAME.size
+
+FT_PAGE = 1  #: payload = one page image
+FT_COMMIT = 2  #: transaction ``txid`` is durable up to this LSN
+FT_ROLLBACK = 3  #: transaction ``txid`` was aborted (advisory: replay
+#: already ignores transactions with no COMMIT)
+FT_CHECKPOINT = 4  #: log was truncated here after a checkpoint
+FT_PUT = 5  #: audit record: key + value length (``wal_audit=True`` only)
+FT_DELETE = 6  #: audit record: key (``wal_audit=True`` only)
+
+FRAME_NAMES = {
+    FT_PAGE: "PAGE",
+    FT_COMMIT: "COMMIT",
+    FT_ROLLBACK: "ROLLBACK",
+    FT_CHECKPOINT: "CHECKPOINT",
+    FT_PUT: "PUT",
+    FT_DELETE: "DELETE",
+}
+
+#: hard sanity bound on a frame's payload length during scans: anything
+#: larger is treated as tail corruption (big-pair audit keys are capped
+#: below this at append time)
+MAX_PAYLOAD = 1 << 24
+
+
+class Frame:
+    """One decoded log record (as yielded by :meth:`WriteAheadLog.scan`)."""
+
+    __slots__ = ("lsn", "txid", "ftype", "pageno", "offset", "length", "payload")
+
+    def __init__(self, lsn, txid, ftype, pageno, offset, length, payload):
+        self.lsn = lsn
+        self.txid = txid
+        self.ftype = ftype
+        self.pageno = pageno
+        #: byte offset of the frame header within the log file
+        self.offset = offset
+        self.length = length
+        self.payload = payload
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        name = FRAME_NAMES.get(self.ftype, f"?{self.ftype}")
+        return (
+            f"<Frame lsn={self.lsn} txid={self.txid} {name} "
+            f"pageno={self.pageno} len={self.length} @{self.offset}>"
+        )
+
+
+def wal_path_for(path) -> str:
+    """The sidecar log path for table file ``path``."""
+    return os.fspath(path) + ".wal"
+
+
+def read_wal_header(store) -> tuple[int, int, int]:
+    """``(magic, version, pagesize)`` from a log's file header.
+
+    Raises :class:`WALCorruptionError` on a file too short to hold one;
+    callers (tools, recovery) validate magic/version themselves so they
+    can phrase the error for their context."""
+    raw = store.read_at_most(0, WAL_HDR_SIZE)
+    if len(raw) < WAL_HDR_SIZE:
+        raise WALCorruptionError(
+            f"{store.path}: {len(raw)} bytes is too short for a WAL header"
+        )
+    magic, version, pagesize, _ = _HDR.unpack(raw)
+    return magic, version, pagesize
+
+
+class TransactionContext:
+    """``with db.transaction():`` -- commit on clean exit, abort on
+    exception.  Returned by every engine's/access method's
+    ``transaction()``; works on anything exposing begin/commit/abort."""
+
+    __slots__ = ("_db",)
+
+    def __init__(self, db) -> None:
+        self._db = db
+
+    def __enter__(self):
+        self._db.begin()
+        return self._db
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is None:
+            self._db.commit()
+        else:
+            self._db.abort()
+        return False
+
+
+class MemByteStore:
+    """RAM-backed stand-in for :class:`~repro.storage.bytefile.ByteFile`.
+
+    In-memory and anonymous-temp tables get full transaction *semantics*
+    (atomic commit/abort) without a durable log; ``sync`` is a no-op and
+    nothing survives the process, exactly like the table itself.
+    """
+
+    def __init__(self) -> None:
+        self.path = None
+        self.readonly = False
+        self.stats = IOStats()
+        self.on_io = None
+        self._buf = bytearray()
+        self._closed = False
+
+    def read_at(self, offset: int, nbytes: int) -> bytes:
+        data = self.read_at_most(offset, nbytes)
+        if len(data) != nbytes:
+            raise EOFError(
+                f"short read at offset {offset}: wanted {nbytes}, got {len(data)}"
+            )
+        return data
+
+    def read_at_most(self, offset: int, nbytes: int) -> bytes:
+        self._check_open()
+        data = bytes(self._buf[offset : offset + nbytes])
+        self.stats.record_read(len(data))
+        return data
+
+    def write_at(self, offset: int, data: bytes) -> None:
+        self._check_open()
+        end = offset + len(data)
+        if end > len(self._buf):
+            self._buf.extend(b"\0" * (end - len(self._buf)))
+        self._buf[offset:end] = data
+        self.stats.record_write(len(data))
+
+    def size(self) -> int:
+        self._check_open()
+        return len(self._buf)
+
+    def truncate_to(self, nbytes: int) -> None:
+        self._check_open()
+        if nbytes < len(self._buf):
+            del self._buf[nbytes:]
+        else:
+            self._buf.extend(b"\0" * (nbytes - len(self._buf)))
+        self.stats.record_syscall()
+
+    def sync(self) -> None:
+        self._check_open()
+        self.stats.record_syscall()
+
+    def close(self) -> None:
+        self._closed = True
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ValueError("I/O operation on closed MemByteStore")
+
+
+class WriteAheadLog:
+    """The checksummed record format over one byte-granular store.
+
+    Not thread-safe on its own: every append happens under the owning
+    table's write lock (the same discipline as the buffer pool), and
+    fsync coordination lives in :class:`GroupCommitter`.
+    """
+
+    def __init__(
+        self, store, pagesize: int, *, fresh: bool, scan_existing: bool = True
+    ) -> None:
+        self.store = store
+        self.pagesize = pagesize
+        #: next frame's log sequence number (monotonic per log generation)
+        self.next_lsn = 1
+        #: append position (== the log's logical size in bytes)
+        self.tail = WAL_HDR_SIZE
+        #: lifetime counters for ``stat()['wal']``
+        self.frames_appended = 0
+        self.resets = 0
+        if fresh or store.size() < WAL_HDR_SIZE:
+            self._write_file_header()
+            if store.size() > WAL_HDR_SIZE:
+                store.truncate_to(WAL_HDR_SIZE)
+        else:
+            magic, version, stored_ps, _ = _HDR.unpack(
+                store.read_at(0, WAL_HDR_SIZE)
+            )
+            if magic != WAL_MAGIC:
+                raise WALCorruptionError(
+                    f"{store.path}: bad WAL magic {magic:#x}"
+                )
+            if version != WAL_VERSION:
+                raise WALCorruptionError(
+                    f"{store.path}: unsupported WAL version {version}"
+                )
+            if stored_ps != pagesize:
+                raise WALCorruptionError(
+                    f"{store.path}: WAL pagesize {stored_ps} does not match "
+                    f"table pagesize {pagesize}"
+                )
+            # Resume appending after the valid prefix (normally the log
+            # was truncated at the last clean checkpoint, so this is a
+            # no-frame scan).  ``scan_existing=False`` skips it for
+            # callers about to run their own full scan (recovery).
+            if scan_existing:
+                last = None
+                for frame in self.scan(verify=True):
+                    last = frame
+                if last is not None:
+                    self.next_lsn = last.lsn + 1
+                    self.tail = last.offset + FRAME_HDR_SIZE + last.length
+
+    def _write_file_header(self) -> None:
+        self.store.write_at(0, _HDR.pack(WAL_MAGIC, WAL_VERSION, self.pagesize, 0))
+
+    # -- appending -------------------------------------------------------------
+
+    def _encode(self, ftype: int, txid: int, pageno: int, payload: bytes):
+        lsn = self.next_lsn
+        self.next_lsn += 1
+        body = struct.pack(">QQBII", lsn, txid, ftype, pageno, len(payload))
+        crc = zlib.crc32(payload, zlib.crc32(body))
+        return lsn, struct.pack(">I", crc) + body + payload
+
+    def append(
+        self, ftype: int, txid: int, pageno: int = 0, payload: bytes = b""
+    ) -> tuple[int, int]:
+        """Append one frame; returns ``(lsn, offset)`` of its header."""
+        lsn, raw = self._encode(ftype, txid, pageno, payload)
+        offset = self.tail
+        self.store.write_at(offset, raw)
+        self.tail = offset + len(raw)
+        self.frames_appended += 1
+        return lsn, offset
+
+    def append_pages(self, txid: int, pages) -> list[tuple[int, int, int]]:
+        """Append a batch of PAGE frames in ONE store write (the vectored
+        twin of ``Pager.write_pages``); ``pages`` is ``[(pageno, image)]``.
+        Returns ``[(pageno, lsn, offset)]``."""
+        out = []
+        chunks = []
+        offset = self.tail
+        for pageno, image in pages:
+            lsn, raw = self._encode(FT_PAGE, txid, pageno, image)
+            out.append((pageno, lsn, offset))
+            chunks.append(raw)
+            offset += len(raw)
+        if chunks:
+            self.store.write_at(self.tail, b"".join(chunks))
+            self.tail = offset
+            self.frames_appended += len(chunks)
+        return out
+
+    def read_payload(self, offset: int, length: int) -> bytes:
+        """Payload bytes of the frame whose header sits at ``offset``.
+
+        No CRC re-check: this serves :class:`WALPager` read redirection
+        for frames this process wrote moments ago; :meth:`scan` is the
+        validating path."""
+        return self.store.read_at(offset + FRAME_HDR_SIZE, length)
+
+    # -- scanning ---------------------------------------------------------------
+
+    def scan(self, *, verify: bool = True):
+        """Yield every valid :class:`Frame` from the start of the log.
+
+        Stops silently at the first sign of a torn tail: a short frame
+        header, a short payload, an unknown frame type, an insane
+        length, or a CRC mismatch.  Everything before that point is
+        exactly the prefix recovery may trust; everything after it is
+        unreachable even if well-formed (a corrupt middle frame orphans
+        its tail -- the documented bit-flip semantics).
+        """
+        store = self.store
+        offset = WAL_HDR_SIZE
+        size = store.size()
+        while offset + FRAME_HDR_SIZE <= size:
+            raw = store.read_at_most(offset, FRAME_HDR_SIZE)
+            if len(raw) < FRAME_HDR_SIZE:
+                return
+            crc, lsn, txid, ftype, pageno, length = _FRAME.unpack(raw)
+            if ftype not in FRAME_NAMES or length > MAX_PAYLOAD:
+                return
+            if offset + FRAME_HDR_SIZE + length > size:
+                return
+            payload = store.read_at_most(offset + FRAME_HDR_SIZE, length)
+            if len(payload) < length:
+                return
+            if verify:
+                expect = zlib.crc32(payload, zlib.crc32(raw[4:]))
+                if crc != expect:
+                    return
+            yield Frame(lsn, txid, ftype, pageno, offset, length, payload)
+            offset += FRAME_HDR_SIZE + length
+
+    # -- maintenance ------------------------------------------------------------
+
+    def size_bytes(self) -> int:
+        return self.tail
+
+    def sync(self) -> None:
+        self.store.sync()
+
+    def reset(self) -> None:
+        """Truncate the log after a checkpoint (caller already made the
+        table file durable).  A CHECKPOINT marker frame restarts the new
+        generation so tools can see the truncation happened on purpose."""
+        self.store.truncate_to(WAL_HDR_SIZE)
+        self.tail = WAL_HDR_SIZE
+        self.resets += 1
+        self.append(FT_CHECKPOINT, 0)
+        self.store.sync()
+
+    def close(self) -> None:
+        self.store.close()
+
+
+class GroupCommitter:
+    """Coalesce concurrent committers into shared fsyncs.
+
+    Committers enqueue under a condition variable; whoever finds no
+    fsync in flight becomes the leader, reads the highest appended LSN,
+    and fsyncs once *outside* the lock -- every follower whose COMMIT
+    frame was already appended is covered by that single syscall and
+    returns without issuing its own.  ``fsyncs < commits`` under
+    concurrency is the whole point (asserted by BENCH_wal.json).
+    """
+
+    def __init__(self, store, last_lsn) -> None:
+        self._store = store
+        #: zero-arg callable returning the highest LSN appended so far
+        self._last_lsn = last_lsn
+        self._cv = threading.Condition()
+        self._synced_lsn = 0
+        self._syncing = False
+        #: committers that asked for durability (``commit_wait`` calls)
+        self.commits = 0
+        #: fsync syscalls actually issued
+        self.fsyncs = 0
+
+    def commit_wait(self, lsn: int) -> None:
+        """Block until everything up to ``lsn`` is fsynced."""
+        with self._cv:
+            self.commits += 1
+            while True:
+                if self._synced_lsn >= lsn:
+                    return
+                if not self._syncing:
+                    self._syncing = True
+                    break
+                self._cv.wait()
+        # Leader: fsync outside the CV so followers can enqueue while the
+        # syscall is in flight (that queue IS the next batch).
+        target = self._last_lsn()
+        try:
+            self._store.sync()
+        finally:
+            with self._cv:
+                self._syncing = False
+                self._cv.notify_all()
+        with self._cv:
+            self.fsyncs += 1
+            if target > self._synced_lsn:
+                self._synced_lsn = target
+
+
+class WALPager:
+    """Pager decorator that redirects writes into the log.
+
+    Sits between the buffer pool and the real file: ``write_page``
+    appends a PAGE frame tagged with the current transaction id;
+    ``read_page`` serves the newest logged image -- this transaction's
+    pending writes first, then committed-but-not-checkpointed images,
+    then the real file.  The table file underneath is written only by
+    checkpoints and recovery.
+
+    Uncommitted pages may reach the log through buffer-pool eviction
+    (the pool may steal dirty pages at any time); that is safe because
+    replay ignores every transaction without a COMMIT frame.
+    """
+
+    def __init__(self, inner, wal: WriteAheadLog) -> None:
+        if inner.pagesize != wal.pagesize:
+            raise ValueError(
+                f"pager pagesize {inner.pagesize} != WAL pagesize {wal.pagesize}"
+            )
+        self.inner = inner
+        self.wal = wal
+        #: pageno -> (offset, length): frames of the CURRENT transaction
+        self.pending: dict[int, tuple[int, int]] = {}
+        #: pageno -> (offset, length): newest committed, pre-checkpoint image
+        self.committed: dict[int, tuple[int, int]] = {}
+        #: transaction id stamped on appended PAGE frames
+        self.txid = 0
+        self._cb = None
+
+    # -- transaction hooks (driven by TransactionManager) ---------------------------
+
+    def begin_txn(self, txid: int) -> None:
+        self.txid = txid
+
+    def commit_txn(self) -> None:
+        self.committed.update(self.pending)
+        self.pending.clear()
+
+    def abort_txn(self) -> None:
+        self.pending.clear()
+
+    # -- Pager protocol ---------------------------------------------------------
+
+    def read_page(self, pageno: int) -> bytes:
+        loc = self.pending.get(pageno)
+        if loc is None:
+            loc = self.committed.get(pageno)
+        if loc is None:
+            return self.inner.read_page(pageno)
+        data = self.wal.read_payload(loc[0], loc[1])
+        cb = self._cb
+        if cb is not None:
+            cb("read", pageno, len(data))
+        if len(data) < self.pagesize:
+            data += b"\0" * (self.pagesize - len(data))
+        return data
+
+    def write_page(self, pageno: int, data: bytes) -> None:
+        if len(data) > self.pagesize:
+            raise ValueError(
+                f"data of {len(data)} bytes exceeds pagesize {self.pagesize}"
+            )
+        if len(data) < self.pagesize:
+            data = bytes(data) + b"\0" * (self.pagesize - len(data))
+        _lsn, offset = self.wal.append(FT_PAGE, self.txid, pageno, data)
+        self.pending[pageno] = (offset, len(data))
+        cb = self._cb
+        if cb is not None:
+            cb("write", pageno, len(data))
+
+    def write_pages(self, start_pageno: int, data: bytes) -> None:
+        ps = self.pagesize
+        if not data or len(data) % ps:
+            raise ValueError(
+                f"vectored write of {len(data)} bytes is not a whole number "
+                f"of {ps}-byte pages"
+            )
+        pages = [
+            (start_pageno + i, bytes(data[i * ps : (i + 1) * ps]))
+            for i in range(len(data) // ps)
+        ]
+        for pageno, _lsn, offset in self.wal.append_pages(self.txid, pages):
+            self.pending[pageno] = (offset, ps)
+        cb = self._cb
+        if cb is not None:
+            for pageno, _image in pages:
+                cb("write", pageno, ps)
+
+    def sync(self) -> None:
+        self.wal.sync()
+
+    def truncate(self, npages: int) -> None:
+        for index in (self.pending, self.committed):
+            for pageno in [p for p in index if p >= npages]:
+                del index[pageno]
+        self.inner.truncate(npages)
+
+    def npages(self) -> int:
+        n = self.inner.npages()
+        for index in (self.pending, self.committed):
+            for pageno in index:
+                if pageno >= n:
+                    n = pageno + 1
+        return n
+
+    def size_bytes(self) -> int:
+        return self.npages() * self.pagesize
+
+    def close(self) -> None:
+        self.inner.close()
+
+    # -- passthroughs -----------------------------------------------------------
+
+    @property
+    def pagesize(self) -> int:
+        return self.inner.pagesize
+
+    @property
+    def readonly(self) -> bool:
+        return self.inner.readonly
+
+    @property
+    def path(self):
+        return self.inner.path
+
+    @property
+    def stats(self):
+        return self.inner.stats
+
+    @property
+    def closed(self) -> bool:
+        return self.inner.closed
+
+    @property
+    def on_page_io(self):
+        return self._cb
+
+    @on_page_io.setter
+    def on_page_io(self, cb) -> None:
+        # WAL-served operations emit from this wrapper; operations that
+        # fall through emit from the inner pager -- exactly one event
+        # per logical page I/O either way.
+        self._cb = cb
+        self.inner.on_page_io = cb
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<WALPager pending={len(self.pending)} "
+            f"committed={len(self.committed)} over {self.inner!r}>"
+        )
+
+
+class TransactionManager:
+    """begin/commit/abort bookkeeping shared by the page-based engines.
+
+    The manager owns the transaction lifecycle; the engine supplies four
+    capabilities and stays otherwise unchanged:
+
+    - ``write_meta()`` -- write the header/meta page(s) (through the
+      :class:`WALPager`, so they land in the log);
+    - ``snapshot()`` / ``restore(state)`` -- copy out / put back the
+      engine's volatile state (hash header, btree root pointers) so
+      abort can rewind memory to the ``begin()`` point;
+    - ``check()`` -- the engine's writability check, run after the
+      write lock is taken.
+
+    Between explicit transactions every write belongs to an *implicit*
+    transaction that commits at the next ``begin()``, ``sync()``,
+    ``checkpoint()`` or ``close()`` -- so non-transactional code keeps
+    its historical semantics, just with crash atomicity added.
+
+    Lock discipline: ``begin()`` acquires the table's write guard and
+    holds it until ``commit()``/``abort()`` (the guard is reentrant, so
+    the transaction's own operations nest freely).  Transactions are
+    therefore thread-affine; with ``concurrent=True`` other threads
+    simply block until commit, and group commit batches their fsyncs.
+    """
+
+    def __init__(
+        self,
+        *,
+        wal: WriteAheadLog,
+        walpager: WALPager,
+        inner,
+        pool,
+        write_meta,
+        snapshot,
+        restore,
+        check,
+        guard,
+        hooks=None,
+        obs=None,
+        fsync: bool = False,
+        checkpoint_bytes: int = DEFAULT_CHECKPOINT_BYTES,
+        audit: bool = False,
+        on_restore=None,
+    ) -> None:
+        self.wal = wal
+        self.walpager = walpager
+        self.inner = inner
+        self.pool = pool
+        self._write_meta = write_meta
+        self._snapshot = snapshot
+        self._restore = restore
+        self._check = check
+        self._guard = guard
+        self.hooks = hooks
+        self.fsync_mode = fsync
+        self.checkpoint_bytes = checkpoint_bytes
+        #: append PUT/DELETE audit frames per operation (costs one log
+        #: write per mutation; off by default)
+        self.audit = audit
+        self._on_restore = on_restore
+        self.group = GroupCommitter(wal.store, lambda: wal.next_lsn - 1)
+        self._next_txid = 1
+        self.explicit_txid: int | None = None
+        self._saved = None
+        self.commits = 0
+        self.aborts = 0
+        self.checkpoints = 0
+        self.checkpoint_pages = 0
+        if obs is not None:
+            obs.gauge("wal_bytes").set_function(lambda: self.wal.tail)
+            obs.gauge("frames").set_function(lambda: self.wal.frames_appended)
+            obs.gauge("commits").set_function(lambda: self.commits)
+            obs.gauge("aborts").set_function(lambda: self.aborts)
+            obs.gauge("fsyncs").set_function(lambda: self.group.fsyncs)
+            obs.gauge("checkpoints").set_function(lambda: self.checkpoints)
+        walpager.begin_txn(self._alloc_txid())
+
+    def _alloc_txid(self) -> int:
+        txid = self._next_txid
+        self._next_txid += 1
+        return txid
+
+    def _emit_wal(self, kind: str, **extra) -> None:
+        hooks = self.hooks
+        if hooks is not None and hooks.on_wal:
+            payload = {"kind": kind, "wal_bytes": self.wal.tail}
+            payload.update(extra)
+            hooks.emit("on_wal", payload)
+
+    @property
+    def in_transaction(self) -> bool:
+        return self.explicit_txid is not None
+
+    # -- the transaction API -----------------------------------------------------
+
+    def begin(self) -> None:
+        """Open an explicit transaction (holds the write lock until
+        commit/abort; nesting raises)."""
+        self._guard.__enter__()
+        try:
+            self._check()
+            if self.explicit_txid is not None:
+                raise TransactionError(
+                    "a transaction is already open; transactions do not nest"
+                )
+            # Seal whatever the implicit transaction accumulated, so an
+            # abort cannot take unrelated earlier writes down with it.
+            self._commit_current()
+            self.explicit_txid = txid = self._alloc_txid()
+            self.walpager.begin_txn(txid)
+            self._saved = self._snapshot()
+            self._emit_wal("begin", txid=txid)
+        except BaseException:
+            self._guard.__exit__(None, None, None)
+            raise
+
+    def commit(self) -> None:
+        """Make the open transaction durable (to the level configured by
+        ``durability=``) and release its lock."""
+        if self.explicit_txid is None:
+            raise TransactionError("commit() without a matching begin()")
+        lsn = self._commit_current()
+        self.explicit_txid = None
+        self._saved = None
+        # Release BEFORE the fsync wait: the next committer can append
+        # its frames while ours are being synced -- that overlap is what
+        # group commit batches.
+        self._guard.__exit__(None, None, None)
+        if self.fsync_mode and lsn is not None:
+            self.group.commit_wait(lsn)
+        self._maybe_checkpoint()
+
+    def abort(self) -> None:
+        """Throw away the open transaction: logged frames are orphaned,
+        dirty buffers dropped, in-memory state rewound to ``begin()``."""
+        if self.explicit_txid is None:
+            raise TransactionError("abort() without a matching begin()")
+        txid = self.explicit_txid
+        pending = set(self.walpager.pending)
+        self.pool.discard(lambda hdr: hdr.dirty or hdr.pageno in pending)
+        self.walpager.abort_txn()
+        self._restore(self._saved)
+        if self._on_restore is not None:
+            self._on_restore()
+        self.explicit_txid = None
+        self._saved = None
+        self.aborts += 1
+        try:
+            self.wal.append(FT_ROLLBACK, txid)
+        except OSError:
+            # Advisory frame only: replay ignores uncommitted
+            # transactions anyway, so a dead log cannot hurt an abort.
+            pass
+        self._emit_wal("abort", txid=txid)
+        self._guard.__exit__(None, None, None)
+
+    def log_op(self, ftype: int, key: bytes, dlen: int = 0) -> None:
+        """Append a PUT/DELETE audit frame (``wal_audit=True`` tables)."""
+        payload = struct.pack(">I", dlen) + key[: MAX_PAYLOAD - 4]
+        self.wal.append(ftype, self.walpager.txid, 0, payload)
+
+    # -- commit machinery ---------------------------------------------------------
+
+    def _commit_current(self) -> int | None:
+        """Flush + COMMIT the current (explicit or implicit) transaction;
+        returns the COMMIT frame's LSN, or None if nothing was written.
+        Caller holds the write guard."""
+        self.pool.flush()
+        walpager = self.walpager
+        if not walpager.pending:
+            return None
+        npages = len(walpager.pending)
+        self._write_meta()
+        txid = walpager.txid
+        lsn, _ = self.wal.append(FT_COMMIT, txid)
+        walpager.commit_txn()
+        self.commits += 1
+        walpager.begin_txn(self._alloc_txid())
+        hooks = self.hooks
+        if hooks is not None and hooks.on_commit:
+            hooks.emit(
+                "on_commit",
+                {
+                    "txid": txid,
+                    "lsn": lsn,
+                    "npages": npages,
+                    "explicit": self.explicit_txid is not None,
+                },
+            )
+        return lsn
+
+    def commit_implicit(self) -> int | None:
+        """Seal the implicit transaction (``sync``/``checkpoint`` path);
+        raises inside an explicit transaction."""
+        if self.explicit_txid is not None:
+            raise TransactionError(
+                "sync()/checkpoint() inside an open transaction; "
+                "commit or abort it first"
+            )
+        return self._commit_current()
+
+    # -- checkpointing -----------------------------------------------------------
+
+    def _maybe_checkpoint(self) -> None:
+        if self.wal.tail < self.checkpoint_bytes:
+            return
+        self._guard.__enter__()
+        try:
+            # Re-check under the lock: another thread may have begun a
+            # transaction (or checkpointed) while we were unlocked.
+            if self.explicit_txid is None and self.wal.tail >= self.checkpoint_bytes:
+                self.checkpoint_locked()
+        finally:
+            self._guard.__exit__(None, None, None)
+
+    def checkpoint_locked(self) -> int:
+        """Transfer committed images into the table file, fsync it, then
+        truncate the log.  Caller holds the write guard and is not
+        inside an explicit transaction.  Returns pages transferred.
+
+        Crash-ordering argument: the table file is fully written AND
+        fsynced before the log is touched, so a crash anywhere in this
+        sequence leaves either the full log (replay redoes the transfer,
+        idempotently) or a table file that already contains everything
+        the log did."""
+        self.commit_implicit()
+        walpager = self.walpager
+        images = walpager.committed
+        moved = 0
+        if images:
+            wal = self.wal
+            inner = self.inner
+            pagenos = sorted(images)
+            i = 0
+            n = len(pagenos)
+            while i < n:
+                # Coalesce contiguous runs into one vectored write, the
+                # same syscall batching as BufferPool.flush.
+                j = i + 1
+                while j < n and pagenos[j] == pagenos[j - 1] + 1:
+                    j += 1
+                run = pagenos[i:j]
+                if len(run) == 1:
+                    off, length = images[run[0]]
+                    inner.write_page(run[0], wal.read_payload(off, length))
+                else:
+                    blob = b"".join(
+                        wal.read_payload(*images[p]) for p in run
+                    )
+                    inner.write_pages(run[0], blob)
+                moved += len(run)
+                i = j
+            inner.sync()
+            images.clear()
+        if self.wal.tail > WAL_HDR_SIZE:
+            self.wal.reset()
+        self.checkpoints += 1
+        self.checkpoint_pages += moved
+        self._emit_wal("checkpoint", pages=moved)
+        return moved
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def abort_for_close(self) -> None:
+        """Roll back an open transaction during ``close()`` (never
+        half-flush it).  Caller already holds the write guard."""
+        if self.explicit_txid is not None:
+            self.abort()
+
+    def close(self) -> None:
+        self.wal.close()
+
+    def metrics(self) -> dict:
+        """The ``stat()['wal']`` section."""
+        return {
+            "durability": "wal+fsync" if self.fsync_mode else "wal",
+            "in_transaction": self.in_transaction,
+            "commits": self.commits,
+            "aborts": self.aborts,
+            "group_commits": self.group.commits,
+            "fsyncs": self.group.fsyncs,
+            "checkpoints": self.checkpoints,
+            "checkpoint_pages": self.checkpoint_pages,
+            "frames": self.wal.frames_appended,
+            "resets": self.wal.resets,
+            "wal_bytes": self.wal.tail,
+            "pending_pages": len(self.walpager.pending),
+            "committed_pages": len(self.walpager.committed),
+            "io": self.wal.store.stats.as_dict(),
+        }
+
+
+# -- recovery ----------------------------------------------------------------------
+
+
+def recover(path, *, file_wrapper=None, wal_wrapper=None) -> dict:
+    """Replay ``<path>.wal`` into ``path`` and truncate the log.
+
+    Safe to call unconditionally: with no log (or an empty one) it is a
+    cheap no-op.  Applies the newest image of every page belonging to a
+    *committed* transaction, in LSN order; transactions without a COMMIT
+    frame -- uncommitted at the crash, or explicitly rolled back -- are
+    ignored, which is what makes aborted writes invisible after reopen.
+    The scan stops at the first torn or corrupt frame (see
+    :meth:`WriteAheadLog.scan`), so a torn tail costs only transactions
+    that were never acknowledged as durable.
+
+    Ordering: images are written to the table file, the table file is
+    fsynced, and only then is the log truncated -- a crash inside
+    recovery itself just means recovery runs again.
+
+    ``file_wrapper`` / ``wal_wrapper`` mirror the open parameters so
+    fault-injection sweeps can crash *inside* recovery too.
+
+    Returns a stats dict (``applied``, ``committed_txns``,
+    ``ignored_txns``, ``frames``, ``reset``).
+    """
+    from repro.storage.bytefile import ByteFile
+    from repro.storage.pager import open_pager
+
+    stats = {
+        "applied": 0,
+        "committed_txns": 0,
+        "ignored_txns": 0,
+        "frames": 0,
+        "reset": False,
+    }
+    wpath = wal_path_for(path)
+    try:
+        size = os.path.getsize(wpath)
+    except OSError:
+        return stats
+    store = ByteFile(wpath, create=False)
+    if wal_wrapper is not None:
+        store = wal_wrapper(store)
+    try:
+        if size < WAL_HDR_SIZE:
+            # Crash while writing the very first header: nothing was
+            # ever logged, so nothing can need replay.
+            store.truncate_to(0)
+            stats["reset"] = True
+            return stats
+        magic, version, pagesize, _ = _HDR.unpack(store.read_at(0, WAL_HDR_SIZE))
+        if magic != WAL_MAGIC or version != WAL_VERSION or pagesize <= 0:
+            raise WALCorruptionError(
+                f"{wpath}: not a version-{WAL_VERSION} WAL file"
+            )
+        wal = WriteAheadLog(store, pagesize, fresh=False, scan_existing=False)
+        pending: dict[int, dict[int, tuple[int, int]]] = {}
+        images: dict[int, tuple[int, int]] = {}
+        seen_txids: set[int] = set()
+        committed_txids: set[int] = set()
+        for frame in wal.scan(verify=True):
+            stats["frames"] += 1
+            if frame.ftype == FT_PAGE:
+                seen_txids.add(frame.txid)
+                pending.setdefault(frame.txid, {})[frame.pageno] = (
+                    frame.offset,
+                    frame.length,
+                )
+            elif frame.ftype == FT_COMMIT:
+                images.update(pending.pop(frame.txid, {}))
+                committed_txids.add(frame.txid)
+            elif frame.ftype == FT_ROLLBACK:
+                pending.pop(frame.txid, None)
+        stats["committed_txns"] = len(committed_txids)
+        stats["ignored_txns"] = len(seen_txids - committed_txids)
+        if images:
+            exists = os.path.exists(path)
+            pager = open_pager(
+                path,
+                pagesize=pagesize,
+                create=not exists,
+                wrapper=file_wrapper,
+            )
+            try:
+                pagenos = sorted(images)
+                i = 0
+                n = len(pagenos)
+                while i < n:
+                    j = i + 1
+                    while j < n and pagenos[j] == pagenos[j - 1] + 1:
+                        j += 1
+                    run = pagenos[i:j]
+                    if len(run) == 1:
+                        off, length = images[run[0]]
+                        pager.write_page(run[0], wal.read_payload(off, length))
+                    else:
+                        blob = b"".join(
+                            wal.read_payload(*images[p]) for p in run
+                        )
+                        pager.write_pages(run[0], blob)
+                    i = j
+                pager.sync()
+            finally:
+                pager.close()
+            stats["applied"] = len(images)
+        # The table file (if any writes existed) is durable; drop the log.
+        store.truncate_to(WAL_HDR_SIZE)
+        store.sync()
+        stats["reset"] = True
+        return stats
+    finally:
+        store.close()

@@ -31,6 +31,13 @@ of the contract documented in docs/OBSERVABILITY.md:
     ``mode`` (injected fault mode), ``op`` ('read' | 'write' | 'sync')
 ``on_big_pair``
     ``kind`` ('store' | 'fetch' | 'free'), ``head``, ``npages``
+``on_wal``
+    ``kind`` ('begin' | 'abort' | 'checkpoint'), ``wal_bytes``, plus
+    ``txid`` (begin/abort) or ``pages`` transferred (checkpoint)
+``on_commit``
+    ``txid``, ``lsn`` of the COMMIT frame, ``npages`` logged by the
+    transaction, ``explicit`` (False for implicit commits at
+    begin/sync/checkpoint boundaries)
 
 A raising subscriber must never abort the database operation that
 emitted the event: ``emit`` isolates each callback, collects the
@@ -62,6 +69,8 @@ class TraceHooks:
         "on_lock",
         "on_fault",
         "on_big_pair",
+        "on_wal",
+        "on_commit",
     )
 
     #: cap on retained subscriber exceptions (oldest dropped first)

@@ -456,6 +456,8 @@ class TraceSupport:
             ("on_split", "split", lambda p: "split"),
             ("on_evict", "buffer", lambda p: "evict"),
             ("on_fault", "fault", lambda p: "fault_injected"),
+            ("on_wal", "wal", lambda p: "wal_" + p["kind"]),
+            ("on_commit", "wal", lambda p: "commit"),
         )
         for event, cat, namer in wiring:
             def relay(payload, _cat=cat, _namer=namer):

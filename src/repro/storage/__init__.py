@@ -30,7 +30,7 @@ from repro.storage.pagedfile import PagedFile
 from repro.storage.memfile import MemPagedFile
 from repro.storage.bytefile import ByteFile
 from repro.storage.pager import BytePagerAdapter, Pager, open_pager
-from repro.storage.faulty import CrashPoint, FaultyPager, InjectedIOError
+from repro.storage.faulty import CrashPoint, FaultClock, FaultyPager, InjectedIOError
 
 __all__ = [
     "IOStats",
@@ -41,6 +41,7 @@ __all__ = [
     "MemPagedFile",
     "ByteFile",
     "BytePagerAdapter",
+    "FaultClock",
     "FaultyPager",
     "CrashPoint",
     "InjectedIOError",

@@ -15,6 +15,10 @@ every I/O operation.  At a chosen operation index it injects one of:
   I/O continues normally (a transient fault, e.g. EIO on a flaky disk).
 - ``'short_read'`` -- a read returns only half its bytes once (then
   normal).  Page reads violate the exactly-one-page contract on purpose.
+- ``'bitflip'``  -- the op happens, but with ONE BIT flipped in its data
+  (silent media corruption: the write lands whole and wrong, or the read
+  returns a corrupted copy).  Nothing raises -- only a checksum can tell.
+  The WAL's per-frame CRC exists exactly for this (docs/TRANSACTIONS.md).
 
 The decorator exposes whichever interface its inner object has, so the
 whole stack -- hash table, btree, recno, and the dbm/sdbm/gdbm baselines
@@ -26,13 +30,56 @@ Use :attr:`ops` after an un-faulted run to learn a workload's operation
 count, then sweep ``fail_after`` over ``range(ops)`` -- the recovery test
 in ``tests/test_crash_recovery.py`` does exactly that for every on-disk
 format.
+
+With a write-ahead log there are TWO files under test, and "crash at
+op N" must mean the N-th I/O *anywhere*, not per-file.  A shared
+:class:`FaultClock` gives several wrappers one op numbering::
+
+    clock = FaultClock()
+    table = HashTable.create(
+        path,
+        durability="wal",
+        file_wrapper=lambda f: FaultyPager(f, fail_after=n, clock=clock),
+        wal_wrapper=lambda f: FaultyPager(f, fail_after=n, clock=clock),
+    )
+
+and once one wrapper crashes, every wrapper on the clock refuses
+further I/O -- the whole "process" is dead, not one file descriptor.
 """
 
 from __future__ import annotations
 
-__all__ = ["CrashPoint", "InjectedIOError", "FaultyPager", "FAULT_MODES"]
+__all__ = ["CrashPoint", "InjectedIOError", "FaultClock", "FaultyPager", "FAULT_MODES"]
 
-FAULT_MODES = ("crash", "torn", "oserror", "short_read")
+FAULT_MODES = ("crash", "torn", "oserror", "short_read", "bitflip")
+
+
+def _flip_one_bit(data) -> bytes:
+    """One-bit corruption in the middle of ``data`` (silent, CRC-visible)."""
+    if not data:
+        return bytes(data)
+    buf = bytearray(data)
+    buf[len(buf) // 2] ^= 0x01
+    return bytes(buf)
+
+
+class FaultClock:
+    """A single op counter shared by several :class:`FaultyPager` wrappers.
+
+    All wrappers ticking one clock share its numbering, so a sweep over
+    ``fail_after`` hits every I/O across every wrapped file exactly once;
+    a crash on any wrapper kills them all (one process, one death).
+    """
+
+    __slots__ = ("ops", "crashed", "fired")
+
+    def __init__(self) -> None:
+        #: I/O operations issued through every wrapper on this clock
+        self.ops = 0
+        #: True once a crash fault fired (all further ops refuse)
+        self.crashed = False
+        #: True once any one-shot fault fired
+        self.fired = False
 
 
 class CrashPoint(OSError):
@@ -56,10 +103,20 @@ class FaultyPager:
         0-based operation index at which the fault fires; ``None`` counts
         ops without ever faulting (the calibration run).
     mode:
-        One of ``'crash'``, ``'torn'``, ``'oserror'``, ``'short_read'``.
+        One of ``'crash'``, ``'torn'``, ``'oserror'``, ``'short_read'``,
+        ``'bitflip'``.
+    clock:
+        Optional shared :class:`FaultClock`; wrappers on one clock share
+        op numbering and die together.  Default: a private clock.
     """
 
-    def __init__(self, inner, fail_after: int | None = None, mode: str = "crash") -> None:
+    def __init__(
+        self,
+        inner,
+        fail_after: int | None = None,
+        mode: str = "crash",
+        clock: FaultClock | None = None,
+    ) -> None:
         if mode not in FAULT_MODES:
             raise ValueError(f"mode must be one of {FAULT_MODES}, got {mode!r}")
         if fail_after is not None and fail_after < 0:
@@ -67,34 +124,41 @@ class FaultyPager:
         self.inner = inner
         self.fail_after = fail_after
         self.mode = mode
-        #: I/O operations issued through this wrapper so far
-        self.ops = 0
-        #: True once the crash fault fired (all further ops refuse)
-        self.crashed = False
-        self._fired = False
+        self.clock = clock if clock is not None else FaultClock()
         #: optional ``fn(payload)`` called the instant the fault fires,
         #: before the failure is raised -- the tracer's ``on_fault`` feed
         #: (so the flight recorder logs the injection ahead of the crash)
         self.on_fault = None
 
+    @property
+    def ops(self) -> int:
+        """I/O operations issued through this wrapper's clock so far."""
+        return self.clock.ops
+
+    @property
+    def crashed(self) -> bool:
+        """True once the crash fault fired (all further ops refuse)."""
+        return self.clock.crashed
+
     # -- the fault engine ------------------------------------------------------
 
     def _tick(self) -> bool:
         """Count one op; returns True when the fault fires on THIS op."""
-        if self.crashed:
-            raise CrashPoint(f"I/O after injected crash (op {self.ops})")
-        op = self.ops
-        self.ops += 1
-        if self._fired or self.fail_after is None or op != self.fail_after:
+        clock = self.clock
+        if clock.crashed:
+            raise CrashPoint(f"I/O after injected crash (op {clock.ops})")
+        op = clock.ops
+        clock.ops += 1
+        if clock.fired or self.fail_after is None or op != self.fail_after:
             return False
-        self._fired = True
+        clock.fired = True
         if self.on_fault is not None:
             self.on_fault({"mode": self.mode, "op": op})
         return True
 
     def _fail_read(self):
         if self.mode in ("crash", "torn"):
-            self.crashed = True
+            self.clock.crashed = True
             raise CrashPoint(f"injected crash at op {self.fail_after}")
         if self.mode == "oserror":
             raise InjectedIOError(f"injected I/O error at op {self.fail_after}")
@@ -103,10 +167,10 @@ class FaultyPager:
     def _fail_write(self, do_partial) -> None:
         if self.mode == "torn":
             do_partial()
-            self.crashed = True
+            self.clock.crashed = True
             raise CrashPoint(f"injected torn write at op {self.fail_after}")
         if self.mode == "crash":
-            self.crashed = True
+            self.clock.crashed = True
             raise CrashPoint(f"injected crash at op {self.fail_after}")
         raise InjectedIOError(f"injected I/O error at op {self.fail_after}")
 
@@ -114,6 +178,8 @@ class FaultyPager:
 
     def read_page(self, pageno: int) -> bytes:
         if self._tick():
+            if self.mode == "bitflip":
+                return _flip_one_bit(self.inner.read_page(pageno))
             if self._fail_read() is None and self.mode == "short_read":
                 data = self.inner.read_page(pageno)
                 return data[: len(data) // 2]
@@ -121,6 +187,9 @@ class FaultyPager:
 
     def write_page(self, pageno: int, data: bytes) -> None:
         if self._tick():
+            if self.mode == "bitflip":
+                self.inner.write_page(pageno, _flip_one_bit(data))
+                return  # landed whole -- and wrong
             pagesize = self.inner.pagesize
             if len(data) < pagesize:
                 data = data + b"\0" * (pagesize - len(data))
@@ -132,6 +201,9 @@ class FaultyPager:
 
     def write_pages(self, start_pageno: int, data: bytes) -> None:
         if self._tick():
+            if self.mode == "bitflip":
+                self.inner.write_pages(start_pageno, _flip_one_bit(data))
+                return
             pagesize = self.inner.pagesize
             half = (len(data) // 2 // pagesize) * pagesize or pagesize
             self._fail_write(
@@ -144,6 +216,8 @@ class FaultyPager:
 
     def read_at(self, offset: int, nbytes: int) -> bytes:
         if self._tick():
+            if self.mode == "bitflip":
+                return _flip_one_bit(self.inner.read_at(offset, nbytes))
             if self._fail_read() is None and self.mode == "short_read":
                 data = self.inner.read_at_most(offset, nbytes)
                 return data[: len(data) // 2]
@@ -151,6 +225,8 @@ class FaultyPager:
 
     def read_at_most(self, offset: int, nbytes: int) -> bytes:
         if self._tick():
+            if self.mode == "bitflip":
+                return _flip_one_bit(self.inner.read_at_most(offset, nbytes))
             if self._fail_read() is None and self.mode == "short_read":
                 data = self.inner.read_at_most(offset, nbytes)
                 return data[: len(data) // 2]
@@ -158,6 +234,9 @@ class FaultyPager:
 
     def write_at(self, offset: int, data: bytes) -> None:
         if self._tick():
+            if self.mode == "bitflip":
+                self.inner.write_at(offset, _flip_one_bit(data))
+                return
             self._fail_write(
                 lambda: self.inner.write_at(offset, data[: max(1, len(data) // 2)])
             )
@@ -167,19 +246,19 @@ class FaultyPager:
     # -- maintenance operations ----------------------------------------------------
 
     def sync(self) -> None:
-        if self._tick():
+        if self._tick() and self.mode != "bitflip":
             self._fail_write(lambda: None)  # a torn sync syncs nothing
             return
         self.inner.sync()
 
     def truncate(self, npages: int) -> None:
-        if self._tick():
+        if self._tick() and self.mode != "bitflip":
             self._fail_write(lambda: None)
             return
         self.inner.truncate(npages)
 
     def truncate_to(self, nbytes: int) -> None:
-        if self._tick():
+        if self._tick() and self.mode != "bitflip":
             self._fail_write(lambda: None)
             return
         self.inner.truncate_to(nbytes)

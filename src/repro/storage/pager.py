@@ -18,7 +18,11 @@ Implementations:
 - :class:`BytePagerAdapter` (here) -- page-granular view of a
   byte-granular :class:`~repro.storage.bytefile.ByteFile`;
 - :class:`~repro.storage.faulty.FaultyPager` -- wraps another pager with
-  injected crash points for recovery testing.
+  injected crash points for recovery testing;
+- :class:`~repro.core.wal.WALPager` -- interposes a write-ahead log:
+  write-back lands in the log, reads are redirected to the newest logged
+  image, and the underlying file is written only by checkpoints and
+  recovery (``durability=``, see docs/TRANSACTIONS.md).
 
 ``write_pages`` is the vectored write the batched buffer-pool flush rides
 on: one syscall covers a whole run of contiguous dirty pages, and the

@@ -1,5 +1,5 @@
 """CLI entry point: ``python -m repro.tools
-{dump,load,stat,check,prof,trace,top} ...``"""
+{dump,load,stat,check,wal,prof,trace,top} ...``"""
 
 from __future__ import annotations
 
@@ -130,9 +130,11 @@ def main(argv: list[str] | None = None) -> int:
 
     from repro.tools.prof import add_prof_parser
     from repro.tools.trace import add_trace_parsers
+    from repro.tools.waldump import add_wal_parser
 
     add_prof_parser(sub)
     add_trace_parsers(sub)
+    add_wal_parser(sub)
 
     args = parser.parse_args(argv)
     return args.fn(args)

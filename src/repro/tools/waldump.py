@@ -1,0 +1,154 @@
+"""Inspect write-ahead logs: ``python -m repro.tools wal <file> [--verify]``.
+
+Scans a ``.wal`` sidecar (or the table file next to it) with the same
+torn-tail-tolerant, CRC-checking walk recovery uses, and prints one line
+per valid frame plus a summary.  ``--verify`` suppresses the per-frame
+listing and sets the exit status: 0 when every byte of the log is a valid
+frame, 1 when a torn or corrupt tail was found (recovery would silently
+ignore it -- this command is how you *see* that).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+from repro.core.errors import WALCorruptionError
+from repro.core.wal import (
+    FRAME_HDR_SIZE,
+    FRAME_NAMES,
+    FT_CHECKPOINT,
+    FT_COMMIT,
+    FT_PAGE,
+    FT_ROLLBACK,
+    WAL_HDR_SIZE,
+    WAL_MAGIC,
+    WAL_VERSION,
+    WriteAheadLog,
+    read_wal_header,
+    wal_path_for,
+)
+from repro.storage.bytefile import ByteFile
+
+__all__ = ["scan_wal", "format_wal_report", "add_wal_parser"]
+
+
+def _resolve_wal_path(path: str) -> str:
+    """Accept either the table file or its ``.wal`` sidecar."""
+    path = os.fspath(path)
+    if path.endswith(".wal") and os.path.exists(path):
+        return path
+    return wal_path_for(path)
+
+
+def scan_wal(path: str) -> dict:
+    """Scan a log and return its structure as one report dict.
+
+    Keys: ``path``, ``pagesize``, ``frames`` (list of
+    ``(lsn, txid, type-name, pageno, length, offset)``), ``counts`` per
+    frame type, ``committed`` / ``uncommitted`` txid lists, ``valid_bytes``
+    (end of the trusted prefix), ``size`` (actual file size) and ``clean``
+    (True when the whole file is valid frames).
+    """
+    wpath = _resolve_wal_path(path)
+    store = ByteFile(wpath, readonly=True)
+    try:
+        magic, version, pagesize = read_wal_header(store)
+        if magic != WAL_MAGIC:
+            raise WALCorruptionError(f"{wpath}: bad WAL magic {magic:#x}")
+        if version != WAL_VERSION:
+            raise WALCorruptionError(f"{wpath}: unsupported WAL version {version}")
+        wal = WriteAheadLog(store, pagesize, fresh=False, scan_existing=False)
+        frames = []
+        counts: dict = {}
+        pending: dict = {}
+        committed: list = []
+        valid_end = WAL_HDR_SIZE
+        for f in wal.scan(verify=True):
+            name = FRAME_NAMES[f.ftype]
+            frames.append((f.lsn, f.txid, name, f.pageno, f.length, f.offset))
+            counts[name] = counts.get(name, 0) + 1
+            valid_end = f.offset + FRAME_HDR_SIZE + f.length
+            if f.ftype == FT_PAGE:
+                pending.setdefault(f.txid, set()).add(f.pageno)
+            elif f.ftype in (FT_COMMIT, FT_ROLLBACK):
+                pending.pop(f.txid, None)
+                if f.ftype == FT_COMMIT:
+                    committed.append(f.txid)
+            elif f.ftype == FT_CHECKPOINT:
+                pending.clear()
+                committed.clear()
+        size = store.size()
+        return {
+            "path": wpath,
+            "pagesize": pagesize,
+            "frames": frames,
+            "counts": counts,
+            "committed": committed,
+            "uncommitted": sorted(pending),
+            "valid_bytes": valid_end,
+            "size": size,
+            "clean": valid_end == size,
+        }
+    finally:
+        store.close()
+
+
+def format_wal_report(report: dict, *, frames: bool = True) -> str:
+    """Render a :func:`scan_wal` report for the terminal."""
+    lines = [f"{report['path']}: pagesize {report['pagesize']}"]
+    if frames:
+        for lsn, txid, name, pageno, length, offset in report["frames"]:
+            detail = f" page {pageno}" if name == "PAGE" else ""
+            lines.append(
+                f"  lsn {lsn:6d}  txid {txid:4d}  {name:<10s}{detail}"
+                f"  ({length} bytes @ {offset})"
+            )
+    counts = ", ".join(f"{n} {c}" for n, c in sorted(report["counts"].items()))
+    lines.append(f"frames: {len(report['frames'])} ({counts or 'none'})")
+    if report["committed"]:
+        lines.append(
+            f"committed since checkpoint: txids {report['committed']}"
+        )
+    if report["uncommitted"]:
+        lines.append(
+            f"uncommitted (replay ignores): txids {report['uncommitted']}"
+        )
+    if report["clean"]:
+        lines.append(f"log is clean: {report['valid_bytes']} bytes, all valid")
+    else:
+        trailing = report["size"] - report["valid_bytes"]
+        lines.append(
+            f"TORN/CORRUPT TAIL at offset {report['valid_bytes']}: "
+            f"{trailing} trailing byte(s) fail validation (recovery "
+            f"stops at the last valid frame)"
+        )
+    return "\n".join(lines)
+
+
+def _cmd_wal(args) -> int:
+    try:
+        report = scan_wal(args.file)
+    except FileNotFoundError:
+        print(f"no write-ahead log at {_resolve_wal_path(args.file)}", file=sys.stderr)
+        return 1
+    except WALCorruptionError as exc:
+        print(f"not a WAL: {exc}", file=sys.stderr)
+        return 1
+    print(format_wal_report(report, frames=not args.verify))
+    if args.verify:
+        return 0 if report["clean"] else 1
+    return 0
+
+
+def add_wal_parser(sub) -> None:
+    p = sub.add_parser(
+        "wal", help="dump or verify a table's write-ahead log"
+    )
+    p.add_argument("file", help="table file or its .wal sidecar")
+    p.add_argument(
+        "--verify",
+        action="store_true",
+        help="summary only; exit 1 if the log has a torn or corrupt tail",
+    )
+    p.set_defaults(fn=_cmd_wal)

@@ -36,7 +36,7 @@ class TestBasics:
 
     def test_nooverwrite(self, tree):
         tree.put(b"k", b"v")
-        assert tree.put(b"k", b"other", R_NOOVERWRITE) == 1
+        assert tree.put(b"k", b"other", replace=False) == 1
         assert tree.get(b"k") == b"v"
 
     def test_delete(self, tree):

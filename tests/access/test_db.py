@@ -54,7 +54,7 @@ class TestUniformApplicationCode:
             assert db.put(k, f"value-{i}".encode()) == 0
         for i, k in enumerate(keys):
             assert db.get(k) == f"value-{i}".encode()
-        assert db.put(keys[0], b"x", R_NOOVERWRITE) == 1
+        assert db.put(keys[0], b"x", replace=False) == 1
         assert db.delete(keys[-1]) == 0
         assert db.get(keys[-1]) is None
         scanned = list(db.items())

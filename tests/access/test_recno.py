@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.access.api import R_FIRST, R_LAST, R_NEXT, R_NOOVERWRITE, R_PREV
+from repro.access.api import R_FIRST, R_LAST, R_NEXT, R_PREV
 from repro.access.recno import Recno
 from repro.access.recno.recno import decode_recno, encode_recno
 from repro.core.errors import InvalidParameterError
@@ -137,7 +137,7 @@ class TestUniformInterface:
     def test_get_put_delete_via_bytes_keys(self, rec):
         assert rec.put(encode_recno(1), b"one") == 0
         assert rec.get(encode_recno(1)) == b"one"
-        assert rec.put(encode_recno(1), b"other", R_NOOVERWRITE) == 1
+        assert rec.put(encode_recno(1), b"other", replace=False) == 1
         assert rec.delete(encode_recno(1)) == 0
         assert rec.delete(encode_recno(1)) == 1
 

@@ -1,0 +1,175 @@
+"""Unit tests for the write-ahead log layer: record format, scanning,
+torn-tail semantics, reset, and the log-level corruption checks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import WALCorruptionError
+from repro.core.wal import (
+    FRAME_HDR_SIZE,
+    FT_CHECKPOINT,
+    FT_COMMIT,
+    FT_PAGE,
+    WAL_HDR_SIZE,
+    MemByteStore,
+    WriteAheadLog,
+    read_wal_header,
+    wal_path_for,
+)
+from repro.storage.bytefile import ByteFile
+
+PAGESIZE = 256
+
+
+@pytest.fixture
+def wal(tmp_path):
+    store = ByteFile(tmp_path / "t.db.wal", create=True)
+    w = WriteAheadLog(store, PAGESIZE, fresh=True)
+    yield w
+    if not store.closed:
+        store.close()
+
+
+class TestRecordFormat:
+    def test_append_scan_roundtrip(self, wal):
+        img_a = bytes(range(256))
+        img_b = bytes(reversed(range(256)))
+        wal.append(FT_PAGE, 1, 7, img_a)
+        wal.append(FT_PAGE, 1, 9, img_b)
+        wal.append(FT_COMMIT, 1)
+        frames = list(wal.scan())
+        assert [f.ftype for f in frames] == [FT_PAGE, FT_PAGE, FT_COMMIT]
+        assert [f.lsn for f in frames] == [1, 2, 3]
+        assert frames[0].pageno == 7 and frames[0].payload == img_a
+        assert frames[1].pageno == 9 and frames[1].payload == img_b
+        assert all(f.txid == 1 for f in frames)
+
+    def test_append_returns_offset_readable_via_read_payload(self, wal):
+        _lsn, offset = wal.append(FT_PAGE, 1, 3, b"\xaa" * PAGESIZE)
+        assert wal.read_payload(offset, PAGESIZE) == b"\xaa" * PAGESIZE
+
+    def test_append_pages_batches_one_write(self, wal):
+        writes_before = wal.store.stats.page_writes
+        out = wal.append_pages(2, [(0, b"\x01" * PAGESIZE), (1, b"\x02" * PAGESIZE)])
+        assert wal.store.stats.page_writes == writes_before + 1
+        assert [(pageno) for pageno, _l, _o in out] == [0, 1]
+        for pageno, _lsn, offset in out:
+            assert wal.read_payload(offset, PAGESIZE) == bytes([pageno + 1]) * PAGESIZE
+
+    def test_reopen_resumes_lsn_and_tail(self, tmp_path):
+        path = tmp_path / "t.db.wal"
+        store = ByteFile(path, create=True)
+        w = WriteAheadLog(store, PAGESIZE, fresh=True)
+        w.append(FT_PAGE, 1, 0, b"x" * PAGESIZE)
+        w.append(FT_COMMIT, 1)
+        tail, next_lsn = w.tail, w.next_lsn
+        store.close()
+        w2 = WriteAheadLog(ByteFile(path), PAGESIZE, fresh=False)
+        assert w2.tail == tail
+        assert w2.next_lsn == next_lsn
+        w2.close()
+
+
+class TestTornTail:
+    def put_three(self, wal):
+        wal.append(FT_PAGE, 1, 0, b"a" * PAGESIZE)
+        wal.append(FT_COMMIT, 1)
+        wal.append(FT_PAGE, 2, 1, b"b" * PAGESIZE)
+
+    def test_scan_stops_at_short_tail(self, wal):
+        self.put_three(wal)
+        # tear the last frame: drop its final byte
+        wal.store.truncate_to(wal.tail - 1)
+        assert [f.ftype for f in wal.scan()] == [FT_PAGE, FT_COMMIT]
+
+    def test_scan_stops_at_crc_mismatch(self, wal):
+        self.put_three(wal)
+        frames = list(wal.scan())
+        # flip one payload bit in the FIRST frame: it and everything
+        # after it become unreachable (orphaned tail)
+        byte_at = frames[0].offset + FRAME_HDR_SIZE + 10
+        original = wal.store.read_at(byte_at, 1)
+        wal.store.write_at(byte_at, bytes([original[0] ^ 0x01]))
+        assert list(wal.scan()) == []
+
+    def test_trailing_garbage_ignored(self, wal):
+        self.put_three(wal)
+        wal.store.write_at(wal.tail, b"garbage-not-a-frame-header-at-all")
+        assert len(list(wal.scan())) == 3
+
+    def test_unknown_frame_type_stops_scan(self, wal):
+        wal.append(FT_COMMIT, 1)
+        # forge a frame header with ftype 99 (crc won't even be checked)
+        import struct
+
+        body = struct.pack(">QQBII", 5, 1, 99, 0, 0)
+        wal.store.write_at(wal.tail, struct.pack(">I", 0) + body)
+        assert len(list(wal.scan())) == 1
+
+
+class TestReset:
+    def test_reset_truncates_and_marks(self, wal):
+        wal.append(FT_PAGE, 1, 0, b"x" * PAGESIZE)
+        wal.append(FT_COMMIT, 1)
+        wal.reset()
+        frames = list(wal.scan())
+        assert [f.ftype for f in frames] == [FT_CHECKPOINT]
+        assert wal.resets == 1
+        assert wal.tail == WAL_HDR_SIZE + FRAME_HDR_SIZE
+        # LSNs keep climbing across generations
+        assert frames[0].lsn == 3
+
+
+class TestHeaderValidation:
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "x.wal"
+        path.write_bytes(b"\x00" * 64)
+        with pytest.raises(WALCorruptionError, match="magic"):
+            WriteAheadLog(ByteFile(path), PAGESIZE, fresh=False)
+
+    def test_pagesize_mismatch(self, tmp_path):
+        path = tmp_path / "t.db.wal"
+        store = ByteFile(path, create=True)
+        WriteAheadLog(store, PAGESIZE, fresh=True)
+        store.close()
+        with pytest.raises(WALCorruptionError, match="pagesize"):
+            WriteAheadLog(ByteFile(path), PAGESIZE * 2, fresh=False)
+
+    def test_short_header(self, tmp_path):
+        path = tmp_path / "x.wal"
+        path.write_bytes(b"\x01\x02")
+        with pytest.raises(WALCorruptionError, match="short"):
+            read_wal_header(ByteFile(path))
+
+    def test_read_wal_header_roundtrip(self, wal):
+        from repro.core.wal import WAL_MAGIC, WAL_VERSION
+
+        magic, version, ps = read_wal_header(wal.store)
+        assert (magic, version, ps) == (WAL_MAGIC, WAL_VERSION, PAGESIZE)
+
+
+class TestMemByteStore:
+    def test_read_write_truncate(self):
+        s = MemByteStore()
+        s.write_at(0, b"hello")
+        assert s.read_at(0, 5) == b"hello"
+        assert s.read_at_most(3, 100) == b"lo"
+        with pytest.raises(EOFError):
+            s.read_at(3, 100)
+        s.truncate_to(2)
+        assert s.size() == 2
+        s.truncate_to(4)
+        assert s.read_at(0, 4) == b"he\x00\x00"
+        s.sync()
+
+    def test_closed_refuses(self):
+        s = MemByteStore()
+        s.close()
+        assert s.closed
+        with pytest.raises(ValueError):
+            s.read_at_most(0, 1)
+
+
+def test_wal_path_for(tmp_path):
+    assert wal_path_for(tmp_path / "a.db") == str(tmp_path / "a.db") + ".wal"

@@ -1,0 +1,328 @@
+"""WAL crash-recovery sweep: kill the process at every I/O operation.
+
+The moral contract of ``durability='wal'`` is sharper than the plain
+crash sweep's (``test_crash_recovery.py``): it is not enough that the
+file reopens consistently --
+
+- every transaction whose ``commit()`` RETURNED before the crash must be
+  fully visible after reopen (zero lost committed writes);
+- every transaction that was aborted, or still open at the crash, must be
+  fully invisible (zero visible aborted writes);
+- a transaction whose commit was in flight may land either way, but only
+  atomically.
+
+A shared :class:`FaultClock` numbers I/O across BOTH files (table +
+``.wal``), so sweeping ``fail_after`` over the calibrated op count hits
+every write to either one, including the ones inside checkpoints.  The
+sweep reopens with no fault wrapper (recovery runs normally) and checks
+the contract key by key.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import struct
+
+import pytest
+
+from repro.access.btree.btree import BTree
+from repro.core.errors import HashError
+from repro.core.table import HashTable
+from repro.core.wal import FRAME_HDR_SIZE, WAL_HDR_SIZE, wal_path_for
+from repro.storage.faulty import FaultClock, FaultyPager
+
+#: reopening a post-crash file may fail, but only like this (typed,
+#: detected) -- never by silently serving wrong bytes
+CLEAN_ERRORS = (HashError, OSError, EOFError, ValueError, struct.error)
+
+C1 = [(f"c1-{i:02d}".encode(), f"first-{i:02d}-".encode() + b"x" * 40) for i in range(10)]
+AB = [(f"ab-{i:02d}".encode(), b"never-visible") for i in range(6)]
+C2 = [(f"c2-{i:02d}".encode(), f"second-{i:02d}".encode()) for i in range(10)]
+C3 = [(f"c3-{i:02d}".encode(), b"third" * 10) for i in range(6)]
+DELETED = [k for k, _ in C1[:3]]
+VALUES = dict(C1 + C2 + C3)
+
+
+def _force_close(t) -> None:
+    """Close a (possibly crashed) table without leaking descriptors: a
+    post-crash ``close()`` raises at its checkpoint, so fall back to
+    closing the raw files (``FaultyPager.close`` never faults)."""
+    try:
+        t.close()
+    except Exception:
+        for obj in (getattr(t, "_file", None), getattr(t, "_wal", None)):
+            try:
+                if obj is not None:
+                    obj.close()
+            except Exception:
+                pass
+
+
+def run_hash_workload(path, fail_after=None, mode="crash", progress=None):
+    """The swept workload.  ``progress`` (caller-owned) records which
+    stages completed before any injected crash; returns the op count."""
+    if progress is None:
+        progress = []
+    clock = FaultClock()
+
+    def wrap(f, _c=clock):
+        return FaultyPager(f, fail_after=fail_after, mode=mode, clock=_c)
+
+    t = HashTable.create(
+        path, bsize=512, durability="wal",
+        file_wrapper=wrap, wal_wrapper=wrap,
+    )
+    try:
+        t.begin()
+        for k, v in C1:
+            t.put(k, v)
+        t.commit()
+        progress.append("c1")
+        t.begin()
+        for k, v in AB:
+            t.put(k, v)
+        t.abort()
+        progress.append("ab")
+        t.checkpoint()
+        progress.append("ckpt")
+        t.begin()
+        for k, v in C2:
+            t.put(k, v)
+        for k in DELETED:
+            t.delete(k)
+        t.commit()
+        progress.append("c2")
+        t.begin()
+        for k, v in C3:
+            t.put(k, v)
+        t.commit()
+        progress.append("c3")
+    finally:
+        _force_close(t)
+    progress.append("closed")
+    return clock.ops
+
+
+def check_contract(path, progress):
+    """Assert the durability contract against the reopened table."""
+    try:
+        t = HashTable.open_file(path)
+    except CLEAN_ERRORS:
+        # a typed refusal is acceptable only if nothing was ever
+        # acknowledged committed (a crash during create/first commit)
+        assert "c1" not in progress, (
+            f"table refused to open after acknowledged commits {progress}"
+        )
+        return
+    try:
+        # committed batches whose commit() returned: fully visible
+        if "c1" in progress:
+            for k, v in C1:
+                if k in DELETED and "c2" in progress:
+                    assert t.get(k) is None, f"{k!r} deleted by committed c2"
+                elif k in DELETED:
+                    # c2 in flight: its delete landed atomically or not at all
+                    assert t.get(k) in (None, v), (k, t.get(k))
+                else:
+                    got = t.get(k)
+                    assert got == v, f"lost committed write {k!r}: {got!r}"
+        if "c2" in progress:
+            for k, v in C2:
+                assert t.get(k) == v, f"lost committed write {k!r}"
+        if "c3" in progress:
+            for k, v in C3:
+                assert t.get(k) == v, f"lost committed write {k!r}"
+        # aborted writes: never visible, no matter where the crash hit
+        for k, _v in AB:
+            assert t.get(k) is None, f"aborted write {k!r} is visible"
+        # in-flight batches (commit never returned): atomic -- all or none
+        for batch, stage in ((C1, "c1"), (C2, "c2"), (C3, "c3")):
+            if stage in progress:
+                continue
+            present = [k for k, _ in batch if t.get(k) is not None]
+            assert len(present) in (0, len(batch)), (
+                f"torn transaction {stage}: only {present} visible"
+            )
+            for k in present:
+                assert t.get(k) == VALUES[k]
+    finally:
+        t.close()
+
+
+def test_calibration_completes(tmp_path):
+    progress: list[str] = []
+    ops = run_hash_workload(tmp_path / "t.db", progress=progress)
+    assert progress[-1] == "closed"
+    assert ops > 30  # the sweep below has real coverage
+    check_contract(tmp_path / "t.db", progress)
+
+
+@pytest.mark.parametrize("mode", ["crash", "torn"])
+def test_crash_sweep_loses_nothing_committed(tmp_path, mode):
+    total_ops = run_hash_workload(tmp_path / "calib.db")
+    swept = 0
+    for n in range(total_ops):
+        path = tmp_path / f"s{n}.db"
+        progress: list[str] = []
+        try:
+            run_hash_workload(path, fail_after=n, mode=mode, progress=progress)
+        except CLEAN_ERRORS:
+            pass  # the injected kill (or its typed aftermath)
+        check_contract(path, progress)
+        os.unlink(path)
+        wal = wal_path_for(path)
+        if os.path.exists(wal):
+            os.unlink(wal)
+        swept += 1
+    assert swept == total_ops
+
+
+# -- targeted log-corruption cases ---------------------------------------------
+
+
+def _committed_state(tmp_path, name):
+    """A table with committed-but-uncheckpointed transactions, 'killed'
+    without close; returns (path, walpath)."""
+    path = tmp_path / name
+    t = HashTable.create(path, bsize=512, durability="wal")
+    t.begin()
+    for k, v in C1:
+        t.put(k, v)
+    t.commit()
+    t.begin()
+    for k, v in C2:
+        t.put(k, v)
+    t.commit()
+    del t  # kill -9
+    return path, wal_path_for(path)
+
+
+def test_torn_tail_replays_valid_prefix(tmp_path):
+    path, wal = _committed_state(tmp_path, "torn.db")
+    with open(wal, "ab") as fh:
+        fh.write(b"\x13\x37" * 9)  # torn garbage past the last frame
+    with HashTable.open_file(path) as t:
+        for k, v in C1 + C2:
+            assert t.get(k) == v
+    # the clean close checkpointed: the garbage is gone with the log
+    assert os.path.getsize(wal) <= WAL_HDR_SIZE + FRAME_HDR_SIZE
+
+
+def test_bitflip_sweep_never_invents_data(tmp_path):
+    """Flip one bit at (a sample of) every byte of the log, then recover.
+
+    The per-frame CRC turns silent media corruption into a torn tail:
+    replay keeps a prefix of the committed transactions and drops the
+    rest.  It must never surface a wrong value, a torn transaction, or
+    an aborted write -- and C2 visible implies C1 visible (replay is
+    in log order).
+    """
+    path, wal = _committed_state(tmp_path, "pristine.db")
+    size = os.path.getsize(wal)
+    stride = max(1, size // 200)
+    flipped = 0
+    for off in range(0, size, stride):
+        p = tmp_path / f"f{off}.db"
+        shutil.copy(path, p)
+        shutil.copy(wal, wal_path_for(p))
+        with open(wal_path_for(p), "r+b") as fh:
+            fh.seek(off)
+            b = fh.read(1)
+            fh.seek(off)
+            fh.write(bytes([b[0] ^ 0x10]))
+        flipped += 1
+        try:
+            t = HashTable.open_file(p)
+        except CLEAN_ERRORS:
+            continue  # e.g. a flipped WAL header: typed refusal is fine
+        try:
+            got1 = [t.get(k) for k, _ in C1]
+            got2 = [t.get(k) for k, _ in C2]
+            for (k, v), got in zip(C1 + C2, got1 + got2):
+                assert got in (None, v), f"flip@{off}: garbage under {k!r}: {got!r}"
+            for k, _v in AB:
+                assert t.get(k) is None
+            n1 = sum(g is not None for g in got1)
+            n2 = sum(g is not None for g in got2)
+            assert n1 in (0, len(C1)) and n2 in (0, len(C2)), (
+                f"flip@{off}: torn transaction ({n1}/{len(C1)}, {n2}/{len(C2)})"
+            )
+            assert not (n2 and not n1), f"flip@{off}: replay skipped txn 1"
+        finally:
+            t.close()
+        os.unlink(p)
+        os.unlink(wal_path_for(p))
+    assert flipped >= 100
+
+
+# -- the btree side ------------------------------------------------------------
+
+
+def run_btree_workload(path, fail_after=None, mode="crash", progress=None):
+    if progress is None:
+        progress = []
+    clock = FaultClock()
+
+    def wrap(f, _c=clock):
+        return FaultyPager(f, fail_after=fail_after, mode=mode, clock=_c)
+
+    t = BTree.create(
+        path, bsize=512, durability="wal",
+        file_wrapper=wrap, wal_wrapper=wrap,
+    )
+    try:
+        t.begin()
+        for k, v in C1:
+            t.put(k, v)
+        t.commit()
+        progress.append("c1")
+        t.begin()
+        for k, v in AB:
+            t.put(k, v)
+        t.abort()
+        progress.append("ab")
+        t.begin()
+        for k, v in C2:
+            t.put(k, v)
+        t.commit()
+        progress.append("c2")
+    finally:
+        _force_close(t)
+    progress.append("closed")
+    return clock.ops
+
+
+def test_btree_crash_sweep(tmp_path):
+    total_ops = run_btree_workload(tmp_path / "calib.db")
+    assert total_ops > 20
+    for n in range(total_ops):
+        path = tmp_path / f"b{n}.db"
+        progress: list[str] = []
+        try:
+            run_btree_workload(path, fail_after=n, progress=progress)
+        except CLEAN_ERRORS:
+            pass
+        try:
+            t = BTree.open_file(path)
+        except CLEAN_ERRORS:
+            assert "c1" not in progress, (
+                f"btree refused to open after acknowledged commits {progress}"
+            )
+            continue
+        try:
+            if "c1" in progress:
+                for k, v in C1:
+                    assert t.get(k) == v, f"lost committed {k!r}"
+            if "c2" in progress:
+                for k, v in C2:
+                    assert t.get(k) == v, f"lost committed {k!r}"
+            for k, _v in AB:
+                assert t.get(k) is None, f"aborted {k!r} visible"
+            t.check_invariants()
+        finally:
+            t.close()
+        os.unlink(path)
+        wal = wal_path_for(path)
+        if os.path.exists(wal):
+            os.unlink(wal)
