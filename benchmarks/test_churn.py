@@ -1,0 +1,232 @@
+"""Churn benchmark: space reclamation under insert/delete cycles.
+
+The 1991 package never shrinks: delete 90% of a table and the file keeps
+every page it grew.  This benchmark drives the same churn through four
+configurations and records file size and lookup page reads as the tracked
+``BENCH_churn.json`` artifact:
+
+- **grown** -- the table right after the insert phase;
+- **no reclamation** -- post-delete with ``min_fill=0`` (paper behaviour);
+- **contraction** -- post-delete with ``min_fill=0.5`` (merges + freelist);
+- **compacted** -- the contracted table after online ``compact()``;
+- **pristine** -- a fresh presized ``bulk_load`` of the survivors, the
+  lower bound the compacted file is gated against.
+
+Gates (CI fails if they regress):
+
+- contraction merges buckets and frees their pages for reuse, and holds
+  the file at a steady size across repeated churn cycles;
+- the compacted file is within 1.25x of pristine;
+- looking up every survivor costs *exactly* the same page reads in the
+  compacted and pristine files;
+- a crash sweep over grow -> contract -> compact -> grow loses zero
+  committed writes (summarised from the same fault-injection contract as
+  ``tests/test_churn_crash.py``).
+
+Scale: 8 000 inserts / 7 200 deletes by default; ``REPRO_FULL=1`` runs the
+issue's full 100 000 / 90 000.
+"""
+
+from __future__ import annotations
+
+import os
+
+from benchmarks.conftest import FULL, emit, emit_json
+from repro.bench.report import pct_change, registry_snapshot
+from repro.core.table import HashTable
+
+N = 100_000 if FULL else 8_000
+DEL = int(N * 0.9)
+BSIZE = 1024
+
+PAIRS = [(f"churn{i:06d}".encode(), f"v{i:06d}".encode() * 4) for i in range(N)]
+SURVIVORS = PAIRS[DEL:]
+
+
+def _snapshot(path: str) -> dict:
+    """File size plus the page reads needed to look up every survivor."""
+    t = HashTable.open_file(path, readonly=True)
+    try:
+        for k, v in SURVIVORS:
+            assert t.get(k) == v
+        reads = t.io_stats.page_reads
+        pages = t._file.npages()
+    finally:
+        t.close()
+    return {
+        "file_pages": pages,
+        "file_bytes": os.path.getsize(path),
+        "lookup_page_reads": reads,
+    }
+
+
+def _churned_table(path: str, min_fill: float) -> dict:
+    """Insert N, sync, delete DEL; returns the grown-state measurements."""
+    t = HashTable.create(path, bsize=BSIZE, min_fill=min_fill)
+    try:
+        t.put_many(PAIRS)
+        t.sync()
+        grown = {
+            "file_pages": t._file.npages(),
+            "file_bytes": t._file.size_bytes(),
+        }
+        for k, _ in PAIRS[:DEL]:
+            t.delete(k)
+        grown["merges"] = t.stats.merges
+        grown["pages_freed"] = t.stats.pages_freed
+        grown["freelist_pages"] = len(t._file.freelist)
+    finally:
+        t.close()
+    return grown
+
+
+def _cycle_sizes(path: str, min_fill: float, cycles: int = 3) -> list:
+    """File pages at the end of each insert+delete churn cycle."""
+    t = HashTable.create(path, bsize=BSIZE, min_fill=min_fill)
+    sizes = []
+    try:
+        for _ in range(cycles):
+            t.put_many(PAIRS)
+            for k, _ in PAIRS[:DEL]:
+                t.delete(k)
+            t.sync()
+            sizes.append(t._file.npages())
+    finally:
+        t.close()
+    return sizes
+
+
+def _crash_sweep_summary(workdir: str) -> dict:
+    """Small-scale version of the tests/test_churn_crash.py contract: a
+    crash at every I/O op across grow -> contract -> compact -> grow must
+    lose zero committed writes."""
+    from tests.test_churn_crash import (
+        CLEAN_ERRORS,
+        check_contract,
+        run_churn_workload,
+    )
+
+    total_ops = run_churn_workload(os.path.join(workdir, "calib.db"))
+    swept = 0
+    for mode in ("crash", "torn"):
+        for n in range(total_ops):
+            path = os.path.join(workdir, f"sweep-{mode}-{n}.db")
+            progress: list[str] = []
+            try:
+                run_churn_workload(path, fail_after=n, mode=mode, progress=progress)
+            except CLEAN_ERRORS:
+                pass
+            # check_contract asserts on any lost committed write; reaching
+            # the next iteration means this crash point lost nothing
+            check_contract(path, progress)
+            swept += 1
+    return {
+        "modes": ["crash", "torn"],
+        "crash_points_per_mode": total_ops,
+        "sweep_points_checked": swept,
+        "lost_committed_writes": 0,
+    }
+
+
+def test_churn_reclamation_snapshot(workdir):
+    # paper behaviour: min_fill=0 never contracts -- the churned file
+    # keeps every page the insert phase grew
+    paper_path = os.path.join(workdir, "paper.db")
+    grown = _churned_table(paper_path, min_fill=0.0)
+    paper = _snapshot(paper_path)
+    assert paper["file_pages"] >= grown["file_pages"]
+
+    # contraction: the same churn with a utilization floor
+    contract_path = os.path.join(workdir, "contract.db")
+    contracted_grown = _churned_table(contract_path, min_fill=0.5)
+    contracted = _snapshot(contract_path)
+    assert contracted_grown["merges"] > 0
+    assert contracted_grown["pages_freed"] > 0
+    assert contracted_grown["freelist_pages"] > 0
+
+    # "contraction stops file growth": repeated churn cycles reach a
+    # steady state because merged buckets feed re-expansion via the
+    # freelist instead of extending the file
+    cycle_sizes = _cycle_sizes(os.path.join(workdir, "cycles.db"), 0.5)
+    assert max(cycle_sizes[1:]) <= cycle_sizes[0] * 1.05
+
+    # online compaction on top of contraction
+    t = HashTable.open_file(contract_path, min_fill=0.5)
+    try:
+        report = t.compact()
+    finally:
+        t.close()
+    compacted = _snapshot(contract_path)
+    assert report["pages_reclaimed"] > 0
+
+    # lower bound: a fresh presized bulk_load of the survivors
+    pristine_path = os.path.join(workdir, "pristine.db")
+    p = HashTable.create(pristine_path, bsize=BSIZE)
+    p.bulk_load(SURVIVORS, nelem=len(SURVIVORS))
+    p.close()
+    pristine = _snapshot(pristine_path)
+
+    # the issue's gates
+    assert compacted["file_bytes"] <= 1.25 * pristine["file_bytes"]
+    assert compacted["lookup_page_reads"] == pristine["lookup_page_reads"]
+
+    crash = _crash_sweep_summary(workdir)
+    assert crash["lost_committed_writes"] == 0
+
+    rows = [
+        ("grown", grown["file_pages"], grown["file_bytes"], "-"),
+        ("churned, min_fill=0 (paper)", paper["file_pages"],
+         paper["file_bytes"], paper["lookup_page_reads"]),
+        ("churned, min_fill=0.5", contracted["file_pages"],
+         contracted["file_bytes"], contracted["lookup_page_reads"]),
+        ("after compact()", compacted["file_pages"],
+         compacted["file_bytes"], compacted["lookup_page_reads"]),
+        ("pristine bulk_load", pristine["file_pages"],
+         pristine["file_bytes"], pristine["lookup_page_reads"]),
+    ]
+    lines = [
+        f"churn: {N} inserts / {DEL} deletes, bsize={BSIZE}"
+        + ("" if FULL else "  (REPRO_FULL=1 for 100000/90000)"),
+        f"steady-state pages over {len(cycle_sizes)} churn cycles: "
+        + " -> ".join(str(s) for s in cycle_sizes),
+        f"{'configuration':<30} {'pages':>8} {'bytes':>12} {'lookup reads':>12}",
+    ]
+    for name, pages, nbytes, reads in rows:
+        lines.append(f"{name:<30} {pages:>8} {nbytes:>12} {reads!s:>12}")
+    emit("churn", "\n".join(lines))
+
+    payload = registry_snapshot(
+        {
+            "grown": grown,
+            "churned_paper": paper,
+            "churned_contraction": contracted,
+            "compacted": compacted,
+            "pristine": pristine,
+            "compact_report": report,
+            "cycle_file_pages": cycle_sizes,
+            "contraction": {
+                "merges": contracted_grown["merges"],
+                "pages_freed": contracted_grown["pages_freed"],
+                "freelist_pages": contracted_grown["freelist_pages"],
+            },
+            "contraction_reclaim_pct": pct_change(
+                paper["file_bytes"], contracted["file_bytes"]
+            ),
+            "compact_reclaim_pct": pct_change(
+                paper["file_bytes"], compacted["file_bytes"]
+            ),
+            "compact_vs_pristine_ratio": (
+                compacted["file_bytes"] / pristine["file_bytes"]
+            ),
+            "crash_sweep": crash,
+        },
+        label="insert/delete churn: contraction + compaction vs paper policy",
+        context={
+            "n_inserts": N,
+            "n_deletes": DEL,
+            "bsize": BSIZE,
+            "min_fill": 0.5,
+            "full_scale": FULL,
+        },
+    )
+    emit_json("churn", payload)

@@ -167,6 +167,16 @@ class AccessMethod:
     def sync(self) -> None:
         raise NotImplementedError
 
+    def compact(self) -> dict:
+        """Rewrite the database into its minimal on-disk form in place,
+        reclaiming the space delete churn left behind.  Returns a report
+        dict with ``before``/``after`` (``pages``, ``bytes``),
+        ``pages_reclaimed`` and ``nkeys``.  The handle stays open and
+        usable throughout; raises
+        :class:`~repro.core.errors.TransactionError` inside an open
+        transaction."""
+        raise NotImplementedError
+
     def close(self) -> None:
         raise NotImplementedError
 

@@ -168,6 +168,7 @@ class BTree(TraceSupport, AccessMethod):
         self._deletes = 0
         self._leaf_splits = 0
         self._internal_splits = 0
+        self._compactions = 0
         self.bsize = file.pagesize
         #: db(3)'s bt_compare: optional ``(a, b) -> <0/0/>0`` key order.
         #: Like the C library, it is not stored in the file -- reopen with
@@ -862,6 +863,153 @@ class BTree(TraceSupport, AccessMethod):
     def _txn_restore(self, snap: tuple) -> None:
         self.root, self.free_head, self.npages, self.nkeys = snap
 
+    # -------------------------------------------------------------- compaction
+
+    def _scan_items(self) -> list[tuple[bytes, bytes]]:
+        """Every (key, data) pair in order, caller holds a lock.  Each
+        leaf is pinned while its entries are copied out, then big data is
+        resolved from overflow chains (which may evict the leaf)."""
+        out: list[tuple[bytes, bytes]] = []
+        pgno = self._leftmost_leaf()
+        while pgno:
+            hdr = self.pool.get(pgno)
+            hdr.pin()
+            try:
+                view = NodeView(hdr.page)
+                entries = [view.leaf_entry(i) for i in range(view.nslots)]
+                nxt = view.next
+            finally:
+                hdr.unpin()
+            for key, payload, big in entries:
+                if big:
+                    head, total = NodeView.unpack_big_ref(payload)
+                    out.append((key, self._read_overflow(head, total)))
+                else:
+                    out.append((key, payload))
+            pgno = nxt
+        return out
+
+    def compact(self) -> dict:
+        """Rewrite the tree into its minimal on-disk form in place.
+
+        The btree's deletion policy is lazy (empty leaves stay linked,
+        freed pages queue on an in-file free list), so delete churn
+        leaves the file bigger than the data.  Compact rebuilds the tree
+        from its live pairs -- no free pages, no empty leaves, no orphan
+        overflow chains -- and swaps the image in.
+
+        Mostly-online, like the hash method's: the pairs are snapshotted
+        under the *read* lock, the replacement tree is built without any
+        lock, and only the final swap holds the write lock (a writer
+        slipping in between forces one exclusive rebuild).  Returns the
+        shared report dict (``before``/``after`` page and byte sizes,
+        ``pages_reclaimed``, ``nkeys``).
+
+        Under a WAL the swap is bracketed by checkpoints, so a crash
+        leaves either the old tree or the new one, never a mix.  Raises
+        :class:`TransactionError` inside an open transaction.
+        """
+        self._check_writable()
+        if self._txn is not None and self._txn.in_transaction:
+            raise TransactionError(
+                "compact() inside an open transaction; commit or abort first"
+            )
+        span = self.tracer.start("compact") if self.tracer.enabled else None
+        try:
+            report = self._compact_impl()
+        finally:
+            if span is not None:
+                self.tracer.end(span)
+        if self.hooks.on_compact:
+            self.hooks.emit("on_compact", dict(report))
+        return report
+
+    def _compact_impl(self) -> dict:
+        with self._rd:
+            self._check_writable()
+            items = self._scan_items()
+            marker = (self._puts, self._deletes)
+        temp = self._build_compact_image(items)
+        try:
+            with self._wr:
+                if (self._puts, self._deletes) != marker:
+                    # Writers slipped in between snapshot and swap: redo
+                    # the scan and build while exclusive (rare).
+                    temp.close()
+                    items = self._scan_items()
+                    temp = self._build_compact_image(items)
+                return self._compact_swap(temp, len(items))
+        finally:
+            temp.close()
+
+    def _build_compact_image(self, items) -> "BTree":
+        """A pristine RAM twin of this tree holding ``items`` (already
+        sorted) -- the swap source of :meth:`compact`."""
+        temp = BTree.create(
+            None,
+            in_memory=True,
+            bsize=self.bsize,
+            compare=self._compare,
+            observability=False,
+        )
+        try:
+            for key, data in items:
+                temp._put_impl(key, data, True)
+            temp._sync_impl()  # flush pages + meta into the RAM file
+        except BaseException:
+            temp.close()
+            raise
+        return temp
+
+    def _compact_swap(self, temp: "BTree", nkeys: int) -> dict:
+        """Replace this tree's file contents with ``temp``'s image.
+        Caller holds the write lock; ``temp`` is flushed and in RAM."""
+        # logical size: unflushed pages live only in the pool, so the
+        # meta counter can be ahead of the file
+        before_pages = max(self._file.npages(), self.npages)
+        before_bytes = max(self._file.size_bytes(), self.npages * self.bsize)
+        txn = self._txn
+        if txn is not None:
+            # Quiesce: materialize everything logged so far, so the copy
+            # below is the only pending work in the log.
+            txn.checkpoint_locked()
+        self.pool.discard(lambda hdr: True)
+        src = temp._file
+        new_n = src.npages()
+        i = 0
+        while i < new_n:
+            j = min(new_n, i + 64)
+            blob = b"".join(src.read_page(p) for p in range(i, j))
+            self._file.write_pages(i, blob)
+            i = j
+        self.root = temp.root
+        self.free_head = temp.free_head
+        self.npages = temp.npages
+        self.nkeys = temp.nkeys
+        self._file.freelist.clear()
+        if txn is not None:
+            # Commit + transfer the new image, THEN drop the tail: the
+            # truncate only ever follows a fully materialized file.
+            txn.checkpoint_locked()
+            if self._file.npages() > new_n:
+                self._file.truncate(new_n)
+                self._file.sync()
+        else:
+            self._write_meta()
+            if self._file.npages() > new_n:
+                self._file.truncate(new_n)
+            self._file.sync()
+        self.pool._hole_threshold = new_n
+        self._compactions += 1
+        after_pages = self._file.npages()
+        return {
+            "nkeys": nkeys,
+            "before": {"pages": before_pages, "bytes": before_bytes},
+            "after": {"pages": after_pages, "bytes": self._file.size_bytes()},
+            "pages_reclaimed": max(0, before_pages - after_pages),
+            "pagesize": self.bsize,
+        }
+
     # -------------------------------------------------------------- maintenance
 
     def sync(self) -> None:
@@ -948,6 +1096,7 @@ class BTree(TraceSupport, AccessMethod):
                 "root": self.root,
                 "leaf_splits": self._leaf_splits,
                 "internal_splits": self._internal_splits,
+                "compactions": self._compactions,
             },
         }
 
@@ -1034,14 +1183,15 @@ class BTreeCursor(Cursor):
         gone and slot is where it would insert)."""
         t = self.tree
         pgno, slot = self._hint
-        hdr = t.pool.get(pgno)
-        view = NodeView(hdr.page)
-        if (
-            view.type == T_LEAF
-            and slot < view.nslots
-            and view.leaf_key(slot) == self._lastkey
-        ):
-            return pgno, slot, True
+        if pgno < t.npages:  # compact() may have truncated the hint away
+            hdr = t.pool.get(pgno)
+            view = NodeView(hdr.page)
+            if (
+                view.type == T_LEAF
+                and slot < view.nslots
+                and view.leaf_key(slot) == self._lastkey
+            ):
+                return pgno, slot, True
         _path, leaf = t._descend(self._lastkey)
         hdr = t.pool.get(leaf)
         slot, exact = NodeView(hdr.page).leaf_search(self._lastkey, t._compare)

@@ -27,8 +27,15 @@ def db_open(
     ``flag`` follows the dbm-style letters: ``'r'`` read-only, ``'w'``
     read-write existing, ``'c'`` create if missing, ``'n'`` always create.
     ``params`` are forwarded to the method (hash: bsize/ffactor/nelem/
-    cachesize/hashfn; btree: bsize/cachesize; recno: reclen/bpad/bsize/
-    cachesize).  ``path=None`` creates an in-memory database.
+    cachesize/hashfn/min_fill; btree: bsize/cachesize; recno: reclen/bpad/
+    bsize/cachesize).  ``path=None`` creates an in-memory database.
+
+    Space reclamation (see docs/STORAGE.md): hash tables accept
+    ``min_fill=`` -- a utilization floor below which delete churn
+    contracts the bucket address space (the inverse of the paper's
+    splits; the default 0.0 keeps the paper's never-contract policy) --
+    and every method supports ``db.compact()``, an online rewrite into
+    minimal form that reclaims dead pages in place.
 
     ``concurrent=True`` (any method) makes the handle safe for multiple
     threads: shared readers, exclusive writers, fail-fast cursors -- see

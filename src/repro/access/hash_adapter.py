@@ -135,6 +135,13 @@ class HashAccess(AccessMethod):
     def sync(self) -> None:
         self.table.sync()
 
+    def compact(self) -> dict:
+        """Online compaction: rebuild into a pristine presized image via
+        the native :meth:`~repro.core.table.HashTable.bulk_load` fast
+        path and swap it in under the write lock; see
+        :meth:`repro.core.table.HashTable.compact`."""
+        return self.table.compact()
+
     def close(self) -> None:
         self.table.close()
 

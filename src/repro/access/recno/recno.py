@@ -279,6 +279,12 @@ class Recno(AccessMethod):
         """Shared flush-before-sync ordering via the underlying btree."""
         self._tree.sync()
 
+    def compact(self) -> dict:
+        """Online compaction of the underlying btree (record numbers are
+        its keys, so the rebuild preserves them); see
+        :meth:`repro.access.btree.btree.BTree.compact`."""
+        return self._tree.compact()
+
     def close(self) -> None:
         """Idempotent close via the underlying btree."""
         self._tree.close()

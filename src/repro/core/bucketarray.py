@@ -54,6 +54,24 @@ class BucketArray:
         self.grow_to(self._nbuckets + 1)
         return self._nbuckets - 1
 
+    def shrink_to(self, nbuckets: int) -> None:
+        """Drop slots ``nbuckets..`` (linear-hash contraction).
+
+        Dropped slots are cleared so a later regrow sees fresh ``None``
+        values, not the leftovers of merged buckets.  Segments are kept
+        allocated -- contraction is usually followed by re-expansion.
+        """
+        if nbuckets < 0:
+            raise ValueError(f"nbuckets must be >= 0, got {nbuckets}")
+        if nbuckets >= self._nbuckets:
+            return
+        for bucket in range(nbuckets, self._nbuckets):
+            seg_no, off = divmod(bucket, self.segment_size)
+            seg = self._dir[seg_no]
+            if seg is not None:
+                seg[off] = None
+        self._nbuckets = nbuckets
+
     def _locate(self, bucket: int) -> tuple[int, int]:
         if not 0 <= bucket < self._nbuckets:
             raise IndexError(

@@ -424,6 +424,14 @@ class BufferPool:
                 pred.chain_next = None
         if hdr is not None:
             del self._pool[key]
+            # Poison the dropped header: code holding a reference to it
+            # (or to its cached PageView) across the invalidate must not
+            # decode stale bytes once the page address is reallocated to
+            # fresh contents.
+            hdr.epoch += 1
+            hdr.formatted = False
+            hdr._view = None
+            hdr.dirty = False
             nxt = hdr.chain_next
             if nxt is not None and self._chain_prev.get(nxt) == key:
                 del self._chain_prev[nxt]

@@ -10,6 +10,9 @@ every on-disk structure against every other:
 - allocation bitmaps: every overflow page referenced by a chain, big pair
   or bitmap is marked in use; unreferenced in-use slots are reported as
   leaks (warnings);
+- freelist: the free-page chain is readable, no free page is also a live
+  header/bucket/overflow page or lies past end of file, and every file
+  page is accounted for (live or free; orphans are reported as leaks);
 - counts: the header's ``nkeys`` matches a full scan.
 
 Returns a :class:`CheckReport`; ``errors`` empty means the file is
@@ -195,6 +198,8 @@ def verify_table(t: HashTable) -> CheckReport:
     if leaked:
         report.warn(f"{leaked} in-use overflow slot(s) not referenced (leak)")
 
+    free_pages = _check_freelist(t, total_slots, report)
+
     report.stats.update(
         nkeys=nkeys,
         buckets=h.max_bucket + 1,
@@ -205,11 +210,60 @@ def verify_table(t: HashTable) -> CheckReport:
         big_pairs=big_pairs,
         longest_chain=max_chain,
         fill_ratio=round(nkeys / (h.max_bucket + 1), 2),
+        freelist_pages=free_pages,
     )
     if not report.ok and t.tracer.enabled:
         # preserve the event tail that led to the structural damage
         t.tracer.recorder.auto_dump("check_failure")
     return report
+
+
+def _check_freelist(t: HashTable, total_slots: int, report: CheckReport) -> int:
+    """Cross-check the pager freelist against every other structure.
+
+    A page on the freelist must not also be a header, bucket or in-use
+    overflow page (double use corrupts on reallocation), and must lie
+    inside the file.  Inversely, every file page must be accounted for:
+    header, bucket, overflow slot or free -- anything else is leaked
+    space (a warning, like the bitmap leak check).  Returns the freelist
+    length for the report stats.
+    """
+    h = t.header
+    fl = t._file.freelist
+    free_pages = fl.pages()
+    dropped = t.stats.extra.get("freelist_dropped")
+    if dropped:
+        report.error(f"freelist chain dropped at open: {dropped}")
+    npages = t._file.npages()
+    live: dict[int, str] = {p: "header" for p in range(h.hdr_pages)}
+    for bucket in range(h.max_bucket + 1):
+        page = addressing.bucket_to_page(bucket, h.hdr_pages, h.spares)
+        live[page] = f"bucket {bucket}"
+    ovfl_pages: set[int] = set()
+    for slot in range(total_slots):
+        oaddr = addressing.slot_to_oaddr(slot, h.spares, h.ovfl_point)
+        page = addressing.oaddr_to_page(oaddr, h.hdr_pages, h.spares)
+        ovfl_pages.add(page)
+        if t.allocator.is_set(slot):
+            live[page] = f"overflow slot {slot}"
+    for p in free_pages:
+        if p >= npages:
+            report.error(
+                f"freelist page {p} beyond end of file ({npages} pages)"
+            )
+        if p in live:
+            report.error(f"freelist page {p} is live ({live[p]})")
+    orphans = [
+        p
+        for p in range(npages)
+        if p not in live and p not in ovfl_pages and p not in fl
+    ]
+    if orphans:
+        report.warn(
+            f"{len(orphans)} file page(s) neither live nor free (leak): "
+            f"{orphans[:8]}"
+        )
+    return len(free_pages)
 
 
 def _slot_of(t: HashTable, oaddr: int, where: str, report: CheckReport):

@@ -28,8 +28,14 @@ offset size   field
 56     4      h_charkey (hash of the CHARKEY constant)
 60     128    spares[32] (u32 each, cumulative overflow pages)
 188    64     bitmaps[32] (u16 each, oaddr of bitmap page i, 0 = none)
-252    ...    zero padding to 512 bytes
+252    4      free_head (first page of the freelist chain, 0 = none)
+256    ...    zero padding to 512 bytes
 ====== ====== =============================================
+
+``free_head`` roots the pager freelist chain (docs/FORMAT.md §1.6):
+page 0 is always the header, so 0 doubles as "empty", and files written
+before the field existed read back -- correctly -- as having no free
+pages.
 """
 
 from __future__ import annotations
@@ -48,6 +54,7 @@ from repro.core.errors import BadFileError
 _FIXED = struct.Struct(">IIIIIIIIII IQ II".replace(" ", ""))
 _SPARES = struct.Struct(f">{MAX_SPLITS}I")
 _BITMAPS = struct.Struct(f">{MAX_SPLITS}H")
+_FREE_HEAD = struct.Struct(">I")
 
 #: Sentinel for "no freed overflow slot" in ``last_freed``.
 NO_LAST_FREED = 0xFFFFFFFF
@@ -76,6 +83,8 @@ class Header:
     lorder: int = LORDER_BIG
     spares: list[int] = field(default_factory=lambda: [0] * MAX_SPLITS)
     bitmaps: list[int] = field(default_factory=lambda: [0] * MAX_SPLITS)
+    #: first page of the on-disk freelist chain; 0 = no free pages
+    free_head: int = 0
 
     def pack(self) -> bytes:
         """Serialize to exactly ``HDR_SIZE`` bytes."""
@@ -95,7 +104,12 @@ class Header:
             self.hdr_pages,
             self.h_charkey,
         )
-        out = fixed + _SPARES.pack(*self.spares) + _BITMAPS.pack(*self.bitmaps)
+        out = (
+            fixed
+            + _SPARES.pack(*self.spares)
+            + _BITMAPS.pack(*self.bitmaps)
+            + _FREE_HEAD.pack(self.free_head)
+        )
         if len(out) > HDR_SIZE:
             raise AssertionError(
                 f"header serialization of {len(out)} bytes exceeds HDR_SIZE"
@@ -140,6 +154,9 @@ class Header:
             raise BadFileError(f"corrupt header: bsize={bsize}, bshift={bshift}")
         spares = list(_SPARES.unpack_from(data, _FIXED.size))
         bitmaps = list(_BITMAPS.unpack_from(data, _FIXED.size + _SPARES.size))
+        (free_head,) = _FREE_HEAD.unpack_from(
+            data, _FIXED.size + _SPARES.size + _BITMAPS.size
+        )
         return cls(
             bsize=bsize,
             bshift=bshift,
@@ -157,4 +174,5 @@ class Header:
             lorder=lorder,
             spares=spares,
             bitmaps=bitmaps,
+            free_head=free_head,
         )

@@ -70,6 +70,7 @@ from repro.core.wal import (
     wal_path_for,
 )
 from repro.storage.bytefile import ByteFile
+from repro.storage.freelist import FreeListError
 from repro.obs.hooks import TraceHooks
 from repro.obs.registry import Registry
 from repro.obs.trace import TraceSupport
@@ -86,6 +87,9 @@ class TableStats:
     splits: int = 0
     controlled_splits: int = 0
     uncontrolled_splits: int = 0
+    merges: int = 0
+    compactions: int = 0
+    pages_freed: int = 0
     big_pairs_stored: int = 0
     ovfl_pages_linked: int = 0
     extra: dict = field(default_factory=dict)
@@ -169,11 +173,16 @@ class HashTable(TraceSupport):
         wal_audit: bool = False,
         wal_wrapper=None,
         wal_fresh: bool = False,
+        min_fill: float = 0.0,
     ) -> None:
         if split_policy not in self.SPLIT_POLICIES:
             raise InvalidParameterError(
                 f"split_policy must be one of {self.SPLIT_POLICIES}, "
                 f"got {split_policy!r}"
+            )
+        if not 0.0 <= min_fill < 1.0:
+            raise InvalidParameterError(
+                f"min_fill must be in [0.0, 1.0), got {min_fill}"
             )
         if durability not in DURABILITY_LEVELS:
             raise InvalidParameterError(
@@ -186,6 +195,9 @@ class HashTable(TraceSupport):
         self.readonly = readonly
         self._closed = False
         self.split_policy = split_policy
+        #: utilization floor for linear-hash contraction; 0.0 keeps the
+        #: paper's never-contract behavior (footnote 6)
+        self.min_fill = min_fill
         self.stats = TableStats()
         #: table-level rwlock (hierarchy level 1) and its reusable guards;
         #: ``concurrent=False`` keeps both guards the shared no-op object,
@@ -259,6 +271,7 @@ class HashTable(TraceSupport):
         self._h_put_many = None
         self._h_get_many = None
         self._h_delete_many = None
+        self._h_merge = None
         self._clock = time.perf_counter if observability else None
         # Page-I/O trace events piggyback on the file's callback slot; the
         # storage layer stays ignorant of the hook machinery.  The slot is
@@ -295,6 +308,31 @@ class HashTable(TraceSupport):
         self.bigstore = BigPairStore(self.pool, self.allocator, hooks=self.hooks)
         self.buckets = BucketArray()
         self.buckets.grow_to(header.max_bucket + 1)
+        # Persistent freelist (docs/FORMAT.md §1.6): the chain head lives
+        # in the header; the chain is read through the outermost pager so
+        # WAL redirection applies.  A broken chain must never block access
+        # to the data, so corruption degrades to "no free pages" with a
+        # note in stats.extra.
+        if header.free_head:
+            fl = self._file.freelist
+            try:
+                fl.load(self._file, header.free_head, npages=self._file.npages())
+            except FreeListError as exc:
+                fl.clear()
+                fl.dirty = True  # force the next header write to zero free_head
+                self.stats.extra["freelist_dropped"] = str(exc)
+            else:
+                live = set(range(header.hdr_pages))
+                live.update(
+                    addressing.bucket_to_page(b, header.hdr_pages, header.spares)
+                    for b in range(header.max_bucket + 1)
+                )
+                bad = sorted(p for p in fl.pages() if p in live)
+                if bad:
+                    fl.clear()
+                    self.stats.extra["freelist_dropped"] = (
+                        f"chain claims live header/bucket pages {bad[:4]}"
+                    )
         self._scan: "TableCursor | None" = None
 
     @classmethod
@@ -318,6 +356,7 @@ class HashTable(TraceSupport):
         wal_checkpoint_bytes: int = DEFAULT_CHECKPOINT_BYTES,
         wal_audit: bool = False,
         wal_wrapper=None,
+        min_fill: float = 0.0,
     ) -> "HashTable":
         """Create a new table.
 
@@ -340,6 +379,13 @@ class HashTable(TraceSupport):
         ``wal_audit`` adds per-operation PUT/DELETE audit frames;
         ``wal_wrapper`` decorates the log's byte store (fault
         injection), the WAL twin of ``file_wrapper``.
+
+        ``min_fill`` (0.0 <= min_fill < 1.0) arms linear-hash
+        *contraction*: when deletes push utilization below
+        ``min_fill * ffactor`` keys per bucket, the highest bucket is
+        merged back into its buddy and its page freed (see
+        docs/STORAGE.md).  The default 0.0 keeps the paper's
+        never-contract behavior (footnote 6).
         """
         if bsize < MIN_BSIZE or bsize > MAX_BSIZE:
             raise InvalidParameterError(
@@ -391,6 +437,7 @@ class HashTable(TraceSupport):
             wal_audit=wal_audit,
             wal_wrapper=wal_wrapper,
             wal_fresh=True,
+            min_fill=min_fill,
         )
         table._write_header()
         if table._txn is not None:
@@ -418,6 +465,7 @@ class HashTable(TraceSupport):
         wal_checkpoint_bytes: int = DEFAULT_CHECKPOINT_BYTES,
         wal_audit: bool = False,
         wal_wrapper=None,
+        min_fill: float = 0.0,
     ) -> "HashTable":
         """Open an existing table.
 
@@ -467,6 +515,7 @@ class HashTable(TraceSupport):
             wal_checkpoint_bytes=wal_checkpoint_bytes,
             wal_audit=wal_audit,
             wal_wrapper=wal_wrapper,
+            min_fill=min_fill,
         )
         if recovery["frames"]:
             table.wal_recovery = recovery
@@ -511,6 +560,12 @@ class HashTable(TraceSupport):
             raise ReadOnlyError("table is read-only")
 
     def _write_header(self) -> None:
+        fl = self._file.freelist
+        if fl.dirty:
+            # The chain lives in the free pages themselves; writing it
+            # through self._file keeps it inside the WAL when one is on,
+            # so chain and header commit (or vanish) together.
+            self.header.free_head = fl.persist(self._file)
         raw = self.header.pack()
         bsize = self.header.bsize
         if self.header.hdr_pages == 1:
@@ -824,8 +879,12 @@ class HashTable(TraceSupport):
     def delete(self, key: bytes) -> bool:
         """Remove ``key``; returns True if it was present.
 
-        The file never contracts (paper, footnote 6): buckets stay
-        allocated, only overflow pages are reclaimed.
+        By default the bucket address space never contracts (paper,
+        footnote 6): buckets stay allocated, only overflow pages are
+        reclaimed.  Opening the table with ``min_fill > 0`` changes
+        that -- when utilization drops below the floor, the highest
+        bucket is merged back into its buddy and its page is freed for
+        reuse (see :meth:`_contract_table`).
         """
         if self.tracer.enabled:
             return self._traced_op(
@@ -852,6 +911,8 @@ class HashTable(TraceSupport):
             return False
         prev, hdr, slot = found
         self._delete_at(prev, hdr, slot)
+        if self.min_fill:
+            self._maybe_contract()
         txn = self._txn
         if txn is not None and txn.audit:
             txn.log_op(FT_DELETE, key)
@@ -1233,6 +1294,119 @@ class HashTable(TraceSupport):
         finally:
             hdr.unpin()
 
+    # ------------------------------------------------------------ contraction
+
+    def _maybe_contract(self) -> None:
+        """Undo split steps while the table sits below the ``min_fill``
+        utilization floor.
+
+        The floor is opt-in (``min_fill=0.0`` keeps the paper's
+        never-contract behavior, footnote 6).  The second condition is
+        the anti-thrash guard: a merge only fires when the post-merge
+        table still sits at or below the controlled-split trigger
+        (``nkeys <= ffactor * max_bucket``), so a put right after a
+        delete cannot split the merged bucket straight back apart.
+        """
+        h = self.header
+        ffactor = h.ffactor
+        floor = self.min_fill * ffactor
+        while (
+            h.max_bucket > 0
+            and h.nkeys < floor * (h.max_bucket + 1)
+            and h.nkeys <= ffactor * h.max_bucket
+        ):
+            self._contract_table("floor")
+
+    def _contract_table(self, reason: str = "floor") -> None:
+        """One inverse split step: merge bucket ``max_bucket`` into its
+        buddy, free its page, and rewind the masks -- the exact mirror
+        of :meth:`_expand_table`.
+
+        ``ovfl_point`` and ``spares`` are deliberately NOT rewound:
+        overflow-page addresses are physical file offsets derived from
+        the spares vector, and pages still in use must keep their
+        addresses across contraction.  Re-expansion reuses the same
+        spares entries, so the arithmetic stays consistent (and the
+        re-created bucket page's write clears its free mark -- see
+        repro.storage.freelist).
+        """
+        h = self.header
+        mb = h.max_bucket
+        if mb <= 0:
+            return
+        clock = self._clock
+        t0 = clock() if clock is not None else None
+        # -- collect the doomed bucket's pairs -------------------------------
+        inline_pairs: list[tuple[bytes, bytes]] = []
+        big_refs: list[tuple[int, int, int, bytes]] = []  # oaddr, klen, dlen, key
+        chain_oaddrs: list[int] = []
+        cur = self._fault(("B", mb))
+        doomed = cur
+        while True:
+            view = cur.view()
+            for i, big in view.iter_slots():
+                if big:
+                    oaddr, klen, dlen, _prefix = view.get_big_ref(i)
+                    full_key = self.bigstore.fetch_key(oaddr, klen)
+                    big_refs.append((oaddr, klen, dlen, full_key))
+                else:
+                    inline_pairs.append(view.get_pair(i))
+            nxt = view.ovfl_addr
+            if nxt == NO_OADDR:
+                break
+            chain_oaddrs.append(nxt)
+            cur = self._fault(("O", nxt))
+        # -- drop the bucket -------------------------------------------------
+        # Resolve the physical page BEFORE mutating the header: the
+        # spares vector indexes by split point of the bucket number.
+        freed_page = addressing.bucket_to_page(mb, h.hdr_pages, h.spares)
+        self.pool.unlink_chain(doomed)
+        self.pool.invalidate(("B", mb))  # never write the dead page back
+        for oaddr in chain_oaddrs:
+            self.allocator.free(oaddr)
+        # -- rewind the address space (inverse of _expand_table) -------------
+        if mb - 1 < h.low_mask:
+            # The doubling that created ``mb`` is now empty: step the
+            # masks back one generation.
+            h.high_mask = h.low_mask
+            h.low_mask >>= 1
+        buddy = mb & h.low_mask
+        h.max_bucket = mb - 1
+        self.buckets.shrink_to(mb)
+        # A bucket page that was never flushed has no physical page to
+        # reclaim (the invalidate above already dropped its buffer).
+        page_freed = freed_page < self._file.npages()
+        if page_freed:
+            self._file.free_page(freed_page)
+            self.stats.pages_freed += 1
+        self.stats.merges += 1
+        self._structure_version += 1
+        # -- re-place into the buddy under the rewound masks -----------------
+        for key, data in inline_pairs:
+            self._place_pair(self._bucket_of(key), key, data)
+        for oaddr, klen, dlen, full_key in big_refs:
+            self._place_big_ref(
+                self._bucket_of(full_key), oaddr, klen, dlen, full_key
+            )
+        if t0 is not None:
+            if self._h_merge is None:
+                self._h_merge = self._ops.histogram("merge")
+            self._h_merge.observe(clock() - t0)
+        hooks = self.hooks
+        if page_freed and hooks.on_free:
+            hooks.emit("on_free", {"pageno": freed_page, "kind": "bucket"})
+        if hooks.on_merge:
+            hooks.emit(
+                "on_merge",
+                {
+                    "bucket": mb,
+                    "buddy": buddy,
+                    "reason": reason,
+                    "nkeys": h.nkeys,
+                    "freed_page": freed_page,
+                },
+            )
+
     # ------------------------------------------------------------- iteration
 
     def items(self) -> Iterator[tuple[bytes, bytes]]:
@@ -1356,26 +1530,32 @@ class HashTable(TraceSupport):
         with self._wr:
             return txn.checkpoint_locked()
 
-    def _txn_snapshot(self) -> Header:
+    def _txn_snapshot(self) -> tuple[Header, tuple[int, ...]]:
         """Copy out the volatile state abort must rewind: the header
-        (with its mutable spares/bitmaps lists).  Page bytes need no
-        snapshot -- abort just drops their buffers and the next fault
+        (with its mutable spares/bitmaps lists) and the freelist's page
+        set (contraction frees pages mid-transaction).  Page bytes need
+        no snapshot -- abort just drops their buffers and the next fault
         rereads pre-transaction images."""
         h = self.header
-        return dataclasses.replace(
-            h, spares=list(h.spares), bitmaps=list(h.bitmaps)
+        return (
+            dataclasses.replace(h, spares=list(h.spares), bitmaps=list(h.bitmaps)),
+            self._file.freelist.pages(),
         )
 
-    def _txn_restore(self, snap: Header) -> None:
+    def _txn_restore(self, snap: tuple[Header, tuple[int, ...]]) -> None:
         """Put the snapshot back IN PLACE: the allocator, addresser and
         big-pair store all hold references to ``self.header``, so the
         object must keep its identity."""
+        header_copy, free_pages = snap
         h = self.header
         for f in dataclasses.fields(h):
-            setattr(h, f.name, getattr(snap, f.name))
-        self.buckets.grow_to(h.max_bucket + 1)
-        # Splits undone by the rollback are structural changes too:
-        # fail any cursor that was scanning mid-transaction state.
+            setattr(h, f.name, getattr(header_copy, f.name))
+        self._file.freelist.restore(free_pages)
+        nbuckets = h.max_bucket + 1
+        self.buckets.shrink_to(nbuckets)
+        self.buckets.grow_to(nbuckets)
+        # Splits/merges undone by the rollback are structural changes
+        # too: fail any cursor that was scanning mid-transaction state.
         self._structure_version += 1
 
     # ------------------------------------------------------------ maintenance
@@ -1399,8 +1579,165 @@ class HashTable(TraceSupport):
             self._txn.checkpoint_locked()
             return
         self.pool.flush()
+        self._trim_tail()
         self._write_header()
         self._file.sync()
+
+    def _trim_tail(self) -> None:
+        """Give trailing free pages back to the filesystem.
+
+        Non-WAL tables only: under a WAL, a logged-but-uncommitted state
+        could still roll back to one that needs those pages, so WAL-mode
+        tables reuse free pages in place and only shrink during
+        :meth:`compact` (which checkpoints around the truncate)."""
+        fl = self._file.freelist
+        if not fl:
+            return
+        cut = fl.trim(self._file)
+        if cut:
+            self.stats.extra["pages_trimmed"] = (
+                self.stats.extra.get("pages_trimmed", 0) + cut
+            )
+
+    # -------------------------------------------------------------- compaction
+
+    def compact(self) -> dict:
+        """Rewrite the table into pristine, presized form in place.
+
+        Reclaims every dead page churn left behind: the result is
+        byte-for-byte what :meth:`bulk_load` of the surviving pairs into
+        a fresh table would produce -- minimal file size AND minimal
+        lookup I/O (no overflow chains the survivors don't need).
+
+        Mostly-online: the live pairs are snapshotted under the *read*
+        lock and the replacement image is built without any table lock;
+        only the final swap holds the write lock (if a writer slipped in
+        between snapshot and swap, the build redoes itself exclusively
+        -- detected via the op counters, so the swapped image is never
+        stale).  Returns a report dict (``before``/``after`` page and
+        byte sizes, ``pages_reclaimed``, ``nkeys``).
+
+        Under a WAL the swap is bracketed by checkpoints, so a crash at
+        any point leaves either the old table or the new one, never a
+        mix.  Without a WAL, compact carries the same mid-operation
+        crash caveat as any structural write.  Raises
+        :class:`TransactionError` inside an open transaction.
+        """
+        self._check_writable()
+        if self._txn is not None and self._txn.in_transaction:
+            raise TransactionError(
+                "compact() inside an open transaction; commit or abort first"
+            )
+        span = (
+            self.tracer.start("compact") if self.tracer.enabled else None
+        )
+        try:
+            report = self._compact_impl()
+        finally:
+            if span is not None:
+                self.tracer.end(span)
+        if self.hooks.on_compact:
+            self.hooks.emit("on_compact", dict(report))
+        return report
+
+    def _compact_impl(self) -> dict:
+        with self._rd:
+            self._check_writable()
+            items = list(self._iter_items())
+            marker = (self.stats.puts, self.stats.deletes, self._structure_version)
+        temp = self._build_compact_image(items)
+        try:
+            with self._wr:
+                now = (
+                    self.stats.puts, self.stats.deletes, self._structure_version
+                )
+                if now != marker:
+                    # Writers slipped in between snapshot and swap: redo
+                    # the snapshot and build while exclusive (rare --
+                    # correctness over the lost concurrency of one build).
+                    temp.close()
+                    items = list(self._iter_items())
+                    temp = self._build_compact_image(items)
+                return self._compact_swap(temp, len(items))
+        finally:
+            temp.close()
+
+    def _build_compact_image(self, items) -> "HashTable":
+        """A pristine, presized RAM twin of this table loaded with
+        ``items`` -- the swap source of :meth:`compact`."""
+        h = self.header
+        nelem = max(len(items), 1)
+        temp = HashTable.create(
+            None,
+            in_memory=True,
+            bsize=h.bsize,
+            ffactor=h.ffactor,
+            nelem=nelem,
+            hashfn=self._hash,
+            split_policy=self.split_policy,
+            observability=False,
+        )
+        try:
+            temp.bulk_load(items, nelem=nelem)
+            temp._sync_impl()  # flush pages + header into the RAM file
+        except BaseException:
+            temp.close()
+            raise
+        return temp
+
+    def _compact_swap(self, temp: "HashTable", nkeys: int) -> dict:
+        """Replace this table's file contents with ``temp``'s image.
+        Caller holds the write lock; ``temp`` is flushed and in RAM."""
+        before_pages = self._file.npages()
+        before_bytes = self._file.size_bytes()
+        txn = self._txn
+        if txn is not None:
+            # Quiesce: materialize everything logged so far, so the copy
+            # below is the only pending work in the log.
+            txn.checkpoint_locked()
+        self.pool.discard(lambda hdr: True)
+        src = temp._file
+        new_n = src.npages()
+        ps = self.header.bsize
+        i = 0
+        while i < new_n:
+            j = min(new_n, i + 64)
+            blob = b"".join(src.read_page(p) for p in range(i, j))
+            self._file.write_pages(i, blob)
+            i = j
+        th = temp.header
+        h = self.header
+        for f in dataclasses.fields(h):
+            setattr(h, f.name, getattr(th, f.name))
+        h.spares = list(th.spares)
+        h.bitmaps = list(th.bitmaps)
+        self._file.freelist.clear()
+        h.free_head = 0
+        self.buckets.shrink_to(h.max_bucket + 1)
+        self.buckets.grow_to(h.max_bucket + 1)
+        self._structure_version += 1
+        if txn is not None:
+            # Commit + transfer the new image, THEN drop the tail: the
+            # truncate only ever follows a fully materialized file.
+            txn.checkpoint_locked()
+            if self._file.npages() > new_n:
+                self._file.truncate(new_n)
+                self._file.sync()
+        else:
+            self._write_header()
+            if self._file.npages() > new_n:
+                self._file.truncate(new_n)
+            self._file.sync()
+        self.pool._hole_threshold = new_n
+        self.stats.compactions += 1
+        after_pages = self._file.npages()
+        return {
+            "nkeys": nkeys,
+            "before": {"pages": before_pages, "bytes": before_bytes},
+            "after": {"pages": after_pages, "bytes": self._file.size_bytes()},
+            "pages_reclaimed": max(0, before_pages - after_pages),
+            "pagesize": ps,
+        }
 
     def close(self) -> None:
         """Flush, sync and release everything; idempotent (a second
@@ -1418,6 +1755,7 @@ class HashTable(TraceSupport):
                     self.pool.drop_all()
                 else:
                     self.pool.drop_all()
+                    self._trim_tail()
                     self._write_header()
                     self._file.sync()
             self._closed = True
@@ -1496,11 +1834,50 @@ class HashTable(TraceSupport):
                 "ffactor": h.ffactor,
                 "fill_ratio": self.fill_ratio(),
                 "split_policy": self.split_policy,
+                "min_fill": self.min_fill,
                 "controlled_splits": s.controlled_splits,
                 "uncontrolled_splits": s.uncontrolled_splits,
+                "merges": s.merges,
+                "compactions": s.compactions,
+                "pages_freed": s.pages_freed,
                 "ovfl_pages_linked": s.ovfl_pages_linked,
                 "big_pairs_stored": s.big_pairs_stored,
             },
+            "space": self._space_impl(),
+        }
+
+    def _space_impl(self) -> dict:
+        """The ``stat()['space']`` section: where every page of the file
+        is, and how much of the file is live.
+
+        ``fill_factor`` is keys per bucket over the configured ffactor
+        (1.0 = exactly at the split trigger); ``fragmentation_pct`` is
+        the share of file pages that hold no live data (freelist pages
+        plus allocated-but-unused overflow slots)."""
+        h = self.header
+        file_pages = self._file.npages()
+        fl = self._file.freelist
+        bucket_pages = h.max_bucket + 1
+        ovfl_allocated = self.allocator.total_slots
+        ovfl_in_use = self.allocator.in_use_count()
+        free_pages = len(fl)
+        dead = free_pages + (ovfl_allocated - ovfl_in_use)
+        return {
+            "file_pages": file_pages,
+            "file_bytes": self._file.size_bytes(),
+            "header_pages": h.hdr_pages,
+            "bucket_pages": bucket_pages,
+            "overflow_pages": {
+                "allocated": ovfl_allocated,
+                "in_use": ovfl_in_use,
+            },
+            "freelist_pages": free_pages,
+            "fill_factor": (
+                h.nkeys / (h.ffactor * bucket_pages) if bucket_pages else 0.0
+            ),
+            "fragmentation_pct": (
+                100.0 * dead / file_pages if file_pages else 0.0
+            ),
         }
 
     def check_invariants(self) -> None:

@@ -532,6 +532,9 @@ class WALPager:
             data = bytes(data) + b"\0" * (self.pagesize - len(data))
         _lsn, offset = self.wal.append(FT_PAGE, self.txid, pageno, data)
         self.pending[pageno] = (offset, len(data))
+        fl = self.inner.freelist
+        if fl:
+            fl.discard(pageno)  # a logged write claims the page now
         cb = self._cb
         if cb is not None:
             cb("write", pageno, len(data))
@@ -547,8 +550,11 @@ class WALPager:
             (start_pageno + i, bytes(data[i * ps : (i + 1) * ps]))
             for i in range(len(data) // ps)
         ]
+        fl = self.inner.freelist
         for pageno, _lsn, offset in self.wal.append_pages(self.txid, pages):
             self.pending[pageno] = (offset, ps)
+            if fl:
+                fl.discard(pageno)
         cb = self._cb
         if cb is not None:
             for pageno, _image in pages:
@@ -573,6 +579,30 @@ class WALPager:
 
     def size_bytes(self) -> int:
         return self.npages() * self.pagesize
+
+    def free_page(self, pageno: int) -> None:
+        """Mark a page reusable.  The set lives on the base pager, but
+        freeing during a transaction is safe: the table snapshots and
+        restores the freelist across aborts along with its header."""
+        if self.readonly:
+            raise OSError("free_page on readonly pager")
+        if pageno >= self.npages():
+            raise ValueError(
+                f"cannot free page {pageno} past EOF ({self.npages()} pages)"
+            )
+        self.inner.freelist.add(pageno)
+
+    def alloc_page(self) -> int:
+        """Lowest free page, else one past logical EOF (logged pages
+        beyond the physical file count as allocated)."""
+        if self.readonly:
+            raise OSError("alloc_page on readonly pager")
+        pageno = self.inner.freelist.pop_lowest()
+        return pageno if pageno is not None else self.npages()
+
+    @property
+    def freelist(self):
+        return self.inner.freelist
 
     def close(self) -> None:
         self.inner.close()
@@ -851,6 +881,13 @@ class TransactionManager:
         if images:
             wal = self.wal
             inner = self.inner
+            # The transfer REPLAYS writes that were already accounted
+            # for when they were logged, so it must be freelist-neutral:
+            # the inner pager's write-clears-free-mark rule would
+            # otherwise strip pages whose latest committed image is the
+            # freelist chain record itself.
+            fl = inner.freelist
+            fl_pages, fl_dirty = fl.pages(), fl.dirty
             pagenos = sorted(images)
             i = 0
             n = len(pagenos)
@@ -871,6 +908,8 @@ class TransactionManager:
                     inner.write_pages(run[0], blob)
                 moved += len(run)
                 i = j
+            fl.restore(fl_pages)
+            fl.dirty = fl_dirty
             inner.sync()
             images.clear()
         if self.wal.tail > WAL_HDR_SIZE:

@@ -14,6 +14,17 @@ of the contract documented in docs/OBSERVABILITY.md:
 ``on_split``
     ``old_bucket``, ``new_bucket``, ``reason`` ('controlled' |
     'uncontrolled' | 'structural'), ``nkeys``
+``on_merge``
+    ``bucket`` (the merged-away highest bucket), ``buddy``, ``reason``
+    ('floor'), ``nkeys``, ``freed_page`` (physical page handed to the
+    freelist) -- the contraction mirror of ``on_split``
+``on_free``
+    ``pageno`` (physical page returned to the pager freelist), ``kind``
+    ('bucket')
+``on_compact``
+    the :meth:`~repro.core.table.HashTable.compact` report:
+    ``nkeys``, ``before``/``after`` (``pages``, ``bytes``),
+    ``pages_reclaimed``, ``pagesize``
 ``on_evict``
     ``key``, ``pageno``, ``dirty``, ``chained``
 ``on_page_io``
@@ -61,6 +72,9 @@ class TraceHooks:
 
     EVENTS = (
         "on_split",
+        "on_merge",
+        "on_free",
+        "on_compact",
         "on_evict",
         "on_page_io",
         "on_overflow_link",

@@ -454,6 +454,9 @@ class TraceSupport:
             ("on_overflow_link", "chain", lambda p: "overflow_link"),
             ("on_big_pair", "chain", lambda p: "big_pair_" + p["kind"]),
             ("on_split", "split", lambda p: "split"),
+            ("on_merge", "split", lambda p: "merge"),
+            ("on_free", "space", lambda p: "page_free"),
+            ("on_compact", "space", lambda p: "compact"),
             ("on_evict", "buffer", lambda p: "evict"),
             ("on_fault", "fault", lambda p: "fault_injected"),
             ("on_wal", "wal", lambda p: "wal_" + p["kind"]),

@@ -265,6 +265,20 @@ class FaultyPager:
 
     # -- non-faulting passthroughs ---------------------------------------------------
 
+    # free_page/alloc_page are pure bookkeeping (no I/O), so they never
+    # tick the fault clock: a crash cannot land "inside" them, only on
+    # the page writes that make their effects durable.
+
+    def free_page(self, pageno: int) -> None:
+        self.inner.free_page(pageno)
+
+    def alloc_page(self) -> int:
+        return self.inner.alloc_page()
+
+    @property
+    def freelist(self):
+        return self.inner.freelist
+
     def npages(self) -> int:
         return self.inner.npages()
 

@@ -1,0 +1,196 @@
+"""Per-pager freelist: freed pages are remembered and reused.
+
+The 1991 package only ever grows its file: overflow pages free into the
+header bitmaps, but a *physical* page, once allocated, is never handed
+back (footnote 6: "the file never contracts").  This module adds the
+missing half of the allocator.  Every base pager owns a :class:`FreeList`
+-- an in-memory set of free page numbers -- and grows two protocol
+methods on top of it:
+
+- ``free_page(pageno)`` marks a page free for reuse;
+- ``alloc_page()`` returns the lowest free page, or the page one past
+  the current end of file when none is free.
+
+Writing a page through any pager automatically clears its free mark, so
+a page that a higher layer re-creates by address (the hash table's
+``_fault(create=True)`` path does this after a merge is undone by a
+re-split) can never stay accounted free.
+
+On-disk persistence is intrusive, the classic UNIX filesystem trick: the
+free pages themselves form a singly-linked chain.  Each free page starts
+with an 8-byte record::
+
+    offset  size  field
+    0       4     magic  0x46524545 ("FREE", big-endian)
+    4       4     next   page number of the next free page, or 0
+
+and the chain head is a single page number stored by the *owner* of the
+file format (the hash table keeps it in its header's ``free_head`` field
+-- see docs/FORMAT.md).  ``0`` terminates the chain: page 0 is always
+format metadata (a header or meta page), never free, so 0 doubles as
+"none" and a zeroed header field from an older file reads back as an
+empty freelist.
+
+Persistence I/O goes through whatever pager the owner hands in --
+a :class:`~repro.core.wal.WALPager` when durability is on -- so chain
+writes are logged and replayed exactly like data pages: the freelist is
+crash-consistent with the header that points at it.
+
+``trim()`` turns logical frees into a physically smaller file by
+truncating any run of free pages that touches EOF.
+"""
+
+from __future__ import annotations
+
+import struct
+
+__all__ = ["FREE_PAGE_MAGIC", "FreeList", "FreeListError"]
+
+#: magic stamped on every chained free page ("FREE")
+FREE_PAGE_MAGIC = 0x46524545
+
+_CHAIN = struct.Struct(">II")  # magic, next pageno (0 = end of chain)
+
+
+class FreeListError(ValueError):
+    """A persisted freelist chain is malformed (bad magic, cycle, range)."""
+
+
+class FreeList:
+    """An in-memory set of free page numbers with intrusive persistence.
+
+    The set itself is plain bookkeeping -- O(1) membership, lowest-first
+    reuse -- and is owned by a single base pager.  ``persist``/``load``
+    serialize it through the chain format above; ``dirty`` tracks whether
+    the in-memory set has diverged from what was last persisted/loaded.
+    """
+
+    __slots__ = ("_free", "dirty")
+
+    def __init__(self) -> None:
+        self._free: set[int] = set()
+        #: True when the set changed since the last persist()/load()
+        self.dirty = False
+
+    # -- set operations --------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._free)
+
+    def __contains__(self, pageno: int) -> bool:
+        return pageno in self._free
+
+    def __bool__(self) -> bool:
+        return bool(self._free)
+
+    def pages(self) -> tuple[int, ...]:
+        """The free page numbers, ascending."""
+        return tuple(sorted(self._free))
+
+    def add(self, pageno: int) -> None:
+        """Mark ``pageno`` free.  Page 0 (format metadata) is rejected."""
+        if pageno <= 0:
+            raise ValueError(f"cannot free page {pageno} (page 0 is metadata)")
+        if pageno not in self._free:
+            self._free.add(pageno)
+            self.dirty = True
+
+    def discard(self, pageno: int) -> None:
+        """Clear the free mark on ``pageno`` (no-op when not free)."""
+        if pageno in self._free:
+            self._free.discard(pageno)
+            self.dirty = True
+
+    def pop_lowest(self) -> int | None:
+        """Remove and return the lowest free page, or None when empty."""
+        if not self._free:
+            return None
+        pageno = min(self._free)
+        self._free.discard(pageno)
+        self.dirty = True
+        return pageno
+
+    def clear(self) -> None:
+        if self._free:
+            self._free.clear()
+            self.dirty = True
+
+    def restore(self, pages) -> None:
+        """Reset the set to ``pages`` (transaction-abort rollback)."""
+        self._free = set(pages)
+        self.dirty = True
+
+    # -- persistence -----------------------------------------------------------
+
+    def persist(self, io) -> int:
+        """Write the chain through pager ``io`` and return its head.
+
+        Every free page gets its 8-byte chain record (the rest of the
+        page is left zero); the returned head page number -- 0 when the
+        list is empty -- is for the caller to store in its own metadata.
+        Writing the chain goes through ``io.write_page``, so under a WAL
+        the chain commits or vanishes atomically with the header.
+        """
+        chain = sorted(self._free)
+        # write_page clears free marks (a written page is live by
+        # definition); re-establish the set after the chain lands.
+        for i, pageno in enumerate(chain):
+            nxt = chain[i + 1] if i + 1 < len(chain) else 0
+            io.write_page(pageno, _CHAIN.pack(FREE_PAGE_MAGIC, nxt))
+        self._free = set(chain)
+        self.dirty = False
+        return chain[0] if chain else 0
+
+    def load(self, io, head: int, *, npages: int | None = None) -> int:
+        """Replace the set with the chain starting at ``head``.
+
+        Walks ``next`` pointers through ``io.read_page`` with full
+        validation -- bad magic, out-of-range pages and cycles raise
+        :class:`FreeListError` rather than silently corrupting the
+        allocator.  Returns the number of pages loaded.
+        """
+        limit = npages if npages is not None else io.npages()
+        free: set[int] = set()
+        pageno = head
+        while pageno:
+            if pageno < 0 or pageno >= limit:
+                raise FreeListError(
+                    f"freelist chain points at page {pageno} outside the "
+                    f"file ({limit} pages)"
+                )
+            if pageno in free:
+                raise FreeListError(f"freelist chain cycles at page {pageno}")
+            magic, nxt = _CHAIN.unpack_from(io.read_page(pageno))
+            if magic != FREE_PAGE_MAGIC:
+                raise FreeListError(
+                    f"page {pageno} on the freelist chain has magic "
+                    f"{magic:#010x}, expected {FREE_PAGE_MAGIC:#010x}"
+                )
+            free.add(pageno)
+            pageno = nxt
+        self._free = free
+        self.dirty = False
+        return len(free)
+
+    def trim(self, io) -> int:
+        """Truncate every free page touching EOF; returns pages cut.
+
+        Only the tail run can be returned to the filesystem -- interior
+        free pages stay chained for reuse.  Call at a quiescent point
+        (sync/checkpoint): under a WAL, truncation bypasses the log, so
+        it must not run while an open transaction could still roll back
+        to a state that needs those pages.
+        """
+        n = io.npages()
+        cut = 0
+        while n > 0 and (n - 1) in self._free:
+            self._free.discard(n - 1)
+            n -= 1
+            cut += 1
+        if cut:
+            self.dirty = True
+            io.truncate(n)
+        return cut
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<FreeList n={len(self._free)} dirty={self.dirty}>"

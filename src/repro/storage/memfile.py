@@ -7,6 +7,7 @@ remain observable even without a disk.
 
 from __future__ import annotations
 
+from repro.storage.freelist import FreeList
 from repro.storage.iostats import IOStats
 
 
@@ -20,6 +21,8 @@ class MemPagedFile:
         self.readonly = readonly
         self.path = None
         self.stats = IOStats()
+        #: freed-page accounting (see repro.storage.freelist)
+        self.freelist = FreeList()
         #: optional page-I/O trace callback ``(kind, pageno, nbytes)``,
         #: invoked on every read/write when set (see repro.obs.hooks)
         self.on_page_io = None
@@ -51,6 +54,8 @@ class MemPagedFile:
         if len(data) < self.pagesize:
             data = data + b"\0" * (self.pagesize - len(data))
         self._pages[pageno] = bytes(data)
+        if self.freelist:
+            self.freelist.discard(pageno)  # a written page is live
         self.stats.record_write(len(data))
         cb = self.on_page_io
         if cb is not None:
@@ -74,11 +79,32 @@ class MemPagedFile:
             self._pages[start_pageno + i] = bytes(
                 data[i * self.pagesize : (i + 1) * self.pagesize]
             )
+            if self.freelist:
+                self.freelist.discard(start_pageno + i)
         self.stats.record_vector_write(n, len(data))
         cb = self.on_page_io
         if cb is not None:
             for i in range(n):
                 cb("write", start_pageno + i, self.pagesize)
+
+    def free_page(self, pageno: int) -> None:
+        """Mark ``pageno`` free for reuse (bookkeeping only, no I/O)."""
+        self._check_open()
+        if self.readonly:
+            raise OSError("free_page on readonly MemPagedFile")
+        if pageno >= self.npages():
+            raise ValueError(
+                f"cannot free page {pageno} past EOF ({self.npages()} pages)"
+            )
+        self.freelist.add(pageno)
+
+    def alloc_page(self) -> int:
+        """Return a usable page number: the lowest free page, else EOF."""
+        self._check_open()
+        if self.readonly:
+            raise OSError("alloc_page on readonly MemPagedFile")
+        pageno = self.freelist.pop_lowest()
+        return pageno if pageno is not None else self.npages()
 
     def sync(self) -> None:
         self._check_open()
@@ -87,6 +113,8 @@ class MemPagedFile:
     def truncate(self, npages: int) -> None:
         self._check_open()
         self._pages = {n: p for n, p in self._pages.items() if n < npages}
+        for pageno in [p for p in self.freelist.pages() if p >= npages]:
+            self.freelist.discard(pageno)
         self.stats.record_syscall()
 
     def npages(self) -> int:

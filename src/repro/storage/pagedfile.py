@@ -18,6 +18,7 @@ from __future__ import annotations
 import os
 import tempfile
 
+from repro.storage.freelist import FreeList
 from repro.storage.iostats import IOStats
 
 
@@ -52,6 +53,9 @@ class PagedFile:
         self.pagesize = pagesize
         self.readonly = readonly
         self.stats = IOStats()
+        #: freed-page accounting; persisted by the owning format via
+        #: FreeList.persist/load (see repro.storage.freelist)
+        self.freelist = FreeList()
         #: optional page-I/O trace callback ``(kind, pageno, nbytes)``,
         #: invoked on every read/write when set (see repro.obs.hooks)
         self.on_page_io = None
@@ -105,6 +109,8 @@ class PagedFile:
         if len(data) < self.pagesize:
             data = data + b"\0" * (self.pagesize - len(data))
         os.pwrite(self._fd, data, pageno * self.pagesize)
+        if self.freelist:
+            self.freelist.discard(pageno)  # a written page is live
         self.stats.record_write(len(data))
         cb = self.on_page_io
         if cb is not None:
@@ -124,11 +130,40 @@ class PagedFile:
             )
         os.pwrite(self._fd, data, start_pageno * self.pagesize)
         n = len(data) // self.pagesize
+        if self.freelist:
+            for i in range(n):
+                self.freelist.discard(start_pageno + i)
         self.stats.record_vector_write(n, len(data))
         cb = self.on_page_io
         if cb is not None:
             for i in range(n):
                 cb("write", start_pageno + i, self.pagesize)
+
+    # -- page allocation -------------------------------------------------------
+
+    def free_page(self, pageno: int) -> None:
+        """Mark ``pageno`` free for reuse by :meth:`alloc_page`.
+
+        Purely bookkeeping -- no I/O happens here; the page's bytes stay
+        in place until something reuses or truncates them.  The owner of
+        the file format persists the set via its freelist chain.
+        """
+        self._check_open()
+        if self.readonly:
+            raise OSError("free_page on readonly PagedFile")
+        if pageno >= self.npages():
+            raise ValueError(
+                f"cannot free page {pageno} past EOF ({self.npages()} pages)"
+            )
+        self.freelist.add(pageno)
+
+    def alloc_page(self) -> int:
+        """Return a usable page number: the lowest free page, else EOF."""
+        self._check_open()
+        if self.readonly:
+            raise OSError("alloc_page on readonly PagedFile")
+        pageno = self.freelist.pop_lowest()
+        return pageno if pageno is not None else self.npages()
 
     # -- maintenance -----------------------------------------------------------
 
@@ -142,6 +177,8 @@ class PagedFile:
         """Shrink or extend the file to exactly ``npages`` pages."""
         self._check_open()
         os.ftruncate(self._fd, npages * self.pagesize)
+        for pageno in [p for p in self.freelist.pages() if p >= npages]:
+            self.freelist.discard(pageno)  # truncated away, no longer reusable
         self.stats.record_syscall()
 
     def npages(self) -> int:

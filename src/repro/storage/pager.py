@@ -38,6 +38,7 @@ import os
 from typing import Protocol, runtime_checkable
 
 from repro.storage.bytefile import ByteFile
+from repro.storage.freelist import FreeList
 from repro.storage.iostats import IOStats
 from repro.storage.memfile import MemPagedFile
 from repro.storage.pagedfile import PagedFile
@@ -53,16 +54,21 @@ class Pager(Protocol):
     - ``readonly`` -- writes raise when true;
     - ``path`` -- backing file path or ``None``;
     - ``stats`` -- an :class:`IOStats` counting every operation;
+    - ``freelist`` -- a :class:`~repro.storage.freelist.FreeList` of
+      reusable page numbers fed by ``free_page`` and drained by
+      ``alloc_page`` (wrappers expose the base pager's instance);
     - ``on_page_io`` -- optional ``(kind, pageno, nbytes)`` trace callback
       invoked on every page read/write (``kind`` is 'read' or 'write').
 
     Reads past EOF (or into holes) return zero-filled pages; writes
     shorter than a page are zero-padded; longer writes are an error.
+    Writing a page clears its free mark: a written page is live.
     """
 
     pagesize: int
     readonly: bool
     stats: IOStats
+    freelist: FreeList
 
     def read_page(self, pageno: int) -> bytes: ...
 
@@ -72,6 +78,18 @@ class Pager(Protocol):
         """Vectored write: ``data`` (a whole number of pages) lands at
         ``start_pageno`` onward in ONE backend operation (one syscall in
         ``stats``, one ``page_write`` per page)."""
+        ...
+
+    def free_page(self, pageno: int) -> None:
+        """Mark an existing page reusable (bookkeeping only, no I/O).
+        The page's bytes stay on disk until reused or truncated; the
+        format owning the file persists the set (docs/STORAGE.md)."""
+        ...
+
+    def alloc_page(self) -> int:
+        """A usable page number: the lowest free page, else one past EOF.
+        The page is not written here -- the caller's first write claims
+        it (and clears any free mark)."""
         ...
 
     def sync(self) -> None: ...
@@ -132,6 +150,8 @@ class BytePagerAdapter:
         self.inner = inner
         self.pagesize = pagesize
         self.stats = IOStats()
+        #: freed-page accounting (see repro.storage.freelist)
+        self.freelist = FreeList()
         #: optional page-I/O trace callback ``(kind, pageno, nbytes)``
         self.on_page_io = None
 
@@ -165,6 +185,8 @@ class BytePagerAdapter:
         if len(data) < self.pagesize:
             data = data + b"\0" * (self.pagesize - len(data))
         self.inner.write_at(pageno * self.pagesize, data)
+        if self.freelist:
+            self.freelist.discard(pageno)
         self.stats.record_write(len(data))
         cb = self.on_page_io
         if cb is not None:
@@ -180,11 +202,31 @@ class BytePagerAdapter:
             )
         self.inner.write_at(start_pageno * self.pagesize, data)
         n = len(data) // self.pagesize
+        if self.freelist:
+            for i in range(n):
+                self.freelist.discard(start_pageno + i)
         self.stats.record_vector_write(n, len(data))
         cb = self.on_page_io
         if cb is not None:
             for i in range(n):
                 cb("write", start_pageno + i, self.pagesize)
+
+    def free_page(self, pageno: int) -> None:
+        """Mark ``pageno`` free for reuse (bookkeeping only, no I/O)."""
+        if self.readonly:
+            raise OSError("free_page on readonly pager")
+        if pageno >= self.npages():
+            raise ValueError(
+                f"cannot free page {pageno} past EOF ({self.npages()} pages)"
+            )
+        self.freelist.add(pageno)
+
+    def alloc_page(self) -> int:
+        """A usable page number: the lowest free page, else one past EOF."""
+        if self.readonly:
+            raise OSError("alloc_page on readonly pager")
+        pageno = self.freelist.pop_lowest()
+        return pageno if pageno is not None else self.npages()
 
     def sync(self) -> None:
         self.inner.sync()
@@ -192,6 +234,8 @@ class BytePagerAdapter:
 
     def truncate(self, npages: int) -> None:
         self.inner.truncate_to(npages * self.pagesize)
+        for pageno in [p for p in self.freelist.pages() if p >= npages]:
+            self.freelist.discard(pageno)
         self.stats.record_syscall()
 
     def npages(self) -> int:

@@ -144,6 +144,17 @@ class SimulatedDisk:
     def truncate(self, npages: int) -> None:
         self.inner.truncate(npages)
 
+    def free_page(self, pageno: int) -> None:
+        # bookkeeping only -- no simulated I/O time
+        self.inner.free_page(pageno)
+
+    def alloc_page(self) -> int:
+        return self.inner.alloc_page()
+
+    @property
+    def freelist(self):
+        return self.inner.freelist
+
     def npages(self) -> int:
         return self.inner.npages()
 

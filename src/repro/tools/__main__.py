@@ -1,5 +1,5 @@
 """CLI entry point: ``python -m repro.tools
-{dump,load,stat,check,wal,prof,trace,top} ...``"""
+{dump,load,stat,check,compact,wal,prof,trace,top} ...``"""
 
 from __future__ import annotations
 
@@ -9,7 +9,7 @@ import sys
 from repro.core.check import verify_file
 from repro.core.table import HashTable
 from repro.tools.dump import dump_table, load_table
-from repro.tools.stat import format_stats
+from repro.tools.stat import format_space, format_stats
 
 
 def _cmd_dump(args) -> int:
@@ -44,7 +44,10 @@ def _cmd_stat(args) -> int:
 
         tree = BTree.open_file(args.file, readonly=True)
         try:
-            print(format_btree_stats(tree))
+            if args.space:
+                print(_format_btree_space(tree, args.file))
+            else:
+                print(format_btree_stats(tree))
         finally:
             tree.close()
         return 0
@@ -52,14 +55,67 @@ def _cmd_stat(args) -> int:
         from repro.baselines.gdbm.gdbm import Gdbm
         from repro.tools.prof import format_metric_tree
 
+        if args.space:
+            print("stat --space: gdbm files are not supported", file=sys.stderr)
+            return 2
         with Gdbm(args.file, "r") as db:
             print(format_metric_tree(db.stat()))
         return 0
     table = HashTable.open_file(args.file, readonly=True)
     try:
-        print(format_stats(table))
+        print(format_space(table) if args.space else format_stats(table))
     finally:
         table.close()
+    return 0
+
+
+def _format_btree_space(tree, path: str) -> str:
+    """Space report for a btree file: total pages vs its in-file free
+    chain (the btree keeps its own free list, not the pager's)."""
+    from repro.access.btree.nodes import NodeView
+
+    free = 0
+    pgno = tree.free_head
+    while pgno:
+        free += 1
+        hdr = tree.pool.get(pgno)
+        pgno = NodeView(hdr.page).next
+    file_pages = tree._file.npages()
+    frag = 100.0 * free / file_pages if file_pages else 0.0
+    return "\n".join(
+        [
+            f"space report for {path}",
+            f"  {'file_pages':<22} {file_pages}",
+            f"  {'file_bytes':<22} {tree._file.size_bytes()}",
+            f"  {'free_pages':<22} {free}",
+            f"  {'nkeys':<22} {tree.nkeys}",
+            f"  {'fragmentation_pct':<22} {frag:.1f}",
+        ]
+    )
+
+
+def _cmd_compact(args) -> int:
+    kind = _detect_type(args.file)
+    if kind == "gdbm":
+        print("compact: gdbm files are not supported", file=sys.stderr)
+        return 2
+    if kind == "btree":
+        from repro.access.btree.btree import BTree
+
+        db = BTree.open_file(args.file)
+    else:
+        db = HashTable.open_file(args.file)
+    try:
+        report = db.compact()
+    finally:
+        db.close()
+    b, a = report["before"], report["after"]
+    print(
+        f"compacted {args.file}: {b['pages']} -> {a['pages']} pages "
+        f"({b['bytes']} -> {a['bytes']} bytes), "
+        f"{report['pages_reclaimed']} page(s) reclaimed, "
+        f"{report['nkeys']} keys"
+    )
     return 0
 
 
@@ -122,11 +178,22 @@ def main(argv: list[str] | None = None) -> int:
 
     p = sub.add_parser("stat", help="print table statistics")
     p.add_argument("file")
+    p.add_argument(
+        "--space",
+        action="store_true",
+        help="space/fragmentation report (pages, freelist, overflow, fill)",
+    )
     p.set_defaults(fn=_cmd_stat)
 
     p = sub.add_parser("check", help="verify table structure")
     p.add_argument("file")
     p.set_defaults(fn=_cmd_check)
+
+    p = sub.add_parser(
+        "compact", help="rewrite a database into minimal form in place"
+    )
+    p.add_argument("file")
+    p.set_defaults(fn=_cmd_compact)
 
     from repro.tools.prof import add_prof_parser
     from repro.tools.trace import add_trace_parsers

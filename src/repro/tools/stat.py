@@ -53,6 +53,26 @@ def collect_stats(table: HashTable) -> dict:
     }
 
 
+def format_space(table: HashTable) -> str:
+    """Human-readable space/fragmentation report (``stat --space``)."""
+    space = table.stat()["space"]
+    path = getattr(table._file, "path", None)
+    ovfl = space["overflow_pages"]
+    lines = [
+        f"space report for {path or '<memory>'}",
+        f"  {'file_pages':<22} {space['file_pages']}",
+        f"  {'file_bytes':<22} {space['file_bytes']}",
+        f"  {'header_pages':<22} {space['header_pages']}",
+        f"  {'bucket_pages':<22} {space['bucket_pages']}",
+        f"  {'overflow_allocated':<22} {ovfl['allocated']}",
+        f"  {'overflow_in_use':<22} {ovfl['in_use']}",
+        f"  {'freelist_pages':<22} {space['freelist_pages']}",
+        f"  {'fill_factor':<22} {space['fill_factor']:.3f}",
+        f"  {'fragmentation_pct':<22} {space['fragmentation_pct']:.1f}",
+    ]
+    return "\n".join(lines)
+
+
 def format_stats(table: HashTable) -> str:
     """Human-readable hashstat output."""
     stats = collect_stats(table)

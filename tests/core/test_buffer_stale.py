@@ -1,0 +1,80 @@
+"""Regression: invalidating a cached page address must poison any
+outstanding :class:`BufferHeader` (and its cached PageView), so a stale
+reference can never decode bytes of the page's next life.
+
+The freelist made this reachable: a contracted bucket's page goes back to
+the pager and a later allocation reuses the same address for unrelated
+contents."""
+
+from __future__ import annotations
+
+from repro.core.buffer import BufferPool
+from repro.core.pages import PageView
+from repro.storage.memfile import MemPagedFile
+
+BSIZE = 256
+
+
+def _pool():
+    io = MemPagedFile(BSIZE)
+    return io, BufferPool(io, BSIZE, BSIZE * 8, lambda key: key)
+
+
+def test_invalidate_poisons_outstanding_header():
+    _io, pool = _pool()
+    hdr = pool.get(3, create=True)
+    view = hdr.view()
+    view.initialize()
+    view.add_pair(b"old-key", b"old-val")
+    epoch = hdr.epoch
+    pool.invalidate(3)
+    # the dropped header is unusable for decoding, not silently stale
+    assert hdr.epoch == epoch + 1
+    assert hdr.formatted is False
+    assert hdr._view is None
+    assert hdr.dirty is False
+
+
+def test_stale_view_not_reused_after_address_reuse():
+    _io, pool = _pool()
+    hdr = pool.get(5, create=True)
+    old_view = hdr.view()
+    old_view.initialize()
+    old_view.add_pair(b"doomed", b"bucket")
+    hdr.dirty = False  # never write the dead page back (merge path)
+    pool.invalidate(5)
+
+    # the address comes back for unrelated contents (freelist reuse)
+    hdr2 = pool.get(5, create=True)
+    new_view = hdr2.view()
+    new_view.initialize()
+    new_view.add_pair(b"fresh", b"page")
+
+    # a fresh fault must hand out the new buffer, not the poisoned one
+    assert pool.get(5) is hdr2
+    assert hdr2.view().get_pair(0) == (b"fresh", b"page")
+    # the old header no longer caches a view; a new view over its bytes
+    # is explicitly a private construction, never pool state
+    assert hdr._view is None
+
+
+def test_discard_poisons_like_invalidate():
+    _io, pool = _pool()
+    hdr = pool.get(7, create=True)
+    view = hdr.view()
+    view.initialize()
+    hdr.dirty = True
+    epoch = hdr.epoch
+    dropped = pool.discard(lambda h: True)
+    assert dropped == 1
+    assert hdr.epoch == epoch + 1
+    assert hdr._view is None
+    # discard never writes back
+    assert _io.npages() == 0
+
+
+def test_shared_view_identity_while_resident():
+    _io, pool = _pool()
+    hdr = pool.get(1, create=True)
+    assert hdr.view() is hdr.view()
+    assert isinstance(hdr.view(), PageView)

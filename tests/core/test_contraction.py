@@ -1,0 +1,228 @@
+"""Linear-hash contraction (``min_fill``): the inverse of the paper's
+splits.  Delete churn below the utilization floor merges the highest
+bucket into its buddy, rolls the masks back, and frees the bucket's page
+to the pager freelist -- which persists across reopen and feeds later
+growth."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import (
+    ConcurrentModificationError,
+    InvalidParameterError,
+)
+from repro.core.table import HashTable
+
+PAIRS = [(f"key{i:05d}".encode(), f"val{i:05d}".encode() * 4) for i in range(2000)]
+
+
+def _churn(table, nput=2000, ndel=1800):
+    table.put_many(PAIRS[:nput])
+    table.sync()  # materialize the grown pages so frees are physical
+    for k, _ in PAIRS[:ndel]:
+        table.delete(k)
+
+
+class TestParameter:
+    def test_min_fill_validated(self):
+        for bad in (-0.1, 1.0, 2.5):
+            with pytest.raises(InvalidParameterError):
+                HashTable.create(None, in_memory=True, min_fill=bad)
+
+    def test_default_never_contracts(self):
+        with HashTable.create(None, in_memory=True, nelem=100) as t:
+            _churn(t)
+            assert t.stats.merges == 0
+            assert t.stats.pages_freed == 0
+
+    def test_min_fill_survives_reopen_as_argument(self, tmp_path):
+        path = tmp_path / "t.db"
+        t = HashTable.create(path, min_fill=0.3)
+        assert t.min_fill == 0.3
+        t.close()
+        t = HashTable.open_file(path, min_fill=0.4)
+        assert t.min_fill == 0.4
+        t.close()
+
+
+class TestContraction:
+    def test_churn_contracts_and_survivors_stay_readable(self):
+        with HashTable.create(None, in_memory=True, min_fill=0.5) as t:
+            t.put_many(PAIRS)
+            t.sync()
+            grown = t.header.max_bucket
+            for k, _ in PAIRS[:1800]:
+                t.delete(k)
+            assert t.header.max_bucket < grown
+            assert t.stats.merges > 0
+            assert t.stats.pages_freed > 0
+            t.check_invariants()
+            for k, v in PAIRS[1800:]:
+                assert t.get(k) == v
+            for k, _ in PAIRS[:1800]:
+                assert t.get(k) is None
+
+    def test_mask_rollback_keeps_invariants_every_step(self):
+        # invariants re-checked after every delete: each merge must leave
+        # low_mask == high_mask >> 1 and the bucket range consistent
+        with HashTable.create(None, in_memory=True, min_fill=0.5) as t:
+            t.put_many(PAIRS[:600])
+            for k, _ in PAIRS[:590]:
+                t.delete(k)
+                t.check_invariants()
+
+    def test_contraction_stops_file_growth(self, tmp_path):
+        # repeated churn cycles: with contraction the file reaches a
+        # steady state instead of growing monotonically
+        path = tmp_path / "cycle.db"
+        t = HashTable.create(path, min_fill=0.5)
+        sizes = []
+        for _ in range(4):
+            t.put_many(PAIRS)
+            for k, _ in PAIRS[:1800]:
+                t.delete(k)
+            t.sync()
+            sizes.append(t._file.npages())
+        t.close()
+        assert max(sizes[1:]) <= sizes[0] * 1.05
+
+    def test_re_expansion_after_contraction(self):
+        # grow -> shrink -> grow again: freed pages must be reusable and
+        # the table fully consistent through the round trip
+        with HashTable.create(None, in_memory=True, min_fill=0.5) as t:
+            _churn(t)
+            merges = t.stats.merges
+            assert merges > 0
+            t.put_many(PAIRS)
+            t.check_invariants()
+            for k, v in PAIRS:
+                assert t.get(k) == v
+
+    def test_merge_and_free_hooks(self):
+        with HashTable.create(None, in_memory=True, min_fill=0.5) as t:
+            merges, frees = [], []
+            t.hooks.subscribe("on_merge", merges.append)
+            t.hooks.subscribe("on_free", frees.append)
+            _churn(t)
+            assert merges and frees
+            for p in merges:
+                assert p["reason"] == "floor"
+                assert set(p) >= {"bucket", "buddy", "nkeys", "freed_page"}
+                assert p["buddy"] < p["bucket"]
+            for p in frees:
+                assert p["kind"] == "bucket"
+                assert p["pageno"] > 0
+            assert len(merges) == t.stats.merges
+            assert len(frees) == t.stats.pages_freed
+
+    def test_stat_exposes_contraction(self):
+        with HashTable.create(None, in_memory=True, min_fill=0.5) as t:
+            _churn(t)
+            st = t.stat()
+            assert st["method"]["min_fill"] == 0.5
+            assert st["method"]["merges"] == t.stats.merges > 0
+            assert st["method"]["pages_freed"] > 0
+            assert st["space"]["freelist_pages"] >= 0
+
+
+class TestPersistence:
+    def test_freelist_survives_reopen(self, tmp_path):
+        path = tmp_path / "t.db"
+        t = HashTable.create(path, min_fill=0.5)
+        _churn(t)
+        t.sync()
+        freed = t._file.freelist.pages()
+        t.close()
+        t = HashTable.open_file(path)
+        try:
+            # sync/close trim the tail run; the interior pages reload
+            assert set(t._file.freelist.pages()) <= set(freed)
+            t.check_invariants()
+            for k, v in PAIRS[1800:]:
+                assert t.get(k) == v
+        finally:
+            t.close()
+
+    def test_close_trims_tail_free_run(self, tmp_path):
+        path = tmp_path / "t.db"
+        t = HashTable.create(path, min_fill=0.5)
+        t.put_many(PAIRS)
+        grown_pages = None
+        for k, _ in PAIRS[:1800]:
+            t.delete(k)
+        grown_pages = t._file.npages()
+        t.close()
+        import os
+
+        shrunk = os.path.getsize(path)
+        t = HashTable.open_file(path)
+        try:
+            assert t._file.npages() <= grown_pages
+            t.check_invariants()
+        finally:
+            t.close()
+        assert shrunk == os.path.getsize(path)
+
+
+class TestTransactions:
+    def test_abort_rewinds_merges_and_freelist(self, tmp_path):
+        t = HashTable.create(
+            tmp_path / "t.db", min_fill=0.5, durability="wal"
+        )
+        try:
+            t.put_many(PAIRS[:500])
+            t.checkpoint()
+            before_bucket = t.header.max_bucket
+            before_free = t._file.freelist.pages()
+            t.begin()
+            for k, _ in PAIRS[:450]:
+                t.delete(k)
+            assert t.header.max_bucket < before_bucket  # merged in-txn
+            t.abort()
+            assert t.header.max_bucket == before_bucket
+            assert t._file.freelist.pages() == before_free
+            t.check_invariants()
+            for k, v in PAIRS[:500]:
+                assert t.get(k) == v
+        finally:
+            t.close()
+
+    def test_committed_contraction_recovers(self, tmp_path):
+        path = tmp_path / "t.db"
+        t = HashTable.create(path, min_fill=0.5, durability="wal")
+        t.put_many(PAIRS[:500])
+        t.begin()
+        for k, _ in PAIRS[:450]:
+            t.delete(k)
+        t.commit()
+        merged_bucket = t.header.max_bucket
+        del t  # kill -9: recovery must replay the committed merges
+        t = HashTable.open_file(path, durability="wal")
+        try:
+            assert t.header.max_bucket == merged_bucket
+            t.check_invariants()
+            for k, v in PAIRS[450:500]:
+                assert t.get(k) == v
+        finally:
+            t.close()
+
+
+class TestCursors:
+    def test_concurrent_cursor_fails_fast_across_merge(self):
+        t = HashTable.create(
+            None, in_memory=True, min_fill=0.5, concurrent=True
+        )
+        try:
+            t.put_many(PAIRS[:400])
+            cur = t.cursor()
+            assert cur.first() is not None
+            for k, _ in PAIRS[:380]:
+                t.delete(k)
+            assert t.stats.merges > 0
+            with pytest.raises(ConcurrentModificationError):
+                for _ in range(400):
+                    if cur.next() is None:
+                        raise AssertionError("cursor never failed fast")
+        finally:
+            t.close()

@@ -1,0 +1,187 @@
+"""The pager freelist: set semantics, the free/alloc protocol, intrusive
+chain persistence, corruption detection, and tail trimming."""
+
+from __future__ import annotations
+
+import struct
+
+import pytest
+
+from repro.storage.freelist import (
+    FREE_PAGE_MAGIC,
+    FreeList,
+    FreeListError,
+)
+from repro.storage.memfile import MemPagedFile
+from repro.storage.pagedfile import PagedFile
+
+_CHAIN = struct.Struct(">II")
+
+
+@pytest.fixture(params=["disk", "mem"])
+def pager(request, tmp_path):
+    if request.param == "disk":
+        io = PagedFile(tmp_path / "fl.db", pagesize=256, create=True)
+    else:
+        io = MemPagedFile(256)
+    yield io
+    io.close()
+
+
+def _grow(io, n: int) -> None:
+    for p in range(n):
+        io.write_page(p, bytes([p % 251 + 1]) * io.pagesize)
+
+
+class TestSetSemantics:
+    def test_add_discard_pop_lowest(self):
+        fl = FreeList()
+        assert len(fl) == 0 and not fl
+        fl.add(7)
+        fl.add(3)
+        fl.add(7)  # idempotent
+        assert fl.pages() == (3, 7)
+        assert 3 in fl and 5 not in fl
+        assert fl.pop_lowest() == 3
+        assert fl.pop_lowest() == 7
+        assert fl.pop_lowest() is None
+
+    def test_page_zero_rejected(self):
+        fl = FreeList()
+        with pytest.raises(ValueError):
+            fl.add(0)
+        with pytest.raises(ValueError):
+            fl.add(-1)
+
+    def test_dirty_tracking(self):
+        fl = FreeList()
+        assert not fl.dirty
+        fl.add(2)
+        assert fl.dirty
+        fl.dirty = False
+        fl.discard(99)  # absent: no state change
+        assert not fl.dirty
+        fl.discard(2)
+        assert fl.dirty
+
+    def test_clear_and_restore(self):
+        fl = FreeList()
+        fl.add(4)
+        fl.dirty = False
+        fl.clear()
+        assert fl.dirty and len(fl) == 0
+        fl.restore((8, 5))
+        assert fl.pages() == (5, 8)
+        assert fl.dirty
+
+
+class TestProtocol:
+    def test_free_then_alloc_reuses_lowest(self, pager):
+        _grow(pager, 6)
+        pager.free_page(4)
+        pager.free_page(2)
+        assert pager.alloc_page() == 2
+        assert pager.alloc_page() == 4
+        # empty freelist: allocation extends the file
+        assert pager.alloc_page() == pager.npages()
+
+    def test_free_past_eof_rejected(self, pager):
+        _grow(pager, 3)
+        with pytest.raises(ValueError):
+            pager.free_page(3)
+
+    def test_write_clears_free_mark(self, pager):
+        _grow(pager, 5)
+        pager.free_page(3)
+        assert 3 in pager.freelist
+        pager.write_page(3, b"\x01" * pager.pagesize)
+        assert 3 not in pager.freelist  # a written page is live
+        pager.free_page(3)
+        pager.write_pages(2, b"\x02" * (2 * pager.pagesize))
+        assert 3 not in pager.freelist
+
+    def test_truncate_drops_cut_pages(self, pager):
+        _grow(pager, 8)
+        pager.free_page(2)
+        pager.free_page(6)
+        pager.truncate(5)
+        assert 6 not in pager.freelist
+        assert 2 in pager.freelist
+
+    def test_readonly_pager_rejects(self, tmp_path):
+        path = tmp_path / "ro.db"
+        io = PagedFile(path, pagesize=256, create=True)
+        _grow(io, 3)
+        io.close()
+        ro = PagedFile(path, pagesize=256, readonly=True)
+        try:
+            with pytest.raises(OSError):
+                ro.free_page(1)
+            with pytest.raises(OSError):
+                ro.alloc_page()
+        finally:
+            ro.close()
+
+
+class TestPersistence:
+    def test_round_trip(self, pager):
+        _grow(pager, 10)
+        for p in (3, 7, 5):
+            pager.free_page(p)
+        head = pager.freelist.persist(pager)
+        assert head == 3  # chain is written lowest-first
+        assert not pager.freelist.dirty
+        # persist survives write_page's free-mark clearing
+        assert pager.freelist.pages() == (3, 5, 7)
+        fresh = FreeList()
+        assert fresh.load(pager, head, npages=pager.npages()) == 3
+        assert fresh.pages() == (3, 5, 7)
+        assert not fresh.dirty
+
+    def test_empty_persist_returns_zero(self, pager):
+        _grow(pager, 2)
+        assert pager.freelist.persist(pager) == 0
+        fresh = FreeList()
+        assert fresh.load(pager, 0) == 0
+        assert fresh.pages() == ()
+
+    def test_bad_magic_raises(self, pager):
+        _grow(pager, 4)
+        pager.write_page(2, _CHAIN.pack(0xDEADBEEF, 0))
+        fl = FreeList()
+        with pytest.raises(FreeListError, match="magic"):
+            fl.load(pager, 2)
+        # a failed load leaves the previous set intact
+        assert fl.pages() == ()
+
+    def test_out_of_range_raises(self, pager):
+        _grow(pager, 4)
+        pager.write_page(2, _CHAIN.pack(FREE_PAGE_MAGIC, 900))
+        with pytest.raises(FreeListError, match="outside"):
+            FreeList().load(pager, 2)
+        with pytest.raises(FreeListError, match="outside"):
+            FreeList().load(pager, 900)
+
+    def test_cycle_raises(self, pager):
+        _grow(pager, 4)
+        pager.write_page(1, _CHAIN.pack(FREE_PAGE_MAGIC, 2))
+        pager.write_page(2, _CHAIN.pack(FREE_PAGE_MAGIC, 1))
+        with pytest.raises(FreeListError, match="cycle"):
+            FreeList().load(pager, 1)
+
+
+class TestTrim:
+    def test_tail_run_truncated(self, pager):
+        _grow(pager, 10)
+        for p in (3, 7, 8, 9):
+            pager.free_page(p)
+        cut = pager.freelist.trim(pager)
+        assert cut == 3  # 7, 8, 9 touch EOF; 3 is interior
+        assert pager.npages() == 7
+        assert pager.freelist.pages() == (3,)
+
+    def test_no_tail_run_is_noop(self, pager):
+        _grow(pager, 5)
+        pager.free_page(1)
+        assert pager.freelist.trim(pager) == 0
+        assert pager.npages() == 5
