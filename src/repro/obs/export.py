@@ -103,11 +103,25 @@ def to_prometheus(stat: dict, prefix: str = "repro") -> str:
 
     def walk(node, parts):
         if _is_histogram(node):
-            name = _metric_name(parts) + "_seconds"
+            # Prometheus wants base units: millisecond histograms (the
+            # serve layer's request latencies) are scaled to seconds;
+            # dimensionless ones (batch sizes) keep their unit as suffix.
+            unit = node.get("unit", "seconds")
+            if unit in ("ms", "milliseconds"):
+                scale, suffix = 1e-3, "_seconds"
+            elif unit == "seconds":
+                scale, suffix = 1.0, "_seconds"
+            else:
+                scale, suffix = 1.0, "_" + _NAME_BAD.sub("_", unit)
+            name = _metric_name(parts) + suffix
+
+            def scaled(v, _s=scale):
+                return v if _s == 1.0 else v * _s
+
             lines.append(f"# TYPE {name} summary")
             for pkey, q in _QUANTILES:
-                lines.append(f'{name}{{quantile="{q}"}} {_fmt(node[pkey])}')
-            lines.append(f"{name}_sum {_fmt(node['total'])}")
+                lines.append(f'{name}{{quantile="{q}"}} {_fmt(scaled(node[pkey]))}')
+            lines.append(f"{name}_sum {_fmt(scaled(node['total']))}")
             lines.append(f"{name}_count {_fmt(node['count'])}")
             return
         if isinstance(node, dict):

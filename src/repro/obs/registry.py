@@ -228,7 +228,7 @@ class Histogram:
 
     def as_value(self) -> dict:
         empty = self.count == 0
-        return {
+        out = {
             "count": self.count,
             "total": self.total,
             "mean": self.mean,
@@ -236,6 +236,13 @@ class Histogram:
             "max": 0.0 if empty else self.max,
             **self.percentiles(),
         }
+        if self.unit != "seconds":
+            # non-default units (the server's "ms" latency histograms, the
+            # batcher's "ops" sizes) must say so, or exporters mislabel
+            # and mis-scale them; seconds histograms stay byte-identical
+            # with every recorded BENCH_*.json snapshot
+            out["unit"] = self.unit
+        return out
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Histogram {self.name} count={self.count} mean={self.mean:.3g}>"

@@ -1,0 +1,136 @@
+"""CLI entry point: ``python -m repro.serve {serve,repl} ...``.
+
+``serve`` opens (or creates) a database and serves it::
+
+    python -m repro.serve serve data.db --port 5433 --http-port 9090 \\
+        --durability wal --nelem 100000
+
+On startup it prints one machine-parseable line to stdout --
+``LISTENING port=<kv> http=<http|-> path=<db>`` -- which subprocess
+harnesses use as the readiness signal.  SIGINT/SIGTERM trigger the
+graceful shutdown (drain, checkpoint, close).
+
+``repl`` connects the interactive client::
+
+    python -m repro.serve repl --port 5433
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import signal
+import sys
+
+from repro.serve.client import repl
+from repro.serve.server import Server, ServerConfig
+
+
+def _build_db(args):
+    from repro.access.db import db_open
+
+    params: dict = {"concurrent": not args.no_concurrent}
+    if args.durability != "none":
+        params["durability"] = args.durability
+    if args.bsize:
+        params["bsize"] = args.bsize
+    if args.nelem:
+        params["nelem"] = args.nelem
+    path = None if args.path == ":memory:" else args.path
+    return db_open(path, args.type, args.flag, **params)
+
+
+async def _amain(server: Server, db_path: str) -> int:
+    await server.start()
+    http = server.http_port if server.http_port is not None else "-"
+    print(f"LISTENING port={server.port} http={http} path={db_path}", flush=True)
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        try:
+            loop.add_signal_handler(sig, stop.set)
+        except NotImplementedError:  # pragma: no cover - non-unix
+            pass
+    await stop.wait()
+    print("shutting down (drain, checkpoint, close)", file=sys.stderr, flush=True)
+    await server.stop()
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    db = _build_db(args)
+    config = ServerConfig(
+        host=args.host,
+        port=args.port,
+        http_port=args.http_port,
+        max_inflight=args.max_inflight,
+        max_batch=args.max_batch,
+    )
+    if args.trace:
+        db.enable_tracing(ring_capacity=args.trace_ring or None)
+    server = Server(db, config, owns_db=True)
+    try:
+        return asyncio.run(_amain(server, args.path))
+    except KeyboardInterrupt:  # pragma: no cover - signal handler races
+        return 0
+
+
+def _cmd_repl(args) -> int:
+    return repl(args.host, args.port)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.serve", description="network serving layer for repro databases"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("serve", help="serve a database over TCP (+ optional HTTP facade)")
+    p.add_argument("path", help="database file (':memory:' for an in-memory table)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=5433, help="KV port (0 = ephemeral)")
+    p.add_argument(
+        "--http-port",
+        type=int,
+        default=None,
+        help="HTTP/Prometheus facade port (0 = ephemeral; omit to disable)",
+    )
+    p.add_argument(
+        "--type", choices=("hash", "btree", "recno"), default="hash",
+        help="access method when creating (default hash)",
+    )
+    p.add_argument(
+        "--flag", choices=("r", "w", "c", "n"), default="c",
+        help="open flag, dbm-style (default c: create if missing)",
+    )
+    p.add_argument(
+        "--durability", choices=("none", "wal", "wal+fsync"), default="none",
+        help="write-ahead logging; acked writes are committed before the ack",
+    )
+    p.add_argument(
+        "--no-concurrent", action="store_true",
+        help="open the table without thread-safety (single-threaded engines)",
+    )
+    p.add_argument("--bsize", type=int, default=0, help="bucket/page size when creating")
+    p.add_argument("--nelem", type=int, default=0, help="presize hint when creating")
+    p.add_argument("--max-inflight", type=int, default=128,
+                   help="per-connection inflight request window")
+    p.add_argument("--max-batch", type=int, default=512,
+                   help="largest coalesced engine batch")
+    p.add_argument("--trace", action="store_true",
+                   help="enable span tracing (serves /trace on the HTTP facade)")
+    p.add_argument("--trace-ring", type=int, default=0,
+                   help="flight-recorder ring capacity (0 = unbounded)")
+    p.set_defaults(fn=_cmd_serve)
+
+    p = sub.add_parser("repl", help="interactive client shell")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=5433)
+    p.set_defaults(fn=_cmd_repl)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

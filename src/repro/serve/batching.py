@@ -1,0 +1,204 @@
+"""The request coalescer: pipelined ops from every connection funnel
+into the engine's batch API.
+
+Each decoded operation becomes part of one :class:`_Run` on a single
+FIFO queue, in network-arrival order; the dispatcher task drains the
+queue, cuts a batch at the first *incompatible* run (different kind, or
+a different ``replace`` flag), and executes the whole thing in a worker
+thread through ``put_many``/``get_many`` -- one lock acquisition, one
+page-pin cycle and one trace span per batch instead of per op.
+
+Single ops (``submit``) are runs of one.  A BATCH frame's consecutive
+same-kind sub-ops arrive as one multi-op run (``submit_run``): one
+future and one queue entry for the whole stretch, which is what makes
+the pipelined-BATCH path cheap -- the per-op cost is a list append, not
+an ``asyncio.Future``.
+
+Correctness comes from two invariants:
+
+- **arrival order is execution order**: batches are cut, never
+  reordered, so the engine sees the exact global sequence the network
+  delivered and per-key outcomes stay linearizable;
+- **acks follow durability**: on a table opened with
+  ``durability='wal'``/``'wal+fsync'`` every mutating batch runs inside
+  an explicit transaction, and the op futures resolve only after
+  ``commit()`` returned -- an acknowledged write has reached the log
+  before the client hears about it.
+
+The dispatcher is strictly one-batch-at-a-time, which is what makes the
+transaction wrapping safe (transactions are thread-affine and the whole
+batch runs in a single ``asyncio.to_thread`` call).
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+__all__ = ["Batcher"]
+
+#: queue sentinel that tells the dispatcher to exit
+_STOP = object()
+
+
+class _Run:
+    """A stretch of same-kind ops sharing one future.
+
+    ``single`` runs resolve to their only op's result; multi-op runs
+    resolve to the list of per-op results, in order.
+    """
+
+    __slots__ = ("kind", "keys", "values", "replace", "future", "single")
+
+    def __init__(self, kind, keys, values, replace, future, single):
+        self.kind = kind
+        self.keys = keys
+        self.values = values
+        self.replace = replace
+        self.future = future
+        self.single = single
+
+
+class Batcher:
+    """Funnel ops from all connections into the engine's batch API.
+
+    ``submit``/``submit_run`` are called from the event-loop thread and
+    return a future resolving to the op's result (or the run's result
+    list): the value (or None) for ``get``, ``True``/``False`` stored
+    for ``put``, ``True``/``False`` found for ``delete``.  ``obs`` is an
+    optional :class:`~repro.obs.registry.Registry` node for coalescing
+    metrics.
+    """
+
+    def __init__(self, db, *, max_batch: int = 512, obs=None) -> None:
+        self.db = db
+        self.max_batch = max_batch
+        self.queue: asyncio.Queue = asyncio.Queue()
+        self._held = None
+        self._task: asyncio.Task | None = None
+        self._closing = False
+        #: explicit transactions wrap write batches only when the table has a WAL
+        self.transactional = getattr(db, "durability", "none") in ("wal", "wal+fsync")
+        if obs is not None:
+            self._c_batches = obs.counter("batches")
+            self._c_ops = obs.counter("ops")
+            self._h_size = obs.histogram("batch_size", unit="ops")
+        else:
+            from repro.obs.registry import NULL_COUNTER, NULL_HISTOGRAM
+
+            self._c_batches = self._c_ops = NULL_COUNTER
+            self._h_size = NULL_HISTOGRAM
+
+    # -- event-loop side ---------------------------------------------------------
+
+    def start(self) -> None:
+        if self._task is None:
+            self._task = asyncio.get_running_loop().create_task(self._run())
+
+    async def stop(self) -> None:
+        """Drain every already-submitted op, then stop the dispatcher."""
+        if self._task is None:
+            return
+        self._closing = True
+        self.queue.put_nowait(_STOP)
+        await self._task
+        self._task = None
+
+    def submit(self, kind: str, key=None, value=None, replace: bool = True):
+        """Enqueue one op; returns a future for its result.  Calls must
+        come from the event-loop thread (ops are ordered by this call)."""
+        if self._closing:
+            raise RuntimeError("server is shutting down")
+        fut = asyncio.get_running_loop().create_future()
+        self.queue.put_nowait(_Run(kind, (key,), (value,), replace, fut, True))
+        return fut
+
+    def submit_run(self, kind: str, keys, values=None, replace: bool = True):
+        """Enqueue a stretch of same-kind ops as ONE queue entry; returns
+        a future resolving to the list of per-op results.  ``values`` is
+        the parallel list for puts (ignored for get/delete)."""
+        if self._closing:
+            raise RuntimeError("server is shutting down")
+        fut = asyncio.get_running_loop().create_future()
+        if values is None:
+            values = (None,) * len(keys)
+        self.queue.put_nowait(_Run(kind, keys, values, replace, fut, False))
+        return fut
+
+    # -- the dispatcher ----------------------------------------------------------
+
+    @staticmethod
+    def _compatible(a: _Run, b: _Run) -> bool:
+        return a.kind == b.kind and (a.kind != "put" or a.replace == b.replace)
+
+    async def _run(self) -> None:
+        while True:
+            run = self._held
+            self._held = None
+            if run is None:
+                run = await self.queue.get()
+            if run is _STOP:
+                return
+            batch = [run]
+            total = len(run.keys)
+            while total < self.max_batch:
+                try:
+                    nxt = self.queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    break
+                if nxt is _STOP or not self._compatible(run, nxt):
+                    self._held = nxt
+                    break
+                batch.append(nxt)
+                total += len(nxt.keys)
+            self._c_batches.inc()
+            self._c_ops.inc(total)
+            self._h_size.observe(total)
+            if len(batch) == 1:
+                keys, values = run.keys, run.values
+            else:
+                keys = [k for r in batch for k in r.keys]
+                values = [v for r in batch for v in r.values]
+            try:
+                results = await asyncio.to_thread(
+                    self._execute, run.kind, keys, values, run.replace
+                )
+            except BaseException as exc:  # noqa: BLE001 - relayed per run
+                for r in batch:
+                    if not r.future.done():
+                        r.future.set_exception(exc)
+            else:
+                off = 0
+                for r in batch:
+                    n = len(r.keys)
+                    if not r.future.done():
+                        r.future.set_result(
+                            results[off] if r.single else results[off : off + n]
+                        )
+                    off += n
+
+    # -- worker-thread side ------------------------------------------------------
+
+    def _execute(self, kind: str, keys, values, replace: bool) -> list:
+        db = self.db
+        if kind == "get":
+            return db.get_many(keys)
+        if kind == "put":
+            if self.transactional:
+                with db.transaction():
+                    return self._do_puts(keys, values, replace)
+            return self._do_puts(keys, values, replace)
+        if kind == "delete":
+            if self.transactional:
+                with db.transaction():
+                    return [db.delete(k) == 0 for k in keys]
+            return [db.delete(k) == 0 for k in keys]
+        raise ValueError(f"unknown op kind {kind!r}")
+
+    def _do_puts(self, keys, values, replace: bool) -> list:
+        db = self.db
+        if replace:
+            db.put_many(list(zip(keys, values)))
+            return [True] * len(keys)
+        # replace=False needs the per-key existed/stored verdict, which the
+        # aggregate count from put_many cannot give back
+        return [db.put(k, v, replace=False) == 0 for k, v in zip(keys, values)]

@@ -1,0 +1,279 @@
+"""Synchronous client library for the ``repro.serve`` binary protocol.
+
+:class:`Client` wraps one TCP connection.  The simple methods
+(``get``/``put``/``delete``/``batch``/``stat``/``ping``) are one round
+trip each; the pipelining primitives split that round trip so any number
+of requests ride the wire before the first response is read::
+
+    with Client(port=port) as c:
+        rids = [c.send("get", key) for key in keys]   # all writes first
+        values = [c.result(rid) for rid in rids]      # then all reads
+
+Responses may arrive out of order (the server completes requests as the
+engine does); the client files them by request id, so ``result`` can be
+called in any order.  Server-side error statuses raise
+:class:`ServerError` with the status code and message.
+
+``repl()`` is the interactive shell behind
+``python -m repro.serve repl``.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import sys
+
+from repro.serve import protocol as proto
+from repro.serve.protocol import FrameDecoder, ProtocolError
+
+__all__ = ["Client", "ServerError", "repl"]
+
+
+class ServerError(Exception):
+    """The server answered with an error status."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"status 0x{status:02X}: {message}")
+        self.status = status
+        self.message = message
+
+
+class Client:
+    """One connection to a ``repro.serve`` server.  Not thread-safe:
+    give each thread its own Client (connections are cheap; the server
+    multiplexes them all into one op stream anyway)."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 5433,
+        *,
+        timeout: float | None = 30.0,
+        max_frame: int = proto.DEFAULT_MAX_FRAME,
+    ) -> None:
+        self.sock = socket.create_connection((host, port), timeout=timeout)
+        self.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._decoder = FrameDecoder(max_frame)
+        self._next_id = 0
+        #: request id -> (status, payload) responses not yet claimed
+        self._responses: dict[int, tuple[int, bytes]] = {}
+        #: request id -> op descriptor, for decoding the response
+        self._sent: dict[int, tuple] = {}
+
+    # -- pipelining primitives ---------------------------------------------------
+
+    def send(self, op: str, *args, **kwargs) -> int:
+        """Write one request; returns its request id (claim the response
+        later with :meth:`result`).  Ops: ``ping [payload]``,
+        ``get key``, ``put key value [replace=]``, ``delete key``,
+        ``batch ops``, ``stat``."""
+        self._next_id += 1
+        rid = self._next_id
+        if op == "ping":
+            payload = args[0] if args else b""
+            frame = proto.encode_frame(proto.OP_PING, rid, payload)
+            self._sent[rid] = ("ping",)
+        elif op == "get":
+            frame = proto.encode_frame(proto.OP_GET, rid, _b(args[0]))
+            self._sent[rid] = ("get",)
+        elif op == "put":
+            replace = kwargs.get("replace", True)
+            payload = proto.encode_put(_b(args[0]), _b(args[1]), replace)
+            frame = proto.encode_frame(proto.OP_PUT, rid, payload)
+            self._sent[rid] = ("put",)
+        elif op == "delete":
+            frame = proto.encode_frame(proto.OP_DELETE, rid, _b(args[0]))
+            self._sent[rid] = ("delete",)
+        elif op == "batch":
+            subops, kinds = _encode_batch_ops(args[0])
+            frame = proto.encode_frame(proto.OP_BATCH, rid, proto.encode_batch(subops))
+            self._sent[rid] = ("batch", kinds)
+        elif op == "stat":
+            frame = proto.encode_frame(proto.OP_STAT, rid)
+            self._sent[rid] = ("stat",)
+        else:
+            raise ValueError(f"unknown op {op!r}")
+        self.sock.sendall(frame)
+        return rid
+
+    def result(self, rid: int):
+        """Block until the response for ``rid`` arrives; decode it."""
+        kind = self._sent.pop(rid)
+        while rid not in self._responses:
+            data = self.sock.recv(65536)
+            if not data:
+                raise ConnectionError("server closed the connection")
+            for status, resp_id, payload in self._decoder.feed(data):
+                self._responses[resp_id] = (status, payload)
+        status, payload = self._responses.pop(rid)
+        return _decode_result(kind, status, payload)
+
+    # -- one-round-trip conveniences ---------------------------------------------
+
+    def ping(self, payload: bytes = b"") -> bytes:
+        return self.result(self.send("ping", payload))
+
+    def get(self, key) -> bytes | None:
+        return self.result(self.send("get", key))
+
+    def put(self, key, value, *, replace: bool = True) -> bool:
+        """Store; returns whether the value was stored (False only when
+        ``replace=False`` found an existing key)."""
+        return self.result(self.send("put", key, value, replace=replace))
+
+    def delete(self, key) -> bool:
+        """Remove; returns whether the key existed."""
+        return self.result(self.send("delete", key))
+
+    def batch(self, ops) -> list:
+        """Run ``[("put", k, v), ("get", k), ("delete", k), ...]`` as one
+        frame; returns per-op results in order (sequential semantics:
+        later ops see earlier ones' effects)."""
+        return self.result(self.send("batch", ops))
+
+    def stat(self) -> dict:
+        return self.result(self.send("stat"))
+
+    def close(self) -> None:
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "Client":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def _b(value) -> bytes:
+    if isinstance(value, str):
+        return value.encode("utf-8")
+    return bytes(value)
+
+
+def _encode_batch_ops(ops) -> tuple[list[tuple[int, bytes]], list[str]]:
+    subops: list[tuple[int, bytes]] = []
+    kinds: list[str] = []
+    for op in ops:
+        kind = op[0]
+        if kind == "get":
+            subops.append((proto.OP_GET, _b(op[1])))
+        elif kind == "put":
+            replace = op[3] if len(op) > 3 else True
+            subops.append((proto.OP_PUT, proto.encode_put(_b(op[1]), _b(op[2]), replace)))
+        elif kind == "delete":
+            subops.append((proto.OP_DELETE, _b(op[1])))
+        else:
+            raise ValueError(f"unknown batch op {kind!r}")
+        kinds.append(kind)
+    return subops, kinds
+
+
+def _decode_single(kind: str, status: int, payload: bytes):
+    if status in proto.ERROR_STATUSES:
+        raise ServerError(status, payload.decode("utf-8", "replace"))
+    if kind == "get":
+        return payload if status == proto.ST_OK else None
+    if kind == "put":
+        return bool(payload and payload[0])
+    if kind == "delete":
+        return status == proto.ST_OK
+    if kind == "ping":
+        return payload
+    raise ProtocolError(f"unexpected status 0x{status:02X} for {kind}")
+
+
+def _decode_result(kind: tuple, status: int, payload: bytes):
+    if kind[0] == "batch":
+        if status in proto.ERROR_STATUSES:
+            raise ServerError(status, payload.decode("utf-8", "replace"))
+        results = proto.decode_batch_results(payload)
+        if len(results) != len(kind[1]):
+            raise ProtocolError(
+                f"batch answered {len(results)} results for {len(kind[1])} ops"
+            )
+        return [
+            _decode_single(k, st, body) for k, (st, body) in zip(kind[1], results)
+        ]
+    if kind[0] == "stat":
+        if status in proto.ERROR_STATUSES:
+            raise ServerError(status, payload.decode("utf-8", "replace"))
+        return json.loads(payload.decode("utf-8"))
+    return _decode_single(kind[0], status, payload)
+
+
+# -- the REPL ------------------------------------------------------------------
+
+_REPL_HELP = """\
+commands:
+  get KEY              print the value (or (nil))
+  put KEY VALUE        store (overwrites)
+  add KEY VALUE        store only if absent (replace=False)
+  del KEY              delete
+  ping [TEXT]          round trip
+  stat                 server + db metric tree (JSON)
+  help                 this text
+  quit                 exit
+"""
+
+
+def repl(host: str, port: int, *, stdin=None, stdout=None) -> int:
+    """Line-oriented interactive client (keys/values as UTF-8 text)."""
+    stdin = stdin if stdin is not None else sys.stdin
+    stdout = stdout if stdout is not None else sys.stdout
+    interactive = hasattr(stdin, "isatty") and stdin.isatty()
+
+    def say(text: str) -> None:
+        stdout.write(text + "\n")
+        stdout.flush()
+
+    try:
+        client = Client(host, port)
+    except OSError as exc:
+        say(f"connect failed: {exc}")
+        return 1
+    say(f"connected to {host}:{port} (help for commands)")
+    with client:
+        while True:
+            if interactive:
+                stdout.write("repro> ")
+                stdout.flush()
+            line = stdin.readline()
+            if not line:
+                break
+            words = line.split()
+            if not words:
+                continue
+            cmd, args = words[0].lower(), words[1:]
+            try:
+                if cmd in ("quit", "exit"):
+                    break
+                elif cmd == "help":
+                    say(_REPL_HELP.rstrip())
+                elif cmd == "get" and len(args) == 1:
+                    value = client.get(args[0])
+                    say("(nil)" if value is None else value.decode("utf-8", "replace"))
+                elif cmd == "put" and len(args) >= 2:
+                    client.put(args[0], " ".join(args[1:]))
+                    say("OK")
+                elif cmd == "add" and len(args) >= 2:
+                    stored = client.put(args[0], " ".join(args[1:]), replace=False)
+                    say("OK" if stored else "EXISTS")
+                elif cmd == "del" and len(args) == 1:
+                    say("OK" if client.delete(args[0]) else "(nil)")
+                elif cmd == "ping":
+                    say(client.ping(" ".join(args).encode()).decode("utf-8", "replace") or "PONG")
+                elif cmd == "stat":
+                    say(json.dumps(client.stat(), indent=1, default=repr))
+                else:
+                    say(f"bad command (try help): {line.strip()}")
+            except (ServerError, ProtocolError) as exc:
+                say(f"error: {exc}")
+            except ConnectionError as exc:
+                say(f"connection lost: {exc}")
+                return 1
+    say("bye")
+    return 0

@@ -1,0 +1,291 @@
+"""The wire protocol of ``repro.serve``: length-prefixed, pipelined frames.
+
+One frame is a fixed 12-byte header followed by ``length`` payload bytes::
+
+    offset  size  field        notes
+    0       2     magic        0xC3DB, network order
+    2       1     version      protocol version, currently 1
+    3       1     opcode       request opcode, or response status
+    4       4     request_id   echoed verbatim in the response
+    8       4     length       payload bytes that follow
+
+Requests and responses share the framing; a response reuses the
+``opcode`` slot for its status code and echoes the request id, so any
+number of requests may be in flight on one connection and responses may
+come back **out of order** -- the id, not the position, pairs them up.
+
+Two failure tiers, chosen so a client can always tell them apart:
+
+- **framing-intact errors** (unknown opcode, malformed payload, key
+  missing): the server answers with a typed error status and the
+  connection stays usable;
+- **framing-broken errors** (bad magic, bad version, a declared length
+  over the frame limit): the stream position can no longer be trusted,
+  so the server sends one final typed error frame and closes.
+
+All multi-byte integers are network order.  Payload encodings:
+
+======== ========================================== =============================
+opcode    request payload                            OK response payload
+======== ========================================== =============================
+PING      opaque bytes (echoed)                      the same bytes
+GET       key                                        value (NOT_FOUND: empty)
+PUT       u8 flags (bit0 replace) u32 klen key value u8 stored (0/1)
+DELETE    key                                        u8 found (NOT_FOUND: 0)
+BATCH     u32 count, then per op:                    u32 count, then per op:
+          u8 opcode u32 len payload                  u8 status u32 len payload
+STAT      empty                                      JSON stat tree (UTF-8)
+======== ========================================== =============================
+"""
+
+from __future__ import annotations
+
+import struct
+
+__all__ = [
+    "MAGIC",
+    "VERSION",
+    "HEADER",
+    "HEADER_SIZE",
+    "DEFAULT_MAX_FRAME",
+    "OP_PING",
+    "OP_GET",
+    "OP_PUT",
+    "OP_DELETE",
+    "OP_BATCH",
+    "OP_STAT",
+    "REQUEST_OPCODES",
+    "ST_OK",
+    "ST_NOT_FOUND",
+    "ST_BAD_REQUEST",
+    "ST_TOO_BIG",
+    "ST_SERVER_ERROR",
+    "ERROR_STATUSES",
+    "ProtocolError",
+    "FrameDecoder",
+    "encode_frame",
+    "encode_put",
+    "decode_put",
+    "encode_batch",
+    "decode_batch",
+    "encode_batch_results",
+    "decode_batch_results",
+]
+
+MAGIC = 0xC3DB
+VERSION = 1
+
+HEADER = struct.Struct("!HBBII")  # magic, version, opcode/status, request_id, length
+HEADER_SIZE = HEADER.size
+
+#: refuse frames whose declared payload exceeds this (server and client)
+DEFAULT_MAX_FRAME = 16 * 1024 * 1024
+
+# -- request opcodes -----------------------------------------------------------
+OP_PING = 0x01
+OP_GET = 0x02
+OP_PUT = 0x03
+OP_DELETE = 0x04
+OP_BATCH = 0x05
+OP_STAT = 0x06
+
+REQUEST_OPCODES = frozenset(
+    (OP_PING, OP_GET, OP_PUT, OP_DELETE, OP_BATCH, OP_STAT)
+)
+
+#: opcodes allowed inside a BATCH frame (no nesting, no control ops)
+BATCHABLE_OPCODES = frozenset((OP_GET, OP_PUT, OP_DELETE))
+
+# -- response statuses ---------------------------------------------------------
+ST_OK = 0x80
+ST_NOT_FOUND = 0x81
+ST_BAD_REQUEST = 0xE0  #: framing intact; this one request was malformed
+ST_TOO_BIG = 0xE1  #: declared length over the limit; connection closes
+ST_SERVER_ERROR = 0xE2  #: the engine raised; the message names the error
+
+ERROR_STATUSES = frozenset((ST_BAD_REQUEST, ST_TOO_BIG, ST_SERVER_ERROR))
+
+_PUT_HDR = struct.Struct("!BI")  # flags, klen
+_U32 = struct.Struct("!I")
+_SUBOP = struct.Struct("!BI")  # opcode/status, length
+
+
+class ProtocolError(Exception):
+    """A malformed frame or payload.
+
+    ``status`` is the typed response status a server should answer with;
+    ``request_id`` is the id to echo (0 when the stream was too mangled
+    to recover one); ``fatal`` says whether the byte stream can still be
+    trusted after answering (False) or the connection must close (True).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        status: int = ST_BAD_REQUEST,
+        request_id: int = 0,
+        fatal: bool = False,
+    ) -> None:
+        super().__init__(message)
+        self.status = status
+        self.request_id = request_id
+        self.fatal = fatal
+
+
+def encode_frame(opcode: int, request_id: int, payload: bytes = b"") -> bytes:
+    """One wire frame: header + payload."""
+    return HEADER.pack(MAGIC, VERSION, opcode, request_id, len(payload)) + payload
+
+
+class FrameDecoder:
+    """Incremental frame reassembly: feed arbitrary byte chunks, get
+    complete frames out.
+
+    Bytes may arrive split at any boundary (including inside the
+    header); the decoder buffers exactly one partial frame.  Violations
+    of the framing raise :class:`ProtocolError` with ``fatal=True`` --
+    after a bad magic or an oversized length the stream offset is
+    meaningless, so callers must stop feeding and drop the connection.
+    """
+
+    __slots__ = ("max_frame", "_buf", "_dead")
+
+    def __init__(self, max_frame: int = DEFAULT_MAX_FRAME) -> None:
+        self.max_frame = max_frame
+        self._buf = bytearray()
+        self._dead = False
+
+    @property
+    def pending(self) -> int:
+        """Bytes buffered toward the next (incomplete) frame."""
+        return len(self._buf)
+
+    def feed(self, data: bytes) -> list[tuple[int, int, bytes]]:
+        """Absorb ``data``; return every complete ``(opcode, request_id,
+        payload)`` it finished."""
+        if self._dead:
+            raise ProtocolError("decoder is dead after a framing error", fatal=True)
+        self._buf += data
+        frames: list[tuple[int, int, bytes]] = []
+        while True:
+            if len(self._buf) < HEADER_SIZE:
+                return frames
+            magic, version, opcode, request_id, length = HEADER.unpack_from(self._buf)
+            if magic != MAGIC:
+                self._dead = True
+                raise ProtocolError(
+                    f"bad magic 0x{magic:04X} (want 0x{MAGIC:04X})", fatal=True
+                )
+            if version != VERSION:
+                self._dead = True
+                raise ProtocolError(
+                    f"unsupported protocol version {version}",
+                    request_id=request_id,
+                    fatal=True,
+                )
+            if length > self.max_frame:
+                self._dead = True
+                raise ProtocolError(
+                    f"declared payload of {length} bytes exceeds the "
+                    f"{self.max_frame}-byte frame limit",
+                    status=ST_TOO_BIG,
+                    request_id=request_id,
+                    fatal=True,
+                )
+            if len(self._buf) < HEADER_SIZE + length:
+                return frames
+            payload = bytes(self._buf[HEADER_SIZE : HEADER_SIZE + length])
+            del self._buf[: HEADER_SIZE + length]
+            frames.append((opcode, request_id, payload))
+
+
+# -- op payload codecs ---------------------------------------------------------
+
+
+def _check_key(key: bytes, request_id: int = 0) -> bytes:
+    if not key:
+        raise ProtocolError("empty key", request_id=request_id)
+    return key
+
+
+def encode_put(key: bytes, value: bytes, replace: bool = True) -> bytes:
+    _check_key(key)
+    return _PUT_HDR.pack(1 if replace else 0, len(key)) + key + value
+
+
+def decode_put(payload: bytes, request_id: int = 0) -> tuple[bytes, bytes, bool]:
+    """``payload -> (key, value, replace)``."""
+    if len(payload) < _PUT_HDR.size:
+        raise ProtocolError("PUT payload shorter than its header", request_id=request_id)
+    flags, klen = _PUT_HDR.unpack_from(payload)
+    if _PUT_HDR.size + klen > len(payload):
+        raise ProtocolError(
+            f"PUT key length {klen} overruns the {len(payload)}-byte payload",
+            request_id=request_id,
+        )
+    key = payload[_PUT_HDR.size : _PUT_HDR.size + klen]
+    _check_key(key, request_id)
+    value = payload[_PUT_HDR.size + klen :]
+    return key, value, bool(flags & 1)
+
+
+def encode_batch(ops: list[tuple[int, bytes]]) -> bytes:
+    """``[(opcode, payload), ...] -> BATCH frame payload``."""
+    parts = [_U32.pack(len(ops))]
+    for opcode, payload in ops:
+        if opcode not in BATCHABLE_OPCODES:
+            raise ProtocolError(f"opcode 0x{opcode:02X} is not batchable")
+        parts.append(_SUBOP.pack(opcode, len(payload)))
+        parts.append(payload)
+    return b"".join(parts)
+
+
+def _decode_subframes(payload: bytes, what: str, request_id: int) -> list[tuple[int, bytes]]:
+    if len(payload) < _U32.size:
+        raise ProtocolError(f"{what} payload missing its count", request_id=request_id)
+    (count,) = _U32.unpack_from(payload)
+    out: list[tuple[int, bytes]] = []
+    off = _U32.size
+    for _ in range(count):
+        if off + _SUBOP.size > len(payload):
+            raise ProtocolError(f"truncated {what} payload", request_id=request_id)
+        code, length = _SUBOP.unpack_from(payload, off)
+        off += _SUBOP.size
+        if off + length > len(payload):
+            raise ProtocolError(
+                f"{what} sub-frame overruns the payload", request_id=request_id
+            )
+        out.append((code, payload[off : off + length]))
+        off += length
+    if off != len(payload):
+        raise ProtocolError(
+            f"{len(payload) - off} trailing bytes after the {what} sub-frames",
+            request_id=request_id,
+        )
+    return out
+
+
+def decode_batch(payload: bytes, request_id: int = 0) -> list[tuple[int, bytes]]:
+    """``BATCH payload -> [(opcode, payload), ...]`` (validated)."""
+    ops = _decode_subframes(payload, "BATCH", request_id)
+    for opcode, _body in ops:
+        if opcode not in BATCHABLE_OPCODES:
+            raise ProtocolError(
+                f"opcode 0x{opcode:02X} is not batchable", request_id=request_id
+            )
+    return ops
+
+
+def encode_batch_results(results: list[tuple[int, bytes]]) -> bytes:
+    """``[(status, payload), ...] -> BATCH response payload``."""
+    parts = [_U32.pack(len(results))]
+    for status, payload in results:
+        parts.append(_SUBOP.pack(status, len(payload)))
+        parts.append(payload)
+    return b"".join(parts)
+
+
+def decode_batch_results(payload: bytes, request_id: int = 0) -> list[tuple[int, bytes]]:
+    """``BATCH response payload -> [(status, payload), ...]``."""
+    return _decode_subframes(payload, "BATCH result", request_id)

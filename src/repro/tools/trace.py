@@ -168,7 +168,11 @@ def render_top(records: list[dict]) -> str:
         name = rec.get("name", "?")
         if rec.get("type") == "span":
             row = spans.setdefault(name, [0, 0.0, 0.0, 0])
-            dur = rec.get("dur", 0.0)
+            dur = rec.get("dur")
+            if dur is None:
+                # pre-measured payloads (the serve layer's time_ms) rank
+                # alongside engine spans even without a dur field
+                dur = (rec.get("attrs") or {}).get("time_ms", 0.0) / 1e3
             row[0] += 1
             row[1] += dur
             row[2] = max(row[2], dur)

@@ -136,3 +136,24 @@ class TestTopCli:
         proc = run_tools("top", "/nonexistent/x.json")
         assert proc.returncode == 1
         assert "no such file" in proc.stderr
+
+    def test_span_without_dur_falls_back_to_time_ms(self, tmp_path):
+        """Serve-layer spans may carry only a pre-measured ``time_ms``
+        payload; top must rank them alongside dur-bearing engine spans."""
+        dump = tmp_path / "mix.flight.json"
+        dump.write_text(json.dumps({
+            "events": [
+                {"type": "span", "name": "serve.put",
+                 "attrs": {"time_ms": 2.0, "status": 128}},
+                {"type": "span", "name": "put", "dur": 0.001, "attrs": {}},
+            ],
+        }))
+        proc = run_tools("top", str(dump))
+        assert proc.returncode == 0, proc.stderr
+        rows = [ln.split() for ln in proc.stdout.splitlines() if ln]
+        serve_row = next(r for r in rows if r[0] == "serve.put")
+        engine_row = next(r for r in rows if r[0] == "put")
+        assert float(serve_row[2]) == pytest.approx(2.0)  # total_ms
+        assert float(engine_row[2]) == pytest.approx(1.0)
+        # heavier serve span sorts first
+        assert proc.stdout.index("serve.put") < proc.stdout.index("put")

@@ -92,6 +92,39 @@ class TestPrometheus:
         text = to_prometheus({"odd key-1": {"9lives": 2}})
         assert "repro_odd_key_1_9lives 2" in text
 
+    def test_ms_histogram_scales_to_seconds(self):
+        """Server-side latency histograms carry ``unit: "ms"``; the
+        exporter must convert to base seconds (Prometheus convention)
+        rather than exporting millisecond numbers under ``_seconds``."""
+        stat = {
+            "latency": {
+                "put": {
+                    "count": 2, "total": 3.0, "mean": 1.5,
+                    "min": 1.0, "max": 2.0,
+                    "p50": 1.5, "p95": 2.0, "p99": 2.0,
+                    "unit": "ms",
+                }
+            }
+        }
+        text = to_prometheus(stat)
+        assert "# TYPE repro_latency_put_seconds summary" in text
+        assert 'repro_latency_put_seconds{quantile="0.5"} 0.0015' in text
+        assert "repro_latency_put_seconds_sum 0.003" in text
+        assert "repro_latency_put_seconds_count 2" in text
+        # the unit marker itself must not leak out as a gauge
+        assert "repro_latency_put_unit" not in text
+
+    def test_unknown_unit_suffixes_name_unscaled(self):
+        stat = {
+            "sizes": {
+                "count": 1, "total": 10, "mean": 10.0, "min": 10, "max": 10,
+                "p50": 10, "p95": 10, "p99": 10, "unit": "bytes",
+            }
+        }
+        text = to_prometheus(stat)
+        assert "# TYPE repro_sizes_bytes summary" in text
+        assert 'repro_sizes_bytes{quantile="0.5"} 10' in text
+
 
 class TestNdjson:
     def test_one_record_per_line(self):

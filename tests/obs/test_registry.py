@@ -114,6 +114,19 @@ class TestHistogram:
         assert v["count"] == 1
         assert v["p50"] == pytest.approx(0.25)
 
+    def test_non_default_unit_is_exposed(self):
+        """Snapshots advertise non-second units (the serve layer records
+        latency in ms) so exporters can scale; the default stays silent
+        to keep existing snapshots byte-identical."""
+        h = Histogram("lat", unit="ms")
+        h.observe(1.5)
+        v = h.as_value()
+        assert v["unit"] == "ms"
+        assert set(v) == {
+            "count", "total", "mean", "min", "max", "p50", "p95", "p99", "unit",
+        }
+        assert "unit" not in Histogram("lat").as_value()
+
     def test_reset(self):
         h = Histogram("lat")
         h.observe(1.0)

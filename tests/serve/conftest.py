@@ -1,0 +1,43 @@
+"""Shared serving-layer fixtures: the in-process loopback server.
+
+``server_factory`` builds a ``concurrent=True`` table, wraps it in a
+:class:`~repro.serve.server.ServerThread` (the library's reusable
+in-process fixture) on an ephemeral port, and guarantees graceful
+shutdown at teardown -- tests never pick ports or leak threads.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.access.db import db_open
+from repro.serve.server import ServerConfig, ServerThread
+
+
+@pytest.fixture
+def server_factory(tmp_path):
+    """``make(path=None, http=False, config=None, **open_params) ->
+    ServerThread``; every server started is stopped at teardown."""
+    started: list[ServerThread] = []
+    counter = [0]
+
+    def make(path="auto", *, http=False, config=None, **open_params):
+        if path == "auto":
+            counter[0] += 1
+            path = str(tmp_path / f"served-{counter[0]}.db")
+        open_params.setdefault("concurrent", True)
+        db = db_open(path, "hash", "c", **open_params)
+        cfg = config or ServerConfig(port=0, http_port=0 if http else None)
+        st = ServerThread(db, cfg, owns_db=True)
+        started.append(st)
+        return st.start()
+
+    yield make
+    for st in reversed(started):
+        st.stop()
+
+
+@pytest.fixture
+def server(server_factory):
+    """One plain served hash table (no HTTP facade, no WAL)."""
+    return server_factory()

@@ -1,0 +1,165 @@
+"""Byte-level protocol fuzzing against a live server.
+
+The contract under attack: malformed, truncated or oversized frames must
+produce a **typed error response or a clean disconnect** -- never a
+traceback in the server, never a hung connection, and never a poisoned
+server (a fresh well-behaved client must still be served afterwards).
+
+Deterministic: one seeded ``random.Random`` drives every trial, sockets
+carry hard timeouts, and the post-fuzz liveness probe is a plain
+request/response.
+"""
+
+from __future__ import annotations
+
+import random
+import socket
+
+from repro.serve import protocol as proto
+from repro.serve.client import Client
+from repro.serve.server import ServerConfig
+
+FUZZ_MAX_FRAME = 64 * 1024
+
+
+def _fuzz_server(server_factory):
+    return server_factory(
+        config=ServerConfig(port=0, max_frame=FUZZ_MAX_FRAME, max_inflight=32)
+    )
+
+
+def _drain_until_closed(sock: socket.socket, limit: int = 1 << 20) -> bytes:
+    """Read until the server closes (or the byte limit trips -- which
+    would mean the server is streaming garbage and is its own failure)."""
+    sock.settimeout(10.0)
+    chunks = []
+    total = 0
+    while total < limit:
+        data = sock.recv(65536)
+        if not data:
+            break
+        chunks.append(data)
+        total += len(data)
+    return b"".join(chunks)
+
+
+def _assert_alive(port: int) -> None:
+    """The server must still serve a well-formed client."""
+    with Client(port=port, timeout=10.0) as c:
+        assert c.ping(b"liveness") == b"liveness"
+        assert c.put(b"alive", b"yes") is True
+        assert c.get(b"alive") == b"yes"
+
+
+def _parse_error_frames(blob: bytes) -> list[tuple[int, int, bytes]]:
+    """Whatever the server sent back must itself be well-framed."""
+    if not blob:
+        return []
+    return proto.FrameDecoder(FUZZ_MAX_FRAME).feed(blob)
+
+
+class TestFuzz:
+    def test_random_garbage_streams(self, server_factory):
+        st = _fuzz_server(server_factory)
+        rnd = random.Random(0xC3DB)
+        for trial in range(25):
+            blob = rnd.randbytes(rnd.randint(1, 4096))
+            with socket.create_connection(("127.0.0.1", st.port), timeout=10.0) as s:
+                s.sendall(blob)
+                s.shutdown(socket.SHUT_WR)
+                frames = _parse_error_frames(_drain_until_closed(s))
+                # any response the server chose to send is typed, framed
+                for status, _rid, _payload in frames:
+                    assert status in proto.ERROR_STATUSES | {proto.ST_OK, proto.ST_NOT_FOUND}
+            _assert_alive(st.port)
+
+    def test_oversized_declared_length(self, server_factory):
+        st = _fuzz_server(server_factory)
+        rnd = random.Random(7)
+        for _ in range(5):
+            rid = rnd.randint(1, 2**32 - 1)
+            header = proto.HEADER.pack(
+                proto.MAGIC, proto.VERSION, proto.OP_PUT, rid, FUZZ_MAX_FRAME + 1
+            )
+            with socket.create_connection(("127.0.0.1", st.port), timeout=10.0) as s:
+                s.sendall(header + b"x" * 100)
+                frames = _parse_error_frames(_drain_until_closed(s))
+                assert len(frames) == 1
+                status, got_rid, message = frames[0]
+                assert status == proto.ST_TOO_BIG
+                assert got_rid == rid  # typed error echoes the culprit's id
+                assert b"frame limit" in message
+        _assert_alive(st.port)
+
+    def test_truncated_frames_disconnect_cleanly(self, server_factory):
+        st = _fuzz_server(server_factory)
+        rnd = random.Random(13)
+        full = proto.encode_frame(
+            proto.OP_PUT, 1, proto.encode_put(b"key", b"value" * 100)
+        )
+        for _ in range(20):
+            cut = rnd.randint(1, len(full) - 1)
+            with socket.create_connection(("127.0.0.1", st.port), timeout=10.0) as s:
+                s.sendall(full[:cut])
+                s.shutdown(socket.SHUT_WR)
+                # half a frame is not an error -- the sender just went away;
+                # the server must drop the connection without a response
+                assert _drain_until_closed(s) == b""
+        _assert_alive(st.port)
+        # and the truncated put must never have landed
+        with Client(port=st.port) as c:
+            assert c.get(b"key") is None
+
+    def test_bad_magic_answers_typed_then_disconnects(self, server_factory):
+        st = _fuzz_server(server_factory)
+        with socket.create_connection(("127.0.0.1", st.port), timeout=10.0) as s:
+            s.sendall(b"GET / HTTP/1.1\r\n\r\n")  # a confused HTTP client
+            frames = _parse_error_frames(_drain_until_closed(s))
+            assert len(frames) == 1
+            assert frames[0][0] == proto.ST_BAD_REQUEST
+            assert b"magic" in frames[0][2]
+        _assert_alive(st.port)
+
+    def test_valid_frames_split_at_random_boundaries(self, server_factory):
+        """Chunking must be invisible: the same pipelined requests, sliced
+        randomly across sends, produce exactly the same responses."""
+        st = _fuzz_server(server_factory)
+        rnd = random.Random(29)
+        stream = b"".join(
+            proto.encode_frame(
+                proto.OP_PUT, i + 1, proto.encode_put(f"s{i}".encode(), f"v{i}".encode())
+            )
+            for i in range(10)
+        ) + b"".join(
+            proto.encode_frame(proto.OP_GET, 100 + i, f"s{i}".encode()) for i in range(10)
+        )
+        for _trial in range(10):
+            with socket.create_connection(("127.0.0.1", st.port), timeout=10.0) as s:
+                off = 0
+                while off < len(stream):
+                    step = rnd.randint(1, 37)
+                    s.sendall(stream[off : off + step])
+                    off += step
+                s.shutdown(socket.SHUT_WR)
+                frames = _parse_error_frames(_drain_until_closed(s))
+            assert len(frames) == 20
+            by_rid = {rid: (status, payload) for status, rid, payload in frames}
+            for i in range(10):
+                assert by_rid[i + 1] == (proto.ST_OK, b"\x01")
+                assert by_rid[100 + i] == (proto.ST_OK, f"v{i}".encode())
+
+    def test_flip_every_header_byte(self, server_factory):
+        """One bit story per byte: flip each header byte of a valid frame;
+        the server answers typed or disconnects, and always survives."""
+        st = _fuzz_server(server_factory)
+        good = proto.encode_frame(proto.OP_GET, 5, b"somekey")
+        for i in range(proto.HEADER_SIZE):
+            mutated = bytearray(good)
+            mutated[i] ^= 0xFF
+            with socket.create_connection(("127.0.0.1", st.port), timeout=10.0) as s:
+                s.sendall(bytes(mutated))
+                s.shutdown(socket.SHUT_WR)
+                frames = _parse_error_frames(_drain_until_closed(s))
+                for status, _rid, _payload in frames:
+                    assert status in proto.ERROR_STATUSES | {proto.ST_OK, proto.ST_NOT_FOUND}
+        _assert_alive(st.port)

@@ -1,0 +1,167 @@
+"""Multi-client linearizability under the request coalescer.
+
+The server folds every connection's ops into shared engine batches, so
+these tests aim concurrent clients at the spots where naive coalescing
+would break ordering guarantees:
+
+* ``replace=False`` races: the engine's insert-if-absent is the atomic
+  claim primitive -- exactly one winner per key, and the stored value is
+  the winner's, even when all contenders ride the same engine batch;
+* per-key program order: one client's writes to a key are never
+  reordered, so the final value is that client's last write;
+* blind shared-key writes: the final value must be SOME client's last
+  write (coalescing may pick the order, but can't invent values or
+  resurrect overwritten ones).
+
+No sleeps anywhere: threads synchronize on a barrier to maximize
+contention, then join; assertions run after all acks are in.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.serve.client import Client
+
+THREADS = 8
+KEYS_PER_RACE = 25
+WRITES_PER_KEY = 20
+
+
+def _run_threads(n, fn):
+    barrier = threading.Barrier(n)
+    errors = []
+
+    def wrap(tid):
+        try:
+            barrier.wait()
+            fn(tid)
+        except Exception as exc:  # surfaced after join
+            errors.append((tid, exc))
+
+    threads = [threading.Thread(target=wrap, args=(tid,)) for tid in range(n)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors, f"worker failures: {errors!r}"
+
+
+def test_replace_false_has_exactly_one_winner(server):
+    """THREADS clients race to claim the same keys with insert-if-absent:
+    exactly one winner per key, and the stored value names that winner."""
+    wins: dict[int, list[tuple[bytes, bool]]] = {}
+
+    def worker(tid):
+        tag = b"claimant-%d" % tid
+        with Client(port=server.port) as c:
+            rids = [
+                (b"race%d" % k, c.send("put", b"race%d" % k, tag, replace=False))
+                for k in range(KEYS_PER_RACE)
+            ]
+            wins[tid] = [(key, c.result(rid)) for key, rid in rids]
+
+    _run_threads(THREADS, worker)
+
+    winners: dict[bytes, list[int]] = {}
+    for tid, claims in wins.items():
+        for key, won in claims:
+            if won:
+                winners.setdefault(key, []).append(tid)
+    with Client(port=server.port) as c:
+        for k in range(KEYS_PER_RACE):
+            key = b"race%d" % k
+            assert len(winners.get(key, [])) == 1, (
+                f"{key!r}: winners {winners.get(key)}"
+            )
+            assert c.get(key) == b"claimant-%d" % winners[key][0]
+
+
+def test_per_key_program_order_wins(server):
+    """Each client hammers its OWN keys; the coalescer may merge clients'
+    ops into shared batches but must keep each connection's per-key
+    order, so every key ends at that client's last write."""
+
+    def worker(tid):
+        with Client(port=server.port) as c:
+            rids = []
+            for k in range(10):
+                key = b"own-%d-%d" % (tid, k)
+                for seq in range(WRITES_PER_KEY):
+                    rids.append(c.send("put", key, b"seq-%d" % seq))
+            assert all(c.result(r) is True for r in rids)
+
+    _run_threads(THREADS, worker)
+    with Client(port=server.port) as c:
+        final = b"seq-%d" % (WRITES_PER_KEY - 1)
+        for tid in range(THREADS):
+            for k in range(10):
+                assert c.get(b"own-%d-%d" % (tid, k)) == final
+
+
+def test_shared_key_final_value_is_someones_last_write(server):
+    """All clients blind-write the same keys.  Any interleaving is legal,
+    but the final value must be some client's LAST write to that key --
+    never an earlier (overwritten) write, never a phantom."""
+    shared = [b"shared-%d" % i for i in range(5)]
+
+    def worker(tid):
+        with Client(port=server.port) as c:
+            rids = []
+            for seq in range(WRITES_PER_KEY):
+                for key in shared:
+                    rids.append(c.send("put", key, b"t%d-seq%d" % (tid, seq)))
+            assert all(c.result(r) is True for r in rids)
+
+    _run_threads(THREADS, worker)
+    legal = {b"t%d-seq%d" % (tid, WRITES_PER_KEY - 1) for tid in range(THREADS)}
+    with Client(port=server.port) as c:
+        for key in shared:
+            assert c.get(key) in legal
+
+
+def test_concurrent_put_delete_race_is_consistent(server):
+    """Half the clients put, half delete, one contested key.  Whatever
+    interleaving the coalescer produces, the final state must be either
+    absent or a value some putter actually wrote -- never garbage."""
+    key = b"contested"
+
+    def worker(tid):
+        with Client(port=server.port) as c:
+            if tid % 2 == 0:
+                rids = [
+                    c.send("put", key, b"p%d-%d" % (tid, seq))
+                    for seq in range(WRITES_PER_KEY)
+                ]
+            else:
+                rids = [c.send("delete", key) for _ in range(WRITES_PER_KEY)]
+            for rid in rids:
+                c.result(rid)  # deletes may be True or False; puts True
+
+    _run_threads(THREADS, worker)
+    legal = {None} | {
+        b"p%d-%d" % (tid, seq)
+        for tid in range(0, THREADS, 2)
+        for seq in range(WRITES_PER_KEY)
+    }
+    with Client(port=server.port) as c:
+        assert c.get(key) in legal
+
+
+def test_batch_frames_are_atomic_blocks_per_connection(server):
+    """Each client sends its writes as BATCH frames.  Sub-ops of one
+    batch run in order against the engine, so a get appended to the same
+    batch must observe the batch's own last put."""
+
+    def worker(tid):
+        key = b"batch-own-%d" % tid
+        with Client(port=server.port) as c:
+            for round_ in range(10):
+                ops = [
+                    ("put", key, b"r%d-w%d" % (round_, w)) for w in range(5)
+                ] + [("get", key)]
+                res = c.batch(ops)
+                assert res[:5] == [True] * 5
+                assert res[5] == b"r%d-w4" % round_
+
+    _run_threads(THREADS, worker)

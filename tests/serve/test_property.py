@@ -1,0 +1,160 @@
+"""Hypothesis property tests for the wire protocol and the live server.
+
+Two layers:
+
+* **codec round-trip** -- arbitrary keys/values/batches survive
+  ``encode -> frame -> (chunked) FrameDecoder -> decode`` bit-for-bit,
+  for every chunking Hypothesis cares to try;
+* **loopback model test** -- a random op sequence applied both to a live
+  server (through the real client/pipeline) and to a plain ``dict``
+  agrees at every step.
+
+The server is module-scoped (one table for the whole file) so Hypothesis'
+function-scoped-fixture health check never fires; examples stay
+independent by prefixing keys with a fresh namespace per example.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.access.db import db_open
+from repro.serve import protocol as proto
+from repro.serve.client import Client
+from repro.serve.server import ServerConfig, ServerThread
+
+KEYS = st.binary(min_size=1, max_size=64)
+VALUES = st.binary(min_size=0, max_size=256)
+RIDS = st.integers(min_value=0, max_value=2**32 - 1)
+
+SUB_OPS = st.one_of(
+    st.tuples(st.just("put"), KEYS, VALUES, st.booleans()),
+    st.tuples(st.just("get"), KEYS),
+    st.tuples(st.just("delete"), KEYS),
+)
+
+
+def _encode_sub(op):
+    if op[0] == "put":
+        return (proto.OP_PUT, proto.encode_put(op[1], op[2], op[3]))
+    if op[0] == "get":
+        return (proto.OP_GET, op[1])
+    return (proto.OP_DELETE, op[1])
+
+
+class TestCodecRoundTrip:
+    @settings(max_examples=200, deadline=None)
+    @given(key=KEYS, value=VALUES, replace=st.booleans())
+    def test_put_payload(self, key, value, replace):
+        assert proto.decode_put(proto.encode_put(key, value, replace)) == (
+            key,
+            value,
+            replace,
+        )
+
+    @settings(max_examples=100, deadline=None)
+    @given(ops=st.lists(SUB_OPS, min_size=0, max_size=20))
+    def test_batch_payload(self, ops):
+        encoded = [_encode_sub(op) for op in ops]
+        assert proto.decode_batch(proto.encode_batch(encoded)) == encoded
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        frames=st.lists(st.tuples(RIDS, st.binary(max_size=512)), min_size=1, max_size=8),
+        data=st.data(),
+    )
+    def test_frames_survive_arbitrary_chunking(self, frames, data):
+        stream = b"".join(
+            proto.encode_frame(proto.OP_PING, rid, payload) for rid, payload in frames
+        )
+        dec = proto.FrameDecoder()
+        got = []
+        off = 0
+        while off < len(stream):
+            step = data.draw(
+                st.integers(min_value=1, max_value=len(stream) - off), label="chunk"
+            )
+            got.extend(dec.feed(stream[off : off + step]))
+            off += step
+        assert got == [(proto.OP_PING, rid, payload) for rid, payload in frames]
+        assert dec.pending == 0
+
+
+@pytest.fixture(scope="module")
+def module_server(tmp_path_factory):
+    path = str(tmp_path_factory.mktemp("prop") / "prop.db")
+    db = db_open(path, "hash", "c", concurrent=True)
+    st_ = ServerThread(db, ServerConfig(port=0), owns_db=True)
+    st_.start()
+    yield st_
+    st_.stop()
+
+
+_namespace = itertools.count()
+
+
+class TestLoopbackModel:
+    @settings(
+        max_examples=40,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(ops=st.lists(SUB_OPS, min_size=1, max_size=30))
+    def test_server_agrees_with_dict(self, module_server, ops):
+        prefix = b"ns%d/" % next(_namespace)
+        model: dict[bytes, bytes] = {}
+        with Client(port=module_server.port) as c:
+            for op in ops:
+                key = prefix + op[1]
+                if op[0] == "put":
+                    _, _, value, replace = op
+                    stored = c.put(key, value, replace=replace)
+                    assert stored is (replace or key not in model)
+                    if stored:
+                        model[key] = value
+                elif op[0] == "get":
+                    assert c.get(key) == model.get(key)
+                else:
+                    assert c.delete(key) is (key in model)
+                    model.pop(key, None)
+            # final audit: every model key readable, in one pipelined sweep
+            rids = [(k, c.send("get", k)) for k in model]
+            for k, rid in rids:
+                assert c.result(rid) == model[k]
+
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(ops=st.lists(SUB_OPS, min_size=1, max_size=30))
+    def test_batch_op_agrees_with_dict(self, module_server, ops):
+        """The same sequence sent as ONE BATCH frame behaves like the
+        sequential dict replay -- the server's sequential-semantics
+        guarantee, under Hypothesis' choice of ops."""
+        prefix = b"bt%d/" % next(_namespace)
+        model: dict[bytes, bytes] = {}
+        expected = []
+        batch = []
+        for op in ops:
+            key = prefix + op[1]
+            if op[0] == "put":
+                _, _, value, replace = op
+                batch.append(("put", key, value, replace))
+                stored = replace or key not in model
+                if stored:
+                    model[key] = value
+                expected.append(stored)
+            elif op[0] == "get":
+                batch.append(("get", key))
+                expected.append(model.get(key))
+            else:
+                batch.append(("delete", key))
+                expected.append(key in model)
+                model.pop(key, None)
+        with Client(port=module_server.port) as c:
+            assert c.batch(batch) == expected

@@ -1,0 +1,152 @@
+"""Wire-codec unit tests: framing, reassembly at every split boundary,
+typed rejection of malformed frames."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve import protocol as proto
+from repro.serve.protocol import FrameDecoder, ProtocolError
+
+
+def frame(opcode=proto.OP_GET, rid=1, payload=b"key"):
+    return proto.encode_frame(opcode, rid, payload)
+
+
+class TestFraming:
+    def test_roundtrip_single_frame(self):
+        wire = frame(proto.OP_PUT, 42, b"payload")
+        assert FrameDecoder().feed(wire) == [(proto.OP_PUT, 42, b"payload")]
+
+    def test_empty_payload(self):
+        wire = frame(proto.OP_STAT, 7, b"")
+        assert FrameDecoder().feed(wire) == [(proto.OP_STAT, 7, b"")]
+
+    def test_multiple_frames_one_feed(self):
+        wire = frame(rid=1, payload=b"a") + frame(rid=2, payload=b"bb") + frame(rid=3)
+        got = FrameDecoder().feed(wire)
+        assert [rid for _, rid, _ in got] == [1, 2, 3]
+        assert [p for _, _, p in got] == [b"a", b"bb", b"key"]
+
+    def test_split_at_every_byte_boundary(self):
+        """Frames split anywhere -- inside the header, inside the payload --
+        decode identically to the unsplit stream."""
+        stream = (
+            frame(proto.OP_PUT, 1, proto.encode_put(b"k", b"v"))
+            + frame(proto.OP_GET, 2, b"k")
+            + frame(proto.OP_PING, 3, b"")
+        )
+        expected = FrameDecoder().feed(stream)
+        assert len(expected) == 3
+        for cut in range(len(stream) + 1):
+            dec = FrameDecoder()
+            got = dec.feed(stream[:cut]) + dec.feed(stream[cut:])
+            assert got == expected, f"differs when split at byte {cut}"
+
+    def test_byte_at_a_time(self):
+        stream = frame(rid=5, payload=b"abc") + frame(rid=6, payload=b"")
+        dec = FrameDecoder()
+        got = []
+        for i in range(len(stream)):
+            got.extend(dec.feed(stream[i : i + 1]))
+        assert [rid for _, rid, _ in got] == [5, 6]
+        assert dec.pending == 0
+
+    def test_partial_frame_stays_pending(self):
+        wire = frame(payload=b"0123456789")
+        dec = FrameDecoder()
+        assert dec.feed(wire[:-1]) == []
+        assert dec.pending == len(wire) - 1
+        assert dec.feed(wire[-1:]) == [(proto.OP_GET, 1, b"0123456789")]
+
+
+class TestFramingErrors:
+    def test_bad_magic_is_fatal(self):
+        with pytest.raises(ProtocolError) as exc:
+            FrameDecoder().feed(b"\x00\x00" + frame()[2:])
+        assert exc.value.fatal
+        assert exc.value.status == proto.ST_BAD_REQUEST
+
+    def test_bad_version_is_fatal(self):
+        wire = bytearray(frame(rid=9))
+        wire[2] = 99
+        with pytest.raises(ProtocolError) as exc:
+            FrameDecoder().feed(bytes(wire))
+        assert exc.value.fatal
+        assert exc.value.request_id == 9
+
+    def test_oversized_length_is_typed_and_fatal(self):
+        dec = FrameDecoder(max_frame=64)
+        header = proto.HEADER.pack(proto.MAGIC, proto.VERSION, proto.OP_PUT, 17, 65)
+        with pytest.raises(ProtocolError) as exc:
+            dec.feed(header)
+        assert exc.value.status == proto.ST_TOO_BIG
+        assert exc.value.request_id == 17
+        # after a framing error the decoder refuses to resync
+        with pytest.raises(ProtocolError):
+            dec.feed(frame())
+
+    def test_garbage_after_valid_frame(self):
+        dec = FrameDecoder()
+        wire = frame(rid=3) + b"\xde\xad\xbe\xef" * 4
+        with pytest.raises(ProtocolError):
+            dec.feed(wire)
+
+
+class TestPayloadCodecs:
+    @pytest.mark.parametrize("replace", [True, False])
+    def test_put_roundtrip(self, replace):
+        payload = proto.encode_put(b"key", b"value" * 10, replace)
+        assert proto.decode_put(payload) == (b"key", b"value" * 10, replace)
+
+    def test_put_empty_value(self):
+        assert proto.decode_put(proto.encode_put(b"k", b"")) == (b"k", b"", True)
+
+    def test_put_empty_key_rejected(self):
+        with pytest.raises(ProtocolError):
+            proto.encode_put(b"", b"v")
+        payload = proto._PUT_HDR.pack(1, 0) + b"value"
+        with pytest.raises(ProtocolError):
+            proto.decode_put(payload)
+
+    def test_put_truncated_payloads(self):
+        with pytest.raises(ProtocolError):
+            proto.decode_put(b"\x01")
+        # klen overruns the payload
+        with pytest.raises(ProtocolError):
+            proto.decode_put(proto._PUT_HDR.pack(1, 100) + b"short")
+
+    def test_batch_roundtrip(self):
+        ops = [
+            (proto.OP_PUT, proto.encode_put(b"a", b"1")),
+            (proto.OP_GET, b"a"),
+            (proto.OP_DELETE, b"a"),
+        ]
+        assert proto.decode_batch(proto.encode_batch(ops)) == ops
+
+    def test_batch_results_roundtrip(self):
+        results = [(proto.ST_OK, b"x"), (proto.ST_NOT_FOUND, b""), (proto.ST_OK, b"\x01")]
+        wire = proto.encode_batch_results(results)
+        assert proto.decode_batch_results(wire) == results
+
+    def test_batch_rejects_nesting_and_control_ops(self):
+        for opcode in (proto.OP_BATCH, proto.OP_STAT, proto.OP_PING, 0x7F):
+            with pytest.raises(ProtocolError):
+                proto.encode_batch([(opcode, b"")])
+            wire = proto._U32.pack(1) + proto._SUBOP.pack(opcode, 0)
+            with pytest.raises(ProtocolError):
+                proto.decode_batch(wire)
+
+    def test_batch_truncations(self):
+        ops = [(proto.OP_GET, b"abcdef")]
+        wire = proto.encode_batch(ops)
+        with pytest.raises(ProtocolError):
+            proto.decode_batch(wire[:-1])  # sub-frame overrun
+        with pytest.raises(ProtocolError):
+            proto.decode_batch(wire + b"x")  # trailing bytes
+        with pytest.raises(ProtocolError):
+            proto.decode_batch(b"\x00")  # missing count
+        # count says 2, only 1 present
+        wire2 = proto._U32.pack(2) + wire[4:]
+        with pytest.raises(ProtocolError):
+            proto.decode_batch(wire2)
