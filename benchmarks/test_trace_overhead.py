@@ -17,6 +17,16 @@ Two artifacts, one guard, mirroring ``test_concurrency.py``:
    tracing is a tracked number instead of a claim.  Wall-clock arms are
    recorded honestly, not gated (CI timing noise dwarfs a
    one-predicate delta).
+
+3. The serve-layer guard: a strictly serial single client drives a
+   deterministic BATCH workload through a real loopback server, and the
+   engine's I/O counters must match the artifact's ``serve_io`` section
+   byte-exactly with tracing off -- the wire trace context, the
+   detached request spans and the WAL span plumbing all ride the
+   request path, so this pins "tracing off costs no I/O" across the
+   whole stack, not just the engine.  The same workload with tracing on
+   (client v2 frames + server spans) must do *identical* I/O: the toll
+   is CPU and ring memory only.
 """
 
 from __future__ import annotations
@@ -86,6 +96,80 @@ def test_tracing_off_matches_recorded_artifact(workdir):
     assert traced == now
 
 
+SERVE_BATCHES = 40
+SERVE_BATCH_SIZE = 25
+
+
+def _serve_io(workdir: str, tracing: bool) -> dict:
+    """Deterministic serial BATCH workload against a loopback server;
+    returns the engine's I/O counter deltas.  One client, one frame in
+    flight at a time, fixed keys: coalescing, bucket growth and buffer
+    traffic are all reproducible run to run."""
+    from repro.access.db import db_open
+    from repro.serve.client import Client
+    from repro.serve.server import ServerConfig, ServerThread
+
+    db = db_open(
+        f"{workdir}/serve-{int(tracing)}.db", "hash", "c",
+        concurrent=True, bsize=BSIZE, cachesize=CACHESIZE,
+    )
+    if tracing:
+        db.enable_tracing(ring_capacity=None)
+    st = ServerThread(db, ServerConfig(port=0), owns_db=True)
+    st.start()
+    try:
+        before = db.io_stats.snapshot()
+        with Client(port=st.port) as c:
+            if tracing:
+                c.enable_tracing()
+            for b in range(SERVE_BATCHES):
+                puts = [
+                    ("put", b"serve-%05d" % (b * SERVE_BATCH_SIZE + i), b"v" * 64)
+                    for i in range(SERVE_BATCH_SIZE)
+                ]
+                assert all(c.batch(puts))
+                gets = [("get", op[1]) for op in puts]
+                assert all(v is not None for v in c.batch(gets))
+            # point ops and deletes ride the same serial stream
+            for i in range(0, SERVE_BATCHES * SERVE_BATCH_SIZE, 7):
+                assert c.get(b"serve-%05d" % i) is not None
+            for i in range(0, SERVE_BATCHES * SERVE_BATCH_SIZE, 13):
+                assert c.delete(b"serve-%05d" % i)
+        db.sync()
+        delta = db.io_stats.snapshot() - before
+    finally:
+        st.stop()
+    return {
+        "page_reads": delta.page_reads,
+        "page_writes": delta.page_writes,
+        "syscalls": delta.syscalls,
+        "bytes_read": delta.bytes_read,
+        "bytes_written": delta.bytes_written,
+    }
+
+
+def test_serve_tracing_off_matches_recorded_artifact(workdir):
+    """The serve path with tracing off must reproduce the artifact's
+    ``serve_io`` counters exactly, and tracing on must not change them."""
+    off = _serve_io(workdir, tracing=False)
+    artifact = os.path.join(REPO_ROOT, "BENCH_trace_overhead.json")
+    with open(artifact) as fh:
+        recorded = json.load(fh).get("serve_io")
+    if recorded is not None:
+        for field, value in recorded.items():
+            assert off[field] == value, (
+                f"serve tracing-off regression: {field} {off[field]} != "
+                f"recorded {value}"
+            )
+    traced = _serve_io(workdir, tracing=True)
+    assert traced == off, f"tracing changed serve-path I/O: {traced} != {off}"
+    global _SERVE_IO  # picked up by the snapshot emitter below
+    _SERVE_IO = off
+
+
+_SERVE_IO: dict | None = None
+
+
 def _ops_per_sec(mode: str, words) -> tuple[float, dict]:
     """One put+get sweep; returns (ops/sec, trace byproducts)."""
     table = HashTable.create(None, in_memory=True, bsize=BSIZE, ffactor=8)
@@ -139,6 +223,13 @@ def test_trace_overhead_snapshot(workdir):
                 "BENCH_flush_batching.json; wall-clock arms recorded, not gated"
             ),
         },
+    )
+    payload["serve_io"] = (
+        _SERVE_IO if _SERVE_IO is not None else _serve_io(workdir, tracing=False)
+    )
+    payload["context"]["serve_workload"] = (
+        f"{SERVE_BATCHES} batches x {SERVE_BATCH_SIZE} puts+gets, "
+        "serial single client, plus point gets/deletes"
     )
     emit_json("trace_overhead", payload)
     # sanity floors, not perf gates: every arm still does real work

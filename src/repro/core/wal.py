@@ -57,6 +57,7 @@ from __future__ import annotations
 import os
 import struct
 import threading
+import time
 import zlib
 
 from repro.core.errors import TransactionError, WALCorruptionError
@@ -438,21 +439,33 @@ class GroupCommitter:
         self.commits = 0
         #: fsync syscalls actually issued
         self.fsyncs = 0
+        #: optional ``(kind, t0, dur, attrs)`` callback for timed trace
+        #: spans (``commit_wait`` per committer, ``fsync`` per leader);
+        #: ``t0`` is an absolute perf_counter reading.  Must not raise.
+        self.emit = None
 
     def commit_wait(self, lsn: int) -> None:
         """Block until everything up to ``lsn`` is fsynced."""
+        emit = self.emit
+        t_wait = time.perf_counter() if emit is not None else 0.0
+        leader = False
         with self._cv:
             self.commits += 1
             while True:
                 if self._synced_lsn >= lsn:
+                    if emit is not None:
+                        emit("commit_wait", t_wait,
+                             time.perf_counter() - t_wait, {"lsn": lsn})
                     return
                 if not self._syncing:
                     self._syncing = True
+                    leader = True
                     break
                 self._cv.wait()
         # Leader: fsync outside the CV so followers can enqueue while the
         # syscall is in flight (that queue IS the next batch).
         target = self._last_lsn()
+        t_sync = time.perf_counter() if emit is not None else 0.0
         try:
             self._store.sync()
         finally:
@@ -463,6 +476,11 @@ class GroupCommitter:
             self.fsyncs += 1
             if target > self._synced_lsn:
                 self._synced_lsn = target
+        if emit is not None:
+            now = time.perf_counter()
+            emit("fsync", t_sync, now - t_sync,
+                 {"lsn": lsn, "target_lsn": target, "leader": leader})
+            emit("commit_wait", t_wait, now - t_wait, {"lsn": lsn})
 
 
 class WALPager:
@@ -710,6 +728,7 @@ class TransactionManager:
         self.audit = audit
         self._on_restore = on_restore
         self.group = GroupCommitter(wal.store, lambda: wal.next_lsn - 1)
+        self.group.emit = self._emit_wal_timed
         self._next_txid = 1
         self.explicit_txid: int | None = None
         self._saved = None
@@ -736,6 +755,16 @@ class TransactionManager:
         if hooks is not None and hooks.on_wal:
             payload = {"kind": kind, "wal_bytes": self.wal.tail}
             payload.update(extra)
+            hooks.emit("on_wal", payload)
+
+    def _emit_wal_timed(self, kind: str, t0: float, dur: float, attrs: dict) -> None:
+        """GroupCommitter's emit callback: timed commit_wait/fsync
+        intervals become on_wal payloads carrying ``t0``/``dur`` so the
+        tracer renders them as spans, not instants."""
+        hooks = self.hooks
+        if hooks is not None and hooks.on_wal:
+            payload = {"kind": kind, "t0": t0, "dur": dur}
+            payload.update(attrs)
             hooks.emit("on_wal", payload)
 
     @property

@@ -27,7 +27,7 @@ import json
 import math
 import re
 
-__all__ = ["to_chrome_trace", "to_prometheus", "to_ndjson"]
+__all__ = ["to_chrome_trace", "merge_chrome_traces", "to_prometheus", "to_ndjson"]
 
 #: keys that identify a Histogram.snapshot() dict among stat() leaves
 _HIST_KEYS = {"count", "total", "mean", "min", "max", "p50", "p95", "p99"}
@@ -49,6 +49,10 @@ def to_chrome_trace(events: list[dict], pid: int = 0) -> list[dict]:
         if parent is not None:
             args["parent_span"] = parent
         args["span_id"] = rec.get("id")
+        if rec.get("links"):
+            # extra causal edges beyond the parent (coalesced batches,
+            # shared group-commit fsyncs)
+            args["links"] = list(rec["links"])
         base = {
             "name": rec.get("name", "?"),
             "cat": rec.get("cat", "event"),
@@ -64,6 +68,74 @@ def to_chrome_trace(events: list[dict], pid: int = 0) -> list[dict]:
             base["ph"] = "i"
             base["s"] = "t"  # thread-scoped instant
         out.append(base)
+    return out
+
+
+def merge_chrome_traces(sources: list[dict]) -> list[dict]:
+    """Merge several recorders' records into ONE Chrome trace with
+    cross-process flow arrows.
+
+    Each source is ``{"records": [...], "epoch": perf_counter_origin,
+    "label": "client"|"server"|...}``.  All tracers in one process share
+    the ``perf_counter`` clock, so rebasing every source onto the
+    earliest epoch lines their timelines up exactly; each source becomes
+    its own ``pid`` with a ``process_name`` metadata event.
+
+    Wire-level causality renders as flow events: a span whose attrs
+    carry a ``trace_id`` *without* ``remote_span`` is a client-side
+    request span and emits a flow **start** (``ph: "s"``) keyed
+    ``trace_id:span_id``; a span carrying ``remote_span`` is the
+    server-side continuation and emits the flow **finish** (``ph: "f"``)
+    keyed ``trace_id:remote_span`` -- the ids match, so Perfetto draws
+    the arrow from the client span to the server span it became.
+    """
+    if not sources:
+        return []
+    base = min(src["epoch"] for src in sources)
+    out: list[dict] = []
+    for pid, src in enumerate(sources):
+        label = src.get("label") or f"source{pid}"
+        out.append(
+            {
+                "ph": "M",
+                "name": "process_name",
+                "pid": pid,
+                "tid": 0,
+                "ts": 0,
+                "args": {"name": label},
+            }
+        )
+        shift = src["epoch"] - base
+        records = src["records"]
+        events = to_chrome_trace(records, pid=pid)
+        for rec, ev in zip(records, events):
+            ev["ts"] = round(ev["ts"] + shift * 1e6, 3)
+            out.append(ev)
+            if rec.get("type") != "span":
+                continue
+            attrs = rec.get("attrs") or {}
+            trace_id = attrs.get("trace_id")
+            if not trace_id:
+                continue
+            # bind flow endpoints mid-span so they land inside the slice
+            mid_us = round(
+                (rec.get("ts", 0.0) + shift + rec.get("dur", 0.0) / 2) * 1e6, 3
+            )
+            flow = {
+                "cat": "request",
+                "name": "request",
+                "pid": pid,
+                "tid": rec.get("tid", 0),
+                "ts": mid_us,
+            }
+            if "remote_span" in attrs:
+                flow["ph"] = "f"
+                flow["bp"] = "e"  # bind to the enclosing slice
+                flow["id"] = f"{trace_id}:{attrs['remote_span']}"
+            else:
+                flow["ph"] = "s"
+                flow["id"] = f"{trace_id}:{rec.get('id')}"
+            out.append(flow)
     return out
 
 

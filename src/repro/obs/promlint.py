@@ -1,0 +1,204 @@
+"""A strict parser/linter for the Prometheus text exposition format.
+
+``/metrics`` output that *looks* plausible can still be unscrapeable --
+a stray brace, an unescaped quote in a label value, a duplicate family
+declaration -- and nothing in a curl-and-grep smoke test notices.  This
+module parses the exposition line by line against the format rules
+(https://prometheus.io/docs/instrumenting/exposition_formats/) and
+returns every violation, so CI can fail on malformed output instead of
+shipping it to a real scraper:
+
+- metric and label names must match the spec grammars;
+- label values must be correctly quoted and escaped;
+- sample values must be valid floats (``+Inf``/``-Inf``/``NaN`` ok);
+- at most one ``# TYPE`` per family, declared *before* its samples;
+- ``TYPE``/``HELP`` lines must name a valid type / be well-formed;
+- summary families may add ``_sum``/``_count`` and ``quantile`` labels;
+- no duplicate samples (same name + same label set);
+- the exposition must end with a newline.
+
+``lint(text)`` returns a list of ``"line N: problem"`` strings (empty =
+clean); ``python -m repro.tools promlint`` is the CLI (reads a file or
+stdin), used by the CI serve job against a live ``/metrics``.
+"""
+
+from __future__ import annotations
+
+import re
+
+__all__ = ["lint"]
+
+_METRIC_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_NAME = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+_VALID_TYPES = frozenset(
+    ("counter", "gauge", "histogram", "summary", "untyped", "info", "stateset")
+)
+#: sample-name suffixes each complex type may add to its family name
+_FAMILY_SUFFIXES = {
+    "summary": ("", "_sum", "_count"),
+    "histogram": ("", "_bucket", "_sum", "_count"),
+}
+
+
+def _parse_labels(text: str, lineno: int, errors: list[str]) -> str | None:
+    """Validate one ``{...}`` label block; returns the canonical label
+    string (for duplicate detection) or None after reporting errors."""
+    pairs = []
+    i = 0
+    n = len(text)
+    while True:
+        while i < n and text[i] in " \t":
+            i += 1
+        if i >= n:
+            break
+        m = re.match(r"[a-zA-Z_][a-zA-Z0-9_]*", text[i:])
+        if not m:
+            errors.append(f"line {lineno}: bad label name at {text[i:]!r}")
+            return None
+        name = m.group(0)
+        i += len(name)
+        if i >= n or text[i] != "=":
+            errors.append(f"line {lineno}: expected '=' after label {name!r}")
+            return None
+        i += 1
+        if i >= n or text[i] != '"':
+            errors.append(f"line {lineno}: label {name!r} value must be double-quoted")
+            return None
+        i += 1
+        value_chars = []
+        while i < n:
+            ch = text[i]
+            if ch == "\\":
+                if i + 1 >= n or text[i + 1] not in ('"', "\\", "n"):
+                    errors.append(
+                        f"line {lineno}: bad escape in label {name!r} value"
+                    )
+                    return None
+                value_chars.append(text[i : i + 2])
+                i += 2
+                continue
+            if ch == '"':
+                break
+            if ch == "\n":
+                errors.append(f"line {lineno}: unescaped newline in label value")
+                return None
+            value_chars.append(ch)
+            i += 1
+        else:
+            errors.append(f"line {lineno}: unterminated label value for {name!r}")
+            return None
+        i += 1  # closing quote
+        pairs.append((name, "".join(value_chars)))
+        while i < n and text[i] in " \t":
+            i += 1
+        if i < n and text[i] == ",":
+            i += 1
+            continue
+        if i < n:
+            errors.append(f"line {lineno}: expected ',' or '}}' in labels, got {text[i:]!r}")
+            return None
+    names = [p[0] for p in pairs]
+    if len(names) != len(set(names)):
+        errors.append(f"line {lineno}: duplicate label name")
+        return None
+    return ",".join(f'{k}="{v}"' for k, v in sorted(pairs))
+
+
+def _valid_value(token: str) -> bool:
+    if token in ("+Inf", "-Inf", "Inf", "NaN", "nan"):
+        return True
+    try:
+        float(token)
+    except ValueError:
+        return False
+    return True
+
+
+def _family_of(sample_name: str, types: dict[str, str]) -> str | None:
+    """The declared family a sample belongs to, honoring the suffixes
+    its type permits (``x_sum`` belongs to summary ``x``)."""
+    if sample_name in types:
+        return sample_name
+    for family, ftype in types.items():
+        for suffix in _FAMILY_SUFFIXES.get(ftype, ()):
+            if suffix and sample_name == family + suffix:
+                return family
+    return None
+
+
+def lint(text: str) -> list[str]:
+    """Parse ``text`` as Prometheus exposition; return every violation."""
+    errors: list[str] = []
+    if text and not text.endswith("\n"):
+        errors.append("exposition must end with a newline")
+    types: dict[str, str] = {}
+    sampled: set[str] = set()  # families that already emitted samples
+    seen_samples: set[tuple[str, str]] = set()
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 2 and parts[1] in ("TYPE", "HELP"):
+                if len(parts) < 3 or not _METRIC_NAME.match(parts[2]):
+                    errors.append(f"line {lineno}: malformed # {parts[1]} line")
+                    continue
+                name = parts[2]
+                if parts[1] == "TYPE":
+                    if len(parts) != 4 or parts[3] not in _VALID_TYPES:
+                        errors.append(
+                            f"line {lineno}: bad TYPE for {name!r}: "
+                            f"{parts[3] if len(parts) == 4 else '(missing)'}"
+                        )
+                        continue
+                    if name in types:
+                        errors.append(f"line {lineno}: duplicate TYPE for {name!r}")
+                        continue
+                    if name in sampled:
+                        errors.append(
+                            f"line {lineno}: TYPE for {name!r} after its samples"
+                        )
+                        continue
+                    types[name] = parts[3]
+            continue
+        # sample line: name[{labels}] value [timestamp]
+        m = re.match(r"^([a-zA-Z_:][a-zA-Z0-9_:]*)", line)
+        if not m:
+            errors.append(f"line {lineno}: bad metric name: {line.split()[0]!r}")
+            continue
+        name = m.group(1)
+        rest = line[len(name) :]
+        labels = ""
+        if rest.startswith("{"):
+            end = rest.find("}")
+            if end < 0:
+                errors.append(f"line {lineno}: unterminated label block")
+                continue
+            canon = _parse_labels(rest[1:end], lineno, errors)
+            if canon is None:
+                continue
+            labels = canon
+            rest = rest[end + 1 :]
+        if not rest.startswith(" ") and not rest.startswith("\t"):
+            errors.append(f"line {lineno}: missing space before value")
+            continue
+        tokens = rest.split()
+        if not tokens or len(tokens) > 2:
+            errors.append(f"line {lineno}: expected 'value [timestamp]', got {rest!r}")
+            continue
+        if not _valid_value(tokens[0]):
+            errors.append(f"line {lineno}: invalid sample value {tokens[0]!r}")
+            continue
+        if len(tokens) == 2 and not re.match(r"^-?\d+$", tokens[1]):
+            errors.append(f"line {lineno}: invalid timestamp {tokens[1]!r}")
+            continue
+        family = _family_of(name, types)
+        if family is not None:
+            sampled.add(family)
+        sampled.add(name)
+        key = (name, labels)
+        if key in seen_samples:
+            errors.append(f"line {lineno}: duplicate sample {name}{{{labels}}}")
+            continue
+        seen_samples.add(key)
+    return errors

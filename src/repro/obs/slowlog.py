@@ -1,0 +1,134 @@
+"""Slow-operation capture: complete span trees for requests over a threshold.
+
+The flight recorder answers "what happened *recently*"; this module
+answers "what did the *slow* requests look like", which is a different
+retention policy -- a 40 ms outlier among a million fast ops falls out
+of a shared ring long before anyone asks about it.  A :class:`SlowLog`
+keeps its own bounded ring (a :class:`~repro.obs.trace.FlightRecorder`,
+reused verbatim: same capacity semantics, same dropped accounting, same
+dump machinery) holding one entry per threshold breach.
+
+When the request was traced, the entry embeds the request's **complete
+span tree** lifted out of the tracer's recorder: every record reachable
+from the request's root span by parent edges *or* span links -- links
+are what connect a request to the coalescer's shared ``coalesce.exec``
+span and, through it, to the engine batch and WAL fsync it waited on
+(see docs/OBSERVABILITY.md).  With tracing off the entry degrades to the
+op name, duration, and status: still enough to see *that* something was
+slow, just not *why*.
+
+Entries are plain dicts, served by ``/debug/slow`` and rendered by
+``python -m repro.tools slow``.
+"""
+
+from __future__ import annotations
+
+from repro.obs.trace import FlightRecorder
+
+__all__ = ["SlowLog", "span_tree"]
+
+
+def span_tree(records: list[dict], root_id: int) -> list[dict]:
+    """Every record reachable from ``root_id`` via parent edges or span
+    links, in timestamp order.
+
+    Inclusion runs to a fixed point because the causal edges point both
+    ways: children name their parent, but the coalescer's shared span
+    names its *member requests* in ``links`` -- so a record joins the
+    tree when its parent OR any of its links is already in it, and its
+    own descendants join on a later pass.
+    """
+    included = {root_id}
+    out = []
+    remaining = [r for r in records if r.get("id") is not None]
+    changed = True
+    while changed:
+        changed = False
+        rest = []
+        for rec in remaining:
+            rid = rec["id"]
+            if rid in included:
+                out.append(rec)
+                continue
+            if rec.get("parent") in included or any(
+                l in included for l in rec.get("links") or ()
+            ):
+                included.add(rid)
+                out.append(rec)
+                changed = True
+            else:
+                rest.append(rec)
+        remaining = rest
+    out.sort(key=lambda r: r.get("ts", 0.0))
+    return out
+
+
+class SlowLog:
+    """A bounded ring of slow-request captures.
+
+    ``threshold_ms`` is the breach line; ``capacity`` bounds the ring
+    (oldest captures fall out first).  Thread-safe after
+    :meth:`make_threadsafe` (the serving layer calls it: captures happen
+    on event-loop callbacks while ``/debug/slow`` snapshots from the
+    HTTP handler).
+    """
+
+    def __init__(self, threshold_ms: float, capacity: int = 64) -> None:
+        if threshold_ms < 0:
+            raise ValueError(f"threshold_ms must be >= 0, got {threshold_ms}")
+        self.threshold_ms = threshold_ms
+        self.ring = FlightRecorder(capacity)
+
+    def make_threadsafe(self) -> "SlowLog":
+        self.ring.make_threadsafe()
+        return self
+
+    def observe(
+        self,
+        name: str,
+        dur_ms: float,
+        *,
+        status: int | None = None,
+        attrs: dict | None = None,
+        root_span_id: int | None = None,
+        recorder: FlightRecorder | None = None,
+    ) -> bool:
+        """Capture the op if it breached the threshold; returns whether
+        it did.  With ``root_span_id`` + the tracer's ``recorder`` the
+        entry embeds the full causal span tree."""
+        if dur_ms < self.threshold_ms:
+            return False
+        entry: dict = {
+            "type": "slow",
+            "op": name,
+            "dur_ms": round(dur_ms, 3),
+            "seq": self.ring.recorded,
+        }
+        if status is not None:
+            entry["status"] = status
+        if attrs:
+            entry["attrs"] = dict(attrs)
+        if root_span_id is not None and recorder is not None:
+            entry["root_span"] = root_span_id
+            entry["spans"] = span_tree(recorder.events(), root_span_id)
+        self.ring.record(entry)
+        return True
+
+    def entries(self) -> list[dict]:
+        """Oldest-first snapshot of the captured entries."""
+        return self.ring.events()
+
+    def as_dict(self) -> dict:
+        return {
+            "threshold_ms": self.threshold_ms,
+            "capacity": self.ring.capacity,
+            "captured": self.ring.recorded,
+            "dropped": self.ring.dropped,
+            "entries": self.entries(),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<SlowLog >={self.threshold_ms}ms "
+            f"{len(self.ring)}/{self.ring.capacity}>"
+        )

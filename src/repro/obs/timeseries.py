@@ -1,0 +1,147 @@
+"""Live time-series over the metric tree: periodic deltas in a ring.
+
+``stat()`` is a point-in-time snapshot; operators watching a live server
+need *rates* -- ops/sec now, not ops since boot.  A :class:`TimeSeries`
+samples a snapshot callable on a fixed interval and keeps the last N
+samples in a ring, each holding the **deltas** of every counter-like
+leaf and the **levels** of every gauge-like leaf since the previous
+sample.  ``/debug/timeseries`` serves the ring as JSON and
+``python -m repro.tools watch`` renders it top-style.
+
+Classification is structural, not declared: the stat tree flattens to
+dotted ``path -> number`` leaves, and every leaf starts life as a
+counter (report the delta).  The first time a leaf's value *decreases*
+it is reclassified as a gauge -- permanently, so one sawtooth doesn't
+flap the rendering -- and reported by level from then on.  Leaves whose
+terminal name is known to be a level (histogram ``mean``/``min``/
+``max``/``p50``/``p95``/``p99``, and anything under a ``*_active`` or
+``*depth*`` style name the registry exports as a Gauge) are seeded as
+gauges up front so their first samples aren't nonsense deltas.
+
+Sampling and snapshotting are the caller's problem by design: the
+serving layer drives :meth:`sample` from an asyncio task (taking the
+``stat()`` on a worker thread), tests drive it synchronously, and the
+ring itself is protected by one small mutex so HTTP reads never tear a
+sample.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+
+__all__ = ["TimeSeries", "flatten_stat"]
+
+#: terminal leaf names seeded as gauges (levels, not accumulators)
+GAUGE_LEAF_NAMES = frozenset(
+    ("mean", "min", "max", "p50", "p90", "p95", "p99", "stddev")
+)
+
+
+def flatten_stat(stat: dict, prefix: str = "") -> dict[str, float]:
+    """Flatten a nested stat tree to dotted-path numeric leaves.
+
+    Strings (e.g. histogram ``unit`` tags) and booleans are skipped;
+    lists are skipped (they're structure, not metrics).
+    """
+    flat: dict[str, float] = {}
+    for key, value in stat.items():
+        path = f"{prefix}.{key}" if prefix else str(key)
+        if isinstance(value, bool):
+            continue
+        if isinstance(value, (int, float)):
+            flat[path] = float(value)
+        elif isinstance(value, dict):
+            flat.update(flatten_stat(value, path))
+    return flat
+
+
+class TimeSeries:
+    """A bounded ring of periodic metric deltas.
+
+    ``snapshot`` is a zero-arg callable returning the stat tree;
+    ``interval`` is advisory metadata for renderers (the caller owns the
+    actual timer); ``retention`` bounds the ring.
+    """
+
+    def __init__(
+        self,
+        snapshot,
+        *,
+        interval: float = 1.0,
+        retention: int = 120,
+    ) -> None:
+        if retention < 1:
+            raise ValueError(f"retention must be >= 1, got {retention}")
+        if interval <= 0:
+            raise ValueError(f"interval must be > 0, got {interval}")
+        self._snapshot = snapshot
+        self.interval = interval
+        self.retention = retention
+        self._ring: deque = deque(maxlen=retention)
+        self._lock = threading.Lock()
+        self._prev: dict[str, float] | None = None
+        self._prev_t = 0.0
+        self._gauges: set[str] = set()
+        #: samples ever taken (``taken - len(ring)`` fell off the ring)
+        self.taken = 0
+
+    def sample(self, stat: dict | None = None) -> dict | None:
+        """Take one sample (calling ``snapshot`` unless ``stat`` is
+        given); returns the recorded entry, or None for the baseline
+        sample that only primes the deltas."""
+        if stat is None:
+            stat = self._snapshot()
+        now = time.time()
+        flat = flatten_stat(stat)
+        with self._lock:
+            prev, prev_t = self._prev, self._prev_t
+            self._prev, self._prev_t = flat, now
+            for path in flat:
+                if path.rsplit(".", 1)[-1] in GAUGE_LEAF_NAMES:
+                    self._gauges.add(path)
+            if prev is None:
+                return None
+            deltas: dict[str, float] = {}
+            gauges: dict[str, float] = {}
+            for path, value in flat.items():
+                if path not in self._gauges:
+                    delta = value - prev.get(path, 0.0)
+                    if delta < 0:
+                        # shrank: this is a level, not an accumulator
+                        self._gauges.add(path)
+                    else:
+                        if delta:
+                            deltas[path] = round(delta, 6)
+                        continue
+                gauges[path] = round(value, 6)
+            entry = {
+                "t": round(now, 3),
+                "dt": round(now - prev_t, 6),
+                "deltas": deltas,
+                "gauges": gauges,
+            }
+            self._ring.append(entry)
+            self.taken += 1
+            return entry
+
+    def samples(self) -> list[dict]:
+        """Oldest-first snapshot of the ring."""
+        with self._lock:
+            return list(self._ring)
+
+    def as_dict(self) -> dict:
+        with self._lock:
+            return {
+                "interval": self.interval,
+                "retention": self.retention,
+                "taken": self.taken,
+                "samples": list(self._ring),
+            }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<TimeSeries {len(self._ring)}/{self.retention} "
+            f"@{self.interval}s>"
+        )

@@ -55,9 +55,17 @@ __all__ = ["Span", "Tracer", "FlightRecorder", "TraceSupport"]
 
 
 class Span:
-    """One in-flight operation: a named interval with a parent and attrs."""
+    """One in-flight operation: a named interval with a parent and attrs.
 
-    __slots__ = ("id", "parent_id", "name", "cat", "tid", "t0", "t1", "attrs")
+    ``links`` holds span ids this span is *causally related to* beyond
+    its single parent -- the coalescer's one-engine-batch-N-requests
+    merge and group commit's one-fsync-N-committers are the motivating
+    cases.  Links export as an attr-like record field; the single
+    ``parent`` stays the tree edge.
+    """
+
+    __slots__ = ("id", "parent_id", "name", "cat", "tid", "t0", "t1", "attrs",
+                 "links")
 
     def __init__(
         self,
@@ -76,6 +84,7 @@ class Span:
         self.t0 = t0
         self.t1 = 0.0
         self.attrs: dict = {}
+        self.links: list[int] | None = None
 
     @property
     def duration(self) -> float:
@@ -215,6 +224,29 @@ class _SpanContext:
         self._tracer.end(self.span)
 
 
+class _AttachContext:
+    """Context-manager returned by :meth:`Tracer.attach`: pushes an
+    already-open span onto the calling thread's stack and pops back to
+    the prior depth on exit (without closing the span)."""
+
+    __slots__ = ("_tracer", "_span", "_depth")
+
+    def __init__(self, tracer: "Tracer", span: Span) -> None:
+        self._tracer = tracer
+        self._span = span
+        self._depth = 0
+
+    def __enter__(self) -> Span:
+        stack = self._tracer._stack()
+        self._depth = len(stack)
+        stack.append(self._span)
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        stack = self._tracer._stack()
+        del stack[self._depth :]
+
+
 class Tracer:
     """Per-database span tracer: a stack of open spans per thread plus a
     :class:`FlightRecorder` sink.
@@ -301,19 +333,68 @@ class Tracer:
             top = stack.pop()
             if top is span:
                 break
-        self.recorder.record(
-            {
-                "type": "span",
-                "id": span.id,
-                "parent": span.parent_id,
-                "tid": span.tid,
-                "name": span.name,
-                "cat": span.cat,
-                "ts": span.t0,
-                "dur": span.t1 - span.t0,
-                "attrs": span.attrs,
-            }
-        )
+        self._record_span(span)
+
+    def _record_span(self, span: Span) -> None:
+        rec = {
+            "type": "span",
+            "id": span.id,
+            "parent": span.parent_id,
+            "tid": span.tid,
+            "name": span.name,
+            "cat": span.cat,
+            "ts": span.t0,
+            "dur": span.t1 - span.t0,
+            "attrs": span.attrs,
+        }
+        if span.links:
+            rec["links"] = list(span.links)
+        self.recorder.record(rec)
+
+    # -- detached spans ----------------------------------------------------------
+    #
+    # Request-scoped spans in the serving layer don't nest like call
+    # frames: a connection task opens a span, hands its id to the
+    # coalescer, and the engine closes the causal chain on a *different*
+    # thread.  These helpers manage such spans without ever touching the
+    # per-thread stacks.
+
+    def open_span(
+        self,
+        name: str,
+        cat: str = "op",
+        attrs: dict | None = None,
+        *,
+        parent_id: int | None = None,
+        links: list[int] | None = None,
+    ) -> Span:
+        """Open a span *without* pushing it on the thread's stack.
+
+        ``parent_id=None`` makes it a root (it does NOT adopt the current
+        span -- pass ``self.current_span().id`` explicitly for that).
+        Close with :meth:`close_span`, or lend it to a worker thread via
+        :meth:`attach` so nested engine spans become its children.
+        """
+        span = Span(self._alloc_id(), parent_id, name, cat, self._tid(), self.now())
+        if attrs:
+            span.attrs.update(attrs)
+        if links:
+            span.links = list(links)
+        return span
+
+    def close_span(self, span: Span, attrs: dict | None = None) -> None:
+        """Close a span opened with :meth:`open_span` and record it."""
+        if attrs:
+            span.attrs.update(attrs)
+        span.t1 = self.now()
+        self._record_span(span)
+
+    def attach(self, span: Span) -> "_AttachContext":
+        """``with tracer.attach(span):`` -- make ``span`` the current
+        parent on *this* thread for the duration of the block, so spans
+        and events the block emits nest under it.  The span itself is not
+        closed; pair with :meth:`close_span`."""
+        return _AttachContext(self, span)
 
     def span(self, name: str, cat: str = "op", **attrs) -> _SpanContext:
         """``with tracer.span("get"):`` -- start/end as a context manager."""
@@ -344,23 +425,35 @@ class Tracer:
         dur: float,
         cat: str = "event",
         attrs: dict | None = None,
-    ) -> None:
+        *,
+        parent_id: int | None = None,
+        links: list[int] | None = None,
+    ) -> int:
         """A pre-measured child interval (e.g. a lock wait timed by the
-        lock itself).  ``t0`` is an absolute ``perf_counter`` reading."""
-        parent = self.current_span()
-        self.recorder.record(
-            {
-                "type": "span",
-                "id": self._alloc_id(),
-                "parent": parent.id if parent is not None else None,
-                "tid": self._tid(),
-                "name": name,
-                "cat": cat,
-                "ts": t0 - self.epoch,
-                "dur": dur,
-                "attrs": dict(attrs) if attrs else {},
-            }
-        )
+        lock itself).  ``t0`` is an absolute ``perf_counter`` reading.
+        ``parent_id`` overrides the default current-span parent (for
+        spans measured on one thread but owned by a request on another);
+        ``links`` adds extra causal edges.  Returns the span id.
+        """
+        if parent_id is None:
+            parent = self.current_span()
+            parent_id = parent.id if parent is not None else None
+        sid = self._alloc_id()
+        rec = {
+            "type": "span",
+            "id": sid,
+            "parent": parent_id,
+            "tid": self._tid(),
+            "name": name,
+            "cat": cat,
+            "ts": t0 - self.epoch,
+            "dur": dur,
+            "attrs": dict(attrs) if attrs else {},
+        }
+        if links:
+            rec["links"] = list(links)
+        self.recorder.record(rec)
+        return sid
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "enabled" if self.enabled else "disabled"
@@ -459,7 +552,6 @@ class TraceSupport:
             ("on_compact", "space", lambda p: "compact"),
             ("on_evict", "buffer", lambda p: "evict"),
             ("on_fault", "fault", lambda p: "fault_injected"),
-            ("on_wal", "wal", lambda p: "wal_" + p["kind"]),
             ("on_commit", "wal", lambda p: "commit"),
         )
         for event, cat, namer in wiring:
@@ -467,6 +559,24 @@ class TraceSupport:
                 tracer.instant(_namer(payload), _cat, payload)
             self.hooks.subscribe(event, relay)
             self._trace_subs.append((event, relay))
+
+        def wal_relay(payload):
+            # timed WAL phases (group-commit fsync / commit_wait carry
+            # their own measured interval) become proper spans; the rest
+            # of the WAL chatter stays zero-duration instants
+            if "dur" in payload and "t0" in payload:
+                attrs = {
+                    k: v for k, v in payload.items() if k not in ("t0", "dur", "kind")
+                }
+                tracer.complete(
+                    "wal_" + payload["kind"], payload["t0"], payload["dur"],
+                    "wal", attrs,
+                )
+            else:
+                tracer.instant("wal_" + payload["kind"], "wal", payload)
+
+        self.hooks.subscribe("on_wal", wal_relay)
+        self._trace_subs.append(("on_wal", wal_relay))
 
         def lock_wait(payload):
             tracer.complete(

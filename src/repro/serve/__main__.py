@@ -65,6 +65,10 @@ def _cmd_serve(args) -> int:
         http_port=args.http_port,
         max_inflight=args.max_inflight,
         max_batch=args.max_batch,
+        slow_ms=args.slow_ms,
+        slow_capacity=args.slow_capacity,
+        timeseries_interval=args.timeseries_interval,
+        timeseries_retention=args.timeseries_retention,
     )
     if args.trace:
         db.enable_tracing(ring_capacity=args.trace_ring or None)
@@ -121,6 +125,15 @@ def main(argv: list[str] | None = None) -> int:
                    help="enable span tracing (serves /trace on the HTTP facade)")
     p.add_argument("--trace-ring", type=int, default=0,
                    help="flight-recorder ring capacity (0 = unbounded)")
+    p.add_argument("--slow-ms", type=float, default=None,
+                   help="capture requests slower than this to /debug/slow")
+    p.add_argument("--slow-capacity", type=int, default=64,
+                   help="slow-op capture ring size (default 64)")
+    p.add_argument("--timeseries-interval", type=float, default=1.0,
+                   help="metric-delta sampling interval for /debug/timeseries "
+                        "(seconds; 0 disables; needs the HTTP facade)")
+    p.add_argument("--timeseries-retention", type=int, default=120,
+                   help="samples kept in the /debug/timeseries ring")
     p.set_defaults(fn=_cmd_serve)
 
     p = sub.add_parser("repl", help="interactive client shell")

@@ -33,6 +33,7 @@ batch runs in a single ``asyncio.to_thread`` call).
 from __future__ import annotations
 
 import asyncio
+import time
 
 __all__ = ["Batcher"]
 
@@ -47,15 +48,21 @@ class _Run:
     resolve to the list of per-op results, in order.
     """
 
-    __slots__ = ("kind", "keys", "values", "replace", "future", "single")
+    __slots__ = ("kind", "keys", "values", "replace", "future", "single",
+                 "span_id", "t_submit")
 
-    def __init__(self, kind, keys, values, replace, future, single):
+    def __init__(self, kind, keys, values, replace, future, single,
+                 span_id=None, t_submit=0.0):
         self.kind = kind
         self.keys = keys
         self.values = values
         self.replace = replace
         self.future = future
         self.single = single
+        #: request span id when the submitting request is traced -- the
+        #: causal hook the coalescer hangs queue_wait/batch_exec spans on
+        self.span_id = span_id
+        self.t_submit = t_submit
 
 
 class Batcher:
@@ -87,6 +94,13 @@ class Batcher:
 
             self._c_batches = self._c_ops = NULL_COUNTER
             self._h_size = NULL_HISTOGRAM
+        if obs is not None:
+            # live pressure: ops waiting in the queue right now (runs
+            # count their ops), plus the held-back incompatible run
+            obs.gauge("queue_depth").set_function(self._depth)
+
+    def _depth(self) -> int:
+        return self.queue.qsize() + (1 if self._held is not None else 0)
 
     # -- event-loop side ---------------------------------------------------------
 
@@ -103,16 +117,22 @@ class Batcher:
         await self._task
         self._task = None
 
-    def submit(self, kind: str, key=None, value=None, replace: bool = True):
+    def submit(self, kind: str, key=None, value=None, replace: bool = True,
+               span_id: int | None = None):
         """Enqueue one op; returns a future for its result.  Calls must
-        come from the event-loop thread (ops are ordered by this call)."""
+        come from the event-loop thread (ops are ordered by this call).
+        ``span_id`` parents this op's coalescer spans when traced."""
         if self._closing:
             raise RuntimeError("server is shutting down")
         fut = asyncio.get_running_loop().create_future()
-        self.queue.put_nowait(_Run(kind, (key,), (value,), replace, fut, True))
+        t_sub = time.perf_counter() if span_id is not None else 0.0
+        self.queue.put_nowait(
+            _Run(kind, (key,), (value,), replace, fut, True, span_id, t_sub)
+        )
         return fut
 
-    def submit_run(self, kind: str, keys, values=None, replace: bool = True):
+    def submit_run(self, kind: str, keys, values=None, replace: bool = True,
+                   span_id: int | None = None):
         """Enqueue a stretch of same-kind ops as ONE queue entry; returns
         a future resolving to the list of per-op results.  ``values`` is
         the parallel list for puts (ignored for get/delete)."""
@@ -121,7 +141,10 @@ class Batcher:
         fut = asyncio.get_running_loop().create_future()
         if values is None:
             values = (None,) * len(keys)
-        self.queue.put_nowait(_Run(kind, keys, values, replace, fut, False))
+        t_sub = time.perf_counter() if span_id is not None else 0.0
+        self.queue.put_nowait(
+            _Run(kind, keys, values, replace, fut, False, span_id, t_sub)
+        )
         return fut
 
     # -- the dispatcher ----------------------------------------------------------
@@ -158,15 +181,48 @@ class Batcher:
             else:
                 keys = [k for r in batch for k in r.keys]
                 values = [v for r in batch for v in r.values]
+            # One engine batch may serve N traced requests: per-request
+            # queue_wait spans close here, one coalesce.exec span linked
+            # to every member covers the engine work, and per-request
+            # batch_exec spans attribute that shared interval back to
+            # each request after it finishes.
+            tracer = getattr(self.db, "tracer", None)
+            bspan = None
+            members = ()
+            if tracer is not None and tracer.enabled:
+                members = [r for r in batch if r.span_id is not None]
+            if members:
+                now = time.perf_counter()
+                for r in members:
+                    tracer.complete(
+                        "queue_wait", r.t_submit, now - r.t_submit, "serve",
+                        {"ops": len(r.keys)}, parent_id=r.span_id,
+                    )
+                bspan = tracer.open_span(
+                    "coalesce.exec", "serve",
+                    {"kind": run.kind, "runs": len(batch), "ops": total},
+                    links=[r.span_id for r in members],
+                )
+            t_exec = time.perf_counter() if bspan is not None else 0.0
             try:
                 results = await asyncio.to_thread(
-                    self._execute, run.kind, keys, values, run.replace
+                    self._execute, run.kind, keys, values, run.replace, bspan
                 )
             except BaseException as exc:  # noqa: BLE001 - relayed per run
+                if bspan is not None:
+                    tracer.close_span(bspan, {"error": type(exc).__name__})
                 for r in batch:
                     if not r.future.done():
                         r.future.set_exception(exc)
             else:
+                if bspan is not None:
+                    t_done = time.perf_counter()
+                    tracer.close_span(bspan)
+                    for r in members:
+                        tracer.complete(
+                            "batch_exec", t_exec, t_done - t_exec, "serve",
+                            {"ops": len(r.keys)}, parent_id=r.span_id,
+                        )
                 off = 0
                 for r in batch:
                     n = len(r.keys)
@@ -178,7 +234,16 @@ class Batcher:
 
     # -- worker-thread side ------------------------------------------------------
 
-    def _execute(self, kind: str, keys, values, replace: bool) -> list:
+    def _execute(self, kind: str, keys, values, replace: bool, bspan=None) -> list:
+        if bspan is not None:
+            # runs on the worker thread: lend the coalescer's span to this
+            # thread so engine spans (put_many, lock_wait, wal_fsync...)
+            # nest under it
+            with self.db.tracer.attach(bspan):
+                return self._execute_ops(kind, keys, values, replace)
+        return self._execute_ops(kind, keys, values, replace)
+
+    def _execute_ops(self, kind: str, keys, values, replace: bool) -> list:
         db = self.db
         if kind == "get":
             return db.get_many(keys)

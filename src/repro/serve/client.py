@@ -14,6 +14,15 @@ engine does); the client files them by request id, so ``result`` can be
 called in any order.  Server-side error statuses raise
 :class:`ServerError` with the status code and message.
 
+:meth:`Client.enable_tracing` gives the client its own tracer: every
+request opens a ``client.<op>`` span closed when its response is
+claimed, and requests go out as **version-2 frames** carrying the
+client's trace id + the request span's id -- a tracing server adopts
+that context, so the client-side span and the server's whole causal tree
+share one trace (merge them with
+:func:`repro.obs.export.merge_chrome_traces`).  Untraced clients keep
+sending byte-identical v1 frames.
+
 ``repl()`` is the interactive shell behind
 ``python -m repro.serve repl``.
 """
@@ -21,6 +30,7 @@ called in any order.  Server-side error statuses raise
 from __future__ import annotations
 
 import json
+import os
 import socket
 import sys
 
@@ -60,6 +70,27 @@ class Client:
         self._responses: dict[int, tuple[int, bytes]] = {}
         #: request id -> op descriptor, for decoding the response
         self._sent: dict[int, tuple] = {}
+        #: set by enable_tracing(); None keeps the wire pure v1
+        self.tracer = None
+        self.trace_id: int | None = None
+        #: request id -> open client-side span
+        self._spans: dict[int, object] = {}
+
+    def enable_tracing(self, *, ring_capacity: int | None = None):
+        """Give this client its own tracer and start stamping requests
+        with a trace context (v2 frames).  Returns the tracer; its
+        recorder holds the ``client.<op>`` spans, exportable alongside a
+        server-side dump via ``merge_chrome_traces``.  Idempotent."""
+        if self.tracer is not None:
+            return self.tracer
+        from repro.obs.trace import FlightRecorder, Tracer
+
+        self.tracer = Tracer(
+            enabled=True, recorder=FlightRecorder(capacity=ring_capacity)
+        )
+        # 64-bit random trace id; low bit forced so it is never zero
+        self.trace_id = int.from_bytes(os.urandom(8), "big") | 1
+        return self.tracer
 
     # -- pipelining primitives ---------------------------------------------------
 
@@ -70,29 +101,44 @@ class Client:
         ``batch ops``, ``stat``."""
         self._next_id += 1
         rid = self._next_id
+        ctx = None
+        if self.tracer is not None:
+            # the request span: opened at send, closed when the response
+            # is claimed; its id rides the wire so the server's tree
+            # hangs off this client-side span
+            span = self.tracer.open_span(
+                "client." + op, "client",
+                {"rid": rid, "trace_id": f"{self.trace_id:016x}"},
+            )
+            self._spans[rid] = span
+            ctx = (self.trace_id, span.id)
         if op == "ping":
             payload = args[0] if args else b""
-            frame = proto.encode_frame(proto.OP_PING, rid, payload)
+            frame = proto.encode_frame(proto.OP_PING, rid, payload, ctx)
             self._sent[rid] = ("ping",)
         elif op == "get":
-            frame = proto.encode_frame(proto.OP_GET, rid, _b(args[0]))
+            frame = proto.encode_frame(proto.OP_GET, rid, _b(args[0]), ctx)
             self._sent[rid] = ("get",)
         elif op == "put":
             replace = kwargs.get("replace", True)
             payload = proto.encode_put(_b(args[0]), _b(args[1]), replace)
-            frame = proto.encode_frame(proto.OP_PUT, rid, payload)
+            frame = proto.encode_frame(proto.OP_PUT, rid, payload, ctx)
             self._sent[rid] = ("put",)
         elif op == "delete":
-            frame = proto.encode_frame(proto.OP_DELETE, rid, _b(args[0]))
+            frame = proto.encode_frame(proto.OP_DELETE, rid, _b(args[0]), ctx)
             self._sent[rid] = ("delete",)
         elif op == "batch":
             subops, kinds = _encode_batch_ops(args[0])
-            frame = proto.encode_frame(proto.OP_BATCH, rid, proto.encode_batch(subops))
+            frame = proto.encode_frame(
+                proto.OP_BATCH, rid, proto.encode_batch(subops), ctx
+            )
             self._sent[rid] = ("batch", kinds)
         elif op == "stat":
-            frame = proto.encode_frame(proto.OP_STAT, rid)
+            frame = proto.encode_frame(proto.OP_STAT, rid, b"", ctx)
             self._sent[rid] = ("stat",)
         else:
+            if self.tracer is not None:
+                del self._spans[rid]
             raise ValueError(f"unknown op {op!r}")
         self.sock.sendall(frame)
         return rid
@@ -107,6 +153,9 @@ class Client:
             for status, resp_id, payload in self._decoder.feed(data):
                 self._responses[resp_id] = (status, payload)
         status, payload = self._responses.pop(rid)
+        span = self._spans.pop(rid, None)
+        if span is not None:
+            self.tracer.close_span(span, {"status": status})
         return _decode_result(kind, status, payload)
 
     # -- one-round-trip conveniences ---------------------------------------------

@@ -11,6 +11,8 @@ GET       /metrics           Prometheus text exposition of ``server.stat()``
 GET       /stat              the same tree as JSON
 GET       /healthz           ``ok`` (liveness)
 GET       /trace             flight-recorder NDJSON (404 unless tracing on)
+GET       /debug/slow        slow-request captures, JSON (404 unless --slow-ms)
+GET       /debug/timeseries  metric-delta ring, JSON (404 unless sampling on)
 GET       /kv/<key>          value bytes, 404 when absent
 PUT       /kv/<key>          body is the value; 204 on store
 DELETE    /kv/<key>          204 on delete, 404 when absent
@@ -127,6 +129,24 @@ async def _handle(server, reader) -> tuple[int, bytes, str]:
         if tracer is None or not tracer.enabled:
             return 404, b"tracing is not enabled on the served table\n", text
         return 200, to_ndjson(tracer.recorder.events()).encode(), "application/x-ndjson"
+    if path == "/debug/slow":
+        if method != "GET":
+            return 405, b"method not allowed", text
+        slowlog = server.slowlog
+        if slowlog is None:
+            return 404, b"slow-op capture is not enabled (start with --slow-ms)\n", text
+        return (
+            200,
+            json.dumps(slowlog.as_dict(), default=repr).encode(),
+            "application/json",
+        )
+    if path == "/debug/timeseries":
+        if method != "GET":
+            return 405, b"method not allowed", text
+        ts = server.timeseries
+        if ts is None:
+            return 404, b"time-series sampling is not enabled\n", text
+        return 200, json.dumps(ts.as_dict()).encode(), "application/json"
     if path.startswith("/kv/"):
         key = unquote_to_bytes(path[len("/kv/") :])
         if not key:

@@ -14,6 +14,16 @@ Requests and responses share the framing; a response reuses the
 number of requests may be in flight on one connection and responses may
 come back **out of order** -- the id, not the position, pairs them up.
 
+**Version 2 frames** carry a trace context: when the version byte is 2,
+the first 16 payload bytes are ``u64 trace_id, u64 span_id`` (network
+order) and ``length`` counts them, so a v2 frame's *logical* payload is
+``payload[16:]``.  The context is optional per frame -- a traced client
+stamps requests it wants attributed and sends plain v1 frames otherwise,
+and servers always answer in v1, so v1-only peers interoperate unchanged
+(a v1 server rejects v2 frames with a fatal typed error rather than
+misparsing them).  A v2 frame whose length is under 16 is a framing
+error: the stream offset can't be trusted, so the connection closes.
+
 Two failure tiers, chosen so a client can always tell them apart:
 
 - **framing-intact errors** (unknown opcode, malformed payload, key
@@ -45,6 +55,9 @@ import struct
 __all__ = [
     "MAGIC",
     "VERSION",
+    "VERSION_TRACED",
+    "TRACE_CTX",
+    "WireFrame",
     "HEADER",
     "HEADER_SIZE",
     "DEFAULT_MAX_FRAME",
@@ -74,9 +87,14 @@ __all__ = [
 
 MAGIC = 0xC3DB
 VERSION = 1
+#: version byte of a frame carrying a 16-byte trace context before its payload
+VERSION_TRACED = 2
 
 HEADER = struct.Struct("!HBBII")  # magic, version, opcode/status, request_id, length
 HEADER_SIZE = HEADER.size
+
+TRACE_CTX = struct.Struct("!QQ")  # trace_id, span_id
+TRACE_CTX_SIZE = TRACE_CTX.size
 
 #: refuse frames whose declared payload exceeds this (server and client)
 DEFAULT_MAX_FRAME = 16 * 1024 * 1024
@@ -133,9 +151,51 @@ class ProtocolError(Exception):
         self.fatal = fatal
 
 
-def encode_frame(opcode: int, request_id: int, payload: bytes = b"") -> bytes:
-    """One wire frame: header + payload."""
-    return HEADER.pack(MAGIC, VERSION, opcode, request_id, len(payload)) + payload
+class WireFrame(tuple):
+    """One decoded frame: an ``(opcode, request_id, payload)`` triple.
+
+    Equality, hashing, and unpacking behave exactly like the plain tuple
+    (v1 callers never notice the subclass); ``trace`` carries the
+    ``(trace_id, span_id)`` of a version-2 frame, or ``None``.
+    """
+
+    def __new__(
+        cls,
+        opcode: int,
+        request_id: int,
+        payload: bytes,
+        trace: tuple[int, int] | None = None,
+    ) -> "WireFrame":
+        self = super().__new__(cls, (opcode, request_id, payload))
+        self.trace = trace
+        return self
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        base = super().__repr__()
+        return f"WireFrame{base}" if self.trace is None else f"WireFrame{base}+{self.trace}"
+
+
+def encode_frame(
+    opcode: int,
+    request_id: int,
+    payload: bytes = b"",
+    trace: tuple[int, int] | None = None,
+) -> bytes:
+    """One wire frame: header + payload.
+
+    With ``trace=(trace_id, span_id)`` the frame is emitted as version 2
+    with the 16-byte context prepended to (and counted in) the payload;
+    without it the bytes are identical to every frame this module ever
+    produced.
+    """
+    if trace is None:
+        return HEADER.pack(MAGIC, VERSION, opcode, request_id, len(payload)) + payload
+    ctx = TRACE_CTX.pack(trace[0] & 0xFFFFFFFFFFFFFFFF, trace[1] & 0xFFFFFFFFFFFFFFFF)
+    return (
+        HEADER.pack(MAGIC, VERSION_TRACED, opcode, request_id, len(ctx) + len(payload))
+        + ctx
+        + payload
+    )
 
 
 class FrameDecoder:
@@ -161,13 +221,14 @@ class FrameDecoder:
         """Bytes buffered toward the next (incomplete) frame."""
         return len(self._buf)
 
-    def feed(self, data: bytes) -> list[tuple[int, int, bytes]]:
-        """Absorb ``data``; return every complete ``(opcode, request_id,
-        payload)`` it finished."""
+    def feed(self, data: bytes) -> list[WireFrame]:
+        """Absorb ``data``; return every complete frame it finished as a
+        :class:`WireFrame` ``(opcode, request_id, payload)`` with the
+        version-2 trace context (if any) on ``.trace``."""
         if self._dead:
             raise ProtocolError("decoder is dead after a framing error", fatal=True)
         self._buf += data
-        frames: list[tuple[int, int, bytes]] = []
+        frames: list[WireFrame] = []
         while True:
             if len(self._buf) < HEADER_SIZE:
                 return frames
@@ -177,10 +238,18 @@ class FrameDecoder:
                 raise ProtocolError(
                     f"bad magic 0x{magic:04X} (want 0x{MAGIC:04X})", fatal=True
                 )
-            if version != VERSION:
+            if version not in (VERSION, VERSION_TRACED):
                 self._dead = True
                 raise ProtocolError(
                     f"unsupported protocol version {version}",
+                    request_id=request_id,
+                    fatal=True,
+                )
+            if version == VERSION_TRACED and length < TRACE_CTX_SIZE:
+                self._dead = True
+                raise ProtocolError(
+                    f"v2 frame length {length} cannot hold its "
+                    f"{TRACE_CTX_SIZE}-byte trace context",
                     request_id=request_id,
                     fatal=True,
                 )
@@ -197,7 +266,11 @@ class FrameDecoder:
                 return frames
             payload = bytes(self._buf[HEADER_SIZE : HEADER_SIZE + length])
             del self._buf[: HEADER_SIZE + length]
-            frames.append((opcode, request_id, payload))
+            trace = None
+            if version == VERSION_TRACED:
+                trace = TRACE_CTX.unpack_from(payload)
+                payload = payload[TRACE_CTX_SIZE:]
+            frames.append(WireFrame(opcode, request_id, payload, trace))
 
 
 # -- op payload codecs ---------------------------------------------------------

@@ -69,6 +69,17 @@ class ServerConfig:
     max_batch: int = 512
     #: seconds stop() waits for connections to drain before force-closing
     drain_timeout: float = 5.0
+    #: capture requests slower than this many ms into the slow log
+    #: (``/debug/slow``, ``repro.tools slow``); None disables capture
+    slow_ms: float | None = None
+    #: slow-log ring size (oldest captures fall out first)
+    slow_capacity: int = 64
+    #: sampling interval (seconds) for the ``/debug/timeseries`` ring;
+    #: the sampler only runs while the HTTP facade is up, and <= 0
+    #: disables it entirely
+    timeseries_interval: float = 1.0
+    #: samples kept in the time-series ring
+    timeseries_retention: int = 120
 
 
 class _Conn:
@@ -111,7 +122,20 @@ class Server:
         self._drained = asyncio.Event()
         self.port: int | None = None
         self.http_port: int | None = None
+        #: requests inside the inflight window right now, across all conns
+        self._inflight = 0
         self.registry.gauge("connections_active").set_function(lambda: len(self._conns))
+        self.registry.gauge("inflight").set_function(lambda: self._inflight)
+        self.slowlog = None
+        if self.config.slow_ms is not None:
+            from repro.obs.slowlog import SlowLog
+
+            self.slowlog = SlowLog(
+                self.config.slow_ms, self.config.slow_capacity
+            ).make_threadsafe()
+        #: built in start() when the HTTP facade (its only consumer) is up
+        self.timeseries = None
+        self._ts_task: asyncio.Task | None = None
 
     # -- lifecycle ---------------------------------------------------------------
 
@@ -128,6 +152,26 @@ class Server:
 
             self._http = await asyncio.start_server(on_http, cfg.host, cfg.http_port)
             self.http_port = self._http.sockets[0].getsockname()[1]
+            if cfg.timeseries_interval > 0:
+                from repro.obs.timeseries import TimeSeries
+
+                self.timeseries = TimeSeries(
+                    self.stat,
+                    interval=cfg.timeseries_interval,
+                    retention=cfg.timeseries_retention,
+                )
+                self.timeseries.sample()  # baseline: primes the deltas
+                self._ts_task = asyncio.get_running_loop().create_task(
+                    self._sample_timeseries()
+                )
+
+    async def _sample_timeseries(self) -> None:
+        """Periodic sampler behind ``/debug/timeseries``: one ``stat()``
+        per interval, taken on a worker thread."""
+        while True:
+            await asyncio.sleep(self.timeseries.interval)
+            stat = await asyncio.to_thread(self.stat)
+            self.timeseries.sample(stat)
 
     async def serve_forever(self) -> None:
         assert self._server is not None, "start() first"
@@ -138,6 +182,13 @@ class Server:
         if self._closing:
             return
         self._closing = True
+        if self._ts_task is not None:
+            self._ts_task.cancel()
+            try:
+                await self._ts_task
+            except asyncio.CancelledError:
+                pass
+            self._ts_task = None
         for listener in (self._server, self._http):
             if listener is not None:
                 listener.close()
@@ -178,21 +229,45 @@ class Server:
         """The combined metric tree: ``server`` (this layer) + ``db``."""
         return {"server": self.registry.as_dict(), "db": self.db.stat()}
 
-    def _observe(self, name: str, t0: float, status: int) -> None:
+    def _observe(self, name: str, t0: float, status: int, span=None) -> None:
         dur = time.perf_counter() - t0
         self._lat.histogram(name, unit="ms").observe(dur * 1e3)
         self._ops.counter(name).inc()
         if status in proto.ERROR_STATUSES:
             self._errors.inc()
         tracer = getattr(self.db, "tracer", None)
-        if tracer is not None and tracer.enabled:
-            tracer.complete(
-                "serve." + name,
-                t0,
-                dur,
-                "serve",
-                {"time_ms": round(dur * 1e3, 3), "status": status},
-            )
+        traced = tracer is not None and tracer.enabled
+        if traced:
+            if span is not None:
+                # close the request's root span (opened before dispatch so
+                # the coalescer could parent its queue_wait/batch_exec
+                # spans on it); time_ms mirrors the recorded dur exactly
+                span.t1 = tracer.now()
+                span.attrs["time_ms"] = round((span.t1 - span.t0) * 1e3, 3)
+                span.attrs["status"] = status
+                tracer._record_span(span)
+            else:
+                # tracing flipped on mid-request: fall back to the
+                # pre-measured span so the op still shows up
+                tracer.complete(
+                    "serve." + name,
+                    t0,
+                    dur,
+                    "serve",
+                    {"time_ms": round(dur * 1e3, 3), "status": status},
+                )
+        slowlog = self.slowlog
+        if slowlog is not None:
+            if traced and span is not None:
+                slowlog.observe(
+                    "serve." + name,
+                    dur * 1e3,
+                    status=status,
+                    root_span_id=span.id,
+                    recorder=tracer.recorder,
+                )
+            else:
+                slowlog.observe("serve." + name, dur * 1e3, status=status)
 
     # -- the KV listener ---------------------------------------------------------
 
@@ -230,10 +305,14 @@ class Server:
                 )
                 self._errors.inc()
                 return
-            for opcode, request_id, payload in frames:
+            for frame in frames:
+                opcode, request_id, payload = frame
                 await conn.inflight.acquire()  # bounded inflight window
+                self._inflight += 1
                 task = asyncio.get_running_loop().create_task(
-                    self._serve_request(conn, opcode, request_id, payload)
+                    self._serve_request(
+                        conn, opcode, request_id, payload, frame.trace
+                    )
                 )
                 conn.tasks.add(task)
                 task.add_done_callback(conn.tasks.discard)
@@ -248,14 +327,30 @@ class Server:
             pass  # client went away; its futures are already resolved
 
     async def _serve_request(
-        self, conn: _Conn, opcode: int, request_id: int, payload: bytes
+        self,
+        conn: _Conn,
+        opcode: int,
+        request_id: int,
+        payload: bytes,
+        trace: tuple[int, int] | None = None,
     ) -> None:
         t0 = time.perf_counter()
         name = OP_NAMES.get(opcode, "unknown")
         status = proto.ST_SERVER_ERROR
+        tracer = getattr(self.db, "tracer", None)
+        span = None
+        if tracer is not None and tracer.enabled:
+            # open (don't stack) the request's root span now so its id can
+            # parent the coalescer's spans; a v2 frame's wire context makes
+            # this server span a continuation of the client's trace
+            attrs: dict = {"rid": request_id}
+            if trace is not None:
+                attrs["trace_id"] = f"{trace[0]:016x}"
+                attrs["remote_span"] = trace[1]
+            span = tracer.open_span("serve." + name, "serve", attrs)
         try:
             try:
-                status, body = await self._dispatch(opcode, request_id, payload)
+                status, body = await self._dispatch(opcode, request_id, payload, span)
             except ProtocolError as exc:
                 status, body = exc.status, str(exc).encode()
             except Exception as exc:  # noqa: BLE001 - typed to the client
@@ -263,33 +358,37 @@ class Server:
             await self._send(conn, status, request_id, body)
         finally:
             conn.inflight.release()
-            self._observe(name, t0, status)
+            self._inflight -= 1
+            self._observe(name, t0, status, span)
 
     async def _dispatch(
-        self, opcode: int, request_id: int, payload: bytes
+        self, opcode: int, request_id: int, payload: bytes, span=None
     ) -> tuple[int, bytes]:
+        sid = span.id if span is not None else None
         if opcode == proto.OP_PING:
             return proto.ST_OK, payload
         if opcode == proto.OP_GET:
             if not payload:
                 raise ProtocolError("empty key", request_id=request_id)
-            value = await self.batcher.submit("get", payload)
+            value = await self.batcher.submit("get", payload, span_id=sid)
             if value is None:
                 return proto.ST_NOT_FOUND, b""
             return proto.ST_OK, value
         if opcode == proto.OP_PUT:
             key, value, replace = proto.decode_put(payload, request_id)
-            stored = await self.batcher.submit("put", key, value, replace)
+            stored = await self.batcher.submit(
+                "put", key, value, replace, span_id=sid
+            )
             return proto.ST_OK, b"\x01" if stored else b"\x00"
         if opcode == proto.OP_DELETE:
             if not payload:
                 raise ProtocolError("empty key", request_id=request_id)
-            found = await self.batcher.submit("delete", payload)
+            found = await self.batcher.submit("delete", payload, span_id=sid)
             if found:
                 return proto.ST_OK, b"\x01"
             return proto.ST_NOT_FOUND, b"\x00"
         if opcode == proto.OP_BATCH:
-            return await self._dispatch_batch(payload, request_id)
+            return await self._dispatch_batch(payload, request_id, span)
         if opcode == proto.OP_STAT:
             stat = await asyncio.to_thread(self.stat)
             return proto.ST_OK, json.dumps(stat, default=repr).encode()
@@ -297,7 +396,9 @@ class Server:
             f"unknown opcode 0x{opcode:02X}", request_id=request_id
         )
 
-    async def _dispatch_batch(self, payload: bytes, request_id: int) -> tuple[int, bytes]:
+    async def _dispatch_batch(
+        self, payload: bytes, request_id: int, span=None
+    ) -> tuple[int, bytes]:
         # Decode the WHOLE frame before submitting anything: a malformed
         # sub-op rejects the frame without half its ops already queued.
         decoded: list[tuple[str, bytes, bytes | None, bool]] = []
@@ -315,7 +416,14 @@ class Server:
         # the coalescer sees them contiguously and in order (sequential
         # semantics within the batch: a GET after a PUT of the same key
         # sees the new value).
-        runs: list[tuple[str, int, "asyncio.Future"]] = []
+        # The whole BATCH frame carries ONE trace context (the request
+        # span); each run gets its own child span so sub-op stretches are
+        # distinguishable in the trace, and the run span's id -- not the
+        # frame's -- parents that run's queue_wait/batch_exec spans.
+        tracer = getattr(self.db, "tracer", None) if span is not None else None
+        if tracer is not None and not tracer.enabled:
+            tracer = None
+        runs: list[tuple[str, int, "asyncio.Future", object]] = []
         i = 0
         while i < len(decoded):
             kind, _, _, replace = decoded[i]
@@ -326,22 +434,33 @@ class Server:
                 and (kind != "put" or decoded[j][3] == replace)
             ):
                 j += 1
+            run_span = None
+            if tracer is not None:
+                run_span = tracer.open_span(
+                    f"batch.run.{kind}", "serve", {"ops": j - i},
+                    parent_id=span.id,
+                )
             fut = self.batcher.submit_run(
                 kind,
                 [d[1] for d in decoded[i:j]],
                 [d[2] for d in decoded[i:j]],
                 replace,
+                span_id=run_span.id if run_span is not None else None,
             )
-            runs.append((kind, j - i, fut))
+            runs.append((kind, j - i, fut, run_span))
             i = j
         results: list[tuple[int, bytes]] = []
-        for kind, count, fut in runs:
+        for kind, count, fut, run_span in runs:
             try:
                 values = await fut
             except Exception as exc:  # noqa: BLE001 - typed per sub-op
+                if run_span is not None:
+                    tracer.close_span(run_span, {"error": type(exc).__name__})
                 err = (proto.ST_SERVER_ERROR, f"{type(exc).__name__}: {exc}".encode())
                 results.extend([err] * count)
                 continue
+            if run_span is not None:
+                tracer.close_span(run_span)
             if kind == "get":
                 results.extend(
                     (proto.ST_NOT_FOUND, b"") if v is None else (proto.ST_OK, v)

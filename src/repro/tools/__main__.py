@@ -196,12 +196,14 @@ def main(argv: list[str] | None = None) -> int:
     p.set_defaults(fn=_cmd_compact)
 
     from repro.tools.prof import add_prof_parser
+    from repro.tools.serve_tools import add_serve_tool_parsers
     from repro.tools.trace import add_trace_parsers
     from repro.tools.waldump import add_wal_parser
 
     add_prof_parser(sub)
     add_trace_parsers(sub)
     add_wal_parser(sub)
+    add_serve_tool_parsers(sub)
 
     args = parser.parse_args(argv)
     return args.fn(args)

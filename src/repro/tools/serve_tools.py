@@ -1,0 +1,258 @@
+"""``repro.tools slow`` / ``watch`` / ``promlint``: serve-layer observability.
+
+``slow`` renders the slow-op captures a running server exposes at
+``/debug/slow`` (or a saved copy of that JSON) as indented span trees --
+one block per breach, with queue/exec/commit wait attributed span by
+span.  ``watch`` polls ``/debug/timeseries`` and renders a top-style
+live view of counter rates and gauge levels.  ``promlint`` runs the
+strict exposition-format linter over a ``/metrics`` scrape (file or
+stdin), exiting nonzero on any violation -- CI pipes a live scrape
+through it so a malformed exposition fails the build rather than a
+scraper.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+
+
+def _fetch(source: str) -> str:
+    """Read ``source``: an ``http(s)://`` URL, ``-`` for stdin, or a
+    file path."""
+    if source == "-":
+        return sys.stdin.read()
+    if source.startswith(("http://", "https://")):
+        from urllib.request import urlopen
+
+        with urlopen(source, timeout=10) as resp:
+            return resp.read().decode("utf-8", "replace")
+    with open(source) as fh:
+        return fh.read()
+
+
+# -- slow ----------------------------------------------------------------------
+
+
+def render_span_forest(spans: list[dict], root_id: int | None) -> list[str]:
+    """Indent spans by parent depth; linked-but-unparented spans (the
+    coalescer's shared exec span, WAL spans under it) nest under their
+    first in-tree link so the causal chain reads top to bottom."""
+    by_id = {s["id"]: s for s in spans if s.get("id") is not None}
+    children: dict[int | None, list[dict]] = {}
+    for s in spans:
+        parent = s.get("parent")
+        if parent not in by_id:
+            links = [l for l in (s.get("links") or ()) if l in by_id]
+            parent = links[0] if links else None
+        children.setdefault(parent, []).append(s)
+
+    lines: list[str] = []
+
+    def emit(span: dict, depth: int) -> None:
+        name = span.get("name", "?")
+        if span.get("type") == "span":
+            dur = span.get("dur")
+            if dur is None:
+                dur = (span.get("attrs") or {}).get("time_ms", 0.0) / 1e3
+            desc = f"{dur * 1e3:9.3f} ms  {'  ' * depth}{name}"
+        else:
+            desc = f"{'':>9}     {'  ' * depth}{name} (event)"
+        extra = []
+        attrs = span.get("attrs") or {}
+        for key in ("rid", "ops", "kind", "status", "lsn", "error"):
+            if key in attrs:
+                extra.append(f"{key}={attrs[key]}")
+        if span.get("links"):
+            extra.append(f"links={len(span['links'])}")
+        lines.append(desc + ("  [" + " ".join(extra) + "]" if extra else ""))
+        for child in sorted(
+            children.get(span.get("id"), ()), key=lambda s: s.get("ts", 0.0)
+        ):
+            emit(child, depth + 1)
+
+    roots = sorted(children.get(None, ()), key=lambda s: s.get("ts", 0.0))
+    if root_id is not None and root_id in by_id:
+        # the request's own span first, stray roots after
+        roots.sort(key=lambda s: (s.get("id") != root_id, s.get("ts", 0.0)))
+    for root in roots:
+        emit(root, 0)
+    return lines
+
+
+def render_slow(doc: dict) -> str:
+    entries = doc.get("entries", [])
+    head = (
+        f"slow log: threshold {doc.get('threshold_ms', '?')} ms, "
+        f"{doc.get('captured', len(entries))} captured "
+        f"({doc.get('dropped', 0)} dropped, ring of {doc.get('capacity', '?')})"
+    )
+    lines = [head]
+    for entry in entries:
+        lines.append("")
+        tag = f"#{entry.get('seq', '?')} {entry.get('op', '?')}"
+        status = entry.get("status")
+        lines.append(
+            f"{tag}  {entry.get('dur_ms', 0.0):.3f} ms"
+            + (f"  status=0x{status:02X}" if isinstance(status, int) else "")
+        )
+        spans = entry.get("spans")
+        if spans:
+            lines.extend(
+                "  " + l
+                for l in render_span_forest(spans, entry.get("root_span"))
+            )
+        else:
+            lines.append("  (no span tree: tracing was off)")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def cmd_slow(args) -> int:
+    try:
+        doc = json.loads(_fetch(args.source))
+    except FileNotFoundError:
+        print(f"slow: no such file: {args.source}", file=sys.stderr)
+        return 1
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"slow: cannot read {args.source}: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        json.dump(doc, sys.stdout, indent=1)
+        sys.stdout.write("\n")
+        return 0
+    print(render_slow(doc), end="")
+    return 0
+
+
+# -- watch ---------------------------------------------------------------------
+
+
+def render_watch(doc: dict, window: int) -> str:
+    """Aggregate the last ``window`` samples into rate/level rows."""
+    samples = doc.get("samples", [])[-window:]
+    head = (
+        f"timeseries: {doc.get('taken', 0)} samples taken, interval "
+        f"{doc.get('interval', '?')}s, showing last {len(samples)}"
+    )
+    if not samples:
+        return head + "\n  (no samples yet)\n"
+    total_dt = sum(s.get("dt", 0.0) for s in samples) or 1.0
+    rates: dict[str, float] = {}
+    for s in samples:
+        for path, delta in (s.get("deltas") or {}).items():
+            rates[path] = rates.get(path, 0.0) + delta
+    gauges = samples[-1].get("gauges") or {}
+    lines = [head, ""]
+    if rates:
+        width = max(len(p) for p in rates)
+        lines.append(f"{'counter':<{width}} {'delta':>12} {'per_sec':>12}")
+        for path, total in sorted(rates.items(), key=lambda kv: -kv[1]):
+            lines.append(
+                f"{path:<{width}} {total:>12.0f} {total / total_dt:>12.1f}"
+            )
+        lines.append("")
+    if gauges:
+        width = max(len(p) for p in gauges)
+        lines.append(f"{'gauge':<{width}} {'level':>14}")
+        for path, level in sorted(gauges.items()):
+            lines.append(f"{path:<{width}} {level:>14.3f}")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def cmd_watch(args) -> int:
+    iterations = args.iterations if not args.follow else 0
+    i = 0
+    while True:
+        try:
+            doc = json.loads(_fetch(args.source))
+        except FileNotFoundError:
+            print(f"watch: no such file: {args.source}", file=sys.stderr)
+            return 1
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"watch: cannot read {args.source}: {exc}", file=sys.stderr)
+            return 1
+        if not args.no_clear and (args.follow or args.iterations > 1):
+            sys.stdout.write("\x1b[2J\x1b[H")
+        print(render_watch(doc, args.window))
+        i += 1
+        if iterations and i >= iterations:
+            return 0
+        time.sleep(args.interval)
+
+
+# -- promlint ------------------------------------------------------------------
+
+
+def cmd_promlint(args) -> int:
+    from repro.obs.promlint import lint
+
+    try:
+        text = _fetch(args.source)
+    except FileNotFoundError:
+        print(f"promlint: no such file: {args.source}", file=sys.stderr)
+        return 1
+    except OSError as exc:
+        print(f"promlint: cannot read {args.source}: {exc}", file=sys.stderr)
+        return 1
+    errors = lint(text)
+    for err in errors:
+        print(err)
+    if errors:
+        print(f"promlint: {len(errors)} violation(s)", file=sys.stderr)
+        return 1
+    samples = sum(
+        1
+        for line in text.splitlines()
+        if line.strip() and not line.startswith("#")
+    )
+    print(f"promlint: clean ({samples} samples)", file=sys.stderr)
+    return 0
+
+
+def add_serve_tool_parsers(sub) -> None:
+    p = sub.add_parser(
+        "slow", help="render a server's /debug/slow captures as span trees"
+    )
+    p.add_argument(
+        "source", help="/debug/slow URL, a saved JSON file, or - for stdin"
+    )
+    p.add_argument(
+        "--json", action="store_true", help="pretty-print the raw JSON instead"
+    )
+    p.set_defaults(fn=cmd_slow)
+
+    p = sub.add_parser(
+        "watch", help="top-style live view over a server's /debug/timeseries"
+    )
+    p.add_argument(
+        "source", help="/debug/timeseries URL, a saved JSON file, or - for stdin"
+    )
+    p.add_argument(
+        "--window", type=int, default=10,
+        help="samples to aggregate per render (default 10)",
+    )
+    p.add_argument(
+        "--interval", type=float, default=2.0, help="seconds between refreshes"
+    )
+    p.add_argument(
+        "--iterations", type=int, default=1,
+        help="renders before exiting (default 1)",
+    )
+    p.add_argument(
+        "--follow", action="store_true", help="refresh until interrupted"
+    )
+    p.add_argument(
+        "--no-clear", action="store_true",
+        help="do not clear the screen between renders",
+    )
+    p.set_defaults(fn=cmd_watch)
+
+    p = sub.add_parser(
+        "promlint",
+        help="strict Prometheus text-exposition lint (file or - for stdin)",
+    )
+    p.add_argument("source", help="exposition file, URL, or - for stdin")
+    p.set_defaults(fn=cmd_promlint)

@@ -157,3 +157,121 @@ class TestTopCli:
         assert float(engine_row[2]) == pytest.approx(1.0)
         # heavier serve span sorts first
         assert proc.stdout.index("serve.put") < proc.stdout.index("put")
+
+
+class TestSlowCli:
+    def _doc(self):
+        return {
+            "threshold_ms": 5.0, "capacity": 64, "captured": 2, "dropped": 0,
+            "entries": [
+                {"type": "slow", "op": "serve.put", "dur_ms": 12.5, "seq": 0,
+                 "status": 128, "root_span": 1,
+                 "spans": [
+                     {"type": "span", "id": 1, "name": "serve.put", "ts": 0.0,
+                      "parent": None, "attrs": {"time_ms": 12.5, "rid": 7}},
+                     {"type": "span", "id": 2, "name": "queue_wait",
+                      "parent": 1, "ts": 0.001, "dur": 0.002, "attrs": {}},
+                     {"type": "span", "id": 3, "name": "coalesce.exec",
+                      "parent": None, "links": [1], "ts": 0.003, "dur": 0.008,
+                      "attrs": {"kind": "put", "ops": 1}},
+                     {"type": "span", "id": 4, "name": "wal_fsync",
+                      "parent": 3, "ts": 0.004, "dur": 0.005,
+                      "attrs": {"lsn": 9}},
+                 ]},
+                {"type": "slow", "op": "serve.get", "dur_ms": 6.0, "seq": 1},
+            ],
+        }
+
+    def test_renders_span_trees(self, tmp_path):
+        f = tmp_path / "slow.json"
+        f.write_text(json.dumps(self._doc()))
+        proc = run_tools("slow", str(f))
+        assert proc.returncode == 0, proc.stderr
+        out = proc.stdout
+        assert "threshold 5.0 ms" in out and "2 captured" in out
+        # linked-but-unparented exec span nests under the request span
+        lines = out.splitlines()
+        exec_line = next(l for l in lines if "coalesce.exec" in l)
+        fsync_line = next(l for l in lines if "wal_fsync" in l)
+        assert "links=1" in exec_line
+        assert len(fsync_line) - len(fsync_line.lstrip()) > 0
+        assert "lsn=9" in fsync_line
+        # the untraced entry degrades with a note
+        assert "tracing was off" in out
+
+    def test_json_passthrough(self, tmp_path):
+        f = tmp_path / "slow.json"
+        f.write_text(json.dumps(self._doc()))
+        proc = run_tools("slow", str(f), "--json")
+        assert proc.returncode == 0, proc.stderr
+        assert json.loads(proc.stdout)["captured"] == 2
+
+    def test_missing_file(self):
+        proc = run_tools("slow", "/nonexistent/slow.json")
+        assert proc.returncode == 1
+        assert "no such file" in proc.stderr
+
+
+class TestWatchCli:
+    def test_renders_rates(self, tmp_path):
+        f = tmp_path / "ts.json"
+        f.write_text(json.dumps({
+            "taken": 2, "interval": 1.0, "retention": 120,
+            "samples": [
+                {"t": 1.0, "dt": 1.0, "deltas": {"server.ops.put": 100.0},
+                 "gauges": {"server.inflight": 2.0}},
+                {"t": 2.0, "dt": 1.0, "deltas": {"server.ops.put": 300.0},
+                 "gauges": {"server.inflight": 4.0}},
+            ],
+        }))
+        proc = run_tools("watch", str(f), "--no-clear")
+        assert proc.returncode == 0, proc.stderr
+        assert "server.ops.put" in proc.stdout
+        assert "400" in proc.stdout  # summed delta over the window
+        assert "server.inflight" in proc.stdout and "4.000" in proc.stdout
+
+    def test_iterations_rerender(self, tmp_path):
+        f = tmp_path / "ts.json"
+        f.write_text(json.dumps({"taken": 0, "samples": []}))
+        proc = run_tools(
+            "watch", str(f), "--iterations", "2", "--interval", "0.01",
+            "--no-clear",
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert proc.stdout.count("no samples yet") == 2
+
+    def test_missing_file(self):
+        proc = run_tools("watch", "/nonexistent/ts.json")
+        assert proc.returncode == 1
+
+
+class TestPromlintCli:
+    def test_clean_file(self, tmp_path):
+        f = tmp_path / "metrics.prom"
+        f.write_text("# TYPE repro_ok gauge\nrepro_ok 1\n")
+        proc = run_tools("promlint", str(f))
+        assert proc.returncode == 0, proc.stderr
+        assert "clean (1 samples)" in proc.stderr
+
+    def test_violations_fail(self, tmp_path):
+        f = tmp_path / "bad.prom"
+        f.write_text('x{a="1} 1\nx 2\nx 2\n')
+        proc = run_tools("promlint", str(f))
+        assert proc.returncode == 1
+        assert "unterminated" in proc.stdout
+        assert "duplicate sample" in proc.stdout
+        assert "violation" in proc.stderr
+
+    def test_stdin(self):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = SRC
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.tools", "promlint", "-"],
+            input="# TYPE x gauge\nx 1\n",
+            capture_output=True, text=True, env=env, timeout=120,
+        )
+        assert proc.returncode == 0, proc.stderr
+
+    def test_missing_file(self):
+        proc = run_tools("promlint", "/nonexistent/m.prom")
+        assert proc.returncode == 1

@@ -1,0 +1,145 @@
+"""The strict exposition linter, and that our own exporter passes it."""
+
+from __future__ import annotations
+
+from repro.obs.export import to_prometheus
+from repro.obs.promlint import lint
+
+
+def assert_clean(text: str) -> None:
+    assert lint(text) == []
+
+
+class TestCleanExpositions:
+    def test_minimal(self):
+        assert_clean("# TYPE x gauge\nx 1\n")
+
+    def test_labels(self):
+        assert_clean('# TYPE x counter\nx{a="1",b="two"} 3\n')
+
+    def test_summary_family_suffixes(self):
+        assert_clean(
+            "# TYPE lat summary\n"
+            'lat{quantile="0.5"} 0.01\n'
+            'lat{quantile="0.99"} 0.5\n'
+            "lat_sum 12.5\n"
+            "lat_count 100\n"
+        )
+
+    def test_escapes_and_special_values(self):
+        assert_clean(
+            "# TYPE x gauge\n"
+            'x{msg="a\\"b\\\\c\\nd"} +Inf\n'
+            'x{msg="other"} NaN\n'
+        )
+
+    def test_timestamps_comments_blank_lines(self):
+        assert_clean(
+            "# just a comment\n\n# TYPE x gauge\n# HELP x helpful\nx 1 1700000000000\n"
+        )
+
+    def test_empty(self):
+        assert_clean("")
+
+
+class TestViolations:
+    def violations(self, text):
+        return lint(text)
+
+    def test_missing_trailing_newline(self):
+        assert any("newline" in e for e in self.violations("# TYPE x gauge\nx 1"))
+
+    def test_bad_metric_name(self):
+        assert self.violations("0bad 1\n")
+
+    def test_bad_label_name(self):
+        assert self.violations('x{0bad="v"} 1\n')
+
+    def test_unquoted_label_value(self):
+        assert self.violations("x{a=1} 1\n")
+
+    def test_unterminated_label_value(self):
+        assert any(
+            "unterminated" in e for e in self.violations('x{a="v} 1\n')
+        )
+
+    def test_bad_escape(self):
+        assert any("escape" in e for e in self.violations('x{a="\\x"} 1\n'))
+
+    def test_duplicate_label_name(self):
+        assert any(
+            "duplicate label" in e
+            for e in self.violations('x{a="1",a="2"} 1\n')
+        )
+
+    def test_bad_value(self):
+        assert any("value" in e for e in self.violations("x one\n"))
+
+    def test_missing_value(self):
+        assert self.violations("x\n")
+
+    def test_extra_tokens(self):
+        assert self.violations("x 1 2 3\n")
+
+    def test_bad_timestamp(self):
+        assert any("timestamp" in e for e in self.violations("x 1 12.5\n"))
+
+    def test_duplicate_sample(self):
+        text = "# TYPE x gauge\nx 1\nx 2\n"
+        assert any("duplicate sample" in e for e in self.violations(text))
+
+    def test_duplicate_sample_reordered_labels(self):
+        text = 'x{a="1",b="2"} 1\nx{b="2",a="1"} 2\n'
+        assert any("duplicate sample" in e for e in self.violations(text))
+
+    def test_distinct_labels_not_duplicates(self):
+        assert_clean('x{a="1"} 1\nx{a="2"} 2\n')
+
+    def test_duplicate_type(self):
+        text = "# TYPE x gauge\n# TYPE x counter\nx 1\n"
+        assert any("duplicate TYPE" in e for e in self.violations(text))
+
+    def test_type_after_samples(self):
+        text = "x 1\n# TYPE x gauge\n"
+        assert any("after its samples" in e for e in self.violations(text))
+
+    def test_invalid_type(self):
+        assert any(
+            "bad TYPE" in e
+            for e in self.violations("# TYPE x flotilla\nx 1\n")
+        )
+
+    def test_errors_carry_line_numbers(self):
+        errs = self.violations("# TYPE x gauge\nx 1\nx 2\n")
+        assert errs and errs[0].startswith("line 3:")
+
+
+class TestOwnExporter:
+    def test_stat_tree_exposition_is_clean(self):
+        stat = {
+            "type": "hash",
+            "nkeys": 42,
+            "ops": {"counts": {"gets": 10, "puts": 5}},
+            "latency": {
+                "get": {
+                    "count": 10, "total": 1.5, "mean": 0.15,
+                    "min": 0.01, "max": 0.9, "p50": 0.1, "p95": 0.4,
+                    "p99": 0.8, "unit": "ms",
+                }
+            },
+            "buffer": {"hit_rate": 0.93, "resident": 12},
+        }
+        assert_clean(to_prometheus(stat))
+
+    def test_live_table_exposition_is_clean(self):
+        from repro.access.db import db_open
+
+        db = db_open(None, "hash", "c")
+        try:
+            for i in range(50):
+                db.put(b"k%d" % i, b"v")
+            for i in range(50):
+                db.get(b"k%d" % i)
+            assert_clean(to_prometheus(db.stat()))
+        finally:
+            db.close()

@@ -1,0 +1,113 @@
+"""SlowLog capture semantics and the span-tree closure it embeds."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.slowlog import SlowLog, span_tree
+from repro.obs.trace import FlightRecorder, Tracer
+
+
+def _span(id, name, parent=None, links=None, ts=0.0):
+    rec = {"type": "span", "id": id, "name": name, "parent": parent, "ts": ts}
+    if links:
+        rec["links"] = links
+    return rec
+
+
+class TestSpanTree:
+    def test_parent_chain(self):
+        records = [
+            _span(1, "root", ts=0.0),
+            _span(2, "child", parent=1, ts=1.0),
+            _span(3, "grandchild", parent=2, ts=2.0),
+            _span(9, "stranger", ts=0.5),
+        ]
+        tree = span_tree(records, 1)
+        assert [r["name"] for r in tree] == ["root", "child", "grandchild"]
+
+    def test_link_edges_pull_in_shared_spans(self):
+        # the coalescer shape: the shared exec span has no parent but
+        # LINKS to its member requests; engine spans hang off the exec
+        records = [
+            _span(1, "request", ts=0.0),
+            _span(5, "coalesce.exec", links=[1, 77], ts=1.0),
+            _span(6, "put_many", parent=5, ts=2.0),
+            _span(7, "wal_fsync", parent=5, ts=3.0),
+            _span(8, "other_request_child", parent=77, ts=1.5),
+        ]
+        tree = span_tree(records, 1)
+        names = [r["name"] for r in tree]
+        assert names == ["request", "coalesce.exec", "put_many", "wal_fsync"]
+
+    def test_fixed_point_over_ordering(self):
+        # descendants listed BEFORE the link that admits their ancestor
+        # still join on a later pass
+        records = [
+            _span(6, "deep", parent=5, ts=2.0),
+            _span(5, "exec", links=[1], ts=1.0),
+            _span(1, "root", ts=0.0),
+        ]
+        tree = span_tree(records, 1)
+        assert {r["name"] for r in tree} == {"deep", "exec", "root"}
+
+    def test_events_without_ids_are_skipped(self):
+        records = [_span(1, "root"), {"type": "event", "name": "hit"}]
+        assert [r["name"] for r in span_tree(records, 1)] == ["root"]
+
+
+class TestSlowLog:
+    def test_threshold(self):
+        log = SlowLog(threshold_ms=5.0)
+        assert log.observe("serve.get", 4.9) is False
+        assert log.observe("serve.get", 5.0) is True
+        assert len(log.entries()) == 1
+
+    def test_entry_shape(self):
+        log = SlowLog(threshold_ms=0.0)
+        log.observe("serve.put", 12.3456, status=0x80, attrs={"rid": 7})
+        (entry,) = log.entries()
+        assert entry["op"] == "serve.put"
+        assert entry["dur_ms"] == 12.346
+        assert entry["status"] == 0x80
+        assert entry["attrs"] == {"rid": 7}
+        assert "spans" not in entry  # untraced: no tree
+
+    def test_traced_entry_embeds_tree(self):
+        tracer = Tracer(enabled=True, recorder=FlightRecorder())
+        root = tracer.open_span("serve.put", "serve")
+        child = tracer.open_span("queue_wait", "serve", parent_id=root.id)
+        tracer.close_span(child)
+        tracer.close_span(root)
+        log = SlowLog(threshold_ms=0.0)
+        log.observe(
+            "serve.put", 9.0, root_span_id=root.id, recorder=tracer.recorder
+        )
+        (entry,) = log.entries()
+        assert entry["root_span"] == root.id
+        assert {s["name"] for s in entry["spans"]} == {"serve.put", "queue_wait"}
+
+    def test_ring_bounds_and_accounting(self):
+        log = SlowLog(threshold_ms=0.0, capacity=2)
+        for i in range(5):
+            log.observe(f"op{i}", 1.0)
+        doc = log.as_dict()
+        assert [e["op"] for e in doc["entries"]] == ["op3", "op4"]
+        assert doc["captured"] == 5
+        assert doc["dropped"] == 3
+        assert doc["capacity"] == 2
+        assert doc["threshold_ms"] == 0.0
+
+    def test_seq_survives_eviction(self):
+        log = SlowLog(threshold_ms=0.0, capacity=1)
+        log.observe("a", 1.0)
+        log.observe("b", 1.0)
+        assert log.entries()[0]["seq"] == 1
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            SlowLog(threshold_ms=-1.0)
+
+    def test_make_threadsafe_chains(self):
+        log = SlowLog(threshold_ms=0.0)
+        assert log.make_threadsafe() is log

@@ -1,0 +1,164 @@
+"""TimeSeries: delta classification, ring retention, and the renderer."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.obs.timeseries import GAUGE_LEAF_NAMES, TimeSeries, flatten_stat
+from repro.tools.serve_tools import render_watch
+
+
+class TestFlattenStat:
+    def test_dotted_paths(self):
+        flat = flatten_stat({"a": {"b": 1, "c": {"d": 2.5}}, "e": 3})
+        assert flat == {"a.b": 1.0, "a.c.d": 2.5, "e": 3.0}
+
+    def test_skips_non_numeric_leaves(self):
+        flat = flatten_stat(
+            {"type": "hash", "flag": True, "list": [1, 2], "n": 7}
+        )
+        assert flat == {"n": 7.0}
+
+    def test_empty(self):
+        assert flatten_stat({}) == {}
+
+
+class TestTimeSeries:
+    def test_baseline_primes_without_recording(self):
+        ts = TimeSeries(lambda: {"ops": 0})
+        assert ts.sample() is None
+        assert ts.samples() == []
+        assert ts.taken == 0
+
+    def test_counter_deltas(self):
+        vals = iter([{"ops": 0}, {"ops": 10}, {"ops": 25}])
+        ts = TimeSeries(lambda: next(vals))
+        ts.sample()
+        assert ts.sample()["deltas"] == {"ops": 10.0}
+        assert ts.sample()["deltas"] == {"ops": 15.0}
+        assert ts.taken == 2
+
+    def test_zero_delta_omitted(self):
+        vals = iter([{"ops": 5}, {"ops": 5}])
+        ts = TimeSeries(lambda: next(vals))
+        ts.sample()
+        entry = ts.sample()
+        assert entry["deltas"] == {}
+
+    def test_negative_delta_reclassifies_permanently(self):
+        vals = iter([{"depth": 3}, {"depth": 1}, {"depth": 9}, {"depth": 9}])
+        ts = TimeSeries(lambda: next(vals))
+        ts.sample()
+        first = ts.sample()  # shrank: becomes a gauge now and forever
+        assert first["deltas"] == {}
+        assert first["gauges"] == {"depth": 1.0}
+        second = ts.sample()  # grew again, but stays a gauge
+        assert second["deltas"] == {}
+        assert second["gauges"] == {"depth": 9.0}
+        assert ts.sample()["gauges"] == {"depth": 9.0}
+
+    def test_histogram_leaves_seed_as_gauges(self):
+        vals = iter(
+            [
+                {"lat": {"mean": 0.5, "count": 10}},
+                {"lat": {"mean": 0.2, "count": 30}},
+            ]
+        )
+        ts = TimeSeries(lambda: next(vals))
+        ts.sample()
+        entry = ts.sample()
+        # mean reports by level even though it only ever moved downward
+        # once; count stays a counter
+        assert entry["gauges"] == {"lat.mean": 0.2}
+        assert entry["deltas"] == {"lat.count": 20.0}
+
+    def test_gauge_leaf_names_cover_histogram_snapshot(self):
+        for name in ("mean", "min", "max", "p50", "p95", "p99"):
+            assert name in GAUGE_LEAF_NAMES
+
+    def test_retention_bounds_ring(self):
+        counter = [0]
+
+        def snap():
+            counter[0] += 10
+            return {"ops": counter[0]}
+
+        ts = TimeSeries(snap, retention=3)
+        for _ in range(6):
+            ts.sample()
+        assert len(ts.samples()) == 3
+        assert ts.taken == 5  # baseline not counted
+
+    def test_explicit_stat_bypasses_snapshot(self):
+        ts = TimeSeries(lambda: pytest.fail("snapshot must not be called"))
+        ts.sample({"x": 1})
+        assert ts.sample({"x": 4})["deltas"] == {"x": 3.0}
+
+    def test_new_leaf_appears_mid_stream(self):
+        vals = iter([{"a": 1}, {"a": 2, "b": 5}])
+        ts = TimeSeries(lambda: next(vals))
+        ts.sample()
+        entry = ts.sample()
+        assert entry["deltas"] == {"a": 1.0, "b": 5.0}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TimeSeries(dict, retention=0)
+        with pytest.raises(ValueError):
+            TimeSeries(dict, interval=0)
+
+    def test_concurrent_sample_and_read(self):
+        counter = [0]
+        lock = threading.Lock()
+
+        def snap():
+            with lock:
+                counter[0] += 1
+                return {"ops": counter[0]}
+
+        ts = TimeSeries(snap, retention=8)
+        stop = threading.Event()
+        errors = []
+
+        def reader():
+            while not stop.is_set():
+                try:
+                    for entry in ts.samples():
+                        assert entry["deltas"].get("ops", 1.0) == 1.0
+                    ts.as_dict()
+                except Exception as exc:  # noqa: BLE001
+                    errors.append(exc)
+                    return
+
+        t = threading.Thread(target=reader)
+        t.start()
+        for _ in range(500):
+            ts.sample()
+        stop.set()
+        t.join()
+        assert not errors
+
+
+class TestRenderWatch:
+    def test_renders_rates_and_levels(self):
+        doc = {
+            "taken": 2,
+            "interval": 1.0,
+            "samples": [
+                {"t": 1.0, "dt": 1.0, "deltas": {"ops.gets": 10.0},
+                 "gauges": {"depth": 3.0}},
+                {"t": 2.0, "dt": 1.0, "deltas": {"ops.gets": 30.0},
+                 "gauges": {"depth": 5.0}},
+            ],
+        }
+        out = render_watch(doc, window=10)
+        assert "ops.gets" in out
+        assert "40" in out  # summed delta
+        assert "20.0" in out  # per-sec over 2s
+        assert "depth" in out and "5.000" in out  # latest level wins
+
+    def test_empty(self):
+        out = render_watch({"taken": 0, "samples": []}, window=5)
+        assert "no samples" in out

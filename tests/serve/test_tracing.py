@@ -1,0 +1,335 @@
+"""End-to-end request tracing: wire context, causal span trees across
+client -> connection -> coalescer -> engine batch -> WAL fsync, slow-op
+capture, and the merged Chrome trace."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.export import merge_chrome_traces
+from repro.obs.trace import FlightRecorder, Tracer
+from repro.serve import protocol as proto
+from repro.serve.client import Client
+from repro.serve.protocol import FrameDecoder, ProtocolError
+from repro.serve.server import ServerConfig
+
+
+# -- wire-level trace context --------------------------------------------------
+
+
+class TestWireContext:
+    def test_untraced_frames_are_byte_identical_v1(self):
+        wire = proto.encode_frame(proto.OP_GET, 7, b"key")
+        assert wire[2] == proto.VERSION
+        (frame,) = FrameDecoder().feed(wire)
+        assert frame == (proto.OP_GET, 7, b"key")
+        assert frame.trace is None
+
+    def test_v2_roundtrip(self):
+        ctx = (0xDEADBEEF12345678, 0x42)
+        wire = proto.encode_frame(proto.OP_PUT, 9, b"payload", ctx)
+        assert wire[2] == proto.VERSION_TRACED
+        (frame,) = FrameDecoder().feed(wire)
+        assert frame == (proto.OP_PUT, 9, b"payload")  # tuple shape unchanged
+        assert frame.trace == ctx
+
+    def test_v2_empty_payload(self):
+        wire = proto.encode_frame(proto.OP_STAT, 1, b"", (5, 6))
+        (frame,) = FrameDecoder().feed(wire)
+        assert frame == (proto.OP_STAT, 1, b"")
+        assert frame.trace == (5, 6)
+
+    def test_trace_ids_masked_to_64_bits(self):
+        wire = proto.encode_frame(proto.OP_PING, 1, b"", (1 << 70 | 3, -1))
+        (frame,) = FrameDecoder().feed(wire)
+        assert frame.trace == (3, (1 << 64) - 1)
+
+    def test_mixed_versions_one_stream(self):
+        stream = proto.encode_frame(proto.OP_GET, 1, b"a") + proto.encode_frame(
+            proto.OP_GET, 2, b"b", (9, 9)
+        )
+        frames = FrameDecoder().feed(stream)
+        assert [f.trace for f in frames] == [None, (9, 9)]
+
+    def test_v2_shorter_than_context_is_fatal(self):
+        header = proto.HEADER.pack(
+            proto.MAGIC, proto.VERSION_TRACED, proto.OP_GET, 1, 8
+        )
+        dec = FrameDecoder()
+        with pytest.raises(ProtocolError):
+            dec.feed(header + b"\x00" * 8)
+
+    def test_unknown_version_still_fatal(self):
+        header = proto.HEADER.pack(proto.MAGIC, 3, proto.OP_GET, 1, 0)
+        with pytest.raises(ProtocolError):
+            FrameDecoder().feed(header)
+
+    def test_traced_client_against_untraced_server(self, server):
+        """A v2-stamping client works against a server that never
+        enabled tracing: context is carried, adopted into nothing."""
+        with Client(port=server.port) as c:
+            c.enable_tracing()
+            assert c.put(b"k", b"v") is True
+            assert c.get(b"k") == b"v"
+            spans = c.tracer.recorder.events()
+        assert {s["name"] for s in spans} == {"client.put", "client.get"}
+        assert all("status" in s["attrs"] for s in spans)
+
+
+# -- detached spans (the tracer primitives the serve layer runs on) ------------
+
+
+class TestDetachedSpans:
+    def test_open_close_does_not_touch_thread_stack(self):
+        tracer = Tracer(enabled=True, recorder=FlightRecorder())
+        detached = tracer.open_span("request", "serve")
+        with tracer.span("engine_op"):
+            pass
+        tracer.close_span(detached)
+        by_name = {r["name"]: r for r in tracer.recorder.events()}
+        # the engine op did NOT become a child of the detached span
+        assert by_name["engine_op"]["parent"] is None
+        assert by_name["request"]["parent"] is None
+
+    def test_attach_lends_span_to_worker(self):
+        tracer = Tracer(enabled=True, recorder=FlightRecorder())
+        lent = tracer.open_span("batch", "serve")
+        with tracer.attach(lent):
+            with tracer.span("put_many"):
+                pass
+        with tracer.span("outside"):
+            pass
+        tracer.close_span(lent)
+        by_name = {r["name"]: r for r in tracer.recorder.events()}
+        assert by_name["put_many"]["parent"] == lent.id
+        assert by_name["outside"]["parent"] is None
+
+    def test_links_survive_to_record_and_chrome_args(self):
+        from repro.obs.export import to_chrome_trace
+
+        tracer = Tracer(enabled=True, recorder=FlightRecorder())
+        sid = tracer.complete("exec", 0.0, 0.001, "serve", links=[11, 22])
+        (rec,) = tracer.recorder.events()
+        assert rec["id"] == sid
+        assert rec["links"] == [11, 22]
+        (ev,) = to_chrome_trace([rec])
+        assert ev["args"]["links"] == [11, 22]
+
+    def test_unlinked_records_omit_links_key(self):
+        tracer = Tracer(enabled=True, recorder=FlightRecorder())
+        tracer.complete("plain", 0.0, 0.001)
+        (rec,) = tracer.recorder.events()
+        assert "links" not in rec
+
+
+# -- the full causal tree ------------------------------------------------------
+
+
+def _traced_roundtrip(st, work):
+    """Enable tracing on both ends, run ``work(client)``, return
+    (client_records, client_epoch, server_records, server_epoch).
+
+    The server is drained (stopped) before its recorder is read: the
+    root serve span is recorded in the request task's ``finally``, which
+    the event loop may still be running when the client has its
+    response."""
+    tracer = st.server.db.enable_tracing(ring_capacity=None)
+    with Client(port=st.port) as c:
+        ctracer = c.enable_tracing()
+        work(c)
+        client_recs, client_epoch = ctracer.recorder.events(), ctracer.epoch
+    st.stop()  # graceful drain; idempotent with the fixture teardown
+    return (
+        client_recs,
+        client_epoch,
+        st.server.db.flight_recorder.events(),
+        tracer.epoch,
+    )
+
+
+class TestCausalTree:
+    def test_single_trace_spans_client_to_wal_fsync(self, server_factory):
+        st = server_factory(durability="wal+fsync")
+
+        def work(c):
+            rids = [c.send("put", b"k%d" % i, b"v%d" % i) for i in range(16)]
+            assert all(c.result(r) for r in rids)
+
+        client_recs, _, server_recs, _ = _traced_roundtrip(st, work)
+
+        by_id = {r["id"]: r for r in server_recs if r.get("id") is not None}
+        roots = [r for r in server_recs if r["name"] == "serve.put"]
+        assert len(roots) == 16
+        client_span_ids = {
+            r["id"] for r in client_recs if r["name"] == "client.put"
+        }
+        for root in roots:
+            # wire adoption: the root names the client trace and span
+            assert len(root["attrs"]["trace_id"]) == 16
+            assert root["attrs"]["remote_span"] in client_span_ids
+
+        # every request got queue_wait + batch_exec children
+        for child_name in ("queue_wait", "batch_exec"):
+            children = [r for r in server_recs if r["name"] == child_name]
+            assert {c["parent"] for c in children} == {r["id"] for r in roots}
+
+        # coalesce.exec spans link back to member requests, and the
+        # engine batch + WAL spans nest under them
+        execs = [r for r in server_recs if r["name"] == "coalesce.exec"]
+        assert execs
+        linked = set()
+        for ex in execs:
+            assert ex["links"]
+            linked.update(ex["links"])
+        assert linked == {r["id"] for r in roots}
+
+        exec_ids = {e["id"] for e in execs}
+        put_many = [r for r in server_recs if r["name"] == "put_many"]
+        assert put_many and all(r["parent"] in exec_ids for r in put_many)
+        fsyncs = [
+            r for r in server_recs
+            if r["name"] == "wal_fsync" and r["type"] == "span"
+        ]
+        waits = [
+            r for r in server_recs
+            if r["name"] == "wal_commit_wait" and r["type"] == "span"
+        ]
+        assert fsyncs and waits
+        for rec in fsyncs + waits:
+            assert rec["parent"] in exec_ids
+            assert "lsn" in rec["attrs"]
+        assert any(r["attrs"].get("leader") for r in fsyncs)
+
+    def test_group_commit_one_fsync_many_committers(self, server_factory):
+        """Pipelined writers share fsyncs: fewer fsync spans than
+        commit_wait spans, and every committer's wait is attributed."""
+        st = server_factory(durability="wal+fsync")
+
+        def work(c):
+            rids = [c.send("put", b"gc%d" % i, b"v") for i in range(64)]
+            assert all(c.result(r) for r in rids)
+
+        _, _, server_recs, _ = _traced_roundtrip(st, work)
+        fsyncs = [
+            r for r in server_recs
+            if r["name"] == "wal_fsync" and r["type"] == "span"
+        ]
+        waits = [
+            r for r in server_recs
+            if r["name"] == "wal_commit_wait" and r["type"] == "span"
+        ]
+        assert len(waits) >= len(fsyncs)
+        # a leader fsync covers everything up to target_lsn
+        assert all("target_lsn" in r["attrs"] for r in fsyncs)
+
+    def test_batch_frame_one_context_per_run_spans(self, server_factory):
+        st = server_factory()
+
+        def work(c):
+            res = c.batch(
+                [("put", b"b1", b"v"), ("put", b"b2", b"v"),
+                 ("get", b"b1"), ("delete", b"b2")]
+            )
+            assert res == [True, True, b"v", True]
+
+        client_recs, _, server_recs, _ = _traced_roundtrip(st, work)
+        # ONE client span, ONE wire context for the whole frame
+        assert sum(1 for r in client_recs if r["name"] == "client.batch") == 1
+        roots = [r for r in server_recs if r["name"] == "serve.batch"]
+        assert len(roots) == 1
+        root = roots[0]
+        # per-run child spans under the frame's root: put x2 / get / delete
+        runs = [r for r in server_recs if r["name"].startswith("batch.run.")]
+        assert [r["name"] for r in runs] == [
+            "batch.run.put", "batch.run.get", "batch.run.delete"
+        ] or {r["name"] for r in runs} == {
+            "batch.run.put", "batch.run.get", "batch.run.delete"
+        }
+        assert all(r["parent"] == root["id"] for r in runs)
+        assert next(
+            r for r in runs if r["name"] == "batch.run.put"
+        )["attrs"]["ops"] == 2
+        # the runs' queue_wait/batch_exec hang off the run spans
+        run_ids = {r["id"] for r in runs}
+        waits = [r for r in server_recs if r["name"] == "queue_wait"]
+        assert waits and all(r["parent"] in run_ids for r in waits)
+
+    def test_merged_chrome_trace_has_flow_arrows(self, server_factory):
+        st = server_factory()
+
+        def work(c):
+            rids = [c.send("put", b"m%d" % i, b"v") for i in range(8)]
+            assert all(c.result(r) for r in rids)
+            assert c.get(b"m0") == b"v"
+
+        client_recs, c_epoch, server_recs, s_epoch = _traced_roundtrip(st, work)
+        merged = merge_chrome_traces(
+            [
+                {"records": client_recs, "epoch": c_epoch, "label": "client"},
+                {"records": server_recs, "epoch": s_epoch, "label": "server"},
+            ]
+        )
+        names = {
+            e["args"]["name"] for e in merged if e["ph"] == "M"
+        }
+        assert names == {"client", "server"}
+        starts = {e["id"] for e in merged if e.get("ph") == "s"}
+        finishes = {e["id"] for e in merged if e.get("ph") == "f"}
+        assert len(starts) == 9  # one flow per request
+        # every server-side adoption pairs with a client-side start
+        assert finishes and finishes <= starts
+        # distinct pids keep the processes on separate tracks
+        assert {e["pid"] for e in merged} == {0, 1}
+
+    def test_tracing_only_client_side_produces_no_flow_finish(self, server):
+        with Client(port=server.port) as c:
+            ctracer = c.enable_tracing()
+            c.put(b"k", b"v")
+            recs, epoch = ctracer.recorder.events(), ctracer.epoch
+        merged = merge_chrome_traces(
+            [{"records": recs, "epoch": epoch, "label": "client"}]
+        )
+        assert any(e.get("ph") == "s" for e in merged)
+        assert not any(e.get("ph") == "f" for e in merged)
+
+
+# -- slow-op capture -----------------------------------------------------------
+
+
+class TestSlowCapture:
+    def test_slow_get_is_captured_with_tree(self, server_factory):
+        st = server_factory(
+            config=ServerConfig(port=0, slow_ms=0.0)  # everything breaches
+        )
+        st.server.db.enable_tracing()
+        with Client(port=st.port) as c:
+            c.put(b"k", b"v")
+            assert c.get(b"k") == b"v"
+        st.stop()  # drain so every request's observe has run
+        slow = st.server.slowlog.as_dict()
+        assert slow["captured"] >= 2
+        ops = [e["op"] for e in slow["entries"]]
+        assert "serve.get" in ops and "serve.put" in ops
+        entry = next(e for e in slow["entries"] if e["op"] == "serve.get")
+        names = {s["name"] for s in entry["spans"]}
+        assert {"serve.get", "queue_wait", "coalesce.exec", "batch_exec"} <= names
+
+    def test_fast_ops_not_captured(self, server_factory):
+        st = server_factory(
+            config=ServerConfig(port=0, slow_ms=60_000.0)
+        )
+        with Client(port=st.port) as c:
+            c.put(b"k", b"v")
+        assert st.server.slowlog.as_dict()["captured"] == 0
+
+    def test_untraced_slow_entry_degrades_gracefully(self, server_factory):
+        st = server_factory(config=ServerConfig(port=0, slow_ms=0.0))
+        with Client(port=st.port) as c:
+            c.put(b"k", b"v")
+        st.stop()
+        entry = st.server.slowlog.entries()[0]
+        assert "spans" not in entry
+        assert entry["dur_ms"] >= 0
+
+    def test_disabled_by_default(self, server):
+        assert server.server.slowlog is None
